@@ -1,0 +1,94 @@
+//! Regeneration benches — one group per table/figure of the paper, so
+//! `cargo bench` exercises exactly the code paths behind each reported
+//! number (at bench-friendly sizes; the full sweeps live in the
+//! `heteroprio-experiments` binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heteroprio_core::list::list_schedule;
+use heteroprio_core::{heteroprio, HeteroPrioConfig};
+use heteroprio_experiments::{fig6_series, fig7_series};
+use heteroprio_taskgraph::Factorization;
+use heteroprio_workloads::{
+    independent_instance, paper_platform, t2_worst_order, theorem11, theorem14, theorem8,
+    ChameleonTiming, PROFILES,
+};
+use std::hint::black_box;
+
+/// Table 1: the kernel model (trivially cheap; kept for completeness so
+/// every table has a bench target).
+fn table1(c: &mut Criterion) {
+    c.bench_function("table1/kernel_model", |b| {
+        b.iter(|| {
+            let total: f64 = PROFILES.iter().map(|p| p.cpu_ms / p.accel).sum();
+            black_box(total)
+        })
+    });
+}
+
+/// Table 2: worst-case family runs.
+fn table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    let t8 = theorem8();
+    group.bench_function("theorem8", |b| {
+        b.iter(|| black_box(heteroprio(&t8.instance, &t8.platform, &t8.config).makespan()))
+    });
+    let t11 = theorem11(16, 64);
+    group.bench_function("theorem11_m16", |b| {
+        b.iter(|| black_box(heteroprio(&t11.instance, &t11.platform, &t11.config).makespan()))
+    });
+    let t14 = theorem14(1);
+    group.bench_function("theorem14_k1", |b| {
+        b.iter(|| black_box(heteroprio(&t14.instance, &t14.platform, &t14.config).makespan()))
+    });
+    group.finish();
+}
+
+/// Figure 4: list schedules of the T2 set.
+fn fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    for k in [1usize, 2, 4] {
+        let order = t2_worst_order(k);
+        group.bench_with_input(BenchmarkId::new("worst_list", k), &order, |b, order| {
+            b.iter(|| black_box(list_schedule(order, 6 * k).makespan()))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 6: independent-task sweep (one representative N per bench).
+fn fig6(c: &mut Criterion) {
+    let platform = paper_platform();
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    for f in Factorization::ALL {
+        group.bench_function(BenchmarkId::new("sweep", f.name()), |b| {
+            b.iter(|| black_box(fig6_series(f, &[16], &platform, &ChameleonTiming)))
+        });
+    }
+    // Also at the instance level, N=24.
+    let inst = independent_instance(Factorization::Cholesky, 24, &ChameleonTiming);
+    group.bench_function("heteroprio_cholesky_n24", |b| {
+        b.iter(|| black_box(heteroprio(&inst, &platform, &HeteroPrioConfig::new()).makespan()))
+    });
+    group.finish();
+}
+
+/// Figures 7/8/9: the DAG sweep (the 8/9 metrics are computed inside).
+fn fig7(c: &mut Criterion) {
+    let platform = paper_platform();
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    for f in Factorization::ALL {
+        group.bench_function(BenchmarkId::new("sweep", f.name()), |b| {
+            b.iter(|| black_box(fig7_series(f, &[12], &platform, &ChameleonTiming)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = table1, table2, fig4, fig6, fig7
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! # heteroprio-bench
+//!
+//! Criterion benchmarks. The library itself only hosts shared helpers; see
+//! the `benches/` directory:
+//!
+//! * `scheduler_cost` — the paper's "fast and efficient" claim: wall-clock
+//!   cost of each scheduler on growing ready sets;
+//! * `figures` — regeneration benches, one group per paper table/figure;
+//! * `ablations` — design-choice ablations (spoliation on/off, ranking
+//!   schemes, tie-break adversaries, HEFT insertion).
+
+use heteroprio_core::Instance;
+use heteroprio_workloads::{random_instance, RandomInstanceParams};
+
+/// A deterministic random instance with `tasks` tasks for cost benches.
+pub fn bench_instance(tasks: usize) -> Instance {
+    random_instance(&RandomInstanceParams { tasks, ..RandomInstanceParams::default() }, 0xBEEF)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_instance_is_deterministic() {
+        assert_eq!(bench_instance(50), bench_instance(50));
+        assert_eq!(bench_instance(50).len(), 50);
+    }
+}

@@ -1,0 +1,313 @@
+//! The area (divisible-load) lower bound of §4.2, in closed form.
+//!
+//! The paper defines `AreaBound(I)` as the optimum of a linear program that
+//! lets every task be split fractionally between the CPU class and the GPU
+//! class. Lemma 1 shows both classes finish simultaneously at the optimum;
+//! Lemma 2 shows the optimal assignment is a threshold on the acceleration
+//! factor: there is a `k > 0` such that every task with ρ > k is entirely on
+//! GPUs and every task with ρ < k entirely on CPUs, with at most the
+//! threshold tasks split. This module computes that optimum exactly by
+//! sorting on ρ and locating the crossing point — no LP solver needed.
+
+use heteroprio_core::model::{Instance, Platform, ResourceKind, TaskId};
+use heteroprio_core::time::approx_le;
+
+/// The exact solution of the area-bound linear program.
+#[derive(Clone, Debug)]
+pub struct AreaBound {
+    /// The bound itself: a lower bound on the optimal makespan.
+    pub value: f64,
+    /// `x[i]`: fraction of task `i` processed on the CPU class
+    /// (`1 - x[i]` on the GPU class), indexed by task id.
+    pub cpu_fraction: Vec<f64>,
+    /// The acceleration-factor threshold `k` of Lemma 2 (any value separating
+    /// the GPU side from the CPU side; the ρ of the split task when one is
+    /// split).
+    pub threshold: f64,
+}
+
+impl AreaBound {
+    /// Total CPU-class load of the fractional assignment, divided by `m`
+    /// (i.e. the CPU-class finish time).
+    pub fn cpu_finish(&self, instance: &Instance, platform: &Platform) -> f64 {
+        let load: f64 = instance
+            .ids()
+            .map(|id| self.cpu_fraction[id.index()] * instance.task(id).cpu_time)
+            .sum();
+        load / platform.cpus as f64
+    }
+
+    /// GPU-class finish time of the fractional assignment.
+    pub fn gpu_finish(&self, instance: &Instance, platform: &Platform) -> f64 {
+        let load: f64 = instance
+            .ids()
+            .map(|id| (1.0 - self.cpu_fraction[id.index()]) * instance.task(id).gpu_time)
+            .sum();
+        load / platform.gpus as f64
+    }
+}
+
+/// Compute `AreaBound(I)` exactly.
+///
+/// Runs in `O(|I| log |I|)` (the sort dominates).
+pub fn area_bound(instance: &Instance, platform: &Platform) -> AreaBound {
+    let n = instance.len();
+    if n == 0 {
+        return AreaBound { value: 0.0, cpu_fraction: Vec::new(), threshold: 1.0 };
+    }
+    let m = platform.cpus as f64;
+    let g = platform.gpus as f64;
+
+    // Tasks by non-increasing acceleration factor: GPU-friendliest first.
+    let mut order: Vec<TaskId> = instance.ids().collect();
+    order.sort_by(|&a, &b| {
+        instance
+            .task(b)
+            .accel_factor()
+            .total_cmp(&instance.task(a).accel_factor())
+            .then(a.cmp(&b))
+    });
+
+    // Prefix GPU work and suffix CPU work along that order.
+    // gpu_prefix[j] = Σ_{i<j} q_(order[i]); cpu_suffix[j] = Σ_{i>=j} p_(order[i]).
+    let mut gpu_prefix = vec![0.0; n + 1];
+    for j in 0..n {
+        gpu_prefix[j + 1] = gpu_prefix[j] + instance.task(order[j]).gpu_time;
+    }
+    let mut cpu_suffix = vec![0.0; n + 1];
+    for j in (0..n).rev() {
+        cpu_suffix[j] = cpu_suffix[j + 1] + instance.task(order[j]).cpu_time;
+    }
+
+    // Find the smallest j such that the GPU class, holding the first j tasks,
+    // finishes no earlier than the CPU class holding the rest. j = n always
+    // qualifies (CPU side is then empty).
+    let gpu_finish = |j: usize| gpu_prefix[j] / g;
+    let cpu_finish = |j: usize| cpu_suffix[j] / m;
+    let mut j_star = n;
+    for j in 0..=n {
+        if gpu_finish(j) >= cpu_finish(j) {
+            j_star = j;
+            break;
+        }
+    }
+
+    let mut cpu_fraction = vec![0.0; n];
+    // Tasks strictly after the crossing go to CPUs.
+    for &id in &order[j_star.min(n)..] {
+        cpu_fraction[id.index()] = 1.0;
+    }
+
+    if j_star == 0 {
+        // Even with every task on the CPUs the GPU class is the bottleneck at
+        // level 0 — only possible when there are no tasks, handled above.
+        // With j_star == 0 and tasks present: gpu_finish(0) = 0 >= cpu_finish(0)
+        // requires cpu_finish(0) == 0, impossible for positive times.
+        unreachable!("positive processing times make cpu_finish(0) > 0");
+    }
+
+    // Split the crossing task (position j_star - 1): fraction x on CPUs.
+    let split = order[j_star - 1];
+    let p = instance.task(split).cpu_time;
+    let q = instance.task(split).gpu_time;
+    let base_cpu = cpu_finish(j_star); // CPU finish without the split task
+    let base_gpu = gpu_prefix[j_star - 1] / g; // GPU finish without it
+    // Solve base_cpu + x p / m = base_gpu + (1 - x) q / g.
+    let x = ((base_gpu + q / g - base_cpu) / (p / m + q / g)).clamp(0.0, 1.0);
+    cpu_fraction[split.index()] = x;
+    let value = base_cpu + x * p / m;
+
+    AreaBound { value, cpu_fraction, threshold: instance.task(split).accel_factor() }
+}
+
+/// Check that a fractional assignment `x` (CPU fractions) is feasible and
+/// compute its objective `max(CPU finish, GPU finish)`. Used by property
+/// tests to certify optimality of [`area_bound`] against random assignments.
+pub fn fractional_objective(instance: &Instance, platform: &Platform, x: &[f64]) -> f64 {
+    assert_eq!(x.len(), instance.len());
+    let mut cpu = 0.0;
+    let mut gpu = 0.0;
+    for id in instance.ids() {
+        let f = x[id.index()];
+        assert!((-1e-12..=1.0 + 1e-12).contains(&f), "fraction out of range");
+        cpu += f * instance.task(id).cpu_time;
+        gpu += (1.0 - f) * instance.task(id).gpu_time;
+    }
+    (cpu / platform.cpus as f64).max(gpu / platform.gpus as f64)
+}
+
+/// `max_i min(p_i, q_i)`: the other immediate lower bound of §4.2.
+pub fn min_time_bound(instance: &Instance) -> f64 {
+    instance.max_min_time()
+}
+
+/// The combined lower bound on the optimal makespan used throughout the
+/// experiments: `max(AreaBound, max_i min(p_i, q_i))`.
+pub fn combined_lower_bound(instance: &Instance, platform: &Platform) -> f64 {
+    area_bound(instance, platform).value.max(min_time_bound(instance))
+}
+
+/// Structural invariants of Lemmas 1 and 2, checked on a computed bound.
+/// Returns an error message when violated (used by tests).
+pub fn check_structure(
+    instance: &Instance,
+    platform: &Platform,
+    ab: &AreaBound,
+) -> Result<(), String> {
+    if instance.is_empty() {
+        return Ok(());
+    }
+    // Lemma 1: both classes finish at the same time, equal to the bound.
+    let cf = ab.cpu_finish(instance, platform);
+    let gf = ab.gpu_finish(instance, platform);
+    if !(approx_le(cf, gf) && approx_le(gf, cf)) {
+        return Err(format!("Lemma 1 violated: cpu {cf} vs gpu {gf}"));
+    }
+    if !(approx_le(ab.value, cf) && approx_le(cf, ab.value)) {
+        return Err(format!("bound {} != finish {cf}", ab.value));
+    }
+    // Lemma 2: threshold structure on ρ.
+    for id in instance.ids() {
+        let rho = instance.task(id).accel_factor();
+        let x = ab.cpu_fraction[id.index()];
+        if x < 1.0 - 1e-12 && rho < ab.threshold - 1e-9 {
+            return Err(format!(
+                "Lemma 2 violated: {id} partially on GPU with rho {rho} < k {}",
+                ab.threshold
+            ));
+        }
+        if x > 1e-12 && rho > ab.threshold + 1e-9 {
+            return Err(format!(
+                "Lemma 2 violated: {id} partially on CPU with rho {rho} > k {}",
+                ab.threshold
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Per-class capacity used by the area-bound solution over `[0, value]`,
+/// needed by the paper's Figure 9 normalization (idle time is normalized by
+/// the amount of each resource used in the lower-bound solution).
+pub fn class_usage(instance: &Instance, platform: &Platform, kind: ResourceKind) -> f64 {
+    let ab = area_bound(instance, platform);
+    match kind {
+        ResourceKind::Cpu => instance
+            .ids()
+            .map(|id| ab.cpu_fraction[id.index()] * instance.task(id).cpu_time)
+            .sum(),
+        ResourceKind::Gpu => instance
+            .ids()
+            .map(|id| (1.0 - ab.cpu_fraction[id.index()]) * instance.task(id).gpu_time)
+            .sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteroprio_core::time::approx_eq;
+    use heteroprio_core::Platform;
+
+    #[test]
+    fn empty_instance_bound_is_zero() {
+        let inst = Instance::new();
+        let plat = Platform::new(1, 1);
+        assert_eq!(area_bound(&inst, &plat).value, 0.0);
+    }
+
+    #[test]
+    fn single_balanced_task_splits() {
+        // One task (p=1, q=1) on (1,1): split evenly, bound 1/2.
+        let inst = Instance::from_times(&[(1.0, 1.0)]);
+        let plat = Platform::new(1, 1);
+        let ab = area_bound(&inst, &plat);
+        assert!(approx_eq(ab.value, 0.5), "{}", ab.value);
+        assert!(approx_eq(ab.cpu_fraction[0], 0.5));
+        check_structure(&inst, &plat, &ab).unwrap();
+    }
+
+    #[test]
+    fn theorem8_instance_bound() {
+        // X (φ, 1), Y (1, 1/φ) on (1,1): assigning X to GPU and Y to CPU
+        // gives both classes load 1 — exactly the optimal integral schedule,
+        // so the area bound equals 1 too (it can't exceed the optimum).
+        use heteroprio_core::PHI;
+        let inst = Instance::from_times(&[(PHI, 1.0), (1.0, 1.0 / PHI)]);
+        let plat = Platform::new(1, 1);
+        let ab = area_bound(&inst, &plat);
+        assert!(approx_le(ab.value, 1.0));
+        check_structure(&inst, &plat, &ab).unwrap();
+    }
+
+    #[test]
+    fn gpu_heavy_mix_matches_hand_computation() {
+        // Tasks: A (10, 1) ρ=10, B (4, 4) ρ=1, C (1, 10) ρ=0.1 on (2, 1).
+        // Hand solve: put A on GPU, C on CPUs, split B.
+        // x := CPU fraction of B: (1 + 4x)/2 = 1 + 4(1-x) → 2 + 8x = ... →
+        // (1 + 4x)/2 = (1 + 4(1-x))/1 → 1 + 4x = 10 - 8x → x = 9/12 = 0.75;
+        // value = (1 + 3)/2 = 2.
+        let inst = Instance::from_times(&[(10.0, 1.0), (4.0, 4.0), (1.0, 10.0)]);
+        let plat = Platform::new(2, 1);
+        let ab = area_bound(&inst, &plat);
+        assert!(approx_eq(ab.value, 2.0), "{}", ab.value);
+        assert!(approx_eq(ab.cpu_fraction[1], 0.75));
+        assert!(approx_eq(ab.cpu_fraction[0], 0.0));
+        assert!(approx_eq(ab.cpu_fraction[2], 1.0));
+        check_structure(&inst, &plat, &ab).unwrap();
+    }
+
+    #[test]
+    fn bound_below_any_integral_assignment() {
+        let inst = Instance::from_times(&[(3.0, 1.0), (2.0, 2.0), (1.0, 3.0), (5.0, 1.0)]);
+        let plat = Platform::new(2, 2);
+        let ab = area_bound(&inst, &plat);
+        // Every integral class assignment is feasible for the LP, so the
+        // area bound is at most each assignment's load objective.
+        for mask in 0u32..16 {
+            let mut cpu = 0.0;
+            let mut gpu = 0.0;
+            for i in 0..4 {
+                if mask & (1 << i) != 0 {
+                    cpu += inst.task(TaskId(i)).cpu_time;
+                } else {
+                    gpu += inst.task(TaskId(i)).gpu_time;
+                }
+            }
+            let obj = (cpu / 2.0).max(gpu / 2.0);
+            assert!(ab.value <= obj + 1e-9, "mask {mask}: {} > {obj}", ab.value);
+        }
+    }
+
+    #[test]
+    fn all_tasks_identical_balances_by_capacity() {
+        // 10 tasks (2, 1) on (2, 2): ρ=2 for all. Pure rate balancing:
+        // CPU rate m/p = 1 task/s, GPU rate n/q = 2 tasks/s → 10 tasks in
+        // 10/3 s.
+        let inst = Instance::from_times(&[(2.0, 1.0); 10]);
+        let plat = Platform::new(2, 2);
+        let ab = area_bound(&inst, &plat);
+        assert!(approx_eq(ab.value, 10.0 / 3.0), "{}", ab.value);
+        check_structure(&inst, &plat, &ab).unwrap();
+    }
+
+    #[test]
+    fn class_usage_sums_to_balanced_loads() {
+        let inst = Instance::from_times(&[(10.0, 1.0), (4.0, 4.0), (1.0, 10.0)]);
+        let plat = Platform::new(2, 1);
+        let cpu = class_usage(&inst, &plat, ResourceKind::Cpu);
+        let gpu = class_usage(&inst, &plat, ResourceKind::Gpu);
+        // value 2.0 with 2 CPUs → CPU usage 4.0; 1 GPU → GPU usage 2.0.
+        assert!(approx_eq(cpu, 4.0), "{cpu}");
+        assert!(approx_eq(gpu, 2.0), "{gpu}");
+    }
+
+    #[test]
+    fn combined_bound_picks_min_time_when_binding() {
+        // A single task with min time 5 but tiny area.
+        let inst = Instance::from_times(&[(5.0, 5.0)]);
+        let plat = Platform::new(4, 4);
+        let lb = combined_lower_bound(&inst, &plat);
+        assert!(approx_eq(lb, 5.0));
+    }
+}

@@ -1,0 +1,54 @@
+//! Lower bound for DAG instances (used as the Figure 7 baseline).
+//!
+//! Following \[12\] (Agullo et al., IPDPS 2016), the independent-task area
+//! bound is strengthened with the dependency constraint: no schedule can
+//! beat the critical path where every task runs on its fastest resource.
+//! The Figure 7 ratios in the paper are taken against exactly this kind of
+//! optimistic bound.
+
+use crate::area::combined_lower_bound;
+use heteroprio_core::Platform;
+use heteroprio_taskgraph::{critical_path, TaskGraph, WeightScheme};
+
+/// `max(AreaBound(I), max_min critical path)`.
+pub fn dag_lower_bound(graph: &TaskGraph, platform: &Platform) -> f64 {
+    let area = combined_lower_bound(graph.instance(), platform);
+    let cp = critical_path(graph, WeightScheme::Min);
+    area.max(cp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteroprio_core::time::approx_eq;
+    use heteroprio_taskgraph::{chain, fork_join};
+
+    #[test]
+    fn chain_bound_is_critical_path() {
+        // A serial chain cannot be parallelized: bound = Σ min times.
+        let g = chain(10, 4.0, 1.0);
+        let plat = Platform::new(4, 4);
+        assert!(approx_eq(dag_lower_bound(&g, &plat), 10.0));
+    }
+
+    #[test]
+    fn wide_graph_bound_is_area() {
+        // Fork-join with a huge middle: area dominates the 3-task path.
+        let g = fork_join(100, 1.0, 1.0);
+        let plat = Platform::new(1, 1);
+        let lb = dag_lower_bound(&g, &plat);
+        // 102 unit tasks over 2 unit-speed workers → at least 51.
+        assert!(lb >= 51.0 - 1e-9, "{lb}");
+    }
+
+    #[test]
+    fn bound_dominates_both_components() {
+        let g = chain(5, 2.0, 3.0);
+        let plat = Platform::new(2, 2);
+        let lb = dag_lower_bound(&g, &plat);
+        let area = combined_lower_bound(g.instance(), &plat);
+        let cp = critical_path(&g, WeightScheme::Min);
+        assert!(lb >= area - 1e-12);
+        assert!(lb >= cp - 1e-12);
+    }
+}

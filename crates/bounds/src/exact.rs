@@ -1,0 +1,304 @@
+//! Exact optimal makespan for small instances, by branch and bound.
+//!
+//! Two nested searches: the outer one assigns each task to a resource
+//! *class* (CPU or GPU); the inner one solves `P||Cmax` exactly within each
+//! class (identical machines). Pruning uses the area bound, the trivial
+//! `max_i min(p_i, q_i)` bound, per-class load bounds, and an LPT-based
+//! incumbent. Practical to roughly a dozen tasks — enough to certify the
+//! paper's approximation ratios on thousands of random micro-instances.
+
+use crate::area::combined_lower_bound;
+use heteroprio_core::list::lpt_makespan;
+use heteroprio_core::model::{Instance, Platform, ResourceKind, TaskId};
+
+/// Hard cap on instance size; the search is exponential.
+pub const MAX_EXACT_TASKS: usize = 16;
+
+/// Exact optimal makespan of `P||Cmax` on identical machines (DFS + pruning).
+///
+/// `durations` need not be sorted. Returns 0 for an empty set.
+pub fn optimal_homogeneous_makespan(durations: &[f64], machines: usize) -> f64 {
+    assert!(machines > 0);
+    assert!(durations.len() <= 24, "too many tasks for the exact P||Cmax search");
+    if durations.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = durations.to_vec();
+    sorted.sort_by(|a, b| b.total_cmp(a));
+    let machines = machines.min(sorted.len());
+    let total: f64 = sorted.iter().sum();
+    let lower = (total / machines as f64).max(sorted[0]);
+    let mut best = lpt_makespan(&sorted, machines);
+    if best <= lower + 1e-12 {
+        return best;
+    }
+    let mut loads = vec![0.0; machines];
+    dfs_pcmax(&sorted, 0, &mut loads, &mut best, lower);
+    best
+}
+
+fn dfs_pcmax(tasks: &[f64], idx: usize, loads: &mut [f64], best: &mut f64, lower: f64) {
+    if *best <= lower + 1e-12 {
+        return; // incumbent is provably optimal
+    }
+    if idx == tasks.len() {
+        let ms = loads.iter().copied().fold(0.0, f64::max);
+        if ms < *best {
+            *best = ms;
+        }
+        return;
+    }
+    let d = tasks[idx];
+    // Remaining work can't beat this partial max — prune.
+    let current_max = loads.iter().copied().fold(0.0, f64::max);
+    if current_max >= *best - 1e-12 {
+        return;
+    }
+    let mut tried_empty = false;
+    // Try machines in load order, skipping duplicate loads (symmetry).
+    let mut order: Vec<usize> = (0..loads.len()).collect();
+    order.sort_by(|&a, &b| loads[a].total_cmp(&loads[b]));
+    let mut prev_load = f64::NEG_INFINITY;
+    for &m in &order {
+        if (loads[m] - prev_load).abs() <= 1e-15 {
+            continue; // identical machine state
+        }
+        prev_load = loads[m];
+        if loads[m] == 0.0 {
+            if tried_empty {
+                continue;
+            }
+            tried_empty = true;
+        }
+        if loads[m] + d >= *best - 1e-12 {
+            continue;
+        }
+        loads[m] += d;
+        dfs_pcmax(tasks, idx + 1, loads, best, lower);
+        loads[m] -= d;
+    }
+}
+
+/// Result of the exact two-class search.
+#[derive(Clone, Debug)]
+pub struct ExactSolution {
+    pub makespan: f64,
+    /// Class of each task in the optimal assignment found.
+    pub assignment: Vec<ResourceKind>,
+}
+
+/// Exact optimal makespan for independent tasks on `m` CPUs + `n` GPUs.
+///
+/// Panics if the instance has more than [`MAX_EXACT_TASKS`] tasks.
+pub fn optimal_makespan(instance: &Instance, platform: &Platform) -> ExactSolution {
+    assert!(
+        instance.len() <= MAX_EXACT_TASKS,
+        "exact solver limited to {MAX_EXACT_TASKS} tasks, got {}",
+        instance.len()
+    );
+    if instance.is_empty() {
+        return ExactSolution { makespan: 0.0, assignment: Vec::new() };
+    }
+    // Order tasks by decreasing max time: big rocks first tightens pruning.
+    let mut order: Vec<TaskId> = instance.ids().collect();
+    order.sort_by(|&a, &b| instance.task(b).max_time().total_cmp(&instance.task(a).max_time()));
+
+    let lower = combined_lower_bound(instance, platform);
+
+    // Incumbent: every task on its faster class, LPT within classes.
+    let mut cpu0 = Vec::new();
+    let mut gpu0 = Vec::new();
+    let mut greedy_assign = vec![ResourceKind::Cpu; instance.len()];
+    for id in instance.ids() {
+        let t = instance.task(id);
+        if t.gpu_time <= t.cpu_time {
+            gpu0.push(t.gpu_time);
+            greedy_assign[id.index()] = ResourceKind::Gpu;
+        } else {
+            cpu0.push(t.cpu_time);
+        }
+    }
+    let mut best = optimal_homogeneous_makespan(&cpu0, platform.cpus)
+        .max(optimal_homogeneous_makespan(&gpu0, platform.gpus));
+    let mut best_assign = greedy_assign;
+
+    let mut state = ClassSearch {
+        instance,
+        platform,
+        order,
+        lower,
+        cpu_tasks: Vec::new(),
+        gpu_tasks: Vec::new(),
+        assign: vec![ResourceKind::Cpu; instance.len()],
+    };
+    state.dfs(0, 0.0, 0.0, &mut best, &mut best_assign);
+    ExactSolution { makespan: best, assignment: best_assign }
+}
+
+struct ClassSearch<'a> {
+    instance: &'a Instance,
+    platform: &'a Platform,
+    order: Vec<TaskId>,
+    lower: f64,
+    cpu_tasks: Vec<f64>,
+    gpu_tasks: Vec<f64>,
+    assign: Vec<ResourceKind>,
+}
+
+impl ClassSearch<'_> {
+    fn dfs(
+        &mut self,
+        idx: usize,
+        cpu_load: f64,
+        gpu_load: f64,
+        best: &mut f64,
+        best_assign: &mut Vec<ResourceKind>,
+    ) {
+        if *best <= self.lower + 1e-12 {
+            return;
+        }
+        // Load-based pruning: even perfectly balanced, each class needs at
+        // least its current total over its machine count.
+        let cpu_lb = cpu_load / self.platform.cpus as f64;
+        let gpu_lb = gpu_load / self.platform.gpus as f64;
+        if cpu_lb >= *best - 1e-12 || gpu_lb >= *best - 1e-12 {
+            return;
+        }
+        if idx == self.order.len() {
+            let ms = optimal_homogeneous_makespan(&self.cpu_tasks, self.platform.cpus)
+                .max(optimal_homogeneous_makespan(&self.gpu_tasks, self.platform.gpus));
+            if ms < *best {
+                *best = ms;
+                best_assign.clone_from(&self.assign);
+            }
+            return;
+        }
+        let id = self.order[idx];
+        let t = *self.instance.task(id);
+        // Branch on the class whose single-task time is smaller first.
+        let first_gpu = t.gpu_time <= t.cpu_time;
+        for gpu_side in [first_gpu, !first_gpu] {
+            if gpu_side {
+                if t.gpu_time < *best - 1e-12 {
+                    self.gpu_tasks.push(t.gpu_time);
+                    self.assign[id.index()] = ResourceKind::Gpu;
+                    self.dfs(idx + 1, cpu_load, gpu_load + t.gpu_time, best, best_assign);
+                    self.gpu_tasks.pop();
+                }
+            } else if t.cpu_time < *best - 1e-12 {
+                self.cpu_tasks.push(t.cpu_time);
+                self.assign[id.index()] = ResourceKind::Cpu;
+                self.dfs(idx + 1, cpu_load + t.cpu_time, gpu_load, best, best_assign);
+                self.cpu_tasks.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteroprio_core::time::{approx_eq, PHI};
+
+    #[test]
+    fn homogeneous_exact_beats_or_matches_lpt() {
+        let durations = [7.0, 5.0, 5.0, 4.0, 4.0, 3.0];
+        let exact = optimal_homogeneous_makespan(&durations, 2);
+        assert!(approx_eq(exact, 14.0), "{exact}");
+        // LPT gives 7+4+3 = 14 here as well.
+        assert!(exact <= lpt_makespan(&durations, 2) + 1e-12);
+    }
+
+    #[test]
+    fn homogeneous_exact_finds_perfect_split() {
+        // LPT fails on this classic: [3,3,2,2,2] on 2 machines → LPT 7, OPT 6.
+        let durations = [3.0, 3.0, 2.0, 2.0, 2.0];
+        assert!(approx_eq(optimal_homogeneous_makespan(&durations, 2), 6.0));
+        assert!(approx_eq(lpt_makespan(&durations, 2), 7.0));
+    }
+
+    #[test]
+    fn theorem8_optimum_is_one() {
+        let inst = Instance::from_times(&[(PHI, 1.0), (1.0, 1.0 / PHI)]);
+        let plat = Platform::new(1, 1);
+        let sol = optimal_makespan(&inst, &plat);
+        assert!(approx_eq(sol.makespan, 1.0), "{}", sol.makespan);
+        assert_eq!(sol.assignment[0], ResourceKind::Gpu);
+        assert_eq!(sol.assignment[1], ResourceKind::Cpu);
+    }
+
+    #[test]
+    fn exact_at_least_area_bound() {
+        let inst = Instance::from_times(&[
+            (3.0, 1.5),
+            (2.0, 4.0),
+            (6.0, 1.0),
+            (1.0, 1.0),
+            (2.5, 2.5),
+        ]);
+        let plat = Platform::new(2, 1);
+        let sol = optimal_makespan(&inst, &plat);
+        let lb = combined_lower_bound(&inst, &plat);
+        assert!(sol.makespan >= lb - 1e-9, "{} < {lb}", sol.makespan);
+    }
+
+    #[test]
+    fn exact_assignment_realizes_makespan() {
+        let inst = Instance::from_times(&[(3.0, 1.5), (2.0, 4.0), (6.0, 1.0), (1.0, 1.0)]);
+        let plat = Platform::new(2, 2);
+        let sol = optimal_makespan(&inst, &plat);
+        // Recompute per-class optimal makespans from the reported assignment.
+        let cpu: Vec<f64> = inst
+            .ids()
+            .filter(|id| sol.assignment[id.index()] == ResourceKind::Cpu)
+            .map(|id| inst.task(id).cpu_time)
+            .collect();
+        let gpu: Vec<f64> = inst
+            .ids()
+            .filter(|id| sol.assignment[id.index()] == ResourceKind::Gpu)
+            .map(|id| inst.task(id).gpu_time)
+            .collect();
+        let ms = optimal_homogeneous_makespan(&cpu, plat.cpus)
+            .max(optimal_homogeneous_makespan(&gpu, plat.gpus));
+        assert!(approx_eq(ms, sol.makespan));
+    }
+
+    #[test]
+    fn single_task_optimum_is_min_time() {
+        let inst = Instance::from_times(&[(4.0, 9.0)]);
+        let plat = Platform::new(1, 1);
+        assert!(approx_eq(optimal_makespan(&inst, &plat).makespan, 4.0));
+    }
+
+    #[test]
+    fn empty_instance_is_zero() {
+        let inst = Instance::new();
+        let plat = Platform::new(1, 1);
+        assert_eq!(optimal_makespan(&inst, &plat).makespan, 0.0);
+    }
+
+    #[test]
+    fn brute_force_cross_check_small() {
+        // Compare against full enumeration on a 6-task instance.
+        let times = [(2.0, 5.0), (5.0, 2.0), (3.0, 3.0), (4.0, 1.0), (1.0, 4.0), (2.5, 2.5)];
+        let inst = Instance::from_times(&times);
+        let plat = Platform::new(2, 1);
+        let sol = optimal_makespan(&inst, &plat);
+        let mut brute = f64::INFINITY;
+        for mask in 0u32..(1 << times.len()) {
+            let mut cpu = Vec::new();
+            let mut gpu = Vec::new();
+            for (i, &(p, q)) in times.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    cpu.push(p);
+                } else {
+                    gpu.push(q);
+                }
+            }
+            let ms = optimal_homogeneous_makespan(&cpu, plat.cpus)
+                .max(optimal_homogeneous_makespan(&gpu, plat.gpus));
+            brute = brute.min(ms);
+        }
+        assert!(approx_eq(sol.makespan, brute), "{} vs {brute}", sol.makespan);
+    }
+}

@@ -1,0 +1,25 @@
+//! # heteroprio-bounds
+//!
+//! Lower bounds and exact optima for the two-resource-class scheduling model:
+//!
+//! * the paper's §4.2 **area bound** in closed form, with the structural
+//!   guarantees of Lemmas 1 and 2 ([`area_bound`]);
+//! * the trivial `max_i min(p_i, q_i)` bound and the combined experiment
+//!   baseline ([`combined_lower_bound`]);
+//! * a **DAG lower bound** (area + critical path, as used for Figure 7)
+//!   ([`dag_lower_bound`]);
+//! * an **exact branch-and-bound** optimum for small instances, used to
+//!   certify the approximation ratios in tests ([`optimal_makespan`]).
+
+pub mod area;
+pub mod dag;
+pub mod exact;
+
+pub use area::{
+    area_bound, check_structure, class_usage, combined_lower_bound, fractional_objective,
+    min_time_bound, AreaBound,
+};
+pub use dag::dag_lower_bound;
+pub use exact::{
+    optimal_homogeneous_makespan, optimal_makespan, ExactSolution, MAX_EXACT_TASKS,
+};

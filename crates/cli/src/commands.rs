@@ -1,0 +1,328 @@
+//! The CLI's subcommand implementations, kept binary-free so they can be
+//! unit-tested. Each command returns the text it would print.
+
+use crate::format::{parse_instance, serialize_instance};
+use heteroprio_bounds::{combined_lower_bound, optimal_makespan, MAX_EXACT_TASKS};
+use heteroprio_core::gantt::to_svg;
+use heteroprio_core::{
+    heteroprio, HeteroPrioConfig, Instance, Platform, ResourceKind, Schedule,
+};
+use heteroprio_schedulers::{dualhp_independent, heft, heuristic_schedule, HeftVariant, Heuristic};
+use heteroprio_taskgraph::{Factorization, TaskGraph, WeightScheme};
+use heteroprio_workloads::{independent_instance, ChameleonTiming};
+use std::fmt::Write as _;
+
+/// Which scheduler the `schedule` command runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algo {
+    HeteroPrio,
+    HeteroPrioNoSpoliation,
+    DualHp,
+    Heft,
+    MinMin,
+    MaxMin,
+    Sufferage,
+    Mct,
+}
+
+impl Algo {
+    pub fn parse(s: &str) -> Option<Algo> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "hp" | "heteroprio" => Algo::HeteroPrio,
+            "hp-ns" | "heteroprio-ns" => Algo::HeteroPrioNoSpoliation,
+            "dualhp" => Algo::DualHp,
+            "heft" => Algo::Heft,
+            "minmin" => Algo::MinMin,
+            "maxmin" => Algo::MaxMin,
+            "sufferage" => Algo::Sufferage,
+            "mct" => Algo::Mct,
+            _ => return None,
+        })
+    }
+
+    pub const NAMES: &'static str = "hp, hp-ns, dualhp, heft, minmin, maxmin, sufferage, mct";
+
+    pub fn run(self, instance: &Instance, platform: &Platform) -> Schedule {
+        match self {
+            Algo::HeteroPrio => heteroprio(instance, platform, &HeteroPrioConfig::new()).schedule,
+            Algo::HeteroPrioNoSpoliation => {
+                heteroprio(instance, platform, &HeteroPrioConfig::without_spoliation()).schedule
+            }
+            Algo::DualHp => dualhp_independent(instance, platform),
+            Algo::Heft => heft(
+                &TaskGraph::independent(instance.clone()),
+                platform,
+                WeightScheme::Avg,
+                HeftVariant::Insertion,
+            ),
+            Algo::MinMin => heuristic_schedule(Heuristic::MinMin, instance, platform),
+            Algo::MaxMin => heuristic_schedule(Heuristic::MaxMin, instance, platform),
+            Algo::Sufferage => heuristic_schedule(Heuristic::Sufferage, instance, platform),
+            Algo::Mct => heuristic_schedule(Heuristic::Mct, instance, platform),
+        }
+    }
+}
+
+/// `schedule`: run one scheduler on an instance file's contents.
+/// Returns `(report, optional svg)`.
+pub fn cmd_schedule(
+    text: &str,
+    platform: &Platform,
+    algo: Algo,
+    want_svg: bool,
+) -> Result<(String, Option<String>), String> {
+    let instance = parse_instance(text).map_err(|e| e.to_string())?;
+    if instance.is_empty() {
+        return Err("instance is empty".to_string());
+    }
+    let schedule = algo.run(&instance, platform);
+    schedule
+        .validate(&instance, platform)
+        .map_err(|e| format!("internal error: invalid schedule: {e}"))?;
+    let lb = combined_lower_bound(&instance, platform);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} tasks on {} CPUs + {} GPUs, algorithm {:?}",
+        instance.len(),
+        platform.cpus,
+        platform.gpus,
+        algo
+    );
+    let _ = writeln!(out, "makespan    : {:.4}", schedule.makespan());
+    let _ = writeln!(out, "lower bound : {lb:.4}");
+    let _ = writeln!(out, "ratio       : {:.4}", schedule.makespan() / lb);
+    let _ = writeln!(out, "spoliations : {}", schedule.spoliation_count());
+    for kind in ResourceKind::BOTH {
+        let _ = writeln!(
+            out,
+            "{kind} busy {:.4}, idle {:.4}",
+            schedule.busy_time(platform, kind),
+            schedule.idle_time(platform, kind, schedule.makespan()),
+        );
+    }
+    out.push_str(&schedule.render_ascii(platform, 72));
+    let svg = want_svg.then(|| to_svg(&schedule, &instance, platform));
+    Ok((out, svg))
+}
+
+/// `bounds`: print every lower bound we can compute (plus the exact optimum
+/// for small instances).
+pub fn cmd_bounds(text: &str, platform: &Platform) -> Result<String, String> {
+    let instance = parse_instance(text).map_err(|e| e.to_string())?;
+    let ab = heteroprio_bounds::area_bound(&instance, platform);
+    let mut out = String::new();
+    let _ = writeln!(out, "tasks          : {}", instance.len());
+    let _ = writeln!(out, "area bound     : {:.6}", ab.value);
+    let _ = writeln!(out, "max min-time   : {:.6}", instance.max_min_time());
+    let _ = writeln!(
+        out,
+        "combined bound : {:.6}",
+        combined_lower_bound(&instance, platform)
+    );
+    if instance.len() <= MAX_EXACT_TASKS && !instance.is_empty() {
+        let opt = optimal_makespan(&instance, platform);
+        let _ = writeln!(out, "exact optimum  : {:.6}", opt.makespan);
+    } else {
+        let _ = writeln!(out, "exact optimum  : (instance too large; <= {MAX_EXACT_TASKS} tasks)");
+    }
+    let _ = writeln!(
+        out,
+        "proven HeteroPrio ratio for this shape: {:.4}",
+        heteroprio_core::proven_upper_bound(platform)
+    );
+    Ok(out)
+}
+
+/// Which DAG scheduler the `dag` command runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DagAlgoArg {
+    HeteroPrio,
+    DualHpFifo,
+    DualHp,
+    Heft,
+    List,
+}
+
+impl DagAlgoArg {
+    pub fn parse(s: &str) -> Option<DagAlgoArg> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "hp" | "heteroprio" => DagAlgoArg::HeteroPrio,
+            "dualhp-fifo" => DagAlgoArg::DualHpFifo,
+            "dualhp" => DagAlgoArg::DualHp,
+            "heft" => DagAlgoArg::Heft,
+            "list" => DagAlgoArg::List,
+            _ => return None,
+        })
+    }
+
+    pub const NAMES: &'static str = "hp, dualhp, dualhp-fifo, heft, list";
+
+    fn scheduler(self) -> heteroprio_runtime::Scheduler {
+        use heteroprio_runtime::Scheduler;
+        use heteroprio_schedulers::DualHpRank;
+        match self {
+            DagAlgoArg::HeteroPrio => Scheduler::HeteroPrio(WeightScheme::Min),
+            DagAlgoArg::DualHpFifo => Scheduler::DualHp(DualHpRank::Fifo, WeightScheme::Min),
+            DagAlgoArg::DualHp => Scheduler::DualHp(DualHpRank::Priority, WeightScheme::Min),
+            DagAlgoArg::Heft => Scheduler::Heft(WeightScheme::Avg, HeftVariant::Insertion),
+            DagAlgoArg::List => Scheduler::PriorityList(WeightScheme::Min),
+        }
+    }
+}
+
+/// `dag`: generate a factorization DAG, submit it through the runtime and
+/// schedule it. Returns `(report, optional svg)`.
+pub fn cmd_dag(
+    kind: &str,
+    n: usize,
+    platform: &Platform,
+    algo: DagAlgoArg,
+    want_svg: bool,
+) -> Result<(String, Option<String>), String> {
+    use heteroprio_runtime::{submit_cholesky, submit_lu, submit_qr, Runtime};
+    if n == 0 {
+        return Err("need at least one tile".to_string());
+    }
+    let mut rt = Runtime::new(*platform);
+    match kind.to_ascii_lowercase().as_str() {
+        "cholesky" => submit_cholesky(&mut rt, n, &ChameleonTiming),
+        "qr" => submit_qr(&mut rt, n, &ChameleonTiming),
+        "lu" => submit_lu(&mut rt, n, &ChameleonTiming),
+        other => return Err(format!("unknown workload `{other}` (cholesky, qr, lu)")),
+    }
+    let report = rt.run(algo.scheduler())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{kind} N={n}: {} tasks, {} edges on {} CPUs + {} GPUs ({algo:?})",
+        report.graph.len(),
+        report.graph.edge_count(),
+        platform.cpus,
+        platform.gpus
+    );
+    let _ = writeln!(out, "makespan    : {:.2} ms", report.makespan);
+    let _ = writeln!(out, "lower bound : {:.2} ms", report.lower_bound);
+    let _ = writeln!(out, "ratio       : {:.4}", report.ratio());
+    let _ = writeln!(out, "spoliations : {}", report.spoliations);
+    for (label, count) in report.graph.label_histogram() {
+        let _ = writeln!(out, "  {label:<8} x{count}");
+    }
+    let svg =
+        want_svg.then(|| to_svg(&report.schedule, report.graph.instance(), platform));
+    Ok((out, svg))
+}
+
+/// `gen`: emit the independent-task kernel mix of a factorization in the
+/// CLI's instance format.
+pub fn cmd_gen(kind: &str, n: usize) -> Result<String, String> {
+    let f = match kind.to_ascii_lowercase().as_str() {
+        "cholesky" => Factorization::Cholesky,
+        "qr" => Factorization::Qr,
+        "lu" => Factorization::Lu,
+        other => return Err(format!("unknown workload `{other}` (cholesky, qr, lu)")),
+    };
+    if n == 0 {
+        return Err("need at least one tile".to_string());
+    }
+    let instance = independent_instance(f, n, &ChameleonTiming);
+    Ok(serialize_instance(&instance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "28.8 1.0\n8.72 1.0\n1.72 1.0\n1.0 3.0\n2.0 6.0\n";
+
+    #[test]
+    fn schedule_reports_every_field() {
+        let plat = Platform::new(2, 1);
+        let (report, svg) = cmd_schedule(SAMPLE, &plat, Algo::HeteroPrio, true).unwrap();
+        assert!(report.contains("makespan"));
+        assert!(report.contains("ratio"));
+        assert!(report.contains("CPU"));
+        assert!(svg.unwrap().starts_with("<svg"));
+    }
+
+    #[test]
+    fn all_algorithms_run_from_the_cli_layer() {
+        let plat = Platform::new(2, 1);
+        for algo in [
+            Algo::HeteroPrio,
+            Algo::HeteroPrioNoSpoliation,
+            Algo::DualHp,
+            Algo::Heft,
+            Algo::MinMin,
+            Algo::MaxMin,
+            Algo::Sufferage,
+            Algo::Mct,
+        ] {
+            let (report, _) = cmd_schedule(SAMPLE, &plat, algo, false).unwrap();
+            assert!(report.contains("makespan"), "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn algo_names_parse() {
+        assert_eq!(Algo::parse("HP"), Some(Algo::HeteroPrio));
+        assert_eq!(Algo::parse("dualhp"), Some(Algo::DualHp));
+        assert_eq!(Algo::parse("sufferage"), Some(Algo::Sufferage));
+        assert_eq!(Algo::parse("nope"), None);
+    }
+
+    #[test]
+    fn bounds_includes_exact_for_small_instances() {
+        let plat = Platform::new(1, 1);
+        let out = cmd_bounds("2 1\n1 2\n", &plat).unwrap();
+        assert!(out.contains("exact optimum  : 1"), "{out}");
+        assert!(out.contains("1.6180"), "{out}"); // φ for (1,1)
+    }
+
+    #[test]
+    fn gen_output_reparses() {
+        let text = cmd_gen("cholesky", 4).unwrap();
+        let inst = parse_instance(&text).unwrap();
+        assert_eq!(inst.len(), 20);
+        assert!(cmd_gen("fft", 4).is_err());
+    }
+
+    #[test]
+    fn dag_command_runs_every_scheduler() {
+        let plat = Platform::new(3, 2);
+        for algo in [
+            DagAlgoArg::HeteroPrio,
+            DagAlgoArg::DualHpFifo,
+            DagAlgoArg::DualHp,
+            DagAlgoArg::Heft,
+            DagAlgoArg::List,
+        ] {
+            let (report, svg) = cmd_dag("cholesky", 5, &plat, algo, algo == DagAlgoArg::HeteroPrio)
+                .unwrap();
+            assert!(report.contains("makespan"), "{algo:?}");
+            assert!(report.contains("DPOTRF"), "{algo:?}");
+            if algo == DagAlgoArg::HeteroPrio {
+                assert!(svg.unwrap().starts_with("<svg"));
+            }
+        }
+        assert!(cmd_dag("fft", 5, &plat, DagAlgoArg::HeteroPrio, false).is_err());
+        assert!(cmd_dag("qr", 0, &plat, DagAlgoArg::HeteroPrio, false).is_err());
+    }
+
+    #[test]
+    fn dag_algo_names_parse() {
+        assert_eq!(DagAlgoArg::parse("hp"), Some(DagAlgoArg::HeteroPrio));
+        assert_eq!(DagAlgoArg::parse("dualhp-fifo"), Some(DagAlgoArg::DualHpFifo));
+        assert_eq!(DagAlgoArg::parse("LIST"), Some(DagAlgoArg::List));
+        assert_eq!(DagAlgoArg::parse("??"), None);
+    }
+
+    #[test]
+    fn bad_input_is_reported() {
+        let plat = Platform::new(1, 1);
+        let err = cmd_schedule("garbage here too many fields\n", &plat, Algo::HeteroPrio, false)
+            .unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(cmd_schedule("", &plat, Algo::HeteroPrio, false).is_err());
+    }
+}

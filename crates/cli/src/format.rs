@@ -1,0 +1,138 @@
+//! The plain-text instance format of the CLI.
+//!
+//! One task per non-empty line: `<cpu_time> <gpu_time> [priority]`,
+//! whitespace-separated; `#` starts a comment. Times must be positive.
+//!
+//! ```text
+//! # four tasks
+//! 28.8 1.0      # a GEMM-like task
+//! 8.72 1.0 5
+//! 1.72 1.0
+//! 1.0  3.0
+//! ```
+
+use heteroprio_core::{Instance, Task};
+use std::fmt::Write as _;
+
+/// A parse failure, with the 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse an instance from the text format.
+pub fn parse_instance(text: &str) -> Result<Instance, ParseError> {
+    let mut instance = Instance::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = content.split_whitespace().collect();
+        if fields.len() < 2 || fields.len() > 3 {
+            return Err(ParseError {
+                line,
+                message: format!(
+                    "expected `cpu gpu [priority]`, found {} field(s)",
+                    fields.len()
+                ),
+            });
+        }
+        let parse = |s: &str, what: &str| -> Result<f64, ParseError> {
+            s.parse::<f64>().map_err(|e| ParseError {
+                line,
+                message: format!("bad {what} `{s}`: {e}"),
+            })
+        };
+        let cpu = parse(fields[0], "cpu time")?;
+        let gpu = parse(fields[1], "gpu time")?;
+        if !(cpu > 0.0 && cpu.is_finite() && gpu > 0.0 && gpu.is_finite()) {
+            return Err(ParseError {
+                line,
+                message: "times must be positive and finite".to_string(),
+            });
+        }
+        let mut task = Task::new(cpu, gpu);
+        if let Some(p) = fields.get(2) {
+            task = task.with_priority(parse(p, "priority")?);
+        }
+        instance.push(task);
+    }
+    Ok(instance)
+}
+
+/// Serialize an instance back to the text format.
+pub fn serialize_instance(instance: &Instance) -> String {
+    let mut out = String::from("# cpu_time gpu_time [priority]\n");
+    for t in instance.tasks() {
+        if t.priority != 0.0 {
+            let _ = writeln!(out, "{} {} {}", t.cpu_time, t.gpu_time, t.priority);
+        } else {
+            let _ = writeln!(out, "{} {}", t.cpu_time, t.gpu_time);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteroprio_core::TaskId;
+
+    #[test]
+    fn parses_basic_file() {
+        let inst = parse_instance("1.0 2.0\n3.0 4.0 7.5\n").unwrap();
+        assert_eq!(inst.len(), 2);
+        assert_eq!(inst.task(TaskId(1)).priority, 7.5);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let inst = parse_instance("# header\n\n1 1 # trailing\n   \n2 2\n").unwrap();
+        assert_eq!(inst.len(), 2);
+    }
+
+    #[test]
+    fn rejects_wrong_field_count() {
+        let err = parse_instance("1.0\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("field"));
+    }
+
+    #[test]
+    fn rejects_non_numeric() {
+        let err = parse_instance("1.0 abc\n").unwrap_err();
+        assert!(err.message.contains("gpu time"));
+    }
+
+    #[test]
+    fn rejects_non_positive_times() {
+        assert!(parse_instance("0 1\n").is_err());
+        assert!(parse_instance("1 -2\n").is_err());
+    }
+
+    #[test]
+    fn roundtrips() {
+        let text = "1.5 2.5\n3 4 9\n";
+        let inst = parse_instance(text).unwrap();
+        let back = serialize_instance(&inst);
+        let again = parse_instance(&back).unwrap();
+        assert_eq!(inst, again);
+    }
+
+    #[test]
+    fn reports_correct_line_numbers() {
+        let err = parse_instance("1 1\n# ok\nbroken\n").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+}

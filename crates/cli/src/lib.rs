@@ -1,0 +1,11 @@
+//! # heteroprio-cli
+//!
+//! Library backing the `heteroprio-cli` binary: a plain-text instance
+//! format ([`mod@format`]) and testable subcommand implementations
+//! ([`commands`]). See `heteroprio-cli --help` for usage.
+
+pub mod commands;
+pub mod format;
+
+pub use commands::{cmd_bounds, cmd_dag, cmd_gen, cmd_schedule, Algo, DagAlgoArg};
+pub use format::{parse_instance, serialize_instance, ParseError};

@@ -1,0 +1,163 @@
+//! Command-line interface to the HeteroPrio reproduction.
+//!
+//! ```text
+//! heteroprio-cli schedule --cpus M --gpus N [--algo NAME] [--svg FILE] INSTANCE
+//! heteroprio-cli bounds   --cpus M --gpus N INSTANCE
+//! heteroprio-cli gen      (cholesky|qr|lu) N [OUTPUT]
+//! ```
+
+use heteroprio_cli::{cmd_bounds, cmd_dag, cmd_gen, cmd_schedule, Algo, DagAlgoArg};
+use heteroprio_core::Platform;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage:
+  heteroprio-cli schedule --cpus M --gpus N [--algo NAME] [--svg FILE] INSTANCE
+  heteroprio-cli bounds   --cpus M --gpus N INSTANCE
+  heteroprio-cli gen      (cholesky|qr|lu) N [OUTPUT]
+  heteroprio-cli dag      (cholesky|qr|lu) N --cpus M --gpus N [--algo NAME] [--svg FILE]
+
+INSTANCE is a text file with one `cpu_time gpu_time [priority]` task per
+line (`#` comments). `gen` writes such a file for the kernel mix of an
+N-tile factorization. Algorithms: see --algo (default hp).
+";
+
+struct Args {
+    positional: Vec<String>,
+    cpus: Option<usize>,
+    gpus: Option<usize>,
+    algo: Algo,
+    /// Raw `--algo` value, for subcommands with their own algorithm set.
+    dag_algo: Option<String>,
+    svg: Option<String>,
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        positional: Vec::new(),
+        cpus: None,
+        gpus: None,
+        algo: Algo::HeteroPrio,
+        dag_algo: None,
+        svg: None,
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--cpus" => {
+                let v = argv.next().ok_or("--cpus needs a value")?;
+                args.cpus = Some(v.parse().map_err(|_| format!("bad --cpus `{v}`"))?);
+            }
+            "--gpus" => {
+                let v = argv.next().ok_or("--gpus needs a value")?;
+                args.gpus = Some(v.parse().map_err(|_| format!("bad --gpus `{v}`"))?);
+            }
+            "--algo" => {
+                let v = argv.next().ok_or("--algo needs a value")?;
+                args.dag_algo = Some(v.clone());
+                if let Some(a) = Algo::parse(&v) {
+                    args.algo = a;
+                } else if DagAlgoArg::parse(&v).is_none() {
+                    return Err(format!(
+                        "unknown algorithm `{v}` (independent: {}; dag: {})",
+                        Algo::NAMES,
+                        DagAlgoArg::NAMES
+                    ));
+                }
+            }
+            "--svg" => {
+                args.svg = Some(argv.next().ok_or("--svg needs a file name")?);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => args.positional.push(other.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+fn platform_of(args: &Args) -> Result<Platform, String> {
+    match (args.cpus, args.gpus) {
+        (Some(m), Some(n)) if m > 0 && n > 0 => Ok(Platform::new(m, n)),
+        _ => Err("both --cpus and --gpus (positive) are required".to_string()),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or("")?;
+    let args = parse_args(argv)?;
+    match command.as_str() {
+        "schedule" => {
+            let platform = platform_of(&args)?;
+            let file = args.positional.first().ok_or("missing INSTANCE file")?;
+            let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            let (report, svg) = cmd_schedule(&text, &platform, args.algo, args.svg.is_some())?;
+            print!("{report}");
+            if let (Some(path), Some(svg)) = (&args.svg, svg) {
+                std::fs::write(path, svg).map_err(|e| format!("{path}: {e}"))?;
+                println!("wrote {path}");
+            }
+            Ok(())
+        }
+        "bounds" => {
+            let platform = platform_of(&args)?;
+            let file = args.positional.first().ok_or("missing INSTANCE file")?;
+            let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            print!("{}", cmd_bounds(&text, &platform)?);
+            Ok(())
+        }
+        "dag" => {
+            let platform = platform_of(&args)?;
+            let kind = args.positional.first().ok_or("dag needs a workload kind")?.clone();
+            let n: usize = args
+                .positional
+                .get(1)
+                .ok_or("dag needs a tile count")?
+                .parse()
+                .map_err(|_| "bad tile count")?;
+            let algo = match &args.dag_algo {
+                Some(name) => DagAlgoArg::parse(name)
+                    .ok_or_else(|| format!("unknown DAG algorithm `{name}` ({})", DagAlgoArg::NAMES))?,
+                None => DagAlgoArg::HeteroPrio,
+            };
+            let (report, svg) = cmd_dag(&kind, n, &platform, algo, args.svg.is_some())?;
+            print!("{report}");
+            if let (Some(path), Some(svg)) = (&args.svg, svg) {
+                std::fs::write(path, svg).map_err(|e| format!("{path}: {e}"))?;
+                println!("wrote {path}");
+            }
+            Ok(())
+        }
+        "gen" => {
+            let kind = args.positional.first().ok_or("gen needs a workload kind")?;
+            let n: usize = args
+                .positional
+                .get(1)
+                .ok_or("gen needs a tile count")?
+                .parse()
+                .map_err(|_| "bad tile count")?;
+            let text = cmd_gen(kind, n)?;
+            match args.positional.get(2) {
+                Some(path) => {
+                    std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+                    println!("wrote {path}");
+                }
+                None => print!("{text}"),
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Self-contained SVG Gantt rendering of schedules (no dependencies).
+//!
+//! One row per worker, one rectangle per run; aborted (spoliated) runs are
+//! drawn hatched red so the cost of spoliation is visible. Colors encode
+//! the acceleration factor of the task: GPU-friendly tasks are warm, CPU
+//! friendly tasks cold — exactly the affinity signal HeteroPrio schedules
+//! by.
+
+use crate::model::{Instance, Platform, ResourceKind};
+use crate::schedule::Schedule;
+use std::fmt::Write as _;
+
+const ROW_H: f64 = 22.0;
+const ROW_GAP: f64 = 4.0;
+const LEFT_MARGIN: f64 = 70.0;
+const TOP_MARGIN: f64 = 28.0;
+const WIDTH: f64 = 900.0;
+
+/// Map an acceleration factor to a fill color: log-scaled from blue
+/// (ρ ≪ 1, CPU-friendly) through grey (ρ = 1) to orange-red (ρ ≫ 1).
+fn accel_color(rho: f64) -> String {
+    // Clamp log2(ρ) to [-5, 5] and interpolate.
+    let x = (rho.log2().clamp(-5.0, 5.0) + 5.0) / 10.0;
+    let r = (60.0 + 195.0 * x) as u8;
+    let g = (90.0 + 40.0 * (1.0 - (2.0 * x - 1.0).abs())) as u8;
+    let b = (220.0 - 180.0 * x) as u8;
+    format!("#{r:02x}{g:02x}{b:02x}")
+}
+
+/// Render a schedule to an SVG document string.
+pub fn to_svg(schedule: &Schedule, instance: &Instance, platform: &Platform) -> String {
+    let horizon = schedule.makespan().max(1e-9);
+    let scale = (WIDTH - LEFT_MARGIN - 10.0) / horizon;
+    let rows = platform.workers();
+    let height = TOP_MARGIN + rows as f64 * (ROW_H + ROW_GAP) + 30.0;
+
+    let mut svg = String::with_capacity(4096);
+    let _ = write!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{height}" viewBox="0 0 {WIDTH} {height}">"##
+    );
+    svg.push_str(
+        r##"<defs><pattern id="abort" width="6" height="6" patternTransform="rotate(45)" patternUnits="userSpaceOnUse"><rect width="6" height="6" fill="#f3c1c1"/><line x1="0" y1="0" x2="0" y2="6" stroke="#c0392b" stroke-width="2"/></pattern></defs>"##,
+    );
+    let _ = write!(
+        svg,
+        r##"<text x="{LEFT_MARGIN}" y="16" font-family="sans-serif" font-size="12">makespan = {horizon:.2}</text>"##
+    );
+
+    // Worker rows and labels.
+    for w in platform.all_workers() {
+        let y = TOP_MARGIN + w.index() as f64 * (ROW_H + ROW_GAP);
+        let kind = platform.kind_of(w);
+        let _ = write!(
+            svg,
+            r##"<text x="4" y="{:.1}" font-family="sans-serif" font-size="11">{kind} {}</text>"##,
+            y + ROW_H - 7.0,
+            w.0
+        );
+        let _ = write!(
+            svg,
+            r##"<rect x="{LEFT_MARGIN}" y="{y:.1}" width="{:.1}" height="{ROW_H}" fill="#f6f6f6"/>"##,
+            horizon * scale
+        );
+    }
+
+    // Aborted runs first (under completed ones at the same spot).
+    for run in &schedule.aborted {
+        let y = TOP_MARGIN + run.worker.index() as f64 * (ROW_H + ROW_GAP);
+        let x = LEFT_MARGIN + run.start * scale;
+        let w = ((run.end - run.start) * scale).max(1.0);
+        let _ = write!(
+            svg,
+            r##"<rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{ROW_H}" fill="url(#abort)" stroke="#c0392b" stroke-width="0.5"><title>{} aborted [{:.2}, {:.2}]</title></rect>"##,
+            run.task, run.start, run.end
+        );
+    }
+    for run in &schedule.runs {
+        let y = TOP_MARGIN + run.worker.index() as f64 * (ROW_H + ROW_GAP);
+        let x = LEFT_MARGIN + run.start * scale;
+        let w = ((run.end - run.start) * scale).max(1.0);
+        let rho = instance.task(run.task).accel_factor();
+        let _ = write!(
+            svg,
+            r##"<rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{ROW_H}" fill="{}" stroke="#333" stroke-width="0.5"><title>{} [{:.2}, {:.2}] rho={rho:.2}</title></rect>"##,
+            accel_color(rho),
+            run.task,
+            run.start,
+            run.end
+        );
+        if w > 26.0 {
+            let _ = write!(
+                svg,
+                r##"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="10" fill="#fff">{}</text>"##,
+                x + 3.0,
+                y + ROW_H - 7.0,
+                run.task
+            );
+        }
+    }
+
+    // Time axis ticks.
+    let ticks = 8usize;
+    let axis_y = TOP_MARGIN + rows as f64 * (ROW_H + ROW_GAP) + 12.0;
+    for i in 0..=ticks {
+        let t = horizon * i as f64 / ticks as f64;
+        let x = LEFT_MARGIN + t * scale;
+        let _ = write!(
+            svg,
+            r##"<text x="{x:.1}" y="{axis_y:.1}" font-family="sans-serif" font-size="10" text-anchor="middle">{t:.1}</text>"##
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Is a worker row drawn for GPUs? Convenience used by examples to decide
+/// legend text.
+pub fn legend(platform: &Platform) -> String {
+    format!(
+        "{} CPU rows (cold colors = CPU-friendly tasks), {} GPU rows (warm = GPU-friendly); hatched red = aborted (spoliated) work",
+        platform.count(ResourceKind::Cpu),
+        platform.count(ResourceKind::Gpu)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heteroprio::{heteroprio, HeteroPrioConfig};
+    use crate::model::Instance;
+
+    #[test]
+    fn svg_contains_a_rect_per_run() {
+        let inst = Instance::from_times(&[(100.0, 1.0), (100.0, 1.0), (1.0, 9.0)]);
+        let plat = Platform::new(1, 1);
+        let res = heteroprio(&inst, &plat, &HeteroPrioConfig::new());
+        let svg = to_svg(&res.schedule, &inst, &plat);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        let completed = svg.matches("rho=").count();
+        assert_eq!(completed, 3);
+        let aborted = svg.matches("aborted [").count();
+        assert_eq!(aborted, res.schedule.aborted.len());
+        // One rect per run + per aborted run + per worker background + the
+        // hatch-pattern rect.
+        let expected_rects = 3 + aborted + plat.workers() + 1;
+        assert_eq!(svg.matches("<rect").count(), expected_rects);
+    }
+
+    #[test]
+    fn colors_span_the_affinity_scale() {
+        let cold = accel_color(1.0 / 32.0);
+        let neutral = accel_color(1.0);
+        let warm = accel_color(32.0);
+        assert_ne!(cold, warm);
+        assert_ne!(cold, neutral);
+        // Blue channel decreases with affinity.
+        let blue = |c: &str| u8::from_str_radix(&c[5..7], 16).unwrap();
+        assert!(blue(&cold) > blue(&neutral));
+        assert!(blue(&neutral) > blue(&warm));
+    }
+
+    #[test]
+    fn empty_schedule_still_renders() {
+        let inst = Instance::new();
+        let plat = Platform::new(2, 1);
+        let svg = to_svg(&Schedule::new(), &inst, &plat);
+        assert!(svg.contains("CPU 0"));
+        assert!(svg.contains("GPU 2"));
+    }
+
+    #[test]
+    fn legend_mentions_both_classes() {
+        let l = legend(&Platform::new(3, 2));
+        assert!(l.contains("3 CPU"));
+        assert!(l.contains("2 GPU"));
+    }
+}

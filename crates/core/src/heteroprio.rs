@@ -1,0 +1,514 @@
+//! The HeteroPrio algorithm for a set of independent tasks (Algorithm 1 of
+//! the paper), including the spoliation mechanism.
+//!
+//! Ready tasks sit in a single queue sorted by non-increasing acceleration
+//! factor ρ = p/q. An idle GPU pops from the *front* (most GPU-friendly
+//! task), an idle CPU pops from the *back*. When the queue is empty, an idle
+//! worker examines the tasks currently running on the *other* resource class
+//! in decreasing order of expected completion time, and **spoliates** the
+//! first one whose completion it can strictly improve: the victim run is
+//! aborted (all progress lost — this is not preemption) and the task restarts
+//! on the idle worker.
+//!
+//! Algorithm 1 leaves three choices unspecified; each tightness proof in the
+//! paper resolves them adversarially ("consider the following *valid*
+//! HeteroPrio schedule"), so they are explicit knobs here:
+//!
+//! * which idle worker acts first ([`WorkerOrder`]),
+//! * the queue order among tasks with equal ρ ([`QueueTieBreak`]),
+//! * the spoliation order among victims with equal completion time
+//!   ([`SpoliationTieBreak`]).
+
+use crate::model::{Instance, Platform, ResourceKind, TaskId, WorkerId};
+use crate::schedule::{Schedule, TaskRun};
+use crate::time::{strictly_less, F64Ord};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Order in which simultaneously idle workers are given the chance to act.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum WorkerOrder {
+    /// GPUs pick first (the StarPU-like default: serve the scarce, fast
+    /// resource first).
+    #[default]
+    GpusFirst,
+    /// CPUs pick first.
+    CpusFirst,
+    /// Strictly by worker id (CPUs are ids `0..m`, so CPUs first by class).
+    ById,
+}
+
+/// Ordering of the ready queue among tasks with equal acceleration factor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum QueueTieBreak {
+    /// The paper's §2.2 rule: among ties with ρ ≥ 1 the highest-priority task
+    /// comes first (so GPUs, popping the front, see it first); among ties
+    /// with ρ < 1 the lowest-priority task comes first (so CPUs, popping the
+    /// back, see the highest priority first).
+    #[default]
+    Priority,
+    /// Stable order: ties keep their instance order. Used by the worst-case
+    /// constructions, which pick an adversarial insertion order.
+    InsertionOrder,
+}
+
+/// Ordering among spoliation candidates with equal expected completion time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SpoliationTieBreak {
+    /// Highest priority first (the paper's DAG-mode rule), then lowest id.
+    #[default]
+    PriorityThenId,
+    /// Lowest task id first.
+    IdAscending,
+    /// Highest task id first.
+    IdDescending,
+}
+
+/// Configuration of the unspecified choices in Algorithm 1.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HeteroPrioConfig {
+    /// Disable to obtain the pure list schedule `S_HP^NS` of the paper.
+    pub disable_spoliation: bool,
+    pub worker_order: WorkerOrder,
+    pub queue_tie: QueueTieBreak,
+    pub spoliation_tie: SpoliationTieBreak,
+}
+
+impl HeteroPrioConfig {
+    /// The default configuration, with spoliation enabled.
+    pub fn new() -> Self {
+        HeteroPrioConfig::default()
+    }
+
+    /// The pure list-schedule variant (no spoliation) — the paper's
+    /// `S_HP^NS`, and the §3 cautionary tale about list scheduling on
+    /// unrelated resources.
+    pub fn without_spoliation() -> Self {
+        HeteroPrioConfig { disable_spoliation: true, ..Default::default() }
+    }
+}
+
+/// Outcome of a HeteroPrio run.
+#[derive(Clone, Debug)]
+pub struct HeteroPrioResult {
+    pub schedule: Schedule,
+    /// `T_FirstIdle`: the first instant at which some worker found the queue
+    /// empty. `None` when every worker was busy until its last completion
+    /// (never happens if there are fewer tasks than workers).
+    pub first_idle: Option<f64>,
+    /// Number of successful spoliations.
+    pub spoliations: usize,
+}
+
+impl HeteroPrioResult {
+    pub fn makespan(&self) -> f64 {
+        self.schedule.makespan()
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Running {
+    task: TaskId,
+    start: f64,
+    end: f64,
+}
+
+/// Build the ready queue: non-increasing acceleration factor, ties per
+/// `tie`. Exposed for reuse by the DAG-mode policy in
+/// `heteroprio-schedulers`.
+pub fn sorted_queue(instance: &Instance, ids: &[TaskId], tie: QueueTieBreak) -> VecDeque<TaskId> {
+    let mut q: Vec<TaskId> = ids.to_vec();
+    match tie {
+        QueueTieBreak::InsertionOrder => {
+            q.sort_by(|&a, &b| {
+                let ra = instance.task(a).accel_factor();
+                let rb = instance.task(b).accel_factor();
+                rb.total_cmp(&ra)
+            });
+        }
+        QueueTieBreak::Priority => {
+            q.sort_by(|&a, &b| {
+                let ta = instance.task(a);
+                let tb = instance.task(b);
+                let ra = ta.accel_factor();
+                let rb = tb.accel_factor();
+                rb.total_cmp(&ra).then_with(|| {
+                    // Equal ρ: for ρ >= 1 put high priority first (GPU side),
+                    // for ρ < 1 put low priority first (so the back of the
+                    // queue, served to CPUs, holds the highest priority).
+                    let ord = tb.priority.total_cmp(&ta.priority);
+                    if ra >= 1.0 { ord } else { ord.reverse() }
+                })
+                .then(a.cmp(&b))
+            });
+        }
+    }
+    q.into()
+}
+
+/// Run HeteroPrio (Algorithm 1) on an instance of independent tasks.
+pub fn heteroprio(
+    instance: &Instance,
+    platform: &Platform,
+    config: &HeteroPrioConfig,
+) -> HeteroPrioResult {
+    let ids: Vec<TaskId> = instance.ids().collect();
+    let mut sim = Sim::new(instance, platform, config);
+    sim.queue = sorted_queue(instance, &ids, config.queue_tie);
+    sim.run();
+    HeteroPrioResult {
+        schedule: sim.schedule,
+        first_idle: sim.first_idle,
+        spoliations: sim.spoliations,
+    }
+}
+
+/// Event-driven simulation state for Algorithm 1.
+struct Sim<'a> {
+    instance: &'a Instance,
+    platform: &'a Platform,
+    config: &'a HeteroPrioConfig,
+    queue: VecDeque<TaskId>,
+    running: Vec<Option<Running>>,
+    /// Event invalidation counters (bumped when a run is aborted).
+    generation: Vec<u64>,
+    /// Min-heap of (completion time, worker, generation).
+    events: BinaryHeap<Reverse<(F64Ord, u32, u64)>>,
+    idle: Vec<WorkerId>,
+    completed: usize,
+    schedule: Schedule,
+    first_idle: Option<f64>,
+    spoliations: usize,
+}
+
+impl<'a> Sim<'a> {
+    fn new(instance: &'a Instance, platform: &'a Platform, config: &'a HeteroPrioConfig) -> Self {
+        Sim {
+            instance,
+            platform,
+            config,
+            queue: VecDeque::new(),
+            running: vec![None; platform.workers()],
+            generation: vec![0; platform.workers()],
+            events: BinaryHeap::new(),
+            idle: platform.all_workers().collect(),
+            completed: 0,
+            schedule: Schedule::new(),
+            first_idle: None,
+            spoliations: 0,
+        }
+    }
+
+    fn worker_sort_key(&self, w: WorkerId) -> (u8, u32) {
+        let kind = self.platform.kind_of(w);
+        let class = match self.config.worker_order {
+            WorkerOrder::GpusFirst => match kind {
+                ResourceKind::Gpu => 0,
+                ResourceKind::Cpu => 1,
+            },
+            WorkerOrder::CpusFirst => match kind {
+                ResourceKind::Cpu => 0,
+                ResourceKind::Gpu => 1,
+            },
+            WorkerOrder::ById => 0,
+        };
+        (class, w.0)
+    }
+
+    fn start(&mut self, w: WorkerId, task: TaskId, now: f64) {
+        let dur = self.instance.task(task).time_on(self.platform.kind_of(w));
+        let end = now + dur;
+        self.running[w.index()] = Some(Running { task, start: now, end });
+        self.events.push(Reverse((F64Ord::new(end), w.0, self.generation[w.index()])));
+    }
+
+    /// Pick a spoliation victim for idle worker `w` at time `now`:
+    /// tasks running on the other class, in decreasing order of expected
+    /// completion time (ties per config), first one strictly improvable.
+    fn pick_victim(&self, w: WorkerId, now: f64) -> Option<WorkerId> {
+        let my_kind = self.platform.kind_of(w);
+        let mut candidates: Vec<(WorkerId, Running)> = self
+            .platform
+            .workers_of(my_kind.other())
+            .filter_map(|v| self.running[v.index()].map(|r| (v, r)))
+            .collect();
+        candidates.sort_by(|(_, a), (_, b)| {
+            b.end.total_cmp(&a.end).then_with(|| {
+                let ta = self.instance.task(a.task);
+                let tb = self.instance.task(b.task);
+                match self.config.spoliation_tie {
+                    SpoliationTieBreak::PriorityThenId => {
+                        tb.priority.total_cmp(&ta.priority).then(a.task.cmp(&b.task))
+                    }
+                    SpoliationTieBreak::IdAscending => a.task.cmp(&b.task),
+                    SpoliationTieBreak::IdDescending => b.task.cmp(&a.task),
+                }
+            })
+        });
+        for (v, r) in candidates {
+            let new_end = now + self.instance.task(r.task).time_on(my_kind);
+            if strictly_less(new_end, r.end) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Let every idle worker act (queue pop or spoliation) until no action is
+    /// possible at the current instant.
+    fn assign_fixpoint(&mut self, now: f64) {
+        loop {
+            let mut idle = std::mem::take(&mut self.idle);
+            idle.sort_by_key(|&w| self.worker_sort_key(w));
+            self.idle = idle;
+            let mut acted = false;
+            let mut still_idle: Vec<WorkerId> = Vec::new();
+            let mut newly_idle: Vec<WorkerId> = Vec::new();
+            let workers: Vec<WorkerId> = self.idle.drain(..).collect();
+            for w in workers {
+                let kind = self.platform.kind_of(w);
+                if let Some(task) = match kind {
+                    ResourceKind::Gpu => self.queue.pop_front(),
+                    ResourceKind::Cpu => self.queue.pop_back(),
+                } {
+                    self.start(w, task, now);
+                    acted = true;
+                    continue;
+                }
+                // Queue empty: this worker is (at least momentarily) idle.
+                if self.first_idle.is_none() {
+                    self.first_idle = Some(now);
+                }
+                if !self.config.disable_spoliation {
+                    if let Some(victim) = self.pick_victim(w, now) {
+                        let r = self.running[victim.index()].take().expect("victim running");
+                        self.generation[victim.index()] += 1; // invalidate its event
+                        self.schedule.aborted.push(TaskRun {
+                            task: r.task,
+                            worker: victim,
+                            start: r.start,
+                            end: now,
+                        });
+                        self.spoliations += 1;
+                        self.start(w, r.task, now);
+                        newly_idle.push(victim);
+                        acted = true;
+                        continue;
+                    }
+                }
+                still_idle.push(w);
+            }
+            self.idle = still_idle;
+            self.idle.extend(newly_idle);
+            if !acted {
+                return;
+            }
+        }
+    }
+
+    fn run(&mut self) {
+        let total = self.instance.len();
+        let mut now = 0.0;
+        self.assign_fixpoint(now);
+        while self.completed < total {
+            // Advance to the next valid completion event.
+            let (t, w) = loop {
+                let Reverse((F64Ord(t), w, generation)) =
+                    self.events.pop().expect("tasks remain but nothing is running");
+                if self.generation[w as usize] == generation {
+                    break (t, WorkerId(w));
+                }
+            };
+            debug_assert!(t >= now);
+            now = t;
+            self.complete(w, now);
+            // Drain any other completions at exactly the same instant so the
+            // idle set is processed coherently in configured order.
+            while let Some(&Reverse((F64Ord(t2), w2, g2))) = self.events.peek() {
+                if t2 == now && self.generation[w2 as usize] == g2 {
+                    self.events.pop();
+                    self.complete(WorkerId(w2), now);
+                } else if self.generation[w2 as usize] != g2 {
+                    self.events.pop();
+                } else {
+                    break;
+                }
+            }
+            self.assign_fixpoint(now);
+        }
+    }
+
+    fn complete(&mut self, w: WorkerId, now: f64) {
+        let r = self.running[w.index()].take().expect("completion of empty worker");
+        self.schedule.runs.push(TaskRun { task: r.task, worker: w, start: r.start, end: now });
+        self.completed += 1;
+        self.idle.push(w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Task;
+    use crate::time::{approx_eq, PHI};
+
+    fn run(instance: &Instance, platform: &Platform) -> HeteroPrioResult {
+        let res = heteroprio(instance, platform, &HeteroPrioConfig::new());
+        res.schedule.validate(instance, platform).expect("valid schedule");
+        res
+    }
+
+    #[test]
+    fn single_task_runs_on_best_fit_side_of_queue() {
+        // One GPU-friendly task: with one CPU and one GPU idle, GPUs-first
+        // order hands it to the GPU.
+        let inst = Instance::from_times(&[(10.0, 1.0)]);
+        let plat = Platform::new(1, 1);
+        let res = run(&inst, &plat);
+        assert!(approx_eq(res.makespan(), 1.0));
+    }
+
+    #[test]
+    fn gpu_takes_front_cpu_takes_back() {
+        // Two tasks, one accelerated (ρ=10), one decelerated (ρ=0.1).
+        let inst = Instance::from_times(&[(10.0, 1.0), (1.0, 10.0)]);
+        let plat = Platform::new(1, 1);
+        let res = run(&inst, &plat);
+        assert!(approx_eq(res.makespan(), 1.0));
+        let gpu_run = res.schedule.run_of(TaskId(0)).unwrap();
+        assert_eq!(plat.kind_of(gpu_run.worker), ResourceKind::Gpu);
+        let cpu_run = res.schedule.run_of(TaskId(1)).unwrap();
+        assert_eq!(plat.kind_of(cpu_run.worker), ResourceKind::Cpu);
+    }
+
+    #[test]
+    fn spoliation_rescues_bad_cpu_assignment() {
+        // Two tasks both much faster on GPU. The list phase puts one on the
+        // CPU (it never idles while the queue is non-empty); once the GPU
+        // finishes its own task it spoliates the CPU's.
+        let inst = Instance::from_times(&[(100.0, 1.0), (100.0, 1.0)]);
+        let plat = Platform::new(1, 1);
+        let res = run(&inst, &plat);
+        assert_eq!(res.spoliations, 1);
+        assert!(approx_eq(res.makespan(), 2.0), "makespan {}", res.makespan());
+        assert_eq!(res.schedule.aborted.len(), 1);
+    }
+
+    #[test]
+    fn without_spoliation_list_schedule_can_be_terrible() {
+        // Same instance without spoliation: CPU grinds for 100 time units.
+        let inst = Instance::from_times(&[(100.0, 1.0), (100.0, 1.0)]);
+        let plat = Platform::new(1, 1);
+        let res = heteroprio(&inst, &plat, &HeteroPrioConfig::without_spoliation());
+        res.schedule.validate(&inst, &plat).unwrap();
+        assert!(approx_eq(res.makespan(), 100.0));
+    }
+
+    #[test]
+    fn theorem8_instance_reaches_phi() {
+        // X: (p=φ, q=1), Y: (p=1, q=1/φ); both ρ=φ. Adversarial insertion
+        // order [Y, X]: GPU takes Y from the front, CPU takes X from the
+        // back. GPU idles at 1/φ but spoliating X would not strictly improve
+        // its completion (1/φ + 1 = φ). Makespan φ while OPT = 1.
+        let inst = Instance::from_times(&[(1.0, 1.0 / PHI), (PHI, 1.0)]);
+        let plat = Platform::new(1, 1);
+        let cfg = HeteroPrioConfig {
+            queue_tie: QueueTieBreak::InsertionOrder,
+            ..HeteroPrioConfig::new()
+        };
+        let res = heteroprio(&inst, &plat, &cfg);
+        res.schedule.validate(&inst, &plat).unwrap();
+        assert!(approx_eq(res.makespan(), PHI), "makespan {}", res.makespan());
+        assert_eq!(res.spoliations, 0);
+    }
+
+    #[test]
+    fn theorem8_other_tie_order_is_optimal() {
+        // Insertion order [X, Y] instead: GPU takes X, CPU takes Y → OPT = 1.
+        let inst = Instance::from_times(&[(PHI, 1.0), (1.0, 1.0 / PHI)]);
+        let plat = Platform::new(1, 1);
+        let cfg = HeteroPrioConfig {
+            queue_tie: QueueTieBreak::InsertionOrder,
+            ..HeteroPrioConfig::new()
+        };
+        let res = heteroprio(&inst, &plat, &cfg);
+        assert!(approx_eq(res.makespan(), 1.0));
+    }
+
+    #[test]
+    fn first_idle_is_recorded() {
+        let inst = Instance::from_times(&[(2.0, 1.0)]);
+        let plat = Platform::new(1, 1);
+        let res = run(&inst, &plat);
+        // One of the two workers has nothing to do at t=0.
+        assert_eq!(res.first_idle, Some(0.0));
+    }
+
+    #[test]
+    fn busy_platform_has_late_first_idle() {
+        // 2 CPUs + 1 GPU, 3 equal tasks of unit length on each resource:
+        // everyone busy until t=1.
+        let inst = Instance::from_times(&[(1.0, 1.0), (1.0, 1.0), (1.0, 1.0)]);
+        let plat = Platform::new(2, 1);
+        let res = run(&inst, &plat);
+        assert_eq!(res.first_idle, Some(1.0));
+        assert!(approx_eq(res.makespan(), 1.0));
+    }
+
+    #[test]
+    fn priority_tie_break_orders_queue_both_ways() {
+        // Accelerated ties (ρ=2): higher priority must sit closer to the
+        // front. Decelerated ties (ρ=0.5): higher priority closer to the back.
+        let mut inst = Instance::new();
+        let a = inst.push(Task::new(2.0, 1.0).with_priority(1.0));
+        let b = inst.push(Task::new(2.0, 1.0).with_priority(5.0));
+        let c = inst.push(Task::new(1.0, 2.0).with_priority(1.0));
+        let d = inst.push(Task::new(1.0, 2.0).with_priority(5.0));
+        let q = sorted_queue(&inst, &[a, b, c, d], QueueTieBreak::Priority);
+        assert_eq!(Vec::from(q), vec![b, a, c, d]);
+    }
+
+    #[test]
+    fn spoliation_cascade_terminates() {
+        // A pathological soup of tasks with wildly asymmetric times; mostly a
+        // termination / validity smoke test.
+        let inst = Instance::from_times(&[
+            (50.0, 1.0),
+            (50.0, 1.0),
+            (1.0, 50.0),
+            (1.0, 50.0),
+            (10.0, 10.0),
+            (3.0, 7.0),
+            (7.0, 3.0),
+        ]);
+        let plat = Platform::new(2, 2);
+        let res = run(&inst, &plat);
+        assert!(res.makespan() > 0.0);
+    }
+
+    #[test]
+    fn all_tasks_complete_exactly_once_many_workers() {
+        let tasks: Vec<(f64, f64)> = (1..=40).map(|i| (i as f64, (41 - i) as f64)).collect();
+        let inst = Instance::from_times(&tasks);
+        let plat = Platform::new(6, 3);
+        let res = run(&inst, &plat);
+        assert_eq!(res.schedule.runs.len(), 40);
+    }
+
+    #[test]
+    fn cpus_first_changes_tie_resolution() {
+        // With one task and CPUs-first order, the CPU grabs it even though
+        // the GPU would be faster; the GPU then spoliates immediately at t=0,
+        // so makespan is still the GPU time but with one abort recorded.
+        let inst = Instance::from_times(&[(10.0, 1.0)]);
+        let plat = Platform::new(1, 1);
+        let cfg = HeteroPrioConfig {
+            worker_order: WorkerOrder::CpusFirst,
+            ..HeteroPrioConfig::new()
+        };
+        let res = heteroprio(&inst, &plat, &cfg);
+        res.schedule.validate(&inst, &plat).unwrap();
+        assert!(approx_eq(res.makespan(), 1.0));
+        assert_eq!(res.spoliations, 1);
+    }
+}

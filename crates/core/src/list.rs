@@ -1,0 +1,121 @@
+//! Classic Graham list scheduling on identical machines.
+//!
+//! Used by Lemma 6 (any list schedule of tasks that are "large" on the other
+//! resource is at most `(2 - 1/n) · OPT`), by the Figure 4 reproduction
+//! (optimal vs worst-case list schedule of the `T2` set on `n = 6k`
+//! homogeneous processors), and as a building block of DualHP's per-class
+//! packing.
+
+use crate::time::F64Ord;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of a homogeneous list schedule.
+#[derive(Clone, Debug)]
+pub struct ListSchedule {
+    /// `assignment[i]` = machine of the i-th task (in list order).
+    pub assignment: Vec<usize>,
+    /// `start[i]` of the i-th task (in list order).
+    pub starts: Vec<f64>,
+    /// Final load of each machine.
+    pub loads: Vec<f64>,
+}
+
+impl ListSchedule {
+    pub fn makespan(&self) -> f64 {
+        self.loads.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Greedy list schedule: tasks are taken in list order; each goes to the
+/// machine that becomes available first (ties to the lowest machine id),
+/// which is exactly "the next free machine takes the next task".
+pub fn list_schedule(durations: &[f64], machines: usize) -> ListSchedule {
+    assert!(machines > 0, "need at least one machine");
+    let mut heap: BinaryHeap<Reverse<(F64Ord, usize)>> =
+        (0..machines).map(|m| Reverse((F64Ord::new(0.0), m))).collect();
+    let mut assignment = Vec::with_capacity(durations.len());
+    let mut starts = Vec::with_capacity(durations.len());
+    let mut loads = vec![0.0; machines];
+    for &d in durations {
+        assert!(d >= 0.0 && d.is_finite(), "durations must be non-negative");
+        let Reverse((F64Ord(free_at), m)) = heap.pop().expect("non-empty heap");
+        assignment.push(m);
+        starts.push(free_at);
+        loads[m] = free_at + d;
+        heap.push(Reverse((F64Ord::new(loads[m]), m)));
+    }
+    ListSchedule { assignment, starts, loads }
+}
+
+/// Makespan of the Longest-Processing-Time-first list schedule, a classic
+/// `4/3 - 1/(3n)` approximation for identical machines. Used as a reference
+/// point in tests and by the exact solver's upper bound.
+pub fn lpt_makespan(durations: &[f64], machines: usize) -> f64 {
+    let mut sorted = durations.to_vec();
+    sorted.sort_by(|a, b| b.total_cmp(a));
+    list_schedule(&sorted, machines).makespan()
+}
+
+/// Simple lower bound for identical machines: max(Σd / n, max d).
+pub fn homogeneous_lower_bound(durations: &[f64], machines: usize) -> f64 {
+    let total: f64 = durations.iter().sum();
+    let longest = durations.iter().copied().fold(0.0, f64::max);
+    (total / machines as f64).max(longest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::approx_eq;
+
+    #[test]
+    fn single_machine_sums() {
+        let ls = list_schedule(&[1.0, 2.0, 3.0], 1);
+        assert!(approx_eq(ls.makespan(), 6.0));
+        assert_eq!(ls.assignment, vec![0, 0, 0]);
+        assert_eq!(ls.starts, vec![0.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn greedy_balances_two_machines() {
+        let ls = list_schedule(&[3.0, 3.0, 2.0, 2.0], 2);
+        assert!(approx_eq(ls.makespan(), 5.0));
+    }
+
+    #[test]
+    fn graham_worst_case_example() {
+        // Classic: 2 machines, tasks [1,1,2] in list order → makespan 3,
+        // optimal 2. Ratio 3/2 = 2 - 1/2.
+        let ls = list_schedule(&[1.0, 1.0, 2.0], 2);
+        assert!(approx_eq(ls.makespan(), 3.0));
+        assert!(approx_eq(lpt_makespan(&[1.0, 1.0, 2.0], 2), 2.0));
+    }
+
+    #[test]
+    fn list_schedule_respects_graham_bound() {
+        // Any list order is within (2 - 1/n) of the lower bound.
+        let durations: Vec<f64> = (1..=30).map(|i| ((i * 7919) % 13 + 1) as f64).collect();
+        for &n in &[1usize, 2, 3, 5, 8] {
+            let lb = homogeneous_lower_bound(&durations, n);
+            let ms = list_schedule(&durations, n).makespan();
+            let bound = (2.0 - 1.0 / n as f64) * lb;
+            assert!(ms <= bound + 1e-9, "n={n}: {ms} > {bound}");
+        }
+    }
+
+    #[test]
+    fn lpt_never_worse_than_arbitrary_order_here() {
+        let durations = vec![5.0, 1.0, 1.0, 1.0, 4.0, 3.0];
+        let arbitrary = list_schedule(&durations, 2).makespan();
+        let lpt = lpt_makespan(&durations, 2);
+        assert!(lpt <= arbitrary + 1e-12);
+    }
+
+    #[test]
+    fn empty_task_list_is_empty_schedule() {
+        let ls = list_schedule(&[], 3);
+        assert_eq!(ls.makespan(), 0.0);
+        assert!(ls.assignment.is_empty());
+    }
+}

@@ -1,0 +1,345 @@
+//! The scheduling model of the paper: independent tasks with unrelated
+//! processing times on two resource classes (CPUs and GPUs).
+
+use std::fmt;
+
+/// Identifier of a task; an index into the owning [`Instance`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// One of the two unrelated resource classes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ResourceKind {
+    Cpu,
+    Gpu,
+}
+
+impl ResourceKind {
+    /// The other resource class (spoliation always crosses classes).
+    #[inline]
+    pub fn other(self) -> ResourceKind {
+        match self {
+            ResourceKind::Cpu => ResourceKind::Gpu,
+            ResourceKind::Gpu => ResourceKind::Cpu,
+        }
+    }
+
+    pub const BOTH: [ResourceKind; 2] = [ResourceKind::Cpu, ResourceKind::Gpu];
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceKind::Cpu => write!(f, "CPU"),
+            ResourceKind::Gpu => write!(f, "GPU"),
+        }
+    }
+}
+
+/// Identifier of a worker (a single CPU core or a single GPU).
+///
+/// Workers `0..platform.cpus` are CPUs; the rest are GPUs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WorkerId(pub u32);
+
+impl WorkerId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "W{}", self.0)
+    }
+}
+
+/// A heterogeneous node: `m` CPUs and `n` GPUs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Platform {
+    pub cpus: usize,
+    pub gpus: usize,
+}
+
+impl Platform {
+    /// A platform with `cpus` CPU workers and `gpus` GPU workers.
+    ///
+    /// Panics if either class is empty: the model (and every bound in the
+    /// paper) assumes both classes are present.
+    pub fn new(cpus: usize, gpus: usize) -> Self {
+        assert!(cpus > 0, "platform needs at least one CPU");
+        assert!(gpus > 0, "platform needs at least one GPU");
+        Platform { cpus, gpus }
+    }
+
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.cpus + self.gpus
+    }
+
+    #[inline]
+    pub fn kind_of(&self, w: WorkerId) -> ResourceKind {
+        if w.index() < self.cpus {
+            ResourceKind::Cpu
+        } else {
+            ResourceKind::Gpu
+        }
+    }
+
+    #[inline]
+    pub fn count(&self, kind: ResourceKind) -> usize {
+        match kind {
+            ResourceKind::Cpu => self.cpus,
+            ResourceKind::Gpu => self.gpus,
+        }
+    }
+
+    /// All worker ids of one class, in increasing id order.
+    pub fn workers_of(&self, kind: ResourceKind) -> impl Iterator<Item = WorkerId> + '_ {
+        let (lo, hi) = match kind {
+            ResourceKind::Cpu => (0, self.cpus),
+            ResourceKind::Gpu => (self.cpus, self.workers()),
+        };
+        (lo..hi).map(|i| WorkerId(i as u32))
+    }
+
+    /// All worker ids, CPUs first.
+    pub fn all_workers(&self) -> impl Iterator<Item = WorkerId> + '_ {
+        (0..self.workers()).map(|i| WorkerId(i as u32))
+    }
+}
+
+/// A task with unrelated processing times on the two classes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Task {
+    /// Processing time on a single CPU core (`p_i` in the paper).
+    pub cpu_time: f64,
+    /// Processing time on a single GPU (`q_i` in the paper).
+    pub gpu_time: f64,
+    /// Offline priority (e.g. a bottom-level rank); used only for
+    /// tie-breaking. Larger means more urgent. Defaults to 0.
+    pub priority: f64,
+}
+
+impl Task {
+    pub fn new(cpu_time: f64, gpu_time: f64) -> Self {
+        assert!(
+            cpu_time > 0.0 && cpu_time.is_finite(),
+            "cpu_time must be positive and finite, got {cpu_time}"
+        );
+        assert!(
+            gpu_time > 0.0 && gpu_time.is_finite(),
+            "gpu_time must be positive and finite, got {gpu_time}"
+        );
+        Task { cpu_time, gpu_time, priority: 0.0 }
+    }
+
+    pub fn with_priority(mut self, priority: f64) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Acceleration factor ρ = p/q. May be below 1 when the task runs
+    /// faster on CPU than on GPU.
+    #[inline]
+    pub fn accel_factor(&self) -> f64 {
+        self.cpu_time / self.gpu_time
+    }
+
+    /// Processing time on the given resource class.
+    #[inline]
+    pub fn time_on(&self, kind: ResourceKind) -> f64 {
+        match kind {
+            ResourceKind::Cpu => self.cpu_time,
+            ResourceKind::Gpu => self.gpu_time,
+        }
+    }
+
+    /// `min(p, q)` — a trivial lower bound on the task's completion time.
+    #[inline]
+    pub fn min_time(&self) -> f64 {
+        self.cpu_time.min(self.gpu_time)
+    }
+
+    /// `max(p, q)`.
+    #[inline]
+    pub fn max_time(&self) -> f64 {
+        self.cpu_time.max(self.gpu_time)
+    }
+}
+
+/// A set of independent tasks (the instance `I` of the paper).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Instance {
+    tasks: Vec<Task>,
+}
+
+impl Instance {
+    pub fn new() -> Self {
+        Instance { tasks: Vec::new() }
+    }
+
+    pub fn from_tasks(tasks: Vec<Task>) -> Self {
+        Instance { tasks }
+    }
+
+    /// Convenience constructor from `(cpu_time, gpu_time)` pairs.
+    pub fn from_times(times: &[(f64, f64)]) -> Self {
+        Instance { tasks: times.iter().map(|&(p, q)| Task::new(p, q)).collect() }
+    }
+
+    /// Append a task, returning its id.
+    pub fn push(&mut self, task: Task) -> TaskId {
+        let id = TaskId(u32::try_from(self.tasks.len()).expect("too many tasks"));
+        self.tasks.push(task);
+        id
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    #[inline]
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    #[inline]
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Update the tie-breaking priority of one task.
+    #[inline]
+    pub fn set_priority(&mut self, id: TaskId, priority: f64) {
+        self.tasks[id.index()].priority = priority;
+    }
+
+    pub fn ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.tasks.len()).map(|i| TaskId(i as u32))
+    }
+
+    /// Total work if every task ran on its CPU time.
+    pub fn total_cpu_work(&self) -> f64 {
+        self.tasks.iter().map(|t| t.cpu_time).sum()
+    }
+
+    /// Total work if every task ran on its GPU time.
+    pub fn total_gpu_work(&self) -> f64 {
+        self.tasks.iter().map(|t| t.gpu_time).sum()
+    }
+
+    /// `max_i min(p_i, q_i)` — a trivial lower bound on the optimal makespan
+    /// (each task must run somewhere, at best on its favourite resource).
+    pub fn max_min_time(&self) -> f64 {
+        self.tasks.iter().map(Task::min_time).fold(0.0, f64::max)
+    }
+
+    /// Restrict to a subset of tasks (preserving times and priorities).
+    /// Returns the sub-instance and the mapping from new ids to old ids.
+    pub fn subset(&self, ids: &[TaskId]) -> (Instance, Vec<TaskId>) {
+        let tasks = ids.iter().map(|&id| *self.task(id)).collect();
+        (Instance { tasks }, ids.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_worker_classes() {
+        let p = Platform::new(3, 2);
+        assert_eq!(p.workers(), 5);
+        assert_eq!(p.kind_of(WorkerId(0)), ResourceKind::Cpu);
+        assert_eq!(p.kind_of(WorkerId(2)), ResourceKind::Cpu);
+        assert_eq!(p.kind_of(WorkerId(3)), ResourceKind::Gpu);
+        assert_eq!(p.kind_of(WorkerId(4)), ResourceKind::Gpu);
+        let cpus: Vec<_> = p.workers_of(ResourceKind::Cpu).collect();
+        assert_eq!(cpus, vec![WorkerId(0), WorkerId(1), WorkerId(2)]);
+        let gpus: Vec<_> = p.workers_of(ResourceKind::Gpu).collect();
+        assert_eq!(gpus, vec![WorkerId(3), WorkerId(4)]);
+        assert_eq!(p.count(ResourceKind::Cpu), 3);
+        assert_eq!(p.count(ResourceKind::Gpu), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CPU")]
+    fn platform_rejects_zero_cpus() {
+        let _ = Platform::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn platform_rejects_zero_gpus() {
+        let _ = Platform::new(1, 0);
+    }
+
+    #[test]
+    fn task_accessors() {
+        let t = Task::new(28.8, 1.0);
+        assert_eq!(t.accel_factor(), 28.8);
+        assert_eq!(t.time_on(ResourceKind::Cpu), 28.8);
+        assert_eq!(t.time_on(ResourceKind::Gpu), 1.0);
+        assert_eq!(t.min_time(), 1.0);
+        assert_eq!(t.max_time(), 28.8);
+    }
+
+    #[test]
+    fn resource_kind_other_flips() {
+        assert_eq!(ResourceKind::Cpu.other(), ResourceKind::Gpu);
+        assert_eq!(ResourceKind::Gpu.other(), ResourceKind::Cpu);
+    }
+
+    #[test]
+    #[should_panic(expected = "cpu_time")]
+    fn task_rejects_nonpositive_time() {
+        let _ = Task::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn instance_aggregates() {
+        let inst = Instance::from_times(&[(2.0, 1.0), (3.0, 6.0)]);
+        assert_eq!(inst.len(), 2);
+        assert_eq!(inst.total_cpu_work(), 5.0);
+        assert_eq!(inst.total_gpu_work(), 7.0);
+        // min times are 1.0 and 3.0
+        assert_eq!(inst.max_min_time(), 3.0);
+    }
+
+    #[test]
+    fn instance_subset_preserves_tasks() {
+        let inst = Instance::from_times(&[(1.0, 2.0), (3.0, 4.0), (5.0, 6.0)]);
+        let (sub, map) = inst.subset(&[TaskId(2), TaskId(0)]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.task(TaskId(0)).cpu_time, 5.0);
+        assert_eq!(sub.task(TaskId(1)).cpu_time, 1.0);
+        assert_eq!(map, vec![TaskId(2), TaskId(0)]);
+    }
+}

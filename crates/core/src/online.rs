@@ -1,0 +1,346 @@
+//! Online HeteroPrio: independent tasks arriving over time.
+//!
+//! The paper analyses the clairvoyant case where the whole set is ready at
+//! time zero (and its §6.2 DAG experiments release tasks through dependency
+//! resolution). A third natural setting — studied for two resource classes
+//! by Imreh \[14\] — is *release dates*: task `i` becomes known and ready at
+//! time `r_i`. HeteroPrio extends verbatim: arrivals are inserted into the
+//! ρ-sorted queue, GPUs keep popping the most accelerated end, CPUs the
+//! least accelerated end, and idle workers attempt spoliation when the
+//! queue is empty.
+//!
+//! With all `r_i = 0` this reproduces [`crate::heteroprio::heteroprio`]
+//! exactly (tested below).
+
+use crate::heteroprio::{HeteroPrioConfig, HeteroPrioResult, SpoliationTieBreak};
+use crate::model::{Instance, Platform, ResourceKind, TaskId, WorkerId};
+use crate::queue::AffinityQueue;
+use crate::schedule::{Schedule, TaskRun};
+use crate::time::{strictly_less, F64Ord};
+use crate::WorkerOrder;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Clone, Copy, Debug)]
+struct Running {
+    task: TaskId,
+    start: f64,
+    end: f64,
+}
+
+/// Run HeteroPrio with per-task release dates (`releases[i]` for task `i`).
+///
+/// Panics if `releases.len() != instance.len()` or any release is negative.
+pub fn heteroprio_online(
+    instance: &Instance,
+    releases: &[f64],
+    platform: &Platform,
+    config: &HeteroPrioConfig,
+) -> HeteroPrioResult {
+    assert_eq!(releases.len(), instance.len(), "one release date per task");
+    assert!(
+        releases.iter().all(|&r| r >= 0.0 && r.is_finite()),
+        "release dates must be non-negative and finite"
+    );
+    let mut sim = OnlineSim::new(instance, platform, config);
+    sim.run(releases);
+    HeteroPrioResult {
+        schedule: sim.schedule,
+        first_idle: sim.first_idle,
+        spoliations: sim.spoliations,
+    }
+}
+
+struct OnlineSim<'a> {
+    instance: &'a Instance,
+    platform: &'a Platform,
+    config: &'a HeteroPrioConfig,
+    queue: AffinityQueue,
+    running: Vec<Option<Running>>,
+    generation: Vec<u64>,
+    completions: BinaryHeap<Reverse<(F64Ord, u32, u64)>>,
+    idle: Vec<WorkerId>,
+    completed: usize,
+    schedule: Schedule,
+    first_idle: Option<f64>,
+    spoliations: usize,
+}
+
+impl<'a> OnlineSim<'a> {
+    fn new(instance: &'a Instance, platform: &'a Platform, config: &'a HeteroPrioConfig) -> Self {
+        OnlineSim {
+            instance,
+            platform,
+            config,
+            queue: AffinityQueue::new(config.queue_tie),
+            running: vec![None; platform.workers()],
+            generation: vec![0; platform.workers()],
+            completions: BinaryHeap::new(),
+            idle: platform.all_workers().collect(),
+            completed: 0,
+            schedule: Schedule::new(),
+            first_idle: None,
+            spoliations: 0,
+        }
+    }
+
+    fn enqueue(&mut self, task: TaskId) {
+        self.queue.push(self.instance, task);
+    }
+
+    fn start(&mut self, w: WorkerId, task: TaskId, now: f64) {
+        let dur = self.instance.task(task).time_on(self.platform.kind_of(w));
+        let end = now + dur;
+        self.running[w.index()] = Some(Running { task, start: now, end });
+        self.completions.push(Reverse((F64Ord::new(end), w.0, self.generation[w.index()])));
+    }
+
+    fn worker_sort_key(&self, w: WorkerId) -> (u8, u32) {
+        let kind = self.platform.kind_of(w);
+        let class = match self.config.worker_order {
+            WorkerOrder::GpusFirst => (kind == ResourceKind::Cpu) as u8,
+            WorkerOrder::CpusFirst => (kind == ResourceKind::Gpu) as u8,
+            WorkerOrder::ById => 0,
+        };
+        (class, w.0)
+    }
+
+    fn pick_victim(&self, w: WorkerId, now: f64) -> Option<WorkerId> {
+        let my_kind = self.platform.kind_of(w);
+        let mut candidates: Vec<(WorkerId, Running)> = self
+            .platform
+            .workers_of(my_kind.other())
+            .filter_map(|v| self.running[v.index()].map(|r| (v, r)))
+            .collect();
+        candidates.sort_by(|(_, a), (_, b)| {
+            b.end.total_cmp(&a.end).then_with(|| {
+                let ta = self.instance.task(a.task);
+                let tb = self.instance.task(b.task);
+                match self.config.spoliation_tie {
+                    SpoliationTieBreak::PriorityThenId => {
+                        tb.priority.total_cmp(&ta.priority).then(a.task.cmp(&b.task))
+                    }
+                    SpoliationTieBreak::IdAscending => a.task.cmp(&b.task),
+                    SpoliationTieBreak::IdDescending => b.task.cmp(&a.task),
+                }
+            })
+        });
+        for (v, r) in candidates {
+            let new_end = now + self.instance.task(r.task).time_on(my_kind);
+            if strictly_less(new_end, r.end) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn assign_fixpoint(&mut self, now: f64) {
+        loop {
+            let mut idle = std::mem::take(&mut self.idle);
+            idle.sort_by_key(|&w| self.worker_sort_key(w));
+            let mut acted = false;
+            let mut still_idle = Vec::new();
+            let mut newly_idle = Vec::new();
+            for w in idle {
+                if let Some(task) = self.queue.pop(self.platform.kind_of(w)) {
+                    self.start(w, task, now);
+                    acted = true;
+                    continue;
+                }
+                if self.first_idle.is_none() {
+                    self.first_idle = Some(now);
+                }
+                if !self.config.disable_spoliation {
+                    if let Some(victim) = self.pick_victim(w, now) {
+                        let r = self.running[victim.index()].take().expect("victim running");
+                        self.generation[victim.index()] += 1;
+                        self.schedule.aborted.push(TaskRun {
+                            task: r.task,
+                            worker: victim,
+                            start: r.start,
+                            end: now,
+                        });
+                        self.spoliations += 1;
+                        self.start(w, r.task, now);
+                        newly_idle.push(victim);
+                        acted = true;
+                        continue;
+                    }
+                }
+                still_idle.push(w);
+            }
+            self.idle = still_idle;
+            self.idle.extend(newly_idle);
+            if !acted {
+                return;
+            }
+        }
+    }
+
+    fn complete(&mut self, w: WorkerId, now: f64) {
+        let r = self.running[w.index()].take().expect("completion of idle worker");
+        self.schedule.runs.push(TaskRun { task: r.task, worker: w, start: r.start, end: now });
+        self.completed += 1;
+        self.idle.push(w);
+    }
+
+    fn run(&mut self, releases: &[f64]) {
+        let total = self.instance.len();
+        // Arrivals sorted by (release, id): a second event stream.
+        let mut arrivals: Vec<TaskId> = self.instance.ids().collect();
+        arrivals.sort_by(|&a, &b| {
+            releases[a.index()].total_cmp(&releases[b.index()]).then(a.cmp(&b))
+        });
+        let mut next_arrival = 0usize;
+        let mut now = 0.0;
+
+        // Admit everything released at time zero.
+        while next_arrival < total && releases[arrivals[next_arrival].index()] <= now {
+            let task = arrivals[next_arrival];
+            self.enqueue(task);
+            next_arrival += 1;
+        }
+        self.assign_fixpoint(now);
+
+        while self.completed < total {
+            // Next event: the earlier of next completion and next arrival.
+            let next_completion = loop {
+                match self.completions.peek() {
+                    Some(&Reverse((F64Ord(t), w, generation))) => {
+                        if self.generation[w as usize] == generation {
+                            break Some(t);
+                        }
+                        self.completions.pop();
+                    }
+                    None => break None,
+                }
+            };
+            let next_release = (next_arrival < total)
+                .then(|| releases[arrivals[next_arrival].index()]);
+            now = match (next_completion, next_release) {
+                (Some(c), Some(r)) => c.min(r),
+                (Some(c), None) => c,
+                (None, Some(r)) => r,
+                (None, None) => {
+                    unreachable!("tasks remain but nothing is running or arriving")
+                }
+            };
+            // Process all arrivals at `now`.
+            while next_arrival < total && releases[arrivals[next_arrival].index()] <= now {
+                let task = arrivals[next_arrival];
+                self.enqueue(task);
+                next_arrival += 1;
+            }
+            // Process all completions at `now`.
+            while let Some(&Reverse((F64Ord(t), w, generation))) = self.completions.peek() {
+                if self.generation[w as usize] != generation {
+                    self.completions.pop();
+                } else if t == now {
+                    self.completions.pop();
+                    self.complete(WorkerId(w), now);
+                } else {
+                    break;
+                }
+            }
+            self.assign_fixpoint(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heteroprio::heteroprio;
+    use crate::time::approx_eq;
+
+    #[test]
+    fn zero_releases_match_offline_heteroprio() {
+        let times: Vec<(f64, f64)> = (1..=15)
+            .map(|i| (((i * 31) % 9 + 1) as f64, ((i * 17) % 5 + 1) as f64))
+            .collect();
+        let inst = Instance::from_times(&times);
+        let releases = vec![0.0; inst.len()];
+        for platform in [Platform::new(1, 1), Platform::new(3, 2)] {
+            let cfg = HeteroPrioConfig::new();
+            let offline = heteroprio(&inst, &platform, &cfg);
+            let online = heteroprio_online(&inst, &releases, &platform, &cfg);
+            online.schedule.validate(&inst, &platform).unwrap();
+            assert!(
+                approx_eq(offline.makespan(), online.makespan()),
+                "offline {} vs online {}",
+                offline.makespan(),
+                online.makespan()
+            );
+            assert_eq!(offline.spoliations, online.spoliations);
+        }
+    }
+
+    #[test]
+    fn tasks_never_start_before_release() {
+        let inst = Instance::from_times(&[(2.0, 1.0), (2.0, 1.0), (1.0, 2.0)]);
+        let releases = vec![0.0, 5.0, 3.0];
+        let plat = Platform::new(1, 1);
+        let res = heteroprio_online(&inst, &releases, &plat, &HeteroPrioConfig::new());
+        res.schedule.validate(&inst, &plat).unwrap();
+        for run in res.schedule.runs.iter().chain(&res.schedule.aborted) {
+            assert!(
+                run.start >= releases[run.task.index()] - 1e-12,
+                "{} started at {} before release {}",
+                run.task,
+                run.start,
+                releases[run.task.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn staggered_arrivals_create_gaps() {
+        // One task arriving late: the machine idles until it lands.
+        let inst = Instance::from_times(&[(1.0, 1.0)]);
+        let releases = vec![10.0];
+        let plat = Platform::new(1, 1);
+        let res = heteroprio_online(&inst, &releases, &plat, &HeteroPrioConfig::new());
+        assert!(approx_eq(res.makespan(), 11.0), "{}", res.makespan());
+    }
+
+    #[test]
+    fn late_gpu_friendly_task_gets_spoliated_onto_gpu() {
+        // The CPU grabs a GPU-friendly task arriving while the GPU is busy;
+        // when the GPU frees up it spoliates.
+        let inst = Instance::from_times(&[(10.0, 2.0), (50.0, 2.0)]);
+        let releases = vec![0.0, 1.0];
+        let plat = Platform::new(1, 1);
+        let res = heteroprio_online(&inst, &releases, &plat, &HeteroPrioConfig::new());
+        res.schedule.validate(&inst, &plat).unwrap();
+        assert_eq!(res.spoliations, 1);
+        // GPU: T0 [0,2], then T1 spoliated to [2,4].
+        assert!(approx_eq(res.makespan(), 4.0), "{}", res.makespan());
+    }
+
+    #[test]
+    fn arrival_while_idle_is_picked_up_immediately() {
+        let inst = Instance::from_times(&[(4.0, 4.0), (1.0, 1.0)]);
+        let releases = vec![0.0, 2.0];
+        let plat = Platform::new(1, 1);
+        let res = heteroprio_online(&inst, &releases, &plat, &HeteroPrioConfig::new());
+        let late = res.schedule.run_of(TaskId(1)).unwrap();
+        assert!(approx_eq(late.start, 2.0), "{}", late.start);
+    }
+
+    #[test]
+    #[should_panic(expected = "one release date per task")]
+    fn mismatched_release_length_panics() {
+        let inst = Instance::from_times(&[(1.0, 1.0)]);
+        let plat = Platform::new(1, 1);
+        let _ = heteroprio_online(&inst, &[], &plat, &HeteroPrioConfig::new());
+    }
+
+    #[test]
+    fn makespan_at_least_last_release_plus_min_time() {
+        let inst = Instance::from_times(&[(3.0, 6.0), (2.0, 4.0)]);
+        let releases = vec![0.0, 7.0];
+        let plat = Platform::new(2, 1);
+        let res = heteroprio_online(&inst, &releases, &plat, &HeteroPrioConfig::new());
+        assert!(res.makespan() >= 7.0 + 2.0 - 1e-9);
+    }
+}

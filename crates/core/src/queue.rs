@@ -1,0 +1,152 @@
+//! The affinity-ordered double-ended ready queue at HeteroPrio's heart.
+//!
+//! Tasks are ordered by non-increasing acceleration factor; GPUs pop from
+//! the front (most accelerated), CPUs from the back. Ties follow
+//! [`QueueTieBreak`]: the paper's priority rule (§2.2) keeps the
+//! highest-priority task closest to the end of the queue served by the
+//! resource class that wants it, falling back to insertion order.
+//!
+//! Used by the independent-task algorithm, the online (release-dates)
+//! variant, and the DAG-mode policy in `heteroprio-schedulers`.
+
+use crate::heteroprio::QueueTieBreak;
+use crate::model::{Instance, ResourceKind, TaskId};
+use crate::time::F64Ord;
+use std::collections::BTreeSet;
+
+/// Key ordering: ascending = the GPU end of the queue.
+type Key = (F64Ord, F64Ord, u64, TaskId);
+
+/// A dynamic ready queue ordered by acceleration factor.
+#[derive(Clone, Debug, Default)]
+pub struct AffinityQueue {
+    tie: QueueTieBreak,
+    set: BTreeSet<Key>,
+    seq: u64,
+}
+
+impl AffinityQueue {
+    pub fn new(tie: QueueTieBreak) -> Self {
+        AffinityQueue { tie, set: BTreeSet::new(), seq: 0 }
+    }
+
+    fn key(&mut self, instance: &Instance, task: TaskId) -> Key {
+        let t = instance.task(task);
+        let rho = t.accel_factor();
+        let tie = match self.tie {
+            QueueTieBreak::Priority => {
+                if rho >= 1.0 {
+                    -t.priority
+                } else {
+                    t.priority
+                }
+            }
+            QueueTieBreak::InsertionOrder => 0.0,
+        };
+        let seq = self.seq;
+        self.seq += 1;
+        (F64Ord::new(-rho), F64Ord::new(tie), seq, task)
+    }
+
+    /// Insert a ready task.
+    pub fn push(&mut self, instance: &Instance, task: TaskId) {
+        let key = self.key(instance, task);
+        self.set.insert(key);
+    }
+
+    /// Pop the task best suited to a worker of class `kind`: the most
+    /// accelerated task for a GPU, the least accelerated for a CPU.
+    pub fn pop(&mut self, kind: ResourceKind) -> Option<TaskId> {
+        let popped = match kind {
+            ResourceKind::Gpu => self.set.pop_first(),
+            ResourceKind::Cpu => self.set.pop_last(),
+        };
+        popped.map(|(_, _, _, task)| task)
+    }
+
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Task;
+
+    #[test]
+    fn gpu_gets_most_accelerated_cpu_least() {
+        let inst = Instance::from_times(&[(8.0, 1.0), (1.0, 8.0), (2.0, 2.0)]);
+        let mut q = AffinityQueue::new(QueueTieBreak::Priority);
+        for id in inst.ids() {
+            q.push(&inst, id);
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(ResourceKind::Gpu), Some(TaskId(0)));
+        assert_eq!(q.pop(ResourceKind::Cpu), Some(TaskId(1)));
+        assert_eq!(q.pop(ResourceKind::Cpu), Some(TaskId(2)));
+        assert!(q.is_empty());
+        assert_eq!(q.pop(ResourceKind::Gpu), None);
+    }
+
+    #[test]
+    fn priority_rule_orients_ties_by_side() {
+        let mut inst = Instance::new();
+        let lo_acc = inst.push(Task::new(2.0, 1.0).with_priority(1.0));
+        let hi_acc = inst.push(Task::new(2.0, 1.0).with_priority(9.0));
+        let lo_dec = inst.push(Task::new(1.0, 2.0).with_priority(1.0));
+        let hi_dec = inst.push(Task::new(1.0, 2.0).with_priority(9.0));
+        let mut q = AffinityQueue::new(QueueTieBreak::Priority);
+        for id in inst.ids() {
+            q.push(&inst, id);
+        }
+        // Among accelerated ties the GPU sees the high priority first;
+        // among decelerated ties the CPU sees the high priority first.
+        assert_eq!(q.pop(ResourceKind::Gpu), Some(hi_acc));
+        assert_eq!(q.pop(ResourceKind::Gpu), Some(lo_acc));
+        assert_eq!(q.pop(ResourceKind::Cpu), Some(hi_dec));
+        assert_eq!(q.pop(ResourceKind::Cpu), Some(lo_dec));
+    }
+
+    #[test]
+    fn insertion_order_breaks_ties_fifo_per_side() {
+        let inst = Instance::from_times(&[(2.0, 1.0), (2.0, 1.0), (2.0, 1.0)]);
+        let mut q = AffinityQueue::new(QueueTieBreak::InsertionOrder);
+        for id in inst.ids() {
+            q.push(&inst, id);
+        }
+        assert_eq!(q.pop(ResourceKind::Gpu), Some(TaskId(0)));
+        assert_eq!(q.pop(ResourceKind::Cpu), Some(TaskId(2)));
+        assert_eq!(q.pop(ResourceKind::Gpu), Some(TaskId(1)));
+    }
+
+    #[test]
+    fn matches_sorted_queue_on_static_sets() {
+        use crate::heteroprio::sorted_queue;
+        let inst = Instance::from_times(&[
+            (3.0, 1.0),
+            (1.0, 3.0),
+            (4.0, 4.0),
+            (9.0, 1.0),
+            (2.0, 5.0),
+        ]);
+        let ids: Vec<TaskId> = inst.ids().collect();
+        for tie in [QueueTieBreak::Priority, QueueTieBreak::InsertionOrder] {
+            let reference = sorted_queue(&inst, &ids, tie);
+            let mut q = AffinityQueue::new(tie);
+            for &id in &ids {
+                q.push(&inst, id);
+            }
+            // Draining from the GPU side must reproduce the sorted order.
+            let mut drained = Vec::new();
+            while let Some(t) = q.pop(ResourceKind::Gpu) {
+                drained.push(t);
+            }
+            assert_eq!(drained, Vec::from(reference), "{tie:?}");
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! Schedule representation, validation and per-resource metrics.
+
+use crate::model::{Instance, Platform, ResourceKind, TaskId, WorkerId};
+use crate::time::{approx_eq, approx_le, tol, F64Ord};
+use std::fmt;
+
+/// One execution interval of a task on a worker.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TaskRun {
+    pub task: TaskId,
+    pub worker: WorkerId,
+    pub start: f64,
+    pub end: f64,
+}
+
+impl TaskRun {
+    #[inline]
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A complete schedule: every task has exactly one *completed* run; aborted
+/// runs (spoliation victims) are recorded separately and consume their
+/// worker's time without producing work.
+#[derive(Clone, Debug, Default)]
+pub struct Schedule {
+    pub runs: Vec<TaskRun>,
+    pub aborted: Vec<TaskRun>,
+}
+
+/// Why a schedule failed validation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScheduleError {
+    MissingTask(TaskId),
+    DuplicateTask(TaskId),
+    UnknownTask(TaskId),
+    UnknownWorker(WorkerId),
+    NegativeInterval { task: TaskId, start: f64, end: f64 },
+    WrongDuration { task: TaskId, expected: f64, actual: f64 },
+    Overlap { worker: WorkerId, first: TaskId, second: TaskId, at: f64 },
+    AbortedTooLong { task: TaskId, limit: f64, actual: f64 },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::MissingTask(t) => write!(f, "task {t} never completes"),
+            ScheduleError::DuplicateTask(t) => write!(f, "task {t} completes more than once"),
+            ScheduleError::UnknownTask(t) => write!(f, "run references unknown task {t}"),
+            ScheduleError::UnknownWorker(w) => write!(f, "run references unknown worker {w:?}"),
+            ScheduleError::NegativeInterval { task, start, end } => {
+                write!(f, "task {task} has an empty or reversed interval [{start}, {end}]")
+            }
+            ScheduleError::WrongDuration { task, expected, actual } => {
+                write!(f, "task {task} runs for {actual}, expected {expected}")
+            }
+            ScheduleError::Overlap { worker, first, second, at } => {
+                write!(f, "worker {worker:?} runs {first} and {second} simultaneously at t={at}")
+            }
+            ScheduleError::AbortedTooLong { task, limit, actual } => {
+                write!(f, "aborted run of {task} lasts {actual}, at least its full time {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl Schedule {
+    pub fn new() -> Self {
+        Schedule::default()
+    }
+
+    /// Completion time of the whole schedule (0 for an empty one).
+    /// Aborted runs are included: a worker burning time on a task that is
+    /// later restarted elsewhere is still busy.
+    pub fn makespan(&self) -> f64 {
+        self.runs
+            .iter()
+            .chain(&self.aborted)
+            .map(|r| r.end)
+            .fold(0.0, f64::max)
+    }
+
+    /// The completed run of a task, if any.
+    pub fn run_of(&self, task: TaskId) -> Option<&TaskRun> {
+        self.runs.iter().find(|r| r.task == task)
+    }
+
+    /// Total productive (completed-run) time on one resource class.
+    pub fn busy_time(&self, platform: &Platform, kind: ResourceKind) -> f64 {
+        self.runs
+            .iter()
+            .filter(|r| platform.kind_of(r.worker) == kind)
+            .map(TaskRun::duration)
+            .sum()
+    }
+
+    /// Total time spent on runs that were later aborted, per class.
+    pub fn aborted_time(&self, platform: &Platform, kind: ResourceKind) -> f64 {
+        self.aborted
+            .iter()
+            .filter(|r| platform.kind_of(r.worker) == kind)
+            .map(TaskRun::duration)
+            .sum()
+    }
+
+    /// Idle time of a resource class over `[0, horizon]`.
+    ///
+    /// Following the paper's footnote, work performed on aborted runs counts
+    /// as idle time, so all schedulers are charged for the same total work.
+    pub fn idle_time(&self, platform: &Platform, kind: ResourceKind, horizon: f64) -> f64 {
+        let capacity = horizon * platform.count(kind) as f64;
+        (capacity - self.busy_time(platform, kind)).max(0.0)
+    }
+
+    /// Tasks assigned (completed) per resource class.
+    pub fn tasks_on(&self, platform: &Platform, kind: ResourceKind) -> Vec<TaskId> {
+        self.runs
+            .iter()
+            .filter(|r| platform.kind_of(r.worker) == kind)
+            .map(|r| r.task)
+            .collect()
+    }
+
+    /// The paper's §6.2 "equivalent acceleration factor" of the set of tasks
+    /// assigned to one resource class: `Σ p_i / Σ q_i` over completed runs.
+    /// `None` when the class received no task.
+    pub fn equivalent_accel_factor(
+        &self,
+        instance: &Instance,
+        platform: &Platform,
+        kind: ResourceKind,
+    ) -> Option<f64> {
+        let tasks = self.tasks_on(platform, kind);
+        if tasks.is_empty() {
+            return None;
+        }
+        let p: f64 = tasks.iter().map(|&t| instance.task(t).cpu_time).sum();
+        let q: f64 = tasks.iter().map(|&t| instance.task(t).gpu_time).sum();
+        Some(p / q)
+    }
+
+    /// Number of spoliated (aborted then restarted) tasks.
+    pub fn spoliation_count(&self) -> usize {
+        self.aborted.len()
+    }
+
+    /// Check structural validity against an instance and platform:
+    /// every task completes exactly once with the right duration, runs on a
+    /// known worker, no two runs (completed or aborted) overlap on a worker,
+    /// and aborted runs are strictly shorter than the task's full time.
+    pub fn validate(&self, instance: &Instance, platform: &Platform) -> Result<(), ScheduleError> {
+        self.validate_with_overhead(instance, platform, 0.0)
+    }
+
+    /// Like [`Schedule::validate`], but each run may last up to
+    /// `max_overhead` longer than the task's nominal time — for schedules
+    /// produced under an execution-cost model (e.g. cross-class transfer
+    /// penalties) where durations exceed the calibrated times.
+    pub fn validate_with_overhead(
+        &self,
+        instance: &Instance,
+        platform: &Platform,
+        max_overhead: f64,
+    ) -> Result<(), ScheduleError> {
+        let mut seen = vec![false; instance.len()];
+        for r in &self.runs {
+            if r.task.index() >= instance.len() {
+                return Err(ScheduleError::UnknownTask(r.task));
+            }
+            if r.worker.index() >= platform.workers() {
+                return Err(ScheduleError::UnknownWorker(r.worker));
+            }
+            if seen[r.task.index()] {
+                return Err(ScheduleError::DuplicateTask(r.task));
+            }
+            seen[r.task.index()] = true;
+            // Deliberate negated comparison: rejects NaN endpoints too.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(r.end > r.start) {
+                return Err(ScheduleError::NegativeInterval {
+                    task: r.task,
+                    start: r.start,
+                    end: r.end,
+                });
+            }
+            let expected = instance.task(r.task).time_on(platform.kind_of(r.worker));
+            let within_band = approx_eq(r.duration(), expected)
+                || (r.duration() >= expected && approx_le(r.duration(), expected + max_overhead));
+            if !within_band {
+                return Err(ScheduleError::WrongDuration {
+                    task: r.task,
+                    expected,
+                    actual: r.duration(),
+                });
+            }
+        }
+        for (i, s) in seen.iter().enumerate() {
+            if !s {
+                return Err(ScheduleError::MissingTask(TaskId(i as u32)));
+            }
+        }
+        for r in &self.aborted {
+            if r.task.index() >= instance.len() {
+                return Err(ScheduleError::UnknownTask(r.task));
+            }
+            if r.worker.index() >= platform.workers() {
+                return Err(ScheduleError::UnknownWorker(r.worker));
+            }
+            if r.end < r.start {
+                return Err(ScheduleError::NegativeInterval {
+                    task: r.task,
+                    start: r.start,
+                    end: r.end,
+                });
+            }
+            let full =
+                instance.task(r.task).time_on(platform.kind_of(r.worker)) + max_overhead;
+            // An aborted run must stop before the task would have completed
+            // (otherwise it should have completed).
+            if r.duration() >= full + tol(r.duration(), full) {
+                return Err(ScheduleError::AbortedTooLong {
+                    task: r.task,
+                    limit: full,
+                    actual: r.duration(),
+                });
+            }
+        }
+        // Per-worker overlap check over all runs.
+        let mut per_worker: Vec<Vec<&TaskRun>> = vec![Vec::new(); platform.workers()];
+        for r in self.runs.iter().chain(&self.aborted) {
+            per_worker[r.worker.index()].push(r);
+        }
+        for (w, runs) in per_worker.iter_mut().enumerate() {
+            // Sort by (start, end) so zero-length aborted runs sort before a
+            // run starting at the same instant.
+            runs.sort_by_key(|r| (F64Ord::new(r.start), F64Ord::new(r.end)));
+            for pair in runs.windows(2) {
+                let (a, b) = (pair[0], pair[1]);
+                if !approx_le(a.end, b.start) {
+                    return Err(ScheduleError::Overlap {
+                        worker: WorkerId(w as u32),
+                        first: a.task,
+                        second: b.task,
+                        at: b.start,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Render a small schedule as an ASCII Gantt chart (for examples and the
+    /// Figure 1 reproduction). One row per worker; `#` marks completed work,
+    /// `x` marks aborted work.
+    pub fn render_ascii(&self, platform: &Platform, width: usize) -> String {
+        let horizon = self.makespan().max(1e-12);
+        let scale = width as f64 / horizon;
+        let mut out = String::new();
+        for w in platform.all_workers() {
+            let kind = platform.kind_of(w);
+            let mut row = vec![b'.'; width];
+            let mut labels: Vec<(usize, String)> = Vec::new();
+            for r in self.runs.iter().chain(&self.aborted).filter(|r| r.worker == w) {
+                let s = ((r.start * scale) as usize).min(width - 1);
+                let e = ((r.end * scale).ceil() as usize).clamp(s + 1, width);
+                let mark = if self.runs.iter().any(|c| std::ptr::eq(c, r)) { b'#' } else { b'x' };
+                for c in &mut row[s..e] {
+                    *c = mark;
+                }
+                labels.push((s, format!("{}", r.task)));
+            }
+            labels.sort_by_key(|&(s, _)| s);
+            let tags: Vec<String> = labels.into_iter().map(|(_, l)| l).collect();
+            out.push_str(&format!(
+                "{kind} {:>3} |{}| {}\n",
+                w.0,
+                String::from_utf8(row).unwrap(),
+                tags.join(" ")
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Task;
+
+    fn simple_setup() -> (Instance, Platform) {
+        let inst = Instance::from_times(&[(2.0, 1.0), (4.0, 2.0)]);
+        let plat = Platform::new(1, 1);
+        (inst, plat)
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let (inst, plat) = simple_setup();
+        let sched = Schedule {
+            runs: vec![
+                TaskRun { task: TaskId(0), worker: WorkerId(0), start: 0.0, end: 2.0 },
+                TaskRun { task: TaskId(1), worker: WorkerId(1), start: 0.0, end: 2.0 },
+            ],
+            aborted: vec![],
+        };
+        sched.validate(&inst, &plat).unwrap();
+        assert_eq!(sched.makespan(), 2.0);
+    }
+
+    #[test]
+    fn missing_task_fails() {
+        let (inst, plat) = simple_setup();
+        let sched = Schedule {
+            runs: vec![TaskRun { task: TaskId(0), worker: WorkerId(0), start: 0.0, end: 2.0 }],
+            aborted: vec![],
+        };
+        assert_eq!(sched.validate(&inst, &plat), Err(ScheduleError::MissingTask(TaskId(1))));
+    }
+
+    #[test]
+    fn duplicate_task_fails() {
+        let (inst, plat) = simple_setup();
+        let sched = Schedule {
+            runs: vec![
+                TaskRun { task: TaskId(0), worker: WorkerId(0), start: 0.0, end: 2.0 },
+                TaskRun { task: TaskId(0), worker: WorkerId(0), start: 2.0, end: 4.0 },
+                TaskRun { task: TaskId(1), worker: WorkerId(1), start: 0.0, end: 2.0 },
+            ],
+            aborted: vec![],
+        };
+        assert_eq!(sched.validate(&inst, &plat), Err(ScheduleError::DuplicateTask(TaskId(0))));
+    }
+
+    #[test]
+    fn wrong_duration_fails() {
+        let (inst, plat) = simple_setup();
+        let sched = Schedule {
+            runs: vec![
+                TaskRun { task: TaskId(0), worker: WorkerId(0), start: 0.0, end: 3.0 },
+                TaskRun { task: TaskId(1), worker: WorkerId(1), start: 0.0, end: 2.0 },
+            ],
+            aborted: vec![],
+        };
+        assert!(matches!(
+            sched.validate(&inst, &plat),
+            Err(ScheduleError::WrongDuration { .. })
+        ));
+    }
+
+    #[test]
+    fn overlap_fails() {
+        let (inst, plat) = simple_setup();
+        let sched = Schedule {
+            runs: vec![
+                TaskRun { task: TaskId(0), worker: WorkerId(0), start: 0.0, end: 2.0 },
+                TaskRun { task: TaskId(1), worker: WorkerId(0), start: 1.0, end: 5.0 },
+            ],
+            aborted: vec![],
+        };
+        assert!(matches!(sched.validate(&inst, &plat), Err(ScheduleError::Overlap { .. })));
+    }
+
+    #[test]
+    fn aborted_run_must_be_partial() {
+        let (inst, plat) = simple_setup();
+        let mut sched = Schedule {
+            runs: vec![
+                // task 0 spoliated from CPU (2.0) to GPU: aborted at 1.0, reran on GPU.
+                TaskRun { task: TaskId(0), worker: WorkerId(1), start: 1.0, end: 2.0 },
+                TaskRun { task: TaskId(1), worker: WorkerId(0), start: 2.0, end: 6.0 },
+            ],
+            aborted: vec![TaskRun { task: TaskId(0), worker: WorkerId(0), start: 0.0, end: 1.0 }],
+        };
+        sched.validate(&inst, &plat).unwrap();
+        // An "aborted" run as long as the full task is invalid.
+        sched.aborted[0].end = 2.5;
+        assert!(matches!(
+            sched.validate(&inst, &plat),
+            Err(ScheduleError::AbortedTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn metrics_account_for_aborts() {
+        let (_inst, plat) = simple_setup();
+        let sched = Schedule {
+            runs: vec![
+                TaskRun { task: TaskId(0), worker: WorkerId(1), start: 1.0, end: 2.0 },
+                TaskRun { task: TaskId(1), worker: WorkerId(0), start: 2.0, end: 6.0 },
+            ],
+            aborted: vec![TaskRun { task: TaskId(0), worker: WorkerId(0), start: 0.0, end: 1.0 }],
+        };
+        assert_eq!(sched.makespan(), 6.0);
+        assert_eq!(sched.busy_time(&plat, ResourceKind::Cpu), 4.0);
+        assert_eq!(sched.aborted_time(&plat, ResourceKind::Cpu), 1.0);
+        // idle counts the aborted hour as idle: 6*1 - 4 = 2
+        assert_eq!(sched.idle_time(&plat, ResourceKind::Cpu, 6.0), 2.0);
+        assert_eq!(sched.spoliation_count(), 1);
+    }
+
+    #[test]
+    fn equivalent_accel_factor_matches_definition() {
+        let mut inst = Instance::new();
+        inst.push(Task::new(10.0, 1.0));
+        inst.push(Task::new(2.0, 2.0));
+        let plat = Platform::new(1, 1);
+        let sched = Schedule {
+            runs: vec![
+                TaskRun { task: TaskId(0), worker: WorkerId(1), start: 0.0, end: 1.0 },
+                TaskRun { task: TaskId(1), worker: WorkerId(0), start: 0.0, end: 2.0 },
+            ],
+            aborted: vec![],
+        };
+        let gpu = sched.equivalent_accel_factor(&inst, &plat, ResourceKind::Gpu).unwrap();
+        assert_eq!(gpu, 10.0);
+        let cpu = sched.equivalent_accel_factor(&inst, &plat, ResourceKind::Cpu).unwrap();
+        assert_eq!(cpu, 1.0);
+    }
+
+    #[test]
+    fn ascii_render_mentions_every_worker() {
+        let (_inst, plat) = simple_setup();
+        let sched = Schedule {
+            runs: vec![
+                TaskRun { task: TaskId(0), worker: WorkerId(0), start: 0.0, end: 2.0 },
+                TaskRun { task: TaskId(1), worker: WorkerId(1), start: 0.0, end: 2.0 },
+            ],
+            aborted: vec![],
+        };
+        let art = sched.render_ascii(&plat, 40);
+        assert!(art.contains("CPU"));
+        assert!(art.contains("GPU"));
+        assert!(art.contains("T0"));
+        assert!(art.contains("T1"));
+    }
+}

@@ -1,0 +1,74 @@
+//! The paper's proved constants (Table 2), as code.
+//!
+//! | (#CPUs, #GPUs) | upper bound | worst-case example |
+//! |---|---|---|
+//! | (1, 1) | φ | φ (tight) |
+//! | (m, 1) | 1 + φ | 1 + φ (tight as m → ∞) |
+//! | (m, n) | 2 + √2 | 2 + 2/√3 |
+
+use crate::model::Platform;
+use crate::time::PHI;
+
+/// Proven upper bound on HeteroPrio's approximation ratio for a platform
+/// shape (Theorems 7, 9 and 12). Symmetric in the two classes: with a
+/// single worker on each side the φ bound applies, with a single worker on
+/// exactly one side the 1+φ bound applies.
+pub fn proven_upper_bound(platform: &Platform) -> f64 {
+    match (platform.cpus, platform.gpus) {
+        (1, 1) => PHI,
+        (_, 1) | (1, _) => 1.0 + PHI,
+        _ => 2.0 + std::f64::consts::SQRT_2,
+    }
+}
+
+/// Best known lower bound on HeteroPrio's worst-case ratio for a platform
+/// shape (Theorems 8, 11 and 14).
+pub fn known_lower_bound(platform: &Platform) -> f64 {
+    match (platform.cpus, platform.gpus) {
+        (1, 1) => PHI,
+        (_, 1) | (1, _) => 1.0 + PHI,
+        _ => 2.0 + 2.0 / 3.0_f64.sqrt(),
+    }
+}
+
+/// Is the analysis tight for this shape (upper bound == known lower bound)?
+pub fn is_tight(platform: &Platform) -> bool {
+    (proven_upper_bound(platform) - known_lower_bound(platform)).abs() < 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::approx_eq;
+
+    #[test]
+    fn constants_match_table2() {
+        assert!(approx_eq(proven_upper_bound(&Platform::new(1, 1)), 1.618033988749895));
+        assert!(approx_eq(proven_upper_bound(&Platform::new(20, 1)), 2.618033988749895));
+        assert!(approx_eq(proven_upper_bound(&Platform::new(20, 4)), 3.414213562373095));
+        assert!(approx_eq(known_lower_bound(&Platform::new(20, 4)), 3.1547005383792515));
+    }
+
+    #[test]
+    fn tightness_per_shape() {
+        assert!(is_tight(&Platform::new(1, 1)));
+        assert!(is_tight(&Platform::new(5, 1)));
+        assert!(!is_tight(&Platform::new(5, 2)));
+    }
+
+    #[test]
+    fn single_gpu_and_single_cpu_sides_are_symmetric() {
+        assert_eq!(
+            proven_upper_bound(&Platform::new(1, 7)),
+            proven_upper_bound(&Platform::new(7, 1))
+        );
+    }
+
+    #[test]
+    fn bounds_are_ordered() {
+        for (m, n) in [(1, 1), (4, 1), (1, 4), (20, 4)] {
+            let p = Platform::new(m, n);
+            assert!(known_lower_bound(&p) <= proven_upper_bound(&p) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Floating-point time utilities.
+//!
+//! All processing times and schedule instants in this workspace are `f64`
+//! seconds. Algorithmic decisions that gate on time comparisons (spoliation
+//! improvement tests, binary searches, validation) must tolerate the rounding
+//! noise that exact-arithmetic constructions such as the golden-ratio
+//! instances of Theorems 8 and 11 produce: there, "no improvement" cases are
+//! exact ties in the reals (e.g. `1/phi + 1 == phi`) that land within one ulp
+//! in `f64`. A relative epsilon keeps those ties ties.
+
+use std::cmp::Ordering;
+
+/// Relative tolerance used by all time comparisons.
+pub const REL_EPS: f64 = 1e-9;
+
+/// Absolute floor for the tolerance, so comparisons near zero behave.
+pub const ABS_EPS: f64 = 1e-12;
+
+/// The golden ratio φ = (1+√5)/2, ubiquitous in the paper's bounds.
+pub const PHI: f64 = 1.618033988749894848204586834365638118_f64;
+
+/// Tolerance scaled to the magnitude of the operands.
+#[inline]
+pub fn tol(a: f64, b: f64) -> f64 {
+    ABS_EPS + REL_EPS * a.abs().max(b.abs()).max(1.0)
+}
+
+/// `a` is strictly less than `b`, beyond rounding noise.
+#[inline]
+pub fn strictly_less(a: f64, b: f64) -> bool {
+    a < b - tol(a, b)
+}
+
+/// `a <= b` up to rounding noise.
+#[inline]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b + tol(a, b)
+}
+
+/// `a == b` up to rounding noise.
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= tol(a, b)
+}
+
+/// Total-order wrapper for finite `f64` keys in heaps and sorts.
+///
+/// Panics (in debug builds) if constructed from a NaN; processing times and
+/// schedule instants are always finite in this workspace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct F64Ord(pub f64);
+
+impl F64Ord {
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        debug_assert!(!v.is_nan(), "NaN time");
+        F64Ord(v)
+    }
+}
+
+impl Eq for F64Ord {}
+
+impl PartialOrd for F64Ord {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for F64Ord {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phi_satisfies_its_fixed_point() {
+        // φ² = φ + 1 and 1/φ = φ - 1.
+        assert!(approx_eq(PHI * PHI, PHI + 1.0));
+        assert!(approx_eq(1.0 / PHI, PHI - 1.0));
+    }
+
+    #[test]
+    fn golden_ratio_tie_is_a_tie() {
+        // The Theorem 8 "no spoliation" test: 1/φ + 1 vs φ must not count as
+        // a strict improvement in either direction.
+        let a = 1.0 / PHI + 1.0;
+        let b = PHI;
+        assert!(!strictly_less(a, b));
+        assert!(!strictly_less(b, a));
+        assert!(approx_eq(a, b));
+    }
+
+    #[test]
+    fn strict_comparisons_behave() {
+        assert!(strictly_less(1.0, 2.0));
+        assert!(!strictly_less(2.0, 1.0));
+        assert!(!strictly_less(1.0, 1.0 + 1e-12));
+        assert!(approx_le(1.0, 1.0));
+        assert!(approx_le(1.0 + 1e-12, 1.0));
+        assert!(!approx_le(1.1, 1.0));
+    }
+
+    #[test]
+    fn tolerance_scales_with_magnitude() {
+        let big = 1e12;
+        assert!(approx_eq(big, big + 1.0)); // 1.0 is below rel tolerance at 1e12
+        assert!(!approx_eq(1.0, 1.0 + 1e-3));
+    }
+
+    #[test]
+    fn f64ord_orders_totally() {
+        let mut v = vec![F64Ord::new(3.0), F64Ord::new(-1.0), F64Ord::new(2.0)];
+        v.sort();
+        assert_eq!(v, vec![F64Ord::new(-1.0), F64Ord::new(2.0), F64Ord::new(3.0)]);
+    }
+}

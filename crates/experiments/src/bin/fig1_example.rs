@@ -1,0 +1,35 @@
+//! Figure 1: an example HeteroPrio schedule — the pure list phase
+//! `S_HP^NS` next to the final schedule `S_HP` with spoliation.
+
+use heteroprio_core::{heteroprio, HeteroPrioConfig, Instance, Platform};
+
+fn main() {
+    // A small instance where spoliation visibly rescues the CPUs: two
+    // strongly accelerated tasks too many for the single GPU, plus assorted
+    // CPU-friendly work.
+    let instance = Instance::from_times(&[
+        (20.0, 1.5), // very GPU-friendly
+        (18.0, 1.5),
+        (16.0, 2.0),
+        (2.0, 6.0), // CPU-friendly
+        (2.5, 6.0),
+        (3.0, 3.0), // indifferent
+    ]);
+    let platform = Platform::new(2, 1);
+
+    let ns = heteroprio(&instance, &platform, &HeteroPrioConfig::without_spoliation());
+    println!("S_HP^NS (no spoliation), makespan {:.2}:", ns.makespan());
+    println!("{}", ns.schedule.render_ascii(&platform, 72));
+
+    let hp = heteroprio(&instance, &platform, &HeteroPrioConfig::new());
+    println!(
+        "S_HP (with spoliation), makespan {:.2}, {} spoliation(s) ('x' = aborted work):",
+        hp.makespan(),
+        hp.spoliations
+    );
+    println!("{}", hp.schedule.render_ascii(&platform, 72));
+    println!(
+        "T_FirstIdle = {:.2}; after it each worker runs at most one task in S_HP^NS.",
+        ns.first_idle.unwrap_or(f64::NAN)
+    );
+}

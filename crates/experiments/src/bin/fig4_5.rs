@@ -1,0 +1,57 @@
+//! Figures 4 and 5: the Theorem 14 construction.
+//!
+//! Figure 4 contrasts the perfect packing of the `T2` set on `n = 6k`
+//! homogeneous processors (makespan `n`) with its worst list schedule
+//! (makespan `2n - 1`). Figure 5 shows the full HeteroPrio run on the
+//! (n GPUs, n² CPUs) instance, whose ratio tends to `2 + 2/√3 ≈ 3.15`.
+
+use heteroprio_core::list::list_schedule;
+use heteroprio_core::heteroprio;
+use heteroprio_experiments::{emit, TextTable};
+use heteroprio_workloads::{t2_best_packing, t2_worst_order, theorem14, theorem14_r};
+
+fn main() {
+    let mut fig4 = TextTable::new(vec!["k", "n=6k", "optimal packing", "worst list schedule"]);
+    for k in 1..=4 {
+        let n = 6 * k;
+        let best = t2_best_packing(k)
+            .iter()
+            .map(|proc| proc.iter().sum::<f64>())
+            .fold(0.0, f64::max);
+        let worst = list_schedule(&t2_worst_order(k), n).makespan();
+        fig4.push_row(vec![
+            k.to_string(),
+            n.to_string(),
+            format!("{best:.0}"),
+            format!("{worst:.0}"),
+        ]);
+    }
+    emit("Figure 4 — T2 on n homogeneous processors: optimal n vs worst 2n-1", &fig4);
+
+    let mut fig5 = TextTable::new(vec![
+        "k",
+        "n",
+        "m=n^2",
+        "r",
+        "HP makespan",
+        "witness makespan",
+        "ratio",
+        "asymptote",
+    ]);
+    for k in 1..=3 {
+        let case = theorem14(k);
+        let res = heteroprio(&case.instance, &case.platform, &case.config);
+        let witness = case.witness.makespan();
+        fig5.push_row(vec![
+            k.to_string(),
+            (6 * k).to_string(),
+            (36 * k * k).to_string(),
+            format!("{:.3}", theorem14_r(6 * k)),
+            format!("{:.2}", res.makespan()),
+            format!("{witness:.2}"),
+            format!("{:.3}", res.makespan() / witness),
+            format!("{:.3}", case.asymptotic_ratio),
+        ]);
+    }
+    emit("Figure 5 — HeteroPrio on the Theorem 14 instance", &fig5);
+}

@@ -1,0 +1,118 @@
+//! Robustness studies beyond the paper's model assumptions:
+//!
+//! 1. **Calibration noise** — StarPU's per-task time estimates carry error;
+//!    we jitter every kernel time log-uniformly and watch the Figure 6
+//!    ratios (the schedulers still *decide* on the perturbed estimates, and
+//!    the perturbed times are the truth, so this probes sensitivity of the
+//!    algorithms' decisions to the affinity signal).
+//! 2. **Cross-class transfer penalty** — a fixed cost added to any task
+//!    whose input was produced on the other resource class, approximating
+//!    PCI transfers that the paper's model ignores.
+//!
+//! Usage: `robustness [--csv]`.
+
+use heteroprio_core::HeteroPrioConfig;
+use heteroprio_experiments::{emit, IndepAlgo, TextTable};
+use heteroprio_bounds::{combined_lower_bound, dag_lower_bound};
+use heteroprio_schedulers::{DualHpDagPolicy, DualHpRank, HeteroPrioDagPolicy, PriorityListPolicy};
+use heteroprio_simulator::{simulate_with, TransferModel};
+use heteroprio_taskgraph::{
+    apply_bottom_level_priorities, cholesky, Factorization, WeightScheme,
+};
+use heteroprio_workloads::{
+    independent_instance, paper_platform, ChameleonTiming, JitteredTiming, TileScaledTiming,
+};
+
+fn jitter_sweep() {
+    let platform = paper_platform();
+    let mut t = TextTable::new(vec!["jitter", "HeteroPrio", "DualHP", "HEFT"]);
+    for jitter in [0.0, 0.1, 0.2, 0.5] {
+        let timing = JitteredTiming { inner: ChameleonTiming, jitter, seed: 2024 };
+        let instance = independent_instance(Factorization::Cholesky, 16, &timing);
+        let lb = combined_lower_bound(&instance, &platform);
+        let mut row = vec![format!("{jitter:.2}")];
+        for algo in IndepAlgo::PAPER {
+            let ms = algo.run(&instance, &platform).makespan();
+            row.push(format!("{:.4}", ms / lb));
+        }
+        t.push_row(row);
+    }
+    emit("Robustness — calibration jitter (Cholesky N=16, ratio to area bound)", &t);
+}
+
+fn penalty_sweep() {
+    let platform = paper_platform();
+    let mut graph = cholesky(16, &ChameleonTiming);
+    apply_bottom_level_priorities(&mut graph, WeightScheme::Min);
+    // Reference scale: the mean GPU kernel time of the instance.
+    let mean_gpu: f64 = graph.instance().tasks().iter().map(|t| t.gpu_time).sum::<f64>()
+        / graph.len() as f64;
+    let lb = dag_lower_bound(&graph, &platform);
+    let mut t = TextTable::new(vec![
+        "penalty (% mean gpu task)",
+        "HeteroPrio-min",
+        "HP spoliations",
+        "DualHP-fifo",
+        "priority list",
+    ]);
+    for frac in [0.0, 0.05, 0.1, 0.25, 0.5] {
+        let model = TransferModel::new(frac * mean_gpu);
+        let mut hp = HeteroPrioDagPolicy::new(HeteroPrioConfig::new());
+        let hp_res = simulate_with(&graph, &platform, &mut hp, &model);
+        let mut dual = DualHpDagPolicy::new(DualHpRank::Fifo);
+        let dual_res = simulate_with(&graph, &platform, &mut dual, &model);
+        let mut list = PriorityListPolicy::new();
+        let list_res = simulate_with(&graph, &platform, &mut list, &model);
+        for res in [&hp_res, &dual_res, &list_res] {
+            res.schedule
+                .validate_with_overhead(graph.instance(), &platform, model.cross_class_penalty)
+                .expect("valid under the cost model");
+        }
+        t.push_row(vec![
+            format!("{:.0}%", frac * 100.0),
+            format!("{:.4}", hp_res.makespan() / lb),
+            hp_res.spoliations.to_string(),
+            format!("{:.4}", dual_res.makespan() / lb),
+            format!("{:.4}", list_res.makespan() / lb),
+        ]);
+    }
+    emit(
+        "Robustness — cross-class transfer penalty (Cholesky N=16 DAG, ratio to zero-penalty LB)",
+        &t,
+    );
+}
+
+fn tile_size_sweep() {
+    // Smaller tiles collapse the affinity spread between panel and update
+    // kernels; affinity-based scheduling should lose (and HEFT regain)
+    // ground as the spread shrinks.
+    let platform = paper_platform();
+    let mut t = TextTable::new(vec![
+        "tile",
+        "GEMM accel",
+        "HeteroPrio",
+        "DualHP",
+        "HEFT",
+    ]);
+    for tile in [240usize, 480, 960, 1920] {
+        let timing = TileScaledTiming::new(tile);
+        let instance = independent_instance(Factorization::Cholesky, 16, &timing);
+        let lb = combined_lower_bound(&instance, &platform);
+        let mut row = vec![
+            tile.to_string(),
+            format!("{:.2}", timing.accel(heteroprio_taskgraph::Kernel::Gemm)),
+        ];
+        for algo in IndepAlgo::PAPER {
+            let ms = algo.run(&instance, &platform).makespan();
+            row.push(format!("{:.4}", ms / lb));
+        }
+        t.push_row(row);
+    }
+    emit("Robustness — tile size (Cholesky N=16, ratio to area bound)", &t);
+}
+
+fn main() {
+    jitter_sweep();
+    penalty_sweep();
+    tile_size_sweep();
+}

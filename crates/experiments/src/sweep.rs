@@ -1,0 +1,73 @@
+//! Parallel parameter sweeps.
+//!
+//! Rayon is not part of this workspace's dependency budget; a scoped-thread
+//! worker pool over a crossbeam channel covers the harness's needs (a few
+//! dozen coarse-grained simulation jobs).
+
+use crossbeam_channel::unbounded;
+use std::thread;
+
+/// Map `f` over `items` in parallel, preserving order. Uses up to
+/// `available_parallelism` worker threads (capped by the item count).
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = thread::available_parallelism().map_or(4, |p| p.get()).min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let (tx_work, rx_work) = unbounded::<(usize, T)>();
+    let (tx_res, rx_res) = unbounded::<(usize, R)>();
+    for (i, item) in items.into_iter().enumerate() {
+        tx_work.send((i, item)).expect("send work");
+    }
+    drop(tx_work);
+    thread::scope(|s| {
+        for _ in 0..threads {
+            let rx = rx_work.clone();
+            let tx = tx_res.clone();
+            let f = &f;
+            s.spawn(move || {
+                while let Ok((i, item)) = rx.recv() {
+                    tx.send((i, f(item))).expect("send result");
+                }
+            });
+        }
+        drop(tx_res);
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        while let Ok((i, r)) = rx_res.recv() {
+            results[i] = Some(r);
+        }
+        results.into_iter().map(|r| r.expect("all jobs completed")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect(), |i: i32| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let out = parallel_map(vec![41], |i: i32| i + 1);
+        assert_eq!(out, vec![42]);
+    }
+}

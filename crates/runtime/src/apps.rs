@@ -1,0 +1,247 @@
+//! Chameleon-style applications written against the submission API: the
+//! tiled factorizations expressed as loops of task submissions with data
+//! access modes, letting the runtime infer the DAG — exactly how the
+//! paper's workloads reach StarPU.
+//!
+//! These cross-validate the explicit generators in `heteroprio-taskgraph`:
+//! for Cholesky and LU the inferred DAG matches the generator edge for
+//! edge; for QR the inferred DAG additionally carries the
+//! write-after-read edges on the diagonal tile (`ORMQR` reads it, `TSQRT`
+//! overwrites it) that the simplified generator leaves out.
+
+use crate::handles::{Access, DataHandle};
+use crate::runtime::Runtime;
+use heteroprio_taskgraph::{Kernel, KernelTiming};
+
+/// Register the lower-triangular tiles of an `n × n` tiled matrix.
+/// `tiles[i][j]` is defined for `j <= i`.
+fn register_lower(rt: &mut Runtime, n: usize) -> Vec<Vec<Option<DataHandle>>> {
+    (0..n)
+        .map(|i| (0..n).map(|j| (j <= i).then(|| rt.register_data("tile"))).collect())
+        .collect()
+}
+
+/// Register all tiles of an `n × n` tiled matrix.
+fn register_full(rt: &mut Runtime, n: usize) -> Vec<Vec<DataHandle>> {
+    (0..n).map(|_| (0..n).map(|_| rt.register_data("tile")).collect()).collect()
+}
+
+/// Submit a tiled Cholesky factorization (`A = L·Lᵀ`, lower triangular).
+pub fn submit_cholesky(rt: &mut Runtime, n: usize, timing: &impl KernelTiming) {
+    assert!(n >= 1);
+    let a = register_lower(rt, n);
+    let tile = |i: usize, j: usize| a[i][j].expect("lower-triangular tile");
+    for k in 0..n {
+        rt.submit(
+            timing.task(Kernel::Potrf),
+            Kernel::Potrf.name(),
+            &[(tile(k, k), Access::ReadWrite)],
+        );
+        for i in k + 1..n {
+            rt.submit(
+                timing.task(Kernel::Trsm),
+                Kernel::Trsm.name(),
+                &[(tile(k, k), Access::Read), (tile(i, k), Access::ReadWrite)],
+            );
+        }
+        for i in k + 1..n {
+            rt.submit(
+                timing.task(Kernel::Syrk),
+                Kernel::Syrk.name(),
+                &[(tile(i, k), Access::Read), (tile(i, i), Access::ReadWrite)],
+            );
+            for j in k + 1..i {
+                rt.submit(
+                    timing.task(Kernel::Gemm),
+                    Kernel::Gemm.name(),
+                    &[
+                        (tile(i, k), Access::Read),
+                        (tile(j, k), Access::Read),
+                        (tile(i, j), Access::ReadWrite),
+                    ],
+                );
+            }
+        }
+    }
+}
+
+/// Submit a tiled QR factorization (flat reduction tree).
+pub fn submit_qr(rt: &mut Runtime, n: usize, timing: &impl KernelTiming) {
+    assert!(n >= 1);
+    let a = register_full(rt, n);
+    for k in 0..n {
+        rt.submit(
+            timing.task(Kernel::Geqrt),
+            Kernel::Geqrt.name(),
+            &[(a[k][k], Access::ReadWrite)],
+        );
+        for j in k + 1..n {
+            rt.submit(
+                timing.task(Kernel::Ormqr),
+                Kernel::Ormqr.name(),
+                &[(a[k][k], Access::Read), (a[k][j], Access::ReadWrite)],
+            );
+        }
+        for i in k + 1..n {
+            rt.submit(
+                timing.task(Kernel::Tsqrt),
+                Kernel::Tsqrt.name(),
+                &[(a[k][k], Access::ReadWrite), (a[i][k], Access::ReadWrite)],
+            );
+            for j in k + 1..n {
+                rt.submit(
+                    timing.task(Kernel::Tsmqr),
+                    Kernel::Tsmqr.name(),
+                    &[
+                        (a[i][k], Access::Read),
+                        (a[k][j], Access::ReadWrite),
+                        (a[i][j], Access::ReadWrite),
+                    ],
+                );
+            }
+        }
+    }
+}
+
+/// Submit a tiled LU factorization without pivoting.
+pub fn submit_lu(rt: &mut Runtime, n: usize, timing: &impl KernelTiming) {
+    assert!(n >= 1);
+    let a = register_full(rt, n);
+    for k in 0..n {
+        rt.submit(
+            timing.task(Kernel::Getrf),
+            Kernel::Getrf.name(),
+            &[(a[k][k], Access::ReadWrite)],
+        );
+        for j in k + 1..n {
+            rt.submit(
+                timing.task(Kernel::Trsm),
+                Kernel::Trsm.name(),
+                &[(a[k][k], Access::Read), (a[k][j], Access::ReadWrite)],
+            );
+        }
+        for i in k + 1..n {
+            rt.submit(
+                timing.task(Kernel::Trsm),
+                Kernel::Trsm.name(),
+                &[(a[k][k], Access::Read), (a[i][k], Access::ReadWrite)],
+            );
+        }
+        for i in k + 1..n {
+            for j in k + 1..n {
+                rt.submit(
+                    timing.task(Kernel::Gemm),
+                    Kernel::Gemm.name(),
+                    &[
+                        (a[i][k], Access::Read),
+                        (a[k][j], Access::Read),
+                        (a[i][j], Access::ReadWrite),
+                    ],
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Scheduler;
+    use heteroprio_core::{HeteroPrioConfig, Platform};
+    use heteroprio_schedulers::HeteroPrioDagPolicy;
+    use heteroprio_simulator::simulate;
+    use heteroprio_taskgraph::{
+        cholesky, critical_path, expected_task_count, lu, qr, ConstTiming, Factorization,
+        WeightScheme,
+    };
+    use heteroprio_core::time::approx_eq;
+
+    const T: ConstTiming = ConstTiming { cpu: 3.0, gpu: 1.0 };
+
+    fn submitted_graph(
+        f: Factorization,
+        n: usize,
+    ) -> heteroprio_taskgraph::TaskGraph {
+        let mut rt = Runtime::new(Platform::new(2, 2));
+        match f {
+            Factorization::Cholesky => submit_cholesky(&mut rt, n, &T),
+            Factorization::Qr => submit_qr(&mut rt, n, &T),
+            Factorization::Lu => submit_lu(&mut rt, n, &T),
+        }
+        rt.build_graph().unwrap()
+    }
+
+    #[test]
+    fn cholesky_submission_matches_generator_exactly() {
+        for n in 1..=6 {
+            let sub = submitted_graph(Factorization::Cholesky, n);
+            let gen = cholesky(n, &T);
+            assert_eq!(sub.len(), gen.len(), "n={n}");
+            assert_eq!(sub.edge_count(), gen.edge_count(), "n={n}");
+            assert_eq!(
+                critical_path(&sub, WeightScheme::Min),
+                critical_path(&gen, WeightScheme::Min),
+                "n={n}"
+            );
+            // Same scheduler → same makespan on both graphs.
+            let plat = Platform::new(3, 2);
+            let ms = |g: &heteroprio_taskgraph::TaskGraph| {
+                let mut p = HeteroPrioDagPolicy::new(HeteroPrioConfig::new());
+                simulate(g, &plat, &mut p).makespan()
+            };
+            assert!(approx_eq(ms(&sub), ms(&gen)), "n={n}");
+        }
+    }
+
+    #[test]
+    fn lu_submission_matches_generator_exactly() {
+        for n in 1..=5 {
+            let sub = submitted_graph(Factorization::Lu, n);
+            let gen = lu(n, &T);
+            assert_eq!(sub.len(), gen.len(), "n={n}");
+            assert_eq!(sub.edge_count(), gen.edge_count(), "n={n}");
+            assert_eq!(
+                critical_path(&sub, WeightScheme::Min),
+                critical_path(&gen, WeightScheme::Min),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn qr_submission_adds_war_edges_on_diagonal() {
+        // The submission DAG is at least as constrained as the simplified
+        // generator: same nodes, extra write-after-read edges (ORMQR reads
+        // the diagonal tile that TSQRT then overwrites).
+        for n in 2..=5 {
+            let sub = submitted_graph(Factorization::Qr, n);
+            let gen = qr(n, &T);
+            assert_eq!(sub.len(), gen.len(), "n={n}");
+            assert!(sub.edge_count() > gen.edge_count(), "n={n}");
+            assert!(
+                critical_path(&sub, WeightScheme::Min)
+                    >= critical_path(&gen, WeightScheme::Min),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn submitted_cholesky_runs_end_to_end() {
+        let mut rt = Runtime::new(Platform::new(4, 2));
+        submit_cholesky(&mut rt, 6, &T);
+        assert_eq!(rt.task_count(), expected_task_count(Factorization::Cholesky, 6));
+        let report = rt.run(Scheduler::default()).unwrap();
+        assert!(report.ratio() >= 1.0 - 1e-9);
+        assert_eq!(report.schedule.runs.len(), report.graph.len());
+    }
+
+    #[test]
+    fn single_tile_factorizations_are_single_tasks() {
+        for f in Factorization::ALL {
+            let g = submitted_graph(f, 1);
+            assert_eq!(g.len(), 1, "{}", f.name());
+            assert_eq!(g.edge_count(), 0);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Data handles and access modes.
+//!
+//! Task-based runtime systems (StarPU, StarSs, PaRSEC, …) do not take an
+//! explicit DAG: the application *submits* tasks that name the data they
+//! touch and how (read / write / read-write), and the runtime infers
+//! dependencies under sequential consistency — tasks behave as if executed
+//! in submission order with respect to each datum.
+
+use std::fmt;
+
+/// Identifier of a registered piece of data (e.g. a matrix tile).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DataHandle(pub u32);
+
+impl DataHandle {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for DataHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+/// How a task accesses a handle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Access {
+    /// Read-only: concurrent with other reads of the same handle.
+    Read,
+    /// Write (the previous value is not read).
+    Write,
+    /// Read-modify-write.
+    ReadWrite,
+}
+
+impl Access {
+    #[inline]
+    pub fn writes(self) -> bool {
+        matches!(self, Access::Write | Access::ReadWrite)
+    }
+
+    #[inline]
+    pub fn reads(self) -> bool {
+        matches!(self, Access::Read | Access::ReadWrite)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_mode_predicates() {
+        assert!(Access::Read.reads() && !Access::Read.writes());
+        assert!(Access::Write.writes() && !Access::Write.reads());
+        assert!(Access::ReadWrite.reads() && Access::ReadWrite.writes());
+    }
+}

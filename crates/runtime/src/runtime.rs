@@ -1,0 +1,340 @@
+//! The submission front-end: register data, submit tasks, run.
+
+use crate::handles::{Access, DataHandle};
+use heteroprio_bounds::dag_lower_bound;
+use heteroprio_core::{HeteroPrioConfig, Platform, Schedule, Task, TaskId};
+use heteroprio_schedulers::{
+    heft, DualHpDagPolicy, DualHpRank, HeftVariant, HeteroPrioDagPolicy, PriorityListPolicy,
+};
+use heteroprio_simulator::{simulate_with, TransferModel};
+use heteroprio_taskgraph::{
+    apply_bottom_level_priorities, check_precedence, CycleError, DagBuilder, TaskGraph,
+    WeightScheme,
+};
+
+/// Which scheduler executes the submitted graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Scheduler {
+    /// HeteroPrio with bottom-level priorities under the given scheme.
+    HeteroPrio(WeightScheme),
+    /// DualHP; `Priority` rank uses bottom levels under the given scheme.
+    DualHp(DualHpRank, WeightScheme),
+    /// Static HEFT.
+    Heft(WeightScheme, HeftVariant),
+    /// Plain priority list scheduling (no affinity, no spoliation).
+    PriorityList(WeightScheme),
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler::HeteroPrio(WeightScheme::Min)
+    }
+}
+
+/// Everything the runtime knows after an execution.
+#[derive(Clone, Debug)]
+pub struct Report {
+    pub graph: TaskGraph,
+    pub schedule: Schedule,
+    pub makespan: f64,
+    pub lower_bound: f64,
+    pub spoliations: usize,
+}
+
+impl Report {
+    pub fn ratio(&self) -> f64 {
+        self.makespan / self.lower_bound
+    }
+}
+
+/// A StarPU-like runtime: data registration, task submission with access
+/// modes, sequential-consistency dependency inference, and execution on a
+/// simulated CPU+GPU node.
+///
+/// ```
+/// use heteroprio_runtime::{Access, Runtime, Scheduler};
+/// use heteroprio_core::{Platform, Task};
+///
+/// let mut rt = Runtime::new(Platform::new(2, 1));
+/// let a = rt.register_data("A");
+/// let b = rt.register_data("B");
+/// // t0 writes A; t1 reads A and writes B → t1 depends on t0.
+/// rt.submit(Task::new(2.0, 1.0), "producer", &[(a, Access::Write)]);
+/// rt.submit(Task::new(4.0, 1.0), "consumer", &[(a, Access::Read), (b, Access::Write)]);
+/// let report = rt.run(Scheduler::default()).unwrap();
+/// assert_eq!(report.makespan, 2.0); // both on the GPU, back to back
+/// ```
+#[derive(Debug, Default)]
+pub struct Runtime {
+    platform: Option<Platform>,
+    builder: DagBuilder,
+    data_labels: Vec<&'static str>,
+    /// Per handle: the last writer and the readers since that write.
+    last_writer: Vec<Option<TaskId>>,
+    readers: Vec<Vec<TaskId>>,
+    transfer: TransferModel,
+}
+
+impl Runtime {
+    pub fn new(platform: Platform) -> Self {
+        Runtime { platform: Some(platform), ..Runtime::default() }
+    }
+
+    /// Set a cross-class transfer penalty (see
+    /// [`heteroprio_simulator::TransferModel`]). Zero by default.
+    pub fn with_transfer_penalty(mut self, penalty: f64) -> Self {
+        self.transfer = TransferModel::new(penalty);
+        self
+    }
+
+    /// Register a datum (e.g. a tile); its label is used in reports.
+    pub fn register_data(&mut self, label: &'static str) -> DataHandle {
+        let h = DataHandle(u32::try_from(self.data_labels.len()).expect("too many handles"));
+        self.data_labels.push(label);
+        self.last_writer.push(None);
+        self.readers.push(Vec::new());
+        h
+    }
+
+    pub fn data_count(&self) -> usize {
+        self.data_labels.len()
+    }
+
+    pub fn task_count(&self) -> usize {
+        self.builder.len()
+    }
+
+    /// Submit a task touching the given handles. Dependencies are inferred
+    /// for sequential consistency:
+    ///
+    /// * a **read** depends on the handle's last writer;
+    /// * a **write** depends on the last writer *and* on every reader since
+    ///   that write (readers run before the value is clobbered);
+    /// * concurrent reads do not order among themselves.
+    pub fn submit(
+        &mut self,
+        task: Task,
+        name: &'static str,
+        accesses: &[(DataHandle, Access)],
+    ) -> TaskId {
+        let id = self.builder.add_task(task, name);
+        for &(h, access) in accesses {
+            assert!(h.index() < self.data_labels.len(), "unregistered handle {h:?}");
+            if access.writes() {
+                self.builder.add_edge_opt(self.last_writer[h.index()], id);
+                for &r in &self.readers[h.index()] {
+                    if r != id {
+                        self.builder.add_edge(r, id);
+                    }
+                }
+                self.readers[h.index()].clear();
+                self.last_writer[h.index()] = Some(id);
+                if access.reads() {
+                    // RW: the task is also the first reader of its own write;
+                    // nothing to record (it cannot depend on itself).
+                }
+            } else {
+                self.builder.add_edge_opt(self.last_writer[h.index()], id);
+                self.readers[h.index()].push(id);
+            }
+        }
+        id
+    }
+
+    /// Freeze the submitted graph (without running it).
+    pub fn build_graph(self) -> Result<TaskGraph, CycleError> {
+        self.builder.build()
+    }
+
+    /// Execute everything submitted so far and return the report.
+    /// The schedule is validated (structure + precedence) before returning.
+    pub fn run(self, scheduler: Scheduler) -> Result<Report, String> {
+        let platform = self.platform.ok_or("runtime has no platform")?;
+        let transfer = self.transfer;
+        let mut graph = self.builder.build().map_err(|e| e.to_string())?;
+        if graph.is_empty() {
+            return Err("no tasks were submitted".to_string());
+        }
+        let schedule = match scheduler {
+            Scheduler::HeteroPrio(scheme) => {
+                apply_bottom_level_priorities(&mut graph, scheme);
+                let mut policy = HeteroPrioDagPolicy::new(HeteroPrioConfig::new());
+                simulate_with(&graph, &platform, &mut policy, &transfer).schedule
+            }
+            Scheduler::DualHp(rank, scheme) => {
+                apply_bottom_level_priorities(&mut graph, scheme);
+                let mut policy = DualHpDagPolicy::new(rank);
+                simulate_with(&graph, &platform, &mut policy, &transfer).schedule
+            }
+            Scheduler::Heft(scheme, variant) => {
+                if transfer != TransferModel::NONE {
+                    return Err("static HEFT does not support transfer penalties".to_string());
+                }
+                heft(&graph, &platform, scheme, variant)
+            }
+            Scheduler::PriorityList(scheme) => {
+                apply_bottom_level_priorities(&mut graph, scheme);
+                let mut policy = PriorityListPolicy::new();
+                simulate_with(&graph, &platform, &mut policy, &transfer).schedule
+            }
+        };
+        schedule
+            .validate_with_overhead(graph.instance(), &platform, transfer.cross_class_penalty)
+            .map_err(|e| format!("invalid schedule: {e}"))?;
+        check_precedence(&graph, &schedule)?;
+        let makespan = schedule.makespan();
+        let spoliations = schedule.spoliation_count();
+        let lower_bound = dag_lower_bound(&graph, &platform);
+        Ok(Report { graph, schedule, makespan, lower_bound, spoliations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteroprio_core::time::approx_eq;
+
+    fn unit(p: f64, q: f64) -> Task {
+        Task::new(p, q)
+    }
+
+    #[test]
+    fn read_after_write_orders() {
+        let mut rt = Runtime::new(Platform::new(1, 1));
+        let a = rt.register_data("a");
+        let w = rt.submit(unit(1.0, 1.0), "w", &[(a, Access::Write)]);
+        let r = rt.submit(unit(1.0, 1.0), "r", &[(a, Access::Read)]);
+        let g = rt.build_graph().unwrap();
+        assert_eq!(g.predecessors(r), &[w]);
+    }
+
+    #[test]
+    fn reads_are_concurrent() {
+        let mut rt = Runtime::new(Platform::new(2, 2));
+        let a = rt.register_data("a");
+        rt.submit(unit(1.0, 1.0), "w", &[(a, Access::Write)]);
+        let r1 = rt.submit(unit(1.0, 1.0), "r1", &[(a, Access::Read)]);
+        let r2 = rt.submit(unit(1.0, 1.0), "r2", &[(a, Access::Read)]);
+        let g = rt.build_graph().unwrap();
+        assert!(!g.predecessors(r2).contains(&r1));
+        // Both readers depend only on the writer: 1 + 1 = 2 time units.
+        let mut rt2 = Runtime::new(Platform::new(2, 2));
+        let a = rt2.register_data("a");
+        rt2.submit(unit(1.0, 1.0), "w", &[(a, Access::Write)]);
+        rt2.submit(unit(1.0, 1.0), "r1", &[(a, Access::Read)]);
+        rt2.submit(unit(1.0, 1.0), "r2", &[(a, Access::Read)]);
+        let report = rt2.run(Scheduler::default()).unwrap();
+        assert!(approx_eq(report.makespan, 2.0), "{}", report.makespan);
+    }
+
+    #[test]
+    fn write_after_read_waits_for_readers() {
+        let mut rt = Runtime::new(Platform::new(2, 2));
+        let a = rt.register_data("a");
+        let w1 = rt.submit(unit(1.0, 1.0), "w1", &[(a, Access::Write)]);
+        let r = rt.submit(unit(5.0, 5.0), "r", &[(a, Access::Read)]);
+        let w2 = rt.submit(unit(1.0, 1.0), "w2", &[(a, Access::Write)]);
+        let g = rt.build_graph().unwrap();
+        let mut preds = g.predecessors(w2).to_vec();
+        preds.sort();
+        assert_eq!(preds, vec![w1, r]);
+    }
+
+    #[test]
+    fn writers_chain() {
+        let mut rt = Runtime::new(Platform::new(1, 1));
+        let a = rt.register_data("a");
+        let ids: Vec<_> =
+            (0..5).map(|_| rt.submit(unit(1.0, 2.0), "acc", &[(a, Access::ReadWrite)])).collect();
+        // Each RW depends exactly on the previous RW.
+        let g = rt.builder.clone().build().unwrap();
+        for pair in ids.windows(2) {
+            assert_eq!(g.predecessors(pair[1]), &[pair[0]]);
+        }
+        let mut rt = Runtime::new(Platform::new(1, 1));
+        let a = rt.register_data("a");
+        for _ in 0..5 {
+            rt.submit(unit(1.0, 2.0), "acc", &[(a, Access::ReadWrite)]);
+        }
+        let report = rt.run(Scheduler::default()).unwrap();
+        // Fully serial chain, CPU faster (1.0 each).
+        assert!(approx_eq(report.makespan, 5.0), "{}", report.makespan);
+    }
+
+    #[test]
+    fn independent_data_runs_in_parallel() {
+        let mut rt = Runtime::new(Platform::new(2, 2));
+        for i in 0..4 {
+            let h = rt.register_data(if i % 2 == 0 { "x" } else { "y" });
+            rt.submit(unit(3.0, 3.0), "job", &[(h, Access::ReadWrite)]);
+        }
+        let report = rt.run(Scheduler::default()).unwrap();
+        assert!(approx_eq(report.makespan, 3.0), "{}", report.makespan);
+    }
+
+    #[test]
+    fn all_schedulers_run_a_stencil() {
+        // A small 1D stencil: u[i] ← f(u[i-1], u[i], u[i+1]) over 3 sweeps.
+        let build = || {
+            let mut rt = Runtime::new(Platform::new(2, 1));
+            let cells: Vec<DataHandle> = (0..6).map(|_| rt.register_data("cell")).collect();
+            for _sweep in 0..3 {
+                for i in 0..cells.len() {
+                    let mut acc = vec![(cells[i], Access::ReadWrite)];
+                    if i > 0 {
+                        acc.push((cells[i - 1], Access::Read));
+                    }
+                    if i + 1 < cells.len() {
+                        acc.push((cells[i + 1], Access::Read));
+                    }
+                    rt.submit(unit(2.0, 1.0), "stencil", &acc);
+                }
+            }
+            rt
+        };
+        for scheduler in [
+            Scheduler::HeteroPrio(WeightScheme::Min),
+            Scheduler::DualHp(DualHpRank::Fifo, WeightScheme::Min),
+            Scheduler::DualHp(DualHpRank::Priority, WeightScheme::Avg),
+            Scheduler::Heft(WeightScheme::Avg, HeftVariant::Insertion),
+            Scheduler::PriorityList(WeightScheme::Avg),
+        ] {
+            let report = build().run(scheduler).unwrap();
+            assert!(report.makespan >= report.lower_bound - 1e-9, "{scheduler:?}");
+            assert_eq!(report.graph.len(), 18);
+        }
+    }
+
+    #[test]
+    fn transfer_penalty_flows_through() {
+        let mut rt = Runtime::new(Platform::new(1, 1)).with_transfer_penalty(0.5);
+        let a = rt.register_data("a");
+        rt.submit(unit(10.0, 1.0), "w", &[(a, Access::Write)]);
+        rt.submit(unit(1.0, 10.0), "r", &[(a, Access::Read)]);
+        let report = rt.run(Scheduler::HeteroPrio(WeightScheme::Min)).unwrap();
+        // GPU runs the first (1.0), CPU the second (1.0 + 0.5 cross penalty).
+        assert!(approx_eq(report.makespan, 2.5), "{}", report.makespan);
+    }
+
+    #[test]
+    fn empty_submission_is_an_error() {
+        let rt = Runtime::new(Platform::new(1, 1));
+        assert!(rt.run(Scheduler::default()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered handle")]
+    fn unknown_handle_panics() {
+        let mut rt = Runtime::new(Platform::new(1, 1));
+        rt.submit(unit(1.0, 1.0), "bad", &[(DataHandle(7), Access::Read)]);
+    }
+
+    #[test]
+    fn heft_rejects_transfer_model() {
+        let mut rt = Runtime::new(Platform::new(1, 1)).with_transfer_penalty(1.0);
+        let a = rt.register_data("a");
+        rt.submit(unit(1.0, 1.0), "t", &[(a, Access::Write)]);
+        let err = rt.run(Scheduler::Heft(WeightScheme::Avg, HeftVariant::Insertion));
+        assert!(err.is_err());
+    }
+}

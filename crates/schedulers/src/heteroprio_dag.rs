@@ -1,0 +1,152 @@
+//! DAG-mode HeteroPrio (§6.2 of the paper).
+//!
+//! "Since HeteroPrio is a list algorithm, HeteroPrio rule can be used to
+//! assign a ready task to any idle resource. If no ready task is available
+//! for an idle resource, a spoliation attempt is done on currently running
+//! tasks." Priorities (bottom levels) break ties among equal acceleration
+//! factors and among spoliation candidates with equal completion times.
+
+use heteroprio_core::time::strictly_less;
+use heteroprio_core::{
+    AffinityQueue, HeteroPrioConfig, SpoliationTieBreak, TaskId, WorkerId, WorkerOrder,
+};
+use heteroprio_simulator::{OnlinePolicy, SimContext};
+
+/// HeteroPrio as an online policy for the runtime engine. The ready queue
+/// is the shared [`AffinityQueue`] (acceleration factor primary, the
+/// paper's priority tie rule secondary, arrival order final).
+pub struct HeteroPrioDagPolicy {
+    config: HeteroPrioConfig,
+    queue: AffinityQueue,
+}
+
+impl HeteroPrioDagPolicy {
+    pub fn new(config: HeteroPrioConfig) -> Self {
+        HeteroPrioDagPolicy { config, queue: AffinityQueue::new(config.queue_tie) }
+    }
+}
+
+impl OnlinePolicy for HeteroPrioDagPolicy {
+    fn on_ready(&mut self, tasks: &[TaskId], ctx: &SimContext<'_>) {
+        for &t in tasks {
+            self.queue.push(ctx.graph.instance(), t);
+        }
+    }
+
+    fn pick_task(&mut self, worker: WorkerId, ctx: &SimContext<'_>) -> Option<TaskId> {
+        self.queue.pop(ctx.platform.kind_of(worker))
+    }
+
+    fn spoliation_victim(&mut self, worker: WorkerId, ctx: &SimContext<'_>) -> Option<WorkerId> {
+        if self.config.disable_spoliation {
+            return None;
+        }
+        let my_kind = ctx.platform.kind_of(worker);
+        let mut candidates: Vec<(WorkerId, heteroprio_simulator::RunningTask)> =
+            ctx.running_on(my_kind.other()).collect();
+        candidates.sort_by(|(_, a), (_, b)| {
+            b.end.total_cmp(&a.end).then_with(|| {
+                let ta = ctx.graph.instance().task(a.task);
+                let tb = ctx.graph.instance().task(b.task);
+                match self.config.spoliation_tie {
+                    SpoliationTieBreak::PriorityThenId => {
+                        tb.priority.total_cmp(&ta.priority).then(a.task.cmp(&b.task))
+                    }
+                    SpoliationTieBreak::IdAscending => a.task.cmp(&b.task),
+                    SpoliationTieBreak::IdDescending => b.task.cmp(&a.task),
+                }
+            })
+        });
+        for (v, r) in candidates {
+            let new_end = ctx.now + ctx.effective_time(r.task, my_kind);
+            if strictly_less(new_end, r.end) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn worker_order(&self) -> WorkerOrder {
+        self.config.worker_order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteroprio_core::time::approx_eq;
+    use heteroprio_core::{heteroprio, Instance, Platform, ResourceKind};
+    use heteroprio_simulator::simulate;
+    use heteroprio_taskgraph::{check_precedence, cholesky, ConstTiming, TaskGraph};
+
+    #[test]
+    fn matches_core_heteroprio_on_independent_tasks() {
+        // On an edge-free graph the DAG policy must reproduce the core
+        // independent-task implementation exactly.
+        let times: Vec<(f64, f64)> = (1..=12)
+            .map(|i| {
+                let p = (i * 37 % 11 + 1) as f64;
+                let q = (i * 53 % 7 + 1) as f64;
+                (p, q)
+            })
+            .collect();
+        let inst = Instance::from_times(&times);
+        let plat = Platform::new(3, 2);
+        let cfg = HeteroPrioConfig::new();
+        let core_res = heteroprio(&inst, &plat, &cfg);
+        let g = TaskGraph::independent(inst.clone());
+        let mut policy = HeteroPrioDagPolicy::new(cfg);
+        let sim_res = simulate(&g, &plat, &mut policy);
+        sim_res.schedule.validate(&inst, &plat).unwrap();
+        assert!(
+            approx_eq(core_res.makespan(), sim_res.makespan()),
+            "core {} vs dag {}",
+            core_res.makespan(),
+            sim_res.makespan()
+        );
+        assert_eq!(core_res.spoliations, sim_res.spoliations);
+    }
+
+    #[test]
+    fn cholesky_runs_to_completion_and_respects_deps() {
+        let g = cholesky(6, &ConstTiming { cpu: 3.0, gpu: 1.0 });
+        let plat = Platform::new(4, 2);
+        let mut policy = HeteroPrioDagPolicy::new(HeteroPrioConfig::new());
+        let res = simulate(&g, &plat, &mut policy);
+        res.schedule.validate(g.instance(), &plat).unwrap();
+        check_precedence(&g, &res.schedule).unwrap();
+        assert!(res.makespan() > 0.0);
+    }
+
+    #[test]
+    fn spoliation_disabled_config_spoliates_nothing() {
+        let inst = Instance::from_times(&[(100.0, 1.0), (100.0, 1.0)]);
+        let g = TaskGraph::independent(inst);
+        let plat = Platform::new(1, 1);
+        let mut policy = HeteroPrioDagPolicy::new(HeteroPrioConfig::without_spoliation());
+        let res = simulate(&g, &plat, &mut policy);
+        assert_eq!(res.spoliations, 0);
+        assert!(approx_eq(res.makespan(), 100.0));
+    }
+
+    #[test]
+    fn queue_serves_extremes_to_matching_resources() {
+        // Four ready tasks with distinct ρ: GPU should take the highest-ρ
+        // tasks, CPU the lowest.
+        let inst = Instance::from_times(&[(8.0, 1.0), (4.0, 1.0), (1.0, 4.0), (1.0, 8.0)]);
+        let g = TaskGraph::independent(inst.clone());
+        let plat = Platform::new(2, 2);
+        let mut policy = HeteroPrioDagPolicy::new(HeteroPrioConfig::new());
+        let res = simulate(&g, &plat, &mut policy);
+        for r in &res.schedule.runs {
+            let rho = inst.task(r.task).accel_factor();
+            let kind = plat.kind_of(r.worker);
+            if rho > 1.0 {
+                assert_eq!(kind, ResourceKind::Gpu, "{} with rho {rho}", r.task);
+            } else {
+                assert_eq!(kind, ResourceKind::Cpu, "{} with rho {rho}", r.task);
+            }
+        }
+        assert!(approx_eq(res.makespan(), 1.0));
+    }
+}

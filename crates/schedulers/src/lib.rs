@@ -1,0 +1,25 @@
+//! # heteroprio-schedulers
+//!
+//! The scheduling algorithms compared in the paper's §6 evaluation, for both
+//! independent task sets and DAGs executed on the runtime-engine simulator:
+//!
+//! * **HeteroPrio** in DAG mode ([`HeteroPrioDagPolicy`]) — the independent
+//!   task variant lives in `heteroprio-core`;
+//! * **DualHP** (Bleuse et al. \[15\]): the dual-approximation packing for
+//!   independent tasks ([`dualhp_independent`]) and its online DAG variant
+//!   ([`DualHpDagPolicy`]) with `fifo` or priority ranks;
+//! * **HEFT** (Topcuoglu et al. \[11\]) with `avg`/`min` weight schemes and
+//!   insertion / no-insertion variants ([`heft()`](heft::heft));
+//! * baselines: plain priority list scheduling and a random scheduler.
+
+pub mod baselines;
+pub mod dualhp;
+pub mod heft;
+pub mod heteroprio_dag;
+pub mod heuristics;
+
+pub use baselines::{PriorityListPolicy, RandomPolicy};
+pub use dualhp::{dualhp_independent, faster_class_schedule, DualHpDagPolicy, DualHpRank};
+pub use heft::{heft, HeftVariant};
+pub use heteroprio_dag::HeteroPrioDagPolicy;
+pub use heuristics::{heuristic_schedule, Heuristic};

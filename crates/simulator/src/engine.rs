@@ -1,0 +1,525 @@
+//! The discrete-event runtime engine.
+//!
+//! Simulates a task-based runtime system executing a [`TaskGraph`] on a
+//! CPU+GPU platform under an [`OnlinePolicy`]: tasks become ready when their
+//! predecessors complete, idle workers ask the policy for work, and policies
+//! may spoliate tasks running on the other resource class (abort and
+//! restart, losing all progress — the paper's §2.1 mechanism).
+
+use crate::policy::{OnlinePolicy, RunningTask, SimContext, TransferModel};
+use heteroprio_core::time::{strictly_less, F64Ord};
+use heteroprio_core::{Platform, ResourceKind, Schedule, TaskId, TaskRun, WorkerId, WorkerOrder};
+use heteroprio_taskgraph::{ReadyTracker, TaskGraph};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Outcome of a simulated execution.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    pub schedule: Schedule,
+    /// First instant at which a worker asked for work and got none.
+    pub first_idle: Option<f64>,
+    pub spoliations: usize,
+}
+
+impl SimResult {
+    pub fn makespan(&self) -> f64 {
+        self.schedule.makespan()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TaskState {
+    Pending,
+    Ready,
+    Running,
+    Done,
+}
+
+/// Run `policy` over `graph` on `platform` to completion.
+///
+/// Panics on policy protocol violations: picking a task that is not ready,
+/// spoliating an idle worker or one of the same class, a spoliation that
+/// does not strictly improve the task's completion time, or a deadlock
+/// (work remains, nothing runs, and the policy schedules nothing).
+pub fn simulate<P: OnlinePolicy>(
+    graph: &TaskGraph,
+    platform: &Platform,
+    policy: &mut P,
+) -> SimResult {
+    simulate_with(graph, platform, policy, &TransferModel::NONE)
+}
+
+/// [`simulate`] with an explicit transfer-cost model: tasks whose inputs
+/// were produced on the other resource class pay the model's penalty on top
+/// of their base time.
+pub fn simulate_with<P: OnlinePolicy>(
+    graph: &TaskGraph,
+    platform: &Platform,
+    policy: &mut P,
+    model: &TransferModel,
+) -> SimResult {
+    policy.init(graph, platform);
+    let mut engine = Engine::new(graph, platform, model);
+    engine.run(policy);
+    SimResult {
+        schedule: engine.schedule,
+        first_idle: engine.first_idle,
+        spoliations: engine.spoliations,
+    }
+}
+
+struct Engine<'a> {
+    graph: &'a TaskGraph,
+    platform: &'a Platform,
+    model: &'a TransferModel,
+    ran_kind: Vec<Option<ResourceKind>>,
+    tracker: ReadyTracker,
+    state: Vec<TaskState>,
+    running: Vec<Option<RunningTask>>,
+    generation: Vec<u64>,
+    events: BinaryHeap<Reverse<(F64Ord, u32, u64)>>,
+    idle: Vec<WorkerId>,
+    schedule: Schedule,
+    first_idle: Option<f64>,
+    spoliations: usize,
+}
+
+impl<'a> Engine<'a> {
+    fn new(graph: &'a TaskGraph, platform: &'a Platform, model: &'a TransferModel) -> Self {
+        Engine {
+            graph,
+            platform,
+            model,
+            ran_kind: vec![None; graph.len()],
+            tracker: ReadyTracker::new(graph),
+            state: vec![TaskState::Pending; graph.len()],
+            running: vec![None; platform.workers()],
+            generation: vec![0; platform.workers()],
+            events: BinaryHeap::new(),
+            idle: platform.all_workers().collect(),
+            schedule: Schedule::new(),
+            first_idle: None,
+            spoliations: 0,
+        }
+    }
+
+    fn announce_ready<P: OnlinePolicy>(&mut self, policy: &mut P, tasks: &[TaskId], now: f64) {
+        if tasks.is_empty() {
+            return;
+        }
+        for &t in tasks {
+            debug_assert_eq!(self.state[t.index()], TaskState::Pending);
+            self.state[t.index()] = TaskState::Ready;
+        }
+        let ctx = SimContext {
+            now,
+            platform: self.platform,
+            graph: self.graph,
+            running: &self.running,
+            ran_kind: &self.ran_kind,
+            model: self.model,
+        };
+        policy.on_ready(tasks, &ctx);
+    }
+
+    fn start(&mut self, w: WorkerId, task: TaskId, now: f64) {
+        let end = now + self.effective_time(task, self.platform.kind_of(w));
+        self.running[w.index()] = Some(RunningTask { task, start: now, end });
+        self.state[task.index()] = TaskState::Running;
+        self.events.push(Reverse((F64Ord::new(end), w.0, self.generation[w.index()])));
+    }
+
+    /// Duration the engine charges for `task` on class `kind` (base time
+    /// plus the cross-class transfer penalty when an input was produced on
+    /// the other class).
+    fn effective_time(&self, task: TaskId, kind: ResourceKind) -> f64 {
+        let base = self.graph.instance().task(task).time_on(kind);
+        let cross = self
+            .graph
+            .predecessors(task)
+            .iter()
+            .any(|p| self.ran_kind[p.index()] == Some(kind.other()));
+        if cross {
+            base + self.model.cross_class_penalty
+        } else {
+            base
+        }
+    }
+
+    fn worker_sort_key(&self, order: WorkerOrder, w: WorkerId) -> (u8, u32) {
+        let kind = self.platform.kind_of(w);
+        let class = match order {
+            WorkerOrder::GpusFirst => (kind == ResourceKind::Cpu) as u8,
+            WorkerOrder::CpusFirst => (kind == ResourceKind::Gpu) as u8,
+            WorkerOrder::ById => 0,
+        };
+        (class, w.0)
+    }
+
+    fn assign_fixpoint<P: OnlinePolicy>(&mut self, policy: &mut P, now: f64) {
+        loop {
+            let order = policy.worker_order();
+            let mut idle = std::mem::take(&mut self.idle);
+            idle.sort_by_key(|&w| self.worker_sort_key(order, w));
+            let mut acted = false;
+            let mut still_idle = Vec::new();
+            let mut newly_idle = Vec::new();
+            for w in idle {
+                let ctx = SimContext {
+                    now,
+                    platform: self.platform,
+                    graph: self.graph,
+                    running: &self.running,
+                    ran_kind: &self.ran_kind,
+                    model: self.model,
+                };
+                if let Some(task) = policy.pick_task(w, &ctx) {
+                    assert_eq!(
+                        self.state[task.index()],
+                        TaskState::Ready,
+                        "policy picked {task}, which is not ready"
+                    );
+                    self.start(w, task, now);
+                    acted = true;
+                    continue;
+                }
+                if self.first_idle.is_none() {
+                    self.first_idle = Some(now);
+                }
+                if let Some(victim) = policy.spoliation_victim(w, &ctx) {
+                    let my_kind = self.platform.kind_of(w);
+                    assert_eq!(
+                        self.platform.kind_of(victim),
+                        my_kind.other(),
+                        "spoliation must cross resource classes"
+                    );
+                    let r = self.running[victim.index()]
+                        .take()
+                        .expect("policy spoliated an idle worker");
+                    let new_end = now + self.effective_time(r.task, my_kind);
+                    assert!(
+                        strictly_less(new_end, r.end),
+                        "spoliation of {} must strictly improve completion ({new_end} vs {})",
+                        r.task,
+                        r.end
+                    );
+                    self.generation[victim.index()] += 1;
+                    self.schedule.aborted.push(TaskRun {
+                        task: r.task,
+                        worker: victim,
+                        start: r.start,
+                        end: now,
+                    });
+                    self.spoliations += 1;
+                    self.start(w, r.task, now);
+                    newly_idle.push(victim);
+                    acted = true;
+                    continue;
+                }
+                still_idle.push(w);
+            }
+            self.idle = still_idle;
+            self.idle.extend(newly_idle);
+            if !acted {
+                return;
+            }
+        }
+    }
+
+    fn complete<P: OnlinePolicy>(&mut self, policy: &mut P, w: WorkerId, now: f64) {
+        let r = self.running[w.index()].take().expect("completion on idle worker");
+        self.schedule.runs.push(TaskRun { task: r.task, worker: w, start: r.start, end: now });
+        self.state[r.task.index()] = TaskState::Done;
+        self.ran_kind[r.task.index()] = Some(self.platform.kind_of(w));
+        self.idle.push(w);
+        let ready = self.tracker.complete(self.graph, r.task);
+        self.announce_ready(policy, &ready, now);
+    }
+
+    fn run<P: OnlinePolicy>(&mut self, policy: &mut P) {
+        let mut now = 0.0;
+        let initial = self.graph.sources();
+        self.announce_ready(policy, &initial, now);
+        self.assign_fixpoint(policy, now);
+        while !self.tracker.is_done() {
+            let (t, w) = loop {
+                let Reverse((F64Ord(t), w, generation)) = self
+                    .events
+                    .pop()
+                    .expect("deadlock: tasks remain but nothing is running (policy bug?)");
+                if self.generation[w as usize] == generation {
+                    break (t, WorkerId(w));
+                }
+            };
+            debug_assert!(t >= now);
+            now = t;
+            self.complete(policy, w, now);
+            while let Some(&Reverse((F64Ord(t2), w2, g2))) = self.events.peek() {
+                if self.generation[w2 as usize] != g2 {
+                    self.events.pop();
+                } else if t2 == now {
+                    self.events.pop();
+                    self.complete(policy, WorkerId(w2), now);
+                } else {
+                    break;
+                }
+            }
+            self.assign_fixpoint(policy, now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteroprio_core::time::approx_eq;
+    use heteroprio_core::Instance;
+    use heteroprio_taskgraph::{chain, check_precedence, fork_join, DagBuilder, TaskGraph};
+    use std::collections::VecDeque;
+
+    /// Minimal FIFO policy: any idle worker takes the oldest ready task.
+    struct Fifo {
+        queue: VecDeque<TaskId>,
+    }
+
+    impl Fifo {
+        fn new() -> Self {
+            Fifo { queue: VecDeque::new() }
+        }
+    }
+
+    impl OnlinePolicy for Fifo {
+        fn on_ready(&mut self, tasks: &[TaskId], _ctx: &SimContext<'_>) {
+            self.queue.extend(tasks);
+        }
+
+        fn pick_task(&mut self, _worker: WorkerId, _ctx: &SimContext<'_>) -> Option<TaskId> {
+            self.queue.pop_front()
+        }
+    }
+
+    fn run_fifo(graph: &TaskGraph, platform: &Platform) -> SimResult {
+        let mut policy = Fifo::new();
+        let res = simulate(graph, platform, &mut policy);
+        res.schedule.validate(graph.instance(), platform).expect("valid schedule");
+        check_precedence(graph, &res.schedule).expect("precedence respected");
+        res
+    }
+
+    #[test]
+    fn chain_executes_serially() {
+        let g = chain(5, 2.0, 1.0);
+        let plat = Platform::new(1, 1);
+        let res = run_fifo(&g, &plat);
+        // GPUs-first order: the single GPU takes every task as it readies.
+        assert!(approx_eq(res.makespan(), 5.0), "{}", res.makespan());
+    }
+
+    #[test]
+    fn fork_join_parallelizes_the_middle() {
+        let g = fork_join(4, 1.0, 1.0);
+        let plat = Platform::new(2, 2);
+        let res = run_fifo(&g, &plat);
+        // 1 (fork) + 1 (middle wave of 4 on 4 workers) + 1 (join).
+        assert!(approx_eq(res.makespan(), 3.0), "{}", res.makespan());
+    }
+
+    #[test]
+    fn independent_tasks_spread_over_workers() {
+        let g = TaskGraph::independent(Instance::from_times(&[(1.0, 1.0); 8]));
+        let plat = Platform::new(2, 2);
+        let res = run_fifo(&g, &plat);
+        assert!(approx_eq(res.makespan(), 2.0), "{}", res.makespan());
+        assert_eq!(res.schedule.runs.len(), 8);
+    }
+
+    #[test]
+    fn first_idle_recorded_when_starved() {
+        let g = chain(3, 1.0, 1.0);
+        let plat = Platform::new(1, 1);
+        let res = run_fifo(&g, &plat);
+        // Only one task ready at a time: someone is idle at t=0.
+        assert_eq!(res.first_idle, Some(0.0));
+    }
+
+    #[test]
+    fn policy_spoliation_is_checked_and_recorded() {
+        /// Policy: CPU grabs the single task; the GPU then spoliates it.
+        struct SpoliateOnce {
+            queue: Vec<TaskId>,
+        }
+        impl OnlinePolicy for SpoliateOnce {
+            fn on_ready(&mut self, tasks: &[TaskId], _ctx: &SimContext<'_>) {
+                self.queue.extend_from_slice(tasks);
+            }
+            fn pick_task(&mut self, worker: WorkerId, ctx: &SimContext<'_>) -> Option<TaskId> {
+                if ctx.platform.kind_of(worker) == ResourceKind::Cpu {
+                    self.queue.pop()
+                } else {
+                    None
+                }
+            }
+            fn spoliation_victim(
+                &mut self,
+                worker: WorkerId,
+                ctx: &SimContext<'_>,
+            ) -> Option<WorkerId> {
+                let kind = ctx.platform.kind_of(worker);
+                ctx.running_on(kind.other())
+                    .find(|(_, r)| {
+                        let t = ctx.graph.instance().task(r.task).time_on(kind);
+                        ctx.now + t < r.end
+                    })
+                    .map(|(w, _)| w)
+            }
+            fn worker_order(&self) -> WorkerOrder {
+                WorkerOrder::CpusFirst
+            }
+        }
+        let g = TaskGraph::independent(Instance::from_times(&[(10.0, 1.0)]));
+        let plat = Platform::new(1, 1);
+        let mut policy = SpoliateOnce { queue: Vec::new() };
+        let res = simulate(&g, &plat, &mut policy);
+        res.schedule.validate(g.instance(), &plat).unwrap();
+        assert_eq!(res.spoliations, 1);
+        assert!(approx_eq(res.makespan(), 1.0));
+        assert_eq!(res.schedule.aborted.len(), 1);
+        assert_eq!(res.schedule.aborted[0].start, 0.0);
+        assert_eq!(res.schedule.aborted[0].end, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not ready")]
+    fn picking_unready_task_panics() {
+        struct Evil;
+        impl OnlinePolicy for Evil {
+            fn on_ready(&mut self, _tasks: &[TaskId], _ctx: &SimContext<'_>) {}
+            fn pick_task(&mut self, _worker: WorkerId, _ctx: &SimContext<'_>) -> Option<TaskId> {
+                Some(TaskId(1)) // the chain's second task is still pending
+            }
+        }
+        let g = chain(2, 1.0, 1.0);
+        let plat = Platform::new(1, 1);
+        let _ = simulate(&g, &plat, &mut Evil);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn refusing_all_work_deadlocks() {
+        struct Lazy;
+        impl OnlinePolicy for Lazy {
+            fn on_ready(&mut self, _tasks: &[TaskId], _ctx: &SimContext<'_>) {}
+            fn pick_task(&mut self, _worker: WorkerId, _ctx: &SimContext<'_>) -> Option<TaskId> {
+                None
+            }
+        }
+        let g = chain(2, 1.0, 1.0);
+        let plat = Platform::new(1, 1);
+        let _ = simulate(&g, &plat, &mut Lazy);
+    }
+
+    #[test]
+    fn transfer_penalty_charges_cross_class_edges() {
+        // chain a → b with 2 CPUs + 1 GPU... use (1,1): FIFO + GpusFirst
+        // puts both tasks on the GPU → no penalty. Force a cross by a policy
+        // that alternates classes.
+        struct Alternate {
+            queue: VecDeque<TaskId>,
+            next_cpu: bool,
+        }
+        impl OnlinePolicy for Alternate {
+            fn on_ready(&mut self, tasks: &[TaskId], _ctx: &SimContext<'_>) {
+                self.queue.extend(tasks);
+            }
+            fn pick_task(&mut self, worker: WorkerId, ctx: &SimContext<'_>) -> Option<TaskId> {
+                let kind = ctx.platform.kind_of(worker);
+                let want = if self.next_cpu { ResourceKind::Cpu } else { ResourceKind::Gpu };
+                if kind == want {
+                    let t = self.queue.pop_front()?;
+                    self.next_cpu = !self.next_cpu;
+                    Some(t)
+                } else {
+                    None
+                }
+            }
+        }
+        let g = chain(3, 2.0, 2.0);
+        let plat = Platform::new(1, 1);
+        let model = crate::policy::TransferModel::new(0.5);
+        let mut policy = Alternate { queue: VecDeque::new(), next_cpu: false };
+        let res = super::simulate_with(&g, &plat, &mut policy, &model);
+        // GPU, CPU (+0.5), GPU (+0.5): 2 + 2.5 + 2.5 = 7.
+        assert!(approx_eq(res.makespan(), 7.0), "{}", res.makespan());
+        res.schedule
+            .validate_with_overhead(g.instance(), &plat, model.cross_class_penalty)
+            .unwrap();
+        // Strict validation must reject the stretched durations.
+        assert!(res.schedule.validate(g.instance(), &plat).is_err());
+    }
+
+    #[test]
+    fn zero_penalty_model_matches_default_simulate() {
+        let g = fork_join(6, 2.0, 1.0);
+        let plat = Platform::new(2, 2);
+        let a = simulate(&g, &plat, &mut Fifo::new()).makespan();
+        let b = super::simulate_with(
+            &g,
+            &plat,
+            &mut Fifo::new(),
+            &crate::policy::TransferModel::NONE,
+        )
+        .makespan();
+        assert!(approx_eq(a, b));
+    }
+
+    #[test]
+    fn effective_time_reports_penalty_to_policies() {
+        // Observe ctx.effective_time from inside a policy after a pred
+        // completed on the CPU.
+        struct Probe {
+            queue: VecDeque<TaskId>,
+            observed: Vec<f64>,
+        }
+        impl OnlinePolicy for Probe {
+            fn on_ready(&mut self, tasks: &[TaskId], ctx: &SimContext<'_>) {
+                for &t in tasks {
+                    self.observed.push(ctx.effective_time(t, ResourceKind::Gpu));
+                }
+                self.queue.extend(tasks);
+            }
+            fn pick_task(&mut self, worker: WorkerId, ctx: &SimContext<'_>) -> Option<TaskId> {
+                // CPUs only, so successors always pay the GPU cross penalty.
+                (ctx.platform.kind_of(worker) == ResourceKind::Cpu)
+                    .then(|| self.queue.pop_front())
+                    .flatten()
+            }
+        }
+        let g = chain(2, 1.0, 1.0);
+        let plat = Platform::new(1, 1);
+        let model = crate::policy::TransferModel::new(0.25);
+        let mut policy = Probe { queue: VecDeque::new(), observed: Vec::new() };
+        let res = super::simulate_with(&g, &plat, &mut policy, &model);
+        // First task: no preds → 1.0; second: pred ran on CPU → GPU time 1.25.
+        assert_eq!(policy.observed, vec![1.0, 1.25]);
+        assert!(res.makespan() > 0.0);
+    }
+
+    #[test]
+    fn diamond_wave_order_matches_dependencies() {
+        let mut b = DagBuilder::new();
+        let a = b.add_task(heteroprio_core::Task::new(1.0, 1.0), "a");
+        let c1 = b.add_task(heteroprio_core::Task::new(2.0, 2.0), "b");
+        let c2 = b.add_task(heteroprio_core::Task::new(2.0, 2.0), "c");
+        let d = b.add_task(heteroprio_core::Task::new(1.0, 1.0), "d");
+        b.add_edge(a, c1);
+        b.add_edge(a, c2);
+        b.add_edge(c1, d);
+        b.add_edge(c2, d);
+        let g = b.build().unwrap();
+        let plat = Platform::new(1, 1);
+        let res = run_fifo(&g, &plat);
+        // a at [0,1], b and c in parallel [1,3], d at [3,4].
+        assert!(approx_eq(res.makespan(), 4.0), "{}", res.makespan());
+    }
+}

@@ -1,0 +1,116 @@
+//! The interface between the runtime engine and an online scheduling policy.
+//!
+//! The engine owns time, workers and dependency tracking; the policy owns
+//! the ready queue(s) and all placement decisions, mirroring how StarPU
+//! separates its core from its pluggable schedulers.
+
+use heteroprio_core::{Platform, TaskId, WorkerId};
+use heteroprio_taskgraph::TaskGraph;
+
+/// A task currently executing on some worker.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunningTask {
+    pub task: TaskId,
+    pub start: f64,
+    /// Expected completion time.
+    pub end: f64,
+}
+
+/// Optional execution-cost model: a fixed penalty added to a task's
+/// duration when at least one predecessor completed on the *other* resource
+/// class, approximating the data-transfer cost StarPU would pay to move the
+/// input tiles across the PCI bus. The paper's model sets this to zero; the
+/// robustness experiments sweep it.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TransferModel {
+    pub cross_class_penalty: f64,
+}
+
+impl TransferModel {
+    pub const NONE: TransferModel = TransferModel { cross_class_penalty: 0.0 };
+
+    pub fn new(cross_class_penalty: f64) -> Self {
+        assert!(cross_class_penalty >= 0.0 && cross_class_penalty.is_finite());
+        TransferModel { cross_class_penalty }
+    }
+}
+
+/// Read-only view of the simulation state handed to policy callbacks.
+pub struct SimContext<'a> {
+    pub now: f64,
+    pub platform: &'a Platform,
+    pub graph: &'a TaskGraph,
+    /// Indexed by worker; `None` when the worker is idle.
+    pub running: &'a [Option<RunningTask>],
+    /// Resource class each completed task ran on (`None` if not finished).
+    pub ran_kind: &'a [Option<heteroprio_core::ResourceKind>],
+    /// The active transfer-cost model.
+    pub model: &'a TransferModel,
+}
+
+impl SimContext<'_> {
+    /// Running tasks on workers of one resource class.
+    pub fn running_on(
+        &self,
+        kind: heteroprio_core::ResourceKind,
+    ) -> impl Iterator<Item = (WorkerId, RunningTask)> + '_ {
+        self.platform
+            .workers_of(kind)
+            .filter_map(|w| self.running[w.index()].map(|r| (w, r)))
+    }
+
+    /// Effective execution time of `task` on class `kind`, including the
+    /// transfer penalty. This is what the engine will charge; policies must
+    /// use it for spoliation-improvement checks.
+    pub fn effective_time(&self, task: TaskId, kind: heteroprio_core::ResourceKind) -> f64 {
+        let base = self.graph.instance().task(task).time_on(kind);
+        let cross = self
+            .graph
+            .predecessors(task)
+            .iter()
+            .any(|p| self.ran_kind[p.index()] == Some(kind.other()));
+        if cross {
+            base + self.model.cross_class_penalty
+        } else {
+            base
+        }
+    }
+}
+
+/// Order in which simultaneously idle workers are offered work.
+pub use heteroprio_core::WorkerOrder;
+
+/// An online scheduling policy driven by the runtime engine.
+///
+/// Contract: a task handed to the policy via [`OnlinePolicy::on_ready`] must
+/// eventually be returned (exactly once) from [`OnlinePolicy::pick_task`],
+/// unless the engine restarts it itself after a spoliation. The engine
+/// asserts these invariants.
+pub trait OnlinePolicy {
+    /// Called once before the simulation starts.
+    fn init(&mut self, graph: &TaskGraph, platform: &Platform) {
+        let _ = (graph, platform);
+    }
+
+    /// New tasks whose dependencies are all satisfied.
+    fn on_ready(&mut self, tasks: &[TaskId], ctx: &SimContext<'_>);
+
+    /// An idle worker asks for work. Returning `None` leaves it idle until
+    /// the next event.
+    fn pick_task(&mut self, worker: WorkerId, ctx: &SimContext<'_>) -> Option<TaskId>;
+
+    /// An idle worker with no pick may spoliate a task running on the
+    /// *other* resource class: return the victim worker. The engine aborts
+    /// the victim's run (progress is lost) and restarts the task on
+    /// `worker`. The restart must strictly improve the task's completion
+    /// time — the engine enforces this to guarantee progress.
+    fn spoliation_victim(&mut self, worker: WorkerId, ctx: &SimContext<'_>) -> Option<WorkerId> {
+        let _ = (worker, ctx);
+        None
+    }
+
+    /// Order in which simultaneously idle workers are served.
+    fn worker_order(&self) -> WorkerOrder {
+        WorkerOrder::GpusFirst
+    }
+}

@@ -1,0 +1,111 @@
+//! Kernel vocabulary of the tiled dense linear-algebra factorizations used
+//! in the paper's evaluation (§6), and the timing abstraction that maps a
+//! kernel to its (CPU, GPU) processing times.
+
+use heteroprio_core::Task;
+
+/// The BLAS/LAPACK tile kernels appearing in Cholesky, QR and LU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    // Cholesky
+    Potrf,
+    Trsm,
+    Syrk,
+    Gemm,
+    // QR
+    Geqrt,
+    Ormqr,
+    Tsqrt,
+    Tsmqr,
+    // LU (reuses Trsm and Gemm)
+    Getrf,
+}
+
+impl Kernel {
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Potrf => "DPOTRF",
+            Kernel::Trsm => "DTRSM",
+            Kernel::Syrk => "DSYRK",
+            Kernel::Gemm => "DGEMM",
+            Kernel::Geqrt => "DGEQRT",
+            Kernel::Ormqr => "DORMQR",
+            Kernel::Tsqrt => "DTSQRT",
+            Kernel::Tsmqr => "DTSMQR",
+            Kernel::Getrf => "DGETRF",
+        }
+    }
+
+    pub const ALL: [Kernel; 9] = [
+        Kernel::Potrf,
+        Kernel::Trsm,
+        Kernel::Syrk,
+        Kernel::Gemm,
+        Kernel::Geqrt,
+        Kernel::Ormqr,
+        Kernel::Tsqrt,
+        Kernel::Tsmqr,
+        Kernel::Getrf,
+    ];
+}
+
+/// Maps a kernel to its `(cpu_time, gpu_time)` — the runtime system's
+/// calibrated performance model. The realistic Table-1-based model lives in
+/// `heteroprio-workloads`; tests use the simple implementations below.
+pub trait KernelTiming {
+    fn times(&self, kernel: Kernel) -> (f64, f64);
+
+    /// Build a [`Task`] for the kernel.
+    fn task(&self, kernel: Kernel) -> Task {
+        let (p, q) = self.times(kernel);
+        Task::new(p, q)
+    }
+}
+
+/// All kernels take the same constant times — handy in structural tests.
+#[derive(Clone, Copy, Debug)]
+pub struct ConstTiming {
+    pub cpu: f64,
+    pub gpu: f64,
+}
+
+impl KernelTiming for ConstTiming {
+    fn times(&self, _kernel: Kernel) -> (f64, f64) {
+        (self.cpu, self.gpu)
+    }
+}
+
+impl<F: Fn(Kernel) -> (f64, f64)> KernelTiming for F {
+    fn times(&self, kernel: Kernel) -> (f64, f64) {
+        self(kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        for (i, a) in Kernel::ALL.iter().enumerate() {
+            for b in &Kernel::ALL[i + 1..] {
+                assert_ne!(a.name(), b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn const_timing_builds_tasks() {
+        let t = ConstTiming { cpu: 2.0, gpu: 0.5 };
+        let task = t.task(Kernel::Gemm);
+        assert_eq!(task.cpu_time, 2.0);
+        assert_eq!(task.gpu_time, 0.5);
+    }
+
+    #[test]
+    fn closures_are_timings() {
+        let f = |k: Kernel| if k == Kernel::Gemm { (28.8, 1.0) } else { (1.0, 1.0) };
+        assert_eq!(f.times(Kernel::Gemm), (28.8, 1.0));
+        assert_eq!(f.times(Kernel::Potrf), (1.0, 1.0));
+    }
+}

@@ -1,0 +1,184 @@
+//! Task ranking for DAG scheduling (§6.2 of the paper).
+//!
+//! For homogeneous platforms the standard priority is the *bottom level*:
+//! the longest path from a task to an exit task, counting node weights. With
+//! two unrelated resource classes a node's weight is ambiguous; the paper
+//! evaluates two schemes: `avg` (HEFT's average execution time) and `min`
+//! (the optimistic smallest execution time).
+
+use crate::dag::TaskGraph;
+use heteroprio_core::model::TaskId;
+
+/// How a task's scalar weight is derived from its two processing times.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WeightScheme {
+    /// Mean of CPU and GPU time (the standard HEFT weighting).
+    Avg,
+    /// `min(p, q)` — optimistic: assume the favourite resource.
+    Min,
+    /// CPU time only.
+    CpuOnly,
+    /// GPU time only.
+    GpuOnly,
+}
+
+impl WeightScheme {
+    pub fn weight(self, task: &heteroprio_core::Task) -> f64 {
+        match self {
+            WeightScheme::Avg => 0.5 * (task.cpu_time + task.gpu_time),
+            WeightScheme::Min => task.min_time(),
+            WeightScheme::CpuOnly => task.cpu_time,
+            WeightScheme::GpuOnly => task.gpu_time,
+        }
+    }
+
+    pub const ALL: [WeightScheme; 4] =
+        [WeightScheme::Avg, WeightScheme::Min, WeightScheme::CpuOnly, WeightScheme::GpuOnly];
+}
+
+/// Bottom level of every task: its weight plus the maximum bottom level of
+/// its successors. Indexed by task id.
+pub fn bottom_levels(graph: &TaskGraph, scheme: WeightScheme) -> Vec<f64> {
+    let order = graph.topo_order();
+    let mut levels = vec![0.0_f64; graph.len()];
+    for &id in order.iter().rev() {
+        let down = graph
+            .successors(id)
+            .iter()
+            .map(|s| levels[s.index()])
+            .fold(0.0, f64::max);
+        levels[id.index()] = scheme.weight(graph.instance().task(id)) + down;
+    }
+    levels
+}
+
+/// Top level (longest path from a source, excluding the task itself).
+pub fn top_levels(graph: &TaskGraph, scheme: WeightScheme) -> Vec<f64> {
+    let order = graph.topo_order();
+    let mut levels = vec![0.0_f64; graph.len()];
+    for &id in &order {
+        let up = graph
+            .predecessors(id)
+            .iter()
+            .map(|&p| levels[p.index()] + scheme.weight(graph.instance().task(p)))
+            .fold(0.0, f64::max);
+        levels[id.index()] = up;
+    }
+    levels
+}
+
+/// Critical-path length under a weight scheme: the largest bottom level.
+pub fn critical_path(graph: &TaskGraph, scheme: WeightScheme) -> f64 {
+    bottom_levels(graph, scheme).into_iter().fold(0.0, f64::max)
+}
+
+/// Set every task's priority to its bottom level under `scheme`; returns the
+/// computed levels. This is the ranking step that HeteroPrio, DualHP and
+/// HEFT all apply before scheduling a DAG.
+pub fn apply_bottom_level_priorities(graph: &mut TaskGraph, scheme: WeightScheme) -> Vec<f64> {
+    let levels = bottom_levels(graph, scheme);
+    graph.set_priorities(&levels);
+    levels
+}
+
+/// Tasks sorted by decreasing bottom level (HEFT's scheduling order),
+/// ties by increasing id for determinism.
+pub fn rank_order(graph: &TaskGraph, scheme: WeightScheme) -> Vec<TaskId> {
+    let levels = bottom_levels(graph, scheme);
+    let mut ids: Vec<TaskId> = graph.instance().ids().collect();
+    ids.sort_by(|&a, &b| levels[b.index()].total_cmp(&levels[a.index()]).then(a.cmp(&b)));
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::DagBuilder;
+    use heteroprio_core::{Task, TaskId};
+
+    /// chain a(2,4) → b(6,2) → c(2,2)
+    fn chain() -> TaskGraph {
+        let mut b = DagBuilder::new();
+        let x = b.add_task(Task::new(2.0, 4.0), "a");
+        let y = b.add_task(Task::new(6.0, 2.0), "b");
+        let z = b.add_task(Task::new(2.0, 2.0), "c");
+        b.add_edge(x, y);
+        b.add_edge(y, z);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bottom_levels_on_chain() {
+        let g = chain();
+        let avg = bottom_levels(&g, WeightScheme::Avg);
+        // weights: 3, 4, 2 → bottom levels: 9, 6, 2
+        assert_eq!(avg, vec![9.0, 6.0, 2.0]);
+        let min = bottom_levels(&g, WeightScheme::Min);
+        // weights: 2, 2, 2 → bottom levels: 6, 4, 2
+        assert_eq!(min, vec![6.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn top_levels_on_chain() {
+        let g = chain();
+        let avg = top_levels(&g, WeightScheme::Avg);
+        assert_eq!(avg, vec![0.0, 3.0, 7.0]);
+    }
+
+    #[test]
+    fn critical_path_is_max_bottom_level() {
+        let g = chain();
+        assert_eq!(critical_path(&g, WeightScheme::Avg), 9.0);
+        assert_eq!(critical_path(&g, WeightScheme::Min), 6.0);
+        assert_eq!(critical_path(&g, WeightScheme::CpuOnly), 10.0);
+        assert_eq!(critical_path(&g, WeightScheme::GpuOnly), 8.0);
+    }
+
+    #[test]
+    fn rank_order_is_topological_on_chains() {
+        let g = chain();
+        assert_eq!(rank_order(&g, WeightScheme::Avg), vec![TaskId(0), TaskId(1), TaskId(2)]);
+    }
+
+    #[test]
+    fn parallel_branches_rank_by_weight() {
+        // src → {heavy, light} → sink
+        let mut b = DagBuilder::new();
+        let s = b.add_task(Task::new(1.0, 1.0), "s");
+        let heavy = b.add_task(Task::new(10.0, 10.0), "h");
+        let light = b.add_task(Task::new(1.0, 1.0), "l");
+        let t = b.add_task(Task::new(1.0, 1.0), "t");
+        b.add_edge(s, heavy);
+        b.add_edge(s, light);
+        b.add_edge(heavy, t);
+        b.add_edge(light, t);
+        let g = b.build().unwrap();
+        let order = rank_order(&g, WeightScheme::Avg);
+        assert_eq!(order[0], s);
+        assert_eq!(order[1], heavy);
+        assert_eq!(order[2], light);
+        assert_eq!(order[3], t);
+    }
+
+    #[test]
+    fn apply_priorities_matches_levels() {
+        let mut g = chain();
+        let levels = apply_bottom_level_priorities(&mut g, WeightScheme::Min);
+        for id in g.instance().ids() {
+            assert_eq!(g.instance().task(id).priority, levels[id.index()]);
+        }
+    }
+
+    #[test]
+    fn bottom_level_is_monotone_along_edges() {
+        let g = chain();
+        for scheme in WeightScheme::ALL {
+            let levels = bottom_levels(&g, scheme);
+            for id in g.instance().ids() {
+                for &s in g.successors(id) {
+                    assert!(levels[id.index()] > levels[s.index()]);
+                }
+            }
+        }
+    }
+}

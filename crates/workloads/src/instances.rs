@@ -1,0 +1,91 @@
+//! Independent-task instances for the Figure 6 experiments.
+//!
+//! "To obtain realistic instances with independent tasks, we have taken the
+//! actual measurements from tasks of each kernel (Cholesky, QR and LU) and
+//! considered these as independent tasks" — i.e. the kernel multiset of an
+//! N-tile factorization with dependencies dropped.
+
+use heteroprio_core::Instance;
+use heteroprio_taskgraph::{Factorization, Kernel, KernelTiming};
+
+/// Kernel multiset of an `n`-tile factorization: `(kernel, count)` pairs.
+pub fn kernel_counts(f: Factorization, n: usize) -> Vec<(Kernel, usize)> {
+    let c2 = n * (n - 1) / 2;
+    let c3 = if n >= 3 { n * (n - 1) * (n - 2) / 6 } else { 0 };
+    let sq_sum = (n - 1) * n * (2 * n - 1) / 6;
+    match f {
+        Factorization::Cholesky => vec![
+            (Kernel::Potrf, n),
+            (Kernel::Trsm, c2),
+            (Kernel::Syrk, c2),
+            (Kernel::Gemm, c3),
+        ],
+        Factorization::Qr => vec![
+            (Kernel::Geqrt, n),
+            (Kernel::Ormqr, c2),
+            (Kernel::Tsqrt, c2),
+            (Kernel::Tsmqr, sq_sum),
+        ],
+        Factorization::Lu => vec![
+            (Kernel::Getrf, n),
+            (Kernel::Trsm, 2 * c2),
+            (Kernel::Gemm, sq_sum),
+        ],
+    }
+}
+
+/// The tasks of an `n`-tile factorization as an independent-task instance.
+pub fn independent_instance(
+    f: Factorization,
+    n: usize,
+    timing: &impl KernelTiming,
+) -> Instance {
+    let mut inst = Instance::new();
+    for (kernel, count) in kernel_counts(f, n) {
+        let task = timing.task(kernel);
+        for _ in 0..count {
+            inst.push(task);
+        }
+    }
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::ChameleonTiming;
+    use heteroprio_taskgraph::expected_task_count;
+
+    #[test]
+    fn counts_match_dag_generators() {
+        for f in Factorization::ALL {
+            for n in 1..=10 {
+                let total: usize = kernel_counts(f, n).iter().map(|&(_, c)| c).sum();
+                assert_eq!(total, expected_task_count(f, n), "{} n={n}", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn instance_size_matches_counts() {
+        let inst = independent_instance(Factorization::Cholesky, 8, &ChameleonTiming);
+        assert_eq!(inst.len(), expected_task_count(Factorization::Cholesky, 8));
+    }
+
+    #[test]
+    fn gemm_dominates_large_cholesky() {
+        // For large N the GEMM count (~N³/6) dwarfs the others (~N²).
+        let counts = kernel_counts(Factorization::Cholesky, 32);
+        let gemm = counts.iter().find(|(k, _)| *k == Kernel::Gemm).unwrap().1;
+        let rest: usize = counts.iter().filter(|(k, _)| *k != Kernel::Gemm).map(|&(_, c)| c).sum();
+        assert!(gemm > 3 * rest);
+    }
+
+    #[test]
+    fn tiny_instances_have_no_update_kernels() {
+        let counts = kernel_counts(Factorization::Cholesky, 2);
+        let gemm = counts.iter().find(|(k, _)| *k == Kernel::Gemm).unwrap().1;
+        assert_eq!(gemm, 0);
+        assert_eq!(independent_instance(Factorization::Cholesky, 2, &ChameleonTiming).len(), 4);
+    }
+}

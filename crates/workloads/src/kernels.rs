@@ -1,0 +1,242 @@
+//! The calibrated kernel timing model (paper §2.1, Table 1).
+//!
+//! The paper measures Chameleon kernels (tile size 960) on 20 Haswell cores
+//! and 4 K40 GPUs through StarPU's calibration. We do not have that machine;
+//! following the substitution policy of DESIGN.md, CPU times are derived
+//! from published per-core Haswell kernel rates, and GPU times follow from
+//! the paper's Table 1 acceleration factors, which are reproduced exactly:
+//!
+//! | kernel | DPOTRF | DTRSM | DSYRK | DGEMM |
+//! |--------|--------|-------|-------|-------|
+//! | GPU / 1 core | 1.72 | 8.72 | 26.96 | 28.80 |
+//!
+//! QR and LU kernel factors are documented estimates in the same spirit
+//! (panel kernels barely accelerated, update kernels strongly accelerated).
+//! All experiments report ratios to lower bounds, which are invariant under
+//! a global rescaling of these times.
+
+use heteroprio_taskgraph::{Kernel, KernelTiming};
+
+/// Times in milliseconds for one 960×960 tile kernel.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KernelProfile {
+    pub kernel: Kernel,
+    pub cpu_ms: f64,
+    pub accel: f64,
+}
+
+impl KernelProfile {
+    pub fn gpu_ms(&self) -> f64 {
+        self.cpu_ms / self.accel
+    }
+}
+
+/// The paper-calibrated model (tile size 960).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChameleonTiming;
+
+/// The per-kernel profile table behind [`ChameleonTiming`].
+pub const PROFILES: [KernelProfile; 9] = [
+    // Cholesky — acceleration factors straight from Table 1.
+    KernelProfile { kernel: Kernel::Potrf, cpu_ms: 17.1, accel: 1.72 },
+    KernelProfile { kernel: Kernel::Trsm, cpu_ms: 34.0, accel: 8.72 },
+    KernelProfile { kernel: Kernel::Syrk, cpu_ms: 32.3, accel: 26.96 },
+    KernelProfile { kernel: Kernel::Gemm, cpu_ms: 59.0, accel: 28.80 },
+    // QR — estimated: panel factorizations are sequential-heavy (low
+    // acceleration), update kernels are GEMM-like (high acceleration).
+    KernelProfile { kernel: Kernel::Geqrt, cpu_ms: 45.0, accel: 2.0 },
+    KernelProfile { kernel: Kernel::Ormqr, cpu_ms: 60.0, accel: 6.0 },
+    KernelProfile { kernel: Kernel::Tsqrt, cpu_ms: 50.0, accel: 2.5 },
+    KernelProfile { kernel: Kernel::Tsmqr, cpu_ms: 65.0, accel: 13.0 },
+    // LU — the panel is slightly better accelerated than POTRF.
+    KernelProfile { kernel: Kernel::Getrf, cpu_ms: 25.0, accel: 1.8 },
+];
+
+/// Profile of one kernel.
+pub fn profile(kernel: Kernel) -> KernelProfile {
+    PROFILES
+        .iter()
+        .copied()
+        .find(|p| p.kernel == kernel)
+        .expect("every kernel has a profile")
+}
+
+impl KernelTiming for ChameleonTiming {
+    fn times(&self, kernel: Kernel) -> (f64, f64) {
+        let p = profile(kernel);
+        (p.cpu_ms, p.gpu_ms())
+    }
+}
+
+/// The paper's evaluation machine: 20 CPU cores (2× Haswell E5-2680) and
+/// 4 NVIDIA K40-M GPUs.
+pub fn paper_platform() -> heteroprio_core::Platform {
+    heteroprio_core::Platform::new(20, 4)
+}
+
+/// A timing wrapper that perturbs CPU and GPU times with deterministic
+/// multiplicative noise (log-uniform in `[1/(1+jitter), 1+jitter]`),
+/// modelling calibration error. Used by robustness tests.
+#[derive(Clone, Debug)]
+pub struct JitteredTiming<T> {
+    pub inner: T,
+    pub jitter: f64,
+    pub seed: u64,
+}
+
+impl<T: KernelTiming> KernelTiming for JitteredTiming<T> {
+    fn times(&self, kernel: Kernel) -> (f64, f64) {
+        use rand::{Rng, SeedableRng};
+        let (p, q) = self.inner.times(kernel);
+        // Derive a per-kernel RNG so times are stable per kernel.
+        let k = Kernel::ALL.iter().position(|&x| x == kernel).unwrap() as u64;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed ^ (k.wrapping_mul(0x9E3779B97F4A7C15)));
+        let lo = (1.0 + self.jitter).recip().ln();
+        let hi = (1.0 + self.jitter).ln();
+        let fp = rng.random_range(lo..=hi).exp();
+        let fq = rng.random_range(lo..=hi).exp();
+        (p * fp, q * fq)
+    }
+}
+
+/// Tile-size-parametric timing model, anchored at the paper's 960 tile.
+///
+/// Work per tile kernel is cubic in the tile size, so CPU times scale as
+/// `(b/960)³`. GPU *efficiency* degrades on small tiles (kernels stop
+/// saturating the device), which we model by shrinking the acceleration
+/// factor toward 1 with a `(b/960)^1.5` law, capped at the calibrated
+/// value: `accel(b) = 1 + (accel₉₆₀ − 1) · min(1, b/960)^1.5`. This is a
+/// modeling choice (documented here and in DESIGN.md), qualitatively
+/// consistent with published Chameleon/MAGMA tile-size studies: the
+/// affinity *spread* between panel and update kernels collapses as tiles
+/// shrink, which is exactly the regime where affinity-based scheduling
+/// loses its edge (exercised by the `robustness` experiment).
+#[derive(Clone, Copy, Debug)]
+pub struct TileScaledTiming {
+    pub tile: usize,
+}
+
+impl TileScaledTiming {
+    pub const REFERENCE_TILE: usize = 960;
+
+    pub fn new(tile: usize) -> Self {
+        assert!(tile > 0);
+        TileScaledTiming { tile }
+    }
+
+    fn scale(&self) -> f64 {
+        self.tile as f64 / Self::REFERENCE_TILE as f64
+    }
+
+    /// The effective acceleration factor of a kernel at this tile size.
+    pub fn accel(&self, kernel: Kernel) -> f64 {
+        let base = profile(kernel).accel;
+        1.0 + (base - 1.0) * self.scale().min(1.0).powf(1.5)
+    }
+}
+
+impl KernelTiming for TileScaledTiming {
+    fn times(&self, kernel: Kernel) -> (f64, f64) {
+        let p = profile(kernel);
+        let cpu = p.cpu_ms * self.scale().powi(3);
+        (cpu, cpu / self.accel(kernel))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteroprio_core::time::approx_eq;
+
+    #[test]
+    fn tile_scaled_reference_matches_chameleon() {
+        let t = TileScaledTiming::new(TileScaledTiming::REFERENCE_TILE);
+        for k in Kernel::ALL {
+            let (p_ref, q_ref) = ChameleonTiming.times(k);
+            let (p, q) = t.times(k);
+            assert!(approx_eq(p, p_ref), "{k:?}");
+            assert!(approx_eq(q, q_ref), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn small_tiles_collapse_the_affinity_spread() {
+        let small = TileScaledTiming::new(240);
+        let big = TileScaledTiming::new(960);
+        assert!(small.accel(Kernel::Gemm) < big.accel(Kernel::Gemm));
+        assert!(small.accel(Kernel::Gemm) > 1.0);
+        // The GEMM/POTRF ratio of ratios shrinks with the tile.
+        let spread = |t: &TileScaledTiming| t.accel(Kernel::Gemm) / t.accel(Kernel::Potrf);
+        assert!(spread(&small) < spread(&big));
+    }
+
+    #[test]
+    fn cpu_time_is_cubic_in_tile() {
+        let half = TileScaledTiming::new(480);
+        let (p, _) = half.times(Kernel::Gemm);
+        assert!(approx_eq(p, 59.0 / 8.0), "{p}");
+    }
+
+    #[test]
+    fn accel_is_capped_above_the_reference() {
+        // Bigger-than-reference tiles do not exceed the calibrated factor.
+        let huge = TileScaledTiming::new(1920);
+        assert!(approx_eq(huge.accel(Kernel::Gemm), 28.80));
+    }
+
+    #[test]
+    fn table1_acceleration_factors_reproduced() {
+        // The headline Table 1 numbers must be exact.
+        assert_eq!(profile(Kernel::Potrf).accel, 1.72);
+        assert_eq!(profile(Kernel::Trsm).accel, 8.72);
+        assert_eq!(profile(Kernel::Syrk).accel, 26.96);
+        assert_eq!(profile(Kernel::Gemm).accel, 28.80);
+    }
+
+    #[test]
+    fn timing_trait_returns_cpu_over_accel() {
+        let t = ChameleonTiming;
+        for p in PROFILES {
+            let (cpu, gpu) = t.times(p.kernel);
+            assert_eq!(cpu, p.cpu_ms);
+            assert!(approx_eq(cpu / gpu, p.accel));
+        }
+    }
+
+    #[test]
+    fn gemm_is_most_accelerated_potrf_least_of_cholesky() {
+        let order = [Kernel::Potrf, Kernel::Trsm, Kernel::Syrk, Kernel::Gemm];
+        for pair in order.windows(2) {
+            assert!(profile(pair[0]).accel < profile(pair[1]).accel);
+        }
+    }
+
+    #[test]
+    fn paper_platform_is_20_plus_4() {
+        let p = paper_platform();
+        assert_eq!(p.cpus, 20);
+        assert_eq!(p.gpus, 4);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let j = JitteredTiming { inner: ChameleonTiming, jitter: 0.2, seed: 11 };
+        let (p1, q1) = j.times(Kernel::Gemm);
+        let (p2, q2) = j.times(Kernel::Gemm);
+        assert_eq!((p1, q1), (p2, q2));
+        let (p0, q0) = ChameleonTiming.times(Kernel::Gemm);
+        assert!(p1 >= p0 / 1.2 - 1e-9 && p1 <= p0 * 1.2 + 1e-9);
+        assert!(q1 >= q0 / 1.2 - 1e-9 && q1 <= q0 * 1.2 + 1e-9);
+    }
+
+    #[test]
+    fn zero_jitter_is_identity() {
+        let j = JitteredTiming { inner: ChameleonTiming, jitter: 0.0, seed: 5 };
+        for k in Kernel::ALL {
+            let (p, q) = j.times(k);
+            let (p0, q0) = ChameleonTiming.times(k);
+            assert!(approx_eq(p, p0));
+            assert!(approx_eq(q, q0));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Random independent-task instance generators, for property tests and
+//! robustness experiments.
+
+use heteroprio_core::{Instance, Task};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for uniform random instances.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomInstanceParams {
+    pub tasks: usize,
+    /// CPU times drawn uniformly from this range.
+    pub cpu_range: (f64, f64),
+    /// Acceleration factors drawn log-uniformly from this range (may span 1,
+    /// giving tasks that prefer either resource).
+    pub accel_range: (f64, f64),
+}
+
+impl Default for RandomInstanceParams {
+    fn default() -> Self {
+        RandomInstanceParams { tasks: 20, cpu_range: (1.0, 10.0), accel_range: (0.1, 30.0) }
+    }
+}
+
+/// Uniform random instance.
+pub fn random_instance(params: &RandomInstanceParams, seed: u64) -> Instance {
+    assert!(params.tasks >= 1);
+    assert!(params.cpu_range.0 > 0.0 && params.cpu_range.1 >= params.cpu_range.0);
+    assert!(params.accel_range.0 > 0.0 && params.accel_range.1 >= params.accel_range.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inst = Instance::new();
+    for _ in 0..params.tasks {
+        let cpu = rng.random_range(params.cpu_range.0..=params.cpu_range.1);
+        let rho = rng.random_range(params.accel_range.0.ln()..=params.accel_range.1.ln()).exp();
+        inst.push(Task::new(cpu, cpu / rho));
+    }
+    inst
+}
+
+/// Bimodal instance: a fraction of strongly GPU-friendly tasks (ρ around
+/// `gpu_rho`) and the rest CPU-friendly (ρ around `cpu_rho`), mimicking the
+/// GEMM-vs-POTRF affinity split of the linear-algebra workloads.
+pub fn bimodal_instance(
+    tasks: usize,
+    gpu_fraction: f64,
+    gpu_rho: f64,
+    cpu_rho: f64,
+    seed: u64,
+) -> Instance {
+    assert!((0.0..=1.0).contains(&gpu_fraction));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inst = Instance::new();
+    for _ in 0..tasks {
+        let cpu = rng.random_range(1.0..=10.0);
+        let base = if rng.random_bool(gpu_fraction) { gpu_rho } else { cpu_rho };
+        let rho = base * rng.random_range(0.8..=1.25);
+        inst.push(Task::new(cpu, cpu / rho));
+    }
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_instance_is_reproducible() {
+        let p = RandomInstanceParams::default();
+        let a = random_instance(&p, 9);
+        let b = random_instance(&p, 9);
+        assert_eq!(a, b);
+        let c = random_instance(&p, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let p = RandomInstanceParams {
+            tasks: 200,
+            cpu_range: (2.0, 4.0),
+            accel_range: (0.5, 8.0),
+        };
+        let inst = random_instance(&p, 3);
+        for t in inst.tasks() {
+            assert!((2.0..=4.0).contains(&t.cpu_time));
+            let rho = t.accel_factor();
+            assert!((0.5 - 1e-9..=8.0 + 1e-9).contains(&rho), "{rho}");
+        }
+    }
+
+    #[test]
+    fn bimodal_has_two_clusters() {
+        let inst = bimodal_instance(400, 0.5, 20.0, 0.5, 4);
+        let fast = inst.tasks().iter().filter(|t| t.accel_factor() > 5.0).count();
+        let slow = inst.tasks().iter().filter(|t| t.accel_factor() < 1.0).count();
+        assert!(fast > 100, "{fast}");
+        assert!(slow > 100, "{slow}");
+        assert_eq!(fast + slow, 400);
+    }
+}

@@ -1,0 +1,79 @@
+//! Walk through the paper's worst-case constructions (Theorems 8, 11, 14)
+//! and the §3 no-spoliation cliff, printing what HeteroPrio does on each.
+//!
+//! ```sh
+//! cargo run --release --example worst_case_gallery
+//! ```
+
+use heteroprio::core::heteroprio as hp;
+use heteroprio::core::{HeteroPrioConfig, PHI};
+use heteroprio::workloads::{no_spoliation_gap, theorem11, theorem14, theorem8, WorstCase};
+
+fn show(case: &WorstCase) {
+    let res = hp(&case.instance, &case.platform, &case.config);
+    res.schedule.validate(&case.instance, &case.platform).expect("valid HP schedule");
+    case.witness.validate(&case.instance, &case.platform).expect("valid witness");
+    println!("{}", case.name);
+    println!(
+        "  tasks: {}, platform: {} CPUs + {} GPUs",
+        case.instance.len(),
+        case.platform.cpus,
+        case.platform.gpus
+    );
+    println!(
+        "  HeteroPrio: {:.4} (expected {:.4}), witness optimum <= {:.4}",
+        res.makespan(),
+        case.expected_hp_makespan,
+        case.witness.makespan()
+    );
+    println!(
+        "  demonstrated ratio: {:.4}   (family asymptote: {:.4})\n",
+        res.makespan() / case.witness.makespan(),
+        case.asymptotic_ratio
+    );
+}
+
+fn main() {
+    println!("φ = {PHI:.6}\n");
+
+    let t8 = theorem8();
+    show(&t8);
+    // The (1,1) case is exactly tight: ratio φ.
+    let small = theorem8();
+    let r = hp(&small.instance, &small.platform, &small.config);
+    println!(
+        "  (the GPU idles from {:.3} but spoliating would finish at 1/φ + 1 = φ — no gain)\n",
+        1.0 / PHI
+    );
+    assert!((r.makespan() - PHI).abs() < 1e-9);
+
+    for m in [4, 16, 64, 256] {
+        let case = theorem11(m, 4 * m);
+        let res = hp(&case.instance, &case.platform, &case.config);
+        println!(
+            "theorem11 m={m:>3}: ratio {:.4} → 1+φ = {:.4}",
+            res.makespan() / case.witness.makespan(),
+            1.0 + PHI
+        );
+    }
+    println!();
+
+    for k in [1usize, 2, 3] {
+        let case = theorem14(k);
+        let res = hp(&case.instance, &case.platform, &case.config);
+        println!(
+            "theorem14 k={k} (n={:>2}, m={:>4}): ratio {:.4} → 2+2/√3 = {:.4}",
+            6 * k,
+            36 * k * k,
+            res.makespan() / case.witness.makespan(),
+            case.asymptotic_ratio
+        );
+    }
+    println!();
+
+    let cliff = no_spoliation_gap(1000.0);
+    let ns = hp(&cliff.instance, &cliff.platform, &cliff.config);
+    let with = hp(&cliff.instance, &cliff.platform, &HeteroPrioConfig::new());
+    println!("no spoliation: makespan {:.0} (ratio {:.0}!)", ns.makespan(), ns.makespan() / 2.0);
+    println!("with spoliation: makespan {:.0} — the mechanism that makes the proofs possible", with.makespan());
+}

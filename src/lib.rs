@@ -1,0 +1,46 @@
+//! # heteroprio
+//!
+//! A from-scratch reproduction of *"Approximation Proofs of a Fast and
+//! Efficient List Scheduling Algorithm for Task-Based Runtime Systems on
+//! Multicores and GPUs"* (Beaumont, Eyraud-Dubois, Kumar — IPDPS 2017).
+//!
+//! This facade crate re-exports the workspace's sub-crates:
+//!
+//! * [`core`] — the model (tasks with unrelated CPU/GPU times, platforms,
+//!   schedules) and the HeteroPrio algorithm with spoliation;
+//! * [`bounds`] — the area bound, DAG lower bounds and an exact solver;
+//! * [`taskgraph`] — DAGs, ranking, and Cholesky/QR/LU generators;
+//! * [`simulator`] — the discrete-event runtime engine;
+//! * [`schedulers`] — DAG-mode HeteroPrio, DualHP, HEFT and baselines;
+//! * [`workloads`] — kernel timing models, worst-case families, generators;
+//! * [`experiments`] — the table/figure reproduction harness;
+//! * [`runtime`] — a StarPU-like submission front-end (data handles, access
+//!   modes, automatic dependency inference);
+//! * [`cli`] — the `heteroprio-cli` tool's instance format and commands.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use heteroprio::core::heteroprio as hp;
+//! use heteroprio::core::{HeteroPrioConfig, Instance, Platform};
+//! use heteroprio::bounds::optimal_makespan;
+//!
+//! // Four tasks with (cpu_time, gpu_time); acceleration factors 8, 4, 1, ¼.
+//! let instance = Instance::from_times(&[(8.0, 1.0), (4.0, 1.0), (2.0, 2.0), (1.0, 4.0)]);
+//! let platform = Platform::new(2, 1); // 2 CPUs, 1 GPU
+//! let result = hp(&instance, &platform, &HeteroPrioConfig::new());
+//! result.schedule.validate(&instance, &platform).unwrap();
+//! // Within the paper's general (m, n) bound of the optimum:
+//! let opt = optimal_makespan(&instance, &platform).makespan;
+//! assert!(result.makespan() <= (2.0 + 2.0_f64.sqrt()) * opt + 1e-9);
+//! ```
+
+pub use heteroprio_bounds as bounds;
+pub use heteroprio_cli as cli;
+pub use heteroprio_core as core;
+pub use heteroprio_experiments as experiments;
+pub use heteroprio_runtime as runtime;
+pub use heteroprio_schedulers as schedulers;
+pub use heteroprio_simulator as simulator;
+pub use heteroprio_taskgraph as taskgraph;
+pub use heteroprio_workloads as workloads;

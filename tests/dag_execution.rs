@@ -1,0 +1,105 @@
+//! Cross-crate integration: the full DAG pipeline (generator → ranking →
+//! policy → engine → validation → metrics) for every algorithm on every
+//! factorization.
+
+use heteroprio::bounds::dag_lower_bound;
+use heteroprio::experiments::{alloc_stats, DagAlgo};
+use heteroprio::taskgraph::{check_precedence, ConstTiming, Factorization};
+use heteroprio::workloads::{paper_platform, ChameleonTiming};
+use heteroprio::core::Platform;
+
+#[test]
+fn every_algorithm_schedules_every_factorization() {
+    let platform = Platform::new(3, 2);
+    for f in Factorization::ALL {
+        let graph = f.generate(6, &ChameleonTiming);
+        let lb = dag_lower_bound(&graph, &platform);
+        for algo in DagAlgo::PAPER {
+            let sched = algo.run(&graph, &platform);
+            sched
+                .validate(graph.instance(), &platform)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", algo.name(), f.name()));
+            check_precedence(&graph, &sched)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", algo.name(), f.name()));
+            assert!(
+                sched.makespan() >= lb - 1e-9,
+                "{} on {}: makespan below lower bound",
+                algo.name(),
+                f.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let platform = paper_platform();
+    let graph = Factorization::Cholesky.generate(8, &ChameleonTiming);
+    for algo in DagAlgo::PAPER {
+        let a = algo.run(&graph, &platform).makespan();
+        let b = algo.run(&graph, &platform).makespan();
+        assert_eq!(a, b, "{} is nondeterministic", algo.name());
+    }
+}
+
+#[test]
+fn heteroprio_puts_low_affinity_work_on_cpus() {
+    // The Figure 8 claim: HeteroPrio's CPU-side equivalent acceleration
+    // factor is lower (better) than HEFT's on the same Cholesky instance.
+    let platform = paper_platform();
+    let graph = Factorization::Cholesky.generate(12, &ChameleonTiming);
+    let hp = DagAlgo::HeteroPrioMin.run(&graph, &platform);
+    let heft = DagAlgo::HeftAvg.run(&graph, &platform);
+    let hp_stats = alloc_stats(graph.instance(), &platform, &hp);
+    let heft_stats = alloc_stats(graph.instance(), &platform, &heft);
+    let (hp_cpu, heft_cpu) = (hp_stats.accel_cpu.unwrap(), heft_stats.accel_cpu.unwrap());
+    assert!(
+        hp_cpu <= heft_cpu + 1e-9,
+        "HeteroPrio CPU affinity {hp_cpu} should not exceed HEFT's {heft_cpu}"
+    );
+}
+
+#[test]
+fn chain_critical_path_is_respected() {
+    // A serial chain leaves no parallelism: every algorithm's makespan is
+    // exactly the sum of the per-task best times when the GPU dominates.
+    let graph = heteroprio::taskgraph::chain(10, 5.0, 1.0);
+    let platform = Platform::new(2, 1);
+    for algo in DagAlgo::PAPER {
+        let ms = algo.run(&graph, &platform).makespan();
+        assert!(
+            (ms - 10.0).abs() < 1e-9,
+            "{}: chain makespan {ms}, expected 10",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn dualhp_idles_cpus_more_than_heteroprio() {
+    // The Figure 9 observation: DualHP's local optimization keeps CPUs idle
+    // at the start of the schedule; HeteroPrio keeps them busy.
+    let platform = paper_platform();
+    let graph = Factorization::Cholesky.generate(16, &ChameleonTiming);
+    let hp = DagAlgo::HeteroPrioMin.run(&graph, &platform);
+    let dual = DagAlgo::DualHpFifo.run(&graph, &platform);
+    let hp_idle = alloc_stats(graph.instance(), &platform, &hp).idle_cpu.unwrap();
+    let dual_idle = alloc_stats(graph.instance(), &platform, &dual).idle_cpu.unwrap();
+    assert!(
+        hp_idle <= dual_idle + 1e-9,
+        "HeteroPrio CPU idle {hp_idle} vs DualHP {dual_idle}"
+    );
+}
+
+#[test]
+fn unit_kernels_fill_the_machine() {
+    // With kernels equal on both classes, any list-like algorithm should
+    // approach the area bound on a wide graph.
+    let platform = Platform::new(2, 2);
+    let graph = Factorization::Cholesky.generate(10, &ConstTiming { cpu: 1.0, gpu: 1.0 });
+    let lb = dag_lower_bound(&graph, &platform);
+    for algo in [DagAlgo::HeteroPrioAvg, DagAlgo::HeftAvg] {
+        let ms = algo.run(&graph, &platform).makespan();
+        assert!(ms <= 2.0 * lb, "{}: {ms} vs lb {lb}", algo.name());
+    }
+}

@@ -1,0 +1,70 @@
+//! Smoke tests of the experiment harness: the figures' data series have the
+//! paper's qualitative shape at small scale.
+
+use heteroprio::experiments::{fig6_series, fig7_series, SMOKE_NS};
+use heteroprio::taskgraph::Factorization;
+use heteroprio::workloads::{paper_platform, profile, ChameleonTiming};
+use heteroprio::taskgraph::Kernel;
+
+#[test]
+fn table1_is_the_papers() {
+    assert_eq!(profile(Kernel::Potrf).accel, 1.72);
+    assert_eq!(profile(Kernel::Trsm).accel, 8.72);
+    assert_eq!(profile(Kernel::Syrk).accel, 26.96);
+    assert_eq!(profile(Kernel::Gemm).accel, 28.80);
+}
+
+#[test]
+fn fig6_series_has_all_points_and_algorithms() {
+    let platform = paper_platform();
+    for f in Factorization::ALL {
+        let pts = fig6_series(f, &SMOKE_NS, &platform, &ChameleonTiming);
+        assert_eq!(pts.len(), SMOKE_NS.len());
+        for pt in pts {
+            assert_eq!(pt.outcomes.len(), 3);
+            for o in &pt.outcomes {
+                assert!(o.ratio >= 1.0 - 1e-9);
+                assert!(o.ratio < 10.0, "{} ratio {} is absurd", o.algo_name, o.ratio);
+            }
+        }
+    }
+}
+
+#[test]
+fn fig6_large_n_converges_for_affinity_schedulers() {
+    // The paper: HeteroPrio and DualHP get close to the area bound for
+    // large N, HEFT does not.
+    let platform = paper_platform();
+    let pts = fig6_series(Factorization::Cholesky, &[32], &platform, &ChameleonTiming);
+    let get = |name: &str| pts[0].outcomes.iter().find(|o| o.algo_name == name).unwrap().ratio;
+    assert!(get("HeteroPrio") < 1.05, "{}", get("HeteroPrio"));
+    assert!(get("DualHP") < 1.05, "{}", get("DualHP"));
+    assert!(get("HEFT") > get("HeteroPrio"));
+}
+
+#[test]
+fn fig7_series_smoke() {
+    let platform = paper_platform();
+    let pts = fig7_series(Factorization::Cholesky, &[6, 10], &platform, &ChameleonTiming);
+    assert_eq!(pts.len(), 2);
+    for pt in &pts {
+        assert_eq!(pt.outcomes.len(), 7);
+        // The lower bound grows with N.
+        assert!(pt.lower_bound > 0.0);
+        for o in &pt.outcomes {
+            assert!(o.ratio >= 1.0 - 1e-9, "{} {}", o.algo_name, o.ratio);
+        }
+    }
+    assert!(pts[1].lower_bound > pts[0].lower_bound);
+}
+
+#[test]
+fn heteroprio_spoliates_on_dags_but_others_do_not() {
+    let platform = paper_platform();
+    let pts = fig7_series(Factorization::Cholesky, &[12], &platform, &ChameleonTiming);
+    for o in &pts[0].outcomes {
+        if o.algo_name.starts_with("DualHP") || o.algo_name.starts_with("HEFT") {
+            assert_eq!(o.spoliations, 0, "{} must not spoliate", o.algo_name);
+        }
+    }
+}

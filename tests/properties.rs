@@ -1,0 +1,293 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: schedule validity, area-bound optimality and structure,
+//! queue ordering, list-scheduling bounds, and DAG execution safety.
+
+use heteroprio::bounds::{
+    area_bound, check_structure, combined_lower_bound, fractional_objective,
+    optimal_homogeneous_makespan, optimal_makespan,
+};
+use heteroprio::core::heteroprio as hp;
+use heteroprio::core::list::{homogeneous_lower_bound, list_schedule};
+use heteroprio::core::{
+    sorted_queue, HeteroPrioConfig, Instance, Platform, QueueTieBreak, Task,
+};
+use heteroprio::schedulers::dualhp_independent;
+use heteroprio::simulator::simulate;
+use heteroprio::schedulers::HeteroPrioDagPolicy;
+use heteroprio::taskgraph::{
+    check_precedence, random_layered, RandomDagParams, TaskGraph,
+};
+use proptest::prelude::*;
+
+/// Strategy: a task with cpu and gpu times in (0.1, 50).
+fn task_strategy() -> impl Strategy<Value = Task> {
+    (0.1f64..50.0, 0.1f64..50.0).prop_map(|(p, q)| Task::new(p, q))
+}
+
+fn instance_strategy(max: usize) -> impl Strategy<Value = Instance> {
+    prop::collection::vec(task_strategy(), 1..=max).prop_map(Instance::from_tasks)
+}
+
+fn platform_strategy() -> impl Strategy<Value = Platform> {
+    (1usize..=4, 1usize..=3).prop_map(|(m, n)| Platform::new(m, n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn heteroprio_schedule_is_always_valid(
+        instance in instance_strategy(24),
+        platform in platform_strategy(),
+    ) {
+        let res = hp(&instance, &platform, &HeteroPrioConfig::new());
+        prop_assert!(res.schedule.validate(&instance, &platform).is_ok());
+        prop_assert!(res.makespan() >= combined_lower_bound(&instance, &platform) - 1e-9);
+        prop_assert_eq!(res.schedule.runs.len(), instance.len());
+    }
+
+    #[test]
+    fn spoliation_never_hurts(
+        instance in instance_strategy(16),
+        platform in platform_strategy(),
+    ) {
+        let with = hp(&instance, &platform, &HeteroPrioConfig::new());
+        let without = hp(&instance, &platform, &HeteroPrioConfig::without_spoliation());
+        // Spoliation only restarts tasks that finish strictly earlier, and
+        // both runs share the same list phase.
+        prop_assert!(with.makespan() <= without.makespan() + 1e-9,
+            "with {} > without {}", with.makespan(), without.makespan());
+    }
+
+    #[test]
+    fn dualhp_schedule_is_always_valid(
+        instance in instance_strategy(24),
+        platform in platform_strategy(),
+    ) {
+        let sched = dualhp_independent(&instance, &platform);
+        prop_assert!(sched.validate(&instance, &platform).is_ok());
+        prop_assert!(sched.makespan() >= combined_lower_bound(&instance, &platform) - 1e-9);
+    }
+
+    #[test]
+    fn area_bound_structure_lemmas_hold(
+        instance in instance_strategy(24),
+        platform in platform_strategy(),
+    ) {
+        let ab = area_bound(&instance, &platform);
+        prop_assert!(check_structure(&instance, &platform, &ab).is_ok());
+    }
+
+    #[test]
+    fn area_bound_is_optimal_among_fractional_assignments(
+        instance in instance_strategy(12),
+        platform in platform_strategy(),
+        fracs in prop::collection::vec(0.0f64..=1.0, 12),
+    ) {
+        let ab = area_bound(&instance, &platform);
+        let x: Vec<f64> = fracs.into_iter().take(instance.len()).collect();
+        if x.len() == instance.len() {
+            let obj = fractional_objective(&instance, &platform, &x);
+            prop_assert!(ab.value <= obj + 1e-9, "bound {} beats candidate {obj}", ab.value);
+        }
+    }
+
+    #[test]
+    fn area_bound_below_exact_optimum(
+        instance in instance_strategy(7),
+        platform in platform_strategy(),
+    ) {
+        let ab = area_bound(&instance, &platform);
+        let opt = optimal_makespan(&instance, &platform).makespan;
+        prop_assert!(ab.value <= opt + 1e-9);
+    }
+
+    #[test]
+    fn exact_solver_matches_brute_force(
+        instance in instance_strategy(5),
+        platform in (1usize..=2, 1usize..=2).prop_map(|(m, n)| Platform::new(m, n)),
+    ) {
+        let sol = optimal_makespan(&instance, &platform).makespan;
+        // Brute force over class assignments + exact P||Cmax per class.
+        let n = instance.len();
+        let mut best = f64::INFINITY;
+        for mask in 0u32..(1 << n) {
+            let mut cpu = Vec::new();
+            let mut gpu = Vec::new();
+            for (i, t) in instance.tasks().iter().enumerate() {
+                if mask & (1 << i) != 0 { cpu.push(t.cpu_time) } else { gpu.push(t.gpu_time) }
+            }
+            let ms = optimal_homogeneous_makespan(&cpu, platform.cpus)
+                .max(optimal_homogeneous_makespan(&gpu, platform.gpus));
+            best = best.min(ms);
+        }
+        prop_assert!((sol - best).abs() <= 1e-9, "{sol} vs {best}");
+    }
+
+    #[test]
+    fn queue_is_sorted_by_acceleration_factor(
+        instance in instance_strategy(32),
+    ) {
+        let ids: Vec<_> = instance.ids().collect();
+        for tie in [QueueTieBreak::Priority, QueueTieBreak::InsertionOrder] {
+            let q = sorted_queue(&instance, &ids, tie);
+            let rhos: Vec<f64> =
+                q.iter().map(|&t| instance.task(t).accel_factor()).collect();
+            for w in rhos.windows(2) {
+                prop_assert!(w[0] >= w[1] - 1e-12);
+            }
+            prop_assert_eq!(q.len(), instance.len());
+        }
+    }
+
+    #[test]
+    fn list_schedule_respects_graham_bound(
+        durations in prop::collection::vec(0.1f64..20.0, 1..40),
+        machines in 1usize..6,
+    ) {
+        let ms = list_schedule(&durations, machines).makespan();
+        let lb = homogeneous_lower_bound(&durations, machines);
+        prop_assert!(ms <= (2.0 - 1.0 / machines as f64) * lb + 1e-9);
+        prop_assert!(ms >= lb - 1e-9);
+    }
+
+    #[test]
+    fn dag_heteroprio_respects_dependencies(
+        seed in 0u64..500,
+        layers in 2usize..5,
+        width in 1usize..6,
+    ) {
+        let params = RandomDagParams { layers, width, ..RandomDagParams::default() };
+        let graph = random_layered(&params, seed);
+        let platform = Platform::new(2, 2);
+        let mut policy = HeteroPrioDagPolicy::new(HeteroPrioConfig::new());
+        let res = simulate(&graph, &platform, &mut policy);
+        prop_assert!(res.schedule.validate(graph.instance(), &platform).is_ok());
+        prop_assert!(check_precedence(&graph, &res.schedule).is_ok());
+        // A DAG can never beat its own independent relaxation's bound.
+        prop_assert!(res.makespan()
+            >= combined_lower_bound(graph.instance(), &platform) - 1e-9);
+    }
+
+    #[test]
+    fn exact_optimum_lower_bounds_every_algorithm(
+        instance in instance_strategy(7),
+        platform in platform_strategy(),
+    ) {
+        use heteroprio::schedulers::{heuristic_schedule, Heuristic};
+        let opt = optimal_makespan(&instance, &platform).makespan;
+        let hp_ms = hp(&instance, &platform, &HeteroPrioConfig::new()).makespan();
+        prop_assert!(hp_ms >= opt - 1e-9, "HeteroPrio {hp_ms} beat OPT {opt}");
+        let dual_ms = dualhp_independent(&instance, &platform).makespan();
+        prop_assert!(dual_ms >= opt - 1e-9, "DualHP {dual_ms} beat OPT {opt}");
+        for h in Heuristic::ALL {
+            let ms = heuristic_schedule(h, &instance, &platform).makespan();
+            prop_assert!(ms >= opt - 1e-9, "{} {ms} beat OPT {opt}", h.name());
+        }
+    }
+
+    #[test]
+    fn heuristics_always_produce_valid_schedules(
+        instance in instance_strategy(20),
+        platform in platform_strategy(),
+    ) {
+        use heteroprio::schedulers::{heuristic_schedule, Heuristic};
+        for h in Heuristic::ALL {
+            let sched = heuristic_schedule(h, &instance, &platform);
+            prop_assert!(sched.validate(&instance, &platform).is_ok(), "{}", h.name());
+            prop_assert!(
+                sched.makespan() >= combined_lower_bound(&instance, &platform) - 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn heft_is_valid_on_random_dags(
+        seed in 0u64..300,
+        layers in 2usize..5,
+        width in 1usize..5,
+    ) {
+        use heteroprio::schedulers::{heft, HeftVariant};
+        use heteroprio::taskgraph::WeightScheme;
+        let params = RandomDagParams { layers, width, ..RandomDagParams::default() };
+        let graph = random_layered(&params, seed);
+        let platform = Platform::new(2, 2);
+        for scheme in [WeightScheme::Avg, WeightScheme::Min] {
+            for variant in [HeftVariant::Insertion, HeftVariant::NoInsertion] {
+                let sched = heft(&graph, &platform, scheme, variant);
+                prop_assert!(sched.validate(graph.instance(), &platform).is_ok());
+                prop_assert!(check_precedence(&graph, &sched).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn heft_variants_stay_in_the_same_ballpark(
+        seed in 0u64..200,
+    ) {
+        // Insertion usually helps but is NOT dominant: placing one task in
+        // an earlier gap changes later EFT decisions, and list-scheduling
+        // anomalies can make the no-insertion variant win (this replaced a
+        // stronger — false — monotonicity claim). Both must stay valid and
+        // within a small constant of each other.
+        use heteroprio::schedulers::{heft, HeftVariant};
+        use heteroprio::taskgraph::WeightScheme;
+        let params = RandomDagParams::default();
+        let graph = random_layered(&params, seed);
+        let platform = Platform::new(2, 1);
+        let ins = heft(&graph, &platform, WeightScheme::Avg, HeftVariant::Insertion).makespan();
+        let no = heft(&graph, &platform, WeightScheme::Avg, HeftVariant::NoInsertion).makespan();
+        prop_assert!(ins <= 2.0 * no && no <= 2.0 * ins, "{ins} vs {no}");
+    }
+
+    #[test]
+    fn online_with_releases_is_valid_and_respects_them(
+        instance in instance_strategy(16),
+        platform in platform_strategy(),
+        release_seeds in prop::collection::vec(0.0f64..20.0, 16),
+    ) {
+        use heteroprio::core::heteroprio_online;
+        let releases: Vec<f64> =
+            release_seeds.into_iter().take(instance.len()).collect();
+        if releases.len() == instance.len() {
+            let res =
+                heteroprio_online(&instance, &releases, &platform, &HeteroPrioConfig::new());
+            prop_assert!(res.schedule.validate(&instance, &platform).is_ok());
+            for run in res.schedule.runs.iter().chain(&res.schedule.aborted) {
+                prop_assert!(run.start >= releases[run.task.index()] - 1e-9);
+            }
+            // Online can never beat the clairvoyant all-released bound.
+            prop_assert!(
+                res.makespan() >= combined_lower_bound(&instance, &platform) - 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn gantt_svg_is_well_formed(
+        instance in instance_strategy(12),
+        platform in platform_strategy(),
+    ) {
+        use heteroprio::core::gantt::to_svg;
+        let res = hp(&instance, &platform, &HeteroPrioConfig::new());
+        let svg = to_svg(&res.schedule, &instance, &platform);
+        prop_assert!(svg.starts_with("<svg"));
+        prop_assert!(svg.ends_with("</svg>"));
+        prop_assert_eq!(svg.matches("rho=").count(), instance.len());
+    }
+
+    #[test]
+    fn independent_dag_policy_equals_core_algorithm(
+        instance in instance_strategy(20),
+        platform in platform_strategy(),
+    ) {
+        let cfg = HeteroPrioConfig::new();
+        let core_res = hp(&instance, &platform, &cfg);
+        let graph = TaskGraph::independent(instance.clone());
+        let mut policy = HeteroPrioDagPolicy::new(cfg);
+        let sim_res = simulate(&graph, &platform, &mut policy);
+        prop_assert!((core_res.makespan() - sim_res.makespan()).abs() < 1e-9,
+            "core {} vs engine {}", core_res.makespan(), sim_res.makespan());
+        prop_assert_eq!(core_res.spoliations, sim_res.spoliations);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the submission runtime: random submission
+//! sequences with random access modes always yield acyclic graphs whose
+//! execution is valid, dependency-respecting, and sequentially consistent
+//! (per-handle writer/reader ordering).
+
+use heteroprio::core::{Platform, Task};
+use heteroprio::runtime::{Access, DataHandle, Runtime, Scheduler};
+use heteroprio::schedulers::DualHpRank;
+use heteroprio::taskgraph::WeightScheme;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Submission {
+    cpu: f64,
+    gpu: f64,
+    /// (handle index, mode 0=R 1=W 2=RW); deduplicated per submission.
+    accesses: Vec<(usize, u8)>,
+}
+
+fn submission_strategy(handles: usize) -> impl Strategy<Value = Submission> {
+    (
+        0.5f64..10.0,
+        0.5f64..10.0,
+        prop::collection::vec((0..handles, 0u8..3), 1..4),
+    )
+        .prop_map(|(cpu, gpu, mut accesses)| {
+            // One access per handle per task.
+            accesses.sort_by_key(|&(h, _)| h);
+            accesses.dedup_by_key(|&mut (h, _)| h);
+            Submission { cpu, gpu, accesses }
+        })
+}
+
+fn build(subs: &[Submission], handles: usize, platform: Platform) -> Runtime {
+    let mut rt = Runtime::new(platform);
+    let hs: Vec<DataHandle> = (0..handles).map(|_| rt.register_data("d")).collect();
+    for s in subs {
+        let accesses: Vec<(DataHandle, Access)> = s
+            .accesses
+            .iter()
+            .map(|&(h, m)| {
+                let mode = match m {
+                    0 => Access::Read,
+                    1 => Access::Write,
+                    _ => Access::ReadWrite,
+                };
+                (hs[h], mode)
+            })
+            .collect();
+        rt.submit(Task::new(s.cpu, s.gpu), "t", &accesses);
+    }
+    rt
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_submissions_execute_validly(
+        subs in prop::collection::vec(submission_strategy(5), 1..25),
+        cpus in 1usize..3,
+        gpus in 1usize..3,
+    ) {
+        let platform = Platform::new(cpus, gpus);
+        let report = build(&subs, 5, platform).run(Scheduler::default());
+        let report = report.expect("submission graphs are acyclic by construction");
+        prop_assert_eq!(report.schedule.runs.len(), subs.len());
+        prop_assert!(report.ratio() >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn sequential_consistency_per_handle(
+        subs in prop::collection::vec(submission_strategy(3), 1..20),
+    ) {
+        // In the executed schedule, for every handle: each read of a value
+        // starts after the completion of the handle's preceding writer (in
+        // submission order), and each writer starts after every earlier
+        // reader/writer of the handle completes.
+        let platform = Platform::new(2, 2);
+        let report = build(&subs, 3, platform).run(Scheduler::default()).unwrap();
+        let start_of = |i: usize| report.schedule.runs.iter().find(|r| r.task.index() == i).unwrap().start;
+        let end_of = |i: usize| report.schedule.runs.iter().find(|r| r.task.index() == i).unwrap().end;
+        for h in 0..3usize {
+            let mut last_writer: Option<usize> = None;
+            let mut readers_since: Vec<usize> = Vec::new();
+            for (i, s) in subs.iter().enumerate() {
+                let Some(&(_, mode)) = s.accesses.iter().find(|&&(hh, _)| hh == h) else {
+                    continue;
+                };
+                let writes = mode != 0;
+                let reads = mode != 1;
+                if reads {
+                    if let Some(w) = last_writer {
+                        prop_assert!(start_of(i) >= end_of(w) - 1e-9,
+                            "task {i} reads D{h} before writer {w} finished");
+                    }
+                }
+                if writes {
+                    if let Some(w) = last_writer {
+                        prop_assert!(start_of(i) >= end_of(w) - 1e-9);
+                    }
+                    for &r in &readers_since {
+                        prop_assert!(start_of(i) >= end_of(r) - 1e-9,
+                            "task {i} overwrites D{h} before reader {r} finished");
+                    }
+                    readers_since.clear();
+                    last_writer = Some(i);
+                } else {
+                    readers_since.push(i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_schedulers_agree_on_task_count(
+        subs in prop::collection::vec(submission_strategy(4), 1..15),
+    ) {
+        let platform = Platform::new(2, 1);
+        for scheduler in [
+            Scheduler::HeteroPrio(WeightScheme::Min),
+            Scheduler::DualHp(DualHpRank::Fifo, WeightScheme::Min),
+            Scheduler::Heft(WeightScheme::Avg, heteroprio::schedulers::HeftVariant::NoInsertion),
+            Scheduler::PriorityList(WeightScheme::Avg),
+        ] {
+            let report = build(&subs, 4, platform).run(scheduler).unwrap();
+            prop_assert_eq!(report.schedule.runs.len(), subs.len());
+        }
+    }
+}
