@@ -61,10 +61,9 @@ fn tie_break_ablation(c: &mut Criterion) {
     let platform = paper_platform();
     let inst = bench_instance(2_000);
     let mut group = c.benchmark_group("ablation_tiebreak");
-    for (name, tie) in [
-        ("priority", QueueTieBreak::Priority),
-        ("insertion", QueueTieBreak::InsertionOrder),
-    ] {
+    for (name, tie) in
+        [("priority", QueueTieBreak::Priority), ("insertion", QueueTieBreak::InsertionOrder)]
+    {
         let cfg = HeteroPrioConfig { queue_tie: tie, ..HeteroPrioConfig::new() };
         group.bench_function(name, |b| {
             b.iter(|| black_box(heteroprio(&inst, &platform, &cfg).makespan()))
@@ -78,12 +77,9 @@ fn ranking_ablation(c: &mut Criterion) {
     let g = cholesky(12, &ChameleonTiming);
     let mut group = c.benchmark_group("ablation_ranking");
     group.sample_size(10);
-    for algo in [
-        DagAlgo::HeteroPrioAvg,
-        DagAlgo::HeteroPrioMin,
-        DagAlgo::DualHpFifo,
-        DagAlgo::DualHpAvg,
-    ] {
+    for algo in
+        [DagAlgo::HeteroPrioAvg, DagAlgo::HeteroPrioMin, DagAlgo::DualHpFifo, DagAlgo::DualHpAvg]
+    {
         group.bench_function(algo.name(), |b| {
             b.iter(|| black_box(algo.run(&g, &platform).makespan()))
         });

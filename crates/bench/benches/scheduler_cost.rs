@@ -7,8 +7,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use heteroprio_bench::bench_instance;
 use heteroprio_core::{heteroprio, HeteroPrioConfig};
-use heteroprio_schedulers::dualhp_independent;
 use heteroprio_experiments::IndepAlgo;
+use heteroprio_schedulers::dualhp_independent;
 use heteroprio_workloads::paper_platform;
 use std::hint::black_box;
 
@@ -19,9 +19,7 @@ fn scheduler_cost(c: &mut Criterion) {
         let instance = bench_instance(size);
         group.throughput(Throughput::Elements(size as u64));
         group.bench_with_input(BenchmarkId::new("heteroprio", size), &instance, |b, inst| {
-            b.iter(|| {
-                black_box(heteroprio(inst, &platform, &HeteroPrioConfig::new()).makespan())
-            })
+            b.iter(|| black_box(heteroprio(inst, &platform, &HeteroPrioConfig::new()).makespan()))
         });
         group.bench_with_input(BenchmarkId::new("dualhp", size), &instance, |b, inst| {
             b.iter(|| black_box(dualhp_independent(inst, &platform).makespan()))

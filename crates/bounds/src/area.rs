@@ -61,11 +61,7 @@ pub fn area_bound(instance: &Instance, platform: &Platform) -> AreaBound {
     // Tasks by non-increasing acceleration factor: GPU-friendliest first.
     let mut order: Vec<TaskId> = instance.ids().collect();
     order.sort_by(|&a, &b| {
-        instance
-            .task(b)
-            .accel_factor()
-            .total_cmp(&instance.task(a).accel_factor())
-            .then(a.cmp(&b))
+        instance.task(b).accel_factor().total_cmp(&instance.task(a).accel_factor()).then(a.cmp(&b))
     });
 
     // Prefix GPU work and suffix CPU work along that order.
@@ -112,7 +108,7 @@ pub fn area_bound(instance: &Instance, platform: &Platform) -> AreaBound {
     let q = instance.task(split).gpu_time;
     let base_cpu = cpu_finish(j_star); // CPU finish without the split task
     let base_gpu = gpu_prefix[j_star - 1] / g; // GPU finish without it
-    // Solve base_cpu + x p / m = base_gpu + (1 - x) q / g.
+                                               // Solve base_cpu + x p / m = base_gpu + (1 - x) q / g.
     let x = ((base_gpu + q / g - base_cpu) / (p / m + q / g)).clamp(0.0, 1.0);
     cpu_fraction[split.index()] = x;
     let value = base_cpu + x * p / m;
@@ -192,10 +188,9 @@ pub fn check_structure(
 pub fn class_usage(instance: &Instance, platform: &Platform, kind: ResourceKind) -> f64 {
     let ab = area_bound(instance, platform);
     match kind {
-        ResourceKind::Cpu => instance
-            .ids()
-            .map(|id| ab.cpu_fraction[id.index()] * instance.task(id).cpu_time)
-            .sum(),
+        ResourceKind::Cpu => {
+            instance.ids().map(|id| ab.cpu_fraction[id.index()] * instance.task(id).cpu_time).sum()
+        }
         ResourceKind::Gpu => instance
             .ids()
             .map(|id| (1.0 - ab.cpu_fraction[id.index()]) * instance.task(id).gpu_time)

@@ -229,13 +229,8 @@ mod tests {
 
     #[test]
     fn exact_at_least_area_bound() {
-        let inst = Instance::from_times(&[
-            (3.0, 1.5),
-            (2.0, 4.0),
-            (6.0, 1.0),
-            (1.0, 1.0),
-            (2.5, 2.5),
-        ]);
+        let inst =
+            Instance::from_times(&[(3.0, 1.5), (2.0, 4.0), (6.0, 1.0), (1.0, 1.0), (2.5, 2.5)]);
         let plat = Platform::new(2, 1);
         let sol = optimal_makespan(&inst, &plat);
         let lb = combined_lower_bound(&inst, &plat);

@@ -20,6 +20,4 @@ pub use area::{
     min_time_bound, AreaBound,
 };
 pub use dag::dag_lower_bound;
-pub use exact::{
-    optimal_homogeneous_makespan, optimal_makespan, ExactSolution, MAX_EXACT_TASKS,
-};
+pub use exact::{optimal_homogeneous_makespan, optimal_makespan, ExactSolution, MAX_EXACT_TASKS};

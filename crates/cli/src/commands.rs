@@ -5,12 +5,109 @@ use crate::format::{parse_instance, serialize_instance};
 use heteroprio_bounds::{combined_lower_bound, optimal_makespan, MAX_EXACT_TASKS};
 use heteroprio_core::gantt::to_svg;
 use heteroprio_core::{
-    heteroprio, HeteroPrioConfig, Instance, Platform, ResourceKind, Schedule,
+    heteroprio, heteroprio_traced, HeteroPrioConfig, Instance, Platform, ResourceKind, Schedule,
 };
 use heteroprio_schedulers::{dualhp_independent, heft, heuristic_schedule, HeftVariant, Heuristic};
 use heteroprio_taskgraph::{Factorization, TaskGraph, WeightScheme};
+use heteroprio_trace::{
+    chrome_trace, jsonl, ChromeTraceOptions, SchedEvent, TraceSummary, VecSink,
+};
 use heteroprio_workloads::{independent_instance, ChameleonTiming};
 use std::fmt::Write as _;
+
+/// Extra outputs a command may produce alongside its text report.
+#[derive(Clone, Debug, Default)]
+pub struct OutputOpts {
+    /// Render the schedule as an SVG Gantt chart.
+    pub svg: bool,
+    /// Export the scheduler's event stream to this file. A `.jsonl`
+    /// extension selects the JSONL exporter; anything else gets Chrome
+    /// `trace_event` JSON (open in <https://ui.perfetto.dev>).
+    pub trace: Option<String>,
+    /// Append a per-worker busy/idle/aborted summary to the report.
+    pub summary: bool,
+}
+
+impl OutputOpts {
+    fn wants_events(&self) -> bool {
+        self.trace.is_some() || self.summary
+    }
+}
+
+/// What a command produced: the printed report plus optional artifacts.
+#[derive(Clone, Debug)]
+pub struct CmdOutput {
+    pub report: String,
+    pub svg: Option<String>,
+    /// `(path, contents)` of the requested trace export.
+    pub trace: Option<(String, String)>,
+}
+
+fn worker_names(platform: &Platform) -> Vec<String> {
+    platform
+        .all_workers()
+        .map(|w| match platform.kind_of(w) {
+            ResourceKind::Cpu => format!("CPU {}", w.index()),
+            ResourceKind::Gpu => format!("GPU {}", w.index() - platform.cpus),
+        })
+        .collect()
+}
+
+fn render_trace(events: &[SchedEvent], path: &str, opts: &ChromeTraceOptions) -> String {
+    if path.ends_with(".jsonl") {
+        jsonl(events)
+    } else {
+        chrome_trace(events, opts)
+    }
+}
+
+/// Human-readable digest of a [`TraceSummary`], appended to reports under
+/// `--summary`.
+fn format_summary(summary: &TraceSummary, platform: &Platform) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "-- trace summary ({} events) --", summary.events_recorded());
+    let _ = writeln!(
+        out,
+        "{:<8} {:>10} {:>10} {:>10} {:>6} {:>6}",
+        "worker", "busy", "idle", "aborted", "done", "spol"
+    );
+    let names = worker_names(platform);
+    for w in platform.all_workers() {
+        let s = &summary.workers[w.index()];
+        let _ = writeln!(
+            out,
+            "{:<8} {:>10.4} {:>10.4} {:>10.4} {:>6} {:>6}",
+            names[w.index()],
+            s.busy,
+            s.idle,
+            s.aborted,
+            s.completed,
+            s.spoliated
+        );
+    }
+    let _ = writeln!(
+        out,
+        "spoliations : {} (wasted work {:.4})",
+        summary.spoliation_count, summary.wasted_work
+    );
+    match summary.first_idle {
+        Some(t) => {
+            let _ = writeln!(out, "first idle  : {t:.4}");
+        }
+        None => {
+            let _ = writeln!(out, "first idle  : never");
+        }
+    }
+    if summary.queue_pops_front + summary.queue_pops_back > 0 {
+        let _ = writeln!(
+            out,
+            "queue pops  : {} front (GPU), {} back (CPU)",
+            summary.queue_pops_front, summary.queue_pops_back
+        );
+    }
+    let _ = writeln!(out, "ready depth : peak {}", summary.max_ready_depth());
+    out
+}
 
 /// Which scheduler the `schedule` command runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,6 +139,33 @@ impl Algo {
 
     pub const NAMES: &'static str = "hp, hp-ns, dualhp, heft, minmin, maxmin, sufferage, mct";
 
+    /// Run the scheduler and also return its event stream: live events for
+    /// the instrumented HeteroPrio variants, a stream reconstructed from
+    /// the finished schedule for the static algorithms.
+    pub fn run_traced(
+        self,
+        instance: &Instance,
+        platform: &Platform,
+    ) -> (Schedule, Vec<SchedEvent>) {
+        let config = match self {
+            Algo::HeteroPrio => Some(HeteroPrioConfig::new()),
+            Algo::HeteroPrioNoSpoliation => Some(HeteroPrioConfig::without_spoliation()),
+            _ => None,
+        };
+        match config {
+            Some(config) => {
+                let mut sink = VecSink::new();
+                let result = heteroprio_traced(instance, platform, &config, &mut sink);
+                (result.schedule, sink.into_events())
+            }
+            None => {
+                let schedule = self.run(instance, platform);
+                let events = schedule.to_events(platform);
+                (schedule, events)
+            }
+        }
+    }
+
     pub fn run(self, instance: &Instance, platform: &Platform) -> Schedule {
         match self {
             Algo::HeteroPrio => heteroprio(instance, platform, &HeteroPrioConfig::new()).schedule,
@@ -64,18 +188,21 @@ impl Algo {
 }
 
 /// `schedule`: run one scheduler on an instance file's contents.
-/// Returns `(report, optional svg)`.
 pub fn cmd_schedule(
     text: &str,
     platform: &Platform,
     algo: Algo,
-    want_svg: bool,
-) -> Result<(String, Option<String>), String> {
+    opts: &OutputOpts,
+) -> Result<CmdOutput, String> {
     let instance = parse_instance(text).map_err(|e| e.to_string())?;
     if instance.is_empty() {
         return Err("instance is empty".to_string());
     }
-    let schedule = algo.run(&instance, platform);
+    let (schedule, events) = if opts.wants_events() {
+        algo.run_traced(&instance, platform)
+    } else {
+        (algo.run(&instance, platform), Vec::new())
+    };
     schedule
         .validate(&instance, platform)
         .map_err(|e| format!("internal error: invalid schedule: {e}"))?;
@@ -102,8 +229,17 @@ pub fn cmd_schedule(
         );
     }
     out.push_str(&schedule.render_ascii(platform, 72));
-    let svg = want_svg.then(|| to_svg(&schedule, &instance, platform));
-    Ok((out, svg))
+    if opts.summary {
+        let summary = TraceSummary::from_events(platform.workers(), &events);
+        out.push_str(&format_summary(&summary, platform));
+    }
+    let trace = opts.trace.as_ref().map(|path| {
+        let chrome_opts =
+            ChromeTraceOptions { worker_names: worker_names(platform), task_names: Vec::new() };
+        (path.clone(), render_trace(&events, path, &chrome_opts))
+    });
+    let svg = opts.svg.then(|| to_svg(&schedule, &instance, platform));
+    Ok(CmdOutput { report: out, svg, trace })
 }
 
 /// `bounds`: print every lower bound we can compute (plus the exact optimum
@@ -115,11 +251,7 @@ pub fn cmd_bounds(text: &str, platform: &Platform) -> Result<String, String> {
     let _ = writeln!(out, "tasks          : {}", instance.len());
     let _ = writeln!(out, "area bound     : {:.6}", ab.value);
     let _ = writeln!(out, "max min-time   : {:.6}", instance.max_min_time());
-    let _ = writeln!(
-        out,
-        "combined bound : {:.6}",
-        combined_lower_bound(&instance, platform)
-    );
+    let _ = writeln!(out, "combined bound : {:.6}", combined_lower_bound(&instance, platform));
     if instance.len() <= MAX_EXACT_TASKS && !instance.is_empty() {
         let opt = optimal_makespan(&instance, platform);
         let _ = writeln!(out, "exact optimum  : {:.6}", opt.makespan);
@@ -172,14 +304,14 @@ impl DagAlgoArg {
 }
 
 /// `dag`: generate a factorization DAG, submit it through the runtime and
-/// schedule it. Returns `(report, optional svg)`.
+/// schedule it.
 pub fn cmd_dag(
     kind: &str,
     n: usize,
     platform: &Platform,
     algo: DagAlgoArg,
-    want_svg: bool,
-) -> Result<(String, Option<String>), String> {
+    opts: &OutputOpts,
+) -> Result<CmdOutput, String> {
     use heteroprio_runtime::{submit_cholesky, submit_lu, submit_qr, Runtime};
     if n == 0 {
         return Err("need at least one tile".to_string());
@@ -191,7 +323,11 @@ pub fn cmd_dag(
         "lu" => submit_lu(&mut rt, n, &ChameleonTiming),
         other => return Err(format!("unknown workload `{other}` (cholesky, qr, lu)")),
     }
-    let report = rt.run(algo.scheduler())?;
+    let report = if opts.wants_events() {
+        rt.run_traced(algo.scheduler())?
+    } else {
+        rt.run(algo.scheduler())?
+    };
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -208,9 +344,18 @@ pub fn cmd_dag(
     for (label, count) in report.graph.label_histogram() {
         let _ = writeln!(out, "  {label:<8} x{count}");
     }
-    let svg =
-        want_svg.then(|| to_svg(&report.schedule, report.graph.instance(), platform));
-    Ok((out, svg))
+    if opts.summary {
+        out.push_str(&format_summary(&report.summary, platform));
+    }
+    let trace = opts.trace.as_ref().map(|path| {
+        let task_names = (0..report.graph.len())
+            .map(|i| format!("{}[{i}]", report.graph.label(heteroprio_core::TaskId(i as u32))))
+            .collect();
+        let chrome_opts = ChromeTraceOptions { worker_names: worker_names(platform), task_names };
+        (path.clone(), render_trace(&report.events, path, &chrome_opts))
+    });
+    let svg = opts.svg.then(|| to_svg(&report.schedule, report.graph.instance(), platform));
+    Ok(CmdOutput { report: out, svg, trace })
 }
 
 /// `gen`: emit the independent-task kernel mix of a factorization in the
@@ -235,14 +380,19 @@ mod tests {
 
     const SAMPLE: &str = "28.8 1.0\n8.72 1.0\n1.72 1.0\n1.0 3.0\n2.0 6.0\n";
 
+    fn svg_only() -> OutputOpts {
+        OutputOpts { svg: true, ..OutputOpts::default() }
+    }
+
     #[test]
     fn schedule_reports_every_field() {
         let plat = Platform::new(2, 1);
-        let (report, svg) = cmd_schedule(SAMPLE, &plat, Algo::HeteroPrio, true).unwrap();
-        assert!(report.contains("makespan"));
-        assert!(report.contains("ratio"));
-        assert!(report.contains("CPU"));
-        assert!(svg.unwrap().starts_with("<svg"));
+        let out = cmd_schedule(SAMPLE, &plat, Algo::HeteroPrio, &svg_only()).unwrap();
+        assert!(out.report.contains("makespan"));
+        assert!(out.report.contains("ratio"));
+        assert!(out.report.contains("CPU"));
+        assert!(out.svg.unwrap().starts_with("<svg"));
+        assert!(out.trace.is_none());
     }
 
     #[test]
@@ -258,9 +408,47 @@ mod tests {
             Algo::Sufferage,
             Algo::Mct,
         ] {
-            let (report, _) = cmd_schedule(SAMPLE, &plat, algo, false).unwrap();
-            assert!(report.contains("makespan"), "{algo:?}");
+            let out = cmd_schedule(SAMPLE, &plat, algo, &OutputOpts::default()).unwrap();
+            assert!(out.report.contains("makespan"), "{algo:?}");
         }
+    }
+
+    #[test]
+    fn every_algorithm_traces_and_summarizes() {
+        use heteroprio_trace::json;
+        let plat = Platform::new(2, 1);
+        let opts = OutputOpts { svg: false, trace: Some("out.json".to_string()), summary: true };
+        for algo in [Algo::HeteroPrio, Algo::Heft, Algo::MinMin, Algo::DualHp] {
+            let out = cmd_schedule(SAMPLE, &plat, algo, &opts).unwrap();
+            assert!(out.report.contains("trace summary"), "{algo:?}");
+            assert!(out.report.contains("first idle"), "{algo:?}");
+            let (path, contents) = out.trace.unwrap();
+            assert_eq!(path, "out.json");
+            let doc = json::parse(&contents).expect("valid chrome trace");
+            let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+            // 5 tasks → 5 complete slices, plus metadata per worker.
+            let slices = evs
+                .iter()
+                .filter(|e| {
+                    e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                        && e.get("cat").and_then(|c| c.as_str()) == Some("task")
+                })
+                .count();
+            assert_eq!(slices, 5, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn jsonl_extension_selects_jsonl() {
+        use heteroprio_trace::json;
+        let plat = Platform::new(1, 1);
+        let opts = OutputOpts { svg: false, trace: Some("out.jsonl".to_string()), summary: false };
+        let out = cmd_schedule(SAMPLE, &plat, Algo::HeteroPrio, &opts).unwrap();
+        let (_, contents) = out.trace.unwrap();
+        for line in contents.lines() {
+            json::parse(line).expect("each JSONL line parses");
+        }
+        assert!(contents.contains("task_complete"));
     }
 
     #[test]
@@ -297,16 +485,37 @@ mod tests {
             DagAlgoArg::Heft,
             DagAlgoArg::List,
         ] {
-            let (report, svg) = cmd_dag("cholesky", 5, &plat, algo, algo == DagAlgoArg::HeteroPrio)
-                .unwrap();
-            assert!(report.contains("makespan"), "{algo:?}");
-            assert!(report.contains("DPOTRF"), "{algo:?}");
+            let opts =
+                if algo == DagAlgoArg::HeteroPrio { svg_only() } else { OutputOpts::default() };
+            let out = cmd_dag("cholesky", 5, &plat, algo, &opts).unwrap();
+            assert!(out.report.contains("makespan"), "{algo:?}");
+            assert!(out.report.contains("DPOTRF"), "{algo:?}");
             if algo == DagAlgoArg::HeteroPrio {
-                assert!(svg.unwrap().starts_with("<svg"));
+                assert!(out.svg.unwrap().starts_with("<svg"));
             }
         }
-        assert!(cmd_dag("fft", 5, &plat, DagAlgoArg::HeteroPrio, false).is_err());
-        assert!(cmd_dag("qr", 0, &plat, DagAlgoArg::HeteroPrio, false).is_err());
+        let none = OutputOpts::default();
+        assert!(cmd_dag("fft", 5, &plat, DagAlgoArg::HeteroPrio, &none).is_err());
+        assert!(cmd_dag("qr", 0, &plat, DagAlgoArg::HeteroPrio, &none).is_err());
+    }
+
+    #[test]
+    fn dag_trace_labels_slices_with_kernel_names() {
+        use heteroprio_trace::json;
+        let plat = Platform::new(2, 1);
+        let opts = OutputOpts { svg: false, trace: Some("chol.json".to_string()), summary: true };
+        let out = cmd_dag("cholesky", 4, &plat, DagAlgoArg::HeteroPrio, &opts).unwrap();
+        let (_, contents) = out.trace.unwrap();
+        let doc = json::parse(&contents).expect("valid chrome trace");
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(
+            evs.iter().any(|e| e
+                .get("name")
+                .and_then(|n| n.as_str())
+                .is_some_and(|n| n.starts_with("DPOTRF["))),
+            "slices carry DAG kernel labels"
+        );
+        assert!(out.report.contains("GPU 0"));
     }
 
     #[test]
@@ -320,9 +529,10 @@ mod tests {
     #[test]
     fn bad_input_is_reported() {
         let plat = Platform::new(1, 1);
-        let err = cmd_schedule("garbage here too many fields\n", &plat, Algo::HeteroPrio, false)
+        let opts = OutputOpts::default();
+        let err = cmd_schedule("garbage here too many fields\n", &plat, Algo::HeteroPrio, &opts)
             .unwrap_err();
         assert!(err.contains("line 1"), "{err}");
-        assert!(cmd_schedule("", &plat, Algo::HeteroPrio, false).is_err());
+        assert!(cmd_schedule("", &plat, Algo::HeteroPrio, &opts).is_err());
     }
 }

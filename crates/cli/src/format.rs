@@ -42,17 +42,12 @@ pub fn parse_instance(text: &str) -> Result<Instance, ParseError> {
         if fields.len() < 2 || fields.len() > 3 {
             return Err(ParseError {
                 line,
-                message: format!(
-                    "expected `cpu gpu [priority]`, found {} field(s)",
-                    fields.len()
-                ),
+                message: format!("expected `cpu gpu [priority]`, found {} field(s)", fields.len()),
             });
         }
         let parse = |s: &str, what: &str| -> Result<f64, ParseError> {
-            s.parse::<f64>().map_err(|e| ParseError {
-                line,
-                message: format!("bad {what} `{s}`: {e}"),
-            })
+            s.parse::<f64>()
+                .map_err(|e| ParseError { line, message: format!("bad {what} `{s}`: {e}") })
         };
         let cpu = parse(fields[0], "cpu time")?;
         let gpu = parse(fields[1], "gpu time")?;

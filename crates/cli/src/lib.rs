@@ -7,5 +7,7 @@
 pub mod commands;
 pub mod format;
 
-pub use commands::{cmd_bounds, cmd_dag, cmd_gen, cmd_schedule, Algo, DagAlgoArg};
+pub use commands::{
+    cmd_bounds, cmd_dag, cmd_gen, cmd_schedule, Algo, CmdOutput, DagAlgoArg, OutputOpts,
+};
 pub use format::{parse_instance, serialize_instance, ParseError};

@@ -1,25 +1,32 @@
 //! Command-line interface to the HeteroPrio reproduction.
 //!
 //! ```text
-//! heteroprio-cli schedule --cpus M --gpus N [--algo NAME] [--svg FILE] INSTANCE
+//! heteroprio-cli schedule --cpus M --gpus N [--algo NAME] [--svg FILE] [--trace FILE] [--summary] INSTANCE
 //! heteroprio-cli bounds   --cpus M --gpus N INSTANCE
 //! heteroprio-cli gen      (cholesky|qr|lu) N [OUTPUT]
 //! ```
 
-use heteroprio_cli::{cmd_bounds, cmd_dag, cmd_gen, cmd_schedule, Algo, DagAlgoArg};
+use heteroprio_cli::{cmd_bounds, cmd_dag, cmd_gen, cmd_schedule, Algo, DagAlgoArg, OutputOpts};
 use heteroprio_core::Platform;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage:
-  heteroprio-cli schedule --cpus M --gpus N [--algo NAME] [--svg FILE] INSTANCE
+  heteroprio-cli schedule --cpus M --gpus N [--algo NAME] [--svg FILE]
+                          [--trace FILE] [--summary] INSTANCE
   heteroprio-cli bounds   --cpus M --gpus N INSTANCE
   heteroprio-cli gen      (cholesky|qr|lu) N [OUTPUT]
-  heteroprio-cli dag      (cholesky|qr|lu) N --cpus M --gpus N [--algo NAME] [--svg FILE]
+  heteroprio-cli dag      (cholesky|qr|lu) N --cpus M --gpus N [--algo NAME]
+                          [--svg FILE] [--trace FILE] [--summary]
 
 INSTANCE is a text file with one `cpu_time gpu_time [priority]` task per
 line (`#` comments). `gen` writes such a file for the kernel mix of an
 N-tile factorization. Algorithms: see --algo (default hp).
+
+--trace FILE exports the scheduler's event stream: Chrome trace_event
+JSON (open in https://ui.perfetto.dev) by default, or JSONL when FILE
+ends in `.jsonl`. --summary appends per-worker busy/idle/aborted time,
+spoliation wasted work, and ready-queue statistics to the report.
 ";
 
 struct Args {
@@ -30,6 +37,8 @@ struct Args {
     /// Raw `--algo` value, for subcommands with their own algorithm set.
     dag_algo: Option<String>,
     svg: Option<String>,
+    trace: Option<String>,
+    summary: bool,
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -40,6 +49,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         algo: Algo::HeteroPrio,
         dag_algo: None,
         svg: None,
+        trace: None,
+        summary: false,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -67,6 +78,10 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--svg" => {
                 args.svg = Some(argv.next().ok_or("--svg needs a file name")?);
             }
+            "--trace" => {
+                args.trace = Some(argv.next().ok_or("--trace needs a file name")?);
+            }
+            "--summary" => args.summary = true,
             "--help" | "-h" => return Err(String::new()),
             other => args.positional.push(other.to_string()),
         }
@@ -81,6 +96,24 @@ fn platform_of(args: &Args) -> Result<Platform, String> {
     }
 }
 
+fn output_opts(args: &Args) -> OutputOpts {
+    OutputOpts { svg: args.svg.is_some(), trace: args.trace.clone(), summary: args.summary }
+}
+
+/// Print the report and write the artifacts a command produced.
+fn emit(out: heteroprio_cli::CmdOutput, svg_path: Option<&String>) -> Result<(), String> {
+    print!("{}", out.report);
+    if let (Some(path), Some(svg)) = (svg_path, out.svg) {
+        std::fs::write(path, svg).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some((path, contents)) = out.trace {
+        std::fs::write(&path, contents).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let mut argv = std::env::args().skip(1);
     let command = argv.next().ok_or("")?;
@@ -90,13 +123,8 @@ fn run() -> Result<(), String> {
             let platform = platform_of(&args)?;
             let file = args.positional.first().ok_or("missing INSTANCE file")?;
             let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
-            let (report, svg) = cmd_schedule(&text, &platform, args.algo, args.svg.is_some())?;
-            print!("{report}");
-            if let (Some(path), Some(svg)) = (&args.svg, svg) {
-                std::fs::write(path, svg).map_err(|e| format!("{path}: {e}"))?;
-                println!("wrote {path}");
-            }
-            Ok(())
+            let out = cmd_schedule(&text, &platform, args.algo, &output_opts(&args))?;
+            emit(out, args.svg.as_ref())
         }
         "bounds" => {
             let platform = platform_of(&args)?;
@@ -115,17 +143,13 @@ fn run() -> Result<(), String> {
                 .parse()
                 .map_err(|_| "bad tile count")?;
             let algo = match &args.dag_algo {
-                Some(name) => DagAlgoArg::parse(name)
-                    .ok_or_else(|| format!("unknown DAG algorithm `{name}` ({})", DagAlgoArg::NAMES))?,
+                Some(name) => DagAlgoArg::parse(name).ok_or_else(|| {
+                    format!("unknown DAG algorithm `{name}` ({})", DagAlgoArg::NAMES)
+                })?,
                 None => DagAlgoArg::HeteroPrio,
             };
-            let (report, svg) = cmd_dag(&kind, n, &platform, algo, args.svg.is_some())?;
-            print!("{report}");
-            if let (Some(path), Some(svg)) = (&args.svg, svg) {
-                std::fs::write(path, svg).map_err(|e| format!("{path}: {e}"))?;
-                println!("wrote {path}");
-            }
-            Ok(())
+            let out = cmd_dag(&kind, n, &platform, algo, &output_opts(&args))?;
+            emit(out, args.svg.as_ref())
         }
         "gen" => {
             let kind = args.positional.first().ok_or("gen needs a workload kind")?;

@@ -1,0 +1,64 @@
+//! End-to-end smoke test of the installed binary: `schedule --trace`
+//! and `dag --trace` must write parseable trace files and report them.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_heteroprio-cli"))
+}
+
+/// A scratch path that each test owns (process id keeps parallel test
+/// binaries from colliding).
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("heteroprio-cli-test-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn schedule_trace_writes_a_parseable_chrome_trace() {
+    let instance = scratch("schedule.txt");
+    std::fs::write(&instance, "8 1\n4 1\n2 2\n1 4\n# comment\n3 3\n").unwrap();
+    let trace = scratch("schedule-trace.json");
+
+    let out = bin()
+        .args(["schedule", "--cpus", "2", "--gpus", "1", "--summary", "--trace"])
+        .arg(&trace)
+        .arg(&instance)
+        .output()
+        .expect("run heteroprio-cli");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("trace summary"), "--summary missing from report:\n{stdout}");
+    assert!(stdout.contains(&format!("wrote {}", trace.display())));
+
+    let doc = std::fs::read_to_string(&trace).expect("trace file written");
+    let v = heteroprio_trace::json::parse(&doc).expect("trace file is valid JSON");
+    let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+    let slices =
+        events.iter().filter(|e| e.get("cat").and_then(|c| c.as_str()) == Some("task")).count();
+    assert_eq!(slices, 5, "one complete slice per task");
+
+    let _ = std::fs::remove_file(&instance);
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn dag_trace_writes_jsonl_when_asked() {
+    let trace = scratch("dag-trace.jsonl");
+    let out = bin()
+        .args(["dag", "cholesky", "4", "--cpus", "2", "--gpus", "1", "--trace"])
+        .arg(&trace)
+        .output()
+        .expect("run heteroprio-cli");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        let v = heteroprio_trace::json::parse(line).expect("every JSONL line parses");
+        assert!(v.get("type").is_some(), "line carries a type tag: {line}");
+    }
+
+    let _ = std::fs::remove_file(&trace);
+}

@@ -22,6 +22,7 @@
 use crate::model::{Instance, Platform, ResourceKind, TaskId, WorkerId};
 use crate::schedule::{Schedule, TaskRun};
 use crate::time::{strictly_less, F64Ord};
+use heteroprio_trace::{NullSink, QueueEnd, SchedEvent, TraceSink, TraceSummary};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -95,9 +96,14 @@ pub struct HeteroPrioResult {
     /// `T_FirstIdle`: the first instant at which some worker found the queue
     /// empty. `None` when every worker was busy until its last completion
     /// (never happens if there are fewer tasks than workers).
+    /// Derived from [`TraceSummary::first_idle`].
     pub first_idle: Option<f64>,
-    /// Number of successful spoliations.
+    /// Number of successful spoliations. Derived from
+    /// [`TraceSummary::spoliation_count`].
     pub spoliations: usize,
+    /// Per-worker time accounting and spoliation totals aggregated from the
+    /// event stream the run emitted.
+    pub summary: TraceSummary,
 }
 
 impl HeteroPrioResult {
@@ -132,14 +138,19 @@ pub fn sorted_queue(instance: &Instance, ids: &[TaskId], tie: QueueTieBreak) -> 
                 let tb = instance.task(b);
                 let ra = ta.accel_factor();
                 let rb = tb.accel_factor();
-                rb.total_cmp(&ra).then_with(|| {
-                    // Equal ρ: for ρ >= 1 put high priority first (GPU side),
-                    // for ρ < 1 put low priority first (so the back of the
-                    // queue, served to CPUs, holds the highest priority).
-                    let ord = tb.priority.total_cmp(&ta.priority);
-                    if ra >= 1.0 { ord } else { ord.reverse() }
-                })
-                .then(a.cmp(&b))
+                rb.total_cmp(&ra)
+                    .then_with(|| {
+                        // Equal ρ: for ρ >= 1 put high priority first (GPU side),
+                        // for ρ < 1 put low priority first (so the back of the
+                        // queue, served to CPUs, holds the highest priority).
+                        let ord = tb.priority.total_cmp(&ta.priority);
+                        if ra >= 1.0 {
+                            ord
+                        } else {
+                            ord.reverse()
+                        }
+                    })
+                    .then(a.cmp(&b))
             });
         }
     }
@@ -152,19 +163,37 @@ pub fn heteroprio(
     platform: &Platform,
     config: &HeteroPrioConfig,
 ) -> HeteroPrioResult {
+    heteroprio_traced(instance, platform, config, &mut NullSink)
+}
+
+/// [`heteroprio`] with a trace sink: every scheduling decision is emitted as
+/// a [`SchedEvent`]. The run is generic over the sink, so passing
+/// [`NullSink`] compiles the tracing away entirely.
+pub fn heteroprio_traced<S: TraceSink>(
+    instance: &Instance,
+    platform: &Platform,
+    config: &HeteroPrioConfig,
+    sink: &mut S,
+) -> HeteroPrioResult {
     let ids: Vec<TaskId> = instance.ids().collect();
-    let mut sim = Sim::new(instance, platform, config);
+    let mut sim = Sim::new(instance, platform, config, sink);
+    for &t in &ids {
+        sim.emit(SchedEvent::TaskReady { time: 0.0, task: t.0 });
+    }
     sim.queue = sorted_queue(instance, &ids, config.queue_tie);
     sim.run();
+    let mut summary = sim.summary;
+    summary.finish();
     HeteroPrioResult {
         schedule: sim.schedule,
-        first_idle: sim.first_idle,
-        spoliations: sim.spoliations,
+        first_idle: summary.first_idle,
+        spoliations: summary.spoliation_count,
+        summary,
     }
 }
 
 /// Event-driven simulation state for Algorithm 1.
-struct Sim<'a> {
+struct Sim<'a, S: TraceSink> {
     instance: &'a Instance,
     platform: &'a Platform,
     config: &'a HeteroPrioConfig,
@@ -177,12 +206,24 @@ struct Sim<'a> {
     idle: Vec<WorkerId>,
     completed: usize,
     schedule: Schedule,
-    first_idle: Option<f64>,
-    spoliations: usize,
+    sink: &'a mut S,
+    summary: TraceSummary,
+    /// Whether a `WorkerIdleBegin` has been emitted and not yet closed.
+    idle_announced: Vec<bool>,
 }
 
-impl<'a> Sim<'a> {
-    fn new(instance: &'a Instance, platform: &'a Platform, config: &'a HeteroPrioConfig) -> Self {
+impl<'a, S: TraceSink> Sim<'a, S> {
+    fn new(
+        instance: &'a Instance,
+        platform: &'a Platform,
+        config: &'a HeteroPrioConfig,
+        sink: &'a mut S,
+    ) -> Self {
+        let summary = if sink.is_enabled() {
+            TraceSummary::with_timeline(platform.workers())
+        } else {
+            TraceSummary::new(platform.workers())
+        };
         Sim {
             instance,
             platform,
@@ -194,9 +235,16 @@ impl<'a> Sim<'a> {
             idle: platform.all_workers().collect(),
             completed: 0,
             schedule: Schedule::new(),
-            first_idle: None,
-            spoliations: 0,
+            sink,
+            summary,
+            idle_announced: vec![false; platform.workers()],
         }
+    }
+
+    #[inline]
+    fn emit(&mut self, event: SchedEvent) {
+        self.summary.record(&event);
+        self.sink.emit(event);
     }
 
     fn worker_sort_key(&self, w: WorkerId) -> (u8, u32) {
@@ -218,6 +266,16 @@ impl<'a> Sim<'a> {
     fn start(&mut self, w: WorkerId, task: TaskId, now: f64) {
         let dur = self.instance.task(task).time_on(self.platform.kind_of(w));
         let end = now + dur;
+        if self.idle_announced[w.index()] {
+            self.idle_announced[w.index()] = false;
+            self.emit(SchedEvent::WorkerIdleEnd { time: now, worker: w.0 });
+        }
+        self.emit(SchedEvent::TaskStart {
+            time: now,
+            task: task.0,
+            worker: w.0,
+            expected_end: end,
+        });
         self.running[w.index()] = Some(Running { task, start: now, end });
         self.events.push(Reverse((F64Ord::new(end), w.0, self.generation[w.index()])));
     }
@@ -267,17 +325,22 @@ impl<'a> Sim<'a> {
             let workers: Vec<WorkerId> = self.idle.drain(..).collect();
             for w in workers {
                 let kind = self.platform.kind_of(w);
-                if let Some(task) = match kind {
-                    ResourceKind::Gpu => self.queue.pop_front(),
-                    ResourceKind::Cpu => self.queue.pop_back(),
-                } {
+                let (popped, end) = match kind {
+                    ResourceKind::Gpu => (self.queue.pop_front(), QueueEnd::Front),
+                    ResourceKind::Cpu => (self.queue.pop_back(), QueueEnd::Back),
+                };
+                if let Some(task) = popped {
+                    self.emit(SchedEvent::QueuePop { time: now, task: task.0, worker: w.0, end });
                     self.start(w, task, now);
                     acted = true;
                     continue;
                 }
                 // Queue empty: this worker is (at least momentarily) idle.
-                if self.first_idle.is_none() {
-                    self.first_idle = Some(now);
+                // The WorkerIdleBegin precedes any spoliation attempt, so
+                // T_FirstIdle covers thieves that steal work immediately.
+                if !self.idle_announced[w.index()] {
+                    self.idle_announced[w.index()] = true;
+                    self.emit(SchedEvent::WorkerIdleBegin { time: now, worker: w.0 });
                 }
                 if !self.config.disable_spoliation {
                     if let Some(victim) = self.pick_victim(w, now) {
@@ -289,7 +352,13 @@ impl<'a> Sim<'a> {
                             start: r.start,
                             end: now,
                         });
-                        self.spoliations += 1;
+                        self.emit(SchedEvent::Spoliation {
+                            time: now,
+                            task: r.task.0,
+                            victim: victim.0,
+                            thief: w.0,
+                            wasted_work: now - r.start,
+                        });
                         self.start(w, r.task, now);
                         newly_idle.push(victim);
                         acted = true;
@@ -341,6 +410,7 @@ impl<'a> Sim<'a> {
     fn complete(&mut self, w: WorkerId, now: f64) {
         let r = self.running[w.index()].take().expect("completion of empty worker");
         self.schedule.runs.push(TaskRun { task: r.task, worker: w, start: r.start, end: now });
+        self.emit(SchedEvent::TaskComplete { time: now, task: r.task.0, worker: w.0 });
         self.completed += 1;
         self.idle.push(w);
     }
@@ -502,10 +572,8 @@ mod tests {
         // so makespan is still the GPU time but with one abort recorded.
         let inst = Instance::from_times(&[(10.0, 1.0)]);
         let plat = Platform::new(1, 1);
-        let cfg = HeteroPrioConfig {
-            worker_order: WorkerOrder::CpusFirst,
-            ..HeteroPrioConfig::new()
-        };
+        let cfg =
+            HeteroPrioConfig { worker_order: WorkerOrder::CpusFirst, ..HeteroPrioConfig::new() };
         let res = heteroprio(&inst, &plat, &cfg);
         res.schedule.validate(&inst, &plat).unwrap();
         assert!(approx_eq(res.makespan(), 1.0));

@@ -42,11 +42,11 @@ pub mod theory;
 pub mod time;
 
 pub use heteroprio::{
-    heteroprio, sorted_queue, HeteroPrioConfig, HeteroPrioResult, QueueTieBreak,
+    heteroprio, heteroprio_traced, sorted_queue, HeteroPrioConfig, HeteroPrioResult, QueueTieBreak,
     SpoliationTieBreak, WorkerOrder,
 };
 pub use model::{Instance, Platform, ResourceKind, Task, TaskId, WorkerId};
-pub use online::heteroprio_online;
+pub use online::{heteroprio_online, heteroprio_online_traced};
 pub use queue::AffinityQueue;
 pub use schedule::{Schedule, ScheduleError, TaskRun};
 pub use theory::{is_tight, known_lower_bound, proven_upper_bound};

@@ -18,6 +18,7 @@ use crate::queue::AffinityQueue;
 use crate::schedule::{Schedule, TaskRun};
 use crate::time::{strictly_less, F64Ord};
 use crate::WorkerOrder;
+use heteroprio_trace::{NullSink, QueueEnd, SchedEvent, TraceSink, TraceSummary};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -37,21 +38,36 @@ pub fn heteroprio_online(
     platform: &Platform,
     config: &HeteroPrioConfig,
 ) -> HeteroPrioResult {
+    heteroprio_online_traced(instance, releases, platform, config, &mut NullSink)
+}
+
+/// [`heteroprio_online`] with a trace sink (see
+/// [`heteroprio_traced`](crate::heteroprio_traced)).
+pub fn heteroprio_online_traced<S: TraceSink>(
+    instance: &Instance,
+    releases: &[f64],
+    platform: &Platform,
+    config: &HeteroPrioConfig,
+    sink: &mut S,
+) -> HeteroPrioResult {
     assert_eq!(releases.len(), instance.len(), "one release date per task");
     assert!(
         releases.iter().all(|&r| r >= 0.0 && r.is_finite()),
         "release dates must be non-negative and finite"
     );
-    let mut sim = OnlineSim::new(instance, platform, config);
+    let mut sim = OnlineSim::new(instance, platform, config, sink);
     sim.run(releases);
+    let mut summary = sim.summary;
+    summary.finish();
     HeteroPrioResult {
         schedule: sim.schedule,
-        first_idle: sim.first_idle,
-        spoliations: sim.spoliations,
+        first_idle: summary.first_idle,
+        spoliations: summary.spoliation_count,
+        summary,
     }
 }
 
-struct OnlineSim<'a> {
+struct OnlineSim<'a, S: TraceSink> {
     instance: &'a Instance,
     platform: &'a Platform,
     config: &'a HeteroPrioConfig,
@@ -62,12 +78,23 @@ struct OnlineSim<'a> {
     idle: Vec<WorkerId>,
     completed: usize,
     schedule: Schedule,
-    first_idle: Option<f64>,
-    spoliations: usize,
+    sink: &'a mut S,
+    summary: TraceSummary,
+    idle_announced: Vec<bool>,
 }
 
-impl<'a> OnlineSim<'a> {
-    fn new(instance: &'a Instance, platform: &'a Platform, config: &'a HeteroPrioConfig) -> Self {
+impl<'a, S: TraceSink> OnlineSim<'a, S> {
+    fn new(
+        instance: &'a Instance,
+        platform: &'a Platform,
+        config: &'a HeteroPrioConfig,
+        sink: &'a mut S,
+    ) -> Self {
+        let summary = if sink.is_enabled() {
+            TraceSummary::with_timeline(platform.workers())
+        } else {
+            TraceSummary::new(platform.workers())
+        };
         OnlineSim {
             instance,
             platform,
@@ -79,18 +106,36 @@ impl<'a> OnlineSim<'a> {
             idle: platform.all_workers().collect(),
             completed: 0,
             schedule: Schedule::new(),
-            first_idle: None,
-            spoliations: 0,
+            sink,
+            summary,
+            idle_announced: vec![false; platform.workers()],
         }
     }
 
-    fn enqueue(&mut self, task: TaskId) {
+    #[inline]
+    fn emit(&mut self, event: SchedEvent) {
+        self.summary.record(&event);
+        self.sink.emit(event);
+    }
+
+    fn enqueue(&mut self, task: TaskId, now: f64) {
+        self.emit(SchedEvent::TaskReady { time: now, task: task.0 });
         self.queue.push(self.instance, task);
     }
 
     fn start(&mut self, w: WorkerId, task: TaskId, now: f64) {
         let dur = self.instance.task(task).time_on(self.platform.kind_of(w));
         let end = now + dur;
+        if self.idle_announced[w.index()] {
+            self.idle_announced[w.index()] = false;
+            self.emit(SchedEvent::WorkerIdleEnd { time: now, worker: w.0 });
+        }
+        self.emit(SchedEvent::TaskStart {
+            time: now,
+            task: task.0,
+            worker: w.0,
+            expected_end: end,
+        });
         self.running[w.index()] = Some(Running { task, start: now, end });
         self.completions.push(Reverse((F64Ord::new(end), w.0, self.generation[w.index()])));
     }
@@ -142,13 +187,20 @@ impl<'a> OnlineSim<'a> {
             let mut still_idle = Vec::new();
             let mut newly_idle = Vec::new();
             for w in idle {
-                if let Some(task) = self.queue.pop(self.platform.kind_of(w)) {
+                let kind = self.platform.kind_of(w);
+                if let Some(task) = self.queue.pop(kind) {
+                    let end = match kind {
+                        ResourceKind::Gpu => QueueEnd::Front,
+                        ResourceKind::Cpu => QueueEnd::Back,
+                    };
+                    self.emit(SchedEvent::QueuePop { time: now, task: task.0, worker: w.0, end });
                     self.start(w, task, now);
                     acted = true;
                     continue;
                 }
-                if self.first_idle.is_none() {
-                    self.first_idle = Some(now);
+                if !self.idle_announced[w.index()] {
+                    self.idle_announced[w.index()] = true;
+                    self.emit(SchedEvent::WorkerIdleBegin { time: now, worker: w.0 });
                 }
                 if !self.config.disable_spoliation {
                     if let Some(victim) = self.pick_victim(w, now) {
@@ -160,7 +212,13 @@ impl<'a> OnlineSim<'a> {
                             start: r.start,
                             end: now,
                         });
-                        self.spoliations += 1;
+                        self.emit(SchedEvent::Spoliation {
+                            time: now,
+                            task: r.task.0,
+                            victim: victim.0,
+                            thief: w.0,
+                            wasted_work: now - r.start,
+                        });
                         self.start(w, r.task, now);
                         newly_idle.push(victim);
                         acted = true;
@@ -180,6 +238,7 @@ impl<'a> OnlineSim<'a> {
     fn complete(&mut self, w: WorkerId, now: f64) {
         let r = self.running[w.index()].take().expect("completion of idle worker");
         self.schedule.runs.push(TaskRun { task: r.task, worker: w, start: r.start, end: now });
+        self.emit(SchedEvent::TaskComplete { time: now, task: r.task.0, worker: w.0 });
         self.completed += 1;
         self.idle.push(w);
     }
@@ -188,16 +247,15 @@ impl<'a> OnlineSim<'a> {
         let total = self.instance.len();
         // Arrivals sorted by (release, id): a second event stream.
         let mut arrivals: Vec<TaskId> = self.instance.ids().collect();
-        arrivals.sort_by(|&a, &b| {
-            releases[a.index()].total_cmp(&releases[b.index()]).then(a.cmp(&b))
-        });
+        arrivals
+            .sort_by(|&a, &b| releases[a.index()].total_cmp(&releases[b.index()]).then(a.cmp(&b)));
         let mut next_arrival = 0usize;
         let mut now = 0.0;
 
         // Admit everything released at time zero.
         while next_arrival < total && releases[arrivals[next_arrival].index()] <= now {
             let task = arrivals[next_arrival];
-            self.enqueue(task);
+            self.enqueue(task, now);
             next_arrival += 1;
         }
         self.assign_fixpoint(now);
@@ -215,8 +273,8 @@ impl<'a> OnlineSim<'a> {
                     None => break None,
                 }
             };
-            let next_release = (next_arrival < total)
-                .then(|| releases[arrivals[next_arrival].index()]);
+            let next_release =
+                (next_arrival < total).then(|| releases[arrivals[next_arrival].index()]);
             now = match (next_completion, next_release) {
                 (Some(c), Some(r)) => c.min(r),
                 (Some(c), None) => c,
@@ -228,7 +286,7 @@ impl<'a> OnlineSim<'a> {
             // Process all arrivals at `now`.
             while next_arrival < total && releases[arrivals[next_arrival].index()] <= now {
                 let task = arrivals[next_arrival];
-                self.enqueue(task);
+                self.enqueue(task, now);
                 next_arrival += 1;
             }
             // Process all completions at `now`.
@@ -255,9 +313,8 @@ mod tests {
 
     #[test]
     fn zero_releases_match_offline_heteroprio() {
-        let times: Vec<(f64, f64)> = (1..=15)
-            .map(|i| (((i * 31) % 9 + 1) as f64, ((i * 17) % 5 + 1) as f64))
-            .collect();
+        let times: Vec<(f64, f64)> =
+            (1..=15).map(|i| (((i * 31) % 9 + 1) as f64, ((i * 17) % 5 + 1) as f64)).collect();
         let inst = Instance::from_times(&times);
         let releases = vec![0.0; inst.len()];
         for platform in [Platform::new(1, 1), Platform::new(3, 2)] {

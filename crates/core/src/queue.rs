@@ -127,13 +127,8 @@ mod tests {
     #[test]
     fn matches_sorted_queue_on_static_sets() {
         use crate::heteroprio::sorted_queue;
-        let inst = Instance::from_times(&[
-            (3.0, 1.0),
-            (1.0, 3.0),
-            (4.0, 4.0),
-            (9.0, 1.0),
-            (2.0, 5.0),
-        ]);
+        let inst =
+            Instance::from_times(&[(3.0, 1.0), (1.0, 3.0), (4.0, 4.0), (9.0, 1.0), (2.0, 5.0)]);
         let ids: Vec<TaskId> = inst.ids().collect();
         for tie in [QueueTieBreak::Priority, QueueTieBreak::InsertionOrder] {
             let reference = sorted_queue(&inst, &ids, tie);

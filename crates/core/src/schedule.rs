@@ -2,6 +2,7 @@
 
 use crate::model::{Instance, Platform, ResourceKind, TaskId, WorkerId};
 use crate::time::{approx_eq, approx_le, tol, F64Ord};
+use heteroprio_trace::{sort_causal, SchedEvent};
 use std::fmt;
 
 /// One execution interval of a task on a worker.
@@ -76,11 +77,7 @@ impl Schedule {
     /// Aborted runs are included: a worker burning time on a task that is
     /// later restarted elsewhere is still busy.
     pub fn makespan(&self) -> f64 {
-        self.runs
-            .iter()
-            .chain(&self.aborted)
-            .map(|r| r.end)
-            .fold(0.0, f64::max)
+        self.runs.iter().chain(&self.aborted).map(|r| r.end).fold(0.0, f64::max)
     }
 
     /// The completed run of a task, if any.
@@ -90,11 +87,7 @@ impl Schedule {
 
     /// Total productive (completed-run) time on one resource class.
     pub fn busy_time(&self, platform: &Platform, kind: ResourceKind) -> f64 {
-        self.runs
-            .iter()
-            .filter(|r| platform.kind_of(r.worker) == kind)
-            .map(TaskRun::duration)
-            .sum()
+        self.runs.iter().filter(|r| platform.kind_of(r.worker) == kind).map(TaskRun::duration).sum()
     }
 
     /// Total time spent on runs that were later aborted, per class.
@@ -117,11 +110,7 @@ impl Schedule {
 
     /// Tasks assigned (completed) per resource class.
     pub fn tasks_on(&self, platform: &Platform, kind: ResourceKind) -> Vec<TaskId> {
-        self.runs
-            .iter()
-            .filter(|r| platform.kind_of(r.worker) == kind)
-            .map(|r| r.task)
-            .collect()
+        self.runs.iter().filter(|r| platform.kind_of(r.worker) == kind).map(|r| r.task).collect()
     }
 
     /// The paper's §6.2 "equivalent acceleration factor" of the set of tasks
@@ -145,6 +134,82 @@ impl Schedule {
     /// Number of spoliated (aborted then restarted) tasks.
     pub fn spoliation_count(&self) -> usize {
         self.aborted.len()
+    }
+
+    /// Reconstruct a best-effort [`SchedEvent`] stream from the finished
+    /// schedule, for schedulers that were not traced live (HEFT and the
+    /// other static heuristics).
+    ///
+    /// The stream contains a `TaskStart`/`TaskComplete` pair per completed
+    /// run, a `TaskStart`/`Spoliation` pair per aborted run (the thief is
+    /// the worker of the task's completed run), and `WorkerIdleBegin`/`End`
+    /// covering every gap on every worker over `[0, makespan]`. Queue and
+    /// policy events (`TaskReady`, `QueuePop`, `PolicyDecision`) cannot be
+    /// recovered post-hoc — that transient information is exactly what live
+    /// tracing adds. Events are returned in causal order.
+    pub fn to_events(&self, platform: &Platform) -> Vec<SchedEvent> {
+        let makespan = self.makespan();
+        let mut events =
+            Vec::with_capacity(2 * (self.runs.len() + self.aborted.len() + platform.workers()));
+        for r in &self.runs {
+            events.push(SchedEvent::TaskStart {
+                time: r.start,
+                task: r.task.0,
+                worker: r.worker.0,
+                expected_end: r.end,
+            });
+            events.push(SchedEvent::TaskComplete {
+                time: r.end,
+                task: r.task.0,
+                worker: r.worker.0,
+            });
+        }
+        for a in &self.aborted {
+            let thief = self.run_of(a.task).map_or(a.worker.0, |r| r.worker.0);
+            // A zero-duration abort (spoliated the instant it started) gets
+            // only the Spoliation event: at equal timestamps the causal sort
+            // puts Spoliation before TaskStart, and the orphaned start would
+            // corrupt the aggregator's open-run tracking.
+            if a.duration() > 0.0 {
+                events.push(SchedEvent::TaskStart {
+                    time: a.start,
+                    task: a.task.0,
+                    worker: a.worker.0,
+                    expected_end: a.end,
+                });
+            }
+            events.push(SchedEvent::Spoliation {
+                time: a.end,
+                task: a.task.0,
+                victim: a.worker.0,
+                thief,
+                wasted_work: a.duration(),
+            });
+        }
+        for w in platform.all_workers() {
+            let mut busy: Vec<(f64, f64)> = self
+                .runs
+                .iter()
+                .chain(&self.aborted)
+                .filter(|r| r.worker == w)
+                .map(|r| (r.start, r.end))
+                .collect();
+            busy.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut cursor = 0.0;
+            for (start, end) in busy {
+                if start > cursor {
+                    events.push(SchedEvent::WorkerIdleBegin { time: cursor, worker: w.0 });
+                    events.push(SchedEvent::WorkerIdleEnd { time: start, worker: w.0 });
+                }
+                cursor = cursor.max(end);
+            }
+            if cursor < makespan {
+                events.push(SchedEvent::WorkerIdleBegin { time: cursor, worker: w.0 });
+                events.push(SchedEvent::WorkerIdleEnd { time: makespan, worker: w.0 });
+            }
+        }
+        sort_causal(&mut events);
+        events
     }
 
     /// Check structural validity against an instance and platform:
@@ -216,8 +281,7 @@ impl Schedule {
                     end: r.end,
                 });
             }
-            let full =
-                instance.task(r.task).time_on(platform.kind_of(r.worker)) + max_overhead;
+            let full = instance.task(r.task).time_on(platform.kind_of(r.worker)) + max_overhead;
             // An aborted run must stop before the task would have completed
             // (otherwise it should have completed).
             if r.duration() >= full + tol(r.duration(), full) {
@@ -344,10 +408,7 @@ mod tests {
             ],
             aborted: vec![],
         };
-        assert!(matches!(
-            sched.validate(&inst, &plat),
-            Err(ScheduleError::WrongDuration { .. })
-        ));
+        assert!(matches!(sched.validate(&inst, &plat), Err(ScheduleError::WrongDuration { .. })));
     }
 
     #[test]
@@ -377,10 +438,7 @@ mod tests {
         sched.validate(&inst, &plat).unwrap();
         // An "aborted" run as long as the full task is invalid.
         sched.aborted[0].end = 2.5;
-        assert!(matches!(
-            sched.validate(&inst, &plat),
-            Err(ScheduleError::AbortedTooLong { .. })
-        ));
+        assert!(matches!(sched.validate(&inst, &plat), Err(ScheduleError::AbortedTooLong { .. })));
     }
 
     #[test]

@@ -4,8 +4,9 @@ use heteroprio_core::{heteroprio, HeteroPrioConfig, Instance, Platform, Schedule
 use heteroprio_schedulers::{
     dualhp_independent, heft, DualHpDagPolicy, DualHpRank, HeftVariant, HeteroPrioDagPolicy,
 };
-use heteroprio_simulator::simulate;
+use heteroprio_simulator::{simulate, simulate_traced, TransferModel};
 use heteroprio_taskgraph::{apply_bottom_level_priorities, TaskGraph, WeightScheme};
+use heteroprio_trace::{SchedEvent, VecSink};
 
 /// Above this size, HEFT switches to its no-insertion variant: the
 /// insertion scan is quadratic per worker and dominates on the largest
@@ -127,6 +128,40 @@ impl DagAlgo {
             }
         }
     }
+
+    /// [`DagAlgo::run`] additionally returning the scheduler's event
+    /// stream: live events for the simulated policies, a stream
+    /// reconstructed from the finished schedule for static HEFT.
+    pub fn run_traced(self, graph: &TaskGraph, platform: &Platform) -> (Schedule, Vec<SchedEvent>) {
+        let mut ranked = graph.clone();
+        if let Some(scheme) = self.ranking() {
+            apply_bottom_level_priorities(&mut ranked, scheme);
+        }
+        let mut sink = VecSink::new();
+        let schedule = match self {
+            DagAlgo::HeteroPrioAvg | DagAlgo::HeteroPrioMin => {
+                let mut policy = HeteroPrioDagPolicy::new(HeteroPrioConfig::new());
+                simulate_traced(&ranked, platform, &mut policy, &TransferModel::NONE, &mut sink)
+                    .schedule
+            }
+            DagAlgo::DualHpFifo => {
+                let mut policy = DualHpDagPolicy::new(DualHpRank::Fifo);
+                simulate_traced(&ranked, platform, &mut policy, &TransferModel::NONE, &mut sink)
+                    .schedule
+            }
+            DagAlgo::DualHpAvg | DagAlgo::DualHpMin => {
+                let mut policy = DualHpDagPolicy::new(DualHpRank::Priority);
+                simulate_traced(&ranked, platform, &mut policy, &TransferModel::NONE, &mut sink)
+                    .schedule
+            }
+            DagAlgo::HeftAvg | DagAlgo::HeftMin => {
+                let schedule = self.run(graph, platform);
+                sink.events = schedule.to_events(platform);
+                schedule
+            }
+        };
+        (schedule, sink.into_events())
+    }
 }
 
 #[cfg(test)]
@@ -137,12 +172,11 @@ mod tests {
 
     #[test]
     fn all_indep_algorithms_produce_valid_schedules() {
-        let inst =
-            heteroprio_workloads::independent_instance(
-                heteroprio_taskgraph::Factorization::Cholesky,
-                6,
-                &ChameleonTiming,
-            );
+        let inst = heteroprio_workloads::independent_instance(
+            heteroprio_taskgraph::Factorization::Cholesky,
+            6,
+            &ChameleonTiming,
+        );
         let plat = Platform::new(4, 2);
         for algo in IndepAlgo::PAPER {
             let sched = algo.run(&inst, &plat);

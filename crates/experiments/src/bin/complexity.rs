@@ -12,12 +12,7 @@ use std::time::Instant;
 fn main() {
     let sizes = ns_from_args(&[100, 1_000, 10_000, 100_000]);
     let platform = paper_platform();
-    let mut t = TextTable::new(vec![
-        "tasks",
-        "HeteroPrio (ms)",
-        "DualHP (ms)",
-        "HEFT (ms)",
-    ]);
+    let mut t = TextTable::new(vec!["tasks", "HeteroPrio (ms)", "DualHP (ms)", "HEFT (ms)"]);
     for size in sizes {
         let params = RandomInstanceParams { tasks: size, ..RandomInstanceParams::default() };
         let instance = random_instance(&params, 42);

@@ -5,8 +5,8 @@
 //! (makespan `2n - 1`). Figure 5 shows the full HeteroPrio run on the
 //! (n GPUs, n² CPUs) instance, whose ratio tends to `2 + 2/√3 ≈ 3.15`.
 
-use heteroprio_core::list::list_schedule;
 use heteroprio_core::heteroprio;
+use heteroprio_core::list::list_schedule;
 use heteroprio_experiments::{emit, TextTable};
 use heteroprio_workloads::{t2_best_packing, t2_worst_order, theorem14, theorem14_r};
 
@@ -14,10 +14,8 @@ fn main() {
     let mut fig4 = TextTable::new(vec!["k", "n=6k", "optimal packing", "worst list schedule"]);
     for k in 1..=4 {
         let n = 6 * k;
-        let best = t2_best_packing(k)
-            .iter()
-            .map(|proc| proc.iter().sum::<f64>())
-            .fold(0.0, f64::max);
+        let best =
+            t2_best_packing(k).iter().map(|proc| proc.iter().sum::<f64>()).fold(0.0, f64::max);
         let worst = list_schedule(&t2_worst_order(k), n).makespan();
         fig4.push_row(vec![
             k.to_string(),

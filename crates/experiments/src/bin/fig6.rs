@@ -16,17 +16,11 @@ fn main() {
         headers.extend(IndepAlgo::PAPER.iter().map(|a| a.name().to_string()));
         let mut t = TextTable::new(headers);
         for pt in fig6_series(f, &ns, &platform, &ChameleonTiming) {
-            let mut row = vec![
-                pt.n.to_string(),
-                pt.tasks.to_string(),
-                format!("{:.1}", pt.lower_bound),
-            ];
+            let mut row =
+                vec![pt.n.to_string(), pt.tasks.to_string(), format!("{:.1}", pt.lower_bound)];
             row.extend(pt.outcomes.iter().map(|o| format!("{:.4}", o.ratio)));
             t.push_row(row);
         }
-        emit(
-            &format!("Figure 6 — {} independent tasks, ratio to area bound", f.name()),
-            &t,
-        );
+        emit(&format!("Figure 6 — {} independent tasks, ratio to area bound", f.name()), &t);
     }
 }

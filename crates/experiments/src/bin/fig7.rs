@@ -16,11 +16,8 @@ fn main() {
         headers.extend(DagAlgo::PAPER.iter().map(|a| a.name().to_string()));
         let mut t = TextTable::new(headers);
         for pt in fig7_series(f, &ns, &platform, &ChameleonTiming) {
-            let mut row = vec![
-                pt.n.to_string(),
-                pt.tasks.to_string(),
-                format!("{:.1}", pt.lower_bound),
-            ];
+            let mut row =
+                vec![pt.n.to_string(), pt.tasks.to_string(), format!("{:.1}", pt.lower_bound)];
             row.extend(pt.outcomes.iter().map(|o| format!("{:.4}", o.ratio)));
             t.push_row(row);
         }

@@ -36,9 +36,6 @@ fn main() {
             }
             t.push_row(row);
         }
-        emit(
-            &format!("Classic heuristics vs the paper's algorithms — {}", f.name()),
-            &t,
-        );
+        emit(&format!("Classic heuristics vs the paper's algorithms — {}", f.name()), &t);
     }
 }

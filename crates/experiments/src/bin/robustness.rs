@@ -11,14 +11,12 @@
 //!
 //! Usage: `robustness [--csv]`.
 
+use heteroprio_bounds::{combined_lower_bound, dag_lower_bound};
 use heteroprio_core::HeteroPrioConfig;
 use heteroprio_experiments::{emit, IndepAlgo, TextTable};
-use heteroprio_bounds::{combined_lower_bound, dag_lower_bound};
 use heteroprio_schedulers::{DualHpDagPolicy, DualHpRank, HeteroPrioDagPolicy, PriorityListPolicy};
 use heteroprio_simulator::{simulate_with, TransferModel};
-use heteroprio_taskgraph::{
-    apply_bottom_level_priorities, cholesky, Factorization, WeightScheme,
-};
+use heteroprio_taskgraph::{apply_bottom_level_priorities, cholesky, Factorization, WeightScheme};
 use heteroprio_workloads::{
     independent_instance, paper_platform, ChameleonTiming, JitteredTiming, TileScaledTiming,
 };
@@ -45,8 +43,8 @@ fn penalty_sweep() {
     let mut graph = cholesky(16, &ChameleonTiming);
     apply_bottom_level_priorities(&mut graph, WeightScheme::Min);
     // Reference scale: the mean GPU kernel time of the instance.
-    let mean_gpu: f64 = graph.instance().tasks().iter().map(|t| t.gpu_time).sum::<f64>()
-        / graph.len() as f64;
+    let mean_gpu: f64 =
+        graph.instance().tasks().iter().map(|t| t.gpu_time).sum::<f64>() / graph.len() as f64;
     let lb = dag_lower_bound(&graph, &platform);
     let mut t = TextTable::new(vec![
         "penalty (% mean gpu task)",
@@ -87,13 +85,7 @@ fn tile_size_sweep() {
     // kernels; affinity-based scheduling should lose (and HEFT regain)
     // ground as the spread shrinks.
     let platform = paper_platform();
-    let mut t = TextTable::new(vec![
-        "tile",
-        "GEMM accel",
-        "HeteroPrio",
-        "DualHP",
-        "HEFT",
-    ]);
+    let mut t = TextTable::new(vec!["tile", "GEMM accel", "HeteroPrio", "DualHP", "HEFT"]);
     for tile in [240usize, 480, 960, 1920] {
         let timing = TileScaledTiming::new(tile);
         let instance = independent_instance(Factorization::Cholesky, 16, &timing);

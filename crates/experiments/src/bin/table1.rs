@@ -16,9 +16,7 @@ fn main() {
     }
     emit("Table 1 — kernel acceleration factors (tile 960)", &t);
     if !heteroprio_experiments::csv_flag() {
-        println!(
-            "Paper (Table 1, Cholesky): DPOTRF 1.72, DTRSM 8.72, DSYRK 26.96, DGEMM 28.80."
-        );
+        println!("Paper (Table 1, Cholesky): DPOTRF 1.72, DTRSM 8.72, DSYRK 26.96, DGEMM 28.80.");
         println!("QR/LU kernel factors are documented estimates (see DESIGN.md).");
     }
 }

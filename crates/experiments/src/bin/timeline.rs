@@ -1,34 +1,38 @@
-//! Time-resolved view of the Figure 9 story: per-class utilization
-//! sparklines over the schedule for each algorithm, plus ramp-up times —
-//! DualHP's CPUs sit idle at the beginning, HeteroPrio's do not.
+//! Time-resolved view of the Figure 9 story: per-class utilization and
+//! ready-queue sparklines over the schedule for each algorithm, plus
+//! ramp-up times — DualHP's CPUs sit idle at the beginning, HeteroPrio's
+//! do not.
+//!
+//! Profiles are derived from the scheduler's live event stream (the ready
+//! line is the scheduler's actual queue depth, which a finished schedule
+//! alone cannot show).
 //!
 //! Usage: `timeline [N]` (default N = 16).
 
-use heteroprio_experiments::{ramp_up_time, utilization_profile, DagAlgo};
 use heteroprio_core::ResourceKind;
+use heteroprio_experiments::{
+    ramp_up_time, ready_profile_from_events, utilization_profile_from_events, DagAlgo,
+};
 use heteroprio_taskgraph::Factorization;
 use heteroprio_workloads::{paper_platform, ChameleonTiming};
 
 fn main() {
-    let n: usize = std::env::args()
-        .skip(1)
-        .find_map(|a| a.parse().ok())
-        .unwrap_or(16);
+    let n: usize = std::env::args().skip(1).find_map(|a| a.parse().ok()).unwrap_or(16);
     let platform = paper_platform();
     let graph = Factorization::Cholesky.generate(n, &ChameleonTiming);
-    println!(
-        "Cholesky N={n} on 20 CPUs + 4 GPUs — utilization over normalized time\n"
-    );
+    println!("Cholesky N={n} on 20 CPUs + 4 GPUs — utilization over normalized time\n");
     for algo in DagAlgo::PAPER {
-        let sched = algo.run(&graph, &platform);
+        let (sched, events) = algo.run_traced(&graph, &platform);
         let width = 56;
-        let cpu = utilization_profile(&sched, &platform, ResourceKind::Cpu, width);
-        let gpu = utilization_profile(&sched, &platform, ResourceKind::Gpu, width);
+        let cpu = utilization_profile_from_events(&events, &platform, ResourceKind::Cpu, width);
+        let gpu = utilization_profile_from_events(&events, &platform, ResourceKind::Gpu, width);
+        let ready = ready_profile_from_events(&events, width);
         let ramp = ramp_up_time(&sched, &platform, ResourceKind::Cpu, 0.5)
             .map_or("never".to_string(), |t| format!("{:.0}ms", t));
         println!("{} (makespan {:.0}ms)", algo.name(), sched.makespan());
         println!("  CPU |{}| mean {:.2}, 50%-ramp-up {}", cpu.sparkline(), cpu.mean(), ramp);
         println!("  GPU |{}| mean {:.2}", gpu.sparkline(), gpu.mean());
+        println!("  RDY |{}| peak {:.0} ready tasks", ready.sparkline(), ready.max());
         println!();
     }
 }

@@ -102,12 +102,8 @@ mod tests {
 
     #[test]
     fn fig6_ratios_are_at_least_one() {
-        let pts = fig6_series(
-            Factorization::Cholesky,
-            &[4, 8],
-            &paper_platform(),
-            &ChameleonTiming,
-        );
+        let pts =
+            fig6_series(Factorization::Cholesky, &[4, 8], &paper_platform(), &ChameleonTiming);
         assert_eq!(pts.len(), 2);
         for pt in &pts {
             assert_eq!(pt.outcomes.len(), 3);
@@ -119,8 +115,7 @@ mod tests {
 
     #[test]
     fn fig7_runs_all_seven_algorithms() {
-        let pts =
-            fig7_series(Factorization::Lu, &[4, 6], &paper_platform(), &ChameleonTiming);
+        let pts = fig7_series(Factorization::Lu, &[4, 6], &paper_platform(), &ChameleonTiming);
         for pt in &pts {
             assert_eq!(pt.outcomes.len(), 7);
             for o in &pt.outcomes {
@@ -134,12 +129,7 @@ mod tests {
     fn heteroprio_beats_heft_on_medium_independent_cholesky() {
         // The paper's headline Figure 6 shape: HeteroPrio close to the area
         // bound, HEFT visibly worse (it ignores acceleration factors).
-        let pts = fig6_series(
-            Factorization::Cholesky,
-            &[12],
-            &paper_platform(),
-            &ChameleonTiming,
-        );
+        let pts = fig6_series(Factorization::Cholesky, &[12], &paper_platform(), &ChameleonTiming);
         let get = |name: &str| pts[0].outcomes.iter().find(|o| o.algo_name == name).unwrap().ratio;
         let hp = get("HeteroPrio");
         let heft = get("HEFT");

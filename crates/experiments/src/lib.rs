@@ -28,12 +28,14 @@ pub use figures::{fig6_series, fig7_series, AlgoOutcome, SweepPoint, DEFAULT_NS,
 pub use metrics::{alloc_stats, fmt_opt, AllocStats};
 pub use sweep::parallel_map;
 pub use table::{csv_flag, emit, TextTable};
-pub use timeline::{ramp_up_time, ready_profile, utilization_profile, Profile};
+pub use timeline::{
+    ramp_up_time, ready_profile, ready_profile_from_events, utilization_profile,
+    utilization_profile_from_events, Profile,
+};
 
 /// Tile counts from CLI args (any bare integers), or the given default.
 pub fn ns_from_args(default: &[usize]) -> Vec<usize> {
-    let ns: Vec<usize> =
-        std::env::args().skip(1).filter_map(|a| a.parse::<usize>().ok()).collect();
+    let ns: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse::<usize>().ok()).collect();
     if ns.is_empty() {
         default.to_vec()
     } else {

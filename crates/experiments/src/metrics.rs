@@ -50,7 +50,7 @@ pub fn fmt_opt(v: Option<f64>) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use heteroprio_core::{TaskRun, TaskId, WorkerId};
+    use heteroprio_core::{TaskId, TaskRun, WorkerId};
 
     #[test]
     fn stats_match_hand_computation() {

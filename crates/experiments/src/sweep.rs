@@ -1,10 +1,12 @@
 //! Parallel parameter sweeps.
 //!
-//! Rayon is not part of this workspace's dependency budget; a scoped-thread
-//! worker pool over a crossbeam channel covers the harness's needs (a few
-//! dozen coarse-grained simulation jobs).
+//! Rayon (and since the offline-build fix, crossbeam too) is not part of
+//! this workspace's dependency budget; a scoped-thread worker pool over
+//! `std::sync::mpsc` channels covers the harness's needs (a few dozen
+//! coarse-grained simulation jobs).
 
-use crossbeam_channel::unbounded;
+use std::sync::mpsc;
+use std::sync::Mutex;
 use std::thread;
 
 /// Map `f` over `items` in parallel, preserving order. Uses up to
@@ -23,20 +25,25 @@ where
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let (tx_work, rx_work) = unbounded::<(usize, T)>();
-    let (tx_res, rx_res) = unbounded::<(usize, R)>();
+    // mpsc receivers are single-consumer, so workers share the work queue
+    // through a mutex; jobs are coarse enough that contention is noise.
+    let (tx_work, rx_work) = mpsc::channel::<(usize, T)>();
+    let (tx_res, rx_res) = mpsc::channel::<(usize, R)>();
     for (i, item) in items.into_iter().enumerate() {
         tx_work.send((i, item)).expect("send work");
     }
     drop(tx_work);
+    let rx_work = Mutex::new(rx_work);
     thread::scope(|s| {
         for _ in 0..threads {
-            let rx = rx_work.clone();
+            let rx = &rx_work;
             let tx = tx_res.clone();
             let f = &f;
-            s.spawn(move || {
-                while let Ok((i, item)) = rx.recv() {
-                    tx.send((i, f(item))).expect("send result");
+            s.spawn(move || loop {
+                let job = rx.lock().expect("work queue lock").try_recv();
+                match job {
+                    Ok((i, item)) => tx.send((i, f(item))).expect("send result"),
+                    Err(_) => break, // queue drained (sender already dropped)
                 }
             });
         }

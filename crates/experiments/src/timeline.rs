@@ -1,12 +1,18 @@
 //! Time-resolved schedule analysis: worker-utilization and ready-queue
-//! profiles reconstructed from a completed schedule, and compact ASCII
-//! sparklines for the harness binaries. This makes the Figure 9 story
-//! visible *over time*: DualHP's CPUs idle at the start of the schedule,
-//! HeteroPrio's don't.
+//! profiles, and compact ASCII sparklines for the harness binaries. This
+//! makes the Figure 9 story visible *over time*: DualHP's CPUs idle at the
+//! start of the schedule, HeteroPrio's don't.
+//!
+//! Profiles come in two flavours: the `*_from_events` functions consume the
+//! scheduler's live [`SchedEvent`] stream (the preferred path — the
+//! ready-queue depth there is the scheduler's actual queue, not a
+//! reconstruction), while the schedule-based functions remain for plain
+//! [`Schedule`] values with no trace attached.
 
 use heteroprio_core::time::F64Ord;
-use heteroprio_core::{Platform, ResourceKind, Schedule};
+use heteroprio_core::{Platform, ResourceKind, Schedule, WorkerId};
 use heteroprio_taskgraph::TaskGraph;
+use heteroprio_trace::{SchedEvent, TraceSummary};
 
 /// Piecewise-constant profile sampled at `samples` uniform points over
 /// `[0, makespan]`.
@@ -93,13 +99,72 @@ pub fn ready_profile(schedule: &Schedule, graph: &TaskGraph, samples: usize) -> 
             .map(|p| end_of[p.index()])
             .fold(0.0, f64::max)
     };
-    let intervals: Vec<(f64, f64)> =
-        (0..graph.len()).map(|i| (ready_at(i), start_of[i])).collect();
+    let intervals: Vec<(f64, f64)> = (0..graph.len()).map(|i| (ready_at(i), start_of[i])).collect();
     let times: Vec<f64> =
         (0..samples).map(|i| horizon * (i as f64 + 0.5) / samples as f64).collect();
     let values = times
         .iter()
         .map(|&t| intervals.iter().filter(|&&(r, s)| r <= t && t < s).count() as f64)
+        .collect();
+    Profile { times, values }
+}
+
+/// [`utilization_profile`] computed from an event stream: a worker counts
+/// as busy between `TaskStart` and the matching `TaskComplete` or
+/// `Spoliation` (aborted work is still occupied time).
+pub fn utilization_profile_from_events(
+    events: &[SchedEvent],
+    platform: &Platform,
+    kind: ResourceKind,
+    samples: usize,
+) -> Profile {
+    assert!(samples >= 1);
+    let mut open: Vec<Option<f64>> = vec![None; platform.workers()];
+    let mut intervals: Vec<(f64, f64)> = Vec::new();
+    let mut horizon = 0.0f64;
+    for e in events {
+        horizon = horizon.max(e.time());
+        let (worker, time, is_start) = match *e {
+            SchedEvent::TaskStart { time, worker, .. } => (worker, time, true),
+            SchedEvent::TaskComplete { time, worker, .. } => (worker, time, false),
+            SchedEvent::Spoliation { time, victim, .. } => (victim, time, false),
+            _ => continue,
+        };
+        let w = worker as usize;
+        if is_start {
+            open[w] = Some(time);
+        } else if let Some(start) = open[w].take() {
+            if platform.kind_of(WorkerId(worker)) == kind {
+                intervals.push((start, time));
+            }
+        }
+    }
+    let horizon = horizon.max(1e-12);
+    let count = platform.count(kind) as f64;
+    let times: Vec<f64> =
+        (0..samples).map(|i| horizon * (i as f64 + 0.5) / samples as f64).collect();
+    let values = times
+        .iter()
+        .map(|&t| intervals.iter().filter(|&&(s, e)| s <= t && t < e).count() as f64 / count)
+        .collect();
+    Profile { times, values }
+}
+
+/// Ready-queue depth over time from an event stream — the scheduler's own
+/// queue, not a reconstruction (cf. [`ready_profile`]).
+pub fn ready_profile_from_events(events: &[SchedEvent], samples: usize) -> Profile {
+    assert!(samples >= 1);
+    let summary = TraceSummary::from_events(0, events);
+    let horizon = summary.makespan().max(1e-12);
+    let steps = &summary.ready_depth;
+    let times: Vec<f64> =
+        (0..samples).map(|i| horizon * (i as f64 + 0.5) / samples as f64).collect();
+    let values = times
+        .iter()
+        .map(|&t| match steps.partition_point(|&(st, _)| st <= t) {
+            0 => 0.0,
+            i => steps[i - 1].1 as f64,
+        })
         .collect();
     Profile { times, values }
 }
@@ -134,7 +199,7 @@ pub fn ramp_up_time(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use heteroprio_core::{Instance, TaskRun, TaskId, WorkerId};
+    use heteroprio_core::{Instance, TaskId, TaskRun, WorkerId};
 
     fn two_phase_schedule() -> (Schedule, Platform) {
         // CPU idle for the first half, busy the second; GPU busy throughout.
@@ -173,6 +238,39 @@ mod tests {
         let cpu = utilization_profile(&sched, &plat, ResourceKind::Cpu, 24);
         let line = cpu.sparkline();
         assert_eq!(line.chars().count(), 24);
+    }
+
+    #[test]
+    fn event_profile_matches_schedule_profile() {
+        use crate::DagAlgo;
+        use heteroprio_taskgraph::{cholesky, ConstTiming};
+        let g = cholesky(5, &ConstTiming { cpu: 3.0, gpu: 1.0 });
+        let plat = Platform::new(3, 2);
+        let (sched, events) = DagAlgo::HeteroPrioMin.run_traced(&g, &plat);
+        for kind in ResourceKind::BOTH {
+            let from_sched = utilization_profile(&sched, &plat, kind, 16);
+            let from_events = utilization_profile_from_events(&events, &plat, kind, 16);
+            for (a, b) in from_sched.values.iter().zip(&from_events.values) {
+                assert!((a - b).abs() < 1e-9, "{kind}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ready_profile_from_events_sees_the_queue() {
+        use heteroprio_trace::SchedEvent as E;
+        // Two tasks ready at 0; one starts at 0, the other at 2; horizon 4.
+        let events = [
+            E::TaskReady { time: 0.0, task: 0 },
+            E::TaskReady { time: 0.0, task: 1 },
+            E::TaskStart { time: 0.0, task: 0, worker: 0, expected_end: 4.0 },
+            E::TaskStart { time: 2.0, task: 1, worker: 1, expected_end: 4.0 },
+            E::TaskComplete { time: 4.0, task: 0, worker: 0 },
+            E::TaskComplete { time: 4.0, task: 1, worker: 1 },
+        ];
+        let p = ready_profile_from_events(&events, 4);
+        // Depth 1 on [0,2), 0 afterwards.
+        assert_eq!(p.values, vec![1.0, 1.0, 0.0, 0.0]);
     }
 
     #[test]

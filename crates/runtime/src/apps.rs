@@ -16,9 +16,7 @@ use heteroprio_taskgraph::{Kernel, KernelTiming};
 /// Register the lower-triangular tiles of an `n × n` tiled matrix.
 /// `tiles[i][j]` is defined for `j <= i`.
 fn register_lower(rt: &mut Runtime, n: usize) -> Vec<Vec<Option<DataHandle>>> {
-    (0..n)
-        .map(|i| (0..n).map(|j| (j <= i).then(|| rt.register_data("tile"))).collect())
-        .collect()
+    (0..n).map(|i| (0..n).map(|j| (j <= i).then(|| rt.register_data("tile"))).collect()).collect()
 }
 
 /// Register all tiles of an `n × n` tiled matrix.
@@ -147,6 +145,7 @@ pub fn submit_lu(rt: &mut Runtime, n: usize, timing: &impl KernelTiming) {
 mod tests {
     use super::*;
     use crate::runtime::Scheduler;
+    use heteroprio_core::time::approx_eq;
     use heteroprio_core::{HeteroPrioConfig, Platform};
     use heteroprio_schedulers::HeteroPrioDagPolicy;
     use heteroprio_simulator::simulate;
@@ -154,14 +153,10 @@ mod tests {
         cholesky, critical_path, expected_task_count, lu, qr, ConstTiming, Factorization,
         WeightScheme,
     };
-    use heteroprio_core::time::approx_eq;
 
     const T: ConstTiming = ConstTiming { cpu: 3.0, gpu: 1.0 };
 
-    fn submitted_graph(
-        f: Factorization,
-        n: usize,
-    ) -> heteroprio_taskgraph::TaskGraph {
+    fn submitted_graph(f: Factorization, n: usize) -> heteroprio_taskgraph::TaskGraph {
         let mut rt = Runtime::new(Platform::new(2, 2));
         match f {
             Factorization::Cholesky => submit_cholesky(&mut rt, n, &T),
@@ -219,8 +214,7 @@ mod tests {
             assert_eq!(sub.len(), gen.len(), "n={n}");
             assert!(sub.edge_count() > gen.edge_count(), "n={n}");
             assert!(
-                critical_path(&sub, WeightScheme::Min)
-                    >= critical_path(&gen, WeightScheme::Min),
+                critical_path(&sub, WeightScheme::Min) >= critical_path(&gen, WeightScheme::Min),
                 "n={n}"
             );
         }

@@ -6,11 +6,12 @@ use heteroprio_core::{HeteroPrioConfig, Platform, Schedule, Task, TaskId};
 use heteroprio_schedulers::{
     heft, DualHpDagPolicy, DualHpRank, HeftVariant, HeteroPrioDagPolicy, PriorityListPolicy,
 };
-use heteroprio_simulator::{simulate_with, TransferModel};
+use heteroprio_simulator::{simulate_traced, simulate_with, OnlinePolicy, TransferModel};
 use heteroprio_taskgraph::{
     apply_bottom_level_priorities, check_precedence, CycleError, DagBuilder, TaskGraph,
     WeightScheme,
 };
+use heteroprio_trace::{SchedEvent, TraceSummary, VecSink};
 
 /// Which scheduler executes the submitted graph.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -39,11 +40,36 @@ pub struct Report {
     pub makespan: f64,
     pub lower_bound: f64,
     pub spoliations: usize,
+    /// Per-worker busy/idle/aborted accounting aggregated from the
+    /// scheduler's event stream (or reconstructed from the schedule for
+    /// static schedulers such as HEFT).
+    pub summary: TraceSummary,
+    /// The full event stream; empty unless the report came from
+    /// [`Runtime::run_traced`].
+    pub events: Vec<SchedEvent>,
 }
 
 impl Report {
     pub fn ratio(&self) -> f64 {
         self.makespan / self.lower_bound
+    }
+}
+
+/// Run a policy, optionally recording the full event stream.
+fn run_policy<P: OnlinePolicy>(
+    graph: &TaskGraph,
+    platform: &Platform,
+    policy: &mut P,
+    transfer: &TransferModel,
+    record: bool,
+) -> (Schedule, TraceSummary, Vec<SchedEvent>) {
+    if record {
+        let mut sink = VecSink::new();
+        let res = simulate_traced(graph, platform, policy, transfer, &mut sink);
+        (res.schedule, res.summary, sink.into_events())
+    } else {
+        let res = simulate_with(graph, platform, policy, transfer);
+        (res.schedule, res.summary, Vec::new())
     }
 }
 
@@ -149,33 +175,48 @@ impl Runtime {
     /// Execute everything submitted so far and return the report.
     /// The schedule is validated (structure + precedence) before returning.
     pub fn run(self, scheduler: Scheduler) -> Result<Report, String> {
+        self.run_impl(scheduler, false)
+    }
+
+    /// [`Runtime::run`], additionally recording the scheduler's full
+    /// [`SchedEvent`] stream in [`Report::events`] (for export to
+    /// Chrome-trace/JSONL). Static schedulers get a stream reconstructed
+    /// from the finished schedule.
+    pub fn run_traced(self, scheduler: Scheduler) -> Result<Report, String> {
+        self.run_impl(scheduler, true)
+    }
+
+    fn run_impl(self, scheduler: Scheduler, record: bool) -> Result<Report, String> {
         let platform = self.platform.ok_or("runtime has no platform")?;
         let transfer = self.transfer;
         let mut graph = self.builder.build().map_err(|e| e.to_string())?;
         if graph.is_empty() {
             return Err("no tasks were submitted".to_string());
         }
-        let schedule = match scheduler {
+        let (schedule, summary, events) = match scheduler {
             Scheduler::HeteroPrio(scheme) => {
                 apply_bottom_level_priorities(&mut graph, scheme);
                 let mut policy = HeteroPrioDagPolicy::new(HeteroPrioConfig::new());
-                simulate_with(&graph, &platform, &mut policy, &transfer).schedule
+                run_policy(&graph, &platform, &mut policy, &transfer, record)
             }
             Scheduler::DualHp(rank, scheme) => {
                 apply_bottom_level_priorities(&mut graph, scheme);
                 let mut policy = DualHpDagPolicy::new(rank);
-                simulate_with(&graph, &platform, &mut policy, &transfer).schedule
+                run_policy(&graph, &platform, &mut policy, &transfer, record)
             }
             Scheduler::Heft(scheme, variant) => {
                 if transfer != TransferModel::NONE {
                     return Err("static HEFT does not support transfer penalties".to_string());
                 }
-                heft(&graph, &platform, scheme, variant)
+                let schedule = heft(&graph, &platform, scheme, variant);
+                let events = schedule.to_events(&platform);
+                let summary = TraceSummary::from_events(platform.workers(), &events);
+                (schedule, summary, if record { events } else { Vec::new() })
             }
             Scheduler::PriorityList(scheme) => {
                 apply_bottom_level_priorities(&mut graph, scheme);
                 let mut policy = PriorityListPolicy::new();
-                simulate_with(&graph, &platform, &mut policy, &transfer).schedule
+                run_policy(&graph, &platform, &mut policy, &transfer, record)
             }
         };
         schedule
@@ -185,7 +226,7 @@ impl Runtime {
         let makespan = schedule.makespan();
         let spoliations = schedule.spoliation_count();
         let lower_bound = dag_lower_bound(&graph, &platform);
-        Ok(Report { graph, schedule, makespan, lower_bound, spoliations })
+        Ok(Report { graph, schedule, makespan, lower_bound, spoliations, summary, events })
     }
 }
 

@@ -144,7 +144,12 @@ fn min_index(loads: &[f64]) -> usize {
 
 /// Binary-search the smallest feasible λ; returns the placements of the
 /// smallest feasible packing found.
-fn search(instance: &Instance, platform: &Platform, tasks: Vec<TaskId>, avail: &[f64]) -> Placements {
+fn search(
+    instance: &Instance,
+    platform: &Platform,
+    tasks: Vec<TaskId>,
+    avail: &[f64],
+) -> Placements {
     if tasks.is_empty() {
         return Vec::new();
     }
@@ -251,9 +256,8 @@ impl DualHpDagPolicy {
         // ascending in urgency.
         let instance = ctx.graph.instance();
         let pending = &self.pending;
-        let seq_of = |t: TaskId| {
-            pending.iter().find(|&&(x, _)| x == t).map(|&(_, s)| s).unwrap_or(u64::MAX)
-        };
+        let seq_of =
+            |t: TaskId| pending.iter().find(|&&(x, _)| x == t).map(|&(_, s)| s).unwrap_or(u64::MAX);
         for queue in [&mut self.gpu_queue, &mut self.cpu_queue] {
             match self.rank {
                 DualHpRank::Fifo => {
@@ -367,11 +371,7 @@ mod tests {
                 let sched = dualhp_independent(&inst, &plat);
                 sched.validate(&inst, &plat).unwrap();
                 let opt = optimal_makespan(&inst, &plat).makespan;
-                assert!(
-                    sched.makespan() <= 2.0 * opt + 1e-9,
-                    "{} > 2 × {opt}",
-                    sched.makespan()
-                );
+                assert!(sched.makespan() <= 2.0 * opt + 1e-9, "{} > 2 × {opt}", sched.makespan());
             }
         }
     }

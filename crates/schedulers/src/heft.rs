@@ -38,11 +38,7 @@ pub fn heft(
     let mut end_of = vec![0.0_f64; graph.len()];
     let mut runs = Vec::with_capacity(graph.len());
     for task in order {
-        let ready = graph
-            .predecessors(task)
-            .iter()
-            .map(|p| end_of[p.index()])
-            .fold(0.0, f64::max);
+        let ready = graph.predecessors(task).iter().map(|p| end_of[p.index()]).fold(0.0, f64::max);
         let mut best: Option<(F64Ord, WorkerId, f64)> = None;
         for w in platform.all_workers() {
             let dur = instance.task(task).time_on(platform.kind_of(w));

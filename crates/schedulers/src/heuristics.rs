@@ -145,9 +145,7 @@ mod tests {
             .iter()
             .map(|&h| {
                 let sched = heuristic_schedule(h, instance, platform);
-                sched
-                    .validate(instance, platform)
-                    .unwrap_or_else(|e| panic!("{}: {e}", h.name()));
+                sched.validate(instance, platform).unwrap_or_else(|e| panic!("{}: {e}", h.name()));
                 assert!(
                     sched.makespan() >= combined_lower_bound(instance, platform) - 1e-9,
                     "{} beat the lower bound",

@@ -10,6 +10,7 @@ use crate::policy::{OnlinePolicy, RunningTask, SimContext, TransferModel};
 use heteroprio_core::time::{strictly_less, F64Ord};
 use heteroprio_core::{Platform, ResourceKind, Schedule, TaskId, TaskRun, WorkerId, WorkerOrder};
 use heteroprio_taskgraph::{ReadyTracker, TaskGraph};
+use heteroprio_trace::{Decision, NullSink, SchedEvent, TraceSink, TraceSummary};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -17,9 +18,14 @@ use std::collections::BinaryHeap;
 #[derive(Clone, Debug)]
 pub struct SimResult {
     pub schedule: Schedule,
-    /// First instant at which a worker asked for work and got none.
+    /// First instant at which a worker asked for work and got none
+    /// (derived from the trace summary; kept as a field for compatibility).
     pub first_idle: Option<f64>,
+    /// Number of spoliations (derived from the trace summary).
     pub spoliations: usize,
+    /// Per-worker time accounting and queue statistics aggregated from the
+    /// event stream the engine emitted while running.
+    pub summary: TraceSummary,
 }
 
 impl SimResult {
@@ -47,7 +53,7 @@ pub fn simulate<P: OnlinePolicy>(
     platform: &Platform,
     policy: &mut P,
 ) -> SimResult {
-    simulate_with(graph, platform, policy, &TransferModel::NONE)
+    simulate_traced(graph, platform, policy, &TransferModel::NONE, &mut NullSink)
 }
 
 /// [`simulate`] with an explicit transfer-cost model: tasks whose inputs
@@ -59,17 +65,36 @@ pub fn simulate_with<P: OnlinePolicy>(
     policy: &mut P,
     model: &TransferModel,
 ) -> SimResult {
+    simulate_traced(graph, platform, policy, model, &mut NullSink)
+}
+
+/// [`simulate_with`] streaming every scheduler event into `sink`.
+///
+/// The engine emits [`SchedEvent`]s for dependency release, starts,
+/// completions, spoliations, idle transitions, and policy decisions; with
+/// [`NullSink`] the calls compile away and only the cheap per-worker
+/// accounting in [`TraceSummary`] remains.
+pub fn simulate_traced<P: OnlinePolicy, S: TraceSink>(
+    graph: &TaskGraph,
+    platform: &Platform,
+    policy: &mut P,
+    model: &TransferModel,
+    sink: &mut S,
+) -> SimResult {
     policy.init(graph, platform);
-    let mut engine = Engine::new(graph, platform, model);
+    let mut engine = Engine::new(graph, platform, model, sink);
     engine.run(policy);
+    let mut summary = engine.summary;
+    summary.finish();
     SimResult {
         schedule: engine.schedule,
-        first_idle: engine.first_idle,
-        spoliations: engine.spoliations,
+        first_idle: summary.first_idle,
+        spoliations: summary.spoliation_count,
+        summary,
     }
 }
 
-struct Engine<'a> {
+struct Engine<'a, S: TraceSink> {
     graph: &'a TaskGraph,
     platform: &'a Platform,
     model: &'a TransferModel,
@@ -81,12 +106,24 @@ struct Engine<'a> {
     events: BinaryHeap<Reverse<(F64Ord, u32, u64)>>,
     idle: Vec<WorkerId>,
     schedule: Schedule,
-    first_idle: Option<f64>,
-    spoliations: usize,
+    sink: &'a mut S,
+    summary: TraceSummary,
+    /// Guards duplicate `WorkerIdleBegin` across fixpoint iterations.
+    idle_announced: Vec<bool>,
 }
 
-impl<'a> Engine<'a> {
-    fn new(graph: &'a TaskGraph, platform: &'a Platform, model: &'a TransferModel) -> Self {
+impl<'a, S: TraceSink> Engine<'a, S> {
+    fn new(
+        graph: &'a TaskGraph,
+        platform: &'a Platform,
+        model: &'a TransferModel,
+        sink: &'a mut S,
+    ) -> Self {
+        let summary = if sink.is_enabled() {
+            TraceSummary::with_timeline(platform.workers())
+        } else {
+            TraceSummary::new(platform.workers())
+        };
         Engine {
             graph,
             platform,
@@ -99,9 +136,16 @@ impl<'a> Engine<'a> {
             events: BinaryHeap::new(),
             idle: platform.all_workers().collect(),
             schedule: Schedule::new(),
-            first_idle: None,
-            spoliations: 0,
+            sink,
+            summary,
+            idle_announced: vec![false; platform.workers()],
         }
+    }
+
+    #[inline]
+    fn emit(&mut self, event: SchedEvent) {
+        self.summary.record(&event);
+        self.sink.emit(event);
     }
 
     fn announce_ready<P: OnlinePolicy>(&mut self, policy: &mut P, tasks: &[TaskId], now: f64) {
@@ -111,6 +155,7 @@ impl<'a> Engine<'a> {
         for &t in tasks {
             debug_assert_eq!(self.state[t.index()], TaskState::Pending);
             self.state[t.index()] = TaskState::Ready;
+            self.emit(SchedEvent::TaskReady { time: now, task: t.0 });
         }
         let ctx = SimContext {
             now,
@@ -125,6 +170,16 @@ impl<'a> Engine<'a> {
 
     fn start(&mut self, w: WorkerId, task: TaskId, now: f64) {
         let end = now + self.effective_time(task, self.platform.kind_of(w));
+        if self.idle_announced[w.index()] {
+            self.idle_announced[w.index()] = false;
+            self.emit(SchedEvent::WorkerIdleEnd { time: now, worker: w.0 });
+        }
+        self.emit(SchedEvent::TaskStart {
+            time: now,
+            task: task.0,
+            worker: w.0,
+            expected_end: end,
+        });
         self.running[w.index()] = Some(RunningTask { task, start: now, end });
         self.state[task.index()] = TaskState::Running;
         self.events.push(Reverse((F64Ord::new(end), w.0, self.generation[w.index()])));
@@ -166,28 +221,46 @@ impl<'a> Engine<'a> {
             let mut still_idle = Vec::new();
             let mut newly_idle = Vec::new();
             for w in idle {
-                let ctx = SimContext {
-                    now,
-                    platform: self.platform,
-                    graph: self.graph,
-                    running: &self.running,
-                    ran_kind: &self.ran_kind,
-                    model: self.model,
+                // The context's shared borrows conflict with emitting, so
+                // the policy is consulted first and events follow.
+                let (picked, victim) = {
+                    let ctx = SimContext {
+                        now,
+                        platform: self.platform,
+                        graph: self.graph,
+                        running: &self.running,
+                        ran_kind: &self.ran_kind,
+                        model: self.model,
+                    };
+                    match policy.pick_task(w, &ctx) {
+                        Some(task) => (Some(task), None),
+                        None => (None, policy.spoliation_victim(w, &ctx)),
+                    }
                 };
-                if let Some(task) = policy.pick_task(w, &ctx) {
+                if let Some(task) = picked {
                     assert_eq!(
                         self.state[task.index()],
                         TaskState::Ready,
                         "policy picked {task}, which is not ready"
                     );
+                    self.emit(SchedEvent::PolicyDecision {
+                        time: now,
+                        worker: w.0,
+                        decision: Decision::Pick(task.0),
+                    });
                     self.start(w, task, now);
                     acted = true;
                     continue;
                 }
-                if self.first_idle.is_none() {
-                    self.first_idle = Some(now);
+                // The idle transition is announced before the spoliation
+                // outcome: T_FirstIdle counts the instant a worker found no
+                // ready work, including workers that then steal (§2.1).
+                let went_idle = !self.idle_announced[w.index()];
+                if went_idle {
+                    self.idle_announced[w.index()] = true;
+                    self.emit(SchedEvent::WorkerIdleBegin { time: now, worker: w.0 });
                 }
-                if let Some(victim) = policy.spoliation_victim(w, &ctx) {
+                if let Some(victim) = victim {
                     let my_kind = self.platform.kind_of(w);
                     assert_eq!(
                         self.platform.kind_of(victim),
@@ -211,11 +284,29 @@ impl<'a> Engine<'a> {
                         start: r.start,
                         end: now,
                     });
-                    self.spoliations += 1;
+                    self.emit(SchedEvent::PolicyDecision {
+                        time: now,
+                        worker: w.0,
+                        decision: Decision::Spoliate(victim.0),
+                    });
+                    self.emit(SchedEvent::Spoliation {
+                        time: now,
+                        task: r.task.0,
+                        victim: victim.0,
+                        thief: w.0,
+                        wasted_work: now - r.start,
+                    });
                     self.start(w, r.task, now);
                     newly_idle.push(victim);
                     acted = true;
                     continue;
+                }
+                if went_idle {
+                    self.emit(SchedEvent::PolicyDecision {
+                        time: now,
+                        worker: w.0,
+                        decision: Decision::Idle,
+                    });
                 }
                 still_idle.push(w);
             }
@@ -229,6 +320,7 @@ impl<'a> Engine<'a> {
 
     fn complete<P: OnlinePolicy>(&mut self, policy: &mut P, w: WorkerId, now: f64) {
         let r = self.running[w.index()].take().expect("completion on idle worker");
+        self.emit(SchedEvent::TaskComplete { time: now, task: r.task.0, worker: w.0 });
         self.schedule.runs.push(TaskRun { task: r.task, worker: w, start: r.start, end: now });
         self.state[r.task.index()] = TaskState::Done;
         self.ran_kind[r.task.index()] = Some(self.platform.kind_of(w));
@@ -463,13 +555,9 @@ mod tests {
         let g = fork_join(6, 2.0, 1.0);
         let plat = Platform::new(2, 2);
         let a = simulate(&g, &plat, &mut Fifo::new()).makespan();
-        let b = super::simulate_with(
-            &g,
-            &plat,
-            &mut Fifo::new(),
-            &crate::policy::TransferModel::NONE,
-        )
-        .makespan();
+        let b =
+            super::simulate_with(&g, &plat, &mut Fifo::new(), &crate::policy::TransferModel::NONE)
+                .makespan();
         assert!(approx_eq(a, b));
     }
 

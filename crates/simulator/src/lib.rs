@@ -13,5 +13,5 @@
 pub mod engine;
 pub mod policy;
 
-pub use engine::{simulate, simulate_with, SimResult};
+pub use engine::{simulate, simulate_traced, simulate_with, SimResult};
 pub use policy::{OnlinePolicy, RunningTask, SimContext, TransferModel, WorkerOrder};

@@ -54,9 +54,7 @@ impl SimContext<'_> {
         &self,
         kind: heteroprio_core::ResourceKind,
     ) -> impl Iterator<Item = (WorkerId, RunningTask)> + '_ {
-        self.platform
-            .workers_of(kind)
-            .filter_map(|w| self.running[w.index()].map(|r| (w, r)))
+        self.platform.workers_of(kind).filter_map(|w| self.running[w.index()].map(|r| (w, r)))
     }
 
     /// Effective execution time of `task` on class `kind`, including the

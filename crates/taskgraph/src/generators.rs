@@ -377,10 +377,7 @@ mod tests {
 
     #[test]
     fn accel_factors_respect_range() {
-        let params = RandomDagParams {
-            accel_range: (0.5, 4.0),
-            ..RandomDagParams::default()
-        };
+        let params = RandomDagParams { accel_range: (0.5, 4.0), ..RandomDagParams::default() };
         let g = random_layered(&params, 7);
         for t in g.instance().tasks() {
             let rho = t.accel_factor();

@@ -42,11 +42,7 @@ pub fn bottom_levels(graph: &TaskGraph, scheme: WeightScheme) -> Vec<f64> {
     let order = graph.topo_order();
     let mut levels = vec![0.0_f64; graph.len()];
     for &id in order.iter().rev() {
-        let down = graph
-            .successors(id)
-            .iter()
-            .map(|s| levels[s.index()])
-            .fold(0.0, f64::max);
+        let down = graph.successors(id).iter().map(|s| levels[s.index()]).fold(0.0, f64::max);
         levels[id.index()] = scheme.weight(graph.instance().task(id)) + down;
     }
     levels

@@ -1,0 +1,107 @@
+//! The typed scheduler event vocabulary.
+
+/// Which end of the sorted ready queue a task was taken from.
+///
+/// In HeteroPrio the queue is sorted by acceleration factor; GPUs pop the
+/// front (best-accelerated first) and CPUs pop the back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueEnd {
+    Front,
+    Back,
+}
+
+/// What a scheduling policy decided when an idle worker asked for work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// The worker was assigned this task.
+    Pick(u32),
+    /// Nothing was ready; the worker will spoliate this victim worker.
+    Spoliate(u32),
+    /// Nothing to do — the worker goes (or stays) idle.
+    Idle,
+}
+
+/// One scheduler occurrence, stamped with simulated time.
+///
+/// Ids are the raw `u32` payloads of core's `TaskId`/`WorkerId` so this
+/// crate stays dependency-free (core depends on it, not vice versa).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SchedEvent {
+    /// A task's dependencies are all satisfied; it entered the ready set.
+    TaskReady { time: f64, task: u32 },
+    /// A worker began executing a task. `expected_end` is the completion
+    /// time as of the start (a later spoliation may cut the run short).
+    TaskStart { time: f64, task: u32, worker: u32, expected_end: f64 },
+    /// A worker finished a task.
+    TaskComplete { time: f64, task: u32, worker: u32 },
+    /// `thief` aborted `task` on `victim` and restarted it; `wasted_work`
+    /// is the victim's in-progress time thrown away.
+    Spoliation { time: f64, task: u32, victim: u32, thief: u32, wasted_work: f64 },
+    /// A worker asked for work and got none.
+    WorkerIdleBegin { time: f64, worker: u32 },
+    /// A previously idle worker received work again.
+    WorkerIdleEnd { time: f64, worker: u32 },
+    /// A task left the sorted ready queue from `end`, taken by `worker`.
+    QueuePop { time: f64, task: u32, worker: u32, end: QueueEnd },
+    /// A policy verdict for an idle worker (emitted on assignments,
+    /// spoliations, and the transition into idleness — not on every poll).
+    PolicyDecision { time: f64, worker: u32, decision: Decision },
+}
+
+impl SchedEvent {
+    /// Simulated timestamp of the event.
+    pub fn time(&self) -> f64 {
+        match *self {
+            SchedEvent::TaskReady { time, .. }
+            | SchedEvent::TaskStart { time, .. }
+            | SchedEvent::TaskComplete { time, .. }
+            | SchedEvent::Spoliation { time, .. }
+            | SchedEvent::WorkerIdleBegin { time, .. }
+            | SchedEvent::WorkerIdleEnd { time, .. }
+            | SchedEvent::QueuePop { time, .. }
+            | SchedEvent::PolicyDecision { time, .. } => time,
+        }
+    }
+
+    /// Snake-case tag used by the JSONL exporter and tooling.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SchedEvent::TaskReady { .. } => "task_ready",
+            SchedEvent::TaskStart { .. } => "task_start",
+            SchedEvent::TaskComplete { .. } => "task_complete",
+            SchedEvent::Spoliation { .. } => "spoliation",
+            SchedEvent::WorkerIdleBegin { .. } => "worker_idle_begin",
+            SchedEvent::WorkerIdleEnd { .. } => "worker_idle_end",
+            SchedEvent::QueuePop { .. } => "queue_pop",
+            SchedEvent::PolicyDecision { .. } => "policy_decision",
+        }
+    }
+
+    /// Tie-break rank for sorting events that share a timestamp so that a
+    /// replay through [`TraceSummary`](crate::TraceSummary) sees a causal
+    /// order: completions and aborts close intervals before new intervals
+    /// open, and an idle interval opens before it is closed or pre-empted.
+    pub fn order_rank(&self) -> u8 {
+        match self {
+            SchedEvent::TaskComplete { .. } => 0,
+            SchedEvent::Spoliation { .. } => 1,
+            SchedEvent::TaskReady { .. } => 2,
+            SchedEvent::QueuePop { .. } | SchedEvent::PolicyDecision { .. } => 3,
+            SchedEvent::WorkerIdleBegin { .. } => 4,
+            SchedEvent::WorkerIdleEnd { .. } => 5,
+            SchedEvent::TaskStart { .. } => 6,
+        }
+    }
+}
+
+/// Sort events by (time, [`SchedEvent::order_rank`]), preserving emission
+/// order within ties. Live instrumentation already emits causally; this is
+/// for event lists reconstructed from a finished schedule.
+pub fn sort_causal(events: &mut [SchedEvent]) {
+    events.sort_by(|a, b| {
+        a.time()
+            .partial_cmp(&b.time())
+            .expect("event times are finite")
+            .then(a.order_rank().cmp(&b.order_rank()))
+    });
+}

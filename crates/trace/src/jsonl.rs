@@ -1,0 +1,91 @@
+//! JSONL exporter: one JSON object per line, one line per event.
+//!
+//! The flat shape is meant for ad-hoc tooling (`jq`, pandas, grep); every
+//! line carries a `"type"` tag matching [`SchedEvent::kind`].
+
+use crate::{Decision, QueueEnd, SchedEvent};
+
+/// Render an event stream as line-delimited JSON.
+pub fn jsonl(events: &[SchedEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&line(e));
+        out.push('\n');
+    }
+    out
+}
+
+fn line(e: &SchedEvent) -> String {
+    let kind = e.kind();
+    match *e {
+        SchedEvent::TaskReady { time, task } => {
+            format!(r#"{{"type":"{kind}","time":{time},"task":{task}}}"#)
+        }
+        SchedEvent::TaskStart { time, task, worker, expected_end } => format!(
+            r#"{{"type":"{kind}","time":{time},"task":{task},"worker":{worker},"expected_end":{expected_end}}}"#
+        ),
+        SchedEvent::TaskComplete { time, task, worker } => {
+            format!(r#"{{"type":"{kind}","time":{time},"task":{task},"worker":{worker}}}"#)
+        }
+        SchedEvent::Spoliation { time, task, victim, thief, wasted_work } => format!(
+            r#"{{"type":"{kind}","time":{time},"task":{task},"victim":{victim},"thief":{thief},"wasted_work":{wasted_work}}}"#
+        ),
+        SchedEvent::WorkerIdleBegin { time, worker }
+        | SchedEvent::WorkerIdleEnd { time, worker } => {
+            format!(r#"{{"type":"{kind}","time":{time},"worker":{worker}}}"#)
+        }
+        SchedEvent::QueuePop { time, task, worker, end } => {
+            let end = match end {
+                QueueEnd::Front => "front",
+                QueueEnd::Back => "back",
+            };
+            format!(
+                r#"{{"type":"{kind}","time":{time},"task":{task},"worker":{worker},"end":"{end}"}}"#
+            )
+        }
+        SchedEvent::PolicyDecision { time, worker, decision } => {
+            let (verdict, target) = match decision {
+                Decision::Pick(t) => ("pick", Some(t)),
+                Decision::Spoliate(v) => ("spoliate", Some(v)),
+                Decision::Idle => ("idle", None),
+            };
+            match target {
+                Some(t) => format!(
+                    r#"{{"type":"{kind}","time":{time},"worker":{worker},"decision":"{verdict}","target":{t}}}"#
+                ),
+                None => format!(
+                    r#"{{"type":"{kind}","time":{time},"worker":{worker},"decision":"{verdict}"}}"#
+                ),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn every_line_parses_and_is_tagged() {
+        let events = [
+            SchedEvent::TaskReady { time: 0.0, task: 3 },
+            SchedEvent::QueuePop { time: 0.0, task: 3, worker: 2, end: QueueEnd::Front },
+            SchedEvent::PolicyDecision { time: 0.0, worker: 2, decision: Decision::Pick(3) },
+            SchedEvent::TaskStart { time: 0.0, task: 3, worker: 2, expected_end: 1.5 },
+            SchedEvent::PolicyDecision { time: 0.5, worker: 0, decision: Decision::Idle },
+            SchedEvent::WorkerIdleBegin { time: 0.5, worker: 0 },
+            SchedEvent::Spoliation { time: 1.0, task: 3, victim: 2, thief: 0, wasted_work: 1.0 },
+            SchedEvent::WorkerIdleEnd { time: 1.0, worker: 0 },
+            SchedEvent::TaskComplete { time: 1.25, task: 3, worker: 0 },
+        ];
+        let text = jsonl(&events);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), events.len());
+        for (line, event) in lines.iter().zip(&events) {
+            let v = json::parse(line).expect("line parses");
+            assert_eq!(v.get("type").unwrap().as_str(), Some(event.kind()));
+            assert_eq!(v.get("time").unwrap().as_f64(), Some(event.time()));
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Structured tracing for the HeteroPrio schedulers and simulator.
+//!
+//! The paper's experimental argument (Figs. 6–9) rests on *transient*
+//! behaviour — where idle time accrues, how much work spoliation throws
+//! away, how deep the ready queue runs — which a finished [`Schedule`]
+//! cannot reconstruct. This crate is the observability substrate: the
+//! schedulers emit a typed stream of [`SchedEvent`]s into a [`TraceSink`],
+//! and everything else (per-worker accounting, Chrome-trace and JSONL
+//! exports, sparkline timelines) is derived from that stream.
+//!
+//! Design constraints:
+//!
+//! * **Dependency-free and id-based.** `heteroprio-core` depends on this
+//!   crate, not the other way round, so events carry raw `u32` task/worker
+//!   ids and `f64` times instead of core's newtypes.
+//! * **Zero cost when disabled.** [`NullSink::emit`] is an empty inlined
+//!   body; the instrumented hot loops are generic over the sink so the
+//!   compiler erases the tracing entirely (the `scheduler_cost` bench
+//!   guards this).
+//!
+//! `Schedule` above refers to `heteroprio_core::Schedule`.
+
+mod chrome;
+mod event;
+pub mod json;
+mod jsonl;
+mod sink;
+mod summary;
+
+pub use chrome::{chrome_trace, ChromeTraceOptions};
+pub use event::{sort_causal, Decision, QueueEnd, SchedEvent};
+pub use jsonl::jsonl;
+pub use sink::{NullSink, TraceSink, VecSink};
+pub use summary::{TraceSummary, WorkerStats};

@@ -1,0 +1,299 @@
+//! Incremental aggregation of an event stream into scheduler metrics.
+
+use crate::SchedEvent;
+
+/// Accumulated time accounting for one worker.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WorkerStats {
+    /// Time spent executing tasks that ran to completion.
+    pub busy: f64,
+    /// Time spent with no task assigned (closed out at the makespan by
+    /// [`TraceSummary::finish`]).
+    pub idle: f64,
+    /// Time spent on runs that a spoliation later threw away.
+    pub aborted: f64,
+    /// Tasks this worker completed.
+    pub completed: usize,
+    /// Runs aborted on this worker (it was the spoliation victim).
+    pub spoliated: usize,
+    run_open: Option<f64>,
+    idle_open: Option<f64>,
+}
+
+/// Metrics derived from a [`SchedEvent`] stream: per-worker busy/idle/
+/// aborted time, spoliation wasted work, time to first idle, and (when
+/// enabled) a ready-queue depth timeline.
+///
+/// Feed events in causal order via [`record`](TraceSummary::record) — the
+/// instrumented schedulers already emit them that way; reconstructed lists
+/// should go through [`sort_causal`](crate::sort_causal) first — then call
+/// [`finish`](TraceSummary::finish) once.
+#[derive(Clone, Debug)]
+pub struct TraceSummary {
+    pub workers: Vec<WorkerStats>,
+    /// Number of spoliations (aborted runs).
+    pub spoliation_count: usize,
+    /// Total in-progress time destroyed by spoliations.
+    pub wasted_work: f64,
+    /// Earliest instant any worker asked for work and got none.
+    pub first_idle: Option<f64>,
+    /// Total tasks completed.
+    pub tasks_completed: usize,
+    /// Pops from the front (GPU side) of the sorted ready queue.
+    pub queue_pops_front: usize,
+    /// Pops from the back (CPU side) of the sorted ready queue.
+    pub queue_pops_back: usize,
+    /// Ready-queue depth after each change, as `(time, depth)` steps.
+    /// Empty unless built by [`with_timeline`](TraceSummary::with_timeline)
+    /// or [`from_events`](TraceSummary::from_events).
+    pub ready_depth: Vec<(f64, usize)>,
+    events_recorded: usize,
+    makespan: f64,
+    timeline: bool,
+    ready: Vec<bool>,
+    depth: usize,
+    finished: bool,
+}
+
+impl TraceSummary {
+    /// Scalar accounting only (the hot path used inside the schedulers).
+    pub fn new(workers: usize) -> Self {
+        TraceSummary {
+            workers: vec![WorkerStats::default(); workers],
+            spoliation_count: 0,
+            wasted_work: 0.0,
+            first_idle: None,
+            tasks_completed: 0,
+            queue_pops_front: 0,
+            queue_pops_back: 0,
+            ready_depth: Vec::new(),
+            events_recorded: 0,
+            makespan: 0.0,
+            timeline: false,
+            ready: Vec::new(),
+            depth: 0,
+            finished: false,
+        }
+    }
+
+    /// Like [`new`](TraceSummary::new), additionally recording the
+    /// ready-queue depth timeline.
+    pub fn with_timeline(workers: usize) -> Self {
+        let mut s = TraceSummary::new(workers);
+        s.timeline = true;
+        s
+    }
+
+    /// Aggregate a complete event list (causal order expected; see
+    /// [`sort_causal`](crate::sort_causal)). Timeline recording is on.
+    pub fn from_events(workers: usize, events: &[SchedEvent]) -> Self {
+        let mut s = TraceSummary::with_timeline(workers);
+        for e in events {
+            s.record(e);
+        }
+        s.finish();
+        s
+    }
+
+    fn worker(&mut self, w: u32) -> &mut WorkerStats {
+        let w = w as usize;
+        if w >= self.workers.len() {
+            self.workers.resize(w + 1, WorkerStats::default());
+        }
+        &mut self.workers[w]
+    }
+
+    fn ready_flag(&mut self, task: u32) -> &mut bool {
+        let t = task as usize;
+        if t >= self.ready.len() {
+            self.ready.resize(t + 1, false);
+        }
+        &mut self.ready[t]
+    }
+
+    fn push_depth(&mut self, time: f64) {
+        let depth = self.depth;
+        self.ready_depth.push((time, depth));
+    }
+
+    /// Fold one event into the aggregate.
+    pub fn record(&mut self, event: &SchedEvent) {
+        debug_assert!(!self.finished, "record() after finish()");
+        self.events_recorded += 1;
+        let time = event.time();
+        if time > self.makespan {
+            self.makespan = time;
+        }
+        match *event {
+            SchedEvent::TaskReady { time, task } => {
+                if self.timeline {
+                    *self.ready_flag(task) = true;
+                    self.depth += 1;
+                    self.push_depth(time);
+                }
+            }
+            SchedEvent::TaskStart { time, task, worker, .. } => {
+                if self.timeline && *self.ready_flag(task) {
+                    *self.ready_flag(task) = false;
+                    self.depth -= 1;
+                    self.push_depth(time);
+                }
+                let w = self.worker(worker);
+                // Defensive: a reconstructed stream may omit the idle-end.
+                if let Some(since) = w.idle_open.take() {
+                    w.idle += time - since;
+                }
+                w.run_open = Some(time);
+            }
+            SchedEvent::TaskComplete { time, worker, .. } => {
+                let w = self.worker(worker);
+                if let Some(start) = w.run_open.take() {
+                    w.busy += time - start;
+                }
+                w.completed += 1;
+                self.tasks_completed += 1;
+            }
+            SchedEvent::Spoliation { time, victim, wasted_work, .. } => {
+                let w = self.worker(victim);
+                if let Some(start) = w.run_open.take() {
+                    w.aborted += time - start;
+                } else {
+                    w.aborted += wasted_work;
+                }
+                w.spoliated += 1;
+                self.spoliation_count += 1;
+                self.wasted_work += wasted_work;
+            }
+            SchedEvent::WorkerIdleBegin { time, worker } => {
+                let w = self.worker(worker);
+                if w.idle_open.is_none() {
+                    w.idle_open = Some(time);
+                }
+                self.first_idle = Some(self.first_idle.map_or(time, |t| t.min(time)));
+            }
+            SchedEvent::WorkerIdleEnd { time, worker } => {
+                let w = self.worker(worker);
+                if let Some(since) = w.idle_open.take() {
+                    w.idle += time - since;
+                }
+            }
+            SchedEvent::QueuePop { end, .. } => match end {
+                crate::QueueEnd::Front => self.queue_pops_front += 1,
+                crate::QueueEnd::Back => self.queue_pops_back += 1,
+            },
+            SchedEvent::PolicyDecision { .. } => {}
+        }
+    }
+
+    /// Close every open idle interval at the makespan. Call exactly once,
+    /// after the last event. (Idempotent: further calls are no-ops.)
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let horizon = self.makespan;
+        for w in &mut self.workers {
+            if let Some(since) = w.idle_open.take() {
+                w.idle += horizon - since;
+            }
+        }
+    }
+
+    /// Largest event timestamp seen — for a complete trace, the makespan.
+    pub fn makespan(&self) -> f64 {
+        self.makespan
+    }
+
+    /// Events folded in so far.
+    pub fn events_recorded(&self) -> usize {
+        self.events_recorded
+    }
+
+    /// Peak ready-queue depth (0 if the timeline was not recorded).
+    pub fn max_ready_depth(&self) -> usize {
+        self.ready_depth.iter().map(|&(_, d)| d).max().unwrap_or(0)
+    }
+
+    /// Sum of `busy` over the given worker ids.
+    pub fn busy_over<I: IntoIterator<Item = usize>>(&self, ids: I) -> f64 {
+        ids.into_iter().map(|w| self.workers[w].busy).sum()
+    }
+
+    /// Sum of `idle + aborted` over the given worker ids. Aborted time
+    /// counts as idle for the paper's accounting (the work was destroyed).
+    pub fn idle_over<I: IntoIterator<Item = usize>>(&self, ids: I) -> f64 {
+        ids.into_iter().map(|w| self.workers[w].idle + self.workers[w].aborted).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SchedEvent as E;
+
+    #[test]
+    fn two_worker_accounting() {
+        // W0 runs T0 [0,4]; W1 runs T1 [0,1], idles [1,4].
+        let events = [
+            E::TaskReady { time: 0.0, task: 0 },
+            E::TaskReady { time: 0.0, task: 1 },
+            E::TaskStart { time: 0.0, task: 0, worker: 0, expected_end: 4.0 },
+            E::TaskStart { time: 0.0, task: 1, worker: 1, expected_end: 1.0 },
+            E::TaskComplete { time: 1.0, task: 1, worker: 1 },
+            E::WorkerIdleBegin { time: 1.0, worker: 1 },
+            E::TaskComplete { time: 4.0, task: 0, worker: 0 },
+            E::WorkerIdleBegin { time: 4.0, worker: 0 },
+        ];
+        let s = TraceSummary::from_events(2, &events);
+        assert_eq!(s.makespan(), 4.0);
+        assert_eq!(s.workers[0].busy, 4.0);
+        assert_eq!(s.workers[0].idle, 0.0);
+        assert_eq!(s.workers[1].busy, 1.0);
+        assert_eq!(s.workers[1].idle, 3.0);
+        assert_eq!(s.first_idle, Some(1.0));
+        assert_eq!(s.tasks_completed, 2);
+        assert_eq!(s.max_ready_depth(), 2);
+    }
+
+    #[test]
+    fn spoliation_accounting() {
+        // W0 starts T0 at 0, W1 spoliates it at 2 and finishes at 3.
+        let events = [
+            E::TaskReady { time: 0.0, task: 0 },
+            E::TaskStart { time: 0.0, task: 0, worker: 0, expected_end: 10.0 },
+            E::WorkerIdleBegin { time: 0.0, worker: 1 },
+            E::Spoliation { time: 2.0, task: 0, victim: 0, thief: 1, wasted_work: 2.0 },
+            E::WorkerIdleEnd { time: 2.0, worker: 1 },
+            E::TaskStart { time: 2.0, task: 0, worker: 1, expected_end: 3.0 },
+            E::WorkerIdleBegin { time: 2.0, worker: 0 },
+            E::TaskComplete { time: 3.0, task: 0, worker: 1 },
+        ];
+        let s = TraceSummary::from_events(2, &events);
+        assert_eq!(s.spoliation_count, 1);
+        assert_eq!(s.wasted_work, 2.0);
+        assert_eq!(s.workers[0].aborted, 2.0);
+        assert_eq!(s.workers[0].busy, 0.0);
+        assert_eq!(s.workers[0].idle, 1.0);
+        assert_eq!(s.workers[1].busy, 1.0);
+        assert_eq!(s.workers[1].idle, 2.0);
+        // Conservation: busy + idle + aborted == makespan for every worker.
+        for w in &s.workers {
+            assert!((w.busy + w.idle + w.aborted - s.makespan()).abs() < 1e-12);
+        }
+        assert_eq!(s.first_idle, Some(0.0));
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut s = TraceSummary::new(1);
+        s.record(&E::TaskStart { time: 0.0, task: 0, worker: 0, expected_end: 1.0 });
+        s.record(&E::TaskComplete { time: 1.0, task: 0, worker: 0 });
+        s.record(&E::WorkerIdleBegin { time: 1.0, worker: 0 });
+        s.record(&E::TaskComplete { time: 5.0, task: 1, worker: 9 }); // grows workers
+        s.finish();
+        s.finish();
+        assert_eq!(s.workers[0].idle, 4.0);
+        assert_eq!(s.workers.len(), 10);
+    }
+}

@@ -14,32 +14,23 @@ pub fn kernel_counts(f: Factorization, n: usize) -> Vec<(Kernel, usize)> {
     let c3 = if n >= 3 { n * (n - 1) * (n - 2) / 6 } else { 0 };
     let sq_sum = (n - 1) * n * (2 * n - 1) / 6;
     match f {
-        Factorization::Cholesky => vec![
-            (Kernel::Potrf, n),
-            (Kernel::Trsm, c2),
-            (Kernel::Syrk, c2),
-            (Kernel::Gemm, c3),
-        ],
+        Factorization::Cholesky => {
+            vec![(Kernel::Potrf, n), (Kernel::Trsm, c2), (Kernel::Syrk, c2), (Kernel::Gemm, c3)]
+        }
         Factorization::Qr => vec![
             (Kernel::Geqrt, n),
             (Kernel::Ormqr, c2),
             (Kernel::Tsqrt, c2),
             (Kernel::Tsmqr, sq_sum),
         ],
-        Factorization::Lu => vec![
-            (Kernel::Getrf, n),
-            (Kernel::Trsm, 2 * c2),
-            (Kernel::Gemm, sq_sum),
-        ],
+        Factorization::Lu => {
+            vec![(Kernel::Getrf, n), (Kernel::Trsm, 2 * c2), (Kernel::Gemm, sq_sum)]
+        }
     }
 }
 
 /// The tasks of an `n`-tile factorization as an independent-task instance.
-pub fn independent_instance(
-    f: Factorization,
-    n: usize,
-    timing: &impl KernelTiming,
-) -> Instance {
+pub fn independent_instance(f: Factorization, n: usize, timing: &impl KernelTiming) -> Instance {
     let mut inst = Instance::new();
     for (kernel, count) in kernel_counts(f, n) {
         let task = timing.task(kernel);

@@ -54,11 +54,7 @@ pub const PROFILES: [KernelProfile; 9] = [
 
 /// Profile of one kernel.
 pub fn profile(kernel: Kernel) -> KernelProfile {
-    PROFILES
-        .iter()
-        .copied()
-        .find(|p| p.kernel == kernel)
-        .expect("every kernel has a profile")
+    PROFILES.iter().copied().find(|p| p.kernel == kernel).expect("every kernel has a profile")
 }
 
 impl KernelTiming for ChameleonTiming {
@@ -90,7 +86,8 @@ impl<T: KernelTiming> KernelTiming for JitteredTiming<T> {
         let (p, q) = self.inner.times(kernel);
         // Derive a per-kernel RNG so times are stable per kernel.
         let k = Kernel::ALL.iter().position(|&x| x == kernel).unwrap() as u64;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed ^ (k.wrapping_mul(0x9E3779B97F4A7C15)));
+        let mut rng =
+            rand::rngs::StdRng::seed_from_u64(self.seed ^ (k.wrapping_mul(0x9E3779B97F4A7C15)));
         let lo = (1.0 + self.jitter).recip().ln();
         let hi = (1.0 + self.jitter).ln();
         let fp = rng.random_range(lo..=hi).exp();

@@ -75,11 +75,7 @@ mod tests {
 
     #[test]
     fn ranges_are_respected() {
-        let p = RandomInstanceParams {
-            tasks: 200,
-            cpu_range: (2.0, 4.0),
-            accel_range: (0.5, 8.0),
-        };
+        let p = RandomInstanceParams { tasks: 200, cpu_range: (2.0, 4.0), accel_range: (0.5, 8.0) };
         let inst = random_instance(&p, 3);
         for t in inst.tasks() {
             assert!((2.0..=4.0).contains(&t.cpu_time));

@@ -9,8 +9,8 @@
 
 use heteroprio_core::time::PHI;
 use heteroprio_core::{
-    HeteroPrioConfig, Instance, Platform, QueueTieBreak, Schedule,
-    SpoliationTieBreak, Task, TaskId, TaskRun, WorkerId, WorkerOrder,
+    HeteroPrioConfig, Instance, Platform, QueueTieBreak, Schedule, SpoliationTieBreak, Task,
+    TaskId, TaskRun, WorkerId, WorkerOrder,
 };
 
 /// A worst-case family member.
@@ -104,11 +104,8 @@ pub fn theorem11(m: usize, steps: usize) -> WorstCase {
         TaskRun { task: t1, worker: WorkerId(0), start: 0.0, end: 1.0 },
     ];
     let mut loads = vec![0.0_f64; m - 1];
-    let fillers: Vec<(TaskId, f64)> = t4
-        .iter()
-        .map(|&t| (t, eps * PHI))
-        .chain(t3.iter().map(|&t| (t, eps)))
-        .collect();
+    let fillers: Vec<(TaskId, f64)> =
+        t4.iter().map(|&t| (t, eps * PHI)).chain(t3.iter().map(|&t| (t, eps))).collect();
     for (task, dur) in fillers {
         let w = (0..loads.len()).min_by(|&a, &b| loads[a].total_cmp(&loads[b])).unwrap();
         runs.push(TaskRun {
@@ -241,8 +238,9 @@ pub fn theorem14(k: usize) -> WorstCase {
     }
     for i in (k..2 * k).rev() {
         for _ in 0..6 {
-            instance
-                .push(Task::new(cpu_t2, (2 * k + i) as f64).with_priority(2e6 + (2 * k + i) as f64));
+            instance.push(
+                Task::new(cpu_t2, (2 * k + i) as f64).with_priority(2e6 + (2 * k + i) as f64),
+            );
         }
     }
     instance.push(Task::new(cpu_t2, nf).with_priority(0.0)); // the 6k task
@@ -352,14 +350,12 @@ pub fn no_spoliation_gap(gap: f64) -> WorstCase {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use heteroprio_core::heteroprio;
     use heteroprio_core::list::list_schedule;
     use heteroprio_core::time::approx_eq;
-    use heteroprio_core::heteroprio;
 
     fn run_case(case: &WorstCase) -> f64 {
-        case.witness
-            .validate(&case.instance, &case.platform)
-            .expect("witness schedule is valid");
+        case.witness.validate(&case.instance, &case.platform).expect("witness schedule is valid");
         let res = heteroprio(&case.instance, &case.platform, &case.config);
         res.schedule.validate(&case.instance, &case.platform).expect("HP schedule valid");
         assert!(

@@ -7,7 +7,9 @@
 //! ```
 
 use heteroprio::core::{HeteroPrioConfig, TaskId, WorkerId};
-use heteroprio::schedulers::{DualHpDagPolicy, DualHpRank, HeteroPrioDagPolicy, PriorityListPolicy};
+use heteroprio::schedulers::{
+    DualHpDagPolicy, DualHpRank, HeteroPrioDagPolicy, PriorityListPolicy,
+};
 use heteroprio::simulator::{simulate, OnlinePolicy, SimContext};
 use heteroprio::taskgraph::{apply_bottom_level_priorities, qr, WeightScheme};
 use heteroprio::workloads::{paper_platform, ChameleonTiming};
@@ -27,15 +29,11 @@ impl OnlinePolicy for ShortestFirst {
 
     fn pick_task(&mut self, worker: WorkerId, ctx: &SimContext<'_>) -> Option<TaskId> {
         let kind = ctx.platform.kind_of(worker);
-        let (idx, _) = self
-            .ready
-            .iter()
-            .enumerate()
-            .min_by(|(_, &a), (_, &b)| {
-                let ta = ctx.graph.instance().task(a).time_on(kind);
-                let tb = ctx.graph.instance().task(b).time_on(kind);
-                ta.total_cmp(&tb)
-            })?;
+        let (idx, _) = self.ready.iter().enumerate().min_by(|(_, &a), (_, &b)| {
+            let ta = ctx.graph.instance().task(a).time_on(kind);
+            let tb = ctx.graph.instance().task(b).time_on(kind);
+            ta.total_cmp(&tb)
+        })?;
         Some(self.ready.swap_remove(idx))
     }
 }

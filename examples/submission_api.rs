@@ -44,8 +44,7 @@ fn main() {
             report.graph.len()
         );
         if first_svg.is_none() {
-            first_svg =
-                Some(to_svg(&report.schedule, report.graph.instance(), &platform));
+            first_svg = Some(to_svg(&report.schedule, report.graph.instance(), &platform));
         }
     }
     if let Some(svg) = first_svg {

@@ -75,5 +75,8 @@ fn main() {
     let ns = hp(&cliff.instance, &cliff.platform, &cliff.config);
     let with = hp(&cliff.instance, &cliff.platform, &HeteroPrioConfig::new());
     println!("no spoliation: makespan {:.0} (ratio {:.0}!)", ns.makespan(), ns.makespan() / 2.0);
-    println!("with spoliation: makespan {:.0} — the mechanism that makes the proofs possible", with.makespan());
+    println!(
+        "with spoliation: makespan {:.0} — the mechanism that makes the proofs possible",
+        with.makespan()
+    );
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Repo-wide checks, in the order a reviewer cares about them:
+# formatting, lints (warnings are errors), then the full test suite.
+# Everything runs offline — the three external deps are vendored shims.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "all checks passed"

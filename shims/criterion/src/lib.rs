@@ -1,0 +1,229 @@
+//! Offline stand-in for the `criterion` crate (0.8 API subset).
+//!
+//! This workspace builds in environments with no access to crates.io, so the
+//! external `criterion` dev-dependency is replaced by this vendored shim (see
+//! the workspace `Cargo.toml`). It implements the measurement surface the
+//! `heteroprio-bench` targets use — `criterion_group!`/`criterion_main!`,
+//! `Criterion::bench_function`, benchmark groups with throughput and
+//! per-group sample sizes, and `Bencher::iter` — with a straightforward
+//! wall-clock harness: each benchmark is calibrated to a minimum sample
+//! duration, timed for `sample_size` samples, and reported as
+//! `[min median max]` per iteration. No statistical analysis, plots, or
+//! baseline comparison; numbers are honest but coarser than real criterion.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Minimum wall-clock time per sample once calibrated.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+
+/// Measurement harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark (consuming, matching
+    /// the real `Criterion::sample_size` used in `config = …` position).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into().label, self.sample_size, None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size, throughput: None }
+    }
+}
+
+/// A named set of related benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_bench(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier for a benchmark, optionally parameterised.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", name.into(), param) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Units for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: double the batch size until one batch takes at least
+        // TARGET_SAMPLE (so per-sample timing noise is bounded).
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE || iters >= 1 << 24 {
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns.push(elapsed.as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher { sample_size, samples_ns: Vec::new() };
+    f(&mut b);
+    if b.samples_ns.is_empty() {
+        println!("{label:<40} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    b.samples_ns.sort_by(|a, c| a.partial_cmp(c).unwrap());
+    let min = b.samples_ns[0];
+    let max = *b.samples_ns.last().unwrap();
+    let median = b.samples_ns[b.samples_ns.len() / 2];
+    let mut line =
+        format!("{label:<40} time: [{} {} {}]", fmt_ns(min), fmt_ns(median), fmt_ns(max));
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n as f64, "elem/s"),
+            Throughput::Bytes(n) => (n as f64, "B/s"),
+        };
+        line.push_str(&format!("  thrpt: {:.3e} {unit}", count / (median * 1e-9)));
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Define a benchmark group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the `main` function running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -16,7 +16,9 @@
 //! * [`experiments`] — the table/figure reproduction harness;
 //! * [`runtime`] — a StarPU-like submission front-end (data handles, access
 //!   modes, automatic dependency inference);
-//! * [`cli`] — the `heteroprio-cli` tool's instance format and commands.
+//! * [`cli`] — the `heteroprio-cli` tool's instance format and commands;
+//! * [`trace`] — the typed scheduler event stream, metrics aggregation and
+//!   Chrome-trace/JSONL exporters (see the README's Observability section).
 //!
 //! ## Quickstart
 //!
@@ -43,4 +45,5 @@ pub use heteroprio_runtime as runtime;
 pub use heteroprio_schedulers as schedulers;
 pub use heteroprio_simulator as simulator;
 pub use heteroprio_taskgraph as taskgraph;
+pub use heteroprio_trace as trace;
 pub use heteroprio_workloads as workloads;

@@ -7,7 +7,9 @@
 use heteroprio::bounds::{combined_lower_bound, optimal_makespan};
 use heteroprio::core::heteroprio as hp;
 use heteroprio::core::{HeteroPrioConfig, Platform, QueueTieBreak, WorkerOrder, PHI};
-use heteroprio::workloads::{random_instance, theorem11, theorem14, theorem8, RandomInstanceParams};
+use heteroprio::workloads::{
+    random_instance, theorem11, theorem14, theorem8, RandomInstanceParams,
+};
 
 fn configs() -> Vec<HeteroPrioConfig> {
     let mut cfgs = Vec::new();
@@ -21,11 +23,8 @@ fn configs() -> Vec<HeteroPrioConfig> {
 
 /// Check `HP <= bound * OPT` on `count` random instances.
 fn check_bound(platform: Platform, bound: f64, count: u64, label: &str) {
-    let params = RandomInstanceParams {
-        tasks: 8,
-        cpu_range: (1.0, 10.0),
-        accel_range: (0.2, 20.0),
-    };
+    let params =
+        RandomInstanceParams { tasks: 8, cpu_range: (1.0, 10.0), accel_range: (0.2, 20.0) };
     let cfgs = configs();
     for seed in 0..count {
         let instance = random_instance(&params, seed);
@@ -64,21 +63,14 @@ fn theorem12_bound_holds_on_m_cpus_n_gpus() {
 #[test]
 fn first_idle_never_exceeds_optimal() {
     // Corollary of Lemma 3: T_FirstIdle <= C_max^Opt.
-    let params = RandomInstanceParams {
-        tasks: 7,
-        cpu_range: (1.0, 5.0),
-        accel_range: (0.25, 8.0),
-    };
+    let params = RandomInstanceParams { tasks: 7, cpu_range: (1.0, 5.0), accel_range: (0.25, 8.0) };
     for seed in 0..120 {
         let instance = random_instance(&params, seed);
         for platform in [Platform::new(1, 1), Platform::new(2, 1), Platform::new(2, 2)] {
             let opt = optimal_makespan(&instance, &platform).makespan;
             let res = hp(&instance, &platform, &HeteroPrioConfig::without_spoliation());
             if let Some(t) = res.first_idle {
-                assert!(
-                    t <= opt + 1e-9,
-                    "seed {seed} {platform:?}: first idle {t} > OPT {opt}"
-                );
+                assert!(t <= opt + 1e-9, "seed {seed} {platform:?}: first idle {t} > OPT {opt}");
             }
         }
     }
@@ -88,11 +80,7 @@ fn first_idle_never_exceeds_optimal() {
 fn all_tasks_start_before_optimal_in_list_phase() {
     // Second corollary of Lemma 3: every task starts before C_max^Opt in
     // S_HP^NS.
-    let params = RandomInstanceParams {
-        tasks: 8,
-        cpu_range: (1.0, 5.0),
-        accel_range: (0.25, 8.0),
-    };
+    let params = RandomInstanceParams { tasks: 8, cpu_range: (1.0, 5.0), accel_range: (0.25, 8.0) };
     for seed in 0..80 {
         let instance = random_instance(&params, seed);
         let platform = Platform::new(2, 2);
@@ -113,26 +101,17 @@ fn all_tasks_start_before_optimal_in_list_phase() {
 fn two_opt_bound_when_all_tasks_short() {
     // Third corollary of Lemma 3: if max(p,q) <= OPT for all tasks, then
     // HP <= 2·OPT. Build such instances by clamping both times.
-    let params = RandomInstanceParams {
-        tasks: 9,
-        cpu_range: (1.0, 2.0),
-        accel_range: (0.5, 2.0),
-    };
+    let params = RandomInstanceParams { tasks: 9, cpu_range: (1.0, 2.0), accel_range: (0.5, 2.0) };
     for seed in 0..100 {
         let instance = random_instance(&params, seed);
         let platform = Platform::new(2, 2);
         let opt = optimal_makespan(&instance, &platform).makespan;
-        let max_time =
-            instance.tasks().iter().map(|t| t.max_time()).fold(0.0, f64::max);
+        let max_time = instance.tasks().iter().map(|t| t.max_time()).fold(0.0, f64::max);
         if max_time > opt {
             continue; // precondition not met for this draw
         }
         let res = hp(&instance, &platform, &HeteroPrioConfig::new());
-        assert!(
-            res.makespan() <= 2.0 * opt + 1e-9,
-            "seed {seed}: {} > 2 x {opt}",
-            res.makespan()
-        );
+        assert!(res.makespan() <= 2.0 * opt + 1e-9, "seed {seed}: {} > 2 x {opt}", res.makespan());
     }
 }
 
@@ -182,11 +161,8 @@ fn lemma3_work_conservation_while_queue_is_nonempty() {
     // unconditionally in our experiments.
     use heteroprio::bounds::area_bound;
     use heteroprio::core::{Instance, Task};
-    let params = RandomInstanceParams {
-        tasks: 12,
-        cpu_range: (1.0, 9.0),
-        accel_range: (0.2, 12.0),
-    };
+    let params =
+        RandomInstanceParams { tasks: 12, cpu_range: (1.0, 9.0), accel_range: (0.2, 12.0) };
     let mut equality_probes = 0usize;
     for seed in 0..60 {
         let instance = random_instance(&params, seed);
@@ -227,10 +203,7 @@ fn lemma3_work_conservation_while_queue_is_nonempty() {
                         (run.end - t) / (run.end - run.start)
                     };
                     if remaining > 1e-12 {
-                        rest.push(Task::new(
-                            task.cpu_time * remaining,
-                            task.gpu_time * remaining,
-                        ));
+                        rest.push(Task::new(task.cpu_time * remaining, task.gpu_time * remaining));
                     }
                 }
                 rest
@@ -270,12 +243,11 @@ fn lemma3_literal_equality_counterexample() {
     // asserted unconditionally in the tests above.
     use heteroprio::bounds::area_bound;
     use heteroprio::core::{Instance, Task};
-    let params = RandomInstanceParams {
-        tasks: 12,
-        cpu_range: (1.0, 9.0),
-        accel_range: (0.2, 12.0),
-    };
-    let instance = random_instance(&params, 0);
+    let params =
+        RandomInstanceParams { tasks: 12, cpu_range: (1.0, 9.0), accel_range: (0.2, 12.0) };
+    // Seed chosen for the vendored PRNG stream (shims/rand); re-search if
+    // the generator ever changes.
+    let instance = random_instance(&params, 39);
     let platform = Platform::new(2, 1);
     let res = hp(&instance, &platform, &HeteroPrioConfig::without_spoliation());
     let first_idle = res.first_idle.expect("some worker idles");
@@ -309,11 +281,8 @@ fn lemma5_no_spoliation_from_a_class_that_received_one() {
     // Lemma 5: if a resource class executes a spoliated task, then no task
     // is spoliated *from* that class. Checked on the actual runs.
     use heteroprio::core::ResourceKind;
-    let params = RandomInstanceParams {
-        tasks: 14,
-        cpu_range: (1.0, 20.0),
-        accel_range: (0.05, 40.0),
-    };
+    let params =
+        RandomInstanceParams { tasks: 14, cpu_range: (1.0, 20.0), accel_range: (0.05, 40.0) };
     let mut observed_spoliations = 0usize;
     for seed in 0..200 {
         let instance = random_instance(&params, seed);
@@ -325,11 +294,8 @@ fn lemma5_no_spoliation_from_a_class_that_received_one() {
                     platform.kind_of(r.worker) == kind
                         && res.schedule.aborted.iter().any(|a| a.task == r.task)
                 });
-                let victim_here = res
-                    .schedule
-                    .aborted
-                    .iter()
-                    .any(|a| platform.kind_of(a.worker) == kind);
+                let victim_here =
+                    res.schedule.aborted.iter().any(|a| platform.kind_of(a.worker) == kind);
                 assert!(
                     !(executed_spoliated && victim_here),
                     "seed {seed} {platform:?}: class {kind} both receives and loses spoliated tasks"

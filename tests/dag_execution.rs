@@ -3,10 +3,10 @@
 //! factorization.
 
 use heteroprio::bounds::dag_lower_bound;
+use heteroprio::core::Platform;
 use heteroprio::experiments::{alloc_stats, DagAlgo};
 use heteroprio::taskgraph::{check_precedence, ConstTiming, Factorization};
 use heteroprio::workloads::{paper_platform, ChameleonTiming};
-use heteroprio::core::Platform;
 
 #[test]
 fn every_algorithm_schedules_every_factorization() {
@@ -67,11 +67,7 @@ fn chain_critical_path_is_respected() {
     let platform = Platform::new(2, 1);
     for algo in DagAlgo::PAPER {
         let ms = algo.run(&graph, &platform).makespan();
-        assert!(
-            (ms - 10.0).abs() < 1e-9,
-            "{}: chain makespan {ms}, expected 10",
-            algo.name()
-        );
+        assert!((ms - 10.0).abs() < 1e-9, "{}: chain makespan {ms}, expected 10", algo.name());
     }
 }
 
@@ -85,10 +81,7 @@ fn dualhp_idles_cpus_more_than_heteroprio() {
     let dual = DagAlgo::DualHpFifo.run(&graph, &platform);
     let hp_idle = alloc_stats(graph.instance(), &platform, &hp).idle_cpu.unwrap();
     let dual_idle = alloc_stats(graph.instance(), &platform, &dual).idle_cpu.unwrap();
-    assert!(
-        hp_idle <= dual_idle + 1e-9,
-        "HeteroPrio CPU idle {hp_idle} vs DualHP {dual_idle}"
-    );
+    assert!(hp_idle <= dual_idle + 1e-9, "HeteroPrio CPU idle {hp_idle} vs DualHP {dual_idle}");
 }
 
 #[test]

@@ -3,8 +3,8 @@
 
 use heteroprio::experiments::{fig6_series, fig7_series, SMOKE_NS};
 use heteroprio::taskgraph::Factorization;
-use heteroprio::workloads::{paper_platform, profile, ChameleonTiming};
 use heteroprio::taskgraph::Kernel;
+use heteroprio::workloads::{paper_platform, profile, ChameleonTiming};
 
 #[test]
 fn table1_is_the_papers() {

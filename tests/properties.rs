@@ -8,15 +8,11 @@ use heteroprio::bounds::{
 };
 use heteroprio::core::heteroprio as hp;
 use heteroprio::core::list::{homogeneous_lower_bound, list_schedule};
-use heteroprio::core::{
-    sorted_queue, HeteroPrioConfig, Instance, Platform, QueueTieBreak, Task,
-};
+use heteroprio::core::{sorted_queue, HeteroPrioConfig, Instance, Platform, QueueTieBreak, Task};
 use heteroprio::schedulers::dualhp_independent;
-use heteroprio::simulator::simulate;
 use heteroprio::schedulers::HeteroPrioDagPolicy;
-use heteroprio::taskgraph::{
-    check_precedence, random_layered, RandomDagParams, TaskGraph,
-};
+use heteroprio::simulator::simulate;
+use heteroprio::taskgraph::{check_precedence, random_layered, RandomDagParams, TaskGraph};
 use proptest::prelude::*;
 
 /// Strategy: a task with cpu and gpu times in (0.1, 50).

@@ -18,17 +18,14 @@ struct Submission {
 }
 
 fn submission_strategy(handles: usize) -> impl Strategy<Value = Submission> {
-    (
-        0.5f64..10.0,
-        0.5f64..10.0,
-        prop::collection::vec((0..handles, 0u8..3), 1..4),
-    )
-        .prop_map(|(cpu, gpu, mut accesses)| {
+    (0.5f64..10.0, 0.5f64..10.0, prop::collection::vec((0..handles, 0u8..3), 1..4)).prop_map(
+        |(cpu, gpu, mut accesses)| {
             // One access per handle per task.
             accesses.sort_by_key(|&(h, _)| h);
             accesses.dedup_by_key(|&mut (h, _)| h);
             Submission { cpu, gpu, accesses }
-        })
+        },
+    )
 }
 
 fn build(subs: &[Submission], handles: usize, platform: Platform) -> Runtime {

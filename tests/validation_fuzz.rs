@@ -11,11 +11,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn valid_setup(seed: u64) -> (Instance, Platform, Schedule) {
-    let params = RandomInstanceParams {
-        tasks: 12,
-        cpu_range: (1.0, 8.0),
-        accel_range: (0.2, 10.0),
-    };
+    let params =
+        RandomInstanceParams { tasks: 12, cpu_range: (1.0, 8.0), accel_range: (0.2, 10.0) };
     let instance = random_instance(&params, seed);
     let platform = Platform::new(2, 2);
     let schedule = hp(&instance, &platform, &HeteroPrioConfig::new()).schedule;
@@ -27,10 +24,7 @@ fn valid_setup(seed: u64) -> (Instance, Platform, Schedule) {
 fn dropping_a_task_is_missing() {
     let (instance, platform, mut sched) = valid_setup(1);
     sched.runs.pop();
-    assert!(matches!(
-        sched.validate(&instance, &platform),
-        Err(ScheduleError::MissingTask(_))
-    ));
+    assert!(matches!(sched.validate(&instance, &platform), Err(ScheduleError::MissingTask(_))));
 }
 
 #[test]
@@ -40,10 +34,7 @@ fn duplicating_a_task_is_rejected() {
     dup.start += 1000.0;
     dup.end += 1000.0;
     sched.runs.push(dup);
-    assert!(matches!(
-        sched.validate(&instance, &platform),
-        Err(ScheduleError::DuplicateTask(_))
-    ));
+    assert!(matches!(sched.validate(&instance, &platform), Err(ScheduleError::DuplicateTask(_))));
 }
 
 #[test]
@@ -57,10 +48,7 @@ fn unknown_task_and_worker_are_rejected() {
     ));
     let mut bad = sched;
     bad.runs[0].worker = WorkerId(platform.workers() as u32);
-    assert!(matches!(
-        bad.validate(&instance, &platform),
-        Err(ScheduleError::UnknownWorker(_))
-    ));
+    assert!(matches!(bad.validate(&instance, &platform), Err(ScheduleError::UnknownWorker(_))));
 }
 
 #[test]
@@ -108,7 +96,9 @@ fn moving_a_run_onto_a_busy_worker_overlaps() {
     let same_kind = sched
         .runs
         .iter()
-        .position(|r| r.task != r0.task && platform.kind_of(r.worker) == platform.kind_of(r0.worker))
+        .position(|r| {
+            r.task != r0.task && platform.kind_of(r.worker) == platform.kind_of(r0.worker)
+        })
         .expect("another run on the same class");
     let dur = sched.runs[same_kind].duration();
     sched.runs[same_kind].worker = r0.worker;
@@ -151,10 +141,7 @@ fn random_mutations_never_pass_silently() {
         match rng.random_range(0..4) {
             0 => mutated.runs[i].start += rng.random_range(0.1..5.0),
             1 => mutated.runs[i].end += rng.random_range(0.1..5.0),
-            2 => {
-                mutated.runs[i].worker =
-                    WorkerId(rng.random_range(0..platform.workers()) as u32)
-            }
+            2 => mutated.runs[i].worker = WorkerId(rng.random_range(0..platform.workers()) as u32),
             _ => {
                 let j = rng.random_range(0..instance.len());
                 mutated.runs[i].task = TaskId(j as u32);
