@@ -8,6 +8,7 @@ use heteroprio_core::{
     heteroprio, heteroprio_traced, HeteroPrioConfig, Instance, Platform, ResourceKind, Schedule,
 };
 use heteroprio_schedulers::{dualhp_independent, heft, heuristic_schedule, HeftVariant, Heuristic};
+use heteroprio_simulator::{FaultPlan, FaultSpec, RetryPolicy};
 use heteroprio_taskgraph::{Factorization, TaskGraph, WeightScheme};
 use heteroprio_trace::{
     chrome_trace, jsonl, ChromeTraceOptions, SchedEvent, TraceSummary, VecSink,
@@ -31,6 +32,53 @@ pub struct OutputOpts {
 impl OutputOpts {
     fn wants_events(&self) -> bool {
         self.trace.is_some() || self.summary
+    }
+}
+
+/// Fault-injection options for the `dag` command (`--faults`,
+/// `--exec-jitter`, `--retry-max`, `--fault-seed`).
+#[derive(Clone, Debug, Default)]
+pub struct FaultOpts {
+    /// `--faults SPEC`; see [`heteroprio_simulator::FaultSpec`] for the
+    /// grammar (e.g. `gpu@25%`, `w3@10+5,fail=0.05,seed=7`).
+    pub spec: Option<String>,
+    /// `--exec-jitter J`: multiplicative log-uniform runtime noise.
+    pub exec_jitter: f64,
+    /// `--retry-max K`: attempts allowed per task (default 3).
+    pub retry_max: Option<u32>,
+    /// `--fault-seed S`: overrides a `seed=` clause in the spec.
+    pub seed: Option<u64>,
+}
+
+impl FaultOpts {
+    fn active(&self) -> bool {
+        self.spec.is_some() || self.exec_jitter != 0.0
+    }
+
+    /// Build the concrete plan. `baseline` runs a fault-free execution on
+    /// demand when the spec uses `%` times; returns the plan and the
+    /// baseline makespan if one was computed.
+    fn plan(
+        &self,
+        platform: &Platform,
+        baseline: impl FnOnce() -> Result<f64, String>,
+    ) -> Result<(FaultPlan, Option<f64>), String> {
+        let spec =
+            FaultSpec::parse(self.spec.as_deref().unwrap_or("")).map_err(|e| e.to_string())?;
+        let base = if spec.needs_baseline() { Some(baseline()?) } else { None };
+        let worker_faults = spec.resolve(platform, base).map_err(|e| e.to_string())?;
+        let mut retry = RetryPolicy::DEFAULT;
+        if let Some(k) = self.retry_max {
+            retry.max_attempts = k;
+        }
+        let plan = FaultPlan {
+            worker_faults,
+            task_failure_prob: spec.task_failure_prob.unwrap_or(0.0),
+            exec_jitter: self.exec_jitter,
+            seed: self.seed.or(spec.seed).unwrap_or(0),
+            retry,
+        };
+        Ok((plan, base))
     }
 }
 
@@ -90,6 +138,24 @@ fn format_summary(summary: &TraceSummary, platform: &Platform) -> String {
         "spoliations : {} (wasted work {:.4})",
         summary.spoliation_count, summary.wasted_work
     );
+    if summary.worker_failures > 0 {
+        let downtime: f64 = summary.workers.iter().map(|w| w.downtime).sum();
+        let _ = writeln!(
+            out,
+            "worker down : {} failures, {} recoveries, total downtime {:.4}",
+            summary.worker_failures, summary.worker_recoveries, downtime
+        );
+    }
+    if summary.task_failures > 0 || summary.retries > 0 {
+        let _ = writeln!(
+            out,
+            "task faults : {} failures, {} retries",
+            summary.task_failures, summary.retries
+        );
+    }
+    if summary.lost_work > 0.0 {
+        let _ = writeln!(out, "lost work   : {:.4}", summary.lost_work);
+    }
     match summary.first_idle {
         Some(t) => {
             let _ = writeln!(out, "first idle  : {t:.4}");
@@ -304,25 +370,38 @@ impl DagAlgoArg {
 }
 
 /// `dag`: generate a factorization DAG, submit it through the runtime and
-/// schedule it.
+/// schedule it, optionally under a fault plan.
 pub fn cmd_dag(
     kind: &str,
     n: usize,
     platform: &Platform,
     algo: DagAlgoArg,
     opts: &OutputOpts,
+    faults: &FaultOpts,
 ) -> Result<CmdOutput, String> {
     use heteroprio_runtime::{submit_cholesky, submit_lu, submit_qr, Runtime};
     if n == 0 {
         return Err("need at least one tile".to_string());
     }
-    let mut rt = Runtime::new(*platform);
-    match kind.to_ascii_lowercase().as_str() {
-        "cholesky" => submit_cholesky(&mut rt, n, &ChameleonTiming),
-        "qr" => submit_qr(&mut rt, n, &ChameleonTiming),
-        "lu" => submit_lu(&mut rt, n, &ChameleonTiming),
-        other => return Err(format!("unknown workload `{other}` (cholesky, qr, lu)")),
+    let kind_lc = kind.to_ascii_lowercase();
+    if !matches!(kind_lc.as_str(), "cholesky" | "qr" | "lu") {
+        return Err(format!("unknown workload `{kind_lc}` (cholesky, qr, lu)"));
     }
+    let build = || {
+        let mut rt = Runtime::new(*platform);
+        match kind_lc.as_str() {
+            "cholesky" => submit_cholesky(&mut rt, n, &ChameleonTiming),
+            "qr" => submit_qr(&mut rt, n, &ChameleonTiming),
+            _ => submit_lu(&mut rt, n, &ChameleonTiming),
+        }
+        rt
+    };
+    let (plan, baseline) = if faults.active() {
+        faults.plan(platform, || build().run(algo.scheduler()).map(|r| r.makespan))?
+    } else {
+        (FaultPlan::NONE, None)
+    };
+    let rt = build().with_faults(plan.clone());
     let report = if opts.wants_events() {
         rt.run_traced(algo.scheduler())?
     } else {
@@ -337,6 +416,20 @@ pub fn cmd_dag(
         platform.cpus,
         platform.gpus
     );
+    if !plan.is_none() {
+        let _ = writeln!(
+            out,
+            "fault plan  : {} worker faults, fail={}, jitter={}, seed={}, retry<= {}",
+            plan.worker_faults.len(),
+            plan.task_failure_prob,
+            plan.exec_jitter,
+            plan.seed,
+            plan.retry.max_attempts
+        );
+        if let Some(m0) = baseline {
+            let _ = writeln!(out, "baseline    : {m0:.2} ms (fault-free)");
+        }
+    }
     let _ = writeln!(out, "makespan    : {:.2} ms", report.makespan);
     let _ = writeln!(out, "lower bound : {:.2} ms", report.lower_bound);
     let _ = writeln!(out, "ratio       : {:.4}", report.ratio());
@@ -487,7 +580,7 @@ mod tests {
         ] {
             let opts =
                 if algo == DagAlgoArg::HeteroPrio { svg_only() } else { OutputOpts::default() };
-            let out = cmd_dag("cholesky", 5, &plat, algo, &opts).unwrap();
+            let out = cmd_dag("cholesky", 5, &plat, algo, &opts, &FaultOpts::default()).unwrap();
             assert!(out.report.contains("makespan"), "{algo:?}");
             assert!(out.report.contains("DPOTRF"), "{algo:?}");
             if algo == DagAlgoArg::HeteroPrio {
@@ -495,8 +588,12 @@ mod tests {
             }
         }
         let none = OutputOpts::default();
-        assert!(cmd_dag("fft", 5, &plat, DagAlgoArg::HeteroPrio, &none).is_err());
-        assert!(cmd_dag("qr", 0, &plat, DagAlgoArg::HeteroPrio, &none).is_err());
+        assert!(
+            cmd_dag("fft", 5, &plat, DagAlgoArg::HeteroPrio, &none, &FaultOpts::default()).is_err()
+        );
+        assert!(
+            cmd_dag("qr", 0, &plat, DagAlgoArg::HeteroPrio, &none, &FaultOpts::default()).is_err()
+        );
     }
 
     #[test]
@@ -504,7 +601,9 @@ mod tests {
         use heteroprio_trace::json;
         let plat = Platform::new(2, 1);
         let opts = OutputOpts { svg: false, trace: Some("chol.json".to_string()), summary: true };
-        let out = cmd_dag("cholesky", 4, &plat, DagAlgoArg::HeteroPrio, &opts).unwrap();
+        let out =
+            cmd_dag("cholesky", 4, &plat, DagAlgoArg::HeteroPrio, &opts, &FaultOpts::default())
+                .unwrap();
         let (_, contents) = out.trace.unwrap();
         let doc = json::parse(&contents).expect("valid chrome trace");
         let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
@@ -516,6 +615,46 @@ mod tests {
             "slices carry DAG kernel labels"
         );
         assert!(out.report.contains("GPU 0"));
+    }
+
+    #[test]
+    fn dag_runs_under_a_fault_spec() {
+        let plat = Platform::new(4, 2);
+        let opts = OutputOpts { svg: false, trace: None, summary: true };
+        // All GPUs die at 25% of the fault-free makespan; % time forces a
+        // baseline run, and the report shows the fault accounting.
+        let faults = FaultOpts { spec: Some("gpu@25%".to_string()), ..FaultOpts::default() };
+        let out = cmd_dag("cholesky", 6, &plat, DagAlgoArg::HeteroPrio, &opts, &faults).unwrap();
+        assert!(out.report.contains("fault plan  : 2 worker faults"), "{}", out.report);
+        assert!(out.report.contains("baseline    :"), "{}", out.report);
+        assert!(out.report.contains("worker down : 2 failures, 0 recoveries"), "{}", out.report);
+        // A transient single-worker fault with an absolute time needs no baseline.
+        let faults = FaultOpts { spec: Some("w0@1+2".to_string()), ..FaultOpts::default() };
+        let out = cmd_dag("cholesky", 6, &plat, DagAlgoArg::HeteroPrio, &opts, &faults).unwrap();
+        assert!(!out.report.contains("baseline"), "{}", out.report);
+        assert!(out.report.contains("1 failures, 1 recoveries"), "{}", out.report);
+    }
+
+    #[test]
+    fn dag_fault_spec_errors_are_reported() {
+        let plat = Platform::new(1, 1);
+        let opts = OutputOpts::default();
+        let faults = FaultOpts { spec: Some("gpu@nonsense".to_string()), ..FaultOpts::default() };
+        let err = cmd_dag("cholesky", 4, &plat, DagAlgoArg::HeteroPrio, &opts, &faults);
+        assert!(err.unwrap_err().contains("invalid fault plan"));
+        // HEFT is static and must refuse fault injection.
+        let faults = FaultOpts { spec: Some("w0@1+2".to_string()), ..FaultOpts::default() };
+        let err = cmd_dag("cholesky", 4, &plat, DagAlgoArg::Heft, &opts, &faults);
+        assert!(err.unwrap_err().contains("fault injection"));
+    }
+
+    #[test]
+    fn dag_jitter_alone_activates_the_fault_path() {
+        let plat = Platform::new(2, 1);
+        let opts = OutputOpts::default();
+        let faults = FaultOpts { exec_jitter: 0.2, seed: Some(42), ..FaultOpts::default() };
+        let out = cmd_dag("cholesky", 5, &plat, DagAlgoArg::HeteroPrio, &opts, &faults).unwrap();
+        assert!(out.report.contains("jitter=0.2, seed=42"), "{}", out.report);
     }
 
     #[test]

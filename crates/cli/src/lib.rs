@@ -8,6 +8,6 @@ pub mod commands;
 pub mod format;
 
 pub use commands::{
-    cmd_bounds, cmd_dag, cmd_gen, cmd_schedule, Algo, CmdOutput, DagAlgoArg, OutputOpts,
+    cmd_bounds, cmd_dag, cmd_gen, cmd_schedule, Algo, CmdOutput, DagAlgoArg, FaultOpts, OutputOpts,
 };
 pub use format::{parse_instance, serialize_instance, ParseError};

@@ -6,7 +6,9 @@
 //! heteroprio-cli gen      (cholesky|qr|lu) N [OUTPUT]
 //! ```
 
-use heteroprio_cli::{cmd_bounds, cmd_dag, cmd_gen, cmd_schedule, Algo, DagAlgoArg, OutputOpts};
+use heteroprio_cli::{
+    cmd_bounds, cmd_dag, cmd_gen, cmd_schedule, Algo, DagAlgoArg, FaultOpts, OutputOpts,
+};
 use heteroprio_core::Platform;
 use std::process::ExitCode;
 
@@ -18,6 +20,8 @@ usage:
   heteroprio-cli gen      (cholesky|qr|lu) N [OUTPUT]
   heteroprio-cli dag      (cholesky|qr|lu) N --cpus M --gpus N [--algo NAME]
                           [--svg FILE] [--trace FILE] [--summary]
+                          [--faults SPEC] [--exec-jitter J] [--retry-max K]
+                          [--fault-seed S]
 
 INSTANCE is a text file with one `cpu_time gpu_time [priority]` task per
 line (`#` comments). `gen` writes such a file for the kernel mix of an
@@ -27,6 +31,14 @@ N-tile factorization. Algorithms: see --algo (default hp).
 JSON (open in https://ui.perfetto.dev) by default, or JSONL when FILE
 ends in `.jsonl`. --summary appends per-worker busy/idle/aborted time,
 spoliation wasted work, and ready-queue statistics to the report.
+
+--faults injects worker failures and task failures into the `dag`
+command. SPEC is comma-separated clauses: `wN|cpu|gpu|all @ time[+dur]`
+(no duration = permanent; `time%` = percent of the fault-free makespan,
+which is measured by a baseline run first), `fail=P` (per-attempt task
+failure probability), `seed=N`. Example: `--faults gpu@25%,fail=0.05`.
+--exec-jitter J draws actual runtimes log-uniformly from
+[est/(1+J), est*(1+J)]; --retry-max K caps attempts per task (default 3).
 ";
 
 struct Args {
@@ -39,6 +51,7 @@ struct Args {
     svg: Option<String>,
     trace: Option<String>,
     summary: bool,
+    faults: FaultOpts,
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -51,6 +64,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         svg: None,
         trace: None,
         summary: false,
+        faults: FaultOpts::default(),
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -82,6 +96,23 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 args.trace = Some(argv.next().ok_or("--trace needs a file name")?);
             }
             "--summary" => args.summary = true,
+            "--faults" => {
+                args.faults.spec = Some(argv.next().ok_or("--faults needs a spec")?);
+            }
+            "--exec-jitter" => {
+                let v = argv.next().ok_or("--exec-jitter needs a value")?;
+                args.faults.exec_jitter =
+                    v.parse().map_err(|_| format!("bad --exec-jitter `{v}`"))?;
+            }
+            "--retry-max" => {
+                let v = argv.next().ok_or("--retry-max needs a value")?;
+                args.faults.retry_max =
+                    Some(v.parse().map_err(|_| format!("bad --retry-max `{v}`"))?);
+            }
+            "--fault-seed" => {
+                let v = argv.next().ok_or("--fault-seed needs a value")?;
+                args.faults.seed = Some(v.parse().map_err(|_| format!("bad --fault-seed `{v}`"))?);
+            }
             "--help" | "-h" => return Err(String::new()),
             other => args.positional.push(other.to_string()),
         }
@@ -148,7 +179,7 @@ fn run() -> Result<(), String> {
                 })?,
                 None => DagAlgoArg::HeteroPrio,
             };
-            let out = cmd_dag(&kind, n, &platform, algo, &output_opts(&args))?;
+            let out = cmd_dag(&kind, n, &platform, algo, &output_opts(&args), &args.faults)?;
             emit(out, args.svg.as_ref())
         }
         "gen" => {

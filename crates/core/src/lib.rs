@@ -45,7 +45,7 @@ pub use heteroprio::{
     heteroprio, heteroprio_traced, sorted_queue, HeteroPrioConfig, HeteroPrioResult, QueueTieBreak,
     SpoliationTieBreak, WorkerOrder,
 };
-pub use model::{Instance, Platform, ResourceKind, Task, TaskId, WorkerId};
+pub use model::{Instance, ModelError, Platform, ResourceKind, Task, TaskId, WorkerId};
 pub use online::{heteroprio_online, heteroprio_online_traced};
 pub use queue::AffinityQueue;
 pub use schedule::{Schedule, ScheduleError, TaskRun};

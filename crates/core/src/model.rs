@@ -74,6 +74,36 @@ impl fmt::Debug for WorkerId {
     }
 }
 
+/// Why a [`Platform`] or [`Task`] could not be constructed.
+///
+/// The `Display` output is stable: the panicking constructors delegate to
+/// the fallible ones and reuse these messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModelError {
+    /// The platform has no worker of the named class.
+    EmptyClass(ResourceKind),
+    /// A task time is NaN, infinite, zero or negative.
+    BadTaskTime { field: &'static str, value: f64 },
+    /// A task priority is NaN or infinite.
+    BadPriority { value: f64 },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyClass(kind) => write!(f, "platform needs at least one {kind}"),
+            ModelError::BadTaskTime { field, value } => {
+                write!(f, "{field} must be positive and finite, got {value}")
+            }
+            ModelError::BadPriority { value } => {
+                write!(f, "priority must be finite, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
 /// A heterogeneous node: `m` CPUs and `n` GPUs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Platform {
@@ -85,11 +115,26 @@ impl Platform {
     /// A platform with `cpus` CPU workers and `gpus` GPU workers.
     ///
     /// Panics if either class is empty: the model (and every bound in the
-    /// paper) assumes both classes are present.
+    /// paper) assumes both classes are present. Use
+    /// [`try_new`](Platform::try_new) to validate untrusted input.
     pub fn new(cpus: usize, gpus: usize) -> Self {
-        assert!(cpus > 0, "platform needs at least one CPU");
-        assert!(gpus > 0, "platform needs at least one GPU");
-        Platform { cpus, gpus }
+        match Platform::try_new(cpus, gpus) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`new`](Platform::new): rejects zero-worker classes with a
+    /// typed error instead of panicking (or, downstream, starving the
+    /// simulator of an entire resource class).
+    pub fn try_new(cpus: usize, gpus: usize) -> Result<Self, ModelError> {
+        if cpus == 0 {
+            return Err(ModelError::EmptyClass(ResourceKind::Cpu));
+        }
+        if gpus == 0 {
+            return Err(ModelError::EmptyClass(ResourceKind::Gpu));
+        }
+        Ok(Platform { cpus, gpus })
     }
 
     #[inline]
@@ -142,21 +187,40 @@ pub struct Task {
 }
 
 impl Task {
+    /// Panics on NaN, infinite, zero or negative times. Use
+    /// [`try_new`](Task::try_new) to validate untrusted input.
     pub fn new(cpu_time: f64, gpu_time: f64) -> Self {
-        assert!(
-            cpu_time > 0.0 && cpu_time.is_finite(),
-            "cpu_time must be positive and finite, got {cpu_time}"
-        );
-        assert!(
-            gpu_time > 0.0 && gpu_time.is_finite(),
-            "gpu_time must be positive and finite, got {gpu_time}"
-        );
-        Task { cpu_time, gpu_time, priority: 0.0 }
+        match Task::try_new(cpu_time, gpu_time) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`new`](Task::new): rejects NaN, infinite, zero and
+    /// negative processing times with a typed error.
+    pub fn try_new(cpu_time: f64, gpu_time: f64) -> Result<Self, ModelError> {
+        if !(cpu_time > 0.0 && cpu_time.is_finite()) {
+            return Err(ModelError::BadTaskTime { field: "cpu_time", value: cpu_time });
+        }
+        if !(gpu_time > 0.0 && gpu_time.is_finite()) {
+            return Err(ModelError::BadTaskTime { field: "gpu_time", value: gpu_time });
+        }
+        Ok(Task { cpu_time, gpu_time, priority: 0.0 })
     }
 
     pub fn with_priority(mut self, priority: f64) -> Self {
         self.priority = priority;
         self
+    }
+
+    /// Fallible [`with_priority`](Task::with_priority): rejects NaN and
+    /// infinite priorities (they would poison every tie-break comparison).
+    pub fn try_with_priority(mut self, priority: f64) -> Result<Self, ModelError> {
+        if !priority.is_finite() {
+            return Err(ModelError::BadPriority { value: priority });
+        }
+        self.priority = priority;
+        Ok(self)
     }
 
     /// Acceleration factor ρ = p/q. May be below 1 when the task runs
@@ -321,6 +385,38 @@ mod tests {
     #[should_panic(expected = "cpu_time")]
     fn task_rejects_nonpositive_time() {
         let _ = Task::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn try_constructors_return_typed_errors() {
+        assert_eq!(Platform::try_new(0, 1), Err(ModelError::EmptyClass(ResourceKind::Cpu)));
+        assert_eq!(Platform::try_new(1, 0), Err(ModelError::EmptyClass(ResourceKind::Gpu)));
+        assert!(Platform::try_new(2, 3).is_ok());
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                Task::try_new(bad, 1.0),
+                Err(ModelError::BadTaskTime { field: "cpu_time", .. })
+            ));
+            assert!(matches!(
+                Task::try_new(1.0, bad),
+                Err(ModelError::BadTaskTime { field: "gpu_time", .. })
+            ));
+        }
+        assert!(Task::try_new(1.0, 2.0).is_ok());
+        assert!(matches!(
+            Task::new(1.0, 1.0).try_with_priority(f64::NAN),
+            Err(ModelError::BadPriority { .. })
+        ));
+        assert_eq!(Task::new(1.0, 1.0).try_with_priority(3.0).unwrap().priority, 3.0);
+        // Display messages stay aligned with the panicking constructors.
+        assert_eq!(
+            ModelError::EmptyClass(ResourceKind::Cpu).to_string(),
+            "platform needs at least one CPU"
+        );
+        assert_eq!(
+            ModelError::BadTaskTime { field: "cpu_time", value: -1.0 }.to_string(),
+            "cpu_time must be positive and finite, got -1"
+        );
     }
 
     #[test]

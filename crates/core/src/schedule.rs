@@ -230,6 +230,28 @@ impl Schedule {
         platform: &Platform,
         max_overhead: f64,
     ) -> Result<(), ScheduleError> {
+        self.validate_inner(instance, platform, Some(max_overhead))
+    }
+
+    /// Structure-only validation: completeness, known ids, positive
+    /// intervals and per-worker non-overlap — but no duration checks.
+    /// This is the right check for executions under a fault plan, where
+    /// stochastic execution times decouple actual durations from the
+    /// calibrated estimates and failed attempts cut runs short.
+    pub fn validate_structure(
+        &self,
+        instance: &Instance,
+        platform: &Platform,
+    ) -> Result<(), ScheduleError> {
+        self.validate_inner(instance, platform, None)
+    }
+
+    fn validate_inner(
+        &self,
+        instance: &Instance,
+        platform: &Platform,
+        durations: Option<f64>,
+    ) -> Result<(), ScheduleError> {
         let mut seen = vec![false; instance.len()];
         for r in &self.runs {
             if r.task.index() >= instance.len() {
@@ -251,15 +273,18 @@ impl Schedule {
                     end: r.end,
                 });
             }
-            let expected = instance.task(r.task).time_on(platform.kind_of(r.worker));
-            let within_band = approx_eq(r.duration(), expected)
-                || (r.duration() >= expected && approx_le(r.duration(), expected + max_overhead));
-            if !within_band {
-                return Err(ScheduleError::WrongDuration {
-                    task: r.task,
-                    expected,
-                    actual: r.duration(),
-                });
+            if let Some(max_overhead) = durations {
+                let expected = instance.task(r.task).time_on(platform.kind_of(r.worker));
+                let within_band = approx_eq(r.duration(), expected)
+                    || (r.duration() >= expected
+                        && approx_le(r.duration(), expected + max_overhead));
+                if !within_band {
+                    return Err(ScheduleError::WrongDuration {
+                        task: r.task,
+                        expected,
+                        actual: r.duration(),
+                    });
+                }
             }
         }
         for (i, s) in seen.iter().enumerate() {
@@ -281,15 +306,17 @@ impl Schedule {
                     end: r.end,
                 });
             }
-            let full = instance.task(r.task).time_on(platform.kind_of(r.worker)) + max_overhead;
-            // An aborted run must stop before the task would have completed
-            // (otherwise it should have completed).
-            if r.duration() >= full + tol(r.duration(), full) {
-                return Err(ScheduleError::AbortedTooLong {
-                    task: r.task,
-                    limit: full,
-                    actual: r.duration(),
-                });
+            if let Some(max_overhead) = durations {
+                let full = instance.task(r.task).time_on(platform.kind_of(r.worker)) + max_overhead;
+                // An aborted run must stop before the task would have
+                // completed (otherwise it should have completed).
+                if r.duration() >= full + tol(r.duration(), full) {
+                    return Err(ScheduleError::AbortedTooLong {
+                        task: r.task,
+                        limit: full,
+                        actual: r.duration(),
+                    });
+                }
             }
         }
         // Per-worker overlap check over all runs.
@@ -439,6 +466,32 @@ mod tests {
         // An "aborted" run as long as the full task is invalid.
         sched.aborted[0].end = 2.5;
         assert!(matches!(sched.validate(&inst, &plat), Err(ScheduleError::AbortedTooLong { .. })));
+    }
+
+    #[test]
+    fn structure_validation_ignores_durations_but_not_structure() {
+        let (inst, plat) = simple_setup();
+        // Jittered durations: wrong for strict validation, fine structurally.
+        let sched = Schedule {
+            runs: vec![
+                TaskRun { task: TaskId(0), worker: WorkerId(0), start: 0.0, end: 3.7 },
+                TaskRun { task: TaskId(1), worker: WorkerId(1), start: 0.0, end: 0.9 },
+            ],
+            aborted: vec![TaskRun { task: TaskId(1), worker: WorkerId(0), start: 4.0, end: 99.0 }],
+        };
+        assert!(sched.validate(&inst, &plat).is_err());
+        sched.validate_structure(&inst, &plat).unwrap();
+        // Structural defects still fail: overlap...
+        let mut bad = sched.clone();
+        bad.runs[1] = TaskRun { task: TaskId(1), worker: WorkerId(0), start: 1.0, end: 2.0 };
+        assert!(matches!(bad.validate_structure(&inst, &plat), Err(ScheduleError::Overlap { .. })));
+        // ...and missing tasks.
+        let mut bad = sched.clone();
+        bad.runs.pop();
+        assert_eq!(
+            bad.validate_structure(&inst, &plat),
+            Err(ScheduleError::MissingTask(TaskId(1)))
+        );
     }
 
     #[test]

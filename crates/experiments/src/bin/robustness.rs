@@ -9,11 +9,11 @@
 //!    whose input was produced on the other resource class, approximating
 //!    PCI transfers that the paper's model ignores.
 //!
-//! Usage: `robustness [--csv]`.
+//! Usage: `robustness [--csv] [--seed S] [--jitters J1,J2,...]`.
 
 use heteroprio_bounds::{combined_lower_bound, dag_lower_bound};
 use heteroprio_core::HeteroPrioConfig;
-use heteroprio_experiments::{emit, IndepAlgo, TextTable};
+use heteroprio_experiments::{emit, flag_list, flag_value, IndepAlgo, TextTable};
 use heteroprio_schedulers::{DualHpDagPolicy, DualHpRank, HeteroPrioDagPolicy, PriorityListPolicy};
 use heteroprio_simulator::{simulate_with, TransferModel};
 use heteroprio_taskgraph::{apply_bottom_level_priorities, cholesky, Factorization, WeightScheme};
@@ -21,11 +21,11 @@ use heteroprio_workloads::{
     independent_instance, paper_platform, ChameleonTiming, JitteredTiming, TileScaledTiming,
 };
 
-fn jitter_sweep() {
+fn jitter_sweep(seed: u64, jitters: &[f64]) {
     let platform = paper_platform();
     let mut t = TextTable::new(vec!["jitter", "HeteroPrio", "DualHP", "HEFT"]);
-    for jitter in [0.0, 0.1, 0.2, 0.5] {
-        let timing = JitteredTiming { inner: ChameleonTiming, jitter, seed: 2024 };
+    for &jitter in jitters {
+        let timing = JitteredTiming { inner: ChameleonTiming, jitter, seed };
         let instance = independent_instance(Factorization::Cholesky, 16, &timing);
         let lb = combined_lower_bound(&instance, &platform);
         let mut row = vec![format!("{jitter:.2}")];
@@ -35,7 +35,12 @@ fn jitter_sweep() {
         }
         t.push_row(row);
     }
-    emit("Robustness — calibration jitter (Cholesky N=16, ratio to area bound)", &t);
+    emit(
+        &format!(
+            "Robustness — calibration jitter (Cholesky N=16, ratio to area bound, seed {seed})"
+        ),
+        &t,
+    );
 }
 
 fn penalty_sweep() {
@@ -104,7 +109,9 @@ fn tile_size_sweep() {
 }
 
 fn main() {
-    jitter_sweep();
+    let seed = flag_value("--seed").unwrap_or(2024);
+    let jitters = flag_list("--jitters").unwrap_or_else(|| vec![0.0, 0.1, 0.2, 0.5]);
+    jitter_sweep(seed, &jitters);
     penalty_sweep();
     tile_size_sweep();
 }

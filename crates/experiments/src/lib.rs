@@ -42,3 +42,21 @@ pub fn ns_from_args(default: &[usize]) -> Vec<usize> {
         ns
     }
 }
+
+/// The value following `--name` in the CLI args, parsed; `None` when the
+/// flag is absent or its value does not parse.
+pub fn flag_value<T: std::str::FromStr>(name: &str) -> Option<T> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next()?.parse().ok();
+        }
+    }
+    None
+}
+
+/// A comma-separated float list following `--name` (e.g. `--jitters 0,0.1,0.5`).
+pub fn flag_list(name: &str) -> Option<Vec<f64>> {
+    let raw: String = flag_value(name)?;
+    raw.split(',').map(|s| s.trim().parse().ok()).collect()
+}

@@ -6,12 +6,12 @@ use heteroprio_core::{HeteroPrioConfig, Platform, Schedule, Task, TaskId};
 use heteroprio_schedulers::{
     heft, DualHpDagPolicy, DualHpRank, HeftVariant, HeteroPrioDagPolicy, PriorityListPolicy,
 };
-use heteroprio_simulator::{simulate_traced, simulate_with, OnlinePolicy, TransferModel};
+use heteroprio_simulator::{try_simulate_faulty, FaultPlan, OnlinePolicy, TransferModel};
 use heteroprio_taskgraph::{
     apply_bottom_level_priorities, check_precedence, CycleError, DagBuilder, TaskGraph,
     WeightScheme,
 };
-use heteroprio_trace::{SchedEvent, TraceSummary, VecSink};
+use heteroprio_trace::{NullSink, SchedEvent, TraceSummary, VecSink};
 
 /// Which scheduler executes the submitted graph.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -47,6 +47,9 @@ pub struct Report {
     /// The full event stream; empty unless the report came from
     /// [`Runtime::run_traced`].
     pub events: Vec<SchedEvent>,
+    /// The fault plan the run executed under ([`FaultPlan::NONE`] for a
+    /// fault-free run). Failure/retry/downtime counters live in `summary`.
+    pub fault_plan: FaultPlan,
 }
 
 impl Report {
@@ -55,21 +58,24 @@ impl Report {
     }
 }
 
-/// Run a policy, optionally recording the full event stream.
+/// Run a policy under a fault plan, optionally recording the event stream.
 fn run_policy<P: OnlinePolicy>(
     graph: &TaskGraph,
     platform: &Platform,
     policy: &mut P,
     transfer: &TransferModel,
+    plan: &FaultPlan,
     record: bool,
-) -> (Schedule, TraceSummary, Vec<SchedEvent>) {
+) -> Result<(Schedule, TraceSummary, Vec<SchedEvent>), String> {
     if record {
         let mut sink = VecSink::new();
-        let res = simulate_traced(graph, platform, policy, transfer, &mut sink);
-        (res.schedule, res.summary, sink.into_events())
+        let res = try_simulate_faulty(graph, platform, policy, transfer, plan, &mut sink)
+            .map_err(|e| e.to_string())?;
+        Ok((res.schedule, res.summary, sink.into_events()))
     } else {
-        let res = simulate_with(graph, platform, policy, transfer);
-        (res.schedule, res.summary, Vec::new())
+        let res = try_simulate_faulty(graph, platform, policy, transfer, plan, &mut NullSink)
+            .map_err(|e| e.to_string())?;
+        Ok((res.schedule, res.summary, Vec::new()))
     }
 }
 
@@ -99,6 +105,7 @@ pub struct Runtime {
     last_writer: Vec<Option<TaskId>>,
     readers: Vec<Vec<TaskId>>,
     transfer: TransferModel,
+    faults: FaultPlan,
 }
 
 impl Runtime {
@@ -110,6 +117,13 @@ impl Runtime {
     /// [`heteroprio_simulator::TransferModel`]). Zero by default.
     pub fn with_transfer_penalty(mut self, penalty: f64) -> Self {
         self.transfer = TransferModel::new(penalty);
+        self
+    }
+
+    /// Execute under a fault plan (worker failures, stochastic runtimes,
+    /// task-level failures with retry). Not supported by static HEFT.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 
@@ -189,6 +203,7 @@ impl Runtime {
     fn run_impl(self, scheduler: Scheduler, record: bool) -> Result<Report, String> {
         let platform = self.platform.ok_or("runtime has no platform")?;
         let transfer = self.transfer;
+        let plan = self.faults;
         let mut graph = self.builder.build().map_err(|e| e.to_string())?;
         if graph.is_empty() {
             return Err("no tasks were submitted".to_string());
@@ -197,16 +212,21 @@ impl Runtime {
             Scheduler::HeteroPrio(scheme) => {
                 apply_bottom_level_priorities(&mut graph, scheme);
                 let mut policy = HeteroPrioDagPolicy::new(HeteroPrioConfig::new());
-                run_policy(&graph, &platform, &mut policy, &transfer, record)
+                run_policy(&graph, &platform, &mut policy, &transfer, &plan, record)?
             }
             Scheduler::DualHp(rank, scheme) => {
                 apply_bottom_level_priorities(&mut graph, scheme);
                 let mut policy = DualHpDagPolicy::new(rank);
-                run_policy(&graph, &platform, &mut policy, &transfer, record)
+                run_policy(&graph, &platform, &mut policy, &transfer, &plan, record)?
             }
             Scheduler::Heft(scheme, variant) => {
                 if transfer != TransferModel::NONE {
                     return Err("static HEFT does not support transfer penalties".to_string());
+                }
+                if !plan.is_none() {
+                    return Err("static HEFT does not support fault injection; \
+                         use an online scheduler"
+                        .to_string());
                 }
                 let schedule = heft(&graph, &platform, scheme, variant);
                 let events = schedule.to_events(&platform);
@@ -216,17 +236,34 @@ impl Runtime {
             Scheduler::PriorityList(scheme) => {
                 apply_bottom_level_priorities(&mut graph, scheme);
                 let mut policy = PriorityListPolicy::new();
-                run_policy(&graph, &platform, &mut policy, &transfer, record)
+                run_policy(&graph, &platform, &mut policy, &transfer, &plan, record)?
             }
         };
-        schedule
-            .validate_with_overhead(graph.instance(), &platform, transfer.cross_class_penalty)
-            .map_err(|e| format!("invalid schedule: {e}"))?;
+        if plan.is_none() {
+            schedule
+                .validate_with_overhead(graph.instance(), &platform, transfer.cross_class_penalty)
+                .map_err(|e| format!("invalid schedule: {e}"))?;
+        } else {
+            // Jitter perturbs durations and failures truncate aborted runs,
+            // so only the duration-agnostic invariants can be enforced.
+            schedule
+                .validate_structure(graph.instance(), &platform)
+                .map_err(|e| format!("invalid schedule: {e}"))?;
+        }
         check_precedence(&graph, &schedule)?;
         let makespan = schedule.makespan();
         let spoliations = schedule.spoliation_count();
         let lower_bound = dag_lower_bound(&graph, &platform);
-        Ok(Report { graph, schedule, makespan, lower_bound, spoliations, summary, events })
+        Ok(Report {
+            graph,
+            schedule,
+            makespan,
+            lower_bound,
+            spoliations,
+            summary,
+            events,
+            fault_plan: plan,
+        })
     }
 }
 
@@ -368,6 +405,62 @@ mod tests {
     fn unknown_handle_panics() {
         let mut rt = Runtime::new(Platform::new(1, 1));
         rt.submit(unit(1.0, 1.0), "bad", &[(DataHandle(7), Access::Read)]);
+    }
+
+    #[test]
+    fn faults_flow_through_the_runtime() {
+        use heteroprio_simulator::{FaultPlan, WorkerFault};
+        // 2 CPUs + 1 GPU; the GPU dies early, yet the chain completes.
+        let build = || {
+            let mut rt = Runtime::new(Platform::new(2, 1));
+            let a = rt.register_data("a");
+            for _ in 0..6 {
+                rt.submit(unit(2.0, 1.0), "step", &[(a, Access::ReadWrite)]);
+            }
+            rt
+        };
+        let baseline = build().run(Scheduler::default()).unwrap();
+        let plan = FaultPlan {
+            worker_faults: vec![WorkerFault::permanent(2, 1.5)],
+            ..FaultPlan::default()
+        };
+        let report = build().with_faults(plan.clone()).run_traced(Scheduler::default()).unwrap();
+        assert_eq!(report.fault_plan, plan);
+        assert_eq!(report.summary.worker_failures, 1);
+        assert!(report.makespan > baseline.makespan, "losing the GPU must cost time");
+        // Every task still completed exactly once.
+        assert_eq!(report.schedule.runs.len(), 6);
+    }
+
+    #[test]
+    fn zero_fault_plan_matches_fault_free_run() {
+        use heteroprio_simulator::FaultPlan;
+        let build = || {
+            let mut rt = Runtime::new(Platform::new(2, 1));
+            let a = rt.register_data("a");
+            rt.submit(unit(2.0, 1.0), "w", &[(a, Access::Write)]);
+            rt.submit(unit(3.0, 1.0), "r", &[(a, Access::ReadWrite)]);
+            rt
+        };
+        let plain = build().run(Scheduler::default()).unwrap();
+        let faulty = build().with_faults(FaultPlan::NONE).run(Scheduler::default()).unwrap();
+        assert_eq!(plain.makespan, faulty.makespan);
+        assert_eq!(plain.schedule.runs, faulty.schedule.runs);
+    }
+
+    #[test]
+    fn heft_rejects_fault_injection() {
+        use heteroprio_simulator::{FaultPlan, WorkerFault};
+        let mut rt = Runtime::new(Platform::new(1, 1));
+        let a = rt.register_data("a");
+        rt.submit(unit(1.0, 1.0), "t", &[(a, Access::Write)]);
+        let plan = FaultPlan {
+            worker_faults: vec![WorkerFault::permanent(0, 1.0)],
+            ..FaultPlan::default()
+        };
+        let err =
+            rt.with_faults(plan).run(Scheduler::Heft(WeightScheme::Avg, HeftVariant::Insertion));
+        assert!(err.unwrap_err().contains("fault injection"));
     }
 
     #[test]

@@ -55,12 +55,17 @@ impl SortedReady {
 }
 
 /// One λ probe: greedy pack within makespan 2λ. O(R · workers-per-class).
+///
+/// Only `alive` workers receive placements — after an injected worker
+/// failure a whole class may be gone, in which case every task is forced
+/// onto the surviving class (and λ grows until that is feasible).
 fn try_pack(
     instance: &Instance,
     platform: &Platform,
     sorted: &SortedReady,
     lambda: f64,
     avail: &[f64],
+    alive: &[bool],
     placements: &mut Placements,
 ) -> bool {
     placements.clear();
@@ -69,13 +74,16 @@ fn try_pack(
     // side[i]: 0 = GPU, 1 = CPU, for local index i.
     let mut side = vec![0u8; r];
 
-    let gpu_workers: Vec<WorkerId> = platform.workers_of(ResourceKind::Gpu).collect();
+    let gpu_workers: Vec<WorkerId> =
+        platform.workers_of(ResourceKind::Gpu).filter(|w| alive[w.index()]).collect();
+    let cpu_workers: Vec<WorkerId> =
+        platform.workers_of(ResourceKind::Cpu).filter(|w| alive[w.index()]).collect();
     let mut gpu_loads: Vec<f64> = gpu_workers.iter().map(|w| avail[w.index()]).collect();
     let mut spilling = false;
     for &i in &sorted.by_rho_desc {
         let task = instance.task(sorted.tasks[i]);
-        let cpu_over = task.cpu_time > lambda;
-        let gpu_over = task.gpu_time > lambda;
+        let cpu_over = task.cpu_time > lambda || cpu_workers.is_empty();
+        let gpu_over = task.gpu_time > lambda || gpu_workers.is_empty();
         match (cpu_over, gpu_over) {
             (true, true) => return false, // λ below the trivial bound
             (false, true) => {
@@ -112,7 +120,6 @@ fn try_pack(
     }
 
     // CPU pass: forced + spilled tasks, longest-first list schedule.
-    let cpu_workers: Vec<WorkerId> = platform.workers_of(ResourceKind::Cpu).collect();
     let mut cpu_loads: Vec<f64> = cpu_workers.iter().map(|w| avail[w.index()]).collect();
     for &i in &sorted.by_p_desc {
         if side[i] == 0 {
@@ -149,8 +156,9 @@ fn search(
     platform: &Platform,
     tasks: Vec<TaskId>,
     avail: &[f64],
+    alive: &[bool],
 ) -> Placements {
-    if tasks.is_empty() {
+    if tasks.is_empty() || !alive.iter().any(|&a| a) {
         return Vec::new();
     }
     let sorted = SortedReady::new(instance, tasks);
@@ -165,7 +173,7 @@ fn search(
     let mut best = Vec::new();
     let mut scratch = Vec::new();
     loop {
-        if try_pack(instance, platform, &sorted, hi, avail, &mut scratch) {
+        if try_pack(instance, platform, &sorted, hi, avail, alive, &mut scratch) {
             std::mem::swap(&mut best, &mut scratch);
             break;
         }
@@ -178,7 +186,7 @@ fn search(
         if mid <= lo || mid >= hi || (hi - lo) < 1e-9 * hi {
             break;
         }
-        if try_pack(instance, platform, &sorted, mid, avail, &mut scratch) {
+        if try_pack(instance, platform, &sorted, mid, avail, alive, &mut scratch) {
             hi = mid;
             std::mem::swap(&mut best, &mut scratch);
         } else {
@@ -192,7 +200,8 @@ fn search(
 pub fn dualhp_independent(instance: &Instance, platform: &Platform) -> Schedule {
     let tasks: Vec<TaskId> = instance.ids().collect();
     let avail = vec![0.0; platform.workers()];
-    let placements = search(instance, platform, tasks, &avail);
+    let alive = vec![true; platform.workers()];
+    let placements = search(instance, platform, tasks, &avail, &alive);
     Schedule {
         runs: placements
             .into_iter()
@@ -223,6 +232,10 @@ pub struct DualHpDagPolicy {
     seq: u64,
     /// Ready set changed since the last repartition.
     dirty: bool,
+    /// Worker liveness at the last repartition; a change (failure or
+    /// recovery) also forces a repartition, or tasks packed onto a
+    /// now-dead class would never be served.
+    alive_seen: Vec<bool>,
 }
 
 impl DualHpDagPolicy {
@@ -234,16 +247,19 @@ impl DualHpDagPolicy {
             cpu_queue: Vec::new(),
             seq: 0,
             dirty: false,
+            alive_seen: Vec::new(),
         }
     }
 
     fn repartition(&mut self, ctx: &SimContext<'_>) {
         // Worker availability = remaining time of the currently running task.
+        // Dead workers receive no placements, so a class wiped out by a
+        // fault plan spills its whole share onto the survivors.
         let avail: Vec<f64> = (0..ctx.platform.workers())
             .map(|w| ctx.running[w].map_or(0.0, |r| (r.end - ctx.now).max(0.0)))
             .collect();
         let tasks: Vec<TaskId> = self.pending.iter().map(|&(t, _)| t).collect();
-        let placements = search(ctx.graph.instance(), ctx.platform, tasks, &avail);
+        let placements = search(ctx.graph.instance(), ctx.platform, tasks, &avail, ctx.alive);
         self.gpu_queue.clear();
         self.cpu_queue.clear();
         for (task, worker, _, _) in placements {
@@ -287,7 +303,8 @@ impl OnlinePolicy for DualHpDagPolicy {
     }
 
     fn pick_task(&mut self, worker: WorkerId, ctx: &SimContext<'_>) -> Option<TaskId> {
-        if self.dirty {
+        if self.dirty || self.alive_seen != ctx.alive {
+            self.alive_seen = ctx.alive.to_vec();
             self.repartition(ctx);
             self.dirty = false;
         }

@@ -6,11 +6,14 @@
 //! may spoliate tasks running on the other resource class (abort and
 //! restart, losing all progress — the paper's §2.1 mechanism).
 
+use crate::fault::{FaultPlan, SimError};
 use crate::policy::{OnlinePolicy, RunningTask, SimContext, TransferModel};
 use heteroprio_core::time::{strictly_less, F64Ord};
 use heteroprio_core::{Platform, ResourceKind, Schedule, TaskId, TaskRun, WorkerId, WorkerOrder};
 use heteroprio_taskgraph::{ReadyTracker, TaskGraph};
 use heteroprio_trace::{Decision, NullSink, SchedEvent, TraceSink, TraceSummary};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -39,7 +42,67 @@ enum TaskState {
     Pending,
     Ready,
     Running,
+    /// Lost to a worker failure or waiting out a retry backoff; will be
+    /// re-announced as ready.
+    Waiting,
     Done,
+}
+
+/// One expanded point on the worker-fault timeline.
+#[derive(Clone, Copy, Debug)]
+struct TimelineEvent {
+    time: f64,
+    worker: u32,
+    /// `true` for a recovery, `false` for a failure.
+    up: bool,
+    permanent: bool,
+}
+
+/// Expand a plan's worker faults into a sorted down/up timeline, merging
+/// overlapping intervals per worker (a permanent failure swallows
+/// everything after it).
+fn expand_timeline(plan: &FaultPlan, workers: usize) -> Result<Vec<TimelineEvent>, SimError> {
+    let mut per: Vec<Vec<(f64, Option<f64>)>> = vec![Vec::new(); workers];
+    for f in &plan.worker_faults {
+        if f.worker as usize >= workers {
+            return Err(SimError::InvalidPlan {
+                reason: format!("worker {} out of range (platform has {workers})", f.worker),
+            });
+        }
+        per[f.worker as usize].push((f.at, f.down_for));
+    }
+    let mut out = Vec::new();
+    for (w, mut faults) in per.into_iter().enumerate() {
+        faults.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut i = 0;
+        while i < faults.len() {
+            let (start, dur) = faults[i];
+            let mut up = dur.map(|d| start + d);
+            let mut j = i + 1;
+            while j < faults.len() {
+                match up {
+                    None => j = faults.len(),
+                    Some(u) if faults[j].0 <= u => {
+                        up = faults[j].1.map(|d| u.max(faults[j].0 + d));
+                        j += 1;
+                    }
+                    Some(_) => break,
+                }
+            }
+            out.push(TimelineEvent {
+                time: start,
+                worker: w as u32,
+                up: false,
+                permanent: up.is_none(),
+            });
+            if let Some(u) = up {
+                out.push(TimelineEvent { time: u, worker: w as u32, up: true, permanent: false });
+            }
+            i = j;
+        }
+    }
+    out.sort_by(|a, b| a.time.total_cmp(&b.time).then((a.up as u8).cmp(&(b.up as u8))));
+    Ok(out)
 }
 
 /// Run `policy` over `graph` on `platform` to completion.
@@ -81,23 +144,45 @@ pub fn simulate_traced<P: OnlinePolicy, S: TraceSink>(
     model: &TransferModel,
     sink: &mut S,
 ) -> SimResult {
+    try_simulate_faulty(graph, platform, policy, model, &FaultPlan::NONE, sink)
+        .expect("fault-free simulation cannot fail")
+}
+
+/// [`simulate_traced`] under a [`FaultPlan`]: injected worker failures and
+/// recoveries, stochastic execution times, and task failures with retry.
+///
+/// With [`FaultPlan::NONE`] this draws no random numbers and reproduces
+/// the fault-free event stream byte for byte. Policy protocol violations
+/// still panic (they are bugs, not simulated faults); exhausted retry
+/// budgets and unrecoverable platforms return a structured [`SimError`].
+pub fn try_simulate_faulty<P: OnlinePolicy, S: TraceSink>(
+    graph: &TaskGraph,
+    platform: &Platform,
+    policy: &mut P,
+    model: &TransferModel,
+    plan: &FaultPlan,
+    sink: &mut S,
+) -> Result<SimResult, SimError> {
+    plan.validate()?;
+    let timeline = expand_timeline(plan, platform.workers())?;
     policy.init(graph, platform);
-    let mut engine = Engine::new(graph, platform, model, sink);
-    engine.run(policy);
+    let mut engine = Engine::new(graph, platform, model, plan, timeline, sink);
+    engine.run(policy)?;
     let mut summary = engine.summary;
     summary.finish();
-    SimResult {
+    Ok(SimResult {
         schedule: engine.schedule,
         first_idle: summary.first_idle,
         spoliations: summary.spoliation_count,
         summary,
-    }
+    })
 }
 
 struct Engine<'a, S: TraceSink> {
     graph: &'a TaskGraph,
     platform: &'a Platform,
     model: &'a TransferModel,
+    plan: &'a FaultPlan,
     ran_kind: Vec<Option<ResourceKind>>,
     tracker: ReadyTracker,
     state: Vec<TaskState>,
@@ -110,6 +195,20 @@ struct Engine<'a, S: TraceSink> {
     summary: TraceSummary,
     /// Guards duplicate `WorkerIdleBegin` across fixpoint iterations.
     idle_announced: Vec<bool>,
+    /// Liveness per worker (all `true` without a fault plan).
+    alive: Vec<bool>,
+    /// Whether the heap event for a worker's current run is a failure.
+    will_fail: Vec<bool>,
+    /// Failed attempts per task.
+    failures: Vec<u32>,
+    /// Expanded worker-fault timeline (sorted); `timeline_pos` is the cursor.
+    timeline: Vec<TimelineEvent>,
+    timeline_pos: usize,
+    /// Pending retries as `(ready_time, task)`.
+    retries: BinaryHeap<Reverse<(F64Ord, u32)>>,
+    /// Present iff the plan draws random numbers (jitter or task failures);
+    /// `None` keeps the zero plan byte-identical to a fault-free run.
+    rng: Option<StdRng>,
 }
 
 impl<'a, S: TraceSink> Engine<'a, S> {
@@ -117,6 +216,8 @@ impl<'a, S: TraceSink> Engine<'a, S> {
         graph: &'a TaskGraph,
         platform: &'a Platform,
         model: &'a TransferModel,
+        plan: &'a FaultPlan,
+        timeline: Vec<TimelineEvent>,
         sink: &'a mut S,
     ) -> Self {
         let summary = if sink.is_enabled() {
@@ -124,10 +225,12 @@ impl<'a, S: TraceSink> Engine<'a, S> {
         } else {
             TraceSummary::new(platform.workers())
         };
+        let stochastic = plan.exec_jitter > 0.0 || plan.task_failure_prob > 0.0;
         Engine {
             graph,
             platform,
             model,
+            plan,
             ran_kind: vec![None; graph.len()],
             tracker: ReadyTracker::new(graph),
             state: vec![TaskState::Pending; graph.len()],
@@ -139,6 +242,13 @@ impl<'a, S: TraceSink> Engine<'a, S> {
             sink,
             summary,
             idle_announced: vec![false; platform.workers()],
+            alive: vec![true; platform.workers()],
+            will_fail: vec![false; platform.workers()],
+            failures: vec![0; graph.len()],
+            timeline,
+            timeline_pos: 0,
+            retries: BinaryHeap::new(),
+            rng: stochastic.then(|| StdRng::seed_from_u64(plan.seed)),
         }
     }
 
@@ -153,7 +263,11 @@ impl<'a, S: TraceSink> Engine<'a, S> {
             return;
         }
         for &t in tasks {
-            debug_assert_eq!(self.state[t.index()], TaskState::Pending);
+            debug_assert!(
+                matches!(self.state[t.index()], TaskState::Pending | TaskState::Waiting),
+                "announcing {t} in state {:?}",
+                self.state[t.index()]
+            );
             self.state[t.index()] = TaskState::Ready;
             self.emit(SchedEvent::TaskReady { time: now, task: t.0 });
         }
@@ -164,12 +278,14 @@ impl<'a, S: TraceSink> Engine<'a, S> {
             running: &self.running,
             ran_kind: &self.ran_kind,
             model: self.model,
+            alive: &self.alive,
         };
         policy.on_ready(tasks, &ctx);
     }
 
     fn start(&mut self, w: WorkerId, task: TaskId, now: f64) {
-        let end = now + self.effective_time(task, self.platform.kind_of(w));
+        let estimate = self.effective_time(task, self.platform.kind_of(w));
+        let end = now + estimate;
         if self.idle_announced[w.index()] {
             self.idle_announced[w.index()] = false;
             self.emit(SchedEvent::WorkerIdleEnd { time: now, worker: w.0 });
@@ -180,9 +296,30 @@ impl<'a, S: TraceSink> Engine<'a, S> {
             worker: w.0,
             expected_end: end,
         });
+        // The policy decides on the estimate; the heap event carries
+        // reality: a jittered duration, cut short at the failure point if
+        // this attempt is doomed. Draw order (jitter, then failure) is
+        // fixed so traces are reproducible per seed.
+        let mut actual = estimate;
+        let mut fail_at = None;
+        if let Some(rng) = self.rng.as_mut() {
+            let j = self.plan.exec_jitter;
+            if j > 0.0 {
+                let (lo, hi) = ((1.0f64 / (1.0 + j)).ln(), (1.0f64 + j).ln());
+                let u: f64 = rng.random_range(0.0..1.0);
+                actual = estimate * (lo + u * (hi - lo)).exp();
+            }
+            let p = self.plan.task_failure_prob;
+            if p > 0.0 && rng.random_bool(p) {
+                let frac: f64 = rng.random_range(0.0..1.0);
+                fail_at = Some(now + frac * actual);
+            }
+        }
         self.running[w.index()] = Some(RunningTask { task, start: now, end });
+        self.will_fail[w.index()] = fail_at.is_some();
         self.state[task.index()] = TaskState::Running;
-        self.events.push(Reverse((F64Ord::new(end), w.0, self.generation[w.index()])));
+        let event_at = fail_at.unwrap_or(now + actual);
+        self.events.push(Reverse((F64Ord::new(event_at), w.0, self.generation[w.index()])));
     }
 
     /// Duration the engine charges for `task` on class `kind` (base time
@@ -231,6 +368,7 @@ impl<'a, S: TraceSink> Engine<'a, S> {
                         running: &self.running,
                         ran_kind: &self.ran_kind,
                         model: self.model,
+                        alive: &self.alive,
                     };
                     match policy.pick_task(w, &ctx) {
                         Some(task) => (Some(task), None),
@@ -329,36 +467,176 @@ impl<'a, S: TraceSink> Engine<'a, S> {
         self.announce_ready(policy, &ready, now);
     }
 
-    fn run<P: OnlinePolicy>(&mut self, policy: &mut P) {
+    /// A worker's current run ended: either it completed or — if the start
+    /// drew a failure — the attempt failed partway through.
+    fn finish_run<P: OnlinePolicy>(
+        &mut self,
+        policy: &mut P,
+        w: WorkerId,
+        now: f64,
+    ) -> Result<(), SimError> {
+        if self.will_fail[w.index()] {
+            self.will_fail[w.index()] = false;
+            self.task_fail(w, now)
+        } else {
+            self.complete(policy, w, now);
+            Ok(())
+        }
+    }
+
+    /// A task attempt failed on `w`: progress is lost, the worker goes back
+    /// to the idle pool, and the task retries after a backoff — unless its
+    /// attempt budget is exhausted.
+    fn task_fail(&mut self, w: WorkerId, now: f64) -> Result<(), SimError> {
+        let r = self.running[w.index()].take().expect("failure on idle worker");
+        self.failures[r.task.index()] += 1;
+        let attempt = self.failures[r.task.index()];
+        self.emit(SchedEvent::TaskFailed {
+            time: now,
+            task: r.task.0,
+            worker: w.0,
+            lost_work: now - r.start,
+            attempt,
+        });
+        self.schedule.aborted.push(TaskRun { task: r.task, worker: w, start: r.start, end: now });
+        self.state[r.task.index()] = TaskState::Waiting;
+        self.idle.push(w);
+        if attempt >= self.plan.retry.max_attempts {
+            return Err(SimError::TaskAbandoned { task: r.task.0, attempts: attempt, time: now });
+        }
+        let delay = self.plan.retry.delay_after(attempt);
+        self.emit(SchedEvent::TaskRetry { time: now, task: r.task.0, attempt, delay });
+        self.retries.push(Reverse((F64Ord::new(now + delay), r.task.0)));
+        Ok(())
+    }
+
+    fn worker_down<P: OnlinePolicy>(&mut self, policy: &mut P, e: TimelineEvent, now: f64) {
+        let w = WorkerId(e.worker);
+        if !self.alive[w.index()] {
+            return;
+        }
+        self.alive[w.index()] = false;
+        self.idle.retain(|&x| x != w);
+        // The summary closes the open idle interval at the WorkerDown
+        // event itself; no separate IdleEnd is emitted for a dead worker.
+        self.idle_announced[w.index()] = false;
+        let lost = self.running[w.index()].take();
+        self.will_fail[w.index()] = false;
+        self.generation[w.index()] += 1;
+        self.emit(SchedEvent::WorkerDown {
+            time: now,
+            worker: w.0,
+            lost_task: lost.map(|r| r.task.0),
+            permanent: e.permanent,
+        });
+        if let Some(r) = lost {
+            self.schedule.aborted.push(TaskRun {
+                task: r.task,
+                worker: w,
+                start: r.start,
+                end: now,
+            });
+            // The in-flight task re-enters the ready set immediately at its
+            // original priority; lost progress is not a retry attempt.
+            self.state[r.task.index()] = TaskState::Waiting;
+            self.announce_ready(policy, &[r.task], now);
+        }
+    }
+
+    fn worker_up(&mut self, e: TimelineEvent, now: f64) {
+        let w = WorkerId(e.worker);
+        if self.alive[w.index()] {
+            return;
+        }
+        self.alive[w.index()] = true;
+        self.emit(SchedEvent::WorkerUp { time: now, worker: w.0 });
+        self.idle.push(w);
+        self.idle_announced[w.index()] = false;
+    }
+
+    /// Apply every timeline event due at or before `now`.
+    fn process_faults_at<P: OnlinePolicy>(&mut self, policy: &mut P, now: f64) {
+        while let Some(&e) = self.timeline.get(self.timeline_pos) {
+            if e.time > now {
+                break;
+            }
+            self.timeline_pos += 1;
+            if e.up {
+                self.worker_up(e, now);
+            } else {
+                self.worker_down(policy, e, now);
+            }
+        }
+    }
+
+    /// Re-announce every task whose retry backoff expired at `now`.
+    fn process_retries_at<P: OnlinePolicy>(&mut self, policy: &mut P, now: f64) {
+        let mut due = Vec::new();
+        while let Some(&Reverse((F64Ord(t), task))) = self.retries.peek() {
+            if t > now {
+                break;
+            }
+            self.retries.pop();
+            due.push(TaskId(task));
+        }
+        self.announce_ready(policy, &due, now);
+    }
+
+    /// Earliest pending instant across run completions/failures, the fault
+    /// timeline, and retry expiries. Stale heap entries are discarded.
+    fn next_time(&mut self) -> Option<f64> {
+        while let Some(&Reverse((_, w, g))) = self.events.peek() {
+            if self.generation[w as usize] == g {
+                break;
+            }
+            self.events.pop();
+        }
+        let mut next: Option<f64> = self.events.peek().map(|&Reverse((F64Ord(t), _, _))| t);
+        if let Some(e) = self.timeline.get(self.timeline_pos) {
+            next = Some(next.map_or(e.time, |t| t.min(e.time)));
+        }
+        if let Some(&Reverse((F64Ord(t), _))) = self.retries.peek() {
+            next = Some(next.map_or(t, |x| x.min(t)));
+        }
+        next
+    }
+
+    fn run<P: OnlinePolicy>(&mut self, policy: &mut P) -> Result<(), SimError> {
         let mut now = 0.0;
         let initial = self.graph.sources();
         self.announce_ready(policy, &initial, now);
+        self.process_faults_at(policy, now);
         self.assign_fixpoint(policy, now);
         while !self.tracker.is_done() {
-            let (t, w) = loop {
-                let Reverse((F64Ord(t), w, generation)) = self
-                    .events
-                    .pop()
-                    .expect("deadlock: tasks remain but nothing is running (policy bug?)");
-                if self.generation[w as usize] == generation {
-                    break (t, WorkerId(w));
+            let Some(t) = self.next_time() else {
+                if self.alive.iter().any(|&a| a) {
+                    panic!("deadlock: tasks remain but nothing is running (policy bug?)");
                 }
+                return Err(SimError::AllWorkersDown {
+                    time: now,
+                    remaining: self.tracker.remaining(),
+                });
             };
             debug_assert!(t >= now);
             now = t;
-            self.complete(policy, w, now);
+            // Order at equal instants: runs finish first (completions
+            // release successors), then workers fail/recover, then retries
+            // re-enter the ready set, then idle workers are offered work.
             while let Some(&Reverse((F64Ord(t2), w2, g2))) = self.events.peek() {
                 if self.generation[w2 as usize] != g2 {
                     self.events.pop();
                 } else if t2 == now {
                     self.events.pop();
-                    self.complete(policy, WorkerId(w2), now);
+                    self.finish_run(policy, WorkerId(w2), now)?;
                 } else {
                     break;
                 }
             }
+            self.process_faults_at(policy, now);
+            self.process_retries_at(policy, now);
             self.assign_fixpoint(policy, now);
         }
+        Ok(())
     }
 }
 
@@ -591,6 +869,189 @@ mod tests {
         // First task: no preds → 1.0; second: pred ran on CPU → GPU time 1.25.
         assert_eq!(policy.observed, vec![1.0, 1.25]);
         assert!(res.makespan() > 0.0);
+    }
+
+    #[test]
+    fn zero_fault_plan_is_byte_identical() {
+        use heteroprio_trace::VecSink;
+        let g = fork_join(6, 2.0, 1.0);
+        let plat = Platform::new(2, 2);
+        let mut base_sink = VecSink::new();
+        let base =
+            simulate_traced(&g, &plat, &mut Fifo::new(), &TransferModel::NONE, &mut base_sink);
+        let mut fault_sink = VecSink::new();
+        let faulty = super::try_simulate_faulty(
+            &g,
+            &plat,
+            &mut Fifo::new(),
+            &TransferModel::NONE,
+            &FaultPlan::NONE,
+            &mut fault_sink,
+        )
+        .unwrap();
+        assert_eq!(base_sink.events, fault_sink.events);
+        assert_eq!(base.schedule.runs, faulty.schedule.runs);
+        assert_eq!(base.schedule.aborted, faulty.schedule.aborted);
+    }
+
+    #[test]
+    fn transient_worker_failure_loses_and_reruns_the_task() {
+        // One worker per class; the GPU takes T0 (GPUs first) and dies at
+        // t=1 until t=3. T0 re-runs — picked up by the idle CPU at t=1.
+        let g = TaskGraph::independent(Instance::from_times(&[(4.0, 2.0)]));
+        let plat = Platform::new(1, 1);
+        let plan = FaultPlan {
+            worker_faults: vec![crate::fault::WorkerFault::transient(1, 1.0, 2.0)],
+            ..FaultPlan::NONE
+        };
+        let res = super::try_simulate_faulty(
+            &g,
+            &plat,
+            &mut Fifo::new(),
+            &TransferModel::NONE,
+            &plan,
+            &mut NullSink,
+        )
+        .unwrap();
+        // CPU run [1, 5].
+        assert!(approx_eq(res.makespan(), 5.0), "{}", res.makespan());
+        assert_eq!(res.schedule.aborted.len(), 1, "the lost GPU run is recorded");
+        assert!(approx_eq(res.schedule.aborted[0].end, 1.0));
+        assert_eq!(res.summary.worker_failures, 1);
+        assert_eq!(res.summary.worker_recoveries, 1);
+        assert!(approx_eq(res.summary.workers[1].downtime, 2.0));
+        assert!(approx_eq(res.summary.lost_work, 1.0));
+    }
+
+    #[test]
+    fn permanent_failure_of_all_gpus_degrades_to_cpus() {
+        let g = TaskGraph::independent(Instance::from_times(&[(2.0, 1.0); 6]));
+        let plat = Platform::new(2, 2);
+        let plan = FaultPlan {
+            worker_faults: vec![
+                crate::fault::WorkerFault::permanent(2, 0.5),
+                crate::fault::WorkerFault::permanent(3, 0.5),
+            ],
+            ..FaultPlan::NONE
+        };
+        let res = super::try_simulate_faulty(
+            &g,
+            &plat,
+            &mut Fifo::new(),
+            &TransferModel::NONE,
+            &plan,
+            &mut NullSink,
+        )
+        .unwrap();
+        assert_eq!(res.schedule.runs.len(), 6, "all tasks complete despite dead GPUs");
+        // Every completed run after t=0.5 is on a CPU.
+        for r in &res.schedule.runs {
+            if r.start >= 0.5 {
+                assert!(r.worker.0 < 2, "task {} ran on dead GPU {}", r.task, r.worker.0);
+            }
+        }
+        assert_eq!(res.summary.worker_failures, 2);
+        assert_eq!(res.summary.worker_recoveries, 0);
+    }
+
+    #[test]
+    fn all_workers_down_is_a_structured_error() {
+        let g = TaskGraph::independent(Instance::from_times(&[(10.0, 10.0); 3]));
+        let plat = Platform::new(1, 1);
+        let plan = FaultPlan {
+            worker_faults: vec![
+                crate::fault::WorkerFault::permanent(0, 1.0),
+                crate::fault::WorkerFault::permanent(1, 1.0),
+            ],
+            ..FaultPlan::NONE
+        };
+        let err = super::try_simulate_faulty(
+            &g,
+            &plat,
+            &mut Fifo::new(),
+            &TransferModel::NONE,
+            &plan,
+            &mut NullSink,
+        )
+        .unwrap_err();
+        match err {
+            SimError::AllWorkersDown { remaining, .. } => assert_eq!(remaining, 3),
+            other => panic!("expected AllWorkersDown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn certain_failure_exhausts_the_retry_budget() {
+        let g = TaskGraph::independent(Instance::from_times(&[(1.0, 1.0)]));
+        let plat = Platform::new(1, 1);
+        let plan = FaultPlan {
+            task_failure_prob: 1.0,
+            retry: crate::fault::RetryPolicy {
+                max_attempts: 3,
+                backoff_base: 0.5,
+                backoff_cap: 2.0,
+            },
+            ..FaultPlan::NONE
+        };
+        let err = super::try_simulate_faulty(
+            &g,
+            &plat,
+            &mut Fifo::new(),
+            &TransferModel::NONE,
+            &plan,
+            &mut NullSink,
+        )
+        .unwrap_err();
+        match err {
+            SimError::TaskAbandoned { task: 0, attempts: 3, .. } => {}
+            other => panic!("expected TaskAbandoned after 3 attempts, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retries_eventually_succeed_and_traces_reconcile() {
+        use heteroprio_trace::VecSink;
+        // Moderate failure probability: some attempts fail, the run still
+        // completes, and the summary matches a replay of the event stream.
+        let g = TaskGraph::independent(Instance::from_times(&[(2.0, 1.0); 10]));
+        let plat = Platform::new(2, 1);
+        let plan = FaultPlan {
+            task_failure_prob: 0.3,
+            exec_jitter: 0.2,
+            seed: 42,
+            retry: crate::fault::RetryPolicy {
+                max_attempts: 10,
+                backoff_base: 0.25,
+                backoff_cap: 4.0,
+            },
+            ..FaultPlan::NONE
+        };
+        let mut sink = VecSink::new();
+        let res = super::try_simulate_faulty(
+            &g,
+            &plat,
+            &mut Fifo::new(),
+            &TransferModel::NONE,
+            &plan,
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(res.schedule.runs.len(), 10);
+        let replay = TraceSummary::from_events(plat.workers(), &sink.events);
+        assert_eq!(replay.task_failures, res.summary.task_failures);
+        assert_eq!(replay.retries, res.summary.retries);
+        assert!(approx_eq(replay.lost_work, res.summary.lost_work));
+        // Same seed ⇒ same makespan.
+        let again = super::try_simulate_faulty(
+            &g,
+            &plat,
+            &mut Fifo::new(),
+            &TransferModel::NONE,
+            &plan,
+            &mut NullSink,
+        )
+        .unwrap();
+        assert_eq!(res.makespan(), again.makespan());
     }
 
     #[test]

@@ -46,9 +46,27 @@ pub struct SimContext<'a> {
     pub ran_kind: &'a [Option<heteroprio_core::ResourceKind>],
     /// The active transfer-cost model.
     pub model: &'a TransferModel,
+    /// Liveness per worker: `false` while a worker is down after an
+    /// injected failure. Dead workers never ask for work, but policies
+    /// planning ahead (e.g. packing onto a worker set) must skip them.
+    pub alive: &'a [bool],
 }
 
 impl SimContext<'_> {
+    /// Whether `w` is currently up. Workers are alive unless a fault plan
+    /// took them down.
+    pub fn is_alive(&self, w: WorkerId) -> bool {
+        self.alive[w.index()]
+    }
+
+    /// Alive workers of one resource class.
+    pub fn alive_of(
+        &self,
+        kind: heteroprio_core::ResourceKind,
+    ) -> impl Iterator<Item = WorkerId> + '_ {
+        self.platform.workers_of(kind).filter(|&w| self.alive[w.index()])
+    }
+
     /// Running tasks on workers of one resource class.
     pub fn running_on(
         &self,

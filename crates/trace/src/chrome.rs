@@ -43,7 +43,10 @@ pub fn chrome_trace(events: &[SchedEvent], opts: &ChromeTraceOptions) -> String 
             SchedEvent::TaskStart { worker, .. }
             | SchedEvent::TaskComplete { worker, .. }
             | SchedEvent::WorkerIdleBegin { worker, .. }
-            | SchedEvent::WorkerIdleEnd { worker, .. } => Some(worker),
+            | SchedEvent::WorkerIdleEnd { worker, .. }
+            | SchedEvent::WorkerDown { worker, .. }
+            | SchedEvent::WorkerUp { worker, .. }
+            | SchedEvent::TaskFailed { worker, .. } => Some(worker),
             SchedEvent::Spoliation { victim, .. } => Some(victim),
             _ => None,
         })
@@ -108,6 +111,65 @@ pub fn chrome_trace(events: &[SchedEvent], opts: &ChromeTraceOptions) -> String 
                     id = task,
                     thief = thief,
                     waste = wasted_work,
+                ));
+            }
+            SchedEvent::TaskFailed { time, task, worker, lost_work, attempt } => {
+                if let Some((t, start)) = open[worker as usize].take() {
+                    debug_assert_eq!(t, task);
+                    entries.push(complete_slice(
+                        &format!("{} (failed)", opts.task_name(task)),
+                        worker,
+                        start,
+                        time,
+                        "failed",
+                        task,
+                    ));
+                }
+                entries.push(format!(
+                    concat!(
+                        r#"{{"ph":"i","pid":1,"tid":{worker},"ts":{ts},"s":"t","#,
+                        r#""name":"failure {task}","cat":"task_failed","#,
+                        r#""args":{{"task":{id},"lost_work":{lost},"attempt":{attempt}}}}}"#
+                    ),
+                    worker = worker,
+                    ts = time * US_PER_UNIT,
+                    task = escape(&opts.task_name(task)),
+                    id = task,
+                    lost = lost_work,
+                    attempt = attempt,
+                ));
+            }
+            SchedEvent::WorkerDown { time, worker, lost_task, permanent } => {
+                if let Some((t, start)) = open[worker as usize].take() {
+                    debug_assert_eq!(Some(t), lost_task);
+                    entries.push(complete_slice(
+                        &format!("{} (lost)", opts.task_name(t)),
+                        worker,
+                        start,
+                        time,
+                        "lost",
+                        t,
+                    ));
+                }
+                entries.push(format!(
+                    concat!(
+                        r#"{{"ph":"i","pid":1,"tid":{worker},"ts":{ts},"s":"t","#,
+                        r#""name":"worker down","cat":"worker_down","#,
+                        r#""args":{{"permanent":{permanent}}}}}"#
+                    ),
+                    worker = worker,
+                    ts = time * US_PER_UNIT,
+                    permanent = permanent,
+                ));
+            }
+            SchedEvent::WorkerUp { time, worker } => {
+                entries.push(format!(
+                    concat!(
+                        r#"{{"ph":"i","pid":1,"tid":{worker},"ts":{ts},"s":"t","#,
+                        r#""name":"worker up","cat":"worker_up","args":{{}}}}"#
+                    ),
+                    worker = worker,
+                    ts = time * US_PER_UNIT,
                 ));
             }
             _ => {}

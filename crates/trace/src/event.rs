@@ -46,6 +46,17 @@ pub enum SchedEvent {
     /// A policy verdict for an idle worker (emitted on assignments,
     /// spoliations, and the transition into idleness — not on every poll).
     PolicyDecision { time: f64, worker: u32, decision: Decision },
+    /// A worker failed. `lost_task` is the task whose in-progress run was
+    /// destroyed (if any); `permanent` workers never come back.
+    WorkerDown { time: f64, worker: u32, lost_task: Option<u32>, permanent: bool },
+    /// A transiently failed worker recovered and rejoined the idle pool.
+    WorkerUp { time: f64, worker: u32 },
+    /// A task failed mid-run on `worker`; `lost_work` is the in-progress
+    /// time destroyed and `attempt` the 1-based attempt number that failed.
+    TaskFailed { time: f64, task: u32, worker: u32, lost_work: f64, attempt: u32 },
+    /// A failed task was scheduled for re-execution after a backoff
+    /// `delay`; it re-enters the ready set at `time + delay`.
+    TaskRetry { time: f64, task: u32, attempt: u32, delay: f64 },
 }
 
 impl SchedEvent {
@@ -59,7 +70,11 @@ impl SchedEvent {
             | SchedEvent::WorkerIdleBegin { time, .. }
             | SchedEvent::WorkerIdleEnd { time, .. }
             | SchedEvent::QueuePop { time, .. }
-            | SchedEvent::PolicyDecision { time, .. } => time,
+            | SchedEvent::PolicyDecision { time, .. }
+            | SchedEvent::WorkerDown { time, .. }
+            | SchedEvent::WorkerUp { time, .. }
+            | SchedEvent::TaskFailed { time, .. }
+            | SchedEvent::TaskRetry { time, .. } => time,
         }
     }
 
@@ -74,6 +89,10 @@ impl SchedEvent {
             SchedEvent::WorkerIdleEnd { .. } => "worker_idle_end",
             SchedEvent::QueuePop { .. } => "queue_pop",
             SchedEvent::PolicyDecision { .. } => "policy_decision",
+            SchedEvent::WorkerDown { .. } => "worker_down",
+            SchedEvent::WorkerUp { .. } => "worker_up",
+            SchedEvent::TaskFailed { .. } => "task_failed",
+            SchedEvent::TaskRetry { .. } => "task_retry",
         }
     }
 
@@ -84,12 +103,16 @@ impl SchedEvent {
     pub fn order_rank(&self) -> u8 {
         match self {
             SchedEvent::TaskComplete { .. } => 0,
-            SchedEvent::Spoliation { .. } => 1,
-            SchedEvent::TaskReady { .. } => 2,
-            SchedEvent::QueuePop { .. } | SchedEvent::PolicyDecision { .. } => 3,
-            SchedEvent::WorkerIdleBegin { .. } => 4,
-            SchedEvent::WorkerIdleEnd { .. } => 5,
-            SchedEvent::TaskStart { .. } => 6,
+            SchedEvent::TaskFailed { .. } => 1,
+            SchedEvent::Spoliation { .. } => 2,
+            SchedEvent::WorkerDown { .. } => 3,
+            SchedEvent::WorkerUp { .. } => 4,
+            SchedEvent::TaskReady { .. } => 5,
+            SchedEvent::TaskRetry { .. } => 6,
+            SchedEvent::QueuePop { .. } | SchedEvent::PolicyDecision { .. } => 7,
+            SchedEvent::WorkerIdleBegin { .. } => 8,
+            SchedEvent::WorkerIdleEnd { .. } => 9,
+            SchedEvent::TaskStart { .. } => 10,
         }
     }
 }

@@ -58,6 +58,23 @@ fn line(e: &SchedEvent) -> String {
                 ),
             }
         }
+        SchedEvent::WorkerDown { time, worker, lost_task, permanent } => match lost_task {
+            Some(t) => format!(
+                r#"{{"type":"{kind}","time":{time},"worker":{worker},"lost_task":{t},"permanent":{permanent}}}"#
+            ),
+            None => format!(
+                r#"{{"type":"{kind}","time":{time},"worker":{worker},"permanent":{permanent}}}"#
+            ),
+        },
+        SchedEvent::WorkerUp { time, worker } => {
+            format!(r#"{{"type":"{kind}","time":{time},"worker":{worker}}}"#)
+        }
+        SchedEvent::TaskFailed { time, task, worker, lost_work, attempt } => format!(
+            r#"{{"type":"{kind}","time":{time},"task":{task},"worker":{worker},"lost_work":{lost_work},"attempt":{attempt}}}"#
+        ),
+        SchedEvent::TaskRetry { time, task, attempt, delay } => format!(
+            r#"{{"type":"{kind}","time":{time},"task":{task},"attempt":{attempt},"delay":{delay}}}"#
+        ),
     }
 }
 
@@ -78,6 +95,11 @@ mod tests {
             SchedEvent::Spoliation { time: 1.0, task: 3, victim: 2, thief: 0, wasted_work: 1.0 },
             SchedEvent::WorkerIdleEnd { time: 1.0, worker: 0 },
             SchedEvent::TaskComplete { time: 1.25, task: 3, worker: 0 },
+            SchedEvent::TaskFailed { time: 1.5, task: 4, worker: 2, lost_work: 0.5, attempt: 1 },
+            SchedEvent::TaskRetry { time: 1.5, task: 4, attempt: 1, delay: 0.25 },
+            SchedEvent::WorkerDown { time: 2.0, worker: 2, lost_task: None, permanent: true },
+            SchedEvent::WorkerDown { time: 2.0, worker: 1, lost_task: Some(5), permanent: false },
+            SchedEvent::WorkerUp { time: 3.0, worker: 1 },
         ];
         let text = jsonl(&events);
         let lines: Vec<&str> = text.lines().collect();

@@ -12,12 +12,18 @@ pub struct WorkerStats {
     pub idle: f64,
     /// Time spent on runs that a spoliation later threw away.
     pub aborted: f64,
+    /// Time spent down after a failure (closed at recovery, or at the
+    /// horizon for permanent failures).
+    pub downtime: f64,
     /// Tasks this worker completed.
     pub completed: usize,
     /// Runs aborted on this worker (it was the spoliation victim).
     pub spoliated: usize,
+    /// Task attempts that failed on this worker.
+    pub failed: usize,
     run_open: Option<f64>,
     idle_open: Option<f64>,
+    down_open: Option<f64>,
 }
 
 /// Metrics derived from a [`SchedEvent`] stream: per-worker busy/idle/
@@ -43,6 +49,17 @@ pub struct TraceSummary {
     pub queue_pops_front: usize,
     /// Pops from the back (CPU side) of the sorted ready queue.
     pub queue_pops_back: usize,
+    /// Task attempts that failed (each may be retried or abandoned).
+    pub task_failures: usize,
+    /// Retries scheduled after task failures.
+    pub retries: usize,
+    /// Total in-progress time destroyed by task and worker failures
+    /// (spoliation waste is tracked separately in `wasted_work`).
+    pub lost_work: f64,
+    /// Worker failures observed (permanent and transient).
+    pub worker_failures: usize,
+    /// Worker recoveries observed.
+    pub worker_recoveries: usize,
     /// Ready-queue depth after each change, as `(time, depth)` steps.
     /// Empty unless built by [`with_timeline`](TraceSummary::with_timeline)
     /// or [`from_events`](TraceSummary::from_events).
@@ -66,6 +83,11 @@ impl TraceSummary {
             tasks_completed: 0,
             queue_pops_front: 0,
             queue_pops_back: 0,
+            task_failures: 0,
+            retries: 0,
+            lost_work: 0.0,
+            worker_failures: 0,
+            worker_recoveries: 0,
             ready_depth: Vec::new(),
             events_recorded: 0,
             makespan: 0.0,
@@ -182,6 +204,50 @@ impl TraceSummary {
                 crate::QueueEnd::Back => self.queue_pops_back += 1,
             },
             SchedEvent::PolicyDecision { .. } => {}
+            SchedEvent::TaskFailed { time, task, worker, lost_work, .. } => {
+                if self.timeline && *self.ready_flag(task) {
+                    // Defensive: live streams clear the flag at TaskStart.
+                    *self.ready_flag(task) = false;
+                    self.depth -= 1;
+                    self.push_depth(time);
+                }
+                let w = self.worker(worker);
+                if let Some(start) = w.run_open.take() {
+                    w.aborted += time - start;
+                } else {
+                    w.aborted += lost_work;
+                }
+                w.failed += 1;
+                self.task_failures += 1;
+                self.lost_work += lost_work;
+            }
+            SchedEvent::TaskRetry { .. } => {
+                self.retries += 1;
+            }
+            SchedEvent::WorkerDown { time, worker, lost_task, .. } => {
+                let w = self.worker(worker);
+                let mut lost = 0.0;
+                if let Some(start) = w.run_open.take() {
+                    debug_assert!(lost_task.is_some());
+                    w.aborted += time - start;
+                    lost = time - start;
+                }
+                if let Some(since) = w.idle_open.take() {
+                    w.idle += time - since;
+                }
+                if w.down_open.is_none() {
+                    w.down_open = Some(time);
+                }
+                self.lost_work += lost;
+                self.worker_failures += 1;
+            }
+            SchedEvent::WorkerUp { time, worker } => {
+                let w = self.worker(worker);
+                if let Some(since) = w.down_open.take() {
+                    w.downtime += time - since;
+                }
+                self.worker_recoveries += 1;
+            }
         }
     }
 
@@ -196,6 +262,9 @@ impl TraceSummary {
         for w in &mut self.workers {
             if let Some(since) = w.idle_open.take() {
                 w.idle += horizon - since;
+            }
+            if let Some(since) = w.down_open.take() {
+                w.downtime += horizon - since;
             }
         }
     }
@@ -282,6 +351,48 @@ mod tests {
             assert!((w.busy + w.idle + w.aborted - s.makespan()).abs() < 1e-12);
         }
         assert_eq!(s.first_idle, Some(0.0));
+    }
+
+    #[test]
+    fn fault_accounting() {
+        // W0 starts T0 at 0, T0 fails at 2 (retry at 3), W0 reruns it
+        // [3,5]. W1 starts T1 at 0 and dies at 1 taking it down; T1 is
+        // re-announced and W0 runs it [5,6]. W1 recovers at 4 and idles
+        // until the horizon.
+        let events = [
+            E::TaskReady { time: 0.0, task: 0 },
+            E::TaskReady { time: 0.0, task: 1 },
+            E::TaskStart { time: 0.0, task: 0, worker: 0, expected_end: 2.0 },
+            E::TaskStart { time: 0.0, task: 1, worker: 1, expected_end: 4.0 },
+            E::TaskFailed { time: 2.0, task: 0, worker: 0, lost_work: 2.0, attempt: 1 },
+            E::TaskRetry { time: 2.0, task: 0, attempt: 1, delay: 1.0 },
+            E::WorkerIdleBegin { time: 2.0, worker: 0 },
+            E::WorkerDown { time: 1.0, worker: 1, lost_task: Some(1), permanent: false },
+            E::TaskReady { time: 1.0, task: 1 },
+            E::TaskReady { time: 3.0, task: 0 },
+            E::WorkerIdleEnd { time: 3.0, worker: 0 },
+            E::TaskStart { time: 3.0, task: 0, worker: 0, expected_end: 5.0 },
+            E::WorkerUp { time: 4.0, worker: 1 },
+            E::WorkerIdleBegin { time: 4.0, worker: 1 },
+            E::TaskComplete { time: 5.0, task: 0, worker: 0 },
+            E::TaskStart { time: 5.0, task: 1, worker: 0, expected_end: 6.0 },
+            E::TaskComplete { time: 6.0, task: 1, worker: 0 },
+        ];
+        let mut sorted = events.to_vec();
+        crate::sort_causal(&mut sorted);
+        let s = TraceSummary::from_events(2, &sorted);
+        assert_eq!(s.task_failures, 1);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.worker_failures, 1);
+        assert_eq!(s.worker_recoveries, 1);
+        assert!((s.lost_work - 3.0).abs() < 1e-12, "2 from T0 + 1 from W1");
+        assert_eq!(s.workers[0].failed, 1);
+        assert!((s.workers[0].aborted - 2.0).abs() < 1e-12);
+        assert!((s.workers[1].downtime - 3.0).abs() < 1e-12);
+        // Conservation: busy + idle + aborted + downtime == makespan.
+        for w in &s.workers {
+            assert!((w.busy + w.idle + w.aborted + w.downtime - s.makespan()).abs() < 1e-12);
+        }
     }
 
     #[test]
