@@ -1,0 +1,61 @@
+//! The lint gate binary: `cargo run -p heteroprio-audit --bin audit-lint`.
+//!
+//! Scans the workspace sources for the repo-specific hazards described in
+//! `heteroprio_audit::lint` and exits nonzero if any violation is found, so
+//! `scripts/check.sh` and CI can gate on it.
+
+#![forbid(unsafe_code)]
+
+use heteroprio_audit::lint::{lint_workspace, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root(arg: Option<String>) -> PathBuf {
+    if let Some(a) = arg {
+        return PathBuf::from(a);
+    }
+    // Walk up from the current directory to the first dir holding a
+    // `crates/` folder (works from the root or from inside a crate).
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let first = args.next();
+    if first.as_deref() == Some("--rules") {
+        for (name, what) in RULES {
+            println!("{name:>14}  {what}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if first.as_deref() == Some("--help") || first.as_deref() == Some("-h") {
+        eprintln!("usage: audit-lint [WORKSPACE_ROOT] | --rules");
+        return ExitCode::SUCCESS;
+    }
+    let root = workspace_root(first);
+    match lint_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("audit-lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("audit-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("audit-lint: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

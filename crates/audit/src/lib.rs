@@ -1,0 +1,31 @@
+//! Static analysis for the HeteroPrio workspace, in two halves:
+//!
+//! 1. **The invariant auditor** ([`audit`]): replays a recorded run — a
+//!    [`Schedule`](heteroprio_core::Schedule) plus its
+//!    [`SchedEvent`](heteroprio_trace::SchedEvent) stream — and checks the
+//!    paper's structural properties as typed [`Rule`]s: the list property
+//!    behind Lemma 3 (no idle worker while ready work exists), Algorithm 1's
+//!    pop orientation (GPUs take max-ρ, CPUs min-ρ), the spoliation
+//!    preconditions, the Lemma 1–2 structure of the area bound, and the
+//!    Theorem 7/9/12 approximation certificate. Violations carry the event
+//!    index, simulated time and worker; the [`AuditReport`] serializes to
+//!    JSON for tooling.
+//!
+//! 2. **The lint gate** ([`lint`]): repo-specific source checks that clippy
+//!    cannot express — raw f64 comparisons outside `core/src/time.rs`, bare
+//!    `unwrap()` in library code, truncating casts of scheduling math, and
+//!    `#![forbid(unsafe_code)]` on every crate root. Run via the
+//!    `audit-lint` binary from `scripts/check.sh` and CI.
+//!
+//! The crate deliberately depends only on `core`, `trace` and `bounds`: the
+//! simulator, runtime and CLI call *into* it, never the other way around.
+
+#![forbid(unsafe_code)]
+
+pub mod auditor;
+pub mod lint;
+pub mod report;
+
+pub use auditor::{audit, schedule_from_events, AuditOptions};
+pub use lint::{lint_source, lint_workspace, LintViolation};
+pub use report::{AuditReport, RatioCertificate, Rule, Violation};

@@ -1,0 +1,748 @@
+//! The repo-specific lint gate: textual checks for hazards clippy cannot
+//! express, tuned to this workspace's float discipline.
+//!
+//! Rules (names are what `lint: allow(...)` directives must use):
+//!
+//! * `float-eq` — `==` / `!=` with a float-literal operand. All time
+//!   comparisons must go through `core/src/time.rs`; exact sentinels (a
+//!   value set literally and never produced by arithmetic) may be
+//!   allow-listed with a comment stating that invariant.
+//! * `float-ord` — `<` / `>` / `<=` / `>=` with a *non-zero* float-literal
+//!   operand. Comparisons against literal `0.0` are sign checks and exempt.
+//! * `partial-cmp` — any `.partial_cmp(` call. Scheduling code sorts with
+//!   `total_cmp` or `F64Ord`; `partial_cmp` reintroduces NaN panics.
+//! * `unwrap` — bare `.unwrap()` in non-test library code. Use `.expect()`
+//!   with a message stating the invariant instead.
+//! * `cast-trunc` — numeric `as` casts to integer types whose operand looks
+//!   like scheduling math (contains a float literal, `f64`/`f32`,
+//!   `ceil`/`floor`/`round`, or `*` / `/` arithmetic). Deliberate
+//!   quantization must be allow-listed.
+//! * `forbid-unsafe` — every crate root must carry `#![forbid(unsafe_code)]`
+//!   (checked by [`lint_workspace`], not per-line).
+//!
+//! An allow directive is a plain line comment of the form
+//! `lint: allow(rule): reason` and applies to its own line, or — when the
+//! line is comment-only — to the next line with code. The reason is
+//! mandatory: an empty reason is itself a violation.
+//!
+//! `core/src/time.rs` is exempt from the float rules: it is the one place
+//! raw comparisons are allowed, because it *defines* the tolerant ones.
+//! `#[cfg(test)]` regions are exempt from all content rules.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Names and one-line summaries of the content rules, for `--help` output.
+pub const RULES: &[(&str, &str)] = &[
+    ("float-eq", "==/!= with a float literal outside core/src/time.rs"),
+    ("float-ord", "</>/<=/>= with a non-zero float literal outside core/src/time.rs"),
+    ("partial-cmp", ".partial_cmp( outside core/src/time.rs"),
+    ("unwrap", "bare .unwrap() in non-test library code"),
+    ("cast-trunc", "integer `as` cast of scheduling math without an allow comment"),
+    ("forbid-unsafe", "crate root missing #![forbid(unsafe_code)]"),
+];
+
+/// One lint finding, formatted like a compiler diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintViolation {
+    pub file: String,
+    /// 1-based line number (0 for file-level findings).
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for LintViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Apply the content rules to one source file. `path` is only used for
+/// reporting and for the `time.rs` exemption.
+pub fn lint_source(path: &str, text: &str) -> Vec<LintViolation> {
+    let float_exempt = path.ends_with("core/src/time.rs");
+    let mut violations = Vec::new();
+    let mut stripper = Stripper::default();
+    let lines: Vec<&str> = text.lines().collect();
+    let stripped: Vec<String> = lines.iter().map(|l| stripper.strip(l)).collect();
+
+    // Mark #[cfg(test)] regions up front so both the directive parser and
+    // the content rules can skip them.
+    let mut tests = TestRegion::default();
+    let in_test: Vec<bool> = stripped.iter().map(|code| tests.update(code)).collect();
+
+    // Resolve allow directives to the line they cover.
+    let mut allows: Vec<(usize, Vec<String>)> = Vec::new(); // (line idx, rules)
+    for (i, raw) in lines.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let Some(directive) = parse_allow(raw) else { continue };
+        match directive {
+            Ok(rules) => {
+                // Comment-only line: the directive covers the next line
+                // that has code. Otherwise it covers its own line.
+                let target = if stripped[i].trim().is_empty() {
+                    (i + 1..lines.len()).find(|&j| !stripped[j].trim().is_empty())
+                } else {
+                    Some(i)
+                };
+                if let Some(t) = target {
+                    allows.push((t, rules));
+                }
+            }
+            Err(msg) => violations.push(LintViolation {
+                file: path.to_string(),
+                line: i + 1,
+                rule: "allow-directive",
+                message: msg,
+            }),
+        }
+    }
+    let allowed = |line: usize, rule: &str| {
+        allows.iter().any(|(t, rules)| *t == line && rules.iter().any(|r| r == rule))
+    };
+
+    for (i, code) in stripped.iter().enumerate() {
+        if in_test[i] {
+            continue; // inside #[cfg(test)]
+        }
+        let mut push = |rule: &'static str, message: String| {
+            if !allowed(i, rule) {
+                violations.push(LintViolation {
+                    file: path.to_string(),
+                    line: i + 1,
+                    rule,
+                    message,
+                });
+            }
+        };
+        if !float_exempt && code.contains(".partial_cmp(") {
+            push("partial-cmp", "use total_cmp or F64Ord instead of partial_cmp".into());
+        }
+        if code.contains(".unwrap()") {
+            push("unwrap", "bare unwrap in library code; use expect with the invariant".into());
+        }
+        if !float_exempt {
+            check_float_comparisons(code, &mut push);
+        }
+        check_int_casts(code, &mut push);
+    }
+    violations
+}
+
+/// Scan a whole workspace: content rules over `crates/*/src/**/*.rs`, plus
+/// the `forbid-unsafe` crate-root rule over `crates/*` and `shims/*`.
+pub fn lint_workspace(root: &Path) -> Result<Vec<LintViolation>, String> {
+    let mut violations = Vec::new();
+    let rel = |p: &Path| p.strip_prefix(root).unwrap_or(p).to_string_lossy().replace('\\', "/");
+    for crate_dir in subdirs(&root.join("crates"))? {
+        let src = crate_dir.join("src");
+        let mut files = Vec::new();
+        collect_rs(&src, &mut files)?;
+        files.sort();
+        for f in &files {
+            let text = std::fs::read_to_string(f).map_err(|e| format!("{}: {e}", f.display()))?;
+            violations.extend(lint_source(&rel(f), &text));
+        }
+    }
+    for base in ["crates", "shims"] {
+        for crate_dir in subdirs(&root.join(base))? {
+            let src = crate_dir.join("src");
+            let mut roots: Vec<PathBuf> =
+                ["lib.rs", "main.rs"].iter().map(|n| src.join(n)).filter(|p| p.is_file()).collect();
+            if let Ok(entries) = std::fs::read_dir(src.join("bin")) {
+                for e in entries.flatten() {
+                    let p = e.path();
+                    if p.extension().is_some_and(|x| x == "rs") {
+                        roots.push(p);
+                    }
+                }
+            }
+            roots.sort();
+            for root_file in roots {
+                let text = std::fs::read_to_string(&root_file)
+                    .map_err(|e| format!("{}: {e}", root_file.display()))?;
+                if !text.contains("#![forbid(unsafe_code)]") {
+                    violations.push(LintViolation {
+                        file: rel(&root_file),
+                        line: 0,
+                        rule: "forbid-unsafe",
+                        message: "crate root missing #![forbid(unsafe_code)]".into(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(violations)
+}
+
+fn subdirs(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for e in entries {
+        let p = e.map_err(|e| e.to_string())?.path();
+        if p.is_dir() {
+            out.push(p);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let Ok(entries) = std::fs::read_dir(dir) else { return Ok(()) };
+    for e in entries {
+        let p = e.map_err(|e| e.to_string())?.path();
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Parse a `lint: allow(rule, ...): reason` directive from a raw line.
+/// Returns `None` when the line has no directive, `Some(Err)` when it has a
+/// malformed one (unknown rule or missing reason).
+#[allow(clippy::type_complexity)]
+fn parse_allow(raw: &str) -> Option<Result<Vec<String>, String>> {
+    // The needle is assembled at runtime so that this very function (and
+    // files that merely *mention* the syntax in docs or strings) do not
+    // register as directives when the linter scans its own sources. A
+    // directive must be a plain `//` line comment: `///` and `//!` doc
+    // comments that describe the syntax are excluded by requiring the
+    // space directly after the two slashes.
+    let needle: String = ["// lint", ": allow("].concat();
+    let start = raw.find(&needle)?;
+    if start > 0 && raw.as_bytes()[start - 1] == b'/' {
+        return None; // `/// lint: allow(...)` is documentation, not a directive
+    }
+    let after = &raw[start + needle.len()..];
+    let Some(close) = after.find(')') else {
+        return Some(Err("unterminated lint: allow(...) directive".into()));
+    };
+    let rules: Vec<String> = after[..close].split(',').map(|r| r.trim().to_string()).collect();
+    for r in &rules {
+        if !RULES.iter().any(|(name, _)| name == r) {
+            return Some(Err(format!("unknown lint rule {r:?} in allow directive")));
+        }
+    }
+    let rest = after[close + 1..].trim_start_matches([':', ' ', '\t']);
+    if rest.trim().is_empty() {
+        return Some(Err(
+            "allow directive must state the invariant: lint: allow(rule): reason".into()
+        ));
+    }
+    Some(Ok(rules))
+}
+
+const INT_TYPES: &[&str] =
+    &["usize", "u8", "u16", "u32", "u64", "u128", "isize", "i8", "i16", "i32", "i64", "i128"];
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Is this token a float literal (e.g. `1.0`, `.5`, `2e-9`, `3.0_f64`)?
+fn is_float_literal(token: &str) -> bool {
+    let t = token
+        .trim_start_matches('-')
+        .trim_end_matches("_f64")
+        .trim_end_matches("_f32")
+        .trim_end_matches("f64")
+        .trim_end_matches("f32");
+    if t.is_empty() || !t.starts_with(|c: char| c.is_ascii_digit() || c == '.') {
+        return false;
+    }
+    let has_digit = t.chars().any(|c| c.is_ascii_digit());
+    let floaty = t.contains('.') || t.contains('e') || t.contains('E');
+    has_digit
+        && floaty
+        && t.chars().all(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '_' | '-' | '+'))
+}
+
+/// A zero literal (`0.0`, `-0.0`, `.0`): sign checks against exact zero are
+/// the sanctioned common case for `float-ord`.
+fn is_zero_literal(token: &str) -> bool {
+    is_float_literal(token) && !token.chars().any(|c| ('1'..='9').contains(&c))
+}
+
+/// The token immediately left of byte offset `at` (identifier chars, dots,
+/// sign via preceding context).
+fn token_left(code: &str, at: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut end = at;
+    while end > 0 && bytes[end - 1] == b' ' {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 && (is_ident_char(bytes[start - 1] as char) || bytes[start - 1] == b'.') {
+        start -= 1;
+    }
+    &code[start..end]
+}
+
+/// The token immediately right of byte offset `at`.
+fn token_right(code: &str, at: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut start = at;
+    while start < bytes.len() && bytes[start] == b' ' {
+        start += 1;
+    }
+    if start < bytes.len() && bytes[start] == b'-' {
+        start += 1;
+        // keep the sign out; magnitude is what matters
+    }
+    let mut end = start;
+    while end < bytes.len() && (is_ident_char(bytes[end] as char) || bytes[end] == b'.') {
+        end += 1;
+    }
+    &code[start..end]
+}
+
+/// The expression span left of a comparison operator at `at`: walk back to
+/// an unbalanced `(`/`[` or a top-level boundary (`{ ; , = & | < >`).
+fn expr_left(code: &str, at: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut depth = 0i32;
+    let mut start = at;
+    while start > 0 {
+        let c = bytes[start - 1];
+        match c {
+            b')' | b']' => depth += 1,
+            b'(' | b'[' => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            b'{' | b';' | b',' | b'=' | b'&' | b'|' | b'<' | b'>' if depth == 0 => break,
+            _ => {}
+        }
+        start -= 1;
+    }
+    &code[start..at]
+}
+
+/// The expression span right of a comparison operator: the mirror image of
+/// [`expr_left`].
+fn expr_right(code: &str, at: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut depth = 0i32;
+    let mut end = at;
+    while end < bytes.len() {
+        let c = bytes[end];
+        match c {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            b'{' | b';' | b',' | b'=' | b'&' | b'|' | b'<' | b'>' if depth == 0 => break,
+            _ => {}
+        }
+        end += 1;
+    }
+    &code[at..end]
+}
+
+/// Does the expression span contain a non-zero float literal token?
+fn expr_has_nonzero_float(expr: &str) -> bool {
+    expr.split(|c: char| !(is_ident_char(c) || c == '.'))
+        .any(|tok| is_float_literal(tok) && !is_zero_literal(tok))
+}
+
+fn check_float_comparisons(code: &str, push: &mut impl FnMut(&'static str, String)) {
+    // Equality: any float literal operand.
+    for op in ["==", "!="] {
+        for pos in find_all(code, op) {
+            // Exclude ===, <=, >=, != handled separately by their own ops.
+            if pos > 0 && matches!(code.as_bytes()[pos - 1], b'=' | b'!' | b'<' | b'>') {
+                continue;
+            }
+            let left = token_left(code, pos);
+            let right = token_right(code, pos + op.len());
+            if is_float_literal(left) || is_float_literal(right) {
+                push(
+                    "float-eq",
+                    format!("float equality `{left} {op} {right}`; use time::approx_eq or state the sentinel invariant"),
+                );
+            }
+        }
+    }
+    // Ordering: a non-zero float literal anywhere in either side of the
+    // comparison (`a < b - 1e-9` is the canonical smell, not just
+    // `a < 1e-9`). rustfmt guarantees binary comparison operators are
+    // space-separated, which disambiguates them from generics, shifts and
+    // arrows.
+    for op in [" < ", " > ", " <= ", " >= "] {
+        for pos in find_all(code, op) {
+            let left = expr_left(code, pos);
+            let right = expr_right(code, pos + op.len());
+            if expr_has_nonzero_float(left) || expr_has_nonzero_float(right) {
+                push(
+                    "float-ord",
+                    format!(
+                        "raw float comparison `{}{op}{}`; use time::strictly_less / approx_le",
+                        left.trim(),
+                        right.trim(),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn check_int_casts(code: &str, push: &mut impl FnMut(&'static str, String)) {
+    for pos in find_all(code, " as ") {
+        let target = token_right(code, pos + 4);
+        if !INT_TYPES.contains(&target) {
+            continue;
+        }
+        let operand = cast_operand(code, pos);
+        let suspicious = operand.contains('*')
+            || operand.contains('/')
+            || operand.contains("f64")
+            || operand.contains("f32")
+            || operand.contains(".ceil(")
+            || operand.contains(".floor(")
+            || operand.contains(".round(")
+            || operand.split(|c: char| !(is_ident_char(c) || c == '.')).any(is_float_literal);
+        if suspicious {
+            push(
+                "cast-trunc",
+                format!("truncating cast of scheduling math `{} as {target}`", operand.trim()),
+            );
+        }
+    }
+}
+
+/// The full expression being cast: a trailing method chain of identifiers,
+/// dots and balanced parenthesis groups.
+fn cast_operand(code: &str, cast_at: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut i = cast_at;
+    loop {
+        if i > 0 && bytes[i - 1] == b')' {
+            let mut depth = 0usize;
+            let mut j = i;
+            while j > 0 {
+                j -= 1;
+                match bytes[j] {
+                    b')' => depth += 1,
+                    b'(' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            i = j;
+        } else if i > 0 && (is_ident_char(bytes[i - 1] as char) || bytes[i - 1] == b'.') {
+            while i > 0 && (is_ident_char(bytes[i - 1] as char) || bytes[i - 1] == b'.') {
+                i -= 1;
+            }
+        } else {
+            break;
+        }
+    }
+    &code[i..cast_at]
+}
+
+fn find_all(code: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = code[from..].find(needle) {
+        out.push(from + p);
+        from += p + needle.len();
+    }
+    out
+}
+
+/// Tracks `#[cfg(test)]`-guarded regions by brace depth. `update` returns
+/// true when the line (including the attribute itself) is test-only.
+#[derive(Default)]
+struct TestRegion {
+    armed: bool,
+    depth: usize,
+    active: bool,
+}
+
+impl TestRegion {
+    fn update(&mut self, code: &str) -> bool {
+        if self.active {
+            for c in code.chars() {
+                match c {
+                    '{' => self.depth += 1,
+                    '}' => {
+                        self.depth = self.depth.saturating_sub(1);
+                        if self.depth == 0 {
+                            self.active = false;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            return true;
+        }
+        if self.armed {
+            let mut saw_open = false;
+            for c in code.chars() {
+                match c {
+                    '{' => {
+                        saw_open = true;
+                        self.depth += 1;
+                    }
+                    '}' => self.depth = self.depth.saturating_sub(1),
+                    _ => {}
+                }
+            }
+            if saw_open {
+                self.armed = false;
+                self.active = self.depth > 0;
+            }
+            return true;
+        }
+        if code.contains("#[cfg(test)]") {
+            self.armed = true;
+            self.depth = 0;
+            return true;
+        }
+        false
+    }
+}
+
+/// Replaces comments, string/char-literal contents and lifetimes with
+/// spaces, line by line, carrying block-comment and raw-string state across
+/// lines. The result preserves byte offsets of the surviving code.
+#[derive(Default)]
+struct Stripper {
+    in_block_comment: usize,
+    in_raw_string: Option<usize>, // number of #s
+}
+
+impl Stripper {
+    fn strip(&mut self, line: &str) -> String {
+        let b = line.as_bytes();
+        let mut out = vec![b' '; b.len()];
+        let mut i = 0;
+        while i < b.len() {
+            if self.in_block_comment > 0 {
+                if b[i..].starts_with(b"*/") {
+                    self.in_block_comment -= 1;
+                    i += 2;
+                } else if b[i..].starts_with(b"/*") {
+                    self.in_block_comment += 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            if let Some(hashes) = self.in_raw_string {
+                let terminator: Vec<u8> =
+                    std::iter::once(b'"').chain(std::iter::repeat_n(b'#', hashes)).collect();
+                if b[i..].starts_with(&terminator) {
+                    self.in_raw_string = None;
+                    i += terminator.len();
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            if b[i..].starts_with(b"//") {
+                break; // rest of line is a comment
+            }
+            if b[i..].starts_with(b"/*") {
+                self.in_block_comment = 1;
+                i += 2;
+                continue;
+            }
+            // Raw strings: r"...", r#"..."#, br#"..."# etc.
+            if b[i] == b'r' || (b[i] == b'b' && i + 1 < b.len() && b[i + 1] == b'r') {
+                let start = if b[i] == b'b' { i + 1 } else { i };
+                let mut j = start + 1;
+                while j < b.len() && b[j] == b'#' {
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' && (start == i || b[i] == b'b') {
+                    // Only treat as a raw string when `r` is not part of an
+                    // identifier (e.g. `for` or `attr"` would not parse).
+                    let prev_ident = i > 0 && is_ident_char(b[i - 1] as char);
+                    if !prev_ident {
+                        self.in_raw_string = Some(j - (start + 1));
+                        i = j + 1;
+                        continue;
+                    }
+                }
+            }
+            if b[i] == b'"' || (b[i] == b'b' && i + 1 < b.len() && b[i + 1] == b'"') {
+                // Normal (possibly byte) string: skip to unescaped close.
+                i += if b[i] == b'b' { 2 } else { 1 };
+                while i < b.len() {
+                    if b[i] == b'\\' {
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        i += 1;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            if b[i] == b'\'' || (b[i] == b'b' && i + 1 < b.len() && b[i + 1] == b'\'') {
+                // Char/byte literal or lifetime. A literal closes with a
+                // quote right after one (possibly escaped) character.
+                let q = if b[i] == b'b' { i + 1 } else { i };
+                if let Some(end) = char_literal_end(b, q) {
+                    i = end;
+                    continue;
+                }
+                // Lifetime: emit nothing, skip the quote and identifier.
+                i = q + 1;
+                while i < b.len() && is_ident_char(b[i] as char) {
+                    i += 1;
+                }
+                continue;
+            }
+            out[i] = b[i];
+            i += 1;
+        }
+        String::from_utf8(out).expect("stripped line is ASCII spaces and source bytes")
+    }
+}
+
+/// If a char/byte literal starts at the quote at `q`, return the byte index
+/// just past its closing quote.
+fn char_literal_end(b: &[u8], q: usize) -> Option<usize> {
+    let mut i = q + 1;
+    if i >= b.len() {
+        return None;
+    }
+    if b[i] == b'\\' {
+        i += 1;
+        if i >= b.len() {
+            return None;
+        }
+        match b[i] {
+            b'u' => {
+                // \u{...}
+                i += 1;
+                if b.get(i) != Some(&b'{') {
+                    return None;
+                }
+                while i < b.len() && b[i] != b'}' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            b'x' => i += 3, // \xNN
+            _ => i += 1,    // \n, \', \\ ...
+        }
+    } else if b[i] == b'\'' {
+        return None; // empty: not a literal
+    } else {
+        // One UTF-8 character.
+        i += 1;
+        while i < b.len() && (b[i] & 0xC0) == 0x80 {
+            i += 1;
+        }
+    }
+    (b.get(i) == Some(&b'\'')).then(|| i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(path: &str, text: &str) -> Vec<&'static str> {
+        lint_source(path, text).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn flags_float_equality_and_ordering() {
+        assert_eq!(rules_of("x.rs", "if a == 1.0 {}"), vec!["float-eq"]);
+        assert_eq!(rules_of("x.rs", "if a != 0.0 {}"), vec!["float-eq"]);
+        assert_eq!(rules_of("x.rs", "if a < 1e-9 {}"), vec!["float-ord"]);
+        assert_eq!(rules_of("x.rs", "if 2.5 >= b {}"), vec!["float-ord"]);
+        // Sign checks against exact zero are fine.
+        assert!(rules_of("x.rs", "if a > 0.0 {}").is_empty());
+        // Integer comparisons are fine.
+        assert!(rules_of("x.rs", "if a == 1 {}").is_empty());
+        assert!(rules_of("x.rs", "if n < 10 {}").is_empty());
+    }
+
+    #[test]
+    fn time_rs_is_exempt_from_float_rules() {
+        assert!(rules_of("crates/core/src/time.rs", "a < b - 1e-9 && a.partial_cmp(&b)").is_empty());
+        assert_eq!(rules_of("crates/core/src/other.rs", "x.partial_cmp(&y)"), vec!["partial-cmp"]);
+    }
+
+    #[test]
+    fn flags_unwrap_but_not_expect() {
+        assert_eq!(rules_of("x.rs", "foo().unwrap();"), vec!["unwrap"]);
+        assert!(rules_of("x.rs", "foo().expect(\"invariant\");").is_empty());
+    }
+
+    #[test]
+    fn flags_truncating_casts_only_for_float_math() {
+        assert_eq!(rules_of("x.rs", "let s = (r.start * scale) as usize;"), vec!["cast-trunc"]);
+        assert_eq!(rules_of("x.rs", "let e = (x * k).ceil() as usize;"), vec!["cast-trunc"]);
+        assert!(rules_of("x.rs", "let w = (a + 1) as u32;").is_empty());
+        assert!(rules_of("x.rs", "let k = idx as u64;").is_empty());
+        assert!(rules_of("x.rs", "let f = n as f64;").is_empty());
+        assert!(rules_of("x.rs", "let b = (kind == Kind::Cpu) as u8;").is_empty());
+    }
+
+    #[test]
+    fn allow_directive_suppresses_and_requires_reason() {
+        let ok = "// lint: allow(float-eq): exact sentinel, never computed.\nif a == 1.0 {}\n";
+        assert!(rules_of("x.rs", ok).is_empty());
+        let inline = "if a == 1.0 {} // lint: allow(float-eq): exact sentinel.\n";
+        assert!(rules_of("x.rs", inline).is_empty());
+        let no_reason = "// lint: allow(float-eq)\nif a == 1.0 {}\n";
+        let got = rules_of("x.rs", no_reason);
+        assert!(got.contains(&"allow-directive"), "{got:?}");
+        let unknown = "// lint: allow(made-up): why\nif a == 1.0 {}\n";
+        assert!(rules_of("x.rs", unknown).contains(&"allow-directive"));
+        // A directive covers the next code line even across comment lines.
+        let stacked =
+            "// lint: allow(float-eq): sentinel, with a long\n// continuation comment.\nif a == 1.0 {}\n";
+        assert!(rules_of("x.rs", stacked).is_empty());
+    }
+
+    #[test]
+    fn test_regions_and_comments_and_strings_are_exempt() {
+        let text = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); assert!(a == 1.0); }\n}\nfn after() { y.unwrap(); }\n";
+        let got = lint_source("x.rs", text);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].line, 6);
+        assert!(rules_of("x.rs", "// a == 1.0 in a comment\n").is_empty());
+        assert!(rules_of("x.rs", "let s = \"a == 1.0\";\n").is_empty());
+        assert!(rules_of("x.rs", "let s = r#\"a == 1.0\"#;\n").is_empty());
+        // Char literals with braces must not derail test-region tracking.
+        let tricky = "#[cfg(test)]\nmod tests {\n    fn t() { out.push('\\u{8}'); x.unwrap(); }\n}\nfn after() { z.unwrap(); }\n";
+        let got = lint_source("x.rs", tricky);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].line, 5);
+    }
+
+    #[test]
+    fn seeded_violation_is_caught() {
+        // The acceptance-criteria scenario: a tolerance-free float
+        // comparison seeded into scheduler-like code must fail the gate.
+        let seeded = "fn pick(a: f64, b: f64) -> bool { a < b - 1e-9 }\n";
+        let got = lint_source("crates/core/src/heteroprio.rs", seeded);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].rule, "float-ord");
+        assert!(got[0].to_string().contains("heteroprio.rs:1"));
+    }
+}

@@ -1,0 +1,254 @@
+//! Typed audit rules, violations and the serializable report.
+
+use heteroprio_trace::json::escape;
+use std::fmt;
+
+/// The paper properties the auditor checks. Each rule maps to a specific
+/// lemma or theorem of the IPDPS 2017 paper (see DESIGN.md §6 for the full
+/// correspondence).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rule {
+    /// Basic schedule well-formedness (`Schedule::check_*`): every task
+    /// completes exactly once, durations match the model, no overlap.
+    WellFormed,
+    /// The list property behind Lemma 3: no worker stays idle while the
+    /// ready queue is non-empty.
+    NoIdleWithReadyWork,
+    /// §3: GPUs pop the max-ρ end of the queue, CPUs the min-ρ end, up to
+    /// the documented equal-ρ tie policy.
+    PopOrderConsistency,
+    /// §3 spoliation preconditions: queue empty, strict completion-time
+    /// improvement, victims scanned by decreasing expected completion time,
+    /// and every abort accounted in `Schedule::aborted`.
+    SpoliationLegality,
+    /// Lemmas 1–2: the computed area bound has both classes finishing
+    /// simultaneously under a ρ-threshold assignment.
+    AreaBoundCertificate,
+    /// Theorems 7/9/12: makespan within the proven ratio of the combined
+    /// lower bound, with the per-instance witness attached.
+    ApproxRatioCertificate,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 6] = [
+        Rule::WellFormed,
+        Rule::NoIdleWithReadyWork,
+        Rule::PopOrderConsistency,
+        Rule::SpoliationLegality,
+        Rule::AreaBoundCertificate,
+        Rule::ApproxRatioCertificate,
+    ];
+
+    /// Stable snake-case name used in reports and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::WellFormed => "well_formed",
+            Rule::NoIdleWithReadyWork => "no_idle_with_ready_work",
+            Rule::PopOrderConsistency => "pop_order_consistency",
+            Rule::SpoliationLegality => "spoliation_legality",
+            Rule::AreaBoundCertificate => "area_bound_certificate",
+            Rule::ApproxRatioCertificate => "approx_ratio_certificate",
+        }
+    }
+
+    /// The paper result the rule encodes.
+    pub fn reference(self) -> &'static str {
+        match self {
+            Rule::WellFormed => "model definition, §2",
+            Rule::NoIdleWithReadyWork => "list property, Lemma 3",
+            Rule::PopOrderConsistency => "Algorithm 1, §3",
+            Rule::SpoliationLegality => "spoliation mechanism, §3",
+            Rule::AreaBoundCertificate => "Lemmas 1-2, §4.2",
+            Rule::ApproxRatioCertificate => "Theorems 7, 9, 12",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation, located like a compiler diagnostic: which rule, at
+/// which event index and simulated time, involving which worker.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    pub rule: Rule,
+    /// Index into the audited event stream, when the violation is tied to a
+    /// specific event (certificate rules have no single event).
+    pub event_index: Option<usize>,
+    pub time: Option<f64>,
+    pub worker: Option<u32>,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "violation[{}]", self.rule)?;
+        if let Some(i) = self.event_index {
+            write!(f, " at event {i}")?;
+        }
+        if let Some(t) = self.time {
+            write!(f, " t={t}")?;
+        }
+        if let Some(w) = self.worker {
+            write!(f, " worker {w}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The per-instance approximation witness: always reported, enforced only
+/// for fault-free HeteroPrio runs on independent tasks (the setting the
+/// theorems cover).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RatioCertificate {
+    pub makespan: f64,
+    /// `max(AreaBound, max_i min(p_i, q_i))`, or the caller-supplied bound
+    /// for DAG runs.
+    pub lower_bound: f64,
+    pub ratio: f64,
+    /// The proven constant for the platform shape (φ, 1+φ or 2+√2).
+    pub proven_bound: f64,
+    /// Whether exceeding `proven_bound` counts as a violation in this run.
+    pub enforced: bool,
+}
+
+/// Everything one audit produced: violations (empty means clean), rules that
+/// were skipped and why, and the approximation certificate when computable.
+#[derive(Clone, Debug, Default)]
+pub struct AuditReport {
+    pub violations: Vec<Violation>,
+    pub skipped: Vec<(Rule, String)>,
+    /// Number of individual checks performed (for "audited N things" UX).
+    pub checks: usize,
+    /// Number of events replayed.
+    pub events: usize,
+    pub certificate: Option<RatioCertificate>,
+}
+
+impl AuditReport {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Serialize the report as a JSON document (hand-rolled, like every
+    /// exporter in this workspace — no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"clean\":{},", self.is_clean()));
+        out.push_str(&format!("\"checks\":{},\"events\":{},", self.checks, self.events));
+        out.push_str("\"violations\":[");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"rule\":\"{}\"", v.rule));
+            if let Some(idx) = v.event_index {
+                out.push_str(&format!(",\"event_index\":{idx}"));
+            }
+            if let Some(t) = v.time {
+                out.push_str(&format!(",\"time\":{t}"));
+            }
+            if let Some(w) = v.worker {
+                out.push_str(&format!(",\"worker\":{w}"));
+            }
+            out.push_str(&format!(",\"message\":\"{}\"}}", escape(&v.message)));
+        }
+        out.push_str("],\"skipped\":[");
+        for (i, (rule, why)) in self.skipped.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"rule\":\"{rule}\",\"reason\":\"{}\"}}", escape(why)));
+        }
+        out.push(']');
+        if let Some(c) = &self.certificate {
+            out.push_str(&format!(
+                ",\"certificate\":{{\"makespan\":{},\"lower_bound\":{},\"ratio\":{},\"proven_bound\":{},\"enforced\":{}}}",
+                c.makespan, c.lower_bound, c.ratio, c.proven_bound, c.enforced
+            ));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Human-readable multi-line rendering (one line per violation, then the
+    /// certificate and skip list).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.is_clean() {
+            out.push_str(&format!(
+                "audit clean: {} checks over {} events\n",
+                self.checks, self.events
+            ));
+        } else {
+            for v in &self.violations {
+                out.push_str(&format!("{v}\n"));
+            }
+        }
+        if let Some(c) = &self.certificate {
+            out.push_str(&format!(
+                "certificate: makespan {:.6} / lower bound {:.6} = ratio {:.4} (proven bound {:.4}{})\n",
+                c.makespan,
+                c.lower_bound,
+                c.ratio,
+                c.proven_bound,
+                if c.enforced { ", enforced" } else { ", informational" }
+            ));
+        }
+        for (rule, why) in &self.skipped {
+            out.push_str(&format!("skipped {rule}: {why}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteroprio_trace::json;
+
+    #[test]
+    fn report_serializes_to_parseable_json() {
+        let report = AuditReport {
+            violations: vec![Violation {
+                rule: Rule::PopOrderConsistency,
+                event_index: Some(12),
+                time: Some(3.5),
+                worker: Some(2),
+                message: "cpu popped \"front\"".into(),
+            }],
+            skipped: vec![(Rule::NoIdleWithReadyWork, "no queue events in trace".into())],
+            checks: 40,
+            events: 20,
+            certificate: Some(RatioCertificate {
+                makespan: 10.0,
+                lower_bound: 8.0,
+                ratio: 1.25,
+                proven_bound: 1.618,
+                enforced: true,
+            }),
+        };
+        let v = json::parse(&report.to_json()).expect("report JSON parses");
+        assert_eq!(v.get("clean").unwrap().as_bool(), Some(false));
+        let viols = v.get("violations").unwrap().as_arr().unwrap();
+        assert_eq!(viols[0].get("rule").unwrap().as_str(), Some("pop_order_consistency"));
+        assert_eq!(viols[0].get("event_index").unwrap().as_f64(), Some(12.0));
+        assert_eq!(v.get("certificate").unwrap().get("ratio").unwrap().as_f64(), Some(1.25));
+        assert!(!report.is_clean());
+        assert!(report.render().contains("pop_order_consistency"));
+    }
+
+    #[test]
+    fn rule_names_are_stable_and_distinct() {
+        let names: Vec<&str> = Rule::ALL.iter().map(|r| r.name()).collect();
+        for (i, a) in names.iter().enumerate() {
+            for b in &names[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert!(Rule::ALL.iter().all(|r| !r.reference().is_empty()));
+    }
+}

@@ -9,6 +9,8 @@
 //! * `ablations` — design-choice ablations (spoliation on/off, ranking
 //!   schemes, tie-break adversaries, HEFT insertion).
 
+#![forbid(unsafe_code)]
+
 use heteroprio_core::Instance;
 use heteroprio_workloads::{random_instance, RandomInstanceParams};
 

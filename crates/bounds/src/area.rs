@@ -10,7 +10,7 @@
 //! sorting on ρ and locating the crossing point — no LP solver needed.
 
 use heteroprio_core::model::{Instance, Platform, ResourceKind, TaskId};
-use heteroprio_core::time::approx_le;
+use heteroprio_core::time::{approx_le, strictly_less};
 
 /// The exact solution of the area-bound linear program.
 #[derive(Clone, Debug)]
@@ -166,13 +166,13 @@ pub fn check_structure(
     for id in instance.ids() {
         let rho = instance.task(id).accel_factor();
         let x = ab.cpu_fraction[id.index()];
-        if x < 1.0 - 1e-12 && rho < ab.threshold - 1e-9 {
+        if strictly_less(x, 1.0) && strictly_less(rho, ab.threshold) {
             return Err(format!(
                 "Lemma 2 violated: {id} partially on GPU with rho {rho} < k {}",
                 ab.threshold
             ));
         }
-        if x > 1e-12 && rho > ab.threshold + 1e-9 {
+        if strictly_less(0.0, x) && strictly_less(ab.threshold, rho) {
             return Err(format!(
                 "Lemma 2 violated: {id} partially on CPU with rho {rho} > k {}",
                 ab.threshold

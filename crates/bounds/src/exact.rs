@@ -29,6 +29,7 @@ pub fn optimal_homogeneous_makespan(durations: &[f64], machines: usize) -> f64 {
     let total: f64 = sorted.iter().sum();
     let lower = (total / machines as f64).max(sorted[0]);
     let mut best = lpt_makespan(&sorted, machines);
+    // lint: allow(float-ord): deliberate branch-and-bound pruning slack, not a time comparison.
     if best <= lower + 1e-12 {
         return best;
     }
@@ -38,6 +39,7 @@ pub fn optimal_homogeneous_makespan(durations: &[f64], machines: usize) -> f64 {
 }
 
 fn dfs_pcmax(tasks: &[f64], idx: usize, loads: &mut [f64], best: &mut f64, lower: f64) {
+    // lint: allow(float-ord): deliberate branch-and-bound pruning slack, not a time comparison.
     if *best <= lower + 1e-12 {
         return; // incumbent is provably optimal
     }
@@ -51,6 +53,7 @@ fn dfs_pcmax(tasks: &[f64], idx: usize, loads: &mut [f64], best: &mut f64, lower
     let d = tasks[idx];
     // Remaining work can't beat this partial max — prune.
     let current_max = loads.iter().copied().fold(0.0, f64::max);
+    // lint: allow(float-ord): deliberate branch-and-bound pruning slack, not a time comparison.
     if current_max >= *best - 1e-12 {
         return;
     }
@@ -60,16 +63,20 @@ fn dfs_pcmax(tasks: &[f64], idx: usize, loads: &mut [f64], best: &mut f64, lower
     order.sort_by(|&a, &b| loads[a].total_cmp(&loads[b]));
     let mut prev_load = f64::NEG_INFINITY;
     for &m in &order {
+        // lint: allow(float-ord): symmetry pruning — machines with identical load are equivalent.
         if (loads[m] - prev_load).abs() <= 1e-15 {
             continue; // identical machine state
         }
         prev_load = loads[m];
+        // lint: allow(float-eq): exact sentinel — a load is 0.0 only if never assigned to
+        // (0.0 + d - d restores exactly 0.0), never the result of general arithmetic.
         if loads[m] == 0.0 {
             if tried_empty {
                 continue;
             }
             tried_empty = true;
         }
+        // lint: allow(float-ord): deliberate branch-and-bound pruning slack, not a time comparison.
         if loads[m] + d >= *best - 1e-12 {
             continue;
         }
@@ -154,6 +161,7 @@ impl ClassSearch<'_> {
         best: &mut f64,
         best_assign: &mut Vec<ResourceKind>,
     ) {
+        // lint: allow(float-ord): deliberate branch-and-bound pruning slack, not a time comparison.
         if *best <= self.lower + 1e-12 {
             return;
         }
@@ -161,6 +169,7 @@ impl ClassSearch<'_> {
         // least its current total over its machine count.
         let cpu_lb = cpu_load / self.platform.cpus as f64;
         let gpu_lb = gpu_load / self.platform.gpus as f64;
+        // lint: allow(float-ord): deliberate branch-and-bound pruning slack, not a time comparison.
         if cpu_lb >= *best - 1e-12 || gpu_lb >= *best - 1e-12 {
             return;
         }
@@ -179,12 +188,14 @@ impl ClassSearch<'_> {
         let first_gpu = t.gpu_time <= t.cpu_time;
         for gpu_side in [first_gpu, !first_gpu] {
             if gpu_side {
+                // lint: allow(float-ord): deliberate branch-and-bound pruning slack, not a time comparison.
                 if t.gpu_time < *best - 1e-12 {
                     self.gpu_tasks.push(t.gpu_time);
                     self.assign[id.index()] = ResourceKind::Gpu;
                     self.dfs(idx + 1, cpu_load, gpu_load + t.gpu_time, best, best_assign);
                     self.gpu_tasks.pop();
                 }
+            // lint: allow(float-ord): deliberate branch-and-bound pruning slack, not a time comparison.
             } else if t.cpu_time < *best - 1e-12 {
                 self.cpu_tasks.push(t.cpu_time);
                 self.assign[id.index()] = ResourceKind::Cpu;

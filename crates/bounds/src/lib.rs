@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # heteroprio-bounds
 //!
 //! Lower bounds and exact optima for the two-resource-class scheduling model:

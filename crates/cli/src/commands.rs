@@ -2,6 +2,7 @@
 //! unit-tested. Each command returns the text it would print.
 
 use crate::format::{parse_instance, serialize_instance};
+use heteroprio_audit::{audit, schedule_from_events, AuditOptions};
 use heteroprio_bounds::{combined_lower_bound, optimal_makespan, MAX_EXACT_TASKS};
 use heteroprio_core::gantt::to_svg;
 use heteroprio_core::{
@@ -11,7 +12,7 @@ use heteroprio_schedulers::{dualhp_independent, heft, heuristic_schedule, HeftVa
 use heteroprio_simulator::{FaultPlan, FaultSpec, RetryPolicy};
 use heteroprio_taskgraph::{Factorization, TaskGraph, WeightScheme};
 use heteroprio_trace::{
-    chrome_trace, jsonl, ChromeTraceOptions, SchedEvent, TraceSummary, VecSink,
+    chrome_trace, jsonl, parse_jsonl, ChromeTraceOptions, SchedEvent, TraceSummary, VecSink,
 };
 use heteroprio_workloads::{independent_instance, ChameleonTiming};
 use std::fmt::Write as _;
@@ -27,11 +28,14 @@ pub struct OutputOpts {
     pub trace: Option<String>,
     /// Append a per-worker busy/idle/aborted summary to the report.
     pub summary: bool,
+    /// Audit the run against the paper's invariants (see
+    /// [`heteroprio_audit`]) and fail if any rule is violated.
+    pub audit: bool,
 }
 
 impl OutputOpts {
     fn wants_events(&self) -> bool {
-        self.trace.is_some() || self.summary
+        self.trace.is_some() || self.summary || self.audit
     }
 }
 
@@ -52,6 +56,8 @@ pub struct FaultOpts {
 
 impl FaultOpts {
     fn active(&self) -> bool {
+        // lint: allow(float-eq): exact sentinel — 0.0 means "jitter off", set literally by
+        // the flag parser default, never produced by arithmetic.
         self.spec.is_some() || self.exec_jitter != 0.0
     }
 
@@ -299,6 +305,13 @@ pub fn cmd_schedule(
         let summary = TraceSummary::from_events(platform.workers(), &events);
         out.push_str(&format_summary(&summary, platform));
     }
+    if opts.audit {
+        let audit_report = audit(&instance, platform, &schedule, &events, &audit_opts(algo));
+        if !audit_report.is_clean() {
+            return Err(format!("audit failed:\n{}", audit_report.render()));
+        }
+        out.push_str(&audit_report.render());
+    }
     let trace = opts.trace.as_ref().map(|path| {
         let chrome_opts =
             ChromeTraceOptions { worker_names: worker_names(platform), task_names: Vec::new() };
@@ -306,6 +319,47 @@ pub fn cmd_schedule(
     });
     let svg = opts.svg.then(|| to_svg(&schedule, &instance, platform));
     Ok(CmdOutput { report: out, svg, trace })
+}
+
+/// Audit options matching what an independent-task `Algo` run guarantees.
+fn audit_opts(algo: Algo) -> AuditOptions {
+    match algo {
+        Algo::HeteroPrio => AuditOptions::independent(),
+        // The queue discipline still applies without spoliation, but the
+        // theorem constants are proven for full HeteroPrio only (§3 shows
+        // the ratio is unbounded otherwise) — report, don't enforce.
+        Algo::HeteroPrioNoSpoliation => AuditOptions { dag: true, ..AuditOptions::independent() },
+        _ => AuditOptions::generic(),
+    }
+}
+
+/// `audit`: check a recorded run — or a fresh traced one — against the
+/// paper's invariants. With `trace_text` (a JSONL export), the schedule is
+/// rebuilt from the events and audited as-is; otherwise the algorithm runs
+/// live with tracing.
+pub fn cmd_audit(
+    text: &str,
+    platform: &Platform,
+    algo: Algo,
+    trace_text: Option<&str>,
+) -> Result<String, String> {
+    let instance = parse_instance(text).map_err(|e| e.to_string())?;
+    if instance.is_empty() {
+        return Err("instance is empty".to_string());
+    }
+    let (schedule, events) = match trace_text {
+        Some(t) => {
+            let events = parse_jsonl(t)?;
+            (schedule_from_events(&events), events)
+        }
+        None => algo.run_traced(&instance, platform),
+    };
+    let report = audit(&instance, platform, &schedule, &events, &audit_opts(algo));
+    if report.is_clean() {
+        Ok(report.render())
+    } else {
+        Err(format!("audit failed:\n{}", report.render()))
+    }
 }
 
 /// `bounds`: print every lower bound we can compute (plus the exact optimum
@@ -440,6 +494,19 @@ pub fn cmd_dag(
     if opts.summary {
         out.push_str(&format_summary(&report.summary, platform));
     }
+    if opts.audit {
+        let mut aopts = AuditOptions::dag_run(0.0, Some(report.lower_bound));
+        aopts.heteroprio = algo == DagAlgoArg::HeteroPrio;
+        if faults.active() {
+            aopts = aopts.with_faults();
+        }
+        let audit_report =
+            audit(report.graph.instance(), platform, &report.schedule, &report.events, &aopts);
+        if !audit_report.is_clean() {
+            return Err(format!("audit failed:\n{}", audit_report.render()));
+        }
+        out.push_str(&audit_report.render());
+    }
     let trace = opts.trace.as_ref().map(|path| {
         let task_names = (0..report.graph.len())
             .map(|i| format!("{}[{i}]", report.graph.label(heteroprio_core::TaskId(i as u32))))
@@ -510,7 +577,12 @@ mod tests {
     fn every_algorithm_traces_and_summarizes() {
         use heteroprio_trace::json;
         let plat = Platform::new(2, 1);
-        let opts = OutputOpts { svg: false, trace: Some("out.json".to_string()), summary: true };
+        let opts = OutputOpts {
+            svg: false,
+            trace: Some("out.json".to_string()),
+            summary: true,
+            ..OutputOpts::default()
+        };
         for algo in [Algo::HeteroPrio, Algo::Heft, Algo::MinMin, Algo::DualHp] {
             let out = cmd_schedule(SAMPLE, &plat, algo, &opts).unwrap();
             assert!(out.report.contains("trace summary"), "{algo:?}");
@@ -535,7 +607,12 @@ mod tests {
     fn jsonl_extension_selects_jsonl() {
         use heteroprio_trace::json;
         let plat = Platform::new(1, 1);
-        let opts = OutputOpts { svg: false, trace: Some("out.jsonl".to_string()), summary: false };
+        let opts = OutputOpts {
+            svg: false,
+            trace: Some("out.jsonl".to_string()),
+            summary: false,
+            ..OutputOpts::default()
+        };
         let out = cmd_schedule(SAMPLE, &plat, Algo::HeteroPrio, &opts).unwrap();
         let (_, contents) = out.trace.unwrap();
         for line in contents.lines() {
@@ -600,7 +677,12 @@ mod tests {
     fn dag_trace_labels_slices_with_kernel_names() {
         use heteroprio_trace::json;
         let plat = Platform::new(2, 1);
-        let opts = OutputOpts { svg: false, trace: Some("chol.json".to_string()), summary: true };
+        let opts = OutputOpts {
+            svg: false,
+            trace: Some("chol.json".to_string()),
+            summary: true,
+            ..OutputOpts::default()
+        };
         let out =
             cmd_dag("cholesky", 4, &plat, DagAlgoArg::HeteroPrio, &opts, &FaultOpts::default())
                 .unwrap();
@@ -620,7 +702,7 @@ mod tests {
     #[test]
     fn dag_runs_under_a_fault_spec() {
         let plat = Platform::new(4, 2);
-        let opts = OutputOpts { svg: false, trace: None, summary: true };
+        let opts = OutputOpts { svg: false, trace: None, summary: true, ..OutputOpts::default() };
         // All GPUs die at 25% of the fault-free makespan; % time forces a
         // baseline run, and the report shows the fault accounting.
         let faults = FaultOpts { spec: Some("gpu@25%".to_string()), ..FaultOpts::default() };

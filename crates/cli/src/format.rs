@@ -70,6 +70,8 @@ pub fn parse_instance(text: &str) -> Result<Instance, ParseError> {
 pub fn serialize_instance(instance: &Instance) -> String {
     let mut out = String::from("# cpu_time gpu_time [priority]\n");
     for t in instance.tasks() {
+        // lint: allow(float-eq): exact sentinel — 0.0 is the "no explicit priority" default,
+        // set literally and round-tripped exactly through the text format.
         if t.priority != 0.0 {
             let _ = writeln!(out, "{} {} {}", t.cpu_time, t.gpu_time, t.priority);
         } else {

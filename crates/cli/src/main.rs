@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Command-line interface to the HeteroPrio reproduction.
 //!
 //! ```text
@@ -7,7 +9,7 @@
 //! ```
 
 use heteroprio_cli::{
-    cmd_bounds, cmd_dag, cmd_gen, cmd_schedule, Algo, DagAlgoArg, FaultOpts, OutputOpts,
+    cmd_audit, cmd_bounds, cmd_dag, cmd_gen, cmd_schedule, Algo, DagAlgoArg, FaultOpts, OutputOpts,
 };
 use heteroprio_core::Platform;
 use std::process::ExitCode;
@@ -15,13 +17,17 @@ use std::process::ExitCode;
 const USAGE: &str = "\
 usage:
   heteroprio-cli schedule --cpus M --gpus N [--algo NAME] [--svg FILE]
-                          [--trace FILE] [--summary] INSTANCE
+                          [--trace FILE] [--summary] [--audit] INSTANCE
   heteroprio-cli bounds   --cpus M --gpus N INSTANCE
   heteroprio-cli gen      (cholesky|qr|lu) N [OUTPUT]
   heteroprio-cli dag      (cholesky|qr|lu) N --cpus M --gpus N [--algo NAME]
-                          [--svg FILE] [--trace FILE] [--summary]
+                          [--svg FILE] [--trace FILE] [--summary] [--audit]
                           [--faults SPEC] [--exec-jitter J] [--retry-max K]
                           [--fault-seed S]
+  heteroprio-cli audit    --cpus M --gpus N [--algo NAME]
+                          [--trace FILE.jsonl] INSTANCE
+  heteroprio-cli audit    (cholesky|qr|lu) N --cpus M --gpus N [--algo NAME]
+                          [--faults SPEC] [--exec-jitter J]
 
 INSTANCE is a text file with one `cpu_time gpu_time [priority]` task per
 line (`#` comments). `gen` writes such a file for the kernel mix of an
@@ -31,6 +37,14 @@ N-tile factorization. Algorithms: see --algo (default hp).
 JSON (open in https://ui.perfetto.dev) by default, or JSONL when FILE
 ends in `.jsonl`. --summary appends per-worker busy/idle/aborted time,
 spoliation wasted work, and ready-queue statistics to the report.
+
+--audit (and the `audit` command) replays the recorded event stream
+through the paper-invariant auditor: pop-order consistency, the no-idle
+list property, spoliation legality, and the Lemma 1-2 / Theorem 7-9-12
+certificates. `audit INSTANCE --trace FILE.jsonl` checks a previously
+exported JSONL trace instead of running a scheduler; `audit
+(cholesky|qr|lu) N` audits a fresh runtime execution. Violations are
+printed with their rule name and the exit code is nonzero.
 
 --faults injects worker failures and task failures into the `dag`
 command. SPEC is comma-separated clauses: `wN|cpu|gpu|all @ time[+dur]`
@@ -51,6 +65,7 @@ struct Args {
     svg: Option<String>,
     trace: Option<String>,
     summary: bool,
+    audit: bool,
     faults: FaultOpts,
 }
 
@@ -64,6 +79,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         svg: None,
         trace: None,
         summary: false,
+        audit: false,
         faults: FaultOpts::default(),
     };
     while let Some(a) = argv.next() {
@@ -96,6 +112,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 args.trace = Some(argv.next().ok_or("--trace needs a file name")?);
             }
             "--summary" => args.summary = true,
+            "--audit" => args.audit = true,
             "--faults" => {
                 args.faults.spec = Some(argv.next().ok_or("--faults needs a spec")?);
             }
@@ -128,7 +145,12 @@ fn platform_of(args: &Args) -> Result<Platform, String> {
 }
 
 fn output_opts(args: &Args) -> OutputOpts {
-    OutputOpts { svg: args.svg.is_some(), trace: args.trace.clone(), summary: args.summary }
+    OutputOpts {
+        svg: args.svg.is_some(),
+        trace: args.trace.clone(),
+        summary: args.summary,
+        audit: args.audit,
+    }
 }
 
 /// Print the report and write the artifacts a command produced.
@@ -181,6 +203,45 @@ fn run() -> Result<(), String> {
             };
             let out = cmd_dag(&kind, n, &platform, algo, &output_opts(&args), &args.faults)?;
             emit(out, args.svg.as_ref())
+        }
+        "audit" => {
+            let platform = platform_of(&args)?;
+            let first = args
+                .positional
+                .first()
+                .ok_or("audit needs an INSTANCE file or a workload kind")?
+                .clone();
+            if matches!(first.as_str(), "cholesky" | "qr" | "lu") {
+                // Workload form: audit a fresh runtime execution.
+                let n: usize = args
+                    .positional
+                    .get(1)
+                    .ok_or("audit needs a tile count")?
+                    .parse()
+                    .map_err(|_| "bad tile count")?;
+                let algo = match &args.dag_algo {
+                    Some(name) => DagAlgoArg::parse(name).ok_or_else(|| {
+                        format!("unknown DAG algorithm `{name}` ({})", DagAlgoArg::NAMES)
+                    })?,
+                    None => DagAlgoArg::HeteroPrio,
+                };
+                let opts = OutputOpts { audit: true, ..OutputOpts::default() };
+                let out = cmd_dag(&first, n, &platform, algo, &opts, &args.faults)?;
+                print!("{}", out.report);
+                Ok(())
+            } else {
+                // Instance form: audit a recorded JSONL trace, or a fresh
+                // traced run when no --trace is given.
+                let text = std::fs::read_to_string(&first).map_err(|e| format!("{first}: {e}"))?;
+                let trace_text = match &args.trace {
+                    Some(path) => {
+                        Some(std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?)
+                    }
+                    None => None,
+                };
+                print!("{}", cmd_audit(&text, &platform, args.algo, trace_text.as_deref())?);
+                Ok(())
+            }
         }
         "gen" => {
             let kind = args.positional.first().ok_or("gen needs a workload kind")?;

@@ -21,8 +21,11 @@ const WIDTH: f64 = 900.0;
 fn accel_color(rho: f64) -> String {
     // Clamp log2(ρ) to [-5, 5] and interpolate.
     let x = (rho.log2().clamp(-5.0, 5.0) + 5.0) / 10.0;
+    // lint: allow(cast-trunc): x ∈ [0, 1] keeps each channel inside u8 range; color quantization.
     let r = (60.0 + 195.0 * x) as u8;
+    // lint: allow(cast-trunc): x ∈ [0, 1] keeps each channel inside u8 range; color quantization.
     let g = (90.0 + 40.0 * (1.0 - (2.0 * x - 1.0).abs())) as u8;
+    // lint: allow(cast-trunc): x ∈ [0, 1] keeps each channel inside u8 range; color quantization.
     let b = (220.0 - 180.0 * x) as u8;
     format!("#{r:02x}{g:02x}{b:02x}")
 }
@@ -88,6 +91,7 @@ pub fn to_svg(schedule: &Schedule, instance: &Instance, platform: &Platform) -> 
             run.start,
             run.end
         );
+        // lint: allow(float-ord): render heuristic — does a 10px label fit in the bar?
         if w > 26.0 {
             let _ = write!(
                 svg,

@@ -144,6 +144,8 @@ pub fn sorted_queue(instance: &Instance, ids: &[TaskId], tie: QueueTieBreak) -> 
                         // for ρ < 1 put low priority first (so the back of the
                         // queue, served to CPUs, holds the highest priority).
                         let ord = tb.priority.total_cmp(&ta.priority);
+                        // lint: allow(float-ord): orientation branch, not arithmetic — ρ = 1
+                        // exactly is a documented policy choice (GPU-side tie rule applies).
                         if ra >= 1.0 {
                             ord
                         } else {

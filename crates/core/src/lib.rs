@@ -31,6 +31,8 @@
 //! assert_eq!(result.spoliations, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod gantt;
 pub mod heteroprio;
 pub mod list;

@@ -35,6 +35,8 @@ impl AffinityQueue {
         let rho = t.accel_factor();
         let tie = match self.tie {
             QueueTieBreak::Priority => {
+                // lint: allow(float-ord): orientation branch, not arithmetic — ρ = 1 exactly
+                // is a documented policy choice (GPU-side tie rule applies).
                 if rho >= 1.0 {
                     -t.priority
                 } else {

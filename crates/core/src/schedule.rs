@@ -224,13 +224,19 @@ impl Schedule {
     /// `max_overhead` longer than the task's nominal time — for schedules
     /// produced under an execution-cost model (e.g. cross-class transfer
     /// penalties) where durations exceed the calibrated times.
+    ///
+    /// Validation is the composition of the named checks below (which the
+    /// audit layer also calls individually, so the rules live in one place).
     pub fn validate_with_overhead(
         &self,
         instance: &Instance,
         platform: &Platform,
         max_overhead: f64,
     ) -> Result<(), ScheduleError> {
-        self.validate_inner(instance, platform, Some(max_overhead))
+        self.check_membership(instance, platform)?;
+        self.check_completeness(instance)?;
+        self.check_durations(instance, platform, max_overhead)?;
+        self.check_overlap(platform)
     }
 
     /// Structure-only validation: completeness, known ids, positive
@@ -243,16 +249,20 @@ impl Schedule {
         instance: &Instance,
         platform: &Platform,
     ) -> Result<(), ScheduleError> {
-        self.validate_inner(instance, platform, None)
+        self.check_membership(instance, platform)?;
+        self.check_completeness(instance)?;
+        self.check_overlap(platform)
     }
 
-    fn validate_inner(
+    /// Every run (completed or aborted) references a known task and worker
+    /// and spans a sane interval: strictly positive for completed runs,
+    /// non-negative for aborted ones (a spoliation can land the very instant
+    /// a run starts).
+    pub fn check_membership(
         &self,
         instance: &Instance,
         platform: &Platform,
-        durations: Option<f64>,
     ) -> Result<(), ScheduleError> {
-        let mut seen = vec![false; instance.len()];
         for r in &self.runs {
             if r.task.index() >= instance.len() {
                 return Err(ScheduleError::UnknownTask(r.task));
@@ -260,10 +270,6 @@ impl Schedule {
             if r.worker.index() >= platform.workers() {
                 return Err(ScheduleError::UnknownWorker(r.worker));
             }
-            if seen[r.task.index()] {
-                return Err(ScheduleError::DuplicateTask(r.task));
-            }
-            seen[r.task.index()] = true;
             // Deliberate negated comparison: rejects NaN endpoints too.
             #[allow(clippy::neg_cmp_op_on_partial_ord)]
             if !(r.end > r.start) {
@@ -272,24 +278,6 @@ impl Schedule {
                     start: r.start,
                     end: r.end,
                 });
-            }
-            if let Some(max_overhead) = durations {
-                let expected = instance.task(r.task).time_on(platform.kind_of(r.worker));
-                let within_band = approx_eq(r.duration(), expected)
-                    || (r.duration() >= expected
-                        && approx_le(r.duration(), expected + max_overhead));
-                if !within_band {
-                    return Err(ScheduleError::WrongDuration {
-                        task: r.task,
-                        expected,
-                        actual: r.duration(),
-                    });
-                }
-            }
-        }
-        for (i, s) in seen.iter().enumerate() {
-            if !s {
-                return Err(ScheduleError::MissingTask(TaskId(i as u32)));
             }
         }
         for r in &self.aborted {
@@ -306,20 +294,71 @@ impl Schedule {
                     end: r.end,
                 });
             }
-            if let Some(max_overhead) = durations {
-                let full = instance.task(r.task).time_on(platform.kind_of(r.worker)) + max_overhead;
-                // An aborted run must stop before the task would have
-                // completed (otherwise it should have completed).
-                if r.duration() >= full + tol(r.duration(), full) {
-                    return Err(ScheduleError::AbortedTooLong {
-                        task: r.task,
-                        limit: full,
-                        actual: r.duration(),
-                    });
-                }
+        }
+        Ok(())
+    }
+
+    /// Every task of the instance completes exactly once: no duplicates, no
+    /// missing tasks. Assumes task ids are in range (see
+    /// [`Schedule::check_membership`]); out-of-range ids are reported as
+    /// unknown here too rather than panicking.
+    pub fn check_completeness(&self, instance: &Instance) -> Result<(), ScheduleError> {
+        let mut seen = vec![false; instance.len()];
+        for r in &self.runs {
+            if r.task.index() >= instance.len() {
+                return Err(ScheduleError::UnknownTask(r.task));
+            }
+            if seen[r.task.index()] {
+                return Err(ScheduleError::DuplicateTask(r.task));
+            }
+            seen[r.task.index()] = true;
+        }
+        for (i, s) in seen.iter().enumerate() {
+            if !s {
+                return Err(ScheduleError::MissingTask(TaskId(i as u32)));
             }
         }
-        // Per-worker overlap check over all runs.
+        Ok(())
+    }
+
+    /// Completed runs last their task's calibrated time on the worker's
+    /// class (up to `max_overhead` extra), and aborted runs stop strictly
+    /// before the task would have completed (otherwise they should have
+    /// completed). Meaningless under stochastic execution times — fault
+    /// runs use [`Schedule::validate_structure`] which skips this check.
+    pub fn check_durations(
+        &self,
+        instance: &Instance,
+        platform: &Platform,
+        max_overhead: f64,
+    ) -> Result<(), ScheduleError> {
+        for r in &self.runs {
+            let expected = instance.task(r.task).time_on(platform.kind_of(r.worker));
+            let within_band = approx_eq(r.duration(), expected)
+                || (r.duration() >= expected && approx_le(r.duration(), expected + max_overhead));
+            if !within_band {
+                return Err(ScheduleError::WrongDuration {
+                    task: r.task,
+                    expected,
+                    actual: r.duration(),
+                });
+            }
+        }
+        for r in &self.aborted {
+            let full = instance.task(r.task).time_on(platform.kind_of(r.worker)) + max_overhead;
+            if r.duration() >= full + tol(r.duration(), full) {
+                return Err(ScheduleError::AbortedTooLong {
+                    task: r.task,
+                    limit: full,
+                    actual: r.duration(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// No two runs (completed or aborted) overlap on the same worker.
+    pub fn check_overlap(&self, platform: &Platform) -> Result<(), ScheduleError> {
         let mut per_worker: Vec<Vec<&TaskRun>> = vec![Vec::new(); platform.workers()];
         for r in self.runs.iter().chain(&self.aborted) {
             per_worker[r.worker.index()].push(r);
@@ -355,7 +394,9 @@ impl Schedule {
             let mut row = vec![b'.'; width];
             let mut labels: Vec<(usize, String)> = Vec::new();
             for r in self.runs.iter().chain(&self.aborted).filter(|r| r.worker == w) {
+                // lint: allow(cast-trunc): render quantization to character cells; clamped below.
                 let s = ((r.start * scale) as usize).min(width - 1);
+                // lint: allow(cast-trunc): render quantization to character cells; clamped below.
                 let e = ((r.end * scale).ceil() as usize).clamp(s + 1, width);
                 let mark = if self.runs.iter().any(|c| std::ptr::eq(c, r)) { b'#' } else { b'x' };
                 for c in &mut row[s..e] {
@@ -368,7 +409,7 @@ impl Schedule {
             out.push_str(&format!(
                 "{kind} {:>3} |{}| {}\n",
                 w.0,
-                String::from_utf8(row).unwrap(),
+                String::from_utf8(row).expect("row holds only ASCII marks"),
                 tags.join(" ")
             ));
         }

@@ -7,7 +7,7 @@
 //! | (m, n) | 2 + √2 | 2 + 2/√3 |
 
 use crate::model::Platform;
-use crate::time::PHI;
+use crate::time::{approx_eq, PHI};
 
 /// Proven upper bound on HeteroPrio's approximation ratio for a platform
 /// shape (Theorems 7, 9 and 12). Symmetric in the two classes: with a
@@ -33,7 +33,7 @@ pub fn known_lower_bound(platform: &Platform) -> f64 {
 
 /// Is the analysis tight for this shape (upper bound == known lower bound)?
 pub fn is_tight(platform: &Platform) -> bool {
-    (proven_upper_bound(platform) - known_lower_bound(platform)).abs() < 1e-12
+    approx_eq(proven_upper_bound(platform), known_lower_bound(platform))
 }
 
 #[cfg(test)]

@@ -5,6 +5,8 @@
 //!
 //! Usage: `complexity [sizes...] [--csv]`.
 
+#![forbid(unsafe_code)]
+
 use heteroprio_experiments::{emit, ns_from_args, IndepAlgo, TextTable};
 use heteroprio_workloads::{paper_platform, random_instance, RandomInstanceParams};
 use std::time::Instant;

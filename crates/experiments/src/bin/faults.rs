@@ -15,6 +15,8 @@
 //!
 //! Usage: `faults [--csv] [--seed S]`.
 
+#![forbid(unsafe_code)]
+
 use heteroprio_bounds::dag_lower_bound;
 use heteroprio_core::{HeteroPrioConfig, Platform, ResourceKind};
 use heteroprio_experiments::{emit, flag_value, TextTable};

@@ -1,6 +1,8 @@
 //! Figure 1: an example HeteroPrio schedule — the pure list phase
 //! `S_HP^NS` next to the final schedule `S_HP` with spoliation.
 
+#![forbid(unsafe_code)]
+
 use heteroprio_core::{heteroprio, HeteroPrioConfig, Instance, Platform};
 
 fn main() {

@@ -5,6 +5,8 @@
 //! (makespan `2n - 1`). Figure 5 shows the full HeteroPrio run on the
 //! (n GPUs, n² CPUs) instance, whose ratio tends to `2 + 2/√3 ≈ 3.15`.
 
+#![forbid(unsafe_code)]
+
 use heteroprio_core::heteroprio;
 use heteroprio_core::list::list_schedule;
 use heteroprio_experiments::{emit, TextTable};

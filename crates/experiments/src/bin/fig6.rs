@@ -4,6 +4,8 @@
 //!
 //! Usage: `fig6 [N...] [--csv]` (default N sweep: 4..64 sample).
 
+#![forbid(unsafe_code)]
+
 use heteroprio_experiments::{emit, fig6_series, ns_from_args, IndepAlgo, TextTable, DEFAULT_NS};
 use heteroprio_taskgraph::Factorization;
 use heteroprio_workloads::{paper_platform, ChameleonTiming};

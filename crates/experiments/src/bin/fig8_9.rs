@@ -7,6 +7,8 @@
 //!
 //! Usage: `fig8_9 [N...] [--csv]`.
 
+#![forbid(unsafe_code)]
+
 use heteroprio_experiments::{
     emit, fig7_series, fmt_opt, ns_from_args, DagAlgo, TextTable, DEFAULT_NS,
 };

@@ -6,6 +6,8 @@
 //!
 //! Usage: `heuristics_comparison [N...] [--csv]`.
 
+#![forbid(unsafe_code)]
+
 use heteroprio_bounds::combined_lower_bound;
 use heteroprio_experiments::{emit, ns_from_args, IndepAlgo, TextTable};
 use heteroprio_schedulers::{heuristic_schedule, Heuristic};

@@ -11,6 +11,8 @@
 //!
 //! Usage: `robustness [--csv] [--seed S] [--jitters J1,J2,...]`.
 
+#![forbid(unsafe_code)]
+
 use heteroprio_bounds::{combined_lower_bound, dag_lower_bound};
 use heteroprio_core::HeteroPrioConfig;
 use heteroprio_experiments::{emit, flag_list, flag_value, IndepAlgo, TextTable};

@@ -1,6 +1,8 @@
 //! Table 1: acceleration factors of the Cholesky kernels (tile size 960),
 //! plus the full kernel model used throughout the reproduction.
 
+#![forbid(unsafe_code)]
+
 use heteroprio_experiments::{emit, TextTable};
 use heteroprio_workloads::PROFILES;
 

@@ -1,6 +1,8 @@
 //! Table 2: proven approximation ratios per platform shape, against the
 //! ratios actually demonstrated by the worst-case constructions.
 
+#![forbid(unsafe_code)]
+
 use heteroprio_core::{heteroprio, PHI};
 use heteroprio_experiments::{emit, TextTable};
 use heteroprio_workloads::{theorem11, theorem14, theorem8};

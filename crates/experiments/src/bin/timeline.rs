@@ -9,6 +9,8 @@
 //!
 //! Usage: `timeline [N]` (default N = 16).
 
+#![forbid(unsafe_code)]
+
 use heteroprio_core::ResourceKind;
 use heteroprio_experiments::{
     ramp_up_time, ready_profile_from_events, utilization_profile_from_events, DagAlgo,

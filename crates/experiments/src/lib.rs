@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # heteroprio-experiments
 //!
 //! The harness reproducing every table and figure of the paper's

@@ -1,6 +1,7 @@
 //! Schedule-quality metrics of Figures 8 and 9.
 
 use heteroprio_bounds::class_usage;
+use heteroprio_core::time::approx_le;
 use heteroprio_core::{Instance, Platform, ResourceKind, Schedule};
 
 /// Allocation metrics of one schedule.
@@ -25,7 +26,7 @@ pub fn alloc_stats(instance: &Instance, platform: &Platform, schedule: &Schedule
     let horizon = schedule.makespan();
     let norm_idle = |kind: ResourceKind| {
         let usage = class_usage(instance, platform, kind);
-        if usage <= 1e-12 {
+        if approx_le(usage, 0.0) {
             None
         } else {
             Some(schedule.idle_time(platform, kind, horizon) / usage)

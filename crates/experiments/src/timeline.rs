@@ -42,6 +42,8 @@ impl Profile {
         self.values
             .iter()
             .map(|&v| {
+                // lint: allow(cast-trunc): sparkline bucket index — quantization is the point,
+                // and the result is clamped to the bar range below.
                 let idx = ((v / max) * (BARS.len() - 1) as f64).round() as usize;
                 BARS[idx.min(BARS.len() - 1)]
             })
@@ -185,6 +187,8 @@ pub fn ramp_up_time(
         }
     }
     events.sort();
+    // lint: allow(cast-trunc): worker-count threshold — ceil() of a value bounded by the
+    // (small, integral) worker count, so the cast is exact.
     let needed = (threshold * platform.count(kind) as f64).ceil() as i64;
     let mut busy = 0i64;
     for (F64Ord(t), delta) in events {

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # heteroprio-runtime
 //!
 //! A StarPU-like task-submission front-end over the simulator: applications

@@ -183,6 +183,7 @@ fn search(
     let mut lo = 0.0;
     for _ in 0..40 {
         let mid = 0.5 * (lo + hi);
+        // lint: allow(float-ord): deliberate bisection convergence threshold, not a time comparison.
         if mid <= lo || mid >= hi || (hi - lo) < 1e-9 * hi {
             break;
         }

@@ -11,7 +11,7 @@
 //! evaluation machine shares memory), so EST depends only on predecessor
 //! completion times and worker availability.
 
-use heteroprio_core::time::F64Ord;
+use heteroprio_core::time::{approx_le, F64Ord};
 use heteroprio_core::{Platform, Schedule, TaskRun, WorkerId};
 use heteroprio_taskgraph::rank::{rank_order, WeightScheme};
 use heteroprio_taskgraph::TaskGraph;
@@ -66,7 +66,7 @@ pub fn heft(
 fn earliest_gap(busy: &[(f64, f64)], ready: f64, dur: f64) -> f64 {
     let mut candidate = ready;
     for &(s, e) in busy {
-        if candidate + dur <= s + 1e-12 {
+        if approx_le(candidate + dur, s) {
             return candidate;
         }
         candidate = candidate.max(e);

@@ -101,7 +101,7 @@ pub fn heuristic_schedule(
                             fa.total_cmp(&fb).then(a.cmp(&b))
                         })
                         .map(|(i, _)| i)
-                        .unwrap(),
+                        .expect("unmapped is non-empty inside the while loop"),
                     Heuristic::MaxMin => unmapped
                         .iter()
                         .enumerate()
@@ -111,7 +111,7 @@ pub fn heuristic_schedule(
                             fa.total_cmp(&fb).then(b.cmp(&a))
                         })
                         .map(|(i, _)| i)
-                        .unwrap(),
+                        .expect("unmapped is non-empty inside the while loop"),
                     Heuristic::Sufferage => unmapped
                         .iter()
                         .enumerate()
@@ -123,7 +123,7 @@ pub fn heuristic_schedule(
                             sa.total_cmp(&sb).then(b.cmp(&a))
                         })
                         .map(|(i, _)| i)
-                        .unwrap(),
+                        .expect("unmapped is non-empty inside the while loop"),
                     Heuristic::Mct => unreachable!(),
                 };
                 let task = unmapped.swap_remove(pick);

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # heteroprio-schedulers
 //!
 //! The scheduling algorithms compared in the paper's §6 evaluation, for both

@@ -105,6 +105,8 @@ impl FaultPlan {
     /// True when the plan injects nothing (the engine then skips the fault
     /// machinery entirely and reproduces fault-free traces exactly).
     pub fn is_none(&self) -> bool {
+        // lint: allow(float-eq): exact sentinel — 0.0 means "feature off", set literally by
+        // FaultPlan::NONE / the parser, never produced by arithmetic.
         self.worker_faults.is_empty() && self.task_failure_prob == 0.0 && self.exec_jitter == 0.0
     }
 

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # heteroprio-simulator
 //!
 //! Discrete-event simulation of a task-based runtime system (the StarPU-like

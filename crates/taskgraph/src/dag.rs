@@ -5,6 +5,7 @@
 //! schedules produced for a graph validate directly against its instance.
 
 use heteroprio_core::model::{Instance, Task, TaskId};
+use heteroprio_core::time::approx_le;
 use std::collections::HashSet;
 use std::fmt;
 
@@ -252,8 +253,7 @@ pub fn check_precedence(
         for &p in graph.predecessors(id) {
             let (s, e) = (start_of[id.index()], end_of[p.index()]);
             // Negated on purpose: a missing run leaves NaN, which must fail.
-            #[allow(clippy::neg_cmp_op_on_partial_ord)]
-            if !(s >= e - 1e-9) {
+            if !approx_le(e, s) {
                 return Err(format!("{id} starts at {s} before predecessor {p} ends at {e}"));
             }
         }
@@ -262,8 +262,7 @@ pub fn check_precedence(
     for r in &schedule.aborted {
         for &p in graph.predecessors(r.task) {
             let e = end_of[p.index()];
-            #[allow(clippy::neg_cmp_op_on_partial_ord)]
-            if !(r.start >= e - 1e-9) {
+            if !approx_le(e, r.start) {
                 return Err(format!(
                     "aborted run of {} starts at {} before predecessor {p} ends at {e}",
                     r.task, r.start

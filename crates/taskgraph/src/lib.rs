@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # heteroprio-taskgraph
 //!
 //! Task-graph substrate for the HeteroPrio reproduction: DAG representation

@@ -121,10 +121,5 @@ impl SchedEvent {
 /// order within ties. Live instrumentation already emits causally; this is
 /// for event lists reconstructed from a finished schedule.
 pub fn sort_causal(events: &mut [SchedEvent]) {
-    events.sort_by(|a, b| {
-        a.time()
-            .partial_cmp(&b.time())
-            .expect("event times are finite")
-            .then(a.order_rank().cmp(&b.order_rank()))
-    });
+    events.sort_by(|a, b| a.time().total_cmp(&b.time()).then(a.order_rank().cmp(&b.order_rank())));
 }

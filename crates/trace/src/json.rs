@@ -58,6 +58,13 @@ impl Value {
             _ => None,
         }
     }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 /// Parse a complete JSON document (trailing whitespace allowed).
@@ -143,7 +150,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number span contains only ASCII digits, sign, dot and exponent");
         text.parse::<f64>().map(Value::Num).map_err(|e| format!("bad number {text:?}: {e}"))
     }
 
@@ -190,7 +198,7 @@ impl Parser<'_> {
                     // Consume one UTF-8 character.
                     let rest =
                         std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
-                    let c = rest.chars().next().unwrap();
+                    let c = rest.chars().next().expect("peek() saw at least one byte");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -3,6 +3,7 @@
 //! The flat shape is meant for ad-hoc tooling (`jq`, pandas, grep); every
 //! line carries a `"type"` tag matching [`SchedEvent::kind`].
 
+use crate::json::{self, Value};
 use crate::{Decision, QueueEnd, SchedEvent};
 
 /// Render an event stream as line-delimited JSON.
@@ -78,6 +79,117 @@ fn line(e: &SchedEvent) -> String {
     }
 }
 
+/// Parse a JSONL trace produced by [`jsonl`] back into typed events.
+///
+/// Blank lines are skipped; any malformed line aborts with a message naming
+/// the 1-based line number. This is the ingestion path for `audit --trace`.
+pub fn parse_jsonl(text: &str) -> Result<Vec<SchedEvent>, String> {
+    let mut events = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        events.push(parse_event(&v).map_err(|e| format!("line {}: {e}", idx + 1))?);
+    }
+    Ok(events)
+}
+
+fn field_f64(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key).and_then(Value::as_f64).ok_or_else(|| format!("missing number field {key:?}"))
+}
+
+fn field_id(v: &Value, key: &str) -> Result<u32, String> {
+    let x = field_f64(v, key)?;
+    // lint: allow(float-eq): fract() is exactly 0.0 for integral values, no rounding involved.
+    if x.fract() != 0.0 || !(0.0..=u32::MAX as f64).contains(&x) {
+        return Err(format!("field {key:?} is not a valid id: {x}"));
+    }
+    // lint: allow(cast-trunc): fract()==0 and range-checked above, exact conversion.
+    Ok(x as u32)
+}
+
+fn parse_event(v: &Value) -> Result<SchedEvent, String> {
+    let kind = v
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing string field \"type\"".to_string())?;
+    let time = field_f64(v, "time")?;
+    if !time.is_finite() {
+        return Err(format!("non-finite time {time}"));
+    }
+    Ok(match kind {
+        "task_ready" => SchedEvent::TaskReady { time, task: field_id(v, "task")? },
+        "task_start" => SchedEvent::TaskStart {
+            time,
+            task: field_id(v, "task")?,
+            worker: field_id(v, "worker")?,
+            expected_end: field_f64(v, "expected_end")?,
+        },
+        "task_complete" => SchedEvent::TaskComplete {
+            time,
+            task: field_id(v, "task")?,
+            worker: field_id(v, "worker")?,
+        },
+        "spoliation" => SchedEvent::Spoliation {
+            time,
+            task: field_id(v, "task")?,
+            victim: field_id(v, "victim")?,
+            thief: field_id(v, "thief")?,
+            wasted_work: field_f64(v, "wasted_work")?,
+        },
+        "worker_idle_begin" => SchedEvent::WorkerIdleBegin { time, worker: field_id(v, "worker")? },
+        "worker_idle_end" => SchedEvent::WorkerIdleEnd { time, worker: field_id(v, "worker")? },
+        "queue_pop" => SchedEvent::QueuePop {
+            time,
+            task: field_id(v, "task")?,
+            worker: field_id(v, "worker")?,
+            end: match v.get("end").and_then(Value::as_str) {
+                Some("front") => QueueEnd::Front,
+                Some("back") => QueueEnd::Back,
+                other => return Err(format!("bad queue end {other:?}")),
+            },
+        },
+        "policy_decision" => SchedEvent::PolicyDecision {
+            time,
+            worker: field_id(v, "worker")?,
+            decision: match v.get("decision").and_then(Value::as_str) {
+                Some("pick") => Decision::Pick(field_id(v, "target")?),
+                Some("spoliate") => Decision::Spoliate(field_id(v, "target")?),
+                Some("idle") => Decision::Idle,
+                other => return Err(format!("bad decision {other:?}")),
+            },
+        },
+        "worker_down" => SchedEvent::WorkerDown {
+            time,
+            worker: field_id(v, "worker")?,
+            lost_task: match v.get("lost_task") {
+                Some(_) => Some(field_id(v, "lost_task")?),
+                None => None,
+            },
+            permanent: v
+                .get("permanent")
+                .and_then(Value::as_bool)
+                .ok_or("missing bool field \"permanent\"")?,
+        },
+        "worker_up" => SchedEvent::WorkerUp { time, worker: field_id(v, "worker")? },
+        "task_failed" => SchedEvent::TaskFailed {
+            time,
+            task: field_id(v, "task")?,
+            worker: field_id(v, "worker")?,
+            lost_work: field_f64(v, "lost_work")?,
+            attempt: field_id(v, "attempt")?,
+        },
+        "task_retry" => SchedEvent::TaskRetry {
+            time,
+            task: field_id(v, "task")?,
+            attempt: field_id(v, "attempt")?,
+            delay: field_f64(v, "delay")?,
+        },
+        other => return Err(format!("unknown event type {other:?}")),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +221,19 @@ mod tests {
             assert_eq!(v.get("type").unwrap().as_str(), Some(event.kind()));
             assert_eq!(v.get("time").unwrap().as_f64(), Some(event.time()));
         }
+        // And the parser inverts the exporter exactly.
+        assert_eq!(parse_jsonl(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_jsonl("{\"type\":\"task_ready\",\"time\":0.0}")
+            .unwrap_err()
+            .contains("task"));
+        assert!(parse_jsonl("not json\n").is_err());
+        assert!(parse_jsonl("{\"type\":\"nope\",\"time\":0.0}").unwrap_err().contains("nope"));
+        assert!(parse_jsonl("{\"type\":\"task_ready\",\"time\":0.0,\"task\":1.5}").is_err());
+        // Blank lines are fine.
+        assert_eq!(parse_jsonl("\n\n").unwrap(), vec![]);
     }
 }

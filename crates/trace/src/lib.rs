@@ -20,6 +20,8 @@
 //!
 //! `Schedule` above refers to `heteroprio_core::Schedule`.
 
+#![forbid(unsafe_code)]
+
 mod chrome;
 mod event;
 pub mod json;
@@ -29,6 +31,6 @@ mod summary;
 
 pub use chrome::{chrome_trace, ChromeTraceOptions};
 pub use event::{sort_causal, Decision, QueueEnd, SchedEvent};
-pub use jsonl::jsonl;
+pub use jsonl::{jsonl, parse_jsonl};
 pub use sink::{NullSink, TraceSink, VecSink};
 pub use summary::{TraceSummary, WorkerStats};

@@ -85,7 +85,10 @@ impl<T: KernelTiming> KernelTiming for JitteredTiming<T> {
         use rand::{Rng, SeedableRng};
         let (p, q) = self.inner.times(kernel);
         // Derive a per-kernel RNG so times are stable per kernel.
-        let k = Kernel::ALL.iter().position(|&x| x == kernel).unwrap() as u64;
+        let k = Kernel::ALL
+            .iter()
+            .position(|&x| x == kernel)
+            .expect("every Kernel variant is listed in Kernel::ALL") as u64;
         let mut rng =
             rand::rngs::StdRng::seed_from_u64(self.seed ^ (k.wrapping_mul(0x9E3779B97F4A7C15)));
         let lo = (1.0 + self.jitter).recip().ln();

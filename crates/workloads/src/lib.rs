@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # heteroprio-workloads
 //!
 //! The workloads of the paper's evaluation and analysis:

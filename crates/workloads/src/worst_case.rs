@@ -107,7 +107,9 @@ pub fn theorem11(m: usize, steps: usize) -> WorstCase {
     let fillers: Vec<(TaskId, f64)> =
         t4.iter().map(|&t| (t, eps * PHI)).chain(t3.iter().map(|&t| (t, eps))).collect();
     for (task, dur) in fillers {
-        let w = (0..loads.len()).min_by(|&a, &b| loads[a].total_cmp(&loads[b])).unwrap();
+        let w = (0..loads.len())
+            .min_by(|&a, &b| loads[a].total_cmp(&loads[b]))
+            .expect("m > 1, so there is at least one filler machine");
         runs.push(TaskRun {
             task,
             worker: WorkerId((w + 1) as u32),
@@ -290,7 +292,9 @@ pub fn theorem14(k: usize) -> WorstCase {
     // Fillers on CPUs n..m: T4 (length r) longest-first, then T3 (length 1).
     let mut loads = vec![0.0_f64; m - n];
     let place = |id: usize, dur: f64, runs: &mut Vec<TaskRun>, loads: &mut [f64]| {
-        let w = (0..loads.len()).min_by(|&a, &b| loads[a].total_cmp(&loads[b])).unwrap();
+        let w = (0..loads.len())
+            .min_by(|&a, &b| loads[a].total_cmp(&loads[b]))
+            .expect("m > n, so there is at least one filler CPU");
         runs.push(TaskRun {
             task: TaskId(id as u32),
             worker: WorkerId((n + w) as u32),
@@ -326,6 +330,8 @@ pub fn theorem14(k: usize) -> WorstCase {
 /// unrelated resources is unboundedly bad. Two tasks `(gap, 1)` on
 /// (1 CPU, 1 GPU): the list phase parks one on the CPU forever.
 pub fn no_spoliation_gap(gap: f64) -> WorstCase {
+    // lint: allow(float-ord): construction precondition on the caller's parameter, not a
+    // schedule-time comparison; any gap comfortably above 2 works.
     assert!(gap > 2.0);
     let instance = Instance::from_times(&[(gap, 1.0), (gap, 1.0)]);
     let platform = Platform::new(1, 1);

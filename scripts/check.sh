@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
-# Repo-wide checks, in the order a reviewer cares about them:
-# formatting, lints (warnings are errors), then the full test suite.
+# Repo-wide checks, in the order a reviewer cares about them: formatting,
+# lints (warnings are errors), the repo-specific lint gate, the full test
+# suite, then an end-to-end invariant-audit smoke.
 # Everything runs offline — the three external deps are vendored shims.
 set -eu
 cd "$(dirname "$0")/.."
@@ -11,7 +12,20 @@ cargo fmt --check
 echo "== cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== audit-lint (float-comparison / unwrap / cast / unsafe gate)"
+cargo run -q -p heteroprio-audit --bin audit-lint
+
 echo "== cargo test -q --workspace"
 cargo test -q --workspace
+
+echo "== audit smoke: record a trace, then re-audit it from disk"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+printf '8 1\n4 1\n2 2\n1 4\n3 3\n' > "$tmp/instance.txt"
+cargo run -q -p heteroprio-cli -- schedule --cpus 2 --gpus 1 --audit \
+    --trace "$tmp/trace.jsonl" "$tmp/instance.txt" > /dev/null
+cargo run -q -p heteroprio-cli -- audit --cpus 2 --gpus 1 \
+    --trace "$tmp/trace.jsonl" "$tmp/instance.txt"
+cargo run -q -p heteroprio-cli -- audit cholesky 8 --cpus 2 --gpus 1
 
 echo "all checks passed"

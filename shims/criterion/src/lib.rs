@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Offline stand-in for the `criterion` crate (0.8 API subset).
 //!
 //! This workspace builds in environments with no access to crates.io, so the

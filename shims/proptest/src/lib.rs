@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Offline stand-in for the `proptest` crate (1.x API subset).
 //!
 //! This workspace builds in environments with no access to crates.io, so the

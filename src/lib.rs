@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # heteroprio
 //!
 //! A from-scratch reproduction of *"Approximation Proofs of a Fast and
@@ -37,6 +39,7 @@
 //! assert!(result.makespan() <= (2.0 + 2.0_f64.sqrt()) * opt + 1e-9);
 //! ```
 
+pub use heteroprio_audit as audit;
 pub use heteroprio_bounds as bounds;
 pub use heteroprio_cli as cli;
 pub use heteroprio_core as core;
