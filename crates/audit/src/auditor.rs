@@ -33,6 +33,10 @@ pub struct AuditOptions {
     /// Caller-supplied lower bound (e.g. the DAG bound); defaults to the
     /// paper's combined bound `max(AreaBound, max_i min(p_i, q_i))`.
     pub lower_bound: Option<f64>,
+    /// The run was produced by DualHP (§6): additionally check the
+    /// informational DualHP rules — no spoliation ever, and (for
+    /// independent-task runs) the dual-approximation partition structure.
+    pub dualhp: bool,
 }
 
 impl AuditOptions {
@@ -44,12 +48,20 @@ impl AuditOptions {
             dag: false,
             max_overhead: 0.0,
             lower_bound: None,
+            dualhp: false,
         }
     }
 
     /// HeteroPrio driving a task graph through the simulator/runtime.
     pub fn dag_run(max_overhead: f64, lower_bound: Option<f64>) -> Self {
-        AuditOptions { heteroprio: true, faulty: false, dag: true, max_overhead, lower_bound }
+        AuditOptions {
+            heteroprio: true,
+            faulty: false,
+            dag: true,
+            max_overhead,
+            lower_bound,
+            dualhp: false,
+        }
     }
 
     /// A non-HeteroPrio policy: only well-formedness and the certificates.
@@ -60,7 +72,15 @@ impl AuditOptions {
             dag: false,
             max_overhead: 0.0,
             lower_bound: None,
+            dualhp: false,
         }
+    }
+
+    /// A DualHP run: the generic rules plus the informational DualHP
+    /// invariants ([`Rule::DualHpSpoliationFree`],
+    /// [`Rule::DualHpPartitionConsistency`]).
+    pub fn dualhp() -> Self {
+        AuditOptions { dualhp: true, ..AuditOptions::generic() }
     }
 
     pub fn with_faults(mut self) -> Self {
@@ -106,15 +126,20 @@ pub fn audit(
                 .push((rule, "trace has no queue events (reconstructed from schedule)".into()));
         }
     } else {
-        Replay::new(instance, platform, schedule, opts).run(events, &mut report);
+        let mut replay = Replay::new(instance, platform, opts.max_overhead);
+        replay.has_pops = events.iter().any(|e| matches!(e, SchedEvent::QueuePop { .. }));
+        replay.run(events, schedule, &mut report);
     }
 
+    if opts.dualhp {
+        crate::dualhp_rules::check_dualhp(instance, platform, schedule, events, opts, &mut report);
+    }
     check_area_bound(instance, platform, &mut report);
     check_approx_ratio(instance, platform, schedule, opts, &mut report);
     report
 }
 
-fn check_well_formed(
+pub(crate) fn check_well_formed(
     instance: &Instance,
     platform: &Platform,
     schedule: &Schedule,
@@ -145,7 +170,7 @@ fn check_well_formed(
     }
 }
 
-fn check_area_bound(instance: &Instance, platform: &Platform, report: &mut AuditReport) {
+pub(crate) fn check_area_bound(instance: &Instance, platform: &Platform, report: &mut AuditReport) {
     if instance.is_empty() {
         report.skipped.push((Rule::AreaBoundCertificate, "empty instance".into()));
         return;
@@ -163,7 +188,7 @@ fn check_area_bound(instance: &Instance, platform: &Platform, report: &mut Audit
     }
 }
 
-fn check_approx_ratio(
+pub(crate) fn check_approx_ratio(
     instance: &Instance,
     platform: &Platform,
     schedule: &Schedule,
@@ -220,11 +245,18 @@ struct Running {
 /// Replays the event stream, maintaining the scheduler's observable state
 /// (ready set, running tasks, idle/alive flags) and checking the HeteroPrio
 /// queue-discipline rules event by event.
-struct Replay<'a> {
+///
+/// The replay is incremental: events are fed one at a time through
+/// [`Replay::push`] (this is what lets [`crate::StreamAuditor`] report
+/// violations *during* a run), and [`Replay::reconcile_aborts`] closes the
+/// books against the final [`Schedule`]. The batch [`audit`] entry point
+/// drives the same machinery over a complete stream.
+pub(crate) struct Replay<'a> {
     instance: &'a Instance,
     platform: &'a Platform,
-    schedule: &'a Schedule,
-    opts: &'a AuditOptions,
+    /// Pessimistic slack for the spoliation victim-scan check (the
+    /// `max_overhead` of [`AuditOptions`]).
+    max_overhead: f64,
     ready: Vec<bool>,
     ready_count: usize,
     running: Vec<Option<Running>>,
@@ -237,22 +269,22 @@ struct Replay<'a> {
     /// runs), to reconcile against `schedule.aborted` at the end.
     abort_events: Vec<(u32, u32, f64)>,
     /// Whether the stream carries `QueuePop` events (the independent-task
-    /// simulator) or only `PolicyDecision::Pick` (the DAG engine).
-    has_pops: bool,
+    /// engines) or only `PolicyDecision::Pick` (the DAG engine). Batch
+    /// audits precompute this; streaming audits learn it at the first pop
+    /// (engines emit one kind of queue record, never both).
+    pub(crate) has_pops: bool,
+    /// Index of the next event [`Replay::push`] will see.
+    index: usize,
+    /// Latest event timestamp seen so far.
+    now: f64,
 }
 
 impl<'a> Replay<'a> {
-    fn new(
-        instance: &'a Instance,
-        platform: &'a Platform,
-        schedule: &'a Schedule,
-        opts: &'a AuditOptions,
-    ) -> Self {
+    pub(crate) fn new(instance: &'a Instance, platform: &'a Platform, max_overhead: f64) -> Self {
         Replay {
             instance,
             platform,
-            schedule,
-            opts,
+            max_overhead,
             ready: vec![false; instance.len()],
             ready_count: 0,
             running: vec![None; platform.workers()],
@@ -261,32 +293,44 @@ impl<'a> Replay<'a> {
             pending_restart: vec![None; instance.len()],
             abort_events: Vec::new(),
             has_pops: false,
+            index: 0,
+            now: f64::NEG_INFINITY,
         }
     }
 
-    fn run(mut self, events: &[SchedEvent], report: &mut AuditReport) {
-        self.has_pops = events.iter().any(|e| matches!(e, SchedEvent::QueuePop { .. }));
-        let mut now = f64::NEG_INFINITY;
-        for (i, e) in events.iter().enumerate() {
-            let t = e.time();
-            if strictly_less(t, now) {
-                report.violations.push(Violation {
-                    rule: Rule::WellFormed,
-                    event_index: Some(i),
-                    time: Some(t),
-                    worker: None,
-                    message: format!("event time goes backwards ({t} after {now})"),
-                });
-            }
-            if strictly_less(now, t) && now.is_finite() {
-                // Time is about to advance: the state at `now` is final, so
-                // the list property must hold in it.
-                self.check_no_idle(now, i.saturating_sub(1), report);
-            }
-            now = now.max(t);
-            self.step(i, e, report);
+    fn run(mut self, events: &[SchedEvent], schedule: &Schedule, report: &mut AuditReport) {
+        for e in events {
+            self.push(e, report);
         }
-        self.reconcile_aborts(report);
+        self.reconcile_aborts(schedule, report);
+    }
+
+    /// Feed one event: time-monotonicity, the settled-state list property
+    /// when time advances, then the per-event rules.
+    pub(crate) fn push(&mut self, e: &SchedEvent, report: &mut AuditReport) {
+        let i = self.index;
+        self.index += 1;
+        if matches!(e, SchedEvent::QueuePop { .. }) {
+            self.has_pops = true;
+        }
+        let t = e.time();
+        if strictly_less(t, self.now) {
+            report.violations.push(Violation {
+                rule: Rule::WellFormed,
+                event_index: Some(i),
+                time: Some(t),
+                worker: None,
+                message: format!("event time goes backwards ({t} after {})", self.now),
+            });
+        }
+        if strictly_less(self.now, t) && self.now.is_finite() {
+            // Time is about to advance: the state at `now` is final, so
+            // the list property must hold in it.
+            let now = self.now;
+            self.check_no_idle(now, i.saturating_sub(1), report);
+        }
+        self.now = self.now.max(t);
+        self.step(i, e, report);
     }
 
     /// Lemma 3's list property: once all same-timestamp activity has
@@ -579,7 +623,7 @@ impl<'a> Replay<'a> {
                 }
                 let steal = time
                     + self.instance.task(TaskId(u_run.task as u32)).time_on(thief_kind)
-                    + self.opts.max_overhead;
+                    + self.max_overhead;
                 if strictly_less(run.expected_end, u_run.expected_end)
                     && strictly_less(steal, u_run.expected_end)
                 {
@@ -605,10 +649,10 @@ impl<'a> Replay<'a> {
 
     /// Every abort the trace reports must appear in `schedule.aborted` and
     /// vice versa (same task, worker and end time).
-    fn reconcile_aborts(&mut self, report: &mut AuditReport) {
+    pub(crate) fn reconcile_aborts(&mut self, schedule: &Schedule, report: &mut AuditReport) {
         report.checks += 1;
         let mut from_schedule: Vec<(u32, u32, f64)> =
-            self.schedule.aborted.iter().map(|r| (r.task.0, r.worker.0, r.end)).collect();
+            schedule.aborted.iter().map(|r| (r.task.0, r.worker.0, r.end)).collect();
         let key = |x: &(u32, u32, f64)| (x.0, x.1, F64Ord::new(x.2));
         from_schedule.sort_by_key(key);
         self.abort_events.sort_by_key(key);
@@ -701,6 +745,7 @@ pub fn schedule_from_events(events: &[SchedEvent]) -> Schedule {
                 let w = slot(&mut open, worker);
                 if let Some((t, start)) = open[w].take() {
                     if t == task {
+                        // lint: allow(schedule-mut): this function *reconstructs* a schedule from a trace.
                         schedule.runs.push(TaskRun {
                             task: TaskId(task),
                             worker: WorkerId(worker),
@@ -713,6 +758,7 @@ pub fn schedule_from_events(events: &[SchedEvent]) -> Schedule {
                 }
                 // No matching start: record a zero-length run and let the
                 // auditor's well-formedness checks call it out.
+                // lint: allow(schedule-mut): trace reconstruction, not engine output.
                 schedule.runs.push(TaskRun {
                     task: TaskId(task),
                     worker: WorkerId(worker),
@@ -729,6 +775,7 @@ pub fn schedule_from_events(events: &[SchedEvent]) -> Schedule {
                         time
                     }
                 };
+                // lint: allow(schedule-mut): trace reconstruction, not engine output.
                 schedule.aborted.push(TaskRun {
                     task: TaskId(task),
                     worker: WorkerId(victim),
@@ -745,6 +792,7 @@ pub fn schedule_from_events(events: &[SchedEvent]) -> Schedule {
                         time
                     }
                 };
+                // lint: allow(schedule-mut): trace reconstruction, not engine output.
                 schedule.aborted.push(TaskRun {
                     task: TaskId(task),
                     worker: WorkerId(worker),
@@ -759,6 +807,7 @@ pub fn schedule_from_events(events: &[SchedEvent]) -> Schedule {
                         open[w] = None;
                     }
                 }
+                // lint: allow(schedule-mut): trace reconstruction, not engine output.
                 schedule.aborted.push(TaskRun {
                     task: TaskId(task),
                     worker: WorkerId(worker),

@@ -9,13 +9,19 @@
 //!    preconditions, the Lemma 1–2 structure of the area bound, and the
 //!    Theorem 7/9/12 approximation certificate. Violations carry the event
 //!    index, simulated time and worker; the [`AuditReport`] serializes to
-//!    JSON for tooling.
+//!    JSON for tooling. The same rules also run **online**:
+//!    [`StreamAuditor`] is a `TraceSink` that plugs into any traced engine
+//!    entry point and reports violations at the offending event while the
+//!    run executes. Informational DualHP rules (§6) are opt-in via
+//!    [`AuditOptions::dualhp`](auditor::AuditOptions::dualhp).
 //!
 //! 2. **The lint gate** ([`lint`]): repo-specific source checks that clippy
 //!    cannot express — raw f64 comparisons outside `core/src/time.rs`, bare
-//!    `unwrap()` in library code, truncating casts of scheduling math, and
-//!    `#![forbid(unsafe_code)]` on every crate root. Run via the
-//!    `audit-lint` binary from `scripts/check.sh` and CI.
+//!    `unwrap()` in library code, truncating casts of scheduling math,
+//!    mutation of a `Schedule`'s vectors outside `crates/core` (the kernel
+//!    owns schedule construction), and `#![forbid(unsafe_code)]` on every
+//!    crate root. Run via the `audit-lint` binary from `scripts/check.sh`
+//!    and CI.
 //!
 //! The crate deliberately depends only on `core`, `trace` and `bounds`: the
 //! simulator, runtime and CLI call *into* it, never the other way around.
@@ -23,9 +29,12 @@
 #![forbid(unsafe_code)]
 
 pub mod auditor;
+pub(crate) mod dualhp_rules;
 pub mod lint;
 pub mod report;
+pub mod stream;
 
 pub use auditor::{audit, schedule_from_events, AuditOptions};
 pub use lint::{lint_source, lint_workspace, LintViolation};
 pub use report::{AuditReport, RatioCertificate, Rule, Violation};
+pub use stream::StreamAuditor;

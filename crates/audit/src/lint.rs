@@ -17,6 +17,11 @@
 //!   like scheduling math (contains a float literal, `f64`/`f32`,
 //!   `ceil`/`floor`/`round`, or `*` / `/` arithmetic). Deliberate
 //!   quantization must be allow-listed.
+//! * `schedule-mut` — mutating calls on a `.runs` / `.aborted` field outside
+//!   `crates/core`. The kernel owns `Schedule` construction; everything else
+//!   receives one and must treat it as sealed. Reconstruction paths (e.g.
+//!   rebuilding a schedule from a recorded trace) allow-list each site with
+//!   the reason.
 //! * `forbid-unsafe` — every crate root must carry `#![forbid(unsafe_code)]`
 //!   (checked by [`lint_workspace`], not per-line).
 //!
@@ -39,6 +44,7 @@ pub const RULES: &[(&str, &str)] = &[
     ("partial-cmp", ".partial_cmp( outside core/src/time.rs"),
     ("unwrap", "bare .unwrap() in non-test library code"),
     ("cast-trunc", "integer `as` cast of scheduling math without an allow comment"),
+    ("schedule-mut", "Schedule runs/aborted mutated outside crates/core"),
     ("forbid-unsafe", "crate root missing #![forbid(unsafe_code)]"),
 ];
 
@@ -62,6 +68,7 @@ impl fmt::Display for LintViolation {
 /// reporting and for the `time.rs` exemption.
 pub fn lint_source(path: &str, text: &str) -> Vec<LintViolation> {
     let float_exempt = path.ends_with("core/src/time.rs");
+    let schedule_exempt = path.starts_with("crates/core/");
     let mut violations = Vec::new();
     let mut stripper = Stripper::default();
     let lines: Vec<&str> = text.lines().collect();
@@ -128,6 +135,9 @@ pub fn lint_source(path: &str, text: &str) -> Vec<LintViolation> {
             check_float_comparisons(code, &mut push);
         }
         check_int_casts(code, &mut push);
+        if !schedule_exempt {
+            check_schedule_mutations(code, &mut push);
+        }
     }
     violations
 }
@@ -391,6 +401,41 @@ fn check_float_comparisons(code: &str, push: &mut impl FnMut(&'static str, Strin
                         "raw float comparison `{}{op}{}`; use time::strictly_less / approx_le",
                         left.trim(),
                         right.trim(),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Mutating `Vec` methods that count as rewriting a `Schedule` when called
+/// on a `.runs` / `.aborted` field. Reads (`len`, `iter`, indexing) pass.
+const SCHEDULE_MUTATORS: &[&str] = &[
+    "push",
+    "pop",
+    "clear",
+    "retain",
+    "truncate",
+    "extend",
+    "insert",
+    "remove",
+    "swap_remove",
+    "append",
+    "drain",
+    "iter_mut",
+];
+
+fn check_schedule_mutations(code: &str, push: &mut impl FnMut(&'static str, String)) {
+    for field in [".runs.", ".aborted."] {
+        for pos in find_all(code, field) {
+            let method = token_right(code, pos + field.len());
+            if SCHEDULE_MUTATORS.contains(&method) || method.starts_with("sort") {
+                let owner = token_left(code, pos);
+                push(
+                    "schedule-mut",
+                    format!(
+                        "`{owner}{field}{method}()` mutates a Schedule outside crates/core; \
+                         route the change through the kernel or allow-list the invariant"
                     ),
                 );
             }
@@ -733,6 +778,29 @@ mod tests {
         let got = lint_source("x.rs", tricky);
         assert_eq!(got.len(), 1, "{got:?}");
         assert_eq!(got[0].line, 5);
+    }
+
+    #[test]
+    fn schedule_mut_rule_fires_outside_core_only() {
+        let mutation = "fn f(s: &mut Schedule) { s.runs.push(r); }\n";
+        assert_eq!(rules_of("crates/simulator/src/engine.rs", mutation), vec!["schedule-mut"]);
+        assert_eq!(
+            rules_of("crates/runtime/src/lib.rs", "sched.aborted.clear();"),
+            vec!["schedule-mut"]
+        );
+        assert_eq!(
+            rules_of("crates/cli/src/commands.rs", "s.runs.sort_by(cmp);"),
+            vec!["schedule-mut"]
+        );
+        // crates/core owns Schedule construction and is exempt.
+        assert!(rules_of("crates/core/src/kernel.rs", mutation).is_empty());
+        // Reads are fine anywhere.
+        assert!(rules_of("crates/cli/src/commands.rs", "let n = s.runs.len();").is_empty());
+        assert!(rules_of("crates/audit/src/auditor.rs", "for r in &s.aborted {}").is_empty());
+        // The escape hatch works and demands a reason.
+        let allowed =
+            "// lint: allow(schedule-mut): rebuilding a schedule from a trace.\ns.runs.push(r);\n";
+        assert!(rules_of("crates/audit/src/auditor.rs", allowed).is_empty());
     }
 
     #[test]

@@ -27,16 +27,30 @@ pub enum Rule {
     /// Theorems 7/9/12: makespan within the proven ratio of the combined
     /// lower bound, with the per-instance witness attached.
     ApproxRatioCertificate,
+    /// §6 (Bleuse et al. \[15\]): DualHP never migrates running work — any
+    /// spoliation or aborted run in a DualHP trace is outside its rules.
+    /// Informational: only checked when [`AuditOptions::dualhp`] is set.
+    ///
+    /// [`AuditOptions::dualhp`]: crate::AuditOptions
+    DualHpSpoliationFree,
+    /// §6 partition structure: for the smallest feasible λ, tasks longer
+    /// than λ on one class run on the other, and each class finishes within
+    /// 2λ. Informational: only checked when [`AuditOptions::dualhp`] is set.
+    ///
+    /// [`AuditOptions::dualhp`]: crate::AuditOptions
+    DualHpPartitionConsistency,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 8] = [
         Rule::WellFormed,
         Rule::NoIdleWithReadyWork,
         Rule::PopOrderConsistency,
         Rule::SpoliationLegality,
         Rule::AreaBoundCertificate,
         Rule::ApproxRatioCertificate,
+        Rule::DualHpSpoliationFree,
+        Rule::DualHpPartitionConsistency,
     ];
 
     /// Stable snake-case name used in reports and CLI output.
@@ -48,6 +62,8 @@ impl Rule {
             Rule::SpoliationLegality => "spoliation_legality",
             Rule::AreaBoundCertificate => "area_bound_certificate",
             Rule::ApproxRatioCertificate => "approx_ratio_certificate",
+            Rule::DualHpSpoliationFree => "dualhp_spoliation_free",
+            Rule::DualHpPartitionConsistency => "dualhp_partition_consistency",
         }
     }
 
@@ -60,6 +76,8 @@ impl Rule {
             Rule::SpoliationLegality => "spoliation mechanism, §3",
             Rule::AreaBoundCertificate => "Lemmas 1-2, §4.2",
             Rule::ApproxRatioCertificate => "Theorems 7, 9, 12",
+            Rule::DualHpSpoliationFree => "DualHP, §6 / Bleuse et al. [15]",
+            Rule::DualHpPartitionConsistency => "DualHP dual approximation, §6",
         }
     }
 }

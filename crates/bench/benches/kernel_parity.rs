@@ -1,0 +1,50 @@
+//! The unification pin: the shared event kernel must be no slower — and
+//! makespan-identical — compared to the frozen pre-kernel seed engine it
+//! replaced, on Fig. 6-scale instances (Cholesky kernel mix of an N-tile
+//! factorization on the paper's 20 CPU + 4 GPU machine).
+//!
+//! Run with `--test` for a smoke pass (parity asserts only, no timing); the
+//! full run reports wall-clock for both engines side by side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use heteroprio_bench::seed_reference::seed_heteroprio;
+use heteroprio_core::{heteroprio, HeteroPrioConfig};
+use heteroprio_taskgraph::Factorization;
+use heteroprio_workloads::{independent_instance, paper_platform, ChameleonTiming};
+use std::hint::black_box;
+
+fn kernel_parity(c: &mut Criterion) {
+    let platform = paper_platform();
+    let config = HeteroPrioConfig::new();
+    let mut group = c.benchmark_group("kernel_parity");
+    for &n in &[16usize, 32, 64] {
+        let instance = independent_instance(Factorization::Cholesky, n, &ChameleonTiming);
+        // Parity gate first: the benchmark refuses to publish numbers for
+        // engines that disagree.
+        let seed = seed_heteroprio(&instance, &platform, &config);
+        let unified = heteroprio(&instance, &platform, &config);
+        assert_eq!(
+            seed.makespan().to_bits(),
+            unified.makespan().to_bits(),
+            "kernel diverged from seed engine at n={n}: {} vs {}",
+            seed.makespan(),
+            unified.makespan(),
+        );
+        assert_eq!(seed.spoliations, unified.spoliations, "spoliation count diverged at n={n}");
+        group.throughput(Throughput::Elements(instance.len() as u64));
+        group.bench_with_input(BenchmarkId::new("seed", n), &instance, |b, inst| {
+            b.iter(|| black_box(seed_heteroprio(inst, &platform, &config).makespan()))
+        });
+        group.bench_with_input(BenchmarkId::new("kernel", n), &instance, |b, inst| {
+            b.iter(|| black_box(heteroprio(inst, &platform, &config).makespan()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = kernel_parity
+}
+criterion_main!(benches);

@@ -7,9 +7,13 @@
 //!   cost of each scheduler on growing ready sets;
 //! * `figures` — regeneration benches, one group per paper table/figure;
 //! * `ablations` — design-choice ablations (spoliation on/off, ranking
-//!   schemes, tie-break adversaries, HEFT insertion).
+//!   schemes, tie-break adversaries, HEFT insertion);
+//! * `kernel_parity` — the unified event kernel vs the frozen seed engine
+//!   ([`seed_reference`]): identical makespans, comparable wall-clock.
 
 #![forbid(unsafe_code)]
+
+pub mod seed_reference;
 
 use heteroprio_core::Instance;
 use heteroprio_workloads::{random_instance, RandomInstanceParams};

@@ -2,7 +2,7 @@
 //! unit-tested. Each command returns the text it would print.
 
 use crate::format::{parse_instance, serialize_instance};
-use heteroprio_audit::{audit, schedule_from_events, AuditOptions};
+use heteroprio_audit::{audit, schedule_from_events, AuditOptions, AuditReport, StreamAuditor};
 use heteroprio_bounds::{combined_lower_bound, optimal_makespan, MAX_EXACT_TASKS};
 use heteroprio_core::gantt::to_svg;
 use heteroprio_core::{
@@ -12,7 +12,8 @@ use heteroprio_schedulers::{dualhp_independent, heft, heuristic_schedule, HeftVa
 use heteroprio_simulator::{FaultPlan, FaultSpec, RetryPolicy};
 use heteroprio_taskgraph::{Factorization, TaskGraph, WeightScheme};
 use heteroprio_trace::{
-    chrome_trace, jsonl, parse_jsonl, ChromeTraceOptions, SchedEvent, TraceSummary, VecSink,
+    chrome_trace, jsonl, parse_jsonl, ChromeTraceOptions, SchedEvent, TeeSink, TraceSummary,
+    VecSink,
 };
 use heteroprio_workloads::{independent_instance, ChameleonTiming};
 use std::fmt::Write as _;
@@ -211,6 +212,16 @@ impl Algo {
 
     pub const NAMES: &'static str = "hp, hp-ns, dualhp, heft, minmin, maxmin, sufferage, mct";
 
+    /// The engine configuration for the instrumented (live-traced)
+    /// HeteroPrio variants; `None` for the static algorithms.
+    fn config(self) -> Option<HeteroPrioConfig> {
+        match self {
+            Algo::HeteroPrio => Some(HeteroPrioConfig::new()),
+            Algo::HeteroPrioNoSpoliation => Some(HeteroPrioConfig::without_spoliation()),
+            _ => None,
+        }
+    }
+
     /// Run the scheduler and also return its event stream: live events for
     /// the instrumented HeteroPrio variants, a stream reconstructed from
     /// the finished schedule for the static algorithms.
@@ -219,12 +230,7 @@ impl Algo {
         instance: &Instance,
         platform: &Platform,
     ) -> (Schedule, Vec<SchedEvent>) {
-        let config = match self {
-            Algo::HeteroPrio => Some(HeteroPrioConfig::new()),
-            Algo::HeteroPrioNoSpoliation => Some(HeteroPrioConfig::without_spoliation()),
-            _ => None,
-        };
-        match config {
+        match self.config() {
             Some(config) => {
                 let mut sink = VecSink::new();
                 let result = heteroprio_traced(instance, platform, &config, &mut sink);
@@ -270,10 +276,33 @@ pub fn cmd_schedule(
     if instance.is_empty() {
         return Err("instance is empty".to_string());
     }
-    let (schedule, events) = if opts.wants_events() {
-        algo.run_traced(&instance, platform)
-    } else {
-        (algo.run(&instance, platform), Vec::new())
+    // Under `--audit`, live HeteroPrio runs stream their events through the
+    // online auditor as the engine emits them (a tee also records the stream
+    // for `--trace`/`--summary`); static algorithms are batch-audited on the
+    // stream reconstructed from their finished schedule.
+    let (schedule, events, audit_report) = match (opts.audit, algo.config()) {
+        (true, Some(config)) => {
+            let mut sink = VecSink::new();
+            let mut auditor = StreamAuditor::new(&instance, platform, audit_opts(algo));
+            let result = heteroprio_traced(
+                &instance,
+                platform,
+                &config,
+                &mut TeeSink(&mut sink, &mut auditor),
+            );
+            let report = auditor.finish(&result.schedule);
+            (result.schedule, sink.into_events(), Some(report))
+        }
+        (true, None) => {
+            let (schedule, events) = algo.run_traced(&instance, platform);
+            let report = audit(&instance, platform, &schedule, &events, &audit_opts(algo));
+            (schedule, events, Some(report))
+        }
+        (false, _) if opts.wants_events() => {
+            let (schedule, events) = algo.run_traced(&instance, platform);
+            (schedule, events, None)
+        }
+        (false, _) => (algo.run(&instance, platform), Vec::new(), None),
     };
     schedule
         .validate(&instance, platform)
@@ -305,12 +334,8 @@ pub fn cmd_schedule(
         let summary = TraceSummary::from_events(platform.workers(), &events);
         out.push_str(&format_summary(&summary, platform));
     }
-    if opts.audit {
-        let audit_report = audit(&instance, platform, &schedule, &events, &audit_opts(algo));
-        if !audit_report.is_clean() {
-            return Err(format!("audit failed:\n{}", audit_report.render()));
-        }
-        out.push_str(&audit_report.render());
+    if let Some(report) = &audit_report {
+        out.push_str(&finish_audit(report)?);
     }
     let trace = opts.trace.as_ref().map(|path| {
         let chrome_opts =
@@ -321,6 +346,18 @@ pub fn cmd_schedule(
     Ok(CmdOutput { report: out, svg, trace })
 }
 
+/// The one place an audit outcome turns into CLI text: a clean report is
+/// rendered into the command output, a dirty one aborts the command with
+/// the same rendering. Shared by the `audit` subcommand and the
+/// `schedule`/`dag` `--audit` flags.
+fn finish_audit(report: &AuditReport) -> Result<String, String> {
+    if report.is_clean() {
+        Ok(report.render())
+    } else {
+        Err(format!("audit failed:\n{}", report.render()))
+    }
+}
+
 /// Audit options matching what an independent-task `Algo` run guarantees.
 fn audit_opts(algo: Algo) -> AuditOptions {
     match algo {
@@ -329,6 +366,9 @@ fn audit_opts(algo: Algo) -> AuditOptions {
         // theorem constants are proven for full HeteroPrio only (§3 shows
         // the ratio is unbounded otherwise) — report, don't enforce.
         Algo::HeteroPrioNoSpoliation => AuditOptions { dag: true, ..AuditOptions::independent() },
+        // DualHP gets its informational partition/no-steal rules on top of
+        // the generic certificate checks.
+        Algo::DualHp => AuditOptions::dualhp(),
         _ => AuditOptions::generic(),
     }
 }
@@ -355,11 +395,7 @@ pub fn cmd_audit(
         None => algo.run_traced(&instance, platform),
     };
     let report = audit(&instance, platform, &schedule, &events, &audit_opts(algo));
-    if report.is_clean() {
-        Ok(report.render())
-    } else {
-        Err(format!("audit failed:\n{}", report.render()))
-    }
+    finish_audit(&report)
 }
 
 /// `bounds`: print every lower bound we can compute (plus the exact optimum
@@ -502,10 +538,7 @@ pub fn cmd_dag(
         }
         let audit_report =
             audit(report.graph.instance(), platform, &report.schedule, &report.events, &aopts);
-        if !audit_report.is_clean() {
-            return Err(format!("audit failed:\n{}", audit_report.render()));
-        }
-        out.push_str(&audit_report.render());
+        out.push_str(&finish_audit(&audit_report)?);
     }
     let trace = opts.trace.as_ref().map(|path| {
         let task_names = (0..report.graph.len())
@@ -619,6 +652,19 @@ mod tests {
             json::parse(line).expect("each JSONL line parses");
         }
         assert!(contents.contains("task_complete"));
+    }
+
+    #[test]
+    fn audit_flag_streams_clean_for_live_and_static_algorithms() {
+        let plat = Platform::new(2, 1);
+        let opts = OutputOpts { audit: true, ..OutputOpts::default() };
+        // HeteroPrio goes through the streaming auditor, HEFT and DualHP
+        // through the batch path (DualHP with its partition rules enabled);
+        // all must report clean and end up in the same report format.
+        for algo in [Algo::HeteroPrio, Algo::Heft, Algo::DualHp] {
+            let out = cmd_schedule(SAMPLE, &plat, algo, &opts).unwrap();
+            assert!(out.report.contains("audit clean"), "{algo:?}: {}", out.report);
+        }
     }
 
     #[test]

@@ -18,13 +18,19 @@
 //! * the queue order among tasks with equal ρ ([`QueueTieBreak`]),
 //! * the spoliation order among victims with equal completion time
 //!   ([`SpoliationTieBreak`]).
+//!
+//! The event loop itself lives in [`crate::kernel`]; this module contributes
+//! the Algorithm 1 queue discipline as a [`KernelPolicy`] over an
+//! all-ready-at-zero [`Workload`].
 
+use crate::kernel::{
+    self, FaultModel, KernelContext, KernelOptions, KernelPolicy, Pick, RunningTask, Workload,
+};
 use crate::model::{Instance, Platform, ResourceKind, TaskId, WorkerId};
-use crate::schedule::{Schedule, TaskRun};
-use crate::time::{strictly_less, F64Ord};
-use heteroprio_trace::{NullSink, QueueEnd, SchedEvent, TraceSink, TraceSummary};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use crate::schedule::Schedule;
+use crate::time::strictly_less;
+use heteroprio_trace::{NullSink, QueueEnd, TraceSink, TraceSummary};
+use std::collections::VecDeque;
 
 /// Order in which simultaneously idle workers are given the chance to act.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -112,13 +118,6 @@ impl HeteroPrioResult {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Running {
-    task: TaskId,
-    start: f64,
-    end: f64,
-}
-
 /// Build the ready queue: non-increasing acceleration factor, ties per
 /// `tie`. Exposed for reuse by the DAG-mode policy in
 /// `heteroprio-schedulers`.
@@ -159,6 +158,104 @@ pub fn sorted_queue(instance: &Instance, ids: &[TaskId], tie: QueueTieBreak) -> 
     q.into()
 }
 
+/// The paper's spoliation victim scan for idle worker `w`: tasks running on
+/// the other resource class, in decreasing order of expected completion time
+/// (ties per `tie`), first one strictly improvable. Shared by the offline
+/// and online queue policies.
+pub(crate) fn scan_victim(
+    instance: &Instance,
+    tie: SpoliationTieBreak,
+    w: WorkerId,
+    ctx: &KernelContext<'_>,
+) -> Option<WorkerId> {
+    let my_kind = ctx.platform.kind_of(w);
+    let mut candidates: Vec<(WorkerId, RunningTask)> = ctx
+        .platform
+        .workers_of(my_kind.other())
+        .filter_map(|v| ctx.running[v.index()].map(|r| (v, r)))
+        .collect();
+    candidates.sort_by(|(_, a), (_, b)| {
+        b.end.total_cmp(&a.end).then_with(|| {
+            let ta = instance.task(a.task);
+            let tb = instance.task(b.task);
+            match tie {
+                SpoliationTieBreak::PriorityThenId => {
+                    tb.priority.total_cmp(&ta.priority).then(a.task.cmp(&b.task))
+                }
+                SpoliationTieBreak::IdAscending => a.task.cmp(&b.task),
+                SpoliationTieBreak::IdDescending => b.task.cmp(&a.task),
+            }
+        })
+    });
+    for (v, r) in candidates {
+        let new_end = ctx.now + instance.task(r.task).time_on(my_kind);
+        if strictly_less(new_end, r.end) {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// All tasks of an [`Instance`] ready at time zero, no dependencies.
+struct IndependentWorkload<'a> {
+    instance: &'a Instance,
+}
+
+impl Workload for IndependentWorkload<'_> {
+    fn len(&self) -> usize {
+        self.instance.len()
+    }
+
+    fn initial(&mut self) -> Vec<TaskId> {
+        self.instance.ids().collect()
+    }
+
+    fn duration(
+        &self,
+        task: TaskId,
+        kind: ResourceKind,
+        _ran_kind: &[Option<ResourceKind>],
+    ) -> f64 {
+        self.instance.task(task).time_on(kind)
+    }
+}
+
+/// Algorithm 1's double-ended sorted queue as a [`KernelPolicy`].
+struct IndependentPolicy<'a> {
+    instance: &'a Instance,
+    config: HeteroPrioConfig,
+    queue: VecDeque<TaskId>,
+}
+
+impl KernelPolicy for IndependentPolicy<'_> {
+    fn on_ready(&mut self, tasks: &[TaskId], _ctx: &KernelContext<'_>) {
+        // Independent tasks: everything arrives in one batch at t = 0 (plus
+        // kernel restarts after spoliation, which re-enter through `pick`'s
+        // own bookkeeping — the kernel restarts stolen tasks directly, so
+        // this is called exactly once).
+        self.queue = sorted_queue(self.instance, tasks, self.config.queue_tie);
+    }
+
+    fn pick(&mut self, worker: WorkerId, ctx: &KernelContext<'_>) -> Option<Pick> {
+        let (popped, end) = match ctx.platform.kind_of(worker) {
+            ResourceKind::Gpu => (self.queue.pop_front(), QueueEnd::Front),
+            ResourceKind::Cpu => (self.queue.pop_back(), QueueEnd::Back),
+        };
+        popped.map(|task| Pick { task, queue_end: Some(end) })
+    }
+
+    fn spoliation_victim(&mut self, worker: WorkerId, ctx: &KernelContext<'_>) -> Option<WorkerId> {
+        if self.config.disable_spoliation {
+            return None;
+        }
+        scan_victim(self.instance, self.config.spoliation_tie, worker, ctx)
+    }
+
+    fn worker_order(&self) -> WorkerOrder {
+        self.config.worker_order
+    }
+}
+
 /// Run HeteroPrio (Algorithm 1) on an instance of independent tasks.
 pub fn heteroprio(
     instance: &Instance,
@@ -169,252 +266,30 @@ pub fn heteroprio(
 }
 
 /// [`heteroprio`] with a trace sink: every scheduling decision is emitted as
-/// a [`SchedEvent`]. The run is generic over the sink, so passing
-/// [`NullSink`] compiles the tracing away entirely.
+/// a [`SchedEvent`](heteroprio_trace::SchedEvent). The run is generic over
+/// the sink, so passing [`NullSink`] compiles the tracing away entirely.
 pub fn heteroprio_traced<S: TraceSink>(
     instance: &Instance,
     platform: &Platform,
     config: &HeteroPrioConfig,
     sink: &mut S,
 ) -> HeteroPrioResult {
-    let ids: Vec<TaskId> = instance.ids().collect();
-    let mut sim = Sim::new(instance, platform, config, sink);
-    for &t in &ids {
-        sim.emit(SchedEvent::TaskReady { time: 0.0, task: t.0 });
-    }
-    sim.queue = sorted_queue(instance, &ids, config.queue_tie);
-    sim.run();
-    let mut summary = sim.summary;
-    summary.finish();
+    let mut workload = IndependentWorkload { instance };
+    let mut policy = IndependentPolicy { instance, config: *config, queue: VecDeque::new() };
+    let outcome = kernel::run(
+        platform,
+        &mut workload,
+        &mut policy,
+        FaultModel::none(),
+        KernelOptions::default(),
+        sink,
+    )
+    .expect("fault-free run cannot fail");
     HeteroPrioResult {
-        schedule: sim.schedule,
-        first_idle: summary.first_idle,
-        spoliations: summary.spoliation_count,
-        summary,
-    }
-}
-
-/// Event-driven simulation state for Algorithm 1.
-struct Sim<'a, S: TraceSink> {
-    instance: &'a Instance,
-    platform: &'a Platform,
-    config: &'a HeteroPrioConfig,
-    queue: VecDeque<TaskId>,
-    running: Vec<Option<Running>>,
-    /// Event invalidation counters (bumped when a run is aborted).
-    generation: Vec<u64>,
-    /// Min-heap of (completion time, worker, generation).
-    events: BinaryHeap<Reverse<(F64Ord, u32, u64)>>,
-    idle: Vec<WorkerId>,
-    completed: usize,
-    schedule: Schedule,
-    sink: &'a mut S,
-    summary: TraceSummary,
-    /// Whether a `WorkerIdleBegin` has been emitted and not yet closed.
-    idle_announced: Vec<bool>,
-}
-
-impl<'a, S: TraceSink> Sim<'a, S> {
-    fn new(
-        instance: &'a Instance,
-        platform: &'a Platform,
-        config: &'a HeteroPrioConfig,
-        sink: &'a mut S,
-    ) -> Self {
-        let summary = if sink.is_enabled() {
-            TraceSummary::with_timeline(platform.workers())
-        } else {
-            TraceSummary::new(platform.workers())
-        };
-        Sim {
-            instance,
-            platform,
-            config,
-            queue: VecDeque::new(),
-            running: vec![None; platform.workers()],
-            generation: vec![0; platform.workers()],
-            events: BinaryHeap::new(),
-            idle: platform.all_workers().collect(),
-            completed: 0,
-            schedule: Schedule::new(),
-            sink,
-            summary,
-            idle_announced: vec![false; platform.workers()],
-        }
-    }
-
-    #[inline]
-    fn emit(&mut self, event: SchedEvent) {
-        self.summary.record(&event);
-        self.sink.emit(event);
-    }
-
-    fn worker_sort_key(&self, w: WorkerId) -> (u8, u32) {
-        let kind = self.platform.kind_of(w);
-        let class = match self.config.worker_order {
-            WorkerOrder::GpusFirst => match kind {
-                ResourceKind::Gpu => 0,
-                ResourceKind::Cpu => 1,
-            },
-            WorkerOrder::CpusFirst => match kind {
-                ResourceKind::Cpu => 0,
-                ResourceKind::Gpu => 1,
-            },
-            WorkerOrder::ById => 0,
-        };
-        (class, w.0)
-    }
-
-    fn start(&mut self, w: WorkerId, task: TaskId, now: f64) {
-        let dur = self.instance.task(task).time_on(self.platform.kind_of(w));
-        let end = now + dur;
-        if self.idle_announced[w.index()] {
-            self.idle_announced[w.index()] = false;
-            self.emit(SchedEvent::WorkerIdleEnd { time: now, worker: w.0 });
-        }
-        self.emit(SchedEvent::TaskStart {
-            time: now,
-            task: task.0,
-            worker: w.0,
-            expected_end: end,
-        });
-        self.running[w.index()] = Some(Running { task, start: now, end });
-        self.events.push(Reverse((F64Ord::new(end), w.0, self.generation[w.index()])));
-    }
-
-    /// Pick a spoliation victim for idle worker `w` at time `now`:
-    /// tasks running on the other class, in decreasing order of expected
-    /// completion time (ties per config), first one strictly improvable.
-    fn pick_victim(&self, w: WorkerId, now: f64) -> Option<WorkerId> {
-        let my_kind = self.platform.kind_of(w);
-        let mut candidates: Vec<(WorkerId, Running)> = self
-            .platform
-            .workers_of(my_kind.other())
-            .filter_map(|v| self.running[v.index()].map(|r| (v, r)))
-            .collect();
-        candidates.sort_by(|(_, a), (_, b)| {
-            b.end.total_cmp(&a.end).then_with(|| {
-                let ta = self.instance.task(a.task);
-                let tb = self.instance.task(b.task);
-                match self.config.spoliation_tie {
-                    SpoliationTieBreak::PriorityThenId => {
-                        tb.priority.total_cmp(&ta.priority).then(a.task.cmp(&b.task))
-                    }
-                    SpoliationTieBreak::IdAscending => a.task.cmp(&b.task),
-                    SpoliationTieBreak::IdDescending => b.task.cmp(&a.task),
-                }
-            })
-        });
-        for (v, r) in candidates {
-            let new_end = now + self.instance.task(r.task).time_on(my_kind);
-            if strictly_less(new_end, r.end) {
-                return Some(v);
-            }
-        }
-        None
-    }
-
-    /// Let every idle worker act (queue pop or spoliation) until no action is
-    /// possible at the current instant.
-    fn assign_fixpoint(&mut self, now: f64) {
-        loop {
-            let mut idle = std::mem::take(&mut self.idle);
-            idle.sort_by_key(|&w| self.worker_sort_key(w));
-            self.idle = idle;
-            let mut acted = false;
-            let mut still_idle: Vec<WorkerId> = Vec::new();
-            let mut newly_idle: Vec<WorkerId> = Vec::new();
-            let workers: Vec<WorkerId> = self.idle.drain(..).collect();
-            for w in workers {
-                let kind = self.platform.kind_of(w);
-                let (popped, end) = match kind {
-                    ResourceKind::Gpu => (self.queue.pop_front(), QueueEnd::Front),
-                    ResourceKind::Cpu => (self.queue.pop_back(), QueueEnd::Back),
-                };
-                if let Some(task) = popped {
-                    self.emit(SchedEvent::QueuePop { time: now, task: task.0, worker: w.0, end });
-                    self.start(w, task, now);
-                    acted = true;
-                    continue;
-                }
-                // Queue empty: this worker is (at least momentarily) idle.
-                // The WorkerIdleBegin precedes any spoliation attempt, so
-                // T_FirstIdle covers thieves that steal work immediately.
-                if !self.idle_announced[w.index()] {
-                    self.idle_announced[w.index()] = true;
-                    self.emit(SchedEvent::WorkerIdleBegin { time: now, worker: w.0 });
-                }
-                if !self.config.disable_spoliation {
-                    if let Some(victim) = self.pick_victim(w, now) {
-                        let r = self.running[victim.index()].take().expect("victim running");
-                        self.generation[victim.index()] += 1; // invalidate its event
-                        self.schedule.aborted.push(TaskRun {
-                            task: r.task,
-                            worker: victim,
-                            start: r.start,
-                            end: now,
-                        });
-                        self.emit(SchedEvent::Spoliation {
-                            time: now,
-                            task: r.task.0,
-                            victim: victim.0,
-                            thief: w.0,
-                            wasted_work: now - r.start,
-                        });
-                        self.start(w, r.task, now);
-                        newly_idle.push(victim);
-                        acted = true;
-                        continue;
-                    }
-                }
-                still_idle.push(w);
-            }
-            self.idle = still_idle;
-            self.idle.extend(newly_idle);
-            if !acted {
-                return;
-            }
-        }
-    }
-
-    fn run(&mut self) {
-        let total = self.instance.len();
-        let mut now = 0.0;
-        self.assign_fixpoint(now);
-        while self.completed < total {
-            // Advance to the next valid completion event.
-            let (t, w) = loop {
-                let Reverse((F64Ord(t), w, generation)) =
-                    self.events.pop().expect("tasks remain but nothing is running");
-                if self.generation[w as usize] == generation {
-                    break (t, WorkerId(w));
-                }
-            };
-            debug_assert!(t >= now);
-            now = t;
-            self.complete(w, now);
-            // Drain any other completions at exactly the same instant so the
-            // idle set is processed coherently in configured order.
-            while let Some(&Reverse((F64Ord(t2), w2, g2))) = self.events.peek() {
-                if t2 == now && self.generation[w2 as usize] == g2 {
-                    self.events.pop();
-                    self.complete(WorkerId(w2), now);
-                } else if self.generation[w2 as usize] != g2 {
-                    self.events.pop();
-                } else {
-                    break;
-                }
-            }
-            self.assign_fixpoint(now);
-        }
-    }
-
-    fn complete(&mut self, w: WorkerId, now: f64) {
-        let r = self.running[w.index()].take().expect("completion of empty worker");
-        self.schedule.runs.push(TaskRun { task: r.task, worker: w, start: r.start, end: now });
-        self.emit(SchedEvent::TaskComplete { time: now, task: r.task.0, worker: w.0 });
-        self.completed += 1;
-        self.idle.push(w);
+        schedule: outcome.schedule,
+        first_idle: outcome.first_idle,
+        spoliations: outcome.spoliations,
+        summary: outcome.summary,
     }
 }
 

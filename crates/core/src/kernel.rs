@@ -1,0 +1,764 @@
+//! The unified event-driven scheduling kernel.
+//!
+//! One discrete-event loop drives every execution engine in the workspace:
+//! the independent-task HeteroPrio ([`crate::heteroprio()`]), the online
+//! release-dates variant ([`crate::online`]) and the DAG/fault simulator
+//! (`heteroprio-simulator`). The kernel owns **time** (the completion, fault
+//! and retry event heaps), **worker liveness**, and **trace emission**;
+//! everything it does not own is injected through two traits:
+//!
+//! * a [`Workload`] answers "which tasks exist and when do they become
+//!   ready" — all at time zero for independent tasks, at their release
+//!   dates for the online variant, on predecessor completion for a DAG;
+//! * a [`KernelPolicy`] answers "which task should this idle worker run"
+//!   and "which running task should this idle worker spoliate" — the
+//!   paper's Algorithm 1 queue discipline, or any pluggable policy.
+//!
+//! The split mirrors StarPU's core/scheduler separation (§2.1 of the paper):
+//! the kernel enforces the protocol (a picked task must be ready, a
+//! spoliation must cross resource classes and strictly improve the task's
+//! completion time) and the frontends contribute only policy.
+//!
+//! # Determinism
+//!
+//! With [`FaultModel::none`] the kernel draws no random numbers and the
+//! event stream is a pure function of the workload and policy; the zero
+//! fault plan is byte-identical to a fault-free run. Stochastic execution
+//! (jitter, task failures) uses a seeded RNG created only when a draw can
+//! actually happen.
+
+use crate::heteroprio::WorkerOrder;
+use crate::model::{Platform, ResourceKind, TaskId, WorkerId};
+use crate::schedule::{Schedule, TaskRun};
+use crate::time::{strictly_less, F64Ord};
+use heteroprio_trace::{Decision, QueueEnd, SchedEvent, TraceSink, TraceSummary};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A task currently executing on some worker.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunningTask {
+    pub task: TaskId,
+    pub start: f64,
+    /// Expected completion time (estimate-based even under jitter: policies
+    /// and spoliation decisions compare estimates, the heap carries reality).
+    pub end: f64,
+}
+
+/// Retry policy for failed task attempts: capped exponential backoff with a
+/// per-task attempt budget.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed per task (first run included). When the
+    /// `max_attempts`-th attempt fails the task is abandoned.
+    pub max_attempts: u32,
+    /// Backoff before retry `k` is `min(backoff_cap, backoff_base · 2^(k-1))`.
+    pub backoff_base: f64,
+    /// Upper bound on any single backoff delay.
+    pub backoff_cap: f64,
+}
+
+impl RetryPolicy {
+    pub const DEFAULT: RetryPolicy =
+        RetryPolicy { max_attempts: 3, backoff_base: 1.0, backoff_cap: 64.0 };
+
+    /// Backoff delay after the `failures`-th failed attempt (1-based).
+    pub fn delay_after(&self, failures: u32) -> f64 {
+        let exp = failures.saturating_sub(1).min(63);
+        (self.backoff_base * (1u64 << exp) as f64).min(self.backoff_cap)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::DEFAULT
+    }
+}
+
+/// One expanded point on the worker-fault timeline (sorted by time; see
+/// `expand_timeline` in `heteroprio-simulator`, which produces these from a
+/// `FaultPlan`).
+#[derive(Clone, Copy, Debug)]
+pub struct TimelineEvent {
+    pub time: f64,
+    pub worker: u32,
+    /// `true` for a recovery, `false` for a failure.
+    pub up: bool,
+    pub permanent: bool,
+}
+
+/// Fault machinery configuration: the pre-expanded worker down/up timeline,
+/// stochastic execution noise, and the retry policy.
+#[derive(Clone, Debug)]
+pub struct FaultModel {
+    /// Worker failures/recoveries, sorted by time (failures before
+    /// recoveries at equal instants).
+    pub timeline: Vec<TimelineEvent>,
+    /// Per-attempt probability that a task fails mid-run.
+    pub task_failure_prob: f64,
+    /// Multiplicative execution-time noise `j ≥ 0`: actual durations are
+    /// drawn log-uniformly from `[estimate/(1+j), estimate·(1+j)]`.
+    pub exec_jitter: f64,
+    /// Seed for the failure/jitter draws.
+    pub seed: u64,
+    /// Retry policy for failed task attempts.
+    pub retry: RetryPolicy,
+}
+
+impl FaultModel {
+    /// The zero model: no faults, no noise, no random draws — the kernel is
+    /// then byte-identical to a fault-free run.
+    pub fn none() -> Self {
+        FaultModel {
+            timeline: Vec::new(),
+            task_failure_prob: 0.0,
+            exec_jitter: 0.0,
+            seed: 0,
+            retry: RetryPolicy::DEFAULT,
+        }
+    }
+}
+
+/// Structured failure of a kernel run. The simulator converts these into its
+/// public `SimError`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// A task exhausted its attempt budget; the run cannot complete.
+    TaskAbandoned { task: u32, attempts: u32, time: f64 },
+    /// Every worker is down with no recovery scheduled while tasks remain.
+    AllWorkersDown { time: f64, remaining: usize },
+}
+
+/// Kernel knobs that are engine-shape, not policy: whether the trace
+/// carries `PolicyDecision` events (the DAG simulator's vocabulary; the
+/// independent-task engines speak `QueuePop` instead).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelOptions {
+    pub emit_decisions: bool,
+}
+
+/// What the kernel hands back after a completed run.
+#[derive(Clone, Debug)]
+pub struct KernelOutcome {
+    pub schedule: Schedule,
+    /// `T_FirstIdle`: first instant at which a worker asked for work and got
+    /// none (from the trace summary).
+    pub first_idle: Option<f64>,
+    /// Number of successful spoliations (from the trace summary).
+    pub spoliations: usize,
+    /// Per-worker time accounting aggregated from the emitted event stream;
+    /// already finished.
+    pub summary: TraceSummary,
+}
+
+/// Task availability source: the kernel asks it which tasks exist, which are
+/// ready initially, which arrive over time, and what a task costs on a
+/// resource class.
+pub trait Workload {
+    /// Total number of tasks; the run ends when this many completed.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tasks ready at time zero, in announcement order.
+    fn initial(&mut self) -> Vec<TaskId>;
+
+    /// Time of the next externally-scheduled arrival (release date), if any.
+    /// Dependency releases are *not* arrivals — they flow through
+    /// [`Workload::on_complete`].
+    fn next_arrival(&self) -> Option<f64> {
+        None
+    }
+
+    /// Consume every arrival due at or before `now`, in announcement order.
+    fn arrivals_due(&mut self, now: f64) -> Vec<TaskId> {
+        let _ = now;
+        Vec::new()
+    }
+
+    /// `task` completed; return the tasks this makes ready (dependency
+    /// release for DAG workloads, empty otherwise).
+    fn on_complete(&mut self, task: TaskId) -> Vec<TaskId> {
+        let _ = task;
+        Vec::new()
+    }
+
+    /// Duration the kernel charges for `task` on class `kind`. `ran_kind`
+    /// records the class each completed task ran on, so DAG workloads can
+    /// charge cross-class transfer penalties.
+    fn duration(&self, task: TaskId, kind: ResourceKind, ran_kind: &[Option<ResourceKind>]) -> f64;
+}
+
+/// Read-only view of the kernel state handed to policy callbacks.
+pub struct KernelContext<'a> {
+    pub now: f64,
+    pub platform: &'a Platform,
+    /// Indexed by worker; `None` when the worker is idle.
+    pub running: &'a [Option<RunningTask>],
+    /// Resource class each completed task ran on (`None` if not finished).
+    pub ran_kind: &'a [Option<ResourceKind>],
+    /// Liveness per worker: `false` while a worker is down.
+    pub alive: &'a [bool],
+}
+
+/// A successful pick: the task to start, and — when the policy implements
+/// the paper's double-ended queue — which end it came off, so the kernel
+/// emits the `QueuePop` trace event the auditor's pop-order rule checks.
+#[derive(Clone, Copy, Debug)]
+pub struct Pick {
+    pub task: TaskId,
+    /// `Some(end)` emits `QueuePop`; `None` (generic policies) emits only
+    /// the `PolicyDecision` when [`KernelOptions::emit_decisions`] is set.
+    pub queue_end: Option<QueueEnd>,
+}
+
+/// A scheduling policy driven by the kernel.
+///
+/// Contract: a task announced via [`KernelPolicy::on_ready`] must eventually
+/// be returned (exactly once) from [`KernelPolicy::pick`], unless the kernel
+/// restarts it itself after a spoliation. The kernel asserts the protocol:
+/// picked tasks must be ready, spoliations must cross resource classes,
+/// target a busy worker, and strictly improve the task's completion time.
+pub trait KernelPolicy {
+    /// New tasks whose availability condition is satisfied.
+    fn on_ready(&mut self, tasks: &[TaskId], ctx: &KernelContext<'_>);
+
+    /// An idle worker asks for work. Returning `None` leaves it idle until
+    /// the next event.
+    fn pick(&mut self, worker: WorkerId, ctx: &KernelContext<'_>) -> Option<Pick>;
+
+    /// An idle worker with no pick may spoliate a task running on the
+    /// *other* resource class: return the victim worker.
+    fn spoliation_victim(&mut self, worker: WorkerId, ctx: &KernelContext<'_>) -> Option<WorkerId> {
+        let _ = (worker, ctx);
+        None
+    }
+
+    /// Order in which simultaneously idle workers are served.
+    fn worker_order(&self) -> WorkerOrder {
+        WorkerOrder::GpusFirst
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TaskState {
+    Pending,
+    Ready,
+    Running,
+    /// Lost to a worker failure or waiting out a retry backoff; will be
+    /// re-announced as ready.
+    Waiting,
+    Done,
+}
+
+/// Drive `policy` over `workload` on `platform` to completion.
+///
+/// Panics on policy protocol violations: picking a task that is not ready,
+/// spoliating an idle worker or one of the same class, a spoliation that
+/// does not strictly improve the task's completion time, or a deadlock
+/// (work remains, nothing runs, and the policy schedules nothing).
+pub fn run<W: Workload, P: KernelPolicy, S: TraceSink>(
+    platform: &Platform,
+    workload: &mut W,
+    policy: &mut P,
+    faults: FaultModel,
+    options: KernelOptions,
+    sink: &mut S,
+) -> Result<KernelOutcome, EngineError> {
+    let mut kernel = Kernel::new(platform, workload.len(), faults, options, sink);
+    kernel.run(workload, policy)?;
+    let mut summary = kernel.summary;
+    summary.finish();
+    Ok(KernelOutcome {
+        schedule: kernel.schedule,
+        first_idle: summary.first_idle,
+        spoliations: summary.spoliation_count,
+        summary,
+    })
+}
+
+/// The one discrete-event loop in the workspace. Owns time, the
+/// completion/fault/retry heaps, worker liveness, and trace emission.
+struct Kernel<'a, S: TraceSink> {
+    platform: &'a Platform,
+    ran_kind: Vec<Option<ResourceKind>>,
+    state: Vec<TaskState>,
+    running: Vec<Option<RunningTask>>,
+    /// Event invalidation counters (bumped when a run is aborted).
+    generation: Vec<u64>,
+    /// Min-heap of (completion/failure time, worker, generation).
+    events: BinaryHeap<Reverse<(F64Ord, u32, u64)>>,
+    idle: Vec<WorkerId>,
+    completed: usize,
+    schedule: Schedule,
+    sink: &'a mut S,
+    summary: TraceSummary,
+    /// Guards duplicate `WorkerIdleBegin` across fixpoint iterations.
+    idle_announced: Vec<bool>,
+    /// Liveness per worker (all `true` without a fault timeline).
+    alive: Vec<bool>,
+    /// Whether the heap event for a worker's current run is a failure.
+    will_fail: Vec<bool>,
+    /// Failed attempts per task.
+    failures: Vec<u32>,
+    faults: FaultModel,
+    /// Cursor into the sorted fault timeline.
+    timeline_pos: usize,
+    /// Pending retries as `(ready_time, task)`.
+    retries: BinaryHeap<Reverse<(F64Ord, u32)>>,
+    /// Present iff the model draws random numbers (jitter or task
+    /// failures); `None` keeps the zero model byte-identical to a
+    /// fault-free run.
+    rng: Option<StdRng>,
+    options: KernelOptions,
+}
+
+impl<'a, S: TraceSink> Kernel<'a, S> {
+    fn new(
+        platform: &'a Platform,
+        tasks: usize,
+        faults: FaultModel,
+        options: KernelOptions,
+        sink: &'a mut S,
+    ) -> Self {
+        let summary = if sink.is_enabled() {
+            TraceSummary::with_timeline(platform.workers())
+        } else {
+            TraceSummary::new(platform.workers())
+        };
+        let stochastic = faults.exec_jitter > 0.0 || faults.task_failure_prob > 0.0;
+        let rng = stochastic.then(|| StdRng::seed_from_u64(faults.seed));
+        Kernel {
+            platform,
+            ran_kind: vec![None; tasks],
+            state: vec![TaskState::Pending; tasks],
+            running: vec![None; platform.workers()],
+            generation: vec![0; platform.workers()],
+            events: BinaryHeap::new(),
+            idle: platform.all_workers().collect(),
+            completed: 0,
+            schedule: Schedule::new(),
+            sink,
+            summary,
+            idle_announced: vec![false; platform.workers()],
+            alive: vec![true; platform.workers()],
+            will_fail: vec![false; platform.workers()],
+            failures: vec![0; tasks],
+            faults,
+            timeline_pos: 0,
+            retries: BinaryHeap::new(),
+            rng,
+            options,
+        }
+    }
+
+    #[inline]
+    fn emit(&mut self, event: SchedEvent) {
+        self.summary.record(&event);
+        self.sink.emit(event);
+    }
+
+    fn context(&self, now: f64) -> KernelContext<'_> {
+        KernelContext {
+            now,
+            platform: self.platform,
+            running: &self.running,
+            ran_kind: &self.ran_kind,
+            alive: &self.alive,
+        }
+    }
+
+    fn announce_ready<P: KernelPolicy>(&mut self, policy: &mut P, tasks: &[TaskId], now: f64) {
+        if tasks.is_empty() {
+            return;
+        }
+        for &t in tasks {
+            debug_assert!(
+                matches!(self.state[t.index()], TaskState::Pending | TaskState::Waiting),
+                "announcing {t} in state {:?}",
+                self.state[t.index()]
+            );
+            self.state[t.index()] = TaskState::Ready;
+            self.emit(SchedEvent::TaskReady { time: now, task: t.0 });
+        }
+        policy.on_ready(tasks, &self.context(now));
+    }
+
+    fn start<W: Workload>(&mut self, workload: &W, w: WorkerId, task: TaskId, now: f64) {
+        let estimate = workload.duration(task, self.platform.kind_of(w), &self.ran_kind);
+        let end = now + estimate;
+        if self.idle_announced[w.index()] {
+            self.idle_announced[w.index()] = false;
+            self.emit(SchedEvent::WorkerIdleEnd { time: now, worker: w.0 });
+        }
+        self.emit(SchedEvent::TaskStart {
+            time: now,
+            task: task.0,
+            worker: w.0,
+            expected_end: end,
+        });
+        // The policy decides on the estimate; the heap event carries
+        // reality: a jittered duration, cut short at the failure point if
+        // this attempt is doomed. Draw order (jitter, then failure) is
+        // fixed so traces are reproducible per seed.
+        let mut actual = estimate;
+        let mut fail_at = None;
+        if let Some(rng) = self.rng.as_mut() {
+            let j = self.faults.exec_jitter;
+            if j > 0.0 {
+                let (lo, hi) = ((1.0f64 / (1.0 + j)).ln(), (1.0f64 + j).ln());
+                let u: f64 = rng.random_range(0.0..1.0);
+                actual = estimate * (lo + u * (hi - lo)).exp();
+            }
+            let p = self.faults.task_failure_prob;
+            if p > 0.0 && rng.random_bool(p) {
+                let frac: f64 = rng.random_range(0.0..1.0);
+                fail_at = Some(now + frac * actual);
+            }
+        }
+        self.running[w.index()] = Some(RunningTask { task, start: now, end });
+        self.will_fail[w.index()] = fail_at.is_some();
+        self.state[task.index()] = TaskState::Running;
+        let event_at = fail_at.unwrap_or(now + actual);
+        self.events.push(Reverse((F64Ord::new(event_at), w.0, self.generation[w.index()])));
+    }
+
+    fn worker_sort_key(&self, order: WorkerOrder, w: WorkerId) -> (u8, u32) {
+        let kind = self.platform.kind_of(w);
+        let class = match order {
+            WorkerOrder::GpusFirst => (kind == ResourceKind::Cpu) as u8,
+            WorkerOrder::CpusFirst => (kind == ResourceKind::Gpu) as u8,
+            WorkerOrder::ById => 0,
+        };
+        (class, w.0)
+    }
+
+    fn assign_fixpoint<W: Workload, P: KernelPolicy>(
+        &mut self,
+        workload: &W,
+        policy: &mut P,
+        now: f64,
+    ) {
+        loop {
+            let order = policy.worker_order();
+            let mut idle = std::mem::take(&mut self.idle);
+            idle.sort_by_key(|&w| self.worker_sort_key(order, w));
+            let mut acted = false;
+            let mut still_idle = Vec::new();
+            let mut newly_idle = Vec::new();
+            for w in idle {
+                // The context's shared borrows conflict with emitting, so
+                // the policy is consulted first and events follow.
+                let (picked, victim) = {
+                    let ctx = self.context(now);
+                    match policy.pick(w, &ctx) {
+                        Some(pick) => (Some(pick), None),
+                        None => (None, policy.spoliation_victim(w, &ctx)),
+                    }
+                };
+                if let Some(pick) = picked {
+                    let task = pick.task;
+                    assert_eq!(
+                        self.state[task.index()],
+                        TaskState::Ready,
+                        "policy picked {task}, which is not ready"
+                    );
+                    if let Some(end) = pick.queue_end {
+                        self.emit(SchedEvent::QueuePop {
+                            time: now,
+                            task: task.0,
+                            worker: w.0,
+                            end,
+                        });
+                    }
+                    if self.options.emit_decisions {
+                        self.emit(SchedEvent::PolicyDecision {
+                            time: now,
+                            worker: w.0,
+                            decision: Decision::Pick(task.0),
+                        });
+                    }
+                    self.start(workload, w, task, now);
+                    acted = true;
+                    continue;
+                }
+                // The idle transition is announced before the spoliation
+                // outcome: T_FirstIdle counts the instant a worker found no
+                // ready work, including workers that then steal (§2.1).
+                let went_idle = !self.idle_announced[w.index()];
+                if went_idle {
+                    self.idle_announced[w.index()] = true;
+                    self.emit(SchedEvent::WorkerIdleBegin { time: now, worker: w.0 });
+                }
+                if let Some(victim) = victim {
+                    let my_kind = self.platform.kind_of(w);
+                    assert_eq!(
+                        self.platform.kind_of(victim),
+                        my_kind.other(),
+                        "spoliation must cross resource classes"
+                    );
+                    let r = self.running[victim.index()]
+                        .take()
+                        .expect("policy spoliated an idle worker");
+                    let new_end = now + workload.duration(r.task, my_kind, &self.ran_kind);
+                    assert!(
+                        strictly_less(new_end, r.end),
+                        "spoliation of {} must strictly improve completion ({new_end} vs {})",
+                        r.task,
+                        r.end
+                    );
+                    self.generation[victim.index()] += 1;
+                    self.schedule.aborted.push(TaskRun {
+                        task: r.task,
+                        worker: victim,
+                        start: r.start,
+                        end: now,
+                    });
+                    if self.options.emit_decisions {
+                        self.emit(SchedEvent::PolicyDecision {
+                            time: now,
+                            worker: w.0,
+                            decision: Decision::Spoliate(victim.0),
+                        });
+                    }
+                    self.emit(SchedEvent::Spoliation {
+                        time: now,
+                        task: r.task.0,
+                        victim: victim.0,
+                        thief: w.0,
+                        wasted_work: now - r.start,
+                    });
+                    self.start(workload, w, r.task, now);
+                    newly_idle.push(victim);
+                    acted = true;
+                    continue;
+                }
+                if went_idle && self.options.emit_decisions {
+                    self.emit(SchedEvent::PolicyDecision {
+                        time: now,
+                        worker: w.0,
+                        decision: Decision::Idle,
+                    });
+                }
+                still_idle.push(w);
+            }
+            self.idle = still_idle;
+            self.idle.extend(newly_idle);
+            if !acted {
+                return;
+            }
+        }
+    }
+
+    fn complete<W: Workload, P: KernelPolicy>(
+        &mut self,
+        workload: &mut W,
+        policy: &mut P,
+        w: WorkerId,
+        now: f64,
+    ) {
+        let r = self.running[w.index()].take().expect("completion on idle worker");
+        self.emit(SchedEvent::TaskComplete { time: now, task: r.task.0, worker: w.0 });
+        self.schedule.runs.push(TaskRun { task: r.task, worker: w, start: r.start, end: now });
+        self.state[r.task.index()] = TaskState::Done;
+        self.ran_kind[r.task.index()] = Some(self.platform.kind_of(w));
+        self.completed += 1;
+        self.idle.push(w);
+        let ready = workload.on_complete(r.task);
+        self.announce_ready(policy, &ready, now);
+    }
+
+    /// A worker's current run ended: either it completed or — if the start
+    /// drew a failure — the attempt failed partway through.
+    fn finish_run<W: Workload, P: KernelPolicy>(
+        &mut self,
+        workload: &mut W,
+        policy: &mut P,
+        w: WorkerId,
+        now: f64,
+    ) -> Result<(), EngineError> {
+        if self.will_fail[w.index()] {
+            self.will_fail[w.index()] = false;
+            self.task_fail(w, now)
+        } else {
+            self.complete(workload, policy, w, now);
+            Ok(())
+        }
+    }
+
+    /// A task attempt failed on `w`: progress is lost, the worker goes back
+    /// to the idle pool, and the task retries after a backoff — unless its
+    /// attempt budget is exhausted.
+    fn task_fail(&mut self, w: WorkerId, now: f64) -> Result<(), EngineError> {
+        let r = self.running[w.index()].take().expect("failure on idle worker");
+        self.failures[r.task.index()] += 1;
+        let attempt = self.failures[r.task.index()];
+        self.emit(SchedEvent::TaskFailed {
+            time: now,
+            task: r.task.0,
+            worker: w.0,
+            lost_work: now - r.start,
+            attempt,
+        });
+        self.schedule.aborted.push(TaskRun { task: r.task, worker: w, start: r.start, end: now });
+        self.state[r.task.index()] = TaskState::Waiting;
+        self.idle.push(w);
+        if attempt >= self.faults.retry.max_attempts {
+            return Err(EngineError::TaskAbandoned {
+                task: r.task.0,
+                attempts: attempt,
+                time: now,
+            });
+        }
+        let delay = self.faults.retry.delay_after(attempt);
+        self.emit(SchedEvent::TaskRetry { time: now, task: r.task.0, attempt, delay });
+        self.retries.push(Reverse((F64Ord::new(now + delay), r.task.0)));
+        Ok(())
+    }
+
+    fn worker_down<P: KernelPolicy>(&mut self, policy: &mut P, e: TimelineEvent, now: f64) {
+        let w = WorkerId(e.worker);
+        if !self.alive[w.index()] {
+            return;
+        }
+        self.alive[w.index()] = false;
+        self.idle.retain(|&x| x != w);
+        // The summary closes the open idle interval at the WorkerDown
+        // event itself; no separate IdleEnd is emitted for a dead worker.
+        self.idle_announced[w.index()] = false;
+        let lost = self.running[w.index()].take();
+        self.will_fail[w.index()] = false;
+        self.generation[w.index()] += 1;
+        self.emit(SchedEvent::WorkerDown {
+            time: now,
+            worker: w.0,
+            lost_task: lost.map(|r| r.task.0),
+            permanent: e.permanent,
+        });
+        if let Some(r) = lost {
+            self.schedule.aborted.push(TaskRun {
+                task: r.task,
+                worker: w,
+                start: r.start,
+                end: now,
+            });
+            // The in-flight task re-enters the ready set immediately at its
+            // original priority; lost progress is not a retry attempt.
+            self.state[r.task.index()] = TaskState::Waiting;
+            self.announce_ready(policy, &[r.task], now);
+        }
+    }
+
+    fn worker_up(&mut self, e: TimelineEvent, now: f64) {
+        let w = WorkerId(e.worker);
+        if self.alive[w.index()] {
+            return;
+        }
+        self.alive[w.index()] = true;
+        self.emit(SchedEvent::WorkerUp { time: now, worker: w.0 });
+        self.idle.push(w);
+        self.idle_announced[w.index()] = false;
+    }
+
+    /// Apply every timeline event due at or before `now`.
+    fn process_faults_at<P: KernelPolicy>(&mut self, policy: &mut P, now: f64) {
+        while let Some(&e) = self.faults.timeline.get(self.timeline_pos) {
+            if e.time > now {
+                break;
+            }
+            self.timeline_pos += 1;
+            if e.up {
+                self.worker_up(e, now);
+            } else {
+                self.worker_down(policy, e, now);
+            }
+        }
+    }
+
+    /// Re-announce every task whose retry backoff expired at `now`.
+    fn process_retries_at<P: KernelPolicy>(&mut self, policy: &mut P, now: f64) {
+        let mut due = Vec::new();
+        while let Some(&Reverse((F64Ord(t), task))) = self.retries.peek() {
+            if t > now {
+                break;
+            }
+            self.retries.pop();
+            due.push(TaskId(task));
+        }
+        self.announce_ready(policy, &due, now);
+    }
+
+    /// Earliest pending instant across run completions/failures, the fault
+    /// timeline, retry expiries, and workload arrivals. Stale heap entries
+    /// are discarded.
+    fn next_time<W: Workload>(&mut self, workload: &W) -> Option<f64> {
+        while let Some(&Reverse((_, w, g))) = self.events.peek() {
+            if self.generation[w as usize] == g {
+                break;
+            }
+            self.events.pop();
+        }
+        let mut next: Option<f64> = self.events.peek().map(|&Reverse((F64Ord(t), _, _))| t);
+        if let Some(e) = self.faults.timeline.get(self.timeline_pos) {
+            next = Some(next.map_or(e.time, |t| t.min(e.time)));
+        }
+        if let Some(&Reverse((F64Ord(t), _))) = self.retries.peek() {
+            next = Some(next.map_or(t, |x| x.min(t)));
+        }
+        if let Some(t) = workload.next_arrival() {
+            next = Some(next.map_or(t, |x| x.min(t)));
+        }
+        next
+    }
+
+    fn run<W: Workload, P: KernelPolicy>(
+        &mut self,
+        workload: &mut W,
+        policy: &mut P,
+    ) -> Result<(), EngineError> {
+        let total = workload.len();
+        let mut now = 0.0;
+        let initial = workload.initial();
+        self.announce_ready(policy, &initial, now);
+        self.process_faults_at(policy, now);
+        self.assign_fixpoint(workload, policy, now);
+        while self.completed < total {
+            let Some(t) = self.next_time(workload) else {
+                if self.alive.iter().any(|&a| a) {
+                    panic!("deadlock: tasks remain but nothing is running (policy bug?)");
+                }
+                return Err(EngineError::AllWorkersDown {
+                    time: now,
+                    remaining: total - self.completed,
+                });
+            };
+            debug_assert!(t >= now);
+            now = t;
+            // Order at equal instants: arrivals enter the ready set first
+            // (so completions at the same instant see them), then runs
+            // finish (completions release successors), then workers
+            // fail/recover, then retries re-enter the ready set, then idle
+            // workers are offered work.
+            let due = workload.arrivals_due(now);
+            self.announce_ready(policy, &due, now);
+            while let Some(&Reverse((F64Ord(t2), w2, g2))) = self.events.peek() {
+                if self.generation[w2 as usize] != g2 {
+                    self.events.pop();
+                } else if t2 == now {
+                    self.events.pop();
+                    self.finish_run(workload, policy, WorkerId(w2), now)?;
+                } else {
+                    break;
+                }
+            }
+            self.process_faults_at(policy, now);
+            self.process_retries_at(policy, now);
+            self.assign_fixpoint(workload, policy, now);
+        }
+        Ok(())
+    }
+}

@@ -17,7 +17,12 @@
 //!   Algorithm 1 leaves open exposed as configuration ([`heteroprio()`](heteroprio::heteroprio),
 //!   [`HeteroPrioConfig`]);
 //! * classic Graham **list scheduling** on identical machines ([`list`]),
-//!   the substrate of Lemma 6 and of the Figure 4 construction.
+//!   the substrate of Lemma 6 and of the Figure 4 construction;
+//! * the event-driven **kernel** shared by every execution engine in the
+//!   workspace ([`kernel`]): one discrete-event loop owning time, the
+//!   completion/fault/retry heaps, worker liveness and trace emission,
+//!   driven by pluggable [`kernel::Workload`] / [`kernel::KernelPolicy`]
+//!   implementations.
 //!
 //! ```
 //! use heteroprio_core::{heteroprio, HeteroPrioConfig, Instance, Platform};
@@ -35,6 +40,7 @@
 
 pub mod gantt;
 pub mod heteroprio;
+pub mod kernel;
 pub mod list;
 pub mod model;
 pub mod online;

@@ -11,23 +11,17 @@
 //!
 //! With all `r_i = 0` this reproduces [`crate::heteroprio::heteroprio`]
 //! exactly (tested below).
+//!
+//! Arrivals are a [`Workload`] over the shared event kernel
+//! ([`crate::kernel`]); the queue discipline is the same Algorithm 1 policy
+//! as the offline engine, backed by the incremental [`AffinityQueue`].
 
-use crate::heteroprio::{HeteroPrioConfig, HeteroPrioResult, SpoliationTieBreak};
+use crate::heteroprio::{scan_victim, HeteroPrioConfig, HeteroPrioResult};
+use crate::kernel::{self, FaultModel, KernelContext, KernelOptions, KernelPolicy, Pick, Workload};
 use crate::model::{Instance, Platform, ResourceKind, TaskId, WorkerId};
 use crate::queue::AffinityQueue;
-use crate::schedule::{Schedule, TaskRun};
-use crate::time::{strictly_less, F64Ord};
 use crate::WorkerOrder;
-use heteroprio_trace::{NullSink, QueueEnd, SchedEvent, TraceSink, TraceSummary};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-#[derive(Clone, Copy, Debug)]
-struct Running {
-    task: TaskId,
-    start: f64,
-    end: f64,
-}
+use heteroprio_trace::{NullSink, QueueEnd, TraceSink};
 
 /// Run HeteroPrio with per-task release dates (`releases[i]` for task `i`).
 ///
@@ -55,253 +49,121 @@ pub fn heteroprio_online_traced<S: TraceSink>(
         releases.iter().all(|&r| r >= 0.0 && r.is_finite()),
         "release dates must be non-negative and finite"
     );
-    let mut sim = OnlineSim::new(instance, platform, config, sink);
-    sim.run(releases);
-    let mut summary = sim.summary;
-    summary.finish();
+    let mut workload = ReleaseWorkload::new(instance, releases);
+    let mut policy = OnlineQueuePolicy {
+        instance,
+        config: *config,
+        queue: AffinityQueue::new(config.queue_tie),
+    };
+    let outcome = kernel::run(
+        platform,
+        &mut workload,
+        &mut policy,
+        FaultModel::none(),
+        KernelOptions::default(),
+        sink,
+    )
+    .expect("fault-free run cannot fail");
     HeteroPrioResult {
-        schedule: sim.schedule,
-        first_idle: summary.first_idle,
-        spoliations: summary.spoliation_count,
-        summary,
+        schedule: outcome.schedule,
+        first_idle: outcome.first_idle,
+        spoliations: outcome.spoliations,
+        summary: outcome.summary,
     }
 }
 
-struct OnlineSim<'a, S: TraceSink> {
+/// Independent tasks with release dates: arrivals sorted by (release, id)
+/// feed the kernel as externally-timed ready announcements.
+struct ReleaseWorkload<'a> {
     instance: &'a Instance,
-    platform: &'a Platform,
-    config: &'a HeteroPrioConfig,
-    queue: AffinityQueue,
-    running: Vec<Option<Running>>,
-    generation: Vec<u64>,
-    completions: BinaryHeap<Reverse<(F64Ord, u32, u64)>>,
-    idle: Vec<WorkerId>,
-    completed: usize,
-    schedule: Schedule,
-    sink: &'a mut S,
-    summary: TraceSummary,
-    idle_announced: Vec<bool>,
+    releases: &'a [f64],
+    /// Task ids sorted by (release, id).
+    arrivals: Vec<TaskId>,
+    /// Cursor into `arrivals`.
+    next: usize,
 }
 
-impl<'a, S: TraceSink> OnlineSim<'a, S> {
-    fn new(
-        instance: &'a Instance,
-        platform: &'a Platform,
-        config: &'a HeteroPrioConfig,
-        sink: &'a mut S,
-    ) -> Self {
-        let summary = if sink.is_enabled() {
-            TraceSummary::with_timeline(platform.workers())
-        } else {
-            TraceSummary::new(platform.workers())
-        };
-        OnlineSim {
-            instance,
-            platform,
-            config,
-            queue: AffinityQueue::new(config.queue_tie),
-            running: vec![None; platform.workers()],
-            generation: vec![0; platform.workers()],
-            completions: BinaryHeap::new(),
-            idle: platform.all_workers().collect(),
-            completed: 0,
-            schedule: Schedule::new(),
-            sink,
-            summary,
-            idle_announced: vec![false; platform.workers()],
-        }
-    }
-
-    #[inline]
-    fn emit(&mut self, event: SchedEvent) {
-        self.summary.record(&event);
-        self.sink.emit(event);
-    }
-
-    fn enqueue(&mut self, task: TaskId, now: f64) {
-        self.emit(SchedEvent::TaskReady { time: now, task: task.0 });
-        self.queue.push(self.instance, task);
-    }
-
-    fn start(&mut self, w: WorkerId, task: TaskId, now: f64) {
-        let dur = self.instance.task(task).time_on(self.platform.kind_of(w));
-        let end = now + dur;
-        if self.idle_announced[w.index()] {
-            self.idle_announced[w.index()] = false;
-            self.emit(SchedEvent::WorkerIdleEnd { time: now, worker: w.0 });
-        }
-        self.emit(SchedEvent::TaskStart {
-            time: now,
-            task: task.0,
-            worker: w.0,
-            expected_end: end,
-        });
-        self.running[w.index()] = Some(Running { task, start: now, end });
-        self.completions.push(Reverse((F64Ord::new(end), w.0, self.generation[w.index()])));
-    }
-
-    fn worker_sort_key(&self, w: WorkerId) -> (u8, u32) {
-        let kind = self.platform.kind_of(w);
-        let class = match self.config.worker_order {
-            WorkerOrder::GpusFirst => (kind == ResourceKind::Cpu) as u8,
-            WorkerOrder::CpusFirst => (kind == ResourceKind::Gpu) as u8,
-            WorkerOrder::ById => 0,
-        };
-        (class, w.0)
-    }
-
-    fn pick_victim(&self, w: WorkerId, now: f64) -> Option<WorkerId> {
-        let my_kind = self.platform.kind_of(w);
-        let mut candidates: Vec<(WorkerId, Running)> = self
-            .platform
-            .workers_of(my_kind.other())
-            .filter_map(|v| self.running[v.index()].map(|r| (v, r)))
-            .collect();
-        candidates.sort_by(|(_, a), (_, b)| {
-            b.end.total_cmp(&a.end).then_with(|| {
-                let ta = self.instance.task(a.task);
-                let tb = self.instance.task(b.task);
-                match self.config.spoliation_tie {
-                    SpoliationTieBreak::PriorityThenId => {
-                        tb.priority.total_cmp(&ta.priority).then(a.task.cmp(&b.task))
-                    }
-                    SpoliationTieBreak::IdAscending => a.task.cmp(&b.task),
-                    SpoliationTieBreak::IdDescending => b.task.cmp(&a.task),
-                }
-            })
-        });
-        for (v, r) in candidates {
-            let new_end = now + self.instance.task(r.task).time_on(my_kind);
-            if strictly_less(new_end, r.end) {
-                return Some(v);
-            }
-        }
-        None
-    }
-
-    fn assign_fixpoint(&mut self, now: f64) {
-        loop {
-            let mut idle = std::mem::take(&mut self.idle);
-            idle.sort_by_key(|&w| self.worker_sort_key(w));
-            let mut acted = false;
-            let mut still_idle = Vec::new();
-            let mut newly_idle = Vec::new();
-            for w in idle {
-                let kind = self.platform.kind_of(w);
-                if let Some(task) = self.queue.pop(kind) {
-                    let end = match kind {
-                        ResourceKind::Gpu => QueueEnd::Front,
-                        ResourceKind::Cpu => QueueEnd::Back,
-                    };
-                    self.emit(SchedEvent::QueuePop { time: now, task: task.0, worker: w.0, end });
-                    self.start(w, task, now);
-                    acted = true;
-                    continue;
-                }
-                if !self.idle_announced[w.index()] {
-                    self.idle_announced[w.index()] = true;
-                    self.emit(SchedEvent::WorkerIdleBegin { time: now, worker: w.0 });
-                }
-                if !self.config.disable_spoliation {
-                    if let Some(victim) = self.pick_victim(w, now) {
-                        let r = self.running[victim.index()].take().expect("victim running");
-                        self.generation[victim.index()] += 1;
-                        self.schedule.aborted.push(TaskRun {
-                            task: r.task,
-                            worker: victim,
-                            start: r.start,
-                            end: now,
-                        });
-                        self.emit(SchedEvent::Spoliation {
-                            time: now,
-                            task: r.task.0,
-                            victim: victim.0,
-                            thief: w.0,
-                            wasted_work: now - r.start,
-                        });
-                        self.start(w, r.task, now);
-                        newly_idle.push(victim);
-                        acted = true;
-                        continue;
-                    }
-                }
-                still_idle.push(w);
-            }
-            self.idle = still_idle;
-            self.idle.extend(newly_idle);
-            if !acted {
-                return;
-            }
-        }
-    }
-
-    fn complete(&mut self, w: WorkerId, now: f64) {
-        let r = self.running[w.index()].take().expect("completion of idle worker");
-        self.schedule.runs.push(TaskRun { task: r.task, worker: w, start: r.start, end: now });
-        self.emit(SchedEvent::TaskComplete { time: now, task: r.task.0, worker: w.0 });
-        self.completed += 1;
-        self.idle.push(w);
-    }
-
-    fn run(&mut self, releases: &[f64]) {
-        let total = self.instance.len();
-        // Arrivals sorted by (release, id): a second event stream.
-        let mut arrivals: Vec<TaskId> = self.instance.ids().collect();
+impl<'a> ReleaseWorkload<'a> {
+    fn new(instance: &'a Instance, releases: &'a [f64]) -> Self {
+        let mut arrivals: Vec<TaskId> = instance.ids().collect();
         arrivals
             .sort_by(|&a, &b| releases[a.index()].total_cmp(&releases[b.index()]).then(a.cmp(&b)));
-        let mut next_arrival = 0usize;
-        let mut now = 0.0;
+        ReleaseWorkload { instance, releases, arrivals, next: 0 }
+    }
 
-        // Admit everything released at time zero.
-        while next_arrival < total && releases[arrivals[next_arrival].index()] <= now {
-            let task = arrivals[next_arrival];
-            self.enqueue(task, now);
-            next_arrival += 1;
+    fn admit_until(&mut self, now: f64) -> Vec<TaskId> {
+        let mut due = Vec::new();
+        while let Some(&t) = self.arrivals.get(self.next) {
+            if self.releases[t.index()] > now {
+                break;
+            }
+            due.push(t);
+            self.next += 1;
         }
-        self.assign_fixpoint(now);
+        due
+    }
+}
 
-        while self.completed < total {
-            // Next event: the earlier of next completion and next arrival.
-            let next_completion = loop {
-                match self.completions.peek() {
-                    Some(&Reverse((F64Ord(t), w, generation))) => {
-                        if self.generation[w as usize] == generation {
-                            break Some(t);
-                        }
-                        self.completions.pop();
-                    }
-                    None => break None,
-                }
-            };
-            let next_release =
-                (next_arrival < total).then(|| releases[arrivals[next_arrival].index()]);
-            now = match (next_completion, next_release) {
-                (Some(c), Some(r)) => c.min(r),
-                (Some(c), None) => c,
-                (None, Some(r)) => r,
-                (None, None) => {
-                    unreachable!("tasks remain but nothing is running or arriving")
-                }
-            };
-            // Process all arrivals at `now`.
-            while next_arrival < total && releases[arrivals[next_arrival].index()] <= now {
-                let task = arrivals[next_arrival];
-                self.enqueue(task, now);
-                next_arrival += 1;
-            }
-            // Process all completions at `now`.
-            while let Some(&Reverse((F64Ord(t), w, generation))) = self.completions.peek() {
-                if self.generation[w as usize] != generation {
-                    self.completions.pop();
-                } else if t == now {
-                    self.completions.pop();
-                    self.complete(WorkerId(w), now);
-                } else {
-                    break;
-                }
-            }
-            self.assign_fixpoint(now);
+impl Workload for ReleaseWorkload<'_> {
+    fn len(&self) -> usize {
+        self.instance.len()
+    }
+
+    fn initial(&mut self) -> Vec<TaskId> {
+        self.admit_until(0.0)
+    }
+
+    fn next_arrival(&self) -> Option<f64> {
+        self.arrivals.get(self.next).map(|&t| self.releases[t.index()])
+    }
+
+    fn arrivals_due(&mut self, now: f64) -> Vec<TaskId> {
+        self.admit_until(now)
+    }
+
+    fn duration(
+        &self,
+        task: TaskId,
+        kind: ResourceKind,
+        _ran_kind: &[Option<ResourceKind>],
+    ) -> f64 {
+        self.instance.task(task).time_on(kind)
+    }
+}
+
+/// Algorithm 1's queue discipline over an incrementally-maintained
+/// [`AffinityQueue`] (arrivals insert in O(log n) instead of re-sorting).
+struct OnlineQueuePolicy<'a> {
+    instance: &'a Instance,
+    config: HeteroPrioConfig,
+    queue: AffinityQueue,
+}
+
+impl KernelPolicy for OnlineQueuePolicy<'_> {
+    fn on_ready(&mut self, tasks: &[TaskId], _ctx: &KernelContext<'_>) {
+        for &t in tasks {
+            self.queue.push(self.instance, t);
         }
+    }
+
+    fn pick(&mut self, worker: WorkerId, ctx: &KernelContext<'_>) -> Option<Pick> {
+        let kind = ctx.platform.kind_of(worker);
+        let end = match kind {
+            ResourceKind::Gpu => QueueEnd::Front,
+            ResourceKind::Cpu => QueueEnd::Back,
+        };
+        self.queue.pop(kind).map(|task| Pick { task, queue_end: Some(end) })
+    }
+
+    fn spoliation_victim(&mut self, worker: WorkerId, ctx: &KernelContext<'_>) -> Option<WorkerId> {
+        if self.config.disable_spoliation {
+            return None;
+        }
+        scan_victim(self.instance, self.config.spoliation_tie, worker, ctx)
+    }
+
+    fn worker_order(&self) -> WorkerOrder {
+        self.config.worker_order
     }
 }
 

@@ -5,17 +5,21 @@
 //! predecessors complete, idle workers ask the policy for work, and policies
 //! may spoliate tasks running on the other resource class (abort and
 //! restart, losing all progress — the paper's §2.1 mechanism).
+//!
+//! The event loop itself is the shared kernel in
+//! [`heteroprio_core::kernel`]; this module contributes the DAG availability
+//! frontend (dependency release via [`ReadyTracker`], cross-class transfer
+//! penalties) and adapts [`OnlinePolicy`] implementations to the kernel's
+//! policy interface.
 
 use crate::fault::{FaultPlan, SimError};
-use crate::policy::{OnlinePolicy, RunningTask, SimContext, TransferModel};
-use heteroprio_core::time::{strictly_less, F64Ord};
-use heteroprio_core::{Platform, ResourceKind, Schedule, TaskId, TaskRun, WorkerId, WorkerOrder};
+use crate::policy::{OnlinePolicy, SimContext, TransferModel};
+use heteroprio_core::kernel::{
+    self, FaultModel, KernelContext, KernelOptions, KernelPolicy, Pick, TimelineEvent, Workload,
+};
+use heteroprio_core::{Platform, ResourceKind, Schedule, TaskId, WorkerId, WorkerOrder};
 use heteroprio_taskgraph::{ReadyTracker, TaskGraph};
-use heteroprio_trace::{Decision, NullSink, SchedEvent, TraceSink, TraceSummary};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use heteroprio_trace::{NullSink, TraceSink, TraceSummary};
 
 /// Outcome of a simulated execution.
 #[derive(Clone, Debug)]
@@ -35,27 +39,6 @@ impl SimResult {
     pub fn makespan(&self) -> f64 {
         self.schedule.makespan()
     }
-}
-
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum TaskState {
-    Pending,
-    Ready,
-    Running,
-    /// Lost to a worker failure or waiting out a retry backoff; will be
-    /// re-announced as ready.
-    Waiting,
-    Done,
-}
-
-/// One expanded point on the worker-fault timeline.
-#[derive(Clone, Copy, Debug)]
-struct TimelineEvent {
-    time: f64,
-    worker: u32,
-    /// `true` for a recovery, `false` for a failure.
-    up: bool,
-    permanent: bool,
 }
 
 /// Expand a plan's worker faults into a sorted down/up timeline, merging
@@ -133,10 +116,10 @@ pub fn simulate_with<P: OnlinePolicy>(
 
 /// [`simulate_with`] streaming every scheduler event into `sink`.
 ///
-/// The engine emits [`SchedEvent`]s for dependency release, starts,
-/// completions, spoliations, idle transitions, and policy decisions; with
-/// [`NullSink`] the calls compile away and only the cheap per-worker
-/// accounting in [`TraceSummary`] remains.
+/// The engine emits [`SchedEvent`](heteroprio_trace::SchedEvent)s for
+/// dependency release, starts, completions, spoliations, idle transitions,
+/// and policy decisions; with [`NullSink`] the calls compile away and only
+/// the cheap per-worker accounting in [`TraceSummary`] remains.
 pub fn simulate_traced<P: OnlinePolicy, S: TraceSink>(
     graph: &TaskGraph,
     platform: &Platform,
@@ -166,477 +149,110 @@ pub fn try_simulate_faulty<P: OnlinePolicy, S: TraceSink>(
     plan.validate()?;
     let timeline = expand_timeline(plan, platform.workers())?;
     policy.init(graph, platform);
-    let mut engine = Engine::new(graph, platform, model, plan, timeline, sink);
-    engine.run(policy)?;
-    let mut summary = engine.summary;
-    summary.finish();
+    let mut workload = DagWorkload { graph, tracker: ReadyTracker::new(graph), model };
+    let mut adapter = PolicyAdapter { graph, model, policy };
+    let faults = FaultModel {
+        timeline,
+        task_failure_prob: plan.task_failure_prob,
+        exec_jitter: plan.exec_jitter,
+        seed: plan.seed,
+        retry: plan.retry,
+    };
+    let outcome = kernel::run(
+        platform,
+        &mut workload,
+        &mut adapter,
+        faults,
+        KernelOptions { emit_decisions: true },
+        sink,
+    )?;
     Ok(SimResult {
-        schedule: engine.schedule,
-        first_idle: summary.first_idle,
-        spoliations: summary.spoliation_count,
-        summary,
+        schedule: outcome.schedule,
+        first_idle: outcome.first_idle,
+        spoliations: outcome.spoliations,
+        summary: outcome.summary,
     })
 }
 
-struct Engine<'a, S: TraceSink> {
+/// DAG availability: tasks become ready when their predecessors complete,
+/// and durations include the cross-class transfer penalty.
+struct DagWorkload<'a> {
     graph: &'a TaskGraph,
-    platform: &'a Platform,
-    model: &'a TransferModel,
-    plan: &'a FaultPlan,
-    ran_kind: Vec<Option<ResourceKind>>,
     tracker: ReadyTracker,
-    state: Vec<TaskState>,
-    running: Vec<Option<RunningTask>>,
-    generation: Vec<u64>,
-    events: BinaryHeap<Reverse<(F64Ord, u32, u64)>>,
-    idle: Vec<WorkerId>,
-    schedule: Schedule,
-    sink: &'a mut S,
-    summary: TraceSummary,
-    /// Guards duplicate `WorkerIdleBegin` across fixpoint iterations.
-    idle_announced: Vec<bool>,
-    /// Liveness per worker (all `true` without a fault plan).
-    alive: Vec<bool>,
-    /// Whether the heap event for a worker's current run is a failure.
-    will_fail: Vec<bool>,
-    /// Failed attempts per task.
-    failures: Vec<u32>,
-    /// Expanded worker-fault timeline (sorted); `timeline_pos` is the cursor.
-    timeline: Vec<TimelineEvent>,
-    timeline_pos: usize,
-    /// Pending retries as `(ready_time, task)`.
-    retries: BinaryHeap<Reverse<(F64Ord, u32)>>,
-    /// Present iff the plan draws random numbers (jitter or task failures);
-    /// `None` keeps the zero plan byte-identical to a fault-free run.
-    rng: Option<StdRng>,
+    model: &'a TransferModel,
 }
 
-impl<'a, S: TraceSink> Engine<'a, S> {
-    fn new(
-        graph: &'a TaskGraph,
-        platform: &'a Platform,
-        model: &'a TransferModel,
-        plan: &'a FaultPlan,
-        timeline: Vec<TimelineEvent>,
-        sink: &'a mut S,
-    ) -> Self {
-        let summary = if sink.is_enabled() {
-            TraceSummary::with_timeline(platform.workers())
-        } else {
-            TraceSummary::new(platform.workers())
-        };
-        let stochastic = plan.exec_jitter > 0.0 || plan.task_failure_prob > 0.0;
-        Engine {
-            graph,
-            platform,
-            model,
-            plan,
-            ran_kind: vec![None; graph.len()],
-            tracker: ReadyTracker::new(graph),
-            state: vec![TaskState::Pending; graph.len()],
-            running: vec![None; platform.workers()],
-            generation: vec![0; platform.workers()],
-            events: BinaryHeap::new(),
-            idle: platform.all_workers().collect(),
-            schedule: Schedule::new(),
-            sink,
-            summary,
-            idle_announced: vec![false; platform.workers()],
-            alive: vec![true; platform.workers()],
-            will_fail: vec![false; platform.workers()],
-            failures: vec![0; graph.len()],
-            timeline,
-            timeline_pos: 0,
-            retries: BinaryHeap::new(),
-            rng: stochastic.then(|| StdRng::seed_from_u64(plan.seed)),
-        }
+impl Workload for DagWorkload<'_> {
+    fn len(&self) -> usize {
+        self.graph.len()
     }
 
-    #[inline]
-    fn emit(&mut self, event: SchedEvent) {
-        self.summary.record(&event);
-        self.sink.emit(event);
+    fn initial(&mut self) -> Vec<TaskId> {
+        self.graph.sources()
     }
 
-    fn announce_ready<P: OnlinePolicy>(&mut self, policy: &mut P, tasks: &[TaskId], now: f64) {
-        if tasks.is_empty() {
-            return;
-        }
-        for &t in tasks {
-            debug_assert!(
-                matches!(self.state[t.index()], TaskState::Pending | TaskState::Waiting),
-                "announcing {t} in state {:?}",
-                self.state[t.index()]
-            );
-            self.state[t.index()] = TaskState::Ready;
-            self.emit(SchedEvent::TaskReady { time: now, task: t.0 });
-        }
-        let ctx = SimContext {
-            now,
-            platform: self.platform,
-            graph: self.graph,
-            running: &self.running,
-            ran_kind: &self.ran_kind,
-            model: self.model,
-            alive: &self.alive,
-        };
-        policy.on_ready(tasks, &ctx);
-    }
-
-    fn start(&mut self, w: WorkerId, task: TaskId, now: f64) {
-        let estimate = self.effective_time(task, self.platform.kind_of(w));
-        let end = now + estimate;
-        if self.idle_announced[w.index()] {
-            self.idle_announced[w.index()] = false;
-            self.emit(SchedEvent::WorkerIdleEnd { time: now, worker: w.0 });
-        }
-        self.emit(SchedEvent::TaskStart {
-            time: now,
-            task: task.0,
-            worker: w.0,
-            expected_end: end,
-        });
-        // The policy decides on the estimate; the heap event carries
-        // reality: a jittered duration, cut short at the failure point if
-        // this attempt is doomed. Draw order (jitter, then failure) is
-        // fixed so traces are reproducible per seed.
-        let mut actual = estimate;
-        let mut fail_at = None;
-        if let Some(rng) = self.rng.as_mut() {
-            let j = self.plan.exec_jitter;
-            if j > 0.0 {
-                let (lo, hi) = ((1.0f64 / (1.0 + j)).ln(), (1.0f64 + j).ln());
-                let u: f64 = rng.random_range(0.0..1.0);
-                actual = estimate * (lo + u * (hi - lo)).exp();
-            }
-            let p = self.plan.task_failure_prob;
-            if p > 0.0 && rng.random_bool(p) {
-                let frac: f64 = rng.random_range(0.0..1.0);
-                fail_at = Some(now + frac * actual);
-            }
-        }
-        self.running[w.index()] = Some(RunningTask { task, start: now, end });
-        self.will_fail[w.index()] = fail_at.is_some();
-        self.state[task.index()] = TaskState::Running;
-        let event_at = fail_at.unwrap_or(now + actual);
-        self.events.push(Reverse((F64Ord::new(event_at), w.0, self.generation[w.index()])));
+    fn on_complete(&mut self, task: TaskId) -> Vec<TaskId> {
+        self.tracker.complete(self.graph, task)
     }
 
     /// Duration the engine charges for `task` on class `kind` (base time
     /// plus the cross-class transfer penalty when an input was produced on
     /// the other class).
-    fn effective_time(&self, task: TaskId, kind: ResourceKind) -> f64 {
+    fn duration(&self, task: TaskId, kind: ResourceKind, ran_kind: &[Option<ResourceKind>]) -> f64 {
         let base = self.graph.instance().task(task).time_on(kind);
-        let cross = self
-            .graph
-            .predecessors(task)
-            .iter()
-            .any(|p| self.ran_kind[p.index()] == Some(kind.other()));
+        let cross =
+            self.graph.predecessors(task).iter().any(|p| ran_kind[p.index()] == Some(kind.other()));
         if cross {
             base + self.model.cross_class_penalty
         } else {
             base
         }
     }
+}
 
-    fn worker_sort_key(&self, order: WorkerOrder, w: WorkerId) -> (u8, u32) {
-        let kind = self.platform.kind_of(w);
-        let class = match order {
-            WorkerOrder::GpusFirst => (kind == ResourceKind::Cpu) as u8,
-            WorkerOrder::CpusFirst => (kind == ResourceKind::Gpu) as u8,
-            WorkerOrder::ById => 0,
-        };
-        (class, w.0)
-    }
+/// Adapts an [`OnlinePolicy`] (which sees the richer [`SimContext`] with
+/// graph and transfer model) to the kernel's policy interface.
+struct PolicyAdapter<'a, P: OnlinePolicy> {
+    graph: &'a TaskGraph,
+    model: &'a TransferModel,
+    policy: &'a mut P,
+}
 
-    fn assign_fixpoint<P: OnlinePolicy>(&mut self, policy: &mut P, now: f64) {
-        loop {
-            let order = policy.worker_order();
-            let mut idle = std::mem::take(&mut self.idle);
-            idle.sort_by_key(|&w| self.worker_sort_key(order, w));
-            let mut acted = false;
-            let mut still_idle = Vec::new();
-            let mut newly_idle = Vec::new();
-            for w in idle {
-                // The context's shared borrows conflict with emitting, so
-                // the policy is consulted first and events follow.
-                let (picked, victim) = {
-                    let ctx = SimContext {
-                        now,
-                        platform: self.platform,
-                        graph: self.graph,
-                        running: &self.running,
-                        ran_kind: &self.ran_kind,
-                        model: self.model,
-                        alive: &self.alive,
-                    };
-                    match policy.pick_task(w, &ctx) {
-                        Some(task) => (Some(task), None),
-                        None => (None, policy.spoliation_victim(w, &ctx)),
-                    }
-                };
-                if let Some(task) = picked {
-                    assert_eq!(
-                        self.state[task.index()],
-                        TaskState::Ready,
-                        "policy picked {task}, which is not ready"
-                    );
-                    self.emit(SchedEvent::PolicyDecision {
-                        time: now,
-                        worker: w.0,
-                        decision: Decision::Pick(task.0),
-                    });
-                    self.start(w, task, now);
-                    acted = true;
-                    continue;
-                }
-                // The idle transition is announced before the spoliation
-                // outcome: T_FirstIdle counts the instant a worker found no
-                // ready work, including workers that then steal (§2.1).
-                let went_idle = !self.idle_announced[w.index()];
-                if went_idle {
-                    self.idle_announced[w.index()] = true;
-                    self.emit(SchedEvent::WorkerIdleBegin { time: now, worker: w.0 });
-                }
-                if let Some(victim) = victim {
-                    let my_kind = self.platform.kind_of(w);
-                    assert_eq!(
-                        self.platform.kind_of(victim),
-                        my_kind.other(),
-                        "spoliation must cross resource classes"
-                    );
-                    let r = self.running[victim.index()]
-                        .take()
-                        .expect("policy spoliated an idle worker");
-                    let new_end = now + self.effective_time(r.task, my_kind);
-                    assert!(
-                        strictly_less(new_end, r.end),
-                        "spoliation of {} must strictly improve completion ({new_end} vs {})",
-                        r.task,
-                        r.end
-                    );
-                    self.generation[victim.index()] += 1;
-                    self.schedule.aborted.push(TaskRun {
-                        task: r.task,
-                        worker: victim,
-                        start: r.start,
-                        end: now,
-                    });
-                    self.emit(SchedEvent::PolicyDecision {
-                        time: now,
-                        worker: w.0,
-                        decision: Decision::Spoliate(victim.0),
-                    });
-                    self.emit(SchedEvent::Spoliation {
-                        time: now,
-                        task: r.task.0,
-                        victim: victim.0,
-                        thief: w.0,
-                        wasted_work: now - r.start,
-                    });
-                    self.start(w, r.task, now);
-                    newly_idle.push(victim);
-                    acted = true;
-                    continue;
-                }
-                if went_idle {
-                    self.emit(SchedEvent::PolicyDecision {
-                        time: now,
-                        worker: w.0,
-                        decision: Decision::Idle,
-                    });
-                }
-                still_idle.push(w);
-            }
-            self.idle = still_idle;
-            self.idle.extend(newly_idle);
-            if !acted {
-                return;
-            }
+impl<'a, P: OnlinePolicy> PolicyAdapter<'a, P> {
+    fn sim_ctx<'b>(&self, ctx: &'b KernelContext<'b>) -> SimContext<'b>
+    where
+        'a: 'b,
+    {
+        SimContext {
+            now: ctx.now,
+            platform: ctx.platform,
+            graph: self.graph,
+            running: ctx.running,
+            ran_kind: ctx.ran_kind,
+            model: self.model,
+            alive: ctx.alive,
         }
     }
+}
 
-    fn complete<P: OnlinePolicy>(&mut self, policy: &mut P, w: WorkerId, now: f64) {
-        let r = self.running[w.index()].take().expect("completion on idle worker");
-        self.emit(SchedEvent::TaskComplete { time: now, task: r.task.0, worker: w.0 });
-        self.schedule.runs.push(TaskRun { task: r.task, worker: w, start: r.start, end: now });
-        self.state[r.task.index()] = TaskState::Done;
-        self.ran_kind[r.task.index()] = Some(self.platform.kind_of(w));
-        self.idle.push(w);
-        let ready = self.tracker.complete(self.graph, r.task);
-        self.announce_ready(policy, &ready, now);
+impl<P: OnlinePolicy> KernelPolicy for PolicyAdapter<'_, P> {
+    fn on_ready(&mut self, tasks: &[TaskId], ctx: &KernelContext<'_>) {
+        let ctx = self.sim_ctx(ctx);
+        self.policy.on_ready(tasks, &ctx);
     }
 
-    /// A worker's current run ended: either it completed or — if the start
-    /// drew a failure — the attempt failed partway through.
-    fn finish_run<P: OnlinePolicy>(
-        &mut self,
-        policy: &mut P,
-        w: WorkerId,
-        now: f64,
-    ) -> Result<(), SimError> {
-        if self.will_fail[w.index()] {
-            self.will_fail[w.index()] = false;
-            self.task_fail(w, now)
-        } else {
-            self.complete(policy, w, now);
-            Ok(())
-        }
+    fn pick(&mut self, worker: WorkerId, ctx: &KernelContext<'_>) -> Option<Pick> {
+        let ctx = self.sim_ctx(ctx);
+        self.policy.pick_task(worker, &ctx).map(|task| Pick { task, queue_end: None })
     }
 
-    /// A task attempt failed on `w`: progress is lost, the worker goes back
-    /// to the idle pool, and the task retries after a backoff — unless its
-    /// attempt budget is exhausted.
-    fn task_fail(&mut self, w: WorkerId, now: f64) -> Result<(), SimError> {
-        let r = self.running[w.index()].take().expect("failure on idle worker");
-        self.failures[r.task.index()] += 1;
-        let attempt = self.failures[r.task.index()];
-        self.emit(SchedEvent::TaskFailed {
-            time: now,
-            task: r.task.0,
-            worker: w.0,
-            lost_work: now - r.start,
-            attempt,
-        });
-        self.schedule.aborted.push(TaskRun { task: r.task, worker: w, start: r.start, end: now });
-        self.state[r.task.index()] = TaskState::Waiting;
-        self.idle.push(w);
-        if attempt >= self.plan.retry.max_attempts {
-            return Err(SimError::TaskAbandoned { task: r.task.0, attempts: attempt, time: now });
-        }
-        let delay = self.plan.retry.delay_after(attempt);
-        self.emit(SchedEvent::TaskRetry { time: now, task: r.task.0, attempt, delay });
-        self.retries.push(Reverse((F64Ord::new(now + delay), r.task.0)));
-        Ok(())
+    fn spoliation_victim(&mut self, worker: WorkerId, ctx: &KernelContext<'_>) -> Option<WorkerId> {
+        let ctx = self.sim_ctx(ctx);
+        self.policy.spoliation_victim(worker, &ctx)
     }
 
-    fn worker_down<P: OnlinePolicy>(&mut self, policy: &mut P, e: TimelineEvent, now: f64) {
-        let w = WorkerId(e.worker);
-        if !self.alive[w.index()] {
-            return;
-        }
-        self.alive[w.index()] = false;
-        self.idle.retain(|&x| x != w);
-        // The summary closes the open idle interval at the WorkerDown
-        // event itself; no separate IdleEnd is emitted for a dead worker.
-        self.idle_announced[w.index()] = false;
-        let lost = self.running[w.index()].take();
-        self.will_fail[w.index()] = false;
-        self.generation[w.index()] += 1;
-        self.emit(SchedEvent::WorkerDown {
-            time: now,
-            worker: w.0,
-            lost_task: lost.map(|r| r.task.0),
-            permanent: e.permanent,
-        });
-        if let Some(r) = lost {
-            self.schedule.aborted.push(TaskRun {
-                task: r.task,
-                worker: w,
-                start: r.start,
-                end: now,
-            });
-            // The in-flight task re-enters the ready set immediately at its
-            // original priority; lost progress is not a retry attempt.
-            self.state[r.task.index()] = TaskState::Waiting;
-            self.announce_ready(policy, &[r.task], now);
-        }
-    }
-
-    fn worker_up(&mut self, e: TimelineEvent, now: f64) {
-        let w = WorkerId(e.worker);
-        if self.alive[w.index()] {
-            return;
-        }
-        self.alive[w.index()] = true;
-        self.emit(SchedEvent::WorkerUp { time: now, worker: w.0 });
-        self.idle.push(w);
-        self.idle_announced[w.index()] = false;
-    }
-
-    /// Apply every timeline event due at or before `now`.
-    fn process_faults_at<P: OnlinePolicy>(&mut self, policy: &mut P, now: f64) {
-        while let Some(&e) = self.timeline.get(self.timeline_pos) {
-            if e.time > now {
-                break;
-            }
-            self.timeline_pos += 1;
-            if e.up {
-                self.worker_up(e, now);
-            } else {
-                self.worker_down(policy, e, now);
-            }
-        }
-    }
-
-    /// Re-announce every task whose retry backoff expired at `now`.
-    fn process_retries_at<P: OnlinePolicy>(&mut self, policy: &mut P, now: f64) {
-        let mut due = Vec::new();
-        while let Some(&Reverse((F64Ord(t), task))) = self.retries.peek() {
-            if t > now {
-                break;
-            }
-            self.retries.pop();
-            due.push(TaskId(task));
-        }
-        self.announce_ready(policy, &due, now);
-    }
-
-    /// Earliest pending instant across run completions/failures, the fault
-    /// timeline, and retry expiries. Stale heap entries are discarded.
-    fn next_time(&mut self) -> Option<f64> {
-        while let Some(&Reverse((_, w, g))) = self.events.peek() {
-            if self.generation[w as usize] == g {
-                break;
-            }
-            self.events.pop();
-        }
-        let mut next: Option<f64> = self.events.peek().map(|&Reverse((F64Ord(t), _, _))| t);
-        if let Some(e) = self.timeline.get(self.timeline_pos) {
-            next = Some(next.map_or(e.time, |t| t.min(e.time)));
-        }
-        if let Some(&Reverse((F64Ord(t), _))) = self.retries.peek() {
-            next = Some(next.map_or(t, |x| x.min(t)));
-        }
-        next
-    }
-
-    fn run<P: OnlinePolicy>(&mut self, policy: &mut P) -> Result<(), SimError> {
-        let mut now = 0.0;
-        let initial = self.graph.sources();
-        self.announce_ready(policy, &initial, now);
-        self.process_faults_at(policy, now);
-        self.assign_fixpoint(policy, now);
-        while !self.tracker.is_done() {
-            let Some(t) = self.next_time() else {
-                if self.alive.iter().any(|&a| a) {
-                    panic!("deadlock: tasks remain but nothing is running (policy bug?)");
-                }
-                return Err(SimError::AllWorkersDown {
-                    time: now,
-                    remaining: self.tracker.remaining(),
-                });
-            };
-            debug_assert!(t >= now);
-            now = t;
-            // Order at equal instants: runs finish first (completions
-            // release successors), then workers fail/recover, then retries
-            // re-enter the ready set, then idle workers are offered work.
-            while let Some(&Reverse((F64Ord(t2), w2, g2))) = self.events.peek() {
-                if self.generation[w2 as usize] != g2 {
-                    self.events.pop();
-                } else if t2 == now {
-                    self.events.pop();
-                    self.finish_run(policy, WorkerId(w2), now)?;
-                } else {
-                    break;
-                }
-            }
-            self.process_faults_at(policy, now);
-            self.process_retries_at(policy, now);
-            self.assign_fixpoint(policy, now);
-        }
-        Ok(())
+    fn worker_order(&self) -> WorkerOrder {
+        self.policy.worker_order()
     }
 }
 

@@ -44,35 +44,9 @@ impl WorkerFault {
     }
 }
 
-/// Retry policy for failed task attempts: capped exponential backoff with a
-/// per-task attempt budget.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct RetryPolicy {
-    /// Total attempts allowed per task (first run included). When the
-    /// `max_attempts`-th attempt fails the task is abandoned.
-    pub max_attempts: u32,
-    /// Backoff before retry `k` is `min(backoff_cap, backoff_base · 2^(k-1))`.
-    pub backoff_base: f64,
-    /// Upper bound on any single backoff delay.
-    pub backoff_cap: f64,
-}
-
-impl RetryPolicy {
-    pub const DEFAULT: RetryPolicy =
-        RetryPolicy { max_attempts: 3, backoff_base: 1.0, backoff_cap: 64.0 };
-
-    /// Backoff delay after the `failures`-th failed attempt (1-based).
-    pub fn delay_after(&self, failures: u32) -> f64 {
-        let exp = failures.saturating_sub(1).min(63);
-        (self.backoff_base * (1u64 << exp) as f64).min(self.backoff_cap)
-    }
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy::DEFAULT
-    }
-}
+/// Retry policy for failed task attempts (re-exported from the shared event
+/// kernel, which owns the retry heap).
+pub use heteroprio_core::kernel::RetryPolicy;
 
 /// Everything that can go wrong in one simulated execution.
 #[derive(Clone, Debug, PartialEq)]
@@ -180,6 +154,20 @@ impl fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+impl From<heteroprio_core::kernel::EngineError> for SimError {
+    fn from(e: heteroprio_core::kernel::EngineError) -> Self {
+        use heteroprio_core::kernel::EngineError;
+        match e {
+            EngineError::TaskAbandoned { task, attempts, time } => {
+                SimError::TaskAbandoned { task, attempts, time }
+            }
+            EngineError::AllWorkersDown { time, remaining } => {
+                SimError::AllWorkersDown { time, remaining }
+            }
+        }
+    }
+}
 
 /// A time in a fault spec: absolute, or a percentage of the fault-free
 /// makespan (resolved by the caller after a baseline run).

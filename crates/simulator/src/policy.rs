@@ -7,14 +7,9 @@
 use heteroprio_core::{Platform, TaskId, WorkerId};
 use heteroprio_taskgraph::TaskGraph;
 
-/// A task currently executing on some worker.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct RunningTask {
-    pub task: TaskId,
-    pub start: f64,
-    /// Expected completion time.
-    pub end: f64,
-}
+/// A task currently executing on some worker (re-exported from the shared
+/// event kernel, which owns the running set).
+pub use heteroprio_core::kernel::RunningTask;
 
 /// Optional execution-cost model: a fixed penalty added to a task's
 /// duration when at least one predecessor completed on the *other* resource

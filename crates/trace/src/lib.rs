@@ -2,7 +2,7 @@
 //!
 //! The paper's experimental argument (Figs. 6–9) rests on *transient*
 //! behaviour — where idle time accrues, how much work spoliation throws
-//! away, how deep the ready queue runs — which a finished [`Schedule`]
+//! away, how deep the ready queue runs — which a finished `Schedule`
 //! cannot reconstruct. This crate is the observability substrate: the
 //! schedulers emit a typed stream of [`SchedEvent`]s into a [`TraceSink`],
 //! and everything else (per-worker accounting, Chrome-trace and JSONL
@@ -32,5 +32,5 @@ mod summary;
 pub use chrome::{chrome_trace, ChromeTraceOptions};
 pub use event::{sort_causal, Decision, QueueEnd, SchedEvent};
 pub use jsonl::{jsonl, parse_jsonl};
-pub use sink::{NullSink, TraceSink, VecSink};
+pub use sink::{NullSink, TeeSink, TraceSink, VecSink};
 pub use summary::{TraceSummary, WorkerStats};

@@ -56,6 +56,24 @@ impl TraceSink for VecSink {
     }
 }
 
+/// Fans one event stream out to two sinks — e.g. a [`VecSink`] recorder
+/// plus a streaming auditor watching the same run.
+#[derive(Clone, Debug, Default)]
+pub struct TeeSink<A, B>(pub A, pub B);
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
+    #[inline]
+    fn emit(&mut self, event: SchedEvent) {
+        self.0.emit(event);
+        self.1.emit(event);
+    }
+
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        self.0.is_enabled() || self.1.is_enabled()
+    }
+}
+
 impl<S: TraceSink + ?Sized> TraceSink for &mut S {
     #[inline]
     fn emit(&mut self, event: SchedEvent) {

@@ -18,6 +18,12 @@ cargo run -q -p heteroprio-audit --bin audit-lint
 echo "== cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "== cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace
+
+echo "== kernel-parity bench smoke (--test: parity asserts, no timing)"
+cargo bench -q -p heteroprio-bench --bench kernel_parity -- --test
+
 echo "== audit smoke: record a trace, then re-audit it from disk"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT

@@ -133,10 +133,17 @@ pub enum Throughput {
 pub struct Bencher {
     sample_size: usize,
     samples_ns: Vec<f64>,
+    smoke: bool,
 }
 
 impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            // `--test` smoke mode (mirroring real criterion): run the body
+            // once to prove it works, skip calibration and timing.
+            std::hint::black_box(f());
+            return;
+        }
         // Calibrate: double the batch size until one batch takes at least
         // TARGET_SAMPLE (so per-sample timing noise is bounded).
         let mut iters: u64 = 1;
@@ -168,8 +175,13 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     throughput: Option<Throughput>,
     mut f: F,
 ) {
-    let mut b = Bencher { sample_size, samples_ns: Vec::new() };
+    let smoke = std::env::args().any(|a| a == "--test");
+    let mut b = Bencher { sample_size, samples_ns: Vec::new(), smoke };
     f(&mut b);
+    if smoke {
+        println!("{label:<40} ok (--test smoke mode, no measurement)");
+        return;
+    }
     if b.samples_ns.is_empty() {
         println!("{label:<40} (no measurement: Bencher::iter never called)");
         return;
