@@ -22,6 +22,11 @@
 //!   receives one and must treat it as sealed. Reconstruction paths (e.g.
 //!   rebuilding a schedule from a recorded trace) allow-list each site with
 //!   the reason.
+//! * `instant-now` — `Instant::now()` / `SystemTime::now()` outside
+//!   `crates/metrics`. Wall-clock reads scattered through scheduling code
+//!   make runs non-reproducible and measurements inconsistent; all timing
+//!   goes through `heteroprio_metrics` (`Stopwatch`, `ScopedTimer`), which
+//!   is the one crate allowed to touch the clock.
 //! * `forbid-unsafe` — every crate root must carry `#![forbid(unsafe_code)]`
 //!   (checked by [`lint_workspace`], not per-line).
 //!
@@ -45,6 +50,7 @@ pub const RULES: &[(&str, &str)] = &[
     ("unwrap", "bare .unwrap() in non-test library code"),
     ("cast-trunc", "integer `as` cast of scheduling math without an allow comment"),
     ("schedule-mut", "Schedule runs/aborted mutated outside crates/core"),
+    ("instant-now", "Instant::now()/SystemTime::now() outside crates/metrics"),
     ("forbid-unsafe", "crate root missing #![forbid(unsafe_code)]"),
 ];
 
@@ -69,6 +75,7 @@ impl fmt::Display for LintViolation {
 pub fn lint_source(path: &str, text: &str) -> Vec<LintViolation> {
     let float_exempt = path.ends_with("core/src/time.rs");
     let schedule_exempt = path.starts_with("crates/core/");
+    let clock_exempt = path.starts_with("crates/metrics/");
     let mut violations = Vec::new();
     let mut stripper = Stripper::default();
     let lines: Vec<&str> = text.lines().collect();
@@ -137,6 +144,19 @@ pub fn lint_source(path: &str, text: &str) -> Vec<LintViolation> {
         check_int_casts(code, &mut push);
         if !schedule_exempt {
             check_schedule_mutations(code, &mut push);
+        }
+        if !clock_exempt {
+            for needle in ["Instant::now(", "SystemTime::now("] {
+                if code.contains(needle) {
+                    push(
+                        "instant-now",
+                        format!(
+                            "direct clock read `{needle})` outside crates/metrics; use \
+                             heteroprio_metrics::Stopwatch or ScopedTimer"
+                        ),
+                    );
+                }
+            }
         }
     }
     violations
@@ -801,6 +821,23 @@ mod tests {
         let allowed =
             "// lint: allow(schedule-mut): rebuilding a schedule from a trace.\ns.runs.push(r);\n";
         assert!(rules_of("crates/audit/src/auditor.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn instant_now_rule_fences_the_clock_into_metrics() {
+        let read = "let t0 = Instant::now();\n";
+        assert_eq!(rules_of("crates/experiments/src/bin/complexity.rs", read), vec!["instant-now"]);
+        assert_eq!(
+            rules_of("crates/core/src/kernel.rs", "let w = SystemTime::now();"),
+            vec!["instant-now"]
+        );
+        // The metrics crate is the sanctioned clock room.
+        assert!(rules_of("crates/metrics/src/timer.rs", read).is_empty());
+        // Mentions in comments and strings do not count.
+        assert!(rules_of("crates/core/src/kernel.rs", "// Instant::now() is banned\n").is_empty());
+        // The escape hatch works with a reason.
+        let allowed = "// lint: allow(instant-now): one-off cold-start stamp, not scheduling.\nlet t = Instant::now();\n";
+        assert!(rules_of("crates/cli/src/main.rs", allowed).is_empty());
     }
 
     #[test]

@@ -1,0 +1,21 @@
+//! Kernel perf baseline: runs the `heteroprio_bench::perf` suite and prints
+//! the `BENCH_kernel.json` document to stdout.
+//!
+//! Like `kernel_parity`, `--test` switches to smoke mode (tiny instances,
+//! schema + counter assertions only, no timing claims) so `scripts/check.sh`
+//! stays deterministic; the full run is what `scripts/bench.sh` commits as
+//! the repo-root baseline.
+
+#![forbid(unsafe_code)]
+
+use heteroprio_bench::perf::{run_suite, validate_baseline};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let doc = run_suite(smoke);
+    validate_baseline(&doc).expect("perf baseline must satisfy its own schema");
+    if smoke {
+        eprintln!("perf_baseline: smoke suite ok (schema + counters validated)");
+    }
+    println!("{doc}");
+}

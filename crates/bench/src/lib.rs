@@ -13,6 +13,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod perf;
 pub mod seed_reference;
 
 use heteroprio_core::Instance;

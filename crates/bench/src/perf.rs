@@ -1,0 +1,276 @@
+//! The kernel perf harness behind `scripts/bench.sh`, the CLI `perf`
+//! subcommand, and the `perf_baseline` bench target.
+//!
+//! Runs Fig. 6-scale (Cholesky N=16/N=32 kernel mixes on the paper's
+//! 20 CPU + 4 GPU platform) and 1000×-scale (Cholesky N=160 with ~695k
+//! tasks, a 1M-task random instance) workloads under an
+//! [`InMemoryRegistry`], and emits the schema-versioned `BENCH_kernel.json`
+//! checkpoint: events/sec, tasks/sec, p50/p99 pick latency and peak queue
+//! depths per case. This is the baseline every future kernel optimization
+//! (ROADMAP item 2) is measured against.
+//!
+//! [`validate_baseline`] checks the schema and the non-timing invariants
+//! (non-zero counters, required scales); the `perf --smoke` gate in
+//! `scripts/check.sh` relies on it staying free of timing assertions so CI
+//! stays deterministic.
+
+use heteroprio_core::kernel::metric;
+use heteroprio_core::{heteroprio_metered, HeteroPrioConfig, Instance};
+use heteroprio_metrics::{InMemoryRegistry, MetricsSnapshot, Stopwatch};
+use heteroprio_schedulers::HeteroPrioDagPolicy;
+use heteroprio_simulator::{try_simulate_faulty_metered, FaultPlan, TransferModel};
+use heteroprio_taskgraph::{apply_bottom_level_priorities, cholesky, Factorization, WeightScheme};
+use heteroprio_trace::{json, NullSink};
+use heteroprio_workloads::{
+    independent_instance, paper_platform, random_instance, ChameleonTiming, RandomInstanceParams,
+};
+
+/// Version of the `BENCH_kernel.json` schema this harness emits.
+pub const SCHEMA_VERSION: u64 = 1;
+/// Value of the top-level `"schema"` tag.
+pub const SCHEMA_NAME: &str = "heteroprio-bench-kernel";
+
+/// Everything measured for one workload.
+struct CaseResult {
+    name: &'static str,
+    /// `"fig6"`, `"x1000"`, or `"smoke"`.
+    scale: &'static str,
+    /// `"independent"` (Algorithm 1 queue) or `"dag"` (simulator frontend).
+    engine: &'static str,
+    tasks: usize,
+    makespan: f64,
+    spoliations: usize,
+    wall_s: f64,
+    snapshot: MetricsSnapshot,
+}
+
+impl CaseResult {
+    fn counter(&self, name: &str) -> u64 {
+        self.snapshot.counter(name).unwrap_or(0)
+    }
+
+    fn to_json(&self) -> String {
+        let events = self.counter(metric::EVENTS_TOTAL);
+        let per_sec = |count: u64| {
+            if self.wall_s > 0.0 {
+                count as f64 / self.wall_s
+            } else {
+                0.0
+            }
+        };
+        let pick = self.snapshot.histogram(metric::PICK_NS);
+        let quantile = |q: f64| pick.map_or(0, |h| h.quantile(q));
+        let peak = |name: &str| self.snapshot.gauge(&format!("{name}_peak")).unwrap_or(0);
+        format!(
+            "    {{\n      \"name\": \"{}\",\n      \"scale\": \"{}\",\n      \"engine\": \"{}\",\n      \
+             \"tasks\": {},\n      \"events\": {},\n      \"trace_events\": {},\n      \
+             \"spoliations\": {},\n      \"makespan\": {},\n      \"wall_s\": {},\n      \
+             \"tasks_per_sec\": {},\n      \"events_per_sec\": {},\n      \
+             \"pick_p50_ns\": {},\n      \"pick_p99_ns\": {},\n      \
+             \"peak_ready_depth\": {},\n      \"peak_event_heap_depth\": {}\n    }}",
+            self.name,
+            self.scale,
+            self.engine,
+            self.tasks,
+            events,
+            self.counter(metric::TRACE_EVENTS_TOTAL),
+            self.spoliations,
+            self.makespan,
+            self.wall_s,
+            per_sec(self.counter(metric::TASKS_COMPLETED_TOTAL)),
+            per_sec(events),
+            quantile(0.5),
+            quantile(0.99),
+            peak(metric::READY_DEPTH),
+            peak(metric::EVENT_HEAP_DEPTH),
+        )
+    }
+}
+
+/// Run one independent-task instance through the Algorithm 1 engine with a
+/// fresh registry and a [`NullSink`] (so trace buffering does not distort
+/// the measurement; the emission funnel still counts events).
+fn run_independent(name: &'static str, scale: &'static str, instance: &Instance) -> CaseResult {
+    let platform = paper_platform();
+    let registry = InMemoryRegistry::new();
+    let sw = Stopwatch::start();
+    let res =
+        heteroprio_metered(instance, &platform, &HeteroPrioConfig::new(), &mut NullSink, &registry);
+    let wall_s = sw.elapsed_secs_f64();
+    CaseResult {
+        name,
+        scale,
+        engine: "independent",
+        tasks: instance.len(),
+        makespan: res.schedule.makespan(),
+        spoliations: res.spoliations,
+        wall_s,
+        snapshot: registry.snapshot(),
+    }
+}
+
+/// Run one Cholesky DAG through the simulator frontend (dependency release,
+/// `PolicyDecision` events) with a fresh registry.
+fn run_dag(name: &'static str, scale: &'static str, tiles: usize) -> CaseResult {
+    let platform = paper_platform();
+    let mut graph = cholesky(tiles, &ChameleonTiming);
+    apply_bottom_level_priorities(&mut graph, WeightScheme::Min);
+    let mut policy = HeteroPrioDagPolicy::new(HeteroPrioConfig::new());
+    let registry = InMemoryRegistry::new();
+    let sw = Stopwatch::start();
+    let res = try_simulate_faulty_metered(
+        &graph,
+        &platform,
+        &mut policy,
+        &TransferModel::NONE,
+        &FaultPlan::NONE,
+        &mut NullSink,
+        &registry,
+    )
+    .expect("fault-free simulation cannot fail");
+    let wall_s = sw.elapsed_secs_f64();
+    CaseResult {
+        name,
+        scale,
+        engine: "dag",
+        tasks: graph.len(),
+        makespan: res.schedule.makespan(),
+        spoliations: res.spoliations,
+        wall_s,
+        snapshot: registry.snapshot(),
+    }
+}
+
+fn fig6_instance(tiles: usize) -> Instance {
+    independent_instance(Factorization::Cholesky, tiles, &ChameleonTiming)
+}
+
+/// Run the suite and return the `BENCH_kernel.json` document. `smoke` runs
+/// tiny instances only (for the deterministic CI gate); the full suite runs
+/// the Fig. 6-scale and 1000×-scale cases the baseline commits.
+pub fn run_suite(smoke: bool) -> String {
+    let cases: Vec<CaseResult> = if smoke {
+        vec![
+            run_independent("cholesky_n4_smoke", "smoke", &fig6_instance(4)),
+            run_independent(
+                "random_200_smoke",
+                "smoke",
+                &random_instance(
+                    &RandomInstanceParams { tasks: 200, ..RandomInstanceParams::default() },
+                    0xBEEF,
+                ),
+            ),
+            run_dag("dag_cholesky_n4_smoke", "smoke", 4),
+        ]
+    } else {
+        vec![
+            run_independent("cholesky_n16_fig6", "fig6", &fig6_instance(16)),
+            run_independent("cholesky_n32_fig6", "fig6", &fig6_instance(32)),
+            run_dag("dag_cholesky_n16_fig6", "fig6", 16),
+            run_independent("cholesky_n160_x1000", "x1000", &fig6_instance(160)),
+            run_independent(
+                "random_1m_x1000",
+                "x1000",
+                &random_instance(
+                    &RandomInstanceParams { tasks: 1_000_000, ..RandomInstanceParams::default() },
+                    0xBEEF,
+                ),
+            ),
+        ]
+    };
+    let platform = paper_platform();
+    let body: Vec<String> = cases.iter().map(CaseResult::to_json).collect();
+    format!(
+        "{{\n  \"schema\": \"{SCHEMA_NAME}\",\n  \"version\": {SCHEMA_VERSION},\n  \
+         \"smoke\": {smoke},\n  \"platform\": {{ \"cpus\": {}, \"gpus\": {} }},\n  \
+         \"cases\": [\n{}\n  ]\n}}\n",
+        platform.cpus,
+        platform.gpus,
+        body.join(",\n"),
+    )
+}
+
+/// Check a `BENCH_kernel.json` document: schema tag and version, non-empty
+/// cases, non-zero task/event counters, and — for a full (non-smoke) run —
+/// at least one `fig6` and one `x1000` case. Deliberately no timing
+/// assertions, so the CI smoke gate stays deterministic.
+pub fn validate_baseline(text: &str) -> Result<(), String> {
+    let doc = json::parse(text)?;
+    let field = |key: &str| doc.get(key).ok_or_else(|| format!("missing top-level {key:?}"));
+    if field("schema")?.as_str() != Some(SCHEMA_NAME) {
+        return Err(format!("schema tag is not {SCHEMA_NAME:?}"));
+    }
+    if field("version")?.as_f64() != Some(SCHEMA_VERSION as f64) {
+        return Err(format!("unsupported schema version (want {SCHEMA_VERSION})"));
+    }
+    let smoke = field("smoke")?.as_bool().ok_or("smoke flag is not a bool")?;
+    let cases = field("cases")?.as_arr().ok_or("cases is not an array")?;
+    if cases.is_empty() {
+        return Err("cases array is empty".to_string());
+    }
+    let mut scales = Vec::new();
+    for case in cases {
+        let name = case.get("name").and_then(|v| v.as_str()).ok_or("case missing name")?;
+        for key in [
+            "tasks",
+            "events",
+            "trace_events",
+            "wall_s",
+            "tasks_per_sec",
+            "events_per_sec",
+            "pick_p50_ns",
+            "pick_p99_ns",
+            "peak_ready_depth",
+            "peak_event_heap_depth",
+            "makespan",
+        ] {
+            let value = case
+                .get(key)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("{name}: missing numeric {key:?}"))?;
+            if value < 0.0 {
+                return Err(format!("{name}: {key} is negative"));
+            }
+        }
+        for key in ["tasks", "events", "trace_events", "peak_event_heap_depth"] {
+            let nonzero = case.get(key).and_then(|v| v.as_f64()).is_some_and(|v| v > 0.0);
+            if !nonzero {
+                return Err(format!("{name}: counter {key:?} is zero"));
+            }
+        }
+        scales.push(case.get("scale").and_then(|v| v.as_str()).ok_or("case missing scale")?);
+    }
+    if !smoke {
+        for required in ["fig6", "x1000"] {
+            if !scales.contains(&required) {
+                return Err(format!("full baseline is missing a {required:?}-scale case"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_suite_emits_a_valid_baseline() {
+        let doc = run_suite(true);
+        validate_baseline(&doc).expect("smoke baseline validates");
+        for needle in ["cholesky_n4_smoke", "random_200_smoke", "dag_cholesky_n4_smoke"] {
+            assert!(doc.contains(needle), "missing case {needle} in:\n{doc}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_broken_documents() {
+        assert!(validate_baseline("{}").is_err());
+        assert!(validate_baseline("not json").is_err());
+        let wrong_version = run_suite(true).replace("\"version\": 1", "\"version\": 999");
+        assert!(validate_baseline(&wrong_version).is_err());
+        // A full baseline without the x1000 case must be rejected.
+        let fake_full = run_suite(true).replace("\"smoke\": true", "\"smoke\": false");
+        assert!(validate_baseline(&fake_full).is_err());
+    }
+}

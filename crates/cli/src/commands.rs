@@ -5,9 +5,11 @@ use crate::format::{parse_instance, serialize_instance};
 use heteroprio_audit::{audit, schedule_from_events, AuditOptions, AuditReport, StreamAuditor};
 use heteroprio_bounds::{combined_lower_bound, optimal_makespan, MAX_EXACT_TASKS};
 use heteroprio_core::gantt::to_svg;
+use heteroprio_core::kernel::metric;
 use heteroprio_core::{
-    heteroprio, heteroprio_traced, HeteroPrioConfig, Instance, Platform, ResourceKind, Schedule,
+    heteroprio, heteroprio_metered, HeteroPrioConfig, Instance, Platform, ResourceKind, Schedule,
 };
+use heteroprio_metrics::{InMemoryRegistry, MetricsRegistry, NullRegistry};
 use heteroprio_schedulers::{dualhp_independent, heft, heuristic_schedule, HeftVariant, Heuristic};
 use heteroprio_simulator::{FaultPlan, FaultSpec, RetryPolicy};
 use heteroprio_taskgraph::{Factorization, TaskGraph, WeightScheme};
@@ -32,11 +34,16 @@ pub struct OutputOpts {
     /// Audit the run against the paper's invariants (see
     /// [`heteroprio_audit`]) and fail if any rule is violated.
     pub audit: bool,
+    /// Run the kernel under an [`InMemoryRegistry`] and append the
+    /// counter/gauge/histogram report. The trace-event counter is
+    /// cross-checked against [`TraceSummary::events_recorded`], so a
+    /// sink that drops events fails loudly instead of silently.
+    pub metrics: bool,
 }
 
 impl OutputOpts {
     fn wants_events(&self) -> bool {
-        self.trace.is_some() || self.summary || self.audit
+        self.trace.is_some() || self.summary || self.audit || self.metrics
     }
 }
 
@@ -182,6 +189,23 @@ fn format_summary(summary: &TraceSummary, platform: &Platform) -> String {
     out
 }
 
+/// The `--metrics` tail of a report: cross-check the kernel's own
+/// trace-event counter against what the sink actually recorded (a mismatch
+/// means events were dropped somewhere between the emission funnel and the
+/// summary), then append the counter/histogram rendering.
+fn metrics_report(registry: &InMemoryRegistry, summary: &TraceSummary) -> Result<String, String> {
+    let snapshot = registry.snapshot();
+    let counted = snapshot.counter(metric::TRACE_EVENTS_TOTAL).unwrap_or(0);
+    let recorded = summary.events_recorded() as u64;
+    if counted != recorded {
+        return Err(format!(
+            "metrics cross-check failed: kernel counted {counted} trace events \
+             but the sink recorded {recorded} (events were dropped)"
+        ));
+    }
+    Ok(snapshot.render())
+}
+
 /// Which scheduler the `schedule` command runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Algo {
@@ -230,10 +254,22 @@ impl Algo {
         instance: &Instance,
         platform: &Platform,
     ) -> (Schedule, Vec<SchedEvent>) {
+        self.run_metered(instance, platform, &NullRegistry)
+    }
+
+    /// [`Algo::run_traced`] with a metrics registry threaded into the live
+    /// kernel. Static algorithms never enter the kernel, so their runs
+    /// record nothing (`cmd_schedule` rejects `--metrics` for them).
+    fn run_metered(
+        self,
+        instance: &Instance,
+        platform: &Platform,
+        metrics: &dyn MetricsRegistry,
+    ) -> (Schedule, Vec<SchedEvent>) {
         match self.config() {
             Some(config) => {
                 let mut sink = VecSink::new();
-                let result = heteroprio_traced(instance, platform, &config, &mut sink);
+                let result = heteroprio_metered(instance, platform, &config, &mut sink, metrics);
                 (result.schedule, sink.into_events())
             }
             None => {
@@ -276,6 +312,14 @@ pub fn cmd_schedule(
     if instance.is_empty() {
         return Err("instance is empty".to_string());
     }
+    if opts.metrics && algo.config().is_none() {
+        return Err(format!(
+            "--metrics instruments the live kernel; {algo:?} is a static \
+             algorithm that never enters it (use hp or hp-ns)"
+        ));
+    }
+    let registry = InMemoryRegistry::new();
+    let metrics: &dyn MetricsRegistry = if opts.metrics { &registry } else { &NullRegistry };
     // Under `--audit`, live HeteroPrio runs stream their events through the
     // online auditor as the engine emits them (a tee also records the stream
     // for `--trace`/`--summary`); static algorithms are batch-audited on the
@@ -284,11 +328,12 @@ pub fn cmd_schedule(
         (true, Some(config)) => {
             let mut sink = VecSink::new();
             let mut auditor = StreamAuditor::new(&instance, platform, audit_opts(algo));
-            let result = heteroprio_traced(
+            let result = heteroprio_metered(
                 &instance,
                 platform,
                 &config,
                 &mut TeeSink(&mut sink, &mut auditor),
+                metrics,
             );
             let report = auditor.finish(&result.schedule);
             (result.schedule, sink.into_events(), Some(report))
@@ -299,7 +344,7 @@ pub fn cmd_schedule(
             (schedule, events, Some(report))
         }
         (false, _) if opts.wants_events() => {
-            let (schedule, events) = algo.run_traced(&instance, platform);
+            let (schedule, events) = algo.run_metered(&instance, platform, metrics);
             (schedule, events, None)
         }
         (false, _) => (algo.run(&instance, platform), Vec::new(), None),
@@ -333,6 +378,10 @@ pub fn cmd_schedule(
     if opts.summary {
         let summary = TraceSummary::from_events(platform.workers(), &events);
         out.push_str(&format_summary(&summary, platform));
+    }
+    if opts.metrics {
+        let summary = TraceSummary::from_events(platform.workers(), &events);
+        out.push_str(&metrics_report(&registry, &summary)?);
     }
     if let Some(report) = &audit_report {
         out.push_str(&finish_audit(report)?);
@@ -477,6 +526,11 @@ pub fn cmd_dag(
     if !matches!(kind_lc.as_str(), "cholesky" | "qr" | "lu") {
         return Err(format!("unknown workload `{kind_lc}` (cholesky, qr, lu)"));
     }
+    if opts.metrics && algo == DagAlgoArg::Heft {
+        return Err("--metrics instruments the live kernel; heft replays a static \
+             schedule and never enters it"
+            .to_string());
+    }
     let build = || {
         let mut rt = Runtime::new(*platform);
         match kind_lc.as_str() {
@@ -492,7 +546,10 @@ pub fn cmd_dag(
         (FaultPlan::NONE, None)
     };
     let rt = build().with_faults(plan.clone());
-    let report = if opts.wants_events() {
+    let registry = InMemoryRegistry::new();
+    let report = if opts.metrics {
+        rt.run_metered(algo.scheduler(), &registry)?
+    } else if opts.wants_events() {
         rt.run_traced(algo.scheduler())?
     } else {
         rt.run(algo.scheduler())?
@@ -530,6 +587,9 @@ pub fn cmd_dag(
     if opts.summary {
         out.push_str(&format_summary(&report.summary, platform));
     }
+    if opts.metrics {
+        out.push_str(&metrics_report(&registry, &report.summary)?);
+    }
     if opts.audit {
         let mut aopts = AuditOptions::dag_run(0.0, Some(report.lower_bound));
         aopts.heteroprio = algo == DagAlgoArg::HeteroPrio;
@@ -565,6 +625,17 @@ pub fn cmd_gen(kind: &str, n: usize) -> Result<String, String> {
     }
     let instance = independent_instance(f, n, &ChameleonTiming);
     Ok(serialize_instance(&instance))
+}
+
+/// `perf`: run the kernel perf suite and return the `BENCH_kernel.json`
+/// document. `smoke` runs the tiny deterministic cases (the
+/// `scripts/check.sh` gate); the full suite is what `scripts/bench.sh`
+/// commits as the repo-root baseline.
+pub fn cmd_perf(smoke: bool) -> Result<String, String> {
+    let doc = heteroprio_bench::perf::run_suite(smoke);
+    heteroprio_bench::perf::validate_baseline(&doc)
+        .map_err(|e| format!("perf baseline failed its own schema check: {e}"))?;
+    Ok(doc)
 }
 
 #[cfg(test)]
@@ -665,6 +736,52 @@ mod tests {
             let out = cmd_schedule(SAMPLE, &plat, algo, &opts).unwrap();
             assert!(out.report.contains("audit clean"), "{algo:?}: {}", out.report);
         }
+    }
+
+    #[test]
+    fn metrics_flag_reports_and_cross_checks() {
+        let plat = Platform::new(2, 1);
+        let opts = OutputOpts { metrics: true, summary: true, ..OutputOpts::default() };
+        for algo in [Algo::HeteroPrio, Algo::HeteroPrioNoSpoliation] {
+            let out = cmd_schedule(SAMPLE, &plat, algo, &opts).unwrap();
+            assert!(out.report.contains("metrics:"), "{algo:?}: {}", out.report);
+            assert!(out.report.contains("kernel_trace_events_total"), "{algo:?}");
+            assert!(out.report.contains("kernel_pick_ns"), "{algo:?}");
+        }
+        // Static algorithms never enter the kernel: refuse rather than
+        // print an all-zero report.
+        let err = cmd_schedule(SAMPLE, &plat, Algo::Heft, &opts).unwrap_err();
+        assert!(err.contains("static"), "{err}");
+    }
+
+    #[test]
+    fn metrics_flag_composes_with_audit_on_the_live_path() {
+        let plat = Platform::new(2, 1);
+        let opts = OutputOpts { metrics: true, audit: true, ..OutputOpts::default() };
+        let out = cmd_schedule(SAMPLE, &plat, Algo::HeteroPrio, &opts).unwrap();
+        assert!(out.report.contains("metrics:"), "{}", out.report);
+        assert!(out.report.contains("audit clean"), "{}", out.report);
+    }
+
+    #[test]
+    fn dag_metrics_flag_reports_and_rejects_static_heft() {
+        let plat = Platform::new(2, 1);
+        let opts = OutputOpts { metrics: true, ..OutputOpts::default() };
+        let out =
+            cmd_dag("cholesky", 4, &plat, DagAlgoArg::HeteroPrio, &opts, &FaultOpts::default())
+                .unwrap();
+        assert!(out.report.contains("kernel_events_total"), "{}", out.report);
+        assert!(out.report.contains("kernel_tasks_completed_total"), "{}", out.report);
+        let err = cmd_dag("cholesky", 4, &plat, DagAlgoArg::Heft, &opts, &FaultOpts::default())
+            .unwrap_err();
+        assert!(err.contains("static"), "{err}");
+    }
+
+    #[test]
+    fn perf_smoke_emits_a_valid_document() {
+        let doc = cmd_perf(true).unwrap();
+        assert!(doc.contains("\"schema\": \"heteroprio-bench-kernel\""), "{doc}");
+        assert!(doc.contains("\"smoke\": true"), "{doc}");
     }
 
     #[test]

@@ -10,7 +10,7 @@ pub mod commands;
 pub mod format;
 
 pub use commands::{
-    cmd_audit, cmd_bounds, cmd_dag, cmd_gen, cmd_schedule, Algo, CmdOutput, DagAlgoArg, FaultOpts,
-    OutputOpts,
+    cmd_audit, cmd_bounds, cmd_dag, cmd_gen, cmd_perf, cmd_schedule, Algo, CmdOutput, DagAlgoArg,
+    FaultOpts, OutputOpts,
 };
 pub use format::{parse_instance, serialize_instance, ParseError};

@@ -9,7 +9,8 @@
 //! ```
 
 use heteroprio_cli::{
-    cmd_audit, cmd_bounds, cmd_dag, cmd_gen, cmd_schedule, Algo, DagAlgoArg, FaultOpts, OutputOpts,
+    cmd_audit, cmd_bounds, cmd_dag, cmd_gen, cmd_perf, cmd_schedule, Algo, DagAlgoArg, FaultOpts,
+    OutputOpts,
 };
 use heteroprio_core::Platform;
 use std::process::ExitCode;
@@ -17,17 +18,19 @@ use std::process::ExitCode;
 const USAGE: &str = "\
 usage:
   heteroprio-cli schedule --cpus M --gpus N [--algo NAME] [--svg FILE]
-                          [--trace FILE] [--summary] [--audit] INSTANCE
+                          [--trace FILE] [--summary] [--audit] [--metrics]
+                          INSTANCE
   heteroprio-cli bounds   --cpus M --gpus N INSTANCE
   heteroprio-cli gen      (cholesky|qr|lu) N [OUTPUT]
   heteroprio-cli dag      (cholesky|qr|lu) N --cpus M --gpus N [--algo NAME]
                           [--svg FILE] [--trace FILE] [--summary] [--audit]
-                          [--faults SPEC] [--exec-jitter J] [--retry-max K]
-                          [--fault-seed S]
+                          [--metrics] [--faults SPEC] [--exec-jitter J]
+                          [--retry-max K] [--fault-seed S]
   heteroprio-cli audit    --cpus M --gpus N [--algo NAME]
                           [--trace FILE.jsonl] INSTANCE
   heteroprio-cli audit    (cholesky|qr|lu) N --cpus M --gpus N [--algo NAME]
                           [--faults SPEC] [--exec-jitter J]
+  heteroprio-cli perf     [--smoke] [--out FILE]
 
 INSTANCE is a text file with one `cpu_time gpu_time [priority]` task per
 line (`#` comments). `gen` writes such a file for the kernel mix of an
@@ -45,6 +48,18 @@ certificates. `audit INSTANCE --trace FILE.jsonl` checks a previously
 exported JSONL trace instead of running a scheduler; `audit
 (cholesky|qr|lu) N` audits a fresh runtime execution. Violations are
 printed with their rule name and the exit code is nonzero.
+
+--metrics runs the scheduler with the kernel's self-profiling registry
+enabled and appends the counter/gauge/histogram report (events, queue
+pushes/pops, spoliations, pick latency percentiles, peak queue depths).
+The kernel's own event counter is cross-checked against the recorded
+trace, so dropped events fail the command. Only live kernel runs can be
+metered; static algorithms (heft, minmin, ...) are rejected.
+
+perf runs the kernel self-profiling suite (Fig. 6-scale and 1000x-scale
+workloads) and prints the schema-versioned BENCH_kernel.json document;
+--out FILE writes it instead, --smoke runs the tiny deterministic cases
+used as a CI gate. `scripts/bench.sh` wraps the full run.
 
 --faults injects worker failures and task failures into the `dag`
 command. SPEC is comma-separated clauses: `wN|cpu|gpu|all @ time[+dur]`
@@ -66,6 +81,11 @@ struct Args {
     trace: Option<String>,
     summary: bool,
     audit: bool,
+    metrics: bool,
+    /// `perf --smoke`: tiny deterministic cases only.
+    smoke: bool,
+    /// `perf --out FILE`: write the JSON document instead of printing it.
+    out: Option<String>,
     faults: FaultOpts,
 }
 
@@ -80,6 +100,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         trace: None,
         summary: false,
         audit: false,
+        metrics: false,
+        smoke: false,
+        out: None,
         faults: FaultOpts::default(),
     };
     while let Some(a) = argv.next() {
@@ -113,6 +136,11 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--summary" => args.summary = true,
             "--audit" => args.audit = true,
+            "--metrics" => args.metrics = true,
+            "--smoke" => args.smoke = true,
+            "--out" => {
+                args.out = Some(argv.next().ok_or("--out needs a file name")?);
+            }
             "--faults" => {
                 args.faults.spec = Some(argv.next().ok_or("--faults needs a spec")?);
             }
@@ -150,6 +178,7 @@ fn output_opts(args: &Args) -> OutputOpts {
         trace: args.trace.clone(),
         summary: args.summary,
         audit: args.audit,
+        metrics: args.metrics,
     }
 }
 
@@ -242,6 +271,17 @@ fn run() -> Result<(), String> {
                 print!("{}", cmd_audit(&text, &platform, args.algo, trace_text.as_deref())?);
                 Ok(())
             }
+        }
+        "perf" => {
+            let doc = cmd_perf(args.smoke)?;
+            match &args.out {
+                Some(path) => {
+                    std::fs::write(path, &doc).map_err(|e| format!("{path}: {e}"))?;
+                    println!("wrote {path}");
+                }
+                None => print!("{doc}"),
+            }
+            Ok(())
         }
         "gen" => {
             let kind = args.positional.first().ok_or("gen needs a workload kind")?;

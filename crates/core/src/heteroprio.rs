@@ -29,6 +29,7 @@ use crate::kernel::{
 use crate::model::{Instance, Platform, ResourceKind, TaskId, WorkerId};
 use crate::schedule::Schedule;
 use crate::time::strictly_less;
+use heteroprio_metrics::{MetricsRegistry, NullRegistry};
 use heteroprio_trace::{NullSink, QueueEnd, TraceSink, TraceSummary};
 use std::collections::VecDeque;
 
@@ -274,6 +275,20 @@ pub fn heteroprio_traced<S: TraceSink>(
     config: &HeteroPrioConfig,
     sink: &mut S,
 ) -> HeteroPrioResult {
+    heteroprio_metered(instance, platform, config, sink, &NullRegistry)
+}
+
+/// [`heteroprio_traced`] with a metrics registry: kernel perf counters,
+/// queue-depth gauges and pick-latency histograms are recorded into
+/// `metrics`. [`NullRegistry`] compiles the instrumentation away, exactly
+/// like [`NullSink`] does for tracing.
+pub fn heteroprio_metered<S: TraceSink, M: MetricsRegistry + ?Sized>(
+    instance: &Instance,
+    platform: &Platform,
+    config: &HeteroPrioConfig,
+    sink: &mut S,
+    metrics: &M,
+) -> HeteroPrioResult {
     let mut workload = IndependentWorkload { instance };
     let mut policy = IndependentPolicy { instance, config: *config, queue: VecDeque::new() };
     let outcome = kernel::run(
@@ -281,7 +296,7 @@ pub fn heteroprio_traced<S: TraceSink>(
         &mut workload,
         &mut policy,
         FaultModel::none(),
-        KernelOptions::default(),
+        KernelOptions { emit_decisions: false, metrics },
         sink,
     )
     .expect("fault-free run cannot fail");

@@ -31,11 +31,46 @@ use crate::heteroprio::WorkerOrder;
 use crate::model::{Platform, ResourceKind, TaskId, WorkerId};
 use crate::schedule::{Schedule, TaskRun};
 use crate::time::{strictly_less, F64Ord};
+use heteroprio_metrics::{
+    CounterId, GaugeId, HistogramId, MetricsRegistry, NullRegistry, ScopedTimer,
+};
 use heteroprio_trace::{Decision, QueueEnd, SchedEvent, TraceSink, TraceSummary};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Names under which the kernel reports its metrics, for consumers that
+/// read registry snapshots by name (the CLI's `--metrics` report, the perf
+/// harness, tests).
+pub mod metric {
+    /// Heap events dispatched by the main loop (completions + failures).
+    pub const EVENTS_TOTAL: &str = "kernel_events_total";
+    /// Trace events pushed through the emission funnel. Cross-checked
+    /// against `TraceSummary::events_recorded` to catch dropped events.
+    pub const TRACE_EVENTS_TOTAL: &str = "kernel_trace_events_total";
+    /// Tasks announced into the ready set (retries re-announce).
+    pub const READY_PUSHES_TOTAL: &str = "kernel_ready_pushes_total";
+    /// Successful policy picks out of the ready set.
+    pub const READY_POPS_TOTAL: &str = "kernel_ready_pops_total";
+    /// Successful spoliation aborts.
+    pub const SPOLIATIONS_TOTAL: &str = "kernel_spoliations_total";
+    /// Retry backoffs scheduled after failed attempts.
+    pub const RETRIES_TOTAL: &str = "kernel_retries_total";
+    /// Tasks completed.
+    pub const TASKS_COMPLETED_TOTAL: &str = "kernel_tasks_completed_total";
+    /// Current ready-set size (snapshot also carries `…_peak`).
+    pub const READY_DEPTH: &str = "kernel_ready_depth";
+    /// Current completion/failure event-heap size (snapshot also carries
+    /// `…_peak`).
+    pub const EVENT_HEAP_DEPTH: &str = "kernel_event_heap_depth";
+    /// Latency of a single `KernelPolicy::pick` call, nanoseconds.
+    pub const PICK_NS: &str = "kernel_pick_ns";
+    /// Wall time of one assignment fixpoint, nanoseconds.
+    pub const ASSIGN_NS: &str = "kernel_assign_ns";
+    /// Wall time of the whole kernel run, nanoseconds.
+    pub const RUN_NS: &str = "kernel_run_ns";
+}
 
 /// A task currently executing on some worker.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -133,11 +168,85 @@ pub enum EngineError {
 
 /// Kernel knobs that are engine-shape, not policy: whether the trace
 /// carries `PolicyDecision` events (the DAG simulator's vocabulary; the
-/// independent-task engines speak `QueuePop` instead).
-#[derive(Clone, Copy, Debug, Default)]
-pub struct KernelOptions {
+/// independent-task engines speak `QueuePop` instead), and where
+/// performance metrics go. The registry defaults to [`NullRegistry`], whose
+/// no-op recording monomorphizes the instrumentation away entirely — the
+/// metrics-off kernel is pinned byte-identical to the pre-metrics one.
+pub struct KernelOptions<'m, M: MetricsRegistry + ?Sized = NullRegistry> {
     pub emit_decisions: bool,
+    pub metrics: &'m M,
 }
+
+impl Default for KernelOptions<'static, NullRegistry> {
+    fn default() -> Self {
+        KernelOptions { emit_decisions: false, metrics: &NullRegistry }
+    }
+}
+
+// Manual impls: derives would demand `M: Clone/Copy/Debug`, but only a
+// shared reference to `M` is held.
+impl<M: MetricsRegistry + ?Sized> Clone for KernelOptions<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<M: MetricsRegistry + ?Sized> Copy for KernelOptions<'_, M> {}
+
+impl<M: MetricsRegistry + ?Sized> std::fmt::Debug for KernelOptions<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelOptions")
+            .field("emit_decisions", &self.emit_decisions)
+            .field("metrics_enabled", &self.metrics.is_enabled())
+            .finish()
+    }
+}
+
+/// Pre-registered handles for every kernel metric, resolved once per run so
+/// the hot path records through copyable ids only.
+struct Meter<'m, M: MetricsRegistry + ?Sized> {
+    m: &'m M,
+    events_total: CounterId,
+    trace_events: CounterId,
+    ready_pushes: CounterId,
+    ready_pops: CounterId,
+    spoliations: CounterId,
+    retries: CounterId,
+    tasks_completed: CounterId,
+    ready_depth: GaugeId,
+    heap_depth: GaugeId,
+    pick_ns: HistogramId,
+    assign_ns: HistogramId,
+    run_ns: HistogramId,
+}
+
+impl<'m, M: MetricsRegistry + ?Sized> Meter<'m, M> {
+    fn new(m: &'m M) -> Self {
+        Meter {
+            m,
+            events_total: m.counter(metric::EVENTS_TOTAL),
+            trace_events: m.counter(metric::TRACE_EVENTS_TOTAL),
+            ready_pushes: m.counter(metric::READY_PUSHES_TOTAL),
+            ready_pops: m.counter(metric::READY_POPS_TOTAL),
+            spoliations: m.counter(metric::SPOLIATIONS_TOTAL),
+            retries: m.counter(metric::RETRIES_TOTAL),
+            tasks_completed: m.counter(metric::TASKS_COMPLETED_TOTAL),
+            ready_depth: m.gauge(metric::READY_DEPTH),
+            heap_depth: m.gauge(metric::EVENT_HEAP_DEPTH),
+            pick_ns: m.histogram(metric::PICK_NS),
+            assign_ns: m.histogram(metric::ASSIGN_NS),
+            run_ns: m.histogram(metric::RUN_NS),
+        }
+    }
+}
+
+impl<M: MetricsRegistry + ?Sized> Clone for Meter<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<M: MetricsRegistry + ?Sized> Copy for Meter<'_, M> {}
 
 /// What the kernel hands back after a completed run.
 #[derive(Clone, Debug)]
@@ -261,12 +370,12 @@ enum TaskState {
 /// spoliating an idle worker or one of the same class, a spoliation that
 /// does not strictly improve the task's completion time, or a deadlock
 /// (work remains, nothing runs, and the policy schedules nothing).
-pub fn run<W: Workload, P: KernelPolicy, S: TraceSink>(
+pub fn run<W: Workload, P: KernelPolicy, S: TraceSink, M: MetricsRegistry + ?Sized>(
     platform: &Platform,
     workload: &mut W,
     policy: &mut P,
     faults: FaultModel,
-    options: KernelOptions,
+    options: KernelOptions<'_, M>,
     sink: &mut S,
 ) -> Result<KernelOutcome, EngineError> {
     let mut kernel = Kernel::new(platform, workload.len(), faults, options, sink);
@@ -283,7 +392,7 @@ pub fn run<W: Workload, P: KernelPolicy, S: TraceSink>(
 
 /// The one discrete-event loop in the workspace. Owns time, the
 /// completion/fault/retry heaps, worker liveness, and trace emission.
-struct Kernel<'a, S: TraceSink> {
+struct Kernel<'a, S: TraceSink, M: MetricsRegistry + ?Sized> {
     platform: &'a Platform,
     ran_kind: Vec<Option<ResourceKind>>,
     state: Vec<TaskState>,
@@ -314,15 +423,20 @@ struct Kernel<'a, S: TraceSink> {
     /// failures); `None` keeps the zero model byte-identical to a
     /// fault-free run.
     rng: Option<StdRng>,
-    options: KernelOptions,
+    options: KernelOptions<'a, M>,
+    /// Pre-registered metric handles (all no-ops under [`NullRegistry`]).
+    meter: Meter<'a, M>,
+    /// Current ready-set size, mirrored into the [`metric::READY_DEPTH`]
+    /// gauge.
+    ready_depth: u64,
 }
 
-impl<'a, S: TraceSink> Kernel<'a, S> {
+impl<'a, S: TraceSink, M: MetricsRegistry + ?Sized> Kernel<'a, S, M> {
     fn new(
         platform: &'a Platform,
         tasks: usize,
         faults: FaultModel,
-        options: KernelOptions,
+        options: KernelOptions<'a, M>,
         sink: &'a mut S,
     ) -> Self {
         let summary = if sink.is_enabled() {
@@ -352,12 +466,15 @@ impl<'a, S: TraceSink> Kernel<'a, S> {
             timeline_pos: 0,
             retries: BinaryHeap::new(),
             rng,
+            meter: Meter::new(options.metrics),
             options,
+            ready_depth: 0,
         }
     }
 
     #[inline]
     fn emit(&mut self, event: SchedEvent) {
+        self.meter.m.inc(self.meter.trace_events);
         self.summary.record(&event);
         self.sink.emit(event);
     }
@@ -385,6 +502,9 @@ impl<'a, S: TraceSink> Kernel<'a, S> {
             self.state[t.index()] = TaskState::Ready;
             self.emit(SchedEvent::TaskReady { time: now, task: t.0 });
         }
+        self.meter.m.inc_by(self.meter.ready_pushes, tasks.len() as u64);
+        self.ready_depth += tasks.len() as u64;
+        self.meter.m.gauge_set(self.meter.ready_depth, self.ready_depth);
         policy.on_ready(tasks, &self.context(now));
     }
 
@@ -425,6 +545,7 @@ impl<'a, S: TraceSink> Kernel<'a, S> {
         self.state[task.index()] = TaskState::Running;
         let event_at = fail_at.unwrap_or(now + actual);
         self.events.push(Reverse((F64Ord::new(event_at), w.0, self.generation[w.index()])));
+        self.meter.m.gauge_set(self.meter.heap_depth, self.events.len() as u64);
     }
 
     fn worker_sort_key(&self, order: WorkerOrder, w: WorkerId) -> (u8, u32) {
@@ -443,6 +564,8 @@ impl<'a, S: TraceSink> Kernel<'a, S> {
         policy: &mut P,
         now: f64,
     ) {
+        let meter = self.meter;
+        let _assign_span = ScopedTimer::start(meter.m, meter.assign_ns);
         loop {
             let order = policy.worker_order();
             let mut idle = std::mem::take(&mut self.idle);
@@ -455,7 +578,11 @@ impl<'a, S: TraceSink> Kernel<'a, S> {
                 // the policy is consulted first and events follow.
                 let (picked, victim) = {
                     let ctx = self.context(now);
-                    match policy.pick(w, &ctx) {
+                    let pick = {
+                        let _pick_span = ScopedTimer::start(meter.m, meter.pick_ns);
+                        policy.pick(w, &ctx)
+                    };
+                    match pick {
                         Some(pick) => (Some(pick), None),
                         None => (None, policy.spoliation_victim(w, &ctx)),
                     }
@@ -467,6 +594,9 @@ impl<'a, S: TraceSink> Kernel<'a, S> {
                         TaskState::Ready,
                         "policy picked {task}, which is not ready"
                     );
+                    meter.m.inc(meter.ready_pops);
+                    self.ready_depth = self.ready_depth.saturating_sub(1);
+                    meter.m.gauge_set(meter.ready_depth, self.ready_depth);
                     if let Some(end) = pick.queue_end {
                         self.emit(SchedEvent::QueuePop {
                             time: now,
@@ -532,6 +662,7 @@ impl<'a, S: TraceSink> Kernel<'a, S> {
                         thief: w.0,
                         wasted_work: now - r.start,
                     });
+                    meter.m.inc(meter.spoliations);
                     self.start(workload, w, r.task, now);
                     newly_idle.push(victim);
                     acted = true;
@@ -562,6 +693,7 @@ impl<'a, S: TraceSink> Kernel<'a, S> {
         now: f64,
     ) {
         let r = self.running[w.index()].take().expect("completion on idle worker");
+        self.meter.m.inc(self.meter.tasks_completed);
         self.emit(SchedEvent::TaskComplete { time: now, task: r.task.0, worker: w.0 });
         self.schedule.runs.push(TaskRun { task: r.task, worker: w, start: r.start, end: now });
         self.state[r.task.index()] = TaskState::Done;
@@ -615,6 +747,7 @@ impl<'a, S: TraceSink> Kernel<'a, S> {
             });
         }
         let delay = self.faults.retry.delay_after(attempt);
+        self.meter.m.inc(self.meter.retries);
         self.emit(SchedEvent::TaskRetry { time: now, task: r.task.0, attempt, delay });
         self.retries.push(Reverse((F64Ord::new(now + delay), r.task.0)));
         Ok(())
@@ -720,6 +853,8 @@ impl<'a, S: TraceSink> Kernel<'a, S> {
         workload: &mut W,
         policy: &mut P,
     ) -> Result<(), EngineError> {
+        let meter = self.meter;
+        let _run_span = ScopedTimer::start(meter.m, meter.run_ns);
         let total = workload.len();
         let mut now = 0.0;
         let initial = workload.initial();
@@ -750,6 +885,7 @@ impl<'a, S: TraceSink> Kernel<'a, S> {
                     self.events.pop();
                 } else if t2 == now {
                     self.events.pop();
+                    meter.m.inc(meter.events_total);
                     self.finish_run(workload, policy, WorkerId(w2), now)?;
                 } else {
                     break;

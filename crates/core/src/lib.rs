@@ -50,8 +50,8 @@ pub mod theory;
 pub mod time;
 
 pub use heteroprio::{
-    heteroprio, heteroprio_traced, sorted_queue, HeteroPrioConfig, HeteroPrioResult, QueueTieBreak,
-    SpoliationTieBreak, WorkerOrder,
+    heteroprio, heteroprio_metered, heteroprio_traced, sorted_queue, HeteroPrioConfig,
+    HeteroPrioResult, QueueTieBreak, SpoliationTieBreak, WorkerOrder,
 };
 pub use model::{Instance, ModelError, Platform, ResourceKind, Task, TaskId, WorkerId};
 pub use online::{heteroprio_online, heteroprio_online_traced};

@@ -8,8 +8,8 @@
 #![forbid(unsafe_code)]
 
 use heteroprio_experiments::{emit, ns_from_args, IndepAlgo, TextTable};
+use heteroprio_metrics::Stopwatch;
 use heteroprio_workloads::{paper_platform, random_instance, RandomInstanceParams};
-use std::time::Instant;
 
 fn main() {
     let sizes = ns_from_args(&[100, 1_000, 10_000, 100_000]);
@@ -21,12 +21,12 @@ fn main() {
         let mut cells = vec![size.to_string()];
         for algo in IndepAlgo::PAPER {
             let reps = if size <= 1_000 { 10 } else { 1 };
-            let start = Instant::now();
+            let sw = Stopwatch::start();
             for _ in 0..reps {
                 let sched = algo.run(&instance, &platform);
                 std::hint::black_box(sched.makespan());
             }
-            let ms = start.elapsed().as_secs_f64() * 1e3 / reps as f64;
+            let ms = sw.elapsed_secs_f64() * 1e3 / reps as f64;
             cells.push(format!("{ms:.2}"));
         }
         t.push_row(cells);

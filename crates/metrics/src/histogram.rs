@@ -1,0 +1,82 @@
+//! Log₂ bucket layout shared by the registry, snapshots and the Prometheus
+//! exposition.
+//!
+//! Values are `u64` (the kernel records nanoseconds and queue depths), and
+//! the bucket for a value is derived from its bit width, so classification
+//! is two instructions and needs no search:
+//!
+//! * bucket `0` holds exactly `{0}`,
+//! * bucket `i` (for `1 ≤ i ≤ 63`) holds `[2^(i-1), 2^i - 1]`,
+//! * bucket `64` holds `[2^63, u64::MAX]` and renders as `+Inf`.
+//!
+//! That gives [`BUCKETS`] = 65 buckets covering all of `u64` with no
+//! configuration, at the cost of ~2× resolution — fine for latency
+//! percentiles, where the order of magnitude is the signal.
+
+/// Number of buckets in every histogram: one per possible bit width of a
+/// `u64` value, plus one for zero.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a recorded value (its bit width).
+#[inline]
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket, or `None` for the final `+Inf`
+/// bucket. Bounds are `0, 1, 3, 7, …, 2^63 - 1, +Inf`.
+#[must_use]
+pub fn bucket_upper(index: usize) -> Option<u64> {
+    assert!(index < BUCKETS, "bucket index {index} out of range");
+    match index {
+        0 => Some(0),
+        i if i < BUCKETS - 1 => Some((1u64 << i) - 1),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_covers_all_of_u64() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index(1 << 63), 64);
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn every_value_lands_within_its_bucket_bounds() {
+        // Exhaustive over the boundary values of every bucket.
+        for i in 0..BUCKETS {
+            if let Some(upper) = bucket_upper(i) {
+                assert_eq!(bucket_index(upper), i, "upper bound of bucket {i}");
+                if upper < u64::MAX {
+                    assert_eq!(bucket_index(upper + 1), i + 1, "first value past bucket {i}");
+                }
+            } else {
+                assert_eq!(i, BUCKETS - 1);
+                assert_eq!(bucket_index(u64::MAX), i);
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_strictly_monotone() {
+        let bounds: Vec<u64> =
+            (0..BUCKETS - 1).map(|i| bucket_upper(i).expect("finite bucket has a bound")).collect();
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds not monotone: {bounds:?}");
+        assert_eq!(bounds[0], 0);
+        assert_eq!(bounds[1], 1);
+        assert_eq!(bounds[2], 3);
+        assert_eq!(*bounds.last().unwrap(), (1u64 << 63) - 1);
+        assert_eq!(bucket_upper(BUCKETS - 1), None);
+    }
+}

@@ -1,0 +1,257 @@
+//! Prometheus text exposition (version 0.0.4 subset): render a
+//! [`MetricsSnapshot`] as the classic `# TYPE` + sample-line format, and
+//! parse such text back into a snapshot.
+//!
+//! The renderer emits only what this crate produces — integer-valued
+//! counters, gauges and log₂-bucketed histograms with cumulative
+//! `_bucket{le="…"}` series — and the parser accepts exactly that dialect,
+//! rejecting bucket bounds that are not on the canonical log₂ grid. That
+//! narrowness is what makes `parse(render(s)) == s` a real guarantee (the
+//! golden test below pins it), which in turn is what the planned
+//! `heteroprio-d` `/metrics` endpoint and its scrape-side tests rely on.
+//!
+//! Finite buckets above the highest non-empty one are elided on render (and
+//! reconstructed as zero on parse), so expositions stay readable even
+//! though every histogram logically spans all 65 buckets.
+
+use crate::histogram::{bucket_index, bucket_upper, BUCKETS};
+use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
+
+/// Render a snapshot in Prometheus text exposition format.
+#[must_use]
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+    }
+    for (name, value) in &snapshot.gauges {
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+    }
+    for h in &snapshot.histograms {
+        let name = &h.name;
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let last_nonempty =
+            h.buckets.iter().rposition(|&c| c > 0).map_or(0, |i| i.min(BUCKETS - 2));
+        let mut cumulative = 0u64;
+        for i in 0..=last_nonempty {
+            cumulative += h.buckets[i];
+            let le = bucket_upper(i).expect("finite bucket index has a bound");
+            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{name}_sum {}\n", h.sum));
+        out.push_str(&format!("{name}_count {}\n", h.count));
+    }
+    out
+}
+
+/// A declared metric: name plus kind, in declaration order.
+#[derive(PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+/// One parsed sample line: metric name, optional `le` label, value.
+struct Sample {
+    name: String,
+    le: Option<String>,
+    value: u64,
+}
+
+/// Parse text exposition produced by [`render`] back into a snapshot.
+/// Errors on unknown kinds, malformed lines, missing samples, bucket
+/// bounds off the log₂ grid, or non-cumulative bucket series.
+pub fn parse(text: &str) -> Result<MetricsSnapshot, String> {
+    let mut declared: Vec<(String, Kind)> = Vec::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let err = |msg: &str| format!("line {}: {msg}: {raw:?}", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().ok_or_else(|| err("missing metric name"))?;
+            let kind = match parts.next() {
+                Some("counter") => Kind::Counter,
+                Some("gauge") => Kind::Gauge,
+                Some("histogram") => Kind::Histogram,
+                other => return Err(err(&format!("unsupported metric kind {other:?}"))),
+            };
+            if declared.iter().any(|(n, _)| n == name) {
+                return Err(err("duplicate # TYPE declaration"));
+            }
+            declared.push((name.to_string(), kind));
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments (e.g. # HELP) are ignored
+        }
+        samples.push(parse_sample(line).map_err(|m| err(&m))?);
+    }
+
+    let mut snapshot = MetricsSnapshot::default();
+    for (name, kind) in &declared {
+        match kind {
+            Kind::Counter | Kind::Gauge => {
+                let value = samples
+                    .iter()
+                    .find(|s| s.name == *name && s.le.is_none())
+                    .ok_or_else(|| format!("{name}: declared but no sample line"))?
+                    .value;
+                if *kind == Kind::Counter {
+                    snapshot.counters.push((name.clone(), value));
+                } else {
+                    snapshot.gauges.push((name.clone(), value));
+                }
+            }
+            Kind::Histogram => snapshot.histograms.push(parse_histogram(name, &samples)?),
+        }
+    }
+    Ok(snapshot)
+}
+
+/// Parse `name value` or `name{le="bound"} value`.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (head, value) = line.rsplit_once(' ').ok_or("missing value")?;
+    let value: u64 = value.trim().parse().map_err(|_| format!("bad integer {value:?}"))?;
+    let head = head.trim();
+    if let Some((name, labels)) = head.split_once('{') {
+        let labels = labels.strip_suffix('}').ok_or("unterminated label set")?;
+        let le = labels
+            .strip_prefix("le=\"")
+            .and_then(|l| l.strip_suffix('"'))
+            .ok_or_else(|| format!("unsupported label set {labels:?}"))?;
+        Ok(Sample { name: name.to_string(), le: Some(le.to_string()), value })
+    } else {
+        Ok(Sample { name: head.to_string(), le: None, value })
+    }
+}
+
+fn parse_histogram(name: &str, samples: &[Sample]) -> Result<HistogramSnapshot, String> {
+    let bucket_series = format!("{name}_bucket");
+    let mut hist = HistogramSnapshot::empty(name);
+    let mut previous = 0u64;
+    let mut previous_index: Option<usize> = None;
+    let mut saw_inf = false;
+    for s in samples.iter().filter(|s| s.name == bucket_series) {
+        let le = s.le.as_deref().ok_or_else(|| format!("{bucket_series}: missing le label"))?;
+        if s.value < previous {
+            return Err(format!("{bucket_series}: cumulative counts decrease at le={le}"));
+        }
+        let index = if le == "+Inf" {
+            saw_inf = true;
+            BUCKETS - 1
+        } else {
+            let bound: u64 = le.parse().map_err(|_| format!("{bucket_series}: bad le {le:?}"))?;
+            let index = bucket_index(bound);
+            if bucket_upper(index) != Some(bound) {
+                return Err(format!("{bucket_series}: le={le} is off the log2 bucket grid"));
+            }
+            index
+        };
+        if previous_index.is_some_and(|p| p >= index) {
+            return Err(format!("{bucket_series}: bucket bounds not increasing at le={le}"));
+        }
+        previous_index = Some(index);
+        hist.buckets[index] = s.value - previous;
+        previous = s.value;
+    }
+    if !saw_inf {
+        return Err(format!("{bucket_series}: missing le=\"+Inf\" bucket"));
+    }
+    let scalar = |suffix: &str| {
+        let full = format!("{name}{suffix}");
+        samples
+            .iter()
+            .find(|s| s.name == full && s.le.is_none())
+            .map(|s| s.value)
+            .ok_or_else(|| format!("{full}: declared histogram missing sample"))
+    };
+    hist.sum = scalar("_sum")?;
+    hist.count = scalar("_count")?;
+    if hist.count != previous {
+        return Err(format!(
+            "{name}: _count {} disagrees with +Inf cumulative {previous}",
+            hist.count
+        ));
+    }
+    Ok(hist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{InMemoryRegistry, MetricsRegistry};
+
+    /// A registry with one of everything, used by the golden test.
+    fn known_registry() -> InMemoryRegistry {
+        let r = InMemoryRegistry::new();
+        r.inc_by(r.counter("requests_total"), 3);
+        let g = r.gauge("depth");
+        r.gauge_set(g, 5);
+        r.gauge_set(g, 2);
+        let h = r.histogram("lat_ns");
+        for v in [0u64, 1, 1, 6] {
+            r.observe(h, v);
+        }
+        r
+    }
+
+    #[test]
+    fn golden_exposition() {
+        let text = render(&known_registry().snapshot());
+        let expected = "\
+# TYPE requests_total counter
+requests_total 3
+# TYPE depth gauge
+depth 2
+# TYPE depth_peak gauge
+depth_peak 5
+# TYPE lat_ns histogram
+lat_ns_bucket{le=\"0\"} 1
+lat_ns_bucket{le=\"1\"} 3
+lat_ns_bucket{le=\"3\"} 3
+lat_ns_bucket{le=\"7\"} 4
+lat_ns_bucket{le=\"+Inf\"} 4
+lat_ns_sum 8
+lat_ns_count 4
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let snapshot = known_registry().snapshot();
+        let text = render(&snapshot);
+        let parsed = parse(&text).expect("own exposition parses");
+        assert_eq!(parsed, snapshot);
+        // And rendering the parse is byte-identical (full fixed point).
+        assert_eq!(render(&parsed), text);
+    }
+
+    #[test]
+    fn empty_histogram_round_trips() {
+        let r = InMemoryRegistry::new();
+        r.histogram("never_observed");
+        let snapshot = r.snapshot();
+        let parsed = parse(&render(&snapshot)).expect("parses");
+        assert_eq!(parsed, snapshot);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(parse("# TYPE x summary\nx 1\n").is_err(), "unknown kind");
+        assert!(parse("# TYPE x counter\n").is_err(), "missing sample");
+        assert!(parse("# TYPE x counter\nx notanumber\n").is_err(), "bad value");
+        let off_grid = "# TYPE h histogram\nh_bucket{le=\"5\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 5\nh_count 1\n";
+        assert!(parse(off_grid).is_err(), "le=5 is not a log2 bound");
+        let decreasing = "# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"3\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 0\nh_count 3\n";
+        assert!(parse(decreasing).is_err(), "cumulative counts must not decrease");
+        let no_inf = "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n";
+        assert!(parse(no_inf).is_err(), "+Inf bucket is mandatory");
+    }
+}

@@ -1,0 +1,306 @@
+//! The [`MetricsRegistry`] trait and its two implementations.
+//!
+//! Instrumented code (the kernel, the CLI, the perf harness) registers
+//! metrics by name once per run, keeps the cheap copyable handles, and
+//! records through them on the hot path. The trait is object-safe so the
+//! CLI can thread a `&dyn MetricsRegistry` through existing call paths; the
+//! kernel stays generic (`M: MetricsRegistry + ?Sized`) so the
+//! [`NullRegistry`] monomorphizes every recording call to nothing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::histogram::{bucket_index, BUCKETS};
+use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
+
+/// Handle to a registered monotonic counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(pub u16);
+
+/// Handle to a registered gauge (a level with a tracked peak).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeId(pub u16);
+
+/// Handle to a registered log₂-bucketed histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramId(pub u16);
+
+/// Sink for performance metrics, mirroring `heteroprio_trace::TraceSink`:
+/// registration returns handles, recording takes `&self` so one registry
+/// can be shared freely, and [`MetricsRegistry::is_enabled`] lets callers
+/// skip work (like reading the clock) that only feeds metrics.
+pub trait MetricsRegistry {
+    /// Register (or look up) a monotonic counter by name.
+    fn counter(&self, name: &str) -> CounterId;
+    /// Register (or look up) a gauge by name.
+    fn gauge(&self, name: &str) -> GaugeId;
+    /// Register (or look up) a histogram by name.
+    fn histogram(&self, name: &str) -> HistogramId;
+    /// Add `delta` to a counter.
+    fn inc_by(&self, id: CounterId, delta: u64);
+    /// Set a gauge to `value`, updating its peak high-water mark.
+    fn gauge_set(&self, id: GaugeId, value: u64);
+    /// Record one observation into a histogram.
+    fn observe(&self, id: HistogramId, value: u64);
+    /// Whether recording has any effect. `false` lets instrumented code
+    /// skip measurement-only work (e.g. `Instant::now()` in a timer).
+    fn is_enabled(&self) -> bool;
+
+    /// Add 1 to a counter.
+    #[inline]
+    fn inc(&self, id: CounterId) {
+        self.inc_by(id, 1);
+    }
+}
+
+/// The metrics-off registry: every operation is an empty `#[inline(always)]`
+/// body, so a kernel monomorphized over `NullRegistry` carries no
+/// instrumentation cost at all (pinned byte-identical by `tests/metrics.rs`
+/// and the `kernel_parity` gate).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullRegistry;
+
+impl MetricsRegistry for NullRegistry {
+    #[inline(always)]
+    fn counter(&self, _name: &str) -> CounterId {
+        CounterId(0)
+    }
+    #[inline(always)]
+    fn gauge(&self, _name: &str) -> GaugeId {
+        GaugeId(0)
+    }
+    #[inline(always)]
+    fn histogram(&self, _name: &str) -> HistogramId {
+        HistogramId(0)
+    }
+    #[inline(always)]
+    fn inc_by(&self, _id: CounterId, _delta: u64) {}
+    #[inline(always)]
+    fn gauge_set(&self, _id: GaugeId, _value: u64) {}
+    #[inline(always)]
+    fn observe(&self, _id: HistogramId, _value: u64) {}
+    #[inline(always)]
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Maximum number of distinct counters an [`InMemoryRegistry`] can hold.
+pub const MAX_COUNTERS: usize = 64;
+/// Maximum number of distinct gauges.
+pub const MAX_GAUGES: usize = 32;
+/// Maximum number of distinct histograms.
+pub const MAX_HISTOGRAMS: usize = 32;
+
+/// Per-gauge slots in the gauge slab: current value and peak.
+const GAUGE_SLOTS: usize = 2;
+/// Per-histogram slots in the histogram slab: buckets, then sum, then count.
+const HISTOGRAM_SLOTS: usize = BUCKETS + 2;
+
+/// Names registered so far, guarded by one mutex. Only registration (cold,
+/// once per metric per run) touches it; the hot recording path goes
+/// straight to the atomic slabs.
+#[derive(Default)]
+struct Directory {
+    counters: Vec<String>,
+    gauges: Vec<String>,
+    histograms: Vec<String>,
+}
+
+/// The recording registry: fixed-capacity slabs of relaxed atomics,
+/// pre-allocated at construction so recording never allocates, locks, or
+/// branches beyond a bounds check.
+pub struct InMemoryRegistry {
+    directory: Mutex<Directory>,
+    counters: Box<[AtomicU64]>,
+    gauges: Box<[AtomicU64]>,
+    histograms: Box<[AtomicU64]>,
+}
+
+impl Default for InMemoryRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn slab(len: usize) -> Box<[AtomicU64]> {
+    (0..len).map(|_| AtomicU64::new(0)).collect()
+}
+
+impl InMemoryRegistry {
+    #[must_use]
+    pub fn new() -> Self {
+        InMemoryRegistry {
+            directory: Mutex::new(Directory::default()),
+            counters: slab(MAX_COUNTERS),
+            gauges: slab(MAX_GAUGES * GAUGE_SLOTS),
+            histograms: slab(MAX_HISTOGRAMS * HISTOGRAM_SLOTS),
+        }
+    }
+
+    fn register(names: &mut Vec<String>, name: &str, capacity: usize, kind: &str) -> u16 {
+        if let Some(i) = names.iter().position(|n| n == name) {
+            return i as u16;
+        }
+        assert!(names.len() < capacity, "metrics registry out of {kind} slots (max {capacity})");
+        names.push(name.to_string());
+        (names.len() - 1) as u16
+    }
+
+    /// Read out everything recorded so far, sorted by registration order.
+    /// Gauges are flattened to two entries each (`name`, `name_peak`) so
+    /// the snapshot — and its Prometheus rendering — is plain name/value
+    /// pairs all the way down.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let dir = self.directory.lock().expect("metrics directory poisoned");
+        let counters = dir
+            .counters
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), self.counters[i].load(Ordering::Relaxed)))
+            .collect();
+        let mut gauges = Vec::with_capacity(dir.gauges.len() * GAUGE_SLOTS);
+        for (i, n) in dir.gauges.iter().enumerate() {
+            let base = i * GAUGE_SLOTS;
+            gauges.push((n.clone(), self.gauges[base].load(Ordering::Relaxed)));
+            gauges.push((format!("{n}_peak"), self.gauges[base + 1].load(Ordering::Relaxed)));
+        }
+        let histograms = dir
+            .histograms
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let base = i * HISTOGRAM_SLOTS;
+                let mut buckets = [0u64; BUCKETS];
+                for (b, slot) in buckets.iter_mut().enumerate() {
+                    *slot = self.histograms[base + b].load(Ordering::Relaxed);
+                }
+                HistogramSnapshot {
+                    name: n.clone(),
+                    buckets,
+                    sum: self.histograms[base + BUCKETS].load(Ordering::Relaxed),
+                    count: self.histograms[base + BUCKETS + 1].load(Ordering::Relaxed),
+                }
+            })
+            .collect();
+        MetricsSnapshot { counters, gauges, histograms }
+    }
+}
+
+impl MetricsRegistry for InMemoryRegistry {
+    fn counter(&self, name: &str) -> CounterId {
+        let mut dir = self.directory.lock().expect("metrics directory poisoned");
+        CounterId(Self::register(&mut dir.counters, name, MAX_COUNTERS, "counter"))
+    }
+
+    fn gauge(&self, name: &str) -> GaugeId {
+        let mut dir = self.directory.lock().expect("metrics directory poisoned");
+        GaugeId(Self::register(&mut dir.gauges, name, MAX_GAUGES, "gauge"))
+    }
+
+    fn histogram(&self, name: &str) -> HistogramId {
+        let mut dir = self.directory.lock().expect("metrics directory poisoned");
+        HistogramId(Self::register(&mut dir.histograms, name, MAX_HISTOGRAMS, "histogram"))
+    }
+
+    #[inline]
+    fn inc_by(&self, id: CounterId, delta: u64) {
+        self.counters[id.0 as usize].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn gauge_set(&self, id: GaugeId, value: u64) {
+        let base = id.0 as usize * GAUGE_SLOTS;
+        self.gauges[base].store(value, Ordering::Relaxed);
+        self.gauges[base + 1].fetch_max(value, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn observe(&self, id: HistogramId, value: u64) {
+        let base = id.0 as usize * HISTOGRAM_SLOTS;
+        self.histograms[base + bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.histograms[base + BUCKETS].fetch_add(value, Ordering::Relaxed);
+        self.histograms[base + BUCKETS + 1].fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_ordered() {
+        let r = InMemoryRegistry::new();
+        let a = r.counter("a");
+        let b = r.counter("b");
+        assert_eq!(r.counter("a"), a);
+        assert_ne!(a, b);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters[0].0, "a");
+        assert_eq!(snap.counters[1].0, "b");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let r = InMemoryRegistry::new();
+        let c = r.counter("events");
+        r.inc(c);
+        r.inc_by(c, 41);
+        assert_eq!(r.snapshot().counter("events"), Some(42));
+    }
+
+    #[test]
+    fn gauges_track_value_and_peak() {
+        let r = InMemoryRegistry::new();
+        let g = r.gauge("depth");
+        r.gauge_set(g, 3);
+        r.gauge_set(g, 17);
+        r.gauge_set(g, 5);
+        let snap = r.snapshot();
+        assert_eq!(snap.gauge("depth"), Some(5));
+        assert_eq!(snap.gauge("depth_peak"), Some(17));
+    }
+
+    #[test]
+    fn histogram_conserves_total_count_and_sum() {
+        let r = InMemoryRegistry::new();
+        let h = r.histogram("lat");
+        let values = [0u64, 1, 2, 3, 100, 1023, 1024, u64::MAX];
+        for &v in &values {
+            r.observe(h, v);
+        }
+        let snap = r.snapshot();
+        let hist = snap.histogram("lat").expect("registered");
+        assert_eq!(hist.count, values.len() as u64);
+        assert_eq!(hist.buckets.iter().sum::<u64>(), hist.count);
+        assert_eq!(hist.sum, values.iter().fold(0u64, |a, &v| a.wrapping_add(v)));
+    }
+
+    #[test]
+    fn null_registry_is_disabled_and_inert() {
+        let r = NullRegistry;
+        assert!(!r.is_enabled());
+        let c = r.counter("anything");
+        r.inc(c);
+        let h = r.histogram("lat");
+        r.observe(h, 7);
+        // Nothing to snapshot; the point is simply that nothing panics and
+        // the handles are free.
+        assert_eq!(c, CounterId(0));
+    }
+
+    #[test]
+    fn works_through_dyn_reference() {
+        let mem = InMemoryRegistry::new();
+        let r: &dyn MetricsRegistry = &mem;
+        let c = r.counter("dyn");
+        r.inc_by(c, 9);
+        assert_eq!(mem.snapshot().counter("dyn"), Some(9));
+    }
+}

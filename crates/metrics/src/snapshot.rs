@@ -1,0 +1,154 @@
+//! Point-in-time read of a registry: plain name/value pairs plus histogram
+//! bucket arrays, with quantile estimation and a human-readable report.
+
+use crate::histogram::{bucket_upper, BUCKETS};
+
+/// One histogram's recorded state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    /// Observation counts per log₂ bucket (see [`crate::histogram`]).
+    pub buckets: [u64; BUCKETS],
+    /// Sum of all observed values (wrapping on overflow).
+    pub sum: u64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Empty histogram with the given name.
+    #[must_use]
+    pub fn empty(name: &str) -> Self {
+        HistogramSnapshot { name: name.to_string(), buckets: [0; BUCKETS], sum: 0, count: 0 }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ≤ q ≤ 1.0`): the
+    /// inclusive upper bound of the bucket containing the ⌈q·count⌉-th
+    /// smallest observation. Returns 0 for an empty histogram and
+    /// `u64::MAX` when the rank lands in the `+Inf` bucket.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // lint: allow(cast-trunc): deliberate quantization of a rank; the
+        // product is ≤ count, which fits u64 exactly.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Mean observed value (0 for an empty histogram).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+}
+
+/// Everything a registry recorded, in registration order. Gauges appear
+/// flattened as `name` / `name_peak` pairs (see
+/// [`crate::registry::InMemoryRegistry::snapshot`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, u64)>,
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Value of a gauge entry by name (including the `_peak` entries).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// A histogram by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Human-readable report, one metric per line — what `--metrics`
+    /// prints next to `--summary`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from("metrics:\n");
+        if !self.counters.is_empty() {
+            out.push_str("  counters:\n");
+            for (n, v) in &self.counters {
+                out.push_str(&format!("    {n:<40} {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("  gauges:\n");
+            for (n, v) in &self.gauges {
+                out.push_str(&format!("    {n:<40} {v}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("  histograms:\n");
+            for h in &self.histograms {
+                out.push_str(&format!(
+                    "    {:<40} count={} mean={:.1} p50<={} p99<={}\n",
+                    h.name,
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.5),
+                    h.quantile(0.99),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{InMemoryRegistry, MetricsRegistry};
+
+    #[test]
+    fn quantile_walks_buckets_to_the_right_bound() {
+        let r = InMemoryRegistry::new();
+        let h = r.histogram("q");
+        // 99 observations of 1 and one of 1000: p50 is in bucket {1},
+        // p100 in the bucket containing 1000 ([512, 1023] → bound 1023).
+        for _ in 0..99 {
+            r.observe(h, 1);
+        }
+        r.observe(h, 1000);
+        let snap = r.snapshot();
+        let hist = snap.histogram("q").expect("registered");
+        assert_eq!(hist.quantile(0.5), 1);
+        assert_eq!(hist.quantile(0.99), 1);
+        assert_eq!(hist.quantile(1.0), 1023);
+        assert_eq!(HistogramSnapshot::empty("e").quantile(0.5), 0);
+    }
+
+    #[test]
+    fn render_mentions_every_metric() {
+        let r = InMemoryRegistry::new();
+        r.inc(r.counter("events_total"));
+        r.gauge_set(r.gauge("depth"), 4);
+        r.observe(r.histogram("lat_ns"), 128);
+        let text = r.snapshot().render();
+        for needle in ["events_total", "depth", "depth_peak", "lat_ns", "count=1"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

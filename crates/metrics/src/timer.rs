@@ -1,0 +1,100 @@
+//! Wall-clock measurement: RAII spans and a plain stopwatch.
+//!
+//! These are the workspace's only sanctioned `Instant::now()` call sites —
+//! the `audit-lint` `instant-now` rule forbids the clock everywhere outside
+//! `crates/metrics`, so scheduling logic cannot accidentally become
+//! time-dependent. Code that needs wall time routes it through here.
+
+use std::time::Instant;
+
+use crate::registry::{HistogramId, MetricsRegistry};
+
+/// RAII span timer: reads the clock on construction and observes the
+/// elapsed nanoseconds into a histogram on drop. When the registry is
+/// disabled ([`MetricsRegistry::is_enabled`] is false) the clock is never
+/// read at all, so a `NullRegistry` span costs one branch.
+pub struct ScopedTimer<'a, M: MetricsRegistry + ?Sized> {
+    registry: &'a M,
+    id: HistogramId,
+    start: Option<Instant>,
+}
+
+impl<'a, M: MetricsRegistry + ?Sized> ScopedTimer<'a, M> {
+    /// Start timing a span that ends when the returned guard drops.
+    #[inline]
+    #[must_use]
+    pub fn start(registry: &'a M, id: HistogramId) -> Self {
+        let start = registry.is_enabled().then(Instant::now);
+        ScopedTimer { registry, id, start }
+    }
+}
+
+impl<M: MetricsRegistry + ?Sized> Drop for ScopedTimer<'_, M> {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.registry.observe(self.id, ns);
+        }
+    }
+}
+
+/// Plain wall-clock stopwatch for code that wants elapsed time as a value
+/// (the perf harness, `experiments`) rather than a histogram observation.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start the clock.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Nanoseconds since [`Stopwatch::start`], saturating at `u64::MAX`.
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Seconds since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed_secs_f64(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{InMemoryRegistry, NullRegistry};
+
+    #[test]
+    fn scoped_timer_observes_exactly_once_on_drop() {
+        let r = InMemoryRegistry::new();
+        let h = r.histogram("span_ns");
+        {
+            let _t = ScopedTimer::start(&r, h);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.histogram("span_ns").expect("registered").count, 1);
+    }
+
+    #[test]
+    fn disabled_registry_skips_the_clock() {
+        let r = NullRegistry;
+        let t = ScopedTimer::start(&r, crate::registry::HistogramId(0));
+        assert!(t.start.is_none(), "NullRegistry span must not read the clock");
+    }
+
+    #[test]
+    fn stopwatch_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        let b = sw.elapsed_ns();
+        assert!(b >= a);
+        assert!(sw.elapsed_secs_f64() >= 0.0);
+    }
+}

@@ -3,10 +3,11 @@
 use crate::handles::{Access, DataHandle};
 use heteroprio_bounds::dag_lower_bound;
 use heteroprio_core::{HeteroPrioConfig, Platform, Schedule, Task, TaskId};
+use heteroprio_metrics::{MetricsRegistry, NullRegistry};
 use heteroprio_schedulers::{
     heft, DualHpDagPolicy, DualHpRank, HeftVariant, HeteroPrioDagPolicy, PriorityListPolicy,
 };
-use heteroprio_simulator::{try_simulate_faulty, FaultPlan, OnlinePolicy, TransferModel};
+use heteroprio_simulator::{try_simulate_faulty_metered, FaultPlan, OnlinePolicy, TransferModel};
 use heteroprio_taskgraph::{
     apply_bottom_level_priorities, check_precedence, CycleError, DagBuilder, TaskGraph,
     WeightScheme,
@@ -58,23 +59,36 @@ impl Report {
     }
 }
 
-/// Run a policy under a fault plan, optionally recording the event stream.
-fn run_policy<P: OnlinePolicy>(
+/// Run a policy under a fault plan, optionally recording the event stream
+/// and always reporting kernel metrics into `metrics` (a
+/// [`NullRegistry`] compiles the instrumentation away).
+fn run_policy<P: OnlinePolicy, M: MetricsRegistry + ?Sized>(
     graph: &TaskGraph,
     platform: &Platform,
     policy: &mut P,
     transfer: &TransferModel,
     plan: &FaultPlan,
     record: bool,
+    metrics: &M,
 ) -> Result<(Schedule, TraceSummary, Vec<SchedEvent>), String> {
     if record {
         let mut sink = VecSink::new();
-        let res = try_simulate_faulty(graph, platform, policy, transfer, plan, &mut sink)
-            .map_err(|e| e.to_string())?;
+        let res = try_simulate_faulty_metered(
+            graph, platform, policy, transfer, plan, &mut sink, metrics,
+        )
+        .map_err(|e| e.to_string())?;
         Ok((res.schedule, res.summary, sink.into_events()))
     } else {
-        let res = try_simulate_faulty(graph, platform, policy, transfer, plan, &mut NullSink)
-            .map_err(|e| e.to_string())?;
+        let res = try_simulate_faulty_metered(
+            graph,
+            platform,
+            policy,
+            transfer,
+            plan,
+            &mut NullSink,
+            metrics,
+        )
+        .map_err(|e| e.to_string())?;
         Ok((res.schedule, res.summary, Vec::new()))
     }
 }
@@ -189,7 +203,7 @@ impl Runtime {
     /// Execute everything submitted so far and return the report.
     /// The schedule is validated (structure + precedence) before returning.
     pub fn run(self, scheduler: Scheduler) -> Result<Report, String> {
-        self.run_impl(scheduler, false)
+        self.run_impl(scheduler, false, &NullRegistry)
     }
 
     /// [`Runtime::run`], additionally recording the scheduler's full
@@ -197,10 +211,27 @@ impl Runtime {
     /// Chrome-trace/JSONL). Static schedulers get a stream reconstructed
     /// from the finished schedule.
     pub fn run_traced(self, scheduler: Scheduler) -> Result<Report, String> {
-        self.run_impl(scheduler, true)
+        self.run_impl(scheduler, true, &NullRegistry)
     }
 
-    fn run_impl(self, scheduler: Scheduler, record: bool) -> Result<Report, String> {
+    /// [`Runtime::run_traced`] with a metrics registry: the scheduling
+    /// kernel's perf counters, queue-depth gauges and pick-latency
+    /// histograms are recorded into `metrics`. Static HEFT builds its
+    /// schedule outside the kernel, so it reports no kernel metrics.
+    pub fn run_metered<M: MetricsRegistry + ?Sized>(
+        self,
+        scheduler: Scheduler,
+        metrics: &M,
+    ) -> Result<Report, String> {
+        self.run_impl(scheduler, true, metrics)
+    }
+
+    fn run_impl<M: MetricsRegistry + ?Sized>(
+        self,
+        scheduler: Scheduler,
+        record: bool,
+        metrics: &M,
+    ) -> Result<Report, String> {
         let platform = self.platform.ok_or("runtime has no platform")?;
         let transfer = self.transfer;
         let plan = self.faults;
@@ -212,12 +243,12 @@ impl Runtime {
             Scheduler::HeteroPrio(scheme) => {
                 apply_bottom_level_priorities(&mut graph, scheme);
                 let mut policy = HeteroPrioDagPolicy::new(HeteroPrioConfig::new());
-                run_policy(&graph, &platform, &mut policy, &transfer, &plan, record)?
+                run_policy(&graph, &platform, &mut policy, &transfer, &plan, record, metrics)?
             }
             Scheduler::DualHp(rank, scheme) => {
                 apply_bottom_level_priorities(&mut graph, scheme);
                 let mut policy = DualHpDagPolicy::new(rank);
-                run_policy(&graph, &platform, &mut policy, &transfer, &plan, record)?
+                run_policy(&graph, &platform, &mut policy, &transfer, &plan, record, metrics)?
             }
             Scheduler::Heft(scheme, variant) => {
                 if transfer != TransferModel::NONE {
@@ -236,7 +267,7 @@ impl Runtime {
             Scheduler::PriorityList(scheme) => {
                 apply_bottom_level_priorities(&mut graph, scheme);
                 let mut policy = PriorityListPolicy::new();
-                run_policy(&graph, &platform, &mut policy, &transfer, &plan, record)?
+                run_policy(&graph, &platform, &mut policy, &transfer, &plan, record, metrics)?
             }
         };
         if plan.is_none() {

@@ -18,6 +18,7 @@ use heteroprio_core::kernel::{
     self, FaultModel, KernelContext, KernelOptions, KernelPolicy, Pick, TimelineEvent, Workload,
 };
 use heteroprio_core::{Platform, ResourceKind, Schedule, TaskId, WorkerId, WorkerOrder};
+use heteroprio_metrics::{MetricsRegistry, NullRegistry};
 use heteroprio_taskgraph::{ReadyTracker, TaskGraph};
 use heteroprio_trace::{NullSink, TraceSink, TraceSummary};
 
@@ -146,6 +147,22 @@ pub fn try_simulate_faulty<P: OnlinePolicy, S: TraceSink>(
     plan: &FaultPlan,
     sink: &mut S,
 ) -> Result<SimResult, SimError> {
+    try_simulate_faulty_metered(graph, platform, policy, model, plan, sink, &NullRegistry)
+}
+
+/// [`try_simulate_faulty`] with a metrics registry: the kernel's perf
+/// counters, queue-depth gauges and pick-latency histograms are recorded
+/// into `metrics` ([`NullRegistry`] compiles the instrumentation away).
+#[allow(clippy::too_many_arguments)]
+pub fn try_simulate_faulty_metered<P: OnlinePolicy, S: TraceSink, M: MetricsRegistry + ?Sized>(
+    graph: &TaskGraph,
+    platform: &Platform,
+    policy: &mut P,
+    model: &TransferModel,
+    plan: &FaultPlan,
+    sink: &mut S,
+    metrics: &M,
+) -> Result<SimResult, SimError> {
     plan.validate()?;
     let timeline = expand_timeline(plan, platform.workers())?;
     policy.init(graph, platform);
@@ -163,7 +180,7 @@ pub fn try_simulate_faulty<P: OnlinePolicy, S: TraceSink>(
         &mut workload,
         &mut adapter,
         faults,
-        KernelOptions { emit_decisions: true },
+        KernelOptions { emit_decisions: true, metrics },
         sink,
     )?;
     Ok(SimResult {

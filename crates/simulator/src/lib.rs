@@ -16,6 +16,9 @@ pub mod engine;
 pub mod fault;
 pub mod policy;
 
-pub use engine::{simulate, simulate_traced, simulate_with, try_simulate_faulty, SimResult};
+pub use engine::{
+    simulate, simulate_traced, simulate_with, try_simulate_faulty, try_simulate_faulty_metered,
+    SimResult,
+};
 pub use fault::{FaultPlan, FaultSpec, RetryPolicy, SimError, WorkerFault};
 pub use policy::{OnlinePolicy, RunningTask, SimContext, TransferModel, WorkerOrder};

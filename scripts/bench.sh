@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Produce the kernel performance baseline: build in release mode, run the
+# full perf suite (Fig. 6-scale and 1000x-scale workloads), and write the
+# schema-versioned BENCH_kernel.json checkpoint at the repo root.
+#
+# This is the number every future kernel optimization (ROADMAP item 2) is
+# measured against; commit the refreshed file alongside such changes. The
+# document validates itself (see `heteroprio_bench::perf::validate_baseline`)
+# but carries no timing assertions — absolute numbers are machine-specific.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_kernel.json}"
+
+echo "== cargo build --release"
+cargo build --release -p heteroprio-cli
+
+echo "== perf suite (full: fig6 + x1000 scales)"
+./target/release/heteroprio-cli perf --out "$out"
+
+echo "baseline written to $out"

@@ -24,6 +24,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace
 echo "== kernel-parity bench smoke (--test: parity asserts, no timing)"
 cargo bench -q -p heteroprio-bench --bench kernel_parity -- --test
 
+echo "== perf smoke (schema + non-zero counters, no timing asserts)"
+cargo run -q -p heteroprio-cli -- perf --smoke > /dev/null
+
 echo "== audit smoke: record a trace, then re-audit it from disk"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT

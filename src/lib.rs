@@ -20,7 +20,11 @@
 //!   modes, automatic dependency inference);
 //! * [`cli`] — the `heteroprio-cli` tool's instance format and commands;
 //! * [`trace`] — the typed scheduler event stream, metrics aggregation and
-//!   Chrome-trace/JSONL exporters (see the README's Observability section).
+//!   Chrome-trace/JSONL exporters (see the README's Observability section);
+//! * [`metrics`] — the kernel's self-profiling layer: counters, gauges,
+//!   log-bucketed histograms and scoped timers behind a zero-cost
+//!   `MetricsRegistry` trait (the third observability plane next to the
+//!   trace's events and the auditor's invariants).
 //!
 //! ## Quickstart
 //!
@@ -44,6 +48,7 @@ pub use heteroprio_bounds as bounds;
 pub use heteroprio_cli as cli;
 pub use heteroprio_core as core;
 pub use heteroprio_experiments as experiments;
+pub use heteroprio_metrics as metrics;
 pub use heteroprio_runtime as runtime;
 pub use heteroprio_schedulers as schedulers;
 pub use heteroprio_simulator as simulator;
