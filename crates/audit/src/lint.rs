@@ -27,6 +27,14 @@
 //!   make runs non-reproducible and measurements inconsistent; all timing
 //!   goes through `heteroprio_metrics` (`Stopwatch`, `ScopedTimer`), which
 //!   is the one crate allowed to touch the clock.
+//! * `raw-journal-io` — raw filesystem writes (`File::create(`,
+//!   `fs::write(`, `File::options(`, `OpenOptions`) on a line that handles
+//!   a journal/checkpoint/snapshot artifact, outside the two durability
+//!   modules (`trace/src/journal.rs`, `core/src/durability.rs`). Writing
+//!   durability artifacts by hand bypasses the length+CRC framing, the
+//!   fsync cadence and the atomic tmp+rename protocol that crash recovery
+//!   depends on; route the bytes through `FileJournal` /
+//!   `FileCheckpointStore` instead.
 //! * `forbid-unsafe` — every crate root must carry `#![forbid(unsafe_code)]`
 //!   (checked by [`lint_workspace`], not per-line).
 //!
@@ -51,6 +59,10 @@ pub const RULES: &[(&str, &str)] = &[
     ("cast-trunc", "integer `as` cast of scheduling math without an allow comment"),
     ("schedule-mut", "Schedule runs/aborted mutated outside crates/core"),
     ("instant-now", "Instant::now()/SystemTime::now() outside crates/metrics"),
+    (
+        "raw-journal-io",
+        "raw fs write of a journal/checkpoint artifact outside the durability modules",
+    ),
     ("forbid-unsafe", "crate root missing #![forbid(unsafe_code)]"),
 ];
 
@@ -76,6 +88,8 @@ pub fn lint_source(path: &str, text: &str) -> Vec<LintViolation> {
     let float_exempt = path.ends_with("core/src/time.rs");
     let schedule_exempt = path.starts_with("crates/core/");
     let clock_exempt = path.starts_with("crates/metrics/");
+    let journal_exempt =
+        path.ends_with("trace/src/journal.rs") || path.ends_with("core/src/durability.rs");
     let mut violations = Vec::new();
     let mut stripper = Stripper::default();
     let lines: Vec<&str> = text.lines().collect();
@@ -158,8 +172,34 @@ pub fn lint_source(path: &str, text: &str) -> Vec<LintViolation> {
                 }
             }
         }
+        if !journal_exempt {
+            check_raw_journal_io(code, &mut push);
+        }
     }
     violations
+}
+
+/// Raw filesystem writes aimed at durability artifacts. Matching is
+/// per-line: a raw-write call is a violation when the same statement
+/// mentions a journal/checkpoint/snapshot, which is how such code names
+/// its paths and bindings in practice.
+fn check_raw_journal_io(code: &str, push: &mut impl FnMut(&'static str, String)) {
+    let lower = code.to_ascii_lowercase();
+    if !["journal", "checkpoint", "snapshot"].iter().any(|w| lower.contains(w)) {
+        return;
+    }
+    for needle in ["File::create(", "fs::write(", "File::options(", "OpenOptions"] {
+        if code.contains(needle) {
+            push(
+                "raw-journal-io",
+                format!(
+                    "raw `{needle}` writing a journal/checkpoint artifact outside the \
+                     durability modules; use FileJournal / FileCheckpointStore (framing, \
+                     CRC, fsync and atomic-rename live there)"
+                ),
+            );
+        }
+    }
 }
 
 /// Scan a whole workspace: content rules over `crates/*/src/**/*.rs`, plus
@@ -838,6 +878,43 @@ mod tests {
         // The escape hatch works with a reason.
         let allowed = "// lint: allow(instant-now): one-off cold-start stamp, not scheduling.\nlet t = Instant::now();\n";
         assert!(rules_of("crates/cli/src/main.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn raw_journal_io_rule_fences_writes_into_the_durability_modules() {
+        let write = "let f = File::create(journal_path)?;\n";
+        assert_eq!(rules_of("crates/cli/src/commands.rs", write), vec!["raw-journal-io"]);
+        assert_eq!(
+            rules_of("crates/runtime/src/runtime.rs", "fs::write(&snapshot_file, bytes)?;"),
+            vec!["raw-journal-io"]
+        );
+        assert_eq!(
+            rules_of(
+                "crates/simulator/src/engine.rs",
+                "OpenOptions::new().append(true).open(checkpoint)?;"
+            ),
+            vec!["raw-journal-io"]
+        );
+        // The two durability modules own these writes and are exempt.
+        assert!(rules_of("crates/trace/src/journal.rs", write).is_empty());
+        assert!(rules_of(
+            "crates/core/src/durability.rs",
+            "let f = File::create(&tmp_checkpoint)?;"
+        )
+        .is_empty());
+        // Raw writes of non-durability artifacts are not this rule's business.
+        assert!(rules_of("crates/cli/src/main.rs", "fs::write(path, svg)?;").is_empty());
+        // `FileJournal::create(...)` is the sanctioned API, not a raw `File::create`.
+        assert!(rules_of("crates/cli/src/commands.rs", "FileJournal::create(path)?;").is_empty());
+        // Mentions in comments and strings do not count.
+        assert!(rules_of(
+            "crates/cli/src/commands.rs",
+            "// File::create(journal) is banned here\n"
+        )
+        .is_empty());
+        // The escape hatch works with a reason.
+        let allowed = "// lint: allow(raw-journal-io): deliberately corrupting a journal in a test harness.\nlet f = File::create(journal_path)?;\n";
+        assert!(rules_of("crates/cli/src/commands.rs", allowed).is_empty());
     }
 
     #[test]

@@ -14,13 +14,16 @@
 //! `scripts/check.sh` relies on it staying free of timing assertions so CI
 //! stays deterministic.
 
+use heteroprio_core::durability::metric as dmetric;
 use heteroprio_core::kernel::metric;
-use heteroprio_core::{heteroprio_metered, HeteroPrioConfig, Instance};
+use heteroprio_core::{heteroprio_metered, HeteroPrioConfig, Instance, MeteredJournal};
 use heteroprio_metrics::{InMemoryRegistry, MetricsSnapshot, Stopwatch};
 use heteroprio_schedulers::HeteroPrioDagPolicy;
 use heteroprio_simulator::{try_simulate_faulty_metered, FaultPlan, TransferModel};
 use heteroprio_taskgraph::{apply_bottom_level_priorities, cholesky, Factorization, WeightScheme};
-use heteroprio_trace::{json, NullSink};
+use heteroprio_trace::{
+    event_line, json, FileJournal, Journal, JournalSink, NullSink, SchedEvent, TraceSink,
+};
 use heteroprio_workloads::{
     independent_instance, paper_platform, random_instance, ChameleonTiming, RandomInstanceParams,
 };
@@ -41,6 +44,8 @@ struct CaseResult {
     makespan: f64,
     spoliations: usize,
     wall_s: f64,
+    /// `true` when the run streamed every event through a file journal.
+    journaled: bool,
     snapshot: MetricsSnapshot,
 }
 
@@ -67,7 +72,9 @@ impl CaseResult {
              \"spoliations\": {},\n      \"makespan\": {},\n      \"wall_s\": {},\n      \
              \"tasks_per_sec\": {},\n      \"events_per_sec\": {},\n      \
              \"pick_p50_ns\": {},\n      \"pick_p99_ns\": {},\n      \
-             \"peak_ready_depth\": {},\n      \"peak_event_heap_depth\": {}\n    }}",
+             \"peak_ready_depth\": {},\n      \"peak_event_heap_depth\": {},\n      \
+             \"journaled\": {},\n      \"journal_appends\": {},\n      \
+             \"journal_syncs\": {},\n      \"journal_bytes\": {}\n    }}",
             self.name,
             self.scale,
             self.engine,
@@ -83,6 +90,10 @@ impl CaseResult {
             quantile(0.99),
             peak(metric::READY_DEPTH),
             peak(metric::EVENT_HEAP_DEPTH),
+            self.journaled,
+            self.counter(dmetric::JOURNAL_APPENDS_TOTAL),
+            self.counter(dmetric::JOURNAL_SYNCS_TOTAL),
+            self.counter(dmetric::JOURNAL_BYTES_TOTAL),
         )
     }
 }
@@ -105,6 +116,108 @@ fn run_independent(name: &'static str, scale: &'static str, instance: &Instance)
         makespan: res.schedule.makespan(),
         spoliations: res.spoliations,
         wall_s,
+        journaled: false,
+        snapshot: registry.snapshot(),
+    }
+}
+
+/// The journal-on twin of [`run_independent`]: every event streamed through
+/// a [`MeteredJournal`]-wrapped [`FileJournal`] (real framing, CRCs and the
+/// default fsync cadence, plus the final commit sync) in the system temp
+/// dir. Events/sec here versus the `_trace` twin — which persists the same
+/// stream as a plain trace file — is the durability overhead ratio the
+/// acceptance gate bounds at 2x.
+fn run_independent_journaled(
+    name: &'static str,
+    scale: &'static str,
+    instance: &Instance,
+) -> CaseResult {
+    let platform = paper_platform();
+    let registry = InMemoryRegistry::new();
+    let path = std::env::temp_dir().join(format!("hp-bench-{}-{name}.journal", std::process::id()));
+    let journal = FileJournal::create(&path).expect("create bench journal");
+    let mut metered = MeteredJournal::new(journal, &registry);
+    let mut sink = JournalSink::new(&mut metered);
+    let sw = Stopwatch::start();
+    let res =
+        heteroprio_metered(instance, &platform, &HeteroPrioConfig::new(), &mut sink, &registry);
+    let sink_error = sink.error().cloned();
+    drop(sink);
+    metered.sync().expect("final bench journal sync");
+    let wall_s = sw.elapsed_secs_f64();
+    assert!(sink_error.is_none(), "bench journal append failed: {sink_error:?}");
+    drop(metered);
+    let _ = std::fs::remove_file(&path);
+    CaseResult {
+        name,
+        scale,
+        engine: "independent",
+        tasks: instance.len(),
+        makespan: res.schedule.makespan(),
+        spoliations: res.spoliations,
+        wall_s,
+        journaled: true,
+        snapshot: registry.snapshot(),
+    }
+}
+
+/// Journal-off persistence twin of [`run_independent_journaled`]: the same
+/// event stream written to a plain JSONL trace file through a buffered
+/// writer, with one write-out sync at the end — the serialization and disk
+/// bandwidth any persisted trace pays, without framing, checksums or the
+/// cadenced fsyncs. The journal *replaces* this file (it is the trace
+/// stream made durable), so this twin is the fair baseline for the
+/// durability tax: both runs put the same bytes on disk, and the ratio
+/// isolates the journal machinery. Without the final sync the twin's bytes
+/// would sit in page cache and the comparison would charge the journal for
+/// write-out the baseline silently skips. [`run_independent`]'s `NullSink`
+/// case stays in the document to show the cost of persistence itself.
+struct TraceFileSink {
+    out: std::io::BufWriter<std::fs::File>,
+}
+
+impl TraceSink for TraceFileSink {
+    fn emit(&mut self, event: SchedEvent) {
+        use std::io::Write;
+        let _ = self.out.write_all(event_line(&event).as_bytes());
+        let _ = self.out.write_all(b"\n");
+    }
+
+    fn is_enabled(&self) -> bool {
+        true
+    }
+}
+
+fn run_independent_traced(
+    name: &'static str,
+    scale: &'static str,
+    instance: &Instance,
+) -> CaseResult {
+    let platform = paper_platform();
+    let registry = InMemoryRegistry::new();
+    let path = std::env::temp_dir().join(format!("hp-bench-{}-{name}.jsonl", std::process::id()));
+    let file = std::fs::File::create(&path).expect("create bench trace file");
+    let mut sink = TraceFileSink { out: std::io::BufWriter::new(file) };
+    let sw = Stopwatch::start();
+    let res =
+        heteroprio_metered(instance, &platform, &HeteroPrioConfig::new(), &mut sink, &registry);
+    {
+        use std::io::Write;
+        sink.out.flush().expect("flush bench trace file");
+        sink.out.get_ref().sync_data().expect("write out bench trace file");
+    }
+    let wall_s = sw.elapsed_secs_f64();
+    drop(sink);
+    let _ = std::fs::remove_file(&path);
+    CaseResult {
+        name,
+        scale,
+        engine: "independent",
+        tasks: instance.len(),
+        makespan: res.schedule.makespan(),
+        spoliations: res.spoliations,
+        wall_s,
+        journaled: false,
         snapshot: registry.snapshot(),
     }
 }
@@ -137,6 +250,7 @@ fn run_dag(name: &'static str, scale: &'static str, tiles: usize) -> CaseResult 
         makespan: res.schedule.makespan(),
         spoliations: res.spoliations,
         wall_s,
+        journaled: false,
         snapshot: registry.snapshot(),
     }
 }
@@ -161,11 +275,17 @@ pub fn run_suite(smoke: bool) -> String {
                 ),
             ),
             run_dag("dag_cholesky_n4_smoke", "smoke", 4),
+            run_independent_traced("cholesky_n4_smoke_trace", "smoke", &fig6_instance(4)),
+            run_independent_journaled("cholesky_n4_smoke_journal", "smoke", &fig6_instance(4)),
         ]
     } else {
         vec![
             run_independent("cholesky_n16_fig6", "fig6", &fig6_instance(16)),
             run_independent("cholesky_n32_fig6", "fig6", &fig6_instance(32)),
+            run_independent_traced("cholesky_n16_fig6_trace", "fig6", &fig6_instance(16)),
+            run_independent_traced("cholesky_n32_fig6_trace", "fig6", &fig6_instance(32)),
+            run_independent_journaled("cholesky_n16_fig6_journal", "fig6", &fig6_instance(16)),
+            run_independent_journaled("cholesky_n32_fig6_journal", "fig6", &fig6_instance(32)),
             run_dag("dag_cholesky_n16_fig6", "fig6", 16),
             run_independent("cholesky_n160_x1000", "x1000", &fig6_instance(160)),
             run_independent(
@@ -180,12 +300,33 @@ pub fn run_suite(smoke: bool) -> String {
     };
     let platform = paper_platform();
     let body: Vec<String> = cases.iter().map(CaseResult::to_json).collect();
+    // The durability tax, per journaled case: wall time versus the twin
+    // that persists the identical event stream as a plain trace file. The
+    // acceptance gate reads this ratio and bounds it at 2x.
+    let overhead: Vec<String> = cases
+        .iter()
+        .filter(|c| c.journaled)
+        .filter_map(|c| {
+            let twin = format!("{}_trace", c.name.strip_suffix("_journal")?);
+            let off = cases.iter().find(|o| o.name == twin)?;
+            (off.wall_s > 0.0).then(|| {
+                format!(
+                    "    {{ \"case\": \"{}\", \"vs\": \"{}\", \"overhead_x\": {:.3} }}",
+                    c.name,
+                    twin,
+                    c.wall_s / off.wall_s
+                )
+            })
+        })
+        .collect();
     format!(
         "{{\n  \"schema\": \"{SCHEMA_NAME}\",\n  \"version\": {SCHEMA_VERSION},\n  \
          \"smoke\": {smoke},\n  \"platform\": {{ \"cpus\": {}, \"gpus\": {} }},\n  \
+         \"journal_overhead\": [\n{}\n  ],\n  \
          \"cases\": [\n{}\n  ]\n}}\n",
         platform.cpus,
         platform.gpus,
+        overhead.join(",\n"),
         body.join(",\n"),
     )
 }
@@ -209,6 +350,7 @@ pub fn validate_baseline(text: &str) -> Result<(), String> {
         return Err("cases array is empty".to_string());
     }
     let mut scales = Vec::new();
+    let mut saw_journaled = false;
     for case in cases {
         let name = case.get("name").and_then(|v| v.as_str()).ok_or("case missing name")?;
         for key in [
@@ -223,6 +365,9 @@ pub fn validate_baseline(text: &str) -> Result<(), String> {
             "peak_ready_depth",
             "peak_event_heap_depth",
             "makespan",
+            "journal_appends",
+            "journal_syncs",
+            "journal_bytes",
         ] {
             let value = case
                 .get(key)
@@ -238,7 +383,50 @@ pub fn validate_baseline(text: &str) -> Result<(), String> {
                 return Err(format!("{name}: counter {key:?} is zero"));
             }
         }
+        let journaled =
+            case.get("journaled").and_then(|v| v.as_bool()).ok_or("case missing journaled")?;
+        if journaled {
+            saw_journaled = true;
+            let appends = case.get("journal_appends").and_then(|v| v.as_f64()).unwrap_or(0.0);
+            let traced = case.get("trace_events").and_then(|v| v.as_f64()).unwrap_or(0.0);
+            // lint: allow(float-eq): exact integer counters carried in JSON numbers.
+            if appends != traced {
+                return Err(format!(
+                    "{name}: journaled case appended {appends} records but traced {traced} events"
+                ));
+            }
+            let bytes = case.get("journal_bytes").and_then(|v| v.as_f64()).unwrap_or(0.0);
+            if bytes <= 0.0 {
+                return Err(format!("{name}: journaled case wrote no bytes"));
+            }
+        }
         scales.push(case.get("scale").and_then(|v| v.as_str()).ok_or("case missing scale")?);
+    }
+    if !saw_journaled {
+        return Err("baseline has no journal-on case to measure durability overhead".to_string());
+    }
+    // Every journaled case must have its trace-file twin and a recorded
+    // overhead ratio (presence and positivity only — no timing threshold,
+    // so the CI smoke gate stays deterministic; the 2x acceptance bound is
+    // read off the committed full baseline).
+    let overhead = field("journal_overhead")?.as_arr().ok_or("journal_overhead is not an array")?;
+    let journaled_names: Vec<&str> = cases
+        .iter()
+        .filter(|c| c.get("journaled").and_then(|v| v.as_bool()) == Some(true))
+        .filter_map(|c| c.get("name").and_then(|v| v.as_str()))
+        .collect();
+    for name in &journaled_names {
+        let entry = overhead
+            .iter()
+            .find(|e| e.get("case").and_then(|v| v.as_str()) == Some(name))
+            .ok_or_else(|| format!("{name}: journaled case has no journal_overhead entry"))?;
+        let ratio = entry
+            .get("overhead_x")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("{name}: journal_overhead entry has no numeric overhead_x"))?;
+        if ratio.is_nan() || ratio <= 0.0 {
+            return Err(format!("{name}: journal overhead ratio {ratio} is not positive"));
+        }
     }
     if !smoke {
         for required in ["fig6", "x1000"] {
@@ -258,7 +446,12 @@ mod tests {
     fn smoke_suite_emits_a_valid_baseline() {
         let doc = run_suite(true);
         validate_baseline(&doc).expect("smoke baseline validates");
-        for needle in ["cholesky_n4_smoke", "random_200_smoke", "dag_cholesky_n4_smoke"] {
+        for needle in [
+            "cholesky_n4_smoke",
+            "random_200_smoke",
+            "dag_cholesky_n4_smoke",
+            "cholesky_n4_smoke_journal",
+        ] {
             assert!(doc.contains(needle), "missing case {needle} in:\n{doc}");
         }
     }

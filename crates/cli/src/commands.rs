@@ -6,16 +6,20 @@ use heteroprio_audit::{audit, schedule_from_events, AuditOptions, AuditReport, S
 use heteroprio_bounds::{combined_lower_bound, optimal_makespan, MAX_EXACT_TASKS};
 use heteroprio_core::gantt::to_svg;
 use heteroprio_core::kernel::metric;
+use heteroprio_core::kernel::EngineError;
 use heteroprio_core::{
-    heteroprio, heteroprio_metered, HeteroPrioConfig, Instance, Platform, ResourceKind, Schedule,
+    heteroprio, heteroprio_durable, heteroprio_metered, heteroprio_resume, CheckpointStore,
+    CrashPlan, DurabilityOptions, FileCheckpointStore, HeteroPrioConfig, Instance, MeteredJournal,
+    Platform, ResourceKind, Schedule,
 };
 use heteroprio_metrics::{InMemoryRegistry, MetricsRegistry, NullRegistry};
+use heteroprio_runtime::DurableOutcome;
 use heteroprio_schedulers::{dualhp_independent, heft, heuristic_schedule, HeftVariant, Heuristic};
 use heteroprio_simulator::{FaultPlan, FaultSpec, RetryPolicy};
 use heteroprio_taskgraph::{Factorization, TaskGraph, WeightScheme};
 use heteroprio_trace::{
-    chrome_trace, jsonl, parse_jsonl, ChromeTraceOptions, SchedEvent, TeeSink, TraceSummary,
-    VecSink,
+    chrome_trace, jsonl, parse_jsonl, ChromeTraceOptions, FileJournal, Journal, JournalSink,
+    SchedEvent, TeeSink, TraceSummary, VecSink,
 };
 use heteroprio_workloads::{independent_instance, ChameleonTiming};
 use std::fmt::Write as _;
@@ -39,11 +43,40 @@ pub struct OutputOpts {
     /// cross-checked against [`TraceSummary::events_recorded`], so a
     /// sink that drops events fails loudly instead of silently.
     pub metrics: bool,
+    /// Journaling, checkpointing and crash/resume options.
+    pub durable: DurableOpts,
 }
 
 impl OutputOpts {
     fn wants_events(&self) -> bool {
         self.trace.is_some() || self.summary || self.audit || self.metrics
+    }
+}
+
+/// Durability options (`--journal`, `--crash-at`, `--snapshot`,
+/// `--checkpoint-every`) shared by `schedule`, `dag` and the `resume`
+/// subcommand.
+#[derive(Clone, Debug, Default)]
+pub struct DurableOpts {
+    /// `--journal PATH`: append the event stream to a crash-durable
+    /// journal as the kernel emits it.
+    pub journal: Option<String>,
+    /// `--crash-at N`: deterministically kill the run right after the Nth
+    /// journaled event (a crash-injection harness, not an error).
+    pub crash_at: Option<u64>,
+    /// `--snapshot PATH`: checkpoint the kernel state to this file while
+    /// running; on `resume`, load it to skip replaying the full journal.
+    pub snapshot: Option<String>,
+    /// `--checkpoint-every N`: events between checkpoints (default 64).
+    pub checkpoint_every: Option<u64>,
+    /// Set by the `resume` subcommand: recover the journal (and snapshot,
+    /// if given) and continue the interrupted run instead of starting over.
+    pub resume: bool,
+}
+
+impl DurableOpts {
+    pub fn active(&self) -> bool {
+        self.journal.is_some() || self.crash_at.is_some() || self.resume
     }
 }
 
@@ -301,6 +334,161 @@ impl Algo {
     }
 }
 
+/// Outcome of a journaled run: either the injected crash fired (the report
+/// is final and the command exits cleanly — the crash is the point of the
+/// harness), or the run completed and flows into the normal report path.
+enum DurableRun {
+    Crashed(String),
+    Done { schedule: Schedule, events: Vec<SchedEvent>, notes: Vec<String> },
+}
+
+/// The report printed when `--crash-at` fires: where the run died and what
+/// survived on disk.
+fn crash_report(
+    journal_path: &str,
+    time: f64,
+    events: u64,
+    store: Option<&mut FileCheckpointStore>,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "simulated crash after event {events} (t={time:.4})");
+    let _ = writeln!(out, "journal    : {journal_path} ({events} records)");
+    if let Some(store) = store {
+        let _ = writeln!(out, "{}", checkpoint_note(store));
+    }
+    let _ = writeln!(out, "recover with the `resume` subcommand (same inputs and --algo).");
+    out
+}
+
+/// One report line on the fate of the checkpoint file. Checkpointing is
+/// best-effort (the journal stays authoritative), so save errors are
+/// reported, not fatal.
+fn checkpoint_note(store: &mut FileCheckpointStore) -> String {
+    let path = store.path().display().to_string();
+    match store.take_error() {
+        Some(e) => format!("checkpoint : {path} FAILED ({e}); recovery will replay the journal"),
+        None => format!("checkpoint : {path} ({} saves)", store.saves),
+    }
+}
+
+/// Load the snapshot for a resume, demoting a damaged or missing
+/// checkpoint to a note (recovery then replays the whole journal).
+fn load_snapshot(
+    path: Option<&str>,
+    notes: &mut Vec<String>,
+) -> Option<heteroprio_core::KernelSnapshot> {
+    let path = path?;
+    let (snap, damage) = FileCheckpointStore::load(path);
+    if let Some(why) = damage {
+        notes.push(format!("checkpoint : {path} unusable ({why}); replaying the full journal"));
+    } else if snap.is_none() {
+        notes.push(format!("checkpoint : {path} missing; replaying the full journal"));
+    }
+    snap
+}
+
+/// Open a journal for resuming, reporting recovered damage as a note.
+fn open_journal(
+    path: &str,
+    notes: &mut Vec<String>,
+) -> Result<(FileJournal, Vec<SchedEvent>), String> {
+    let (journal, prefix, damage) = FileJournal::open(path).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(d) = damage {
+        notes.push(format!(
+            "journal    : {path} damaged at byte {} ({}); kept {} valid records, \
+             dropped {} bytes",
+            d.offset, d.detail, d.valid_records, d.lost_bytes
+        ));
+    }
+    Ok((journal, prefix))
+}
+
+/// The journaling/crash/resume path of the `schedule` command
+/// (independent tasks through the live HeteroPrio kernel).
+fn durable_schedule_run(
+    instance: &Instance,
+    platform: &Platform,
+    algo: Algo,
+    d: &DurableOpts,
+    metrics: &dyn MetricsRegistry,
+) -> Result<DurableRun, String> {
+    let config = algo.config().ok_or_else(|| {
+        format!(
+            "--journal/--crash-at/resume need the live kernel; {algo:?} is a \
+             static algorithm that never enters it (use hp or hp-ns)"
+        )
+    })?;
+    let path = d.journal.as_deref().ok_or("durable runs need --journal PATH")?;
+    let mut notes = Vec::new();
+    if d.resume {
+        let (journal, recovered) = open_journal(path, &mut notes)?;
+        let snapshot = load_snapshot(d.snapshot.as_deref(), &mut notes);
+        let mut metered = MeteredJournal::new(journal, metrics);
+        let mut sink = VecSink::new();
+        let mut jsink = JournalSink::resuming(&mut metered, recovered.len());
+        let result = heteroprio_resume(
+            instance,
+            platform,
+            &config,
+            snapshot.as_ref(),
+            &recovered,
+            &mut TeeSink(&mut sink, &mut jsink),
+            metrics,
+        )
+        .map_err(|e| format!("resume failed: {e}"))?;
+        if let Some(e) = jsink.error() {
+            return Err(format!("journal append failed: {e}"));
+        }
+        // The appended continuation must be durable before we report success.
+        metered.sync().map_err(|e| format!("final journal sync failed: {e}"))?;
+        notes.push(format!(
+            "resumed    : replayed {} journaled events, continued to {} total",
+            recovered.len(),
+            sink.events.len()
+        ));
+        Ok(DurableRun::Done { schedule: result.schedule, events: sink.into_events(), notes })
+    } else {
+        let journal = FileJournal::create(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut journal = MeteredJournal::new(journal, metrics);
+        let mut store = d.snapshot.as_deref().map(FileCheckpointStore::new);
+        let durability = DurabilityOptions {
+            crash: d.crash_at.map(CrashPlan::at_event).unwrap_or(CrashPlan::NONE),
+            checkpoint_every: store.is_some().then(|| d.checkpoint_every.unwrap_or(64)),
+            store: store.as_mut().map(|s| s as &mut dyn CheckpointStore),
+        };
+        let mut sink = VecSink::new();
+        let mut jsink = JournalSink::new(&mut journal);
+        let result = heteroprio_durable(
+            instance,
+            platform,
+            &config,
+            durability,
+            &mut TeeSink(&mut sink, &mut jsink),
+            metrics,
+        );
+        if let Some(e) = jsink.error() {
+            return Err(format!("journal append failed: {e}"));
+        }
+        // Commit the tail whether the run completed or crashed on cue: the
+        // sync cadence only bounds loss mid-run, and the crash report tells
+        // the user to resume from this journal.
+        journal.sync().map_err(|e| format!("final journal sync failed: {e}"))?;
+        match result {
+            Ok(r) => {
+                notes.push(format!("journal    : {path} ({} records)", journal.inner().len()));
+                if let Some(store) = store.as_mut() {
+                    notes.push(checkpoint_note(store));
+                }
+                Ok(DurableRun::Done { schedule: r.schedule, events: sink.into_events(), notes })
+            }
+            Err(EngineError::Crashed { time, events }) => {
+                Ok(DurableRun::Crashed(crash_report(path, time, events, store.as_mut())))
+            }
+            Err(e) => Err(e.to_string()),
+        }
+    }
+}
+
 /// `schedule`: run one scheduler on an instance file's contents.
 pub fn cmd_schedule(
     text: &str,
@@ -323,31 +511,45 @@ pub fn cmd_schedule(
     // Under `--audit`, live HeteroPrio runs stream their events through the
     // online auditor as the engine emits them (a tee also records the stream
     // for `--trace`/`--summary`); static algorithms are batch-audited on the
-    // stream reconstructed from their finished schedule.
-    let (schedule, events, audit_report) = match (opts.audit, algo.config()) {
-        (true, Some(config)) => {
-            let mut sink = VecSink::new();
-            let mut auditor = StreamAuditor::new(&instance, platform, audit_opts(algo));
-            let result = heteroprio_metered(
-                &instance,
-                platform,
-                &config,
-                &mut TeeSink(&mut sink, &mut auditor),
-                metrics,
-            );
-            let report = auditor.finish(&result.schedule);
-            (result.schedule, sink.into_events(), Some(report))
+    // stream reconstructed from their finished schedule. Durable runs go
+    // through the journaling kernel and are batch-audited afterwards.
+    let (schedule, events, audit_report, notes) = if opts.durable.active() {
+        match durable_schedule_run(&instance, platform, algo, &opts.durable, metrics)? {
+            DurableRun::Crashed(report) => return Ok(CmdOutput { report, svg: None, trace: None }),
+            DurableRun::Done { schedule, events, notes } => {
+                let report = opts
+                    .audit
+                    .then(|| audit(&instance, platform, &schedule, &events, &audit_opts(algo)));
+                (schedule, events, report, notes)
+            }
         }
-        (true, None) => {
-            let (schedule, events) = algo.run_traced(&instance, platform);
-            let report = audit(&instance, platform, &schedule, &events, &audit_opts(algo));
-            (schedule, events, Some(report))
-        }
-        (false, _) if opts.wants_events() => {
-            let (schedule, events) = algo.run_metered(&instance, platform, metrics);
-            (schedule, events, None)
-        }
-        (false, _) => (algo.run(&instance, platform), Vec::new(), None),
+    } else {
+        let (schedule, events, audit_report) = match (opts.audit, algo.config()) {
+            (true, Some(config)) => {
+                let mut sink = VecSink::new();
+                let mut auditor = StreamAuditor::new(&instance, platform, audit_opts(algo));
+                let result = heteroprio_metered(
+                    &instance,
+                    platform,
+                    &config,
+                    &mut TeeSink(&mut sink, &mut auditor),
+                    metrics,
+                );
+                let report = auditor.finish(&result.schedule);
+                (result.schedule, sink.into_events(), Some(report))
+            }
+            (true, None) => {
+                let (schedule, events) = algo.run_traced(&instance, platform);
+                let report = audit(&instance, platform, &schedule, &events, &audit_opts(algo));
+                (schedule, events, Some(report))
+            }
+            (false, _) if opts.wants_events() => {
+                let (schedule, events) = algo.run_metered(&instance, platform, metrics);
+                (schedule, events, None)
+            }
+            (false, _) => (algo.run(&instance, platform), Vec::new(), None),
+        };
+        (schedule, events, audit_report, Vec::new())
     };
     schedule
         .validate(&instance, platform)
@@ -362,6 +564,9 @@ pub fn cmd_schedule(
         platform.gpus,
         algo
     );
+    for note in &notes {
+        let _ = writeln!(out, "{note}");
+    }
     let _ = writeln!(out, "makespan    : {:.4}", schedule.makespan());
     let _ = writeln!(out, "lower bound : {lb:.4}");
     let _ = writeln!(out, "ratio       : {:.4}", schedule.makespan() / lb);
@@ -547,7 +752,56 @@ pub fn cmd_dag(
     };
     let rt = build().with_faults(plan.clone());
     let registry = InMemoryRegistry::new();
-    let report = if opts.metrics {
+    let mut notes = Vec::new();
+    let report = if opts.durable.active() {
+        let metrics: &dyn MetricsRegistry = if opts.metrics { &registry } else { &NullRegistry };
+        if !algo.scheduler().supports_durable() {
+            return Err("static HEFT builds its schedule outside the kernel and cannot journal; \
+                 use an online scheduler"
+                .to_string());
+        }
+        let path = opts.durable.journal.as_deref().ok_or("durable runs need --journal PATH")?;
+        if opts.durable.resume {
+            let (journal, recovered) = open_journal(path, &mut notes)?;
+            let snapshot = load_snapshot(opts.durable.snapshot.as_deref(), &mut notes);
+            let mut journal = MeteredJournal::new(journal, metrics);
+            let report =
+                rt.resume_from(algo.scheduler(), snapshot.as_ref(), &mut journal, metrics)?;
+            notes.push(format!(
+                "resumed    : replayed {} journaled events, continued to {} total",
+                recovered.len(),
+                report.events.len()
+            ));
+            report
+        } else {
+            let journal = FileJournal::create(path).map_err(|e| format!("{path}: {e}"))?;
+            let mut journal = MeteredJournal::new(journal, metrics);
+            let mut store = opts.durable.snapshot.as_deref().map(FileCheckpointStore::new);
+            let durability = DurabilityOptions {
+                crash: opts.durable.crash_at.map(CrashPlan::at_event).unwrap_or(CrashPlan::NONE),
+                checkpoint_every: store
+                    .is_some()
+                    .then(|| opts.durable.checkpoint_every.unwrap_or(64)),
+                store: store.as_mut().map(|s| s as &mut dyn CheckpointStore),
+            };
+            match rt.run_durable(algo.scheduler(), &mut journal, durability, metrics)? {
+                DurableOutcome::Completed(report) => {
+                    notes.push(format!("journal    : {path} ({} records)", journal.inner().len()));
+                    if let Some(store) = store.as_mut() {
+                        notes.push(checkpoint_note(store));
+                    }
+                    *report
+                }
+                DurableOutcome::Crashed { time, events } => {
+                    return Ok(CmdOutput {
+                        report: crash_report(path, time, events, store.as_mut()),
+                        svg: None,
+                        trace: None,
+                    })
+                }
+            }
+        }
+    } else if opts.metrics {
         rt.run_metered(algo.scheduler(), &registry)?
     } else if opts.wants_events() {
         rt.run_traced(algo.scheduler())?
@@ -563,6 +817,9 @@ pub fn cmd_dag(
         platform.cpus,
         platform.gpus
     );
+    for note in &notes {
+        let _ = writeln!(out, "{note}");
+    }
     if !plan.is_none() {
         let _ = writeln!(
             out,
@@ -908,6 +1165,140 @@ mod tests {
         assert_eq!(DagAlgoArg::parse("dualhp-fifo"), Some(DagAlgoArg::DualHpFifo));
         assert_eq!(DagAlgoArg::parse("LIST"), Some(DagAlgoArg::List));
         assert_eq!(DagAlgoArg::parse("??"), None);
+    }
+
+    /// Unique temp paths for journal/snapshot files (tests run in parallel).
+    fn temp_paths(tag: &str) -> (String, String) {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        (
+            dir.join(format!("hp_cli_{tag}_{pid}.journal")).display().to_string(),
+            dir.join(format!("hp_cli_{tag}_{pid}.snap")).display().to_string(),
+        )
+    }
+
+    #[test]
+    fn schedule_crash_then_resume_reproduces_the_run() {
+        let plat = Platform::new(2, 1);
+        let (journal, snapshot) = temp_paths("sched");
+        let trace_opts = OutputOpts { trace: Some("ref.jsonl".into()), ..OutputOpts::default() };
+        let reference = cmd_schedule(SAMPLE, &plat, Algo::HeteroPrio, &trace_opts).unwrap();
+        let (_, ref_trace) = reference.trace.unwrap();
+        let crash = OutputOpts {
+            durable: DurableOpts {
+                journal: Some(journal.clone()),
+                crash_at: Some(4),
+                snapshot: Some(snapshot.clone()),
+                checkpoint_every: Some(2),
+                resume: false,
+            },
+            ..OutputOpts::default()
+        };
+        let out = cmd_schedule(SAMPLE, &plat, Algo::HeteroPrio, &crash).unwrap();
+        assert!(out.report.contains("simulated crash after event 4"), "{}", out.report);
+        assert!(out.report.contains("resume"), "{}", out.report);
+        let resume = OutputOpts {
+            audit: true,
+            trace: Some("res.jsonl".into()),
+            durable: DurableOpts {
+                journal: Some(journal.clone()),
+                snapshot: Some(snapshot.clone()),
+                resume: true,
+                ..DurableOpts::default()
+            },
+            ..OutputOpts::default()
+        };
+        let out = cmd_schedule(SAMPLE, &plat, Algo::HeteroPrio, &resume).unwrap();
+        assert!(out.report.contains("resumed    : replayed 4"), "{}", out.report);
+        assert!(out.report.contains("audit clean"), "{}", out.report);
+        // The resumed trace is bit-identical to the uninterrupted one, and
+        // the journal now holds the full stream.
+        assert_eq!(out.trace.unwrap().1, ref_trace);
+        let (recovered, damage) = FileJournal::recover(&journal).unwrap();
+        assert!(damage.is_none());
+        assert_eq!(jsonl(&recovered), ref_trace);
+        let _ = std::fs::remove_file(&journal);
+        let _ = std::fs::remove_file(&snapshot);
+    }
+
+    #[test]
+    fn dag_crash_then_resume_reproduces_the_run() {
+        let plat = Platform::new(2, 1);
+        let (journal, snapshot) = temp_paths("dag");
+        let trace_opts = OutputOpts { trace: Some("ref.jsonl".into()), ..OutputOpts::default() };
+        let reference = cmd_dag(
+            "cholesky",
+            4,
+            &plat,
+            DagAlgoArg::HeteroPrio,
+            &trace_opts,
+            &FaultOpts::default(),
+        )
+        .unwrap();
+        let (_, ref_trace) = reference.trace.unwrap();
+        let crash = OutputOpts {
+            durable: DurableOpts {
+                journal: Some(journal.clone()),
+                crash_at: Some(25),
+                snapshot: Some(snapshot.clone()),
+                checkpoint_every: Some(8),
+                resume: false,
+            },
+            ..OutputOpts::default()
+        };
+        let out =
+            cmd_dag("cholesky", 4, &plat, DagAlgoArg::HeteroPrio, &crash, &FaultOpts::default())
+                .unwrap();
+        assert!(out.report.contains("simulated crash after event 25"), "{}", out.report);
+        let resume = OutputOpts {
+            audit: true,
+            trace: Some("res.jsonl".into()),
+            metrics: true,
+            durable: DurableOpts {
+                journal: Some(journal.clone()),
+                snapshot: Some(snapshot.clone()),
+                resume: true,
+                ..DurableOpts::default()
+            },
+            ..OutputOpts::default()
+        };
+        let out =
+            cmd_dag("cholesky", 4, &plat, DagAlgoArg::HeteroPrio, &resume, &FaultOpts::default())
+                .unwrap();
+        assert!(out.report.contains("resumed    : replayed 25"), "{}", out.report);
+        assert!(out.report.contains("audit clean"), "{}", out.report);
+        // Journal-overhead counters surfaced through --metrics.
+        assert!(out.report.contains("journal_appends_total"), "{}", out.report);
+        assert_eq!(out.trace.unwrap().1, ref_trace);
+        // A journal recorded for different inputs is rejected, not accepted.
+        let err = cmd_dag("qr", 4, &plat, DagAlgoArg::HeteroPrio, &resume, &FaultOpts::default())
+            .unwrap_err();
+        assert!(
+            err.contains("diverge") || err.contains("short") || err.contains("snapshot"),
+            "{err}"
+        );
+        let _ = std::fs::remove_file(&journal);
+        let _ = std::fs::remove_file(&snapshot);
+    }
+
+    #[test]
+    fn durable_flags_reject_static_algorithms() {
+        let plat = Platform::new(1, 1);
+        let opts = OutputOpts {
+            durable: DurableOpts {
+                journal: Some("unused.journal".into()),
+                ..DurableOpts::default()
+            },
+            ..OutputOpts::default()
+        };
+        let err = cmd_schedule(SAMPLE, &plat, Algo::Heft, &opts).unwrap_err();
+        assert!(err.contains("static"), "{err}");
+        let err = cmd_dag("cholesky", 4, &plat, DagAlgoArg::Heft, &opts, &FaultOpts::default())
+            .unwrap_err();
+        assert!(err.contains("cannot journal"), "{err}");
+        // The rejection must fire before the journal file is created — a
+        // refused run leaves nothing behind.
+        assert!(!std::path::Path::new("unused.journal").exists());
     }
 
     #[test]

@@ -11,6 +11,6 @@ pub mod format;
 
 pub use commands::{
     cmd_audit, cmd_bounds, cmd_dag, cmd_gen, cmd_perf, cmd_schedule, Algo, CmdOutput, DagAlgoArg,
-    FaultOpts, OutputOpts,
+    DurableOpts, FaultOpts, OutputOpts,
 };
 pub use format::{parse_instance, serialize_instance, ParseError};

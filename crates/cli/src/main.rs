@@ -9,8 +9,8 @@
 //! ```
 
 use heteroprio_cli::{
-    cmd_audit, cmd_bounds, cmd_dag, cmd_gen, cmd_perf, cmd_schedule, Algo, DagAlgoArg, FaultOpts,
-    OutputOpts,
+    cmd_audit, cmd_bounds, cmd_dag, cmd_gen, cmd_perf, cmd_schedule, Algo, DagAlgoArg, DurableOpts,
+    FaultOpts, OutputOpts,
 };
 use heteroprio_core::Platform;
 use std::process::ExitCode;
@@ -19,13 +19,20 @@ const USAGE: &str = "\
 usage:
   heteroprio-cli schedule --cpus M --gpus N [--algo NAME] [--svg FILE]
                           [--trace FILE] [--summary] [--audit] [--metrics]
-                          INSTANCE
+                          [--journal FILE [--crash-at N] [--snapshot FILE]
+                          [--checkpoint-every K]] INSTANCE
   heteroprio-cli bounds   --cpus M --gpus N INSTANCE
   heteroprio-cli gen      (cholesky|qr|lu) N [OUTPUT]
   heteroprio-cli dag      (cholesky|qr|lu) N --cpus M --gpus N [--algo NAME]
                           [--svg FILE] [--trace FILE] [--summary] [--audit]
                           [--metrics] [--faults SPEC] [--exec-jitter J]
                           [--retry-max K] [--fault-seed S]
+                          [--journal FILE [--crash-at N] [--snapshot FILE]
+                          [--checkpoint-every K]]
+  heteroprio-cli resume   --journal FILE [--snapshot FILE] --cpus M --gpus N
+                          [--algo NAME] [--no-audit] [--trace FILE]
+                          [--summary] [--metrics] (INSTANCE | (cholesky|qr|lu) N
+                          [--faults SPEC] [--exec-jitter J] ...)
   heteroprio-cli audit    --cpus M --gpus N [--algo NAME]
                           [--trace FILE.jsonl] INSTANCE
   heteroprio-cli audit    (cholesky|qr|lu) N --cpus M --gpus N [--algo NAME]
@@ -61,6 +68,19 @@ workloads) and prints the schema-versioned BENCH_kernel.json document;
 --out FILE writes it instead, --smoke runs the tiny deterministic cases
 used as a CI gate. `scripts/bench.sh` wraps the full run.
 
+--journal FILE appends the kernel's event stream to a crash-durable
+length+CRC-framed journal as it runs. --crash-at N kills the run right
+after the Nth journaled event (deterministic crash injection; the
+command still exits 0 — the crash is the harness, not an error).
+--snapshot FILE additionally checkpoints the kernel state every K
+events (--checkpoint-every, default 64). `resume` recovers the journal
+(truncating any torn tail), restores the snapshot when one is usable,
+replays deterministically — verifying the journaled prefix event for
+event — and continues the run to completion, re-auditing the full
+stream against the paper's invariants (--no-audit skips that). Resume
+must be given the same inputs (instance/workload, platform, --algo,
+fault flags) as the original run; divergence is detected and reported.
+
 --faults injects worker failures and task failures into the `dag`
 command. SPEC is comma-separated clauses: `wN|cpu|gpu|all @ time[+dur]`
 (no duration = permanent; `time%` = percent of the fault-free makespan,
@@ -87,6 +107,9 @@ struct Args {
     /// `perf --out FILE`: write the JSON document instead of printing it.
     out: Option<String>,
     faults: FaultOpts,
+    durable: DurableOpts,
+    /// `resume --no-audit`: skip the post-recovery invariant audit.
+    no_audit: bool,
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -104,6 +127,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         smoke: false,
         out: None,
         faults: FaultOpts::default(),
+        durable: DurableOpts::default(),
+        no_audit: false,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -158,6 +183,29 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 let v = argv.next().ok_or("--fault-seed needs a value")?;
                 args.faults.seed = Some(v.parse().map_err(|_| format!("bad --fault-seed `{v}`"))?);
             }
+            "--journal" => {
+                args.durable.journal = Some(argv.next().ok_or("--journal needs a file name")?);
+            }
+            "--crash-at" => {
+                let v = argv.next().ok_or("--crash-at needs an event number")?;
+                let n: u64 = v.parse().map_err(|_| format!("bad --crash-at `{v}`"))?;
+                if n == 0 {
+                    return Err("--crash-at counts from 1 (the first journaled event)".into());
+                }
+                args.durable.crash_at = Some(n);
+            }
+            "--snapshot" => {
+                args.durable.snapshot = Some(argv.next().ok_or("--snapshot needs a file name")?);
+            }
+            "--checkpoint-every" => {
+                let v = argv.next().ok_or("--checkpoint-every needs a value")?;
+                let n: u64 = v.parse().map_err(|_| format!("bad --checkpoint-every `{v}`"))?;
+                if n == 0 {
+                    return Err("--checkpoint-every must be at least 1".into());
+                }
+                args.durable.checkpoint_every = Some(n);
+            }
+            "--no-audit" => args.no_audit = true,
             "--help" | "-h" => return Err(String::new()),
             other => args.positional.push(other.to_string()),
         }
@@ -179,6 +227,7 @@ fn output_opts(args: &Args) -> OutputOpts {
         summary: args.summary,
         audit: args.audit,
         metrics: args.metrics,
+        durable: args.durable.clone(),
     }
 }
 
@@ -232,6 +281,44 @@ fn run() -> Result<(), String> {
             };
             let out = cmd_dag(&kind, n, &platform, algo, &output_opts(&args), &args.faults)?;
             emit(out, args.svg.as_ref())
+        }
+        "resume" => {
+            let platform = platform_of(&args)?;
+            if args.durable.journal.is_none() {
+                return Err("resume needs --journal FILE".to_string());
+            }
+            if args.durable.crash_at.is_some() {
+                return Err("--crash-at only applies to the original run".to_string());
+            }
+            let mut args = args;
+            args.durable.resume = true;
+            // Recovery re-audits the full stream by default.
+            args.audit = !args.no_audit;
+            let first = args
+                .positional
+                .first()
+                .ok_or("resume needs an INSTANCE file or a workload kind")?;
+            if matches!(first.as_str(), "cholesky" | "qr" | "lu") {
+                let kind = first.clone();
+                let n: usize = args
+                    .positional
+                    .get(1)
+                    .ok_or("resume needs a tile count")?
+                    .parse()
+                    .map_err(|_| "bad tile count")?;
+                let algo = match &args.dag_algo {
+                    Some(name) => DagAlgoArg::parse(name).ok_or_else(|| {
+                        format!("unknown DAG algorithm `{name}` ({})", DagAlgoArg::NAMES)
+                    })?,
+                    None => DagAlgoArg::HeteroPrio,
+                };
+                let out = cmd_dag(&kind, n, &platform, algo, &output_opts(&args), &args.faults)?;
+                emit(out, args.svg.as_ref())
+            } else {
+                let text = std::fs::read_to_string(first).map_err(|e| format!("{first}: {e}"))?;
+                let out = cmd_schedule(&text, &platform, args.algo, &output_opts(&args))?;
+                emit(out, args.svg.as_ref())
+            }
         }
         "audit" => {
             let platform = platform_of(&args)?;

@@ -23,8 +23,10 @@
 //! the Algorithm 1 queue discipline as a [`KernelPolicy`] over an
 //! all-ready-at-zero [`Workload`].
 
+use crate::durability::{DurabilityOptions, KernelSnapshot, ResumeError};
 use crate::kernel::{
-    self, FaultModel, KernelContext, KernelOptions, KernelPolicy, Pick, RunningTask, Workload,
+    self, EngineError, FaultModel, KernelContext, KernelOptions, KernelPolicy, Pick, RunningTask,
+    SnapshotPolicy, Workload,
 };
 use crate::model::{Instance, Platform, ResourceKind, TaskId, WorkerId};
 use crate::schedule::Schedule;
@@ -257,6 +259,16 @@ impl KernelPolicy for IndependentPolicy<'_> {
     }
 }
 
+impl SnapshotPolicy for IndependentPolicy<'_> {
+    fn ready_order(&self) -> Vec<TaskId> {
+        self.queue.iter().copied().collect()
+    }
+    // The default `restore` (re-announce via `on_ready`) is exact here:
+    // `sorted_queue` is a deterministic total order under Priority ties and
+    // a stable sort under InsertionOrder ties, so feeding back the saved
+    // queue order reproduces it.
+}
+
 /// Run HeteroPrio (Algorithm 1) on an instance of independent tasks.
 pub fn heteroprio(
     instance: &Instance,
@@ -306,6 +318,68 @@ pub fn heteroprio_metered<S: TraceSink, M: MetricsRegistry + ?Sized>(
         spoliations: outcome.spoliations,
         summary: outcome.summary,
     }
+}
+
+/// [`heteroprio_metered`] through the durability plane: crash injection and
+/// checkpoint capture (see [`kernel::run_durable`]). Journaling is the
+/// caller's sink choice — pass a
+/// [`JournalSink`](heteroprio_trace::JournalSink).
+pub fn heteroprio_durable<S: TraceSink, M: MetricsRegistry + ?Sized>(
+    instance: &Instance,
+    platform: &Platform,
+    config: &HeteroPrioConfig,
+    durability: DurabilityOptions<'_>,
+    sink: &mut S,
+    metrics: &M,
+) -> Result<HeteroPrioResult, EngineError> {
+    let mut workload = IndependentWorkload { instance };
+    let mut policy = IndependentPolicy { instance, config: *config, queue: VecDeque::new() };
+    let outcome = kernel::run_durable(
+        platform,
+        &mut workload,
+        &mut policy,
+        FaultModel::none(),
+        KernelOptions { emit_decisions: false, metrics },
+        durability,
+        sink,
+    )?;
+    Ok(HeteroPrioResult {
+        schedule: outcome.schedule,
+        first_idle: outcome.first_idle,
+        spoliations: outcome.spoliations,
+        summary: outcome.summary,
+    })
+}
+
+/// Resume a crashed [`heteroprio_durable`] run from its recovered journal
+/// (and optionally a checkpoint); see [`kernel::resume`] for the contract.
+pub fn heteroprio_resume<S: TraceSink, M: MetricsRegistry + ?Sized>(
+    instance: &Instance,
+    platform: &Platform,
+    config: &HeteroPrioConfig,
+    snapshot: Option<&KernelSnapshot>,
+    journal: &[heteroprio_trace::SchedEvent],
+    sink: &mut S,
+    metrics: &M,
+) -> Result<HeteroPrioResult, ResumeError> {
+    let mut workload = IndependentWorkload { instance };
+    let mut policy = IndependentPolicy { instance, config: *config, queue: VecDeque::new() };
+    let outcome = kernel::resume(
+        platform,
+        &mut workload,
+        &mut policy,
+        FaultModel::none(),
+        KernelOptions { emit_decisions: false, metrics },
+        snapshot,
+        journal,
+        sink,
+    )?;
+    Ok(HeteroPrioResult {
+        schedule: outcome.schedule,
+        first_idle: outcome.first_idle,
+        spoliations: outcome.spoliations,
+        summary: outcome.summary,
+    })
 }
 
 #[cfg(test)]

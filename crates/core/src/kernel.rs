@@ -26,7 +26,20 @@
 //! fault plan is byte-identical to a fault-free run. Stochastic execution
 //! (jitter, task failures) uses a seeded RNG created only when a draw can
 //! actually happen.
+//!
+//! # Durability
+//!
+//! Determinism is also the recovery story: because every state transition
+//! is emitted as a trace event *before* its consequences are acted on, the
+//! event stream is a write-ahead journal. [`run_durable`] injects crashes
+//! ([`CrashPlan`](crate::durability::CrashPlan)) and captures periodic
+//! [`KernelSnapshot`]s; [`resume`]
+//! rebuilds a crashed run — from a snapshot plus the journal tail, or from
+//! the journal alone — verifies the replay event-for-event against the
+//! journal, and continues to completion. Policies participate through
+//! [`SnapshotPolicy`].
 
+use crate::durability::{schedule_from_events, DurabilityOptions, KernelSnapshot, ResumeError};
 use crate::heteroprio::WorkerOrder;
 use crate::model::{Platform, ResourceKind, TaskId, WorkerId};
 use crate::schedule::{Schedule, TaskRun};
@@ -99,9 +112,18 @@ impl RetryPolicy {
     pub const DEFAULT: RetryPolicy =
         RetryPolicy { max_attempts: 3, backoff_base: 1.0, backoff_cap: 64.0 };
 
+    /// Widest doubling [`RetryPolicy::delay_after`] ever computes. The
+    /// shift must be capped *before* the multiplier is built: `1u64 << 64`
+    /// is undefined (a panic in debug, a wrap in release), and past 2^63
+    /// the `backoff_cap` min dominates anyway.
+    pub const MAX_BACKOFF_SHIFT: u32 = 63;
+
     /// Backoff delay after the `failures`-th failed attempt (1-based).
+    /// Total for any `failures`, including `u32::MAX`: the exponent
+    /// saturates at [`RetryPolicy::MAX_BACKOFF_SHIFT`] and the result is
+    /// clamped to `backoff_cap`.
     pub fn delay_after(&self, failures: u32) -> f64 {
-        let exp = failures.saturating_sub(1).min(63);
+        let exp = failures.saturating_sub(1).min(Self::MAX_BACKOFF_SHIFT);
         (self.backoff_base * (1u64 << exp) as f64).min(self.backoff_cap)
     }
 }
@@ -164,7 +186,29 @@ pub enum EngineError {
     TaskAbandoned { task: u32, attempts: u32, time: f64 },
     /// Every worker is down with no recovery scheduled while tasks remain.
     AllWorkersDown { time: f64, remaining: usize },
+    /// An injected [`CrashPlan`](crate::durability::CrashPlan) fired: the
+    /// kernel "died" at simulated time `time` after emitting `events`
+    /// trace events. Recovery continues via [`resume`].
+    Crashed { time: f64, events: u64 },
 }
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::TaskAbandoned { task, attempts, time } => {
+                write!(f, "task {task} abandoned after {attempts} attempts at t={time}")
+            }
+            EngineError::AllWorkersDown { time, remaining } => {
+                write!(f, "all workers down at t={time} with {remaining} tasks remaining")
+            }
+            EngineError::Crashed { time, events } => {
+                write!(f, "injected crash at t={time} after {events} events")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// Kernel knobs that are engine-shape, not policy: whether the trace
 /// carries `PolicyDecision` events (the DAG simulator's vocabulary; the
@@ -353,8 +397,30 @@ pub trait KernelPolicy {
     }
 }
 
+/// A [`KernelPolicy`] that can be checkpointed and restored.
+///
+/// The only state a kernel policy may legally hold is a function of the
+/// tasks announced to it (and the public kernel context), so a snapshot
+/// needs just the ready set *in the policy's internal order* — restoring
+/// is re-announcing that list. Policies whose queue position depends on
+/// announcement order (insertion-ordered ties, FIFO sequence numbers)
+/// are exact under this protocol precisely because the order is preserved.
+pub trait SnapshotPolicy: KernelPolicy {
+    /// Ready tasks in the policy's internal queue order (front first).
+    fn ready_order(&self) -> Vec<TaskId>;
+
+    /// Rebuild internal state from a snapshot's ready list. The default
+    /// re-announces through [`KernelPolicy::on_ready`]; override only if
+    /// the policy carries state that announcement cannot reconstruct.
+    fn restore(&mut self, ready: &[TaskId], ctx: &KernelContext<'_>) {
+        self.on_ready(ready, ctx);
+    }
+}
+
+/// Lifecycle state of one task, exposed for
+/// [`KernelSnapshot`] serialization.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum TaskState {
+pub enum TaskState {
     Pending,
     Ready,
     Running,
@@ -380,14 +446,159 @@ pub fn run<W: Workload, P: KernelPolicy, S: TraceSink, M: MetricsRegistry + ?Siz
 ) -> Result<KernelOutcome, EngineError> {
     let mut kernel = Kernel::new(platform, workload.len(), faults, options, sink);
     kernel.run(workload, policy)?;
+    Ok(finish_outcome(kernel))
+}
+
+fn finish_outcome<S: TraceSink, M: MetricsRegistry + ?Sized>(
+    kernel: Kernel<'_, S, M>,
+) -> KernelOutcome {
     let mut summary = kernel.summary;
     summary.finish();
-    Ok(KernelOutcome {
+    KernelOutcome {
         schedule: kernel.schedule,
         first_idle: summary.first_idle,
         spoliations: summary.spoliation_count,
         summary,
-    })
+    }
+}
+
+/// [`run`] with the durability plane attached: an injected
+/// [`CrashPlan`](crate::durability::CrashPlan) and an optional checkpoint
+/// cadence. Checkpoints are captured at quiescent points (after the
+/// assignment fixpoint) and saved best-effort — the journal, fed through
+/// `sink`, remains the authoritative recovery source, so a failed save is
+/// latched in the store rather than aborting the run.
+pub fn run_durable<W, P, S, M>(
+    platform: &Platform,
+    workload: &mut W,
+    policy: &mut P,
+    faults: FaultModel,
+    options: KernelOptions<'_, M>,
+    durability: DurabilityOptions<'_>,
+    sink: &mut S,
+) -> Result<KernelOutcome, EngineError>
+where
+    W: Workload,
+    P: SnapshotPolicy,
+    S: TraceSink,
+    M: MetricsRegistry + ?Sized,
+{
+    let mut kernel = Kernel::new(platform, workload.len(), faults, options, sink);
+    kernel.crash_at = durability.crash.at_event;
+    kernel.checkpoint_every = durability.checkpoint_every;
+    let mut store = durability.store;
+    kernel.run_inner(workload, policy, None, &mut |k, p, now| {
+        if let Some(store) = store.as_deref_mut() {
+            let _ = store.save(&k.snapshot_of(p, now));
+        }
+    })?;
+    Ok(finish_outcome(kernel))
+}
+
+/// Verifies the resumed kernel's emissions against the journaled record
+/// while forwarding everything to the real sink. The first disagreement is
+/// latched (emission itself cannot fail mid-run); [`resume`] turns it into
+/// a typed [`ResumeError::Divergence`] at the end.
+struct VerifySink<'v, S: TraceSink> {
+    inner: &'v mut S,
+    expected: &'v [SchedEvent],
+    pos: usize,
+    mismatch: Option<(usize, SchedEvent)>,
+}
+
+impl<S: TraceSink> TraceSink for VerifySink<'_, S> {
+    fn emit(&mut self, event: SchedEvent) {
+        if self.pos < self.expected.len() {
+            if self.mismatch.is_none() && self.expected[self.pos] != event {
+                self.mismatch = Some((self.pos, event));
+            }
+            self.pos += 1;
+        }
+        self.inner.emit(event);
+    }
+
+    fn is_enabled(&self) -> bool {
+        self.inner.is_enabled()
+    }
+}
+
+/// Rebuild a crashed run from its recovered journal (and optionally a
+/// checkpoint) and drive it to completion.
+///
+/// The caller re-supplies the same platform, workload, policy, fault model
+/// and options as the recorded run; the kernel re-derives everything else.
+/// Without a snapshot the whole journaled prefix deterministically
+/// re-executes; with one, execution restarts at the snapshot instant and
+/// only the tail past it re-executes. Either way every re-emitted event
+/// inside the journaled range is checked against the journal record —
+/// a mismatch means the supplied inputs differ from the recorded run and
+/// yields [`ResumeError::Divergence`] instead of silent corruption. A
+/// snapshot taken *after* the last surviving journal record (its tail was
+/// lost with the page cache) is unusable and is ignored in favor of
+/// journal-only replay.
+///
+/// `sink` receives the full event stream from t = 0: the journaled prefix
+/// verbatim, then the continuation's events as they are produced. When
+/// appending the resumed run to the same journal, wrap it in
+/// `JournalSink::resuming(journal, journal.len())` so the prefix is not
+/// re-appended.
+#[allow(clippy::too_many_arguments)]
+pub fn resume<W, P, S, M>(
+    platform: &Platform,
+    workload: &mut W,
+    policy: &mut P,
+    faults: FaultModel,
+    options: KernelOptions<'_, M>,
+    snapshot: Option<&KernelSnapshot>,
+    journal: &[SchedEvent],
+    sink: &mut S,
+) -> Result<KernelOutcome, ResumeError>
+where
+    W: Workload,
+    P: SnapshotPolicy,
+    S: TraceSink,
+    M: MetricsRegistry + ?Sized,
+{
+    let snap = snapshot.filter(|s| (s.events_seen as usize) <= journal.len());
+    let (prefix, tail) = match snap {
+        Some(s) => journal.split_at(s.events_seen as usize),
+        None => journal.split_at(0),
+    };
+    // The forwarded prefix counts toward the trace-event metric so the
+    // counter always equals "events delivered to the sink", whether they
+    // came from the journal or from live execution.
+    if !prefix.is_empty() {
+        let counter = options.metrics.counter(metric::TRACE_EVENTS_TOTAL);
+        options.metrics.inc_by(counter, prefix.len() as u64);
+    }
+    for e in prefix {
+        sink.emit(*e);
+    }
+    let mut verify = VerifySink { inner: sink, expected: tail, pos: 0, mismatch: None };
+    let mut kernel = Kernel::new(platform, workload.len(), faults, options, &mut verify);
+    let run_result = match snap {
+        Some(s) => kernel
+            .restore_from(s, prefix, workload, policy)
+            .map_err(ResumeError::BadSnapshot)
+            .and_then(|()| {
+                kernel
+                    .run_inner(workload, policy, Some(s.now), &mut |_, _, _| {})
+                    .map_err(ResumeError::from)
+            }),
+        None => {
+            kernel.run_inner(workload, policy, None, &mut |_, _, _| {}).map_err(ResumeError::from)
+        }
+    };
+    let outcome = finish_outcome(kernel);
+    let produced = prefix.len() + verify.pos;
+    if let Some((i, got)) = verify.mismatch {
+        return Err(ResumeError::Divergence { index: prefix.len() + i, expected: tail[i], got });
+    }
+    run_result?;
+    if verify.pos < tail.len() {
+        return Err(ResumeError::ShortReplay { produced, journaled: journal.len() });
+    }
+    Ok(outcome)
 }
 
 /// The one discrete-event loop in the workspace. Owns time, the
@@ -429,6 +640,20 @@ struct Kernel<'a, S: TraceSink, M: MetricsRegistry + ?Sized> {
     /// Current ready-set size, mirrored into the [`metric::READY_DEPTH`]
     /// gauge.
     ready_depth: u64,
+    /// Trace events emitted so far (= journal length when journaling).
+    emitted: u64,
+    /// Injected crash point: die after this many emitted events.
+    crash_at: Option<u64>,
+    /// Latched once the crash point is reached; from then on the kernel
+    /// emits nothing (the journal ends exactly at the crash) and the run
+    /// aborts with [`EngineError::Crashed`].
+    crashed: bool,
+    /// Simulated time at which the crash fired.
+    crashed_time: f64,
+    /// Capture a snapshot every this-many emitted events.
+    checkpoint_every: Option<u64>,
+    /// Emission count at the last checkpoint.
+    last_checkpoint: u64,
 }
 
 impl<'a, S: TraceSink, M: MetricsRegistry + ?Sized> Kernel<'a, S, M> {
@@ -469,14 +694,39 @@ impl<'a, S: TraceSink, M: MetricsRegistry + ?Sized> Kernel<'a, S, M> {
             meter: Meter::new(options.metrics),
             options,
             ready_depth: 0,
+            emitted: 0,
+            crash_at: None,
+            crashed: false,
+            crashed_time: 0.0,
+            checkpoint_every: None,
+            last_checkpoint: 0,
         }
     }
 
     #[inline]
     fn emit(&mut self, event: SchedEvent) {
+        // A fired crash silences the funnel: the journal holds exactly the
+        // events emitted before the "process died", like a real crash.
+        if self.crashed {
+            return;
+        }
         self.meter.m.inc(self.meter.trace_events);
         self.summary.record(&event);
         self.sink.emit(event);
+        self.emitted += 1;
+        if self.crash_at == Some(self.emitted) {
+            self.crashed = true;
+            self.crashed_time = event.time();
+        }
+    }
+
+    #[inline]
+    fn crash_check(&self) -> Result<(), EngineError> {
+        if self.crashed {
+            Err(EngineError::Crashed { time: self.crashed_time, events: self.emitted })
+        } else {
+            Ok(())
+        }
     }
 
     fn context(&self, now: f64) -> KernelContext<'_> {
@@ -853,14 +1103,47 @@ impl<'a, S: TraceSink, M: MetricsRegistry + ?Sized> Kernel<'a, S, M> {
         workload: &mut W,
         policy: &mut P,
     ) -> Result<(), EngineError> {
+        self.run_inner(workload, policy, None, &mut |_, _, _| {})
+    }
+
+    fn checkpoint_due(&self) -> bool {
+        match self.checkpoint_every {
+            Some(n) => !self.crashed && self.emitted.saturating_sub(self.last_checkpoint) >= n,
+            None => false,
+        }
+    }
+
+    /// The main loop, parameterized for durability: `resume_at` skips the
+    /// t=0 prologue and picks up at a restored snapshot's time;
+    /// `checkpoint` is invoked at quiescent points (post-fixpoint) when
+    /// the checkpoint cadence is due.
+    fn run_inner<W, P, F>(
+        &mut self,
+        workload: &mut W,
+        policy: &mut P,
+        resume_at: Option<f64>,
+        checkpoint: &mut F,
+    ) -> Result<(), EngineError>
+    where
+        W: Workload,
+        P: KernelPolicy,
+        F: FnMut(&Self, &P, f64),
+    {
         let meter = self.meter;
         let _run_span = ScopedTimer::start(meter.m, meter.run_ns);
         let total = workload.len();
-        let mut now = 0.0;
-        let initial = workload.initial();
-        self.announce_ready(policy, &initial, now);
-        self.process_faults_at(policy, now);
-        self.assign_fixpoint(workload, policy, now);
+        let mut now = resume_at.unwrap_or(0.0);
+        if resume_at.is_none() {
+            let initial = workload.initial();
+            self.announce_ready(policy, &initial, now);
+            self.process_faults_at(policy, now);
+            self.assign_fixpoint(workload, policy, now);
+            self.crash_check()?;
+            if self.checkpoint_due() {
+                checkpoint(self, policy, now);
+                self.last_checkpoint = self.emitted;
+            }
+        }
         while self.completed < total {
             let Some(t) = self.next_time(workload) else {
                 if self.alive.iter().any(|&a| a) {
@@ -886,7 +1169,12 @@ impl<'a, S: TraceSink, M: MetricsRegistry + ?Sized> Kernel<'a, S, M> {
                 } else if t2 == now {
                     self.events.pop();
                     meter.m.inc(meter.events_total);
-                    self.finish_run(workload, policy, WorkerId(w2), now)?;
+                    // A crash during the dispatch outranks the engine
+                    // error the dispatch may have produced: state changes
+                    // past the crash point never "happened".
+                    let finished = self.finish_run(workload, policy, WorkerId(w2), now);
+                    self.crash_check()?;
+                    finished?;
                 } else {
                     break;
                 }
@@ -894,7 +1182,320 @@ impl<'a, S: TraceSink, M: MetricsRegistry + ?Sized> Kernel<'a, S, M> {
             self.process_faults_at(policy, now);
             self.process_retries_at(policy, now);
             self.assign_fixpoint(workload, policy, now);
+            self.crash_check()?;
+            if self.checkpoint_due() {
+                checkpoint(self, policy, now);
+                self.last_checkpoint = self.emitted;
+            }
         }
+        self.crash_check()
+    }
+
+    /// Capture the complete kernel state at a quiescent point. `now` is
+    /// the loop's current instant (snapshots are taken post-fixpoint).
+    fn snapshot_of<P: SnapshotPolicy>(&self, policy: &P, now: f64) -> KernelSnapshot {
+        let mut heap: Vec<(f64, u32, u64)> = self
+            .events
+            .iter()
+            .filter(|&&Reverse((_, w, g))| self.generation[w as usize] == g)
+            .map(|&Reverse((F64Ord(t), w, g))| (t, w, g))
+            .collect();
+        heap.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut retries: Vec<(f64, u32)> =
+            self.retries.iter().map(|&Reverse((F64Ord(t), task))| (t, task)).collect();
+        retries.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        KernelSnapshot {
+            now,
+            events_seen: self.emitted,
+            workers: self.platform.workers(),
+            tasks: self.state.len(),
+            state: self.state.clone(),
+            ran_kind: self.ran_kind.clone(),
+            running: self.running.clone(),
+            generation: self.generation.clone(),
+            heap,
+            idle: self.idle.iter().map(|w| w.0).collect(),
+            idle_announced: self.idle_announced.clone(),
+            alive: self.alive.clone(),
+            will_fail: self.will_fail.clone(),
+            failures: self.failures.clone(),
+            timeline_pos: self.timeline_pos,
+            retries,
+            rng: self.rng.as_ref().map(StdRng::state),
+            ready: policy.ready_order(),
+        }
+    }
+
+    /// Rebuild mid-run state from a snapshot plus the journaled event
+    /// prefix it corresponds to. The prefix feeds the trace summary and
+    /// the schedule (both are event-derived); the snapshot supplies
+    /// everything else, including the actual heap instants and RNG state.
+    fn restore_from<W: Workload, P: SnapshotPolicy>(
+        &mut self,
+        snap: &KernelSnapshot,
+        prefix: &[SchedEvent],
+        workload: &mut W,
+        policy: &mut P,
+    ) -> Result<(), String> {
+        snap.validate()?;
+        if snap.tasks != self.state.len() {
+            return Err(format!(
+                "snapshot has {} tasks, workload has {}",
+                snap.tasks,
+                self.state.len()
+            ));
+        }
+        if snap.workers != self.platform.workers() {
+            return Err(format!(
+                "snapshot has {} workers, platform has {}",
+                snap.workers,
+                self.platform.workers()
+            ));
+        }
+        if prefix.len() as u64 != snap.events_seen {
+            return Err(format!(
+                "snapshot was taken at event {}, but {} journaled events were supplied",
+                snap.events_seen,
+                prefix.len()
+            ));
+        }
+        for e in prefix {
+            self.summary.record(e);
+        }
+        self.schedule = schedule_from_events(prefix);
+        self.state = snap.state.clone();
+        self.ran_kind = snap.ran_kind.clone();
+        self.running = snap.running.clone();
+        self.generation = snap.generation.clone();
+        self.events = snap.heap.iter().map(|&(t, w, g)| Reverse((F64Ord::new(t), w, g))).collect();
+        self.idle = snap.idle.iter().map(|&w| WorkerId(w)).collect();
+        self.completed = snap.state.iter().filter(|&&s| s == TaskState::Done).count();
+        self.idle_announced = snap.idle_announced.clone();
+        self.alive = snap.alive.clone();
+        self.will_fail = snap.will_fail.clone();
+        self.failures = snap.failures.clone();
+        self.timeline_pos = snap.timeline_pos;
+        self.retries =
+            snap.retries.iter().map(|&(t, task)| Reverse((F64Ord::new(t), task))).collect();
+        match (snap.rng, self.rng.as_mut()) {
+            (Some(words), Some(rng)) => *rng = StdRng::from_state(words),
+            (None, None) => {}
+            (have, _) => {
+                return Err(format!(
+                    "snapshot {} RNG state but the fault model {} stochastic",
+                    if have.is_some() { "carries" } else { "lacks" },
+                    if have.is_some() { "is not" } else { "is" },
+                ))
+            }
+        }
+        self.emitted = snap.events_seen;
+        self.last_checkpoint = snap.events_seen;
+        self.ready_depth = snap.ready.len() as u64;
+        // Replay the workload's own cursor: everything announced before
+        // the snapshot has been consumed — initial tasks, arrivals up to
+        // `now`, and the dependency releases of each completed task (in
+        // completion order, read off the rebuilt schedule).
+        let _ = workload.initial();
+        let _ = workload.arrivals_due(snap.now);
+        for run in &self.schedule.runs {
+            let _ = workload.on_complete(run.task);
+        }
+        policy.restore(&snap.ready, &self.context(snap.now));
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::durability::{CrashPlan, MemCheckpointStore};
+    use crate::heteroprio::{
+        heteroprio_durable, heteroprio_resume, heteroprio_traced, HeteroPrioConfig,
+    };
+    use crate::model::Instance;
+    use heteroprio_trace::{Journal, JournalSink, MemJournal, VecSink};
+
+    #[test]
+    fn backoff_delay_is_total_and_capped() {
+        let retry = RetryPolicy { max_attempts: u32::MAX, backoff_base: 0.5, backoff_cap: 1e6 };
+        assert_eq!(retry.delay_after(0), 0.5);
+        assert_eq!(retry.delay_after(1), 0.5);
+        assert_eq!(retry.delay_after(2), 1.0);
+        // Large failure counts saturate the shift (a shift of 64+ would
+        // panic in debug builds) and clamp to the cap.
+        for failures in [53, 63, 64, 65, 1_000, u32::MAX] {
+            let d = retry.delay_after(failures);
+            assert!(d.is_finite(), "delay_after({failures}) = {d}");
+            assert_eq!(d, 1e6);
+        }
+        // Even when base · 2^63 overflows to infinity, the cap wins.
+        let retry = RetryPolicy { max_attempts: 3, backoff_base: f64::MAX, backoff_cap: 7.0 };
+        assert_eq!(retry.delay_after(u32::MAX), 7.0);
+    }
+
+    fn spoliation_instance() -> (Instance, Platform) {
+        // Mixed affinities on 2 CPUs + 1 GPU: exercises queue pops from
+        // both ends and at least one spoliation (a CPU parks on a
+        // GPU-friendly 100/1 task; the GPU drains the queue and steals it).
+        let inst = Instance::from_times(&[
+            (100.0, 1.0),
+            (100.0, 1.0),
+            (100.0, 1.0),
+            (1.0, 10.0),
+            (2.0, 8.0),
+            (90.0, 2.0),
+        ]);
+        (inst, Platform::new(2, 1))
+    }
+
+    #[test]
+    fn every_crash_point_resumes_to_a_bit_identical_stream() {
+        let (inst, plat) = spoliation_instance();
+        let config = HeteroPrioConfig::new();
+        let mut full = VecSink::new();
+        let reference = heteroprio_traced(&inst, &plat, &config, &mut full);
+        assert!(reference.spoliations > 0, "test instance should spoliate");
+        let total = full.events.len() as u64;
+        for crash_at in 1..=total {
+            let mut journal = MemJournal::new();
+            {
+                let mut sink = JournalSink::new(&mut journal);
+                let err = heteroprio_durable(
+                    &inst,
+                    &plat,
+                    &config,
+                    DurabilityOptions {
+                        crash: CrashPlan::at_event(crash_at),
+                        checkpoint_every: None,
+                        store: None,
+                    },
+                    &mut sink,
+                    &heteroprio_metrics::NullRegistry,
+                )
+                .expect_err("crash plan must fire");
+                assert_eq!(err, EngineError::Crashed { time: err_time(&err), events: crash_at });
+            }
+            assert_eq!(journal.len() as u64, crash_at, "journal ends exactly at the crash");
+            let prefix = journal.replay().expect("replay");
+            let mut resumed = VecSink::new();
+            let res = heteroprio_resume(
+                &inst,
+                &plat,
+                &config,
+                None,
+                &prefix,
+                &mut resumed,
+                &heteroprio_metrics::NullRegistry,
+            )
+            .expect("resume");
+            assert_eq!(resumed.events, full.events, "crash at {crash_at}");
+            assert_eq!(res.schedule.runs, reference.schedule.runs);
+            assert_eq!(res.schedule.aborted, reference.schedule.aborted);
+        }
+    }
+
+    fn err_time(err: &EngineError) -> f64 {
+        match *err {
+            EngineError::Crashed { time, .. } => time,
+            ref other => panic!("expected Crashed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_resume_matches_and_survives_json_round_trip() {
+        let (inst, plat) = spoliation_instance();
+        let config = HeteroPrioConfig::new();
+        let mut full = VecSink::new();
+        let reference = heteroprio_traced(&inst, &plat, &config, &mut full);
+        let total = full.events.len() as u64;
+        for crash_at in 2..=total {
+            let mut journal = MemJournal::new();
+            let mut store = MemCheckpointStore::new();
+            {
+                let mut sink = JournalSink::new(&mut journal);
+                heteroprio_durable(
+                    &inst,
+                    &plat,
+                    &config,
+                    DurabilityOptions {
+                        crash: CrashPlan::at_event(crash_at),
+                        checkpoint_every: Some(2),
+                        store: Some(&mut store),
+                    },
+                    &mut sink,
+                    &heteroprio_metrics::NullRegistry,
+                )
+                .expect_err("crash plan must fire");
+            }
+            let prefix = journal.replay().expect("replay");
+            // The persisted form round-trips through JSON, like the real
+            // file-backed store.
+            let snapshot = store
+                .latest
+                .as_ref()
+                .map(|s| KernelSnapshot::parse(&s.to_json()).expect("snapshot round trip"));
+            let mut resumed = VecSink::new();
+            let res = heteroprio_resume(
+                &inst,
+                &plat,
+                &config,
+                snapshot.as_ref(),
+                &prefix,
+                &mut resumed,
+                &heteroprio_metrics::NullRegistry,
+            )
+            .expect("resume");
+            assert_eq!(resumed.events, full.events, "crash at {crash_at}");
+            assert_eq!(res.schedule.runs, reference.schedule.runs);
+            assert_eq!(res.schedule.aborted, reference.schedule.aborted);
+        }
+    }
+
+    #[test]
+    fn divergent_inputs_are_reported_not_silently_accepted() {
+        let (inst, plat) = spoliation_instance();
+        let config = HeteroPrioConfig::new();
+        let mut full = VecSink::new();
+        heteroprio_traced(&inst, &plat, &config, &mut full);
+        // Resume against a different instance: replay must flag the
+        // divergence instead of producing a plausible-looking schedule.
+        let other = Instance::from_times(&[(1.0, 8.0), (2.0, 6.0), (4.0, 4.0)]);
+        let result = heteroprio_resume(
+            &other,
+            &plat,
+            &config,
+            None,
+            &full.events,
+            &mut heteroprio_trace::NullSink,
+            &heteroprio_metrics::NullRegistry,
+        );
+        assert!(
+            matches!(
+                result,
+                Err(ResumeError::Divergence { .. }) | Err(ResumeError::ShortReplay { .. })
+            ),
+            "got {result:?}"
+        );
+    }
+
+    #[test]
+    fn resume_of_a_complete_journal_reproduces_the_run() {
+        let (inst, plat) = spoliation_instance();
+        let config = HeteroPrioConfig::new();
+        let mut full = VecSink::new();
+        let reference = heteroprio_traced(&inst, &plat, &config, &mut full);
+        let mut resumed = VecSink::new();
+        let res = heteroprio_resume(
+            &inst,
+            &plat,
+            &config,
+            None,
+            &full.events,
+            &mut resumed,
+            &heteroprio_metrics::NullRegistry,
+        )
+        .expect("resume");
+        assert_eq!(resumed.events, full.events);
+        assert_eq!(res.schedule.runs, reference.schedule.runs);
     }
 }

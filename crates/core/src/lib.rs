@@ -38,6 +38,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod durability;
 pub mod gantt;
 pub mod heteroprio;
 pub mod kernel;
@@ -49,9 +50,14 @@ pub mod schedule;
 pub mod theory;
 pub mod time;
 
+pub use durability::{
+    schedule_from_events, CheckpointStore, CrashPlan, DurabilityOptions, FileCheckpointStore,
+    KernelSnapshot, MemCheckpointStore, MeteredJournal, ResumeError,
+};
 pub use heteroprio::{
-    heteroprio, heteroprio_metered, heteroprio_traced, sorted_queue, HeteroPrioConfig,
-    HeteroPrioResult, QueueTieBreak, SpoliationTieBreak, WorkerOrder,
+    heteroprio, heteroprio_durable, heteroprio_metered, heteroprio_resume, heteroprio_traced,
+    sorted_queue, HeteroPrioConfig, HeteroPrioResult, QueueTieBreak, SpoliationTieBreak,
+    WorkerOrder,
 };
 pub use model::{Instance, ModelError, Platform, ResourceKind, Task, TaskId, WorkerId};
 pub use online::{heteroprio_online, heteroprio_online_traced};

@@ -73,6 +73,14 @@ impl AffinityQueue {
     pub fn is_empty(&self) -> bool {
         self.set.is_empty()
     }
+
+    /// Tasks from the GPU end to the CPU end, for snapshot capture.
+    /// Re-pushing them in this order reproduces the queue exactly: fresh
+    /// sequence numbers are assigned ascending in iteration order, which
+    /// preserves every FIFO tie.
+    pub fn iter(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.set.iter().map(|&(_, _, _, task)| task)
+    }
 }
 
 #[cfg(test)]

@@ -2,17 +2,24 @@
 
 use crate::handles::{Access, DataHandle};
 use heteroprio_bounds::dag_lower_bound;
-use heteroprio_core::{HeteroPrioConfig, Platform, Schedule, Task, TaskId};
+use heteroprio_core::{
+    DurabilityOptions, HeteroPrioConfig, KernelSnapshot, Platform, Schedule, Task, TaskId,
+};
 use heteroprio_metrics::{MetricsRegistry, NullRegistry};
 use heteroprio_schedulers::{
     heft, DualHpDagPolicy, DualHpRank, HeftVariant, HeteroPrioDagPolicy, PriorityListPolicy,
 };
-use heteroprio_simulator::{try_simulate_faulty_metered, FaultPlan, OnlinePolicy, TransferModel};
+use heteroprio_simulator::{
+    try_resume_faulty, try_simulate_durable, try_simulate_faulty_metered, FaultPlan, OnlinePolicy,
+    SimError, SnapshotOnlinePolicy, TransferModel,
+};
 use heteroprio_taskgraph::{
     apply_bottom_level_priorities, check_precedence, CycleError, DagBuilder, TaskGraph,
     WeightScheme,
 };
-use heteroprio_trace::{NullSink, SchedEvent, TraceSummary, VecSink};
+use heteroprio_trace::{
+    Journal, JournalSink, NullSink, SchedEvent, TeeSink, TraceSummary, VecSink,
+};
 
 /// Which scheduler executes the submitted graph.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -25,6 +32,17 @@ pub enum Scheduler {
     Heft(WeightScheme, HeftVariant),
     /// Plain priority list scheduling (no affinity, no spoliation).
     PriorityList(WeightScheme),
+}
+
+impl Scheduler {
+    /// Whether this scheduler runs inside the event kernel and can
+    /// therefore journal and resume. Static HEFT builds its schedule
+    /// offline and never enters the kernel. Callers should check this
+    /// *before* creating journal or checkpoint files, so a rejected run
+    /// leaves nothing behind.
+    pub fn supports_durable(&self) -> bool {
+        !matches!(self, Scheduler::Heft(..))
+    }
 }
 
 impl Default for Scheduler {
@@ -56,6 +74,25 @@ pub struct Report {
 impl Report {
     pub fn ratio(&self) -> f64 {
         self.makespan / self.lower_bound
+    }
+}
+
+/// What a durable run produced: a finished [`Report`], or the injected
+/// crash point. On a crash everything emitted before the cut is already in
+/// the journal, ready for [`Runtime::resume_from`].
+#[derive(Debug)]
+pub enum DurableOutcome {
+    Completed(Box<Report>),
+    Crashed { time: f64, events: u64 },
+}
+
+impl DurableOutcome {
+    /// The report, if the run survived to the end.
+    pub fn report(self) -> Option<Report> {
+        match self {
+            DurableOutcome::Completed(r) => Some(*r),
+            DurableOutcome::Crashed { .. } => None,
+        }
     }
 }
 
@@ -270,32 +307,257 @@ impl Runtime {
                 run_policy(&graph, &platform, &mut policy, &transfer, &plan, record, metrics)?
             }
         };
-        if plan.is_none() {
-            schedule
-                .validate_with_overhead(graph.instance(), &platform, transfer.cross_class_penalty)
-                .map_err(|e| format!("invalid schedule: {e}"))?;
-        } else {
-            // Jitter perturbs durations and failures truncate aborted runs,
-            // so only the duration-agnostic invariants can be enforced.
-            schedule
-                .validate_structure(graph.instance(), &platform)
-                .map_err(|e| format!("invalid schedule: {e}"))?;
-        }
-        check_precedence(&graph, &schedule)?;
-        let makespan = schedule.makespan();
-        let spoliations = schedule.spoliation_count();
-        let lower_bound = dag_lower_bound(&graph, &platform);
-        Ok(Report {
-            graph,
-            schedule,
-            makespan,
-            lower_bound,
-            spoliations,
-            summary,
-            events,
-            fault_plan: plan,
-        })
+        finish_report(graph, &platform, &transfer, plan, schedule, summary, events)
     }
+
+    /// [`Runtime::run_traced`] with the event stream additionally appended
+    /// to `journal` as it is emitted, and an optional crash/checkpoint plan.
+    /// An injected crash ([`heteroprio_core::CrashPlan`]) cuts the run at
+    /// the chosen event and returns [`DurableOutcome::Crashed`]; the journal
+    /// then holds exactly the pre-crash prefix. Static HEFT builds its
+    /// schedule outside the kernel and cannot journal.
+    pub fn run_durable<J, M>(
+        self,
+        scheduler: Scheduler,
+        journal: &mut J,
+        durability: DurabilityOptions<'_>,
+        metrics: &M,
+    ) -> Result<DurableOutcome, String>
+    where
+        J: Journal,
+        M: MetricsRegistry + ?Sized,
+    {
+        let platform = self.platform.ok_or("runtime has no platform")?;
+        let transfer = self.transfer;
+        let plan = self.faults;
+        let mut graph = self.builder.build().map_err(|e| e.to_string())?;
+        if graph.is_empty() {
+            return Err("no tasks were submitted".to_string());
+        }
+        let mut policy = durable_policy(scheduler, &mut graph)?;
+        let mut events = VecSink::new();
+        let mut jsink = JournalSink::new(journal);
+        let res = try_simulate_durable(
+            &graph,
+            &platform,
+            &mut PolicyRef(policy.as_mut()),
+            &transfer,
+            &plan,
+            durability,
+            &mut TeeSink(&mut events, &mut jsink),
+            metrics,
+        );
+        if let Some(e) = jsink.error() {
+            return Err(format!("journal append failed: {e}"));
+        }
+        // Commit the tail: the sync cadence only bounds loss *during* the
+        // run; at completion (or at a simulated crash, whose report points
+        // the user at this journal) the whole stream must be durable.
+        journal.sync().map_err(|e| format!("final journal sync failed: {e}"))?;
+        let res = match res {
+            Ok(r) => r,
+            Err(SimError::Crashed { time, events }) => {
+                return Ok(DurableOutcome::Crashed { time, events })
+            }
+            Err(e) => return Err(e.to_string()),
+        };
+        let report = finish_report(
+            graph,
+            &platform,
+            &transfer,
+            plan,
+            res.schedule,
+            res.summary,
+            events.into_events(),
+        )?;
+        Ok(DurableOutcome::Completed(Box::new(report)))
+    }
+
+    /// Recover an interrupted durable run: replay the journal (and apply
+    /// `snapshot`, when one was checkpointed) to rebuild the exact kernel
+    /// state, then continue to completion. The continuation is appended to
+    /// `journal`, so after a successful resume the journal holds the full
+    /// stream; [`Report::events`] holds it too. Replay is verified
+    /// event-for-event — a journal from different inputs is rejected, never
+    /// silently accepted.
+    pub fn resume_from<J, M>(
+        self,
+        scheduler: Scheduler,
+        snapshot: Option<&KernelSnapshot>,
+        journal: &mut J,
+        metrics: &M,
+    ) -> Result<Report, String>
+    where
+        J: Journal,
+        M: MetricsRegistry + ?Sized,
+    {
+        let platform = self.platform.ok_or("runtime has no platform")?;
+        let transfer = self.transfer;
+        let plan = self.faults;
+        let mut graph = self.builder.build().map_err(|e| e.to_string())?;
+        if graph.is_empty() {
+            return Err("no tasks were submitted".to_string());
+        }
+        let tail = journal.replay().map_err(|e| format!("journal replay failed: {e}"))?;
+        let mut policy = durable_policy(scheduler, &mut graph)?;
+        let mut events = VecSink::new();
+        let mut jsink = JournalSink::resuming(journal, tail.len());
+        let res = try_resume_faulty(
+            &graph,
+            &platform,
+            &mut PolicyRef(policy.as_mut()),
+            &transfer,
+            &plan,
+            snapshot,
+            &tail,
+            &mut TeeSink(&mut events, &mut jsink),
+            metrics,
+        )
+        .map_err(|e| e.to_string())?;
+        if let Some(e) = jsink.error() {
+            return Err(format!("journal append failed: {e}"));
+        }
+        // After a successful resume the journal holds the full stream —
+        // make the appended continuation durable before reporting success.
+        journal.sync().map_err(|e| format!("final journal sync failed: {e}"))?;
+        finish_report(
+            graph,
+            &platform,
+            &transfer,
+            plan,
+            res.schedule,
+            res.summary,
+            events.into_events(),
+        )
+    }
+}
+
+/// The durable entry points dispatch on [`Scheduler`] at runtime, so the
+/// three snapshotable policies are handled behind one object-safe facade.
+trait ErasedSnapshotPolicy {
+    fn as_online(&mut self) -> &mut dyn OnlinePolicy;
+    fn ready_order_erased(&self) -> Vec<TaskId>;
+    fn worker_order_erased(&self) -> heteroprio_core::WorkerOrder;
+}
+
+impl<P: SnapshotOnlinePolicy> ErasedSnapshotPolicy for P {
+    fn as_online(&mut self) -> &mut dyn OnlinePolicy {
+        self
+    }
+
+    fn ready_order_erased(&self) -> Vec<TaskId> {
+        self.ready_order()
+    }
+
+    fn worker_order_erased(&self) -> heteroprio_core::WorkerOrder {
+        self.worker_order()
+    }
+}
+
+/// Wrapper giving `&mut dyn ErasedSnapshotPolicy` the concrete
+/// [`SnapshotOnlinePolicy`] bound the engine entry points require.
+struct PolicyRef<'p>(&'p mut dyn ErasedSnapshotPolicy);
+
+impl OnlinePolicy for PolicyRef<'_> {
+    fn init(&mut self, graph: &TaskGraph, platform: &Platform) {
+        self.0.as_online().init(graph, platform);
+    }
+
+    fn on_ready(&mut self, tasks: &[TaskId], ctx: &heteroprio_simulator::SimContext<'_>) {
+        self.0.as_online().on_ready(tasks, ctx);
+    }
+
+    fn pick_task(
+        &mut self,
+        worker: heteroprio_core::WorkerId,
+        ctx: &heteroprio_simulator::SimContext<'_>,
+    ) -> Option<TaskId> {
+        self.0.as_online().pick_task(worker, ctx)
+    }
+
+    fn spoliation_victim(
+        &mut self,
+        worker: heteroprio_core::WorkerId,
+        ctx: &heteroprio_simulator::SimContext<'_>,
+    ) -> Option<heteroprio_core::WorkerId> {
+        self.0.as_online().spoliation_victim(worker, ctx)
+    }
+
+    fn worker_order(&self) -> heteroprio_core::WorkerOrder {
+        // `as_online` needs `&mut`; route through the erased trait instead.
+        self.0.worker_order_erased()
+    }
+}
+
+impl SnapshotOnlinePolicy for PolicyRef<'_> {
+    fn ready_order(&self) -> Vec<TaskId> {
+        self.0.ready_order_erased()
+    }
+}
+
+/// Build the snapshotable policy for `scheduler`, applying its priority
+/// scheme to `graph`. Static HEFT has no online state to journal.
+fn durable_policy(
+    scheduler: Scheduler,
+    graph: &mut TaskGraph,
+) -> Result<Box<dyn ErasedSnapshotPolicy>, String> {
+    Ok(match scheduler {
+        Scheduler::HeteroPrio(scheme) => {
+            apply_bottom_level_priorities(graph, scheme);
+            Box::new(HeteroPrioDagPolicy::new(HeteroPrioConfig::new()))
+        }
+        Scheduler::DualHp(rank, scheme) => {
+            apply_bottom_level_priorities(graph, scheme);
+            Box::new(DualHpDagPolicy::new(rank))
+        }
+        Scheduler::PriorityList(scheme) => {
+            apply_bottom_level_priorities(graph, scheme);
+            Box::new(PriorityListPolicy::new())
+        }
+        Scheduler::Heft(..) => {
+            return Err("static HEFT builds its schedule outside the kernel and cannot journal; \
+                 use an online scheduler"
+                .to_string())
+        }
+    })
+}
+
+/// Validate the finished schedule and assemble the [`Report`] (shared by
+/// the plain, durable and resumed execution paths).
+fn finish_report(
+    graph: TaskGraph,
+    platform: &Platform,
+    transfer: &TransferModel,
+    plan: FaultPlan,
+    schedule: Schedule,
+    summary: TraceSummary,
+    events: Vec<SchedEvent>,
+) -> Result<Report, String> {
+    if plan.is_none() {
+        schedule
+            .validate_with_overhead(graph.instance(), platform, transfer.cross_class_penalty)
+            .map_err(|e| format!("invalid schedule: {e}"))?;
+    } else {
+        // Jitter perturbs durations and failures truncate aborted runs,
+        // so only the duration-agnostic invariants can be enforced.
+        schedule
+            .validate_structure(graph.instance(), platform)
+            .map_err(|e| format!("invalid schedule: {e}"))?;
+    }
+    check_precedence(&graph, &schedule)?;
+    let makespan = schedule.makespan();
+    let spoliations = schedule.spoliation_count();
+    let lower_bound = dag_lower_bound(&graph, platform);
+    Ok(Report {
+        graph,
+        schedule,
+        makespan,
+        lower_bound,
+        spoliations,
+        summary,
+        events,
+        fault_plan: plan,
+    })
 }
 
 #[cfg(test)]
@@ -477,6 +739,92 @@ mod tests {
         let faulty = build().with_faults(FaultPlan::NONE).run(Scheduler::default()).unwrap();
         assert_eq!(plain.makespan, faulty.makespan);
         assert_eq!(plain.schedule.runs, faulty.schedule.runs);
+    }
+
+    #[test]
+    fn crash_and_resume_matches_the_uninterrupted_run() {
+        use heteroprio_core::{CrashPlan, MemCheckpointStore};
+        use heteroprio_trace::MemJournal;
+        let build = || {
+            let mut rt = Runtime::new(Platform::new(2, 1));
+            let cells: Vec<DataHandle> = (0..4).map(|_| rt.register_data("c")).collect();
+            for _ in 0..3 {
+                for &c in &cells {
+                    rt.submit(unit(3.0, 1.0), "sweep", &[(c, Access::ReadWrite)]);
+                }
+            }
+            rt
+        };
+        for scheduler in [
+            Scheduler::HeteroPrio(WeightScheme::Min),
+            Scheduler::DualHp(DualHpRank::Priority, WeightScheme::Min),
+            Scheduler::PriorityList(WeightScheme::Min),
+        ] {
+            let reference = build().run_traced(scheduler).unwrap();
+            let total = reference.events.len() as u64;
+            for crash_at in [1, total / 2, total] {
+                let mut journal = MemJournal::new();
+                let mut store = MemCheckpointStore::default();
+                let durability = DurabilityOptions {
+                    crash: CrashPlan::at_event(crash_at),
+                    checkpoint_every: Some(3),
+                    store: Some(&mut store),
+                };
+                let outcome = build()
+                    .run_durable(scheduler, &mut journal, durability, &NullRegistry)
+                    .unwrap();
+                assert!(
+                    matches!(outcome, DurableOutcome::Crashed { events, .. } if events == crash_at)
+                );
+                assert_eq!(journal.len() as u64, crash_at);
+                let resumed = build()
+                    .resume_from(scheduler, store.latest.as_ref(), &mut journal, &NullRegistry)
+                    .unwrap();
+                assert_eq!(resumed.events, reference.events, "{scheduler:?} @ {crash_at}");
+                assert_eq!(resumed.schedule.runs, reference.schedule.runs);
+                // The journal now holds the full stream again, and both the
+                // crashed run and the resume committed their tails.
+                assert_eq!(journal.events(), reference.events.as_slice());
+                assert!(journal.syncs() >= 2, "final syncs at crash and at resume");
+            }
+        }
+    }
+
+    #[test]
+    fn durable_run_without_crash_completes_and_journals_everything() {
+        use heteroprio_trace::MemJournal;
+        let build = || {
+            let mut rt = Runtime::new(Platform::new(1, 1));
+            let a = rt.register_data("a");
+            for _ in 0..4 {
+                rt.submit(unit(2.0, 1.0), "step", &[(a, Access::ReadWrite)]);
+            }
+            rt
+        };
+        let reference = build().run_traced(Scheduler::default()).unwrap();
+        let mut journal = MemJournal::new();
+        let report = build()
+            .run_durable(
+                Scheduler::default(),
+                &mut journal,
+                DurabilityOptions::default(),
+                &NullRegistry,
+            )
+            .unwrap()
+            .report()
+            .expect("no crash was injected");
+        assert_eq!(report.events, reference.events);
+        assert_eq!(journal.events(), reference.events.as_slice());
+        assert_eq!(journal.syncs(), 1, "completion commits the journal tail");
+        // HEFT has no kernel to journal.
+        let mut journal = MemJournal::new();
+        let err = build().run_durable(
+            Scheduler::Heft(WeightScheme::Avg, HeftVariant::Insertion),
+            &mut journal,
+            DurabilityOptions::default(),
+            &NullRegistry,
+        );
+        assert!(err.unwrap_err().contains("cannot journal"));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use heteroprio_core::time::F64Ord;
 use heteroprio_core::{TaskId, WorkerId, WorkerOrder};
-use heteroprio_simulator::{OnlinePolicy, SimContext};
+use heteroprio_simulator::{OnlinePolicy, SimContext, SnapshotOnlinePolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
@@ -41,6 +41,14 @@ impl OnlinePolicy for PriorityListPolicy {
 
     fn worker_order(&self) -> WorkerOrder {
         WorkerOrder::ById
+    }
+}
+
+impl SnapshotOnlinePolicy for PriorityListPolicy {
+    // The set order is canonical (priority, id), independent of insertion
+    // order, so the default re-announcing `restore` is trivially exact.
+    fn ready_order(&self) -> Vec<TaskId> {
+        self.queue.iter().map(|&(_, t)| t).collect()
     }
 }
 

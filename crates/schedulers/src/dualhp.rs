@@ -22,7 +22,7 @@ use heteroprio_core::list::list_schedule;
 use heteroprio_core::{
     Instance, Platform, ResourceKind, Schedule, TaskId, TaskRun, WorkerId, WorkerOrder,
 };
-use heteroprio_simulator::{OnlinePolicy, SimContext};
+use heteroprio_simulator::{OnlinePolicy, SimContext, SnapshotOnlinePolicy};
 
 /// Placement of every packed task: (task, worker, start, end).
 type Placements = Vec<(TaskId, WorkerId, f64, f64)>;
@@ -320,6 +320,17 @@ impl OnlinePolicy for DualHpDagPolicy {
 
     fn worker_order(&self) -> WorkerOrder {
         WorkerOrder::GpusFirst
+    }
+}
+
+impl SnapshotOnlinePolicy for DualHpDagPolicy {
+    // `pending` holds the full ready set in announcement order (sequence
+    // numbers ascend with pushes and survive `retain`). The default
+    // `restore` re-announces that list, assigning fresh ascending sequence
+    // numbers and marking the partition dirty, so the next pick re-runs the
+    // λ search on exactly the state the original run would have had.
+    fn ready_order(&self) -> Vec<TaskId> {
+        self.pending.iter().map(|&(t, _)| t).collect()
     }
 }
 

@@ -10,7 +10,7 @@ use heteroprio_core::time::strictly_less;
 use heteroprio_core::{
     AffinityQueue, HeteroPrioConfig, SpoliationTieBreak, TaskId, WorkerId, WorkerOrder,
 };
-use heteroprio_simulator::{OnlinePolicy, SimContext};
+use heteroprio_simulator::{OnlinePolicy, SimContext, SnapshotOnlinePolicy};
 
 /// HeteroPrio as an online policy for the runtime engine. The ready queue
 /// is the shared [`AffinityQueue`] (acceleration factor primary, the
@@ -68,6 +68,17 @@ impl OnlinePolicy for HeteroPrioDagPolicy {
 
     fn worker_order(&self) -> WorkerOrder {
         self.config.worker_order
+    }
+}
+
+impl SnapshotOnlinePolicy for HeteroPrioDagPolicy {
+    // The default `restore` (re-announce through `on_ready`) is exact: the
+    // affinity queue orders by acceleration factor, then the configured tie
+    // rule, then arrival sequence, and re-pushing in `iter()` order (GPU end
+    // to CPU end) assigns fresh ascending sequence numbers that reproduce
+    // the original arbitration.
+    fn ready_order(&self) -> Vec<TaskId> {
+        self.queue.iter().collect()
     }
 }
 

@@ -13,11 +13,15 @@
 //! policy interface.
 
 use crate::fault::{FaultPlan, SimError};
-use crate::policy::{OnlinePolicy, SimContext, TransferModel};
+use crate::policy::{OnlinePolicy, SimContext, SnapshotOnlinePolicy, TransferModel};
 use heteroprio_core::kernel::{
-    self, FaultModel, KernelContext, KernelOptions, KernelPolicy, Pick, TimelineEvent, Workload,
+    self, FaultModel, KernelContext, KernelOptions, KernelPolicy, Pick, SnapshotPolicy,
+    TimelineEvent, Workload,
 };
-use heteroprio_core::{Platform, ResourceKind, Schedule, TaskId, WorkerId, WorkerOrder};
+use heteroprio_core::{
+    DurabilityOptions, KernelSnapshot, Platform, ResourceKind, Schedule, TaskId, WorkerId,
+    WorkerOrder,
+};
 use heteroprio_metrics::{MetricsRegistry, NullRegistry};
 use heteroprio_taskgraph::{ReadyTracker, TaskGraph};
 use heteroprio_trace::{NullSink, TraceSink, TraceSummary};
@@ -271,6 +275,119 @@ impl<P: OnlinePolicy> KernelPolicy for PolicyAdapter<'_, P> {
     fn worker_order(&self) -> WorkerOrder {
         self.policy.worker_order()
     }
+}
+
+impl<P: SnapshotOnlinePolicy> SnapshotPolicy for PolicyAdapter<'_, P> {
+    fn ready_order(&self) -> Vec<TaskId> {
+        self.policy.ready_order()
+    }
+
+    fn restore(&mut self, ready: &[TaskId], ctx: &KernelContext<'_>) {
+        let ctx = self.sim_ctx(ctx);
+        self.policy.restore(ready, &ctx);
+    }
+}
+
+/// [`try_simulate_faulty_metered`] through the durability plane: an
+/// injected crash plan and optional checkpoint capture (see
+/// [`kernel::run_durable`]). Journal the run by passing a
+/// [`JournalSink`](heteroprio_trace::JournalSink).
+#[allow(clippy::too_many_arguments)]
+pub fn try_simulate_durable<P, S, M>(
+    graph: &TaskGraph,
+    platform: &Platform,
+    policy: &mut P,
+    model: &TransferModel,
+    plan: &FaultPlan,
+    durability: DurabilityOptions<'_>,
+    sink: &mut S,
+    metrics: &M,
+) -> Result<SimResult, SimError>
+where
+    P: SnapshotOnlinePolicy,
+    S: TraceSink,
+    M: MetricsRegistry + ?Sized,
+{
+    plan.validate()?;
+    let timeline = expand_timeline(plan, platform.workers())?;
+    policy.init(graph, platform);
+    let mut workload = DagWorkload { graph, tracker: ReadyTracker::new(graph), model };
+    let mut adapter = PolicyAdapter { graph, model, policy };
+    let faults = FaultModel {
+        timeline,
+        task_failure_prob: plan.task_failure_prob,
+        exec_jitter: plan.exec_jitter,
+        seed: plan.seed,
+        retry: plan.retry,
+    };
+    let outcome = kernel::run_durable(
+        platform,
+        &mut workload,
+        &mut adapter,
+        faults,
+        KernelOptions { emit_decisions: true, metrics },
+        durability,
+        sink,
+    )?;
+    Ok(SimResult {
+        schedule: outcome.schedule,
+        first_idle: outcome.first_idle,
+        spoliations: outcome.spoliations,
+        summary: outcome.summary,
+    })
+}
+
+/// Resume a crashed [`try_simulate_durable`] run from its recovered
+/// journal (and optionally a checkpoint). The caller re-supplies the same
+/// graph, policy, transfer model, and fault plan as the recorded run; the
+/// replay is verified event-for-event against the journal (see
+/// [`kernel::resume`]) and any disagreement surfaces as
+/// [`SimError::Recovery`] rather than a silently wrong schedule.
+#[allow(clippy::too_many_arguments)]
+pub fn try_resume_faulty<P, S, M>(
+    graph: &TaskGraph,
+    platform: &Platform,
+    policy: &mut P,
+    model: &TransferModel,
+    plan: &FaultPlan,
+    snapshot: Option<&KernelSnapshot>,
+    journal: &[heteroprio_trace::SchedEvent],
+    sink: &mut S,
+    metrics: &M,
+) -> Result<SimResult, SimError>
+where
+    P: SnapshotOnlinePolicy,
+    S: TraceSink,
+    M: MetricsRegistry + ?Sized,
+{
+    plan.validate()?;
+    let timeline = expand_timeline(plan, platform.workers())?;
+    policy.init(graph, platform);
+    let mut workload = DagWorkload { graph, tracker: ReadyTracker::new(graph), model };
+    let mut adapter = PolicyAdapter { graph, model, policy };
+    let faults = FaultModel {
+        timeline,
+        task_failure_prob: plan.task_failure_prob,
+        exec_jitter: plan.exec_jitter,
+        seed: plan.seed,
+        retry: plan.retry,
+    };
+    let outcome = kernel::resume(
+        platform,
+        &mut workload,
+        &mut adapter,
+        faults,
+        KernelOptions { emit_decisions: true, metrics },
+        snapshot,
+        journal,
+        sink,
+    )?;
+    Ok(SimResult {
+        schedule: outcome.schedule,
+        first_idle: outcome.first_idle,
+        spoliations: outcome.spoliations,
+        summary: outcome.summary,
+    })
 }
 
 #[cfg(test)]

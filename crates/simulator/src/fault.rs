@@ -137,6 +137,13 @@ pub enum SimError {
     AllWorkersDown { time: f64, remaining: usize },
     /// The fault plan itself is malformed.
     InvalidPlan { reason: String },
+    /// An injected `CrashPlan` fired after `events` emitted events
+    /// (durable simulation only); recover via `try_resume_faulty`.
+    Crashed { time: f64, events: u64 },
+    /// Recovery failed: the journal or snapshot disagrees with the
+    /// supplied graph/policy/plan (see
+    /// [`ResumeError`](heteroprio_core::ResumeError) for the cases).
+    Recovery { detail: String },
 }
 
 impl fmt::Display for SimError {
@@ -149,6 +156,10 @@ impl fmt::Display for SimError {
                 write!(f, "all workers down at t={time} with {remaining} tasks remaining")
             }
             SimError::InvalidPlan { reason } => write!(f, "invalid fault plan: {reason}"),
+            SimError::Crashed { time, events } => {
+                write!(f, "simulated crash at t={time} after {events} journaled events")
+            }
+            SimError::Recovery { detail } => write!(f, "recovery failed: {detail}"),
         }
     }
 }
@@ -165,6 +176,17 @@ impl From<heteroprio_core::kernel::EngineError> for SimError {
             EngineError::AllWorkersDown { time, remaining } => {
                 SimError::AllWorkersDown { time, remaining }
             }
+            EngineError::Crashed { time, events } => SimError::Crashed { time, events },
+        }
+    }
+}
+
+impl From<heteroprio_core::ResumeError> for SimError {
+    fn from(e: heteroprio_core::ResumeError) -> Self {
+        use heteroprio_core::ResumeError;
+        match e {
+            ResumeError::Engine(engine) => engine.into(),
+            other => SimError::Recovery { detail: other.to_string() },
         }
     }
 }

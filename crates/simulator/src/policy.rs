@@ -125,3 +125,21 @@ pub trait OnlinePolicy {
         WorkerOrder::GpusFirst
     }
 }
+
+/// An [`OnlinePolicy`] that can be checkpointed and restored — the
+/// simulator-side mirror of
+/// [`SnapshotPolicy`](heteroprio_core::kernel::SnapshotPolicy). A policy's
+/// only legal state is a function of the tasks announced to it, so a
+/// snapshot needs just the ready set in the policy's internal order, and
+/// restoring is re-announcing that list.
+pub trait SnapshotOnlinePolicy: OnlinePolicy {
+    /// Ready tasks in the policy's internal queue order (front first).
+    fn ready_order(&self) -> Vec<TaskId>;
+
+    /// Rebuild internal state from a snapshot's ready list. The default
+    /// re-announces through [`OnlinePolicy::on_ready`]. `init` has already
+    /// been called when this runs.
+    fn restore(&mut self, ready: &[TaskId], ctx: &SimContext<'_>) {
+        self.on_ready(ready, ctx);
+    }
+}

@@ -16,6 +16,19 @@ pub fn jsonl(events: &[SchedEvent]) -> String {
     out
 }
 
+/// Render a single event as its JSONL line (no trailing newline). This is
+/// the canonical wire form: the journal frames exactly these bytes, and
+/// [`parse_event_line`] inverts them.
+pub fn event_line(e: &SchedEvent) -> String {
+    line(e)
+}
+
+/// Parse one JSONL line back into an event.
+pub fn parse_event_line(text: &str) -> Result<SchedEvent, String> {
+    let v = json::parse(text)?;
+    parse_event(&v)
+}
+
 fn line(e: &SchedEvent) -> String {
     let kind = e.kind();
     match *e {
@@ -79,18 +92,79 @@ fn line(e: &SchedEvent) -> String {
     }
 }
 
+/// A malformed line in a JSONL trace. Carries everything salvaged before
+/// the damage: a crashed writer typically leaves a truncated final line, and
+/// callers that can tolerate that (journal recovery, post-mortem tooling)
+/// take [`parsed`](JsonlError::parsed) instead of rejecting the whole file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JsonlError {
+    /// 1-based line number of the first malformed line.
+    pub line: usize,
+    /// Byte offset of the start of that line within the input.
+    pub byte_offset: usize,
+    /// What was wrong with it.
+    pub message: String,
+    /// Every event successfully parsed before the malformed line.
+    pub parsed: Vec<SchedEvent>,
+}
+
+impl std::fmt::Display for JsonlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "line {} (byte {}): {} ({} events parsed before the damage)",
+            self.line,
+            self.byte_offset,
+            self.message,
+            self.parsed.len()
+        )
+    }
+}
+
+impl std::error::Error for JsonlError {}
+
+impl From<JsonlError> for String {
+    fn from(e: JsonlError) -> String {
+        e.to_string()
+    }
+}
+
 /// Parse a JSONL trace produced by [`jsonl`] back into typed events.
 ///
-/// Blank lines are skipped; any malformed line aborts with a message naming
-/// the 1-based line number. This is the ingestion path for `audit --trace`.
-pub fn parse_jsonl(text: &str) -> Result<Vec<SchedEvent>, String> {
+/// Blank lines are skipped; the first malformed line aborts with a
+/// [`JsonlError`] naming the 1-based line number and byte offset — and
+/// carrying the prefix parsed so far, so a trace with only a truncated
+/// final line (common after a crash) is still recoverable. This is the
+/// ingestion path for `audit --trace`.
+pub fn parse_jsonl(text: &str) -> Result<Vec<SchedEvent>, JsonlError> {
     let mut events = Vec::new();
+    let mut offset = 0;
     for (idx, line) in text.lines().enumerate() {
+        let line_start = offset;
+        // `lines()` strips "\n" and "\r\n"; track offsets from the source.
+        offset += line.len();
+        if text[offset..].starts_with("\r\n") {
+            offset += 2;
+        } else if text[offset..].starts_with('\n') {
+            offset += 1;
+        }
         if line.trim().is_empty() {
             continue;
         }
-        let v = json::parse(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
-        events.push(parse_event(&v).map_err(|e| format!("line {}: {e}", idx + 1))?);
+        let fail = |message: String, parsed: Vec<SchedEvent>| JsonlError {
+            line: idx + 1,
+            byte_offset: line_start,
+            message,
+            parsed,
+        };
+        let v = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => return Err(fail(e, events)),
+        };
+        match parse_event(&v) {
+            Ok(e) => events.push(e),
+            Err(e) => return Err(fail(e, events)),
+        }
     }
     Ok(events)
 }
@@ -229,11 +303,42 @@ mod tests {
     fn parse_rejects_malformed_lines() {
         assert!(parse_jsonl("{\"type\":\"task_ready\",\"time\":0.0}")
             .unwrap_err()
+            .to_string()
             .contains("task"));
         assert!(parse_jsonl("not json\n").is_err());
-        assert!(parse_jsonl("{\"type\":\"nope\",\"time\":0.0}").unwrap_err().contains("nope"));
+        assert!(parse_jsonl("{\"type\":\"nope\",\"time\":0.0}")
+            .unwrap_err()
+            .to_string()
+            .contains("nope"));
         assert!(parse_jsonl("{\"type\":\"task_ready\",\"time\":0.0,\"task\":1.5}").is_err());
         // Blank lines are fine.
         assert_eq!(parse_jsonl("\n\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn truncated_final_line_salvages_the_prefix() {
+        let events = [
+            SchedEvent::TaskReady { time: 0.0, task: 0 },
+            SchedEvent::TaskStart { time: 0.0, task: 0, worker: 1, expected_end: 2.0 },
+            SchedEvent::TaskComplete { time: 2.0, task: 0, worker: 1 },
+        ];
+        let full = jsonl(&events);
+        // Simulate a crash mid-write: chop the last line in half.
+        let cut = full.len() - 14;
+        let damaged = &full[..cut];
+        let err = parse_jsonl(damaged).unwrap_err();
+        assert_eq!(err.parsed, events[..2].to_vec());
+        assert_eq!(err.line, 3);
+        let line3_start = full.lines().take(2).map(|l| l.len() + 1).sum::<usize>();
+        assert_eq!(err.byte_offset, line3_start);
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn single_event_line_round_trips() {
+        let e =
+            SchedEvent::Spoliation { time: 1.5, task: 7, victim: 0, thief: 3, wasted_work: 0.5 };
+        assert_eq!(parse_event_line(&event_line(&e)).unwrap(), e);
+        assert!(parse_event_line("{\"type\":").is_err());
     }
 }

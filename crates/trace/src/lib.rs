@@ -18,12 +18,18 @@
 //!   compiler erases the tracing entirely (the `scheduler_cost` bench
 //!   guards this).
 //!
+//! The event stream doubles as the durability substrate: the [`journal`]
+//! module persists it as CRC-framed records ([`FileJournal`]) so a crashed
+//! run can be recovered and resumed deterministically (see
+//! `heteroprio_core::kernel::resume`).
+//!
 //! `Schedule` above refers to `heteroprio_core::Schedule`.
 
 #![forbid(unsafe_code)]
 
 mod chrome;
 mod event;
+pub mod journal;
 pub mod json;
 mod jsonl;
 mod sink;
@@ -31,6 +37,10 @@ mod summary;
 
 pub use chrome::{chrome_trace, ChromeTraceOptions};
 pub use event::{sort_causal, Decision, QueueEnd, SchedEvent};
-pub use jsonl::{jsonl, parse_jsonl};
+pub use journal::{
+    DamageKind, FileJournal, Journal, JournalDamage, JournalError, JournalSink, MemJournal,
+    SyncPolicy,
+};
+pub use jsonl::{event_line, jsonl, parse_event_line, parse_jsonl, JsonlError};
 pub use sink::{NullSink, TeeSink, TraceSink, VecSink};
 pub use summary::{TraceSummary, WorkerStats};

@@ -37,4 +37,15 @@ cargo run -q -p heteroprio-cli -- audit --cpus 2 --gpus 1 \
     --trace "$tmp/trace.jsonl" "$tmp/instance.txt"
 cargo run -q -p heteroprio-cli -- audit cholesky 8 --cpus 2 --gpus 1
 
+echo "== recovery smoke: journal a run, kill it mid-flight, resume, diff traces"
+cargo run -q -p heteroprio-cli -- schedule --cpus 2 --gpus 1 \
+    --trace "$tmp/reference.jsonl" "$tmp/instance.txt" > /dev/null
+cargo run -q -p heteroprio-cli -- schedule --cpus 2 --gpus 1 \
+    --journal "$tmp/run.journal" --crash-at 14 \
+    --snapshot "$tmp/run.ckpt" --checkpoint-every 2 "$tmp/instance.txt" > /dev/null
+cargo run -q -p heteroprio-cli -- resume --journal "$tmp/run.journal" \
+    --snapshot "$tmp/run.ckpt" --cpus 2 --gpus 1 \
+    --trace "$tmp/resumed.jsonl" "$tmp/instance.txt" > /dev/null
+diff "$tmp/reference.jsonl" "$tmp/resumed.jsonl"
+
 echo "all checks passed"
