@@ -259,6 +259,17 @@ fn fig6_instance(tiles: usize) -> Instance {
     independent_instance(Factorization::Cholesky, tiles, &ChameleonTiming)
 }
 
+/// Repeat a measurement and keep the fastest run. Timing noise on
+/// sub-millisecond cases is strictly additive (preemption, cache state),
+/// so best-of is the robust statistic for the regression gate's
+/// comparisons against the committed baseline.
+fn best_of(reps: usize, run: impl Fn() -> CaseResult) -> CaseResult {
+    (0..reps)
+        .map(|_| run())
+        .min_by(|a, b| a.wall_s.total_cmp(&b.wall_s))
+        .expect("best_of needs at least one rep")
+}
+
 /// Run the suite and return the `BENCH_kernel.json` document. `smoke` runs
 /// tiny instances only (for the deterministic CI gate); the full suite runs
 /// the Fig. 6-scale and 1000×-scale cases the baseline commits.
@@ -277,6 +288,13 @@ pub fn run_suite(smoke: bool) -> String {
             run_dag("dag_cholesky_n4_smoke", "smoke", 4),
             run_independent_traced("cholesky_n4_smoke_trace", "smoke", &fig6_instance(4)),
             run_independent_journaled("cholesky_n4_smoke_journal", "smoke", &fig6_instance(4)),
+            // Regression-gate cases: named identically to cases in the
+            // committed full baseline so [`compare_against_baseline`] finds
+            // overlap; best-of repetition damps the timing noise the tiny
+            // fig6 instances are exposed to.
+            best_of(7, || run_independent("cholesky_n16_fig6", "fig6", &fig6_instance(16))),
+            best_of(5, || run_independent("cholesky_n32_fig6", "fig6", &fig6_instance(32))),
+            best_of(7, || run_dag("dag_cholesky_n16_fig6", "fig6", 16)),
         ]
     } else {
         vec![
@@ -438,6 +456,68 @@ pub fn validate_baseline(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Compare a fresh run against a committed baseline document: every case
+/// name present in **both** documents must not have lost more than
+/// `tolerance` (a fraction, e.g. `0.2`) of its baseline tasks/sec.
+///
+/// Returns one report line per compared case on success; an `Err` lists
+/// every regressed case. Trace/journal twins never overlap with the gate
+/// cases the smoke suite emits, so only the deterministic compute cases
+/// are compared. This is the `perf --smoke --against BENCH_kernel.json`
+/// gate in `scripts/check.sh`.
+pub fn compare_against_baseline(
+    current: &str,
+    baseline: &str,
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    fn rates(text: &str) -> Result<Vec<(String, f64)>, String> {
+        let doc = json::parse(text)?;
+        let cases = doc.get("cases").and_then(|c| c.as_arr()).ok_or("document has no cases")?;
+        cases
+            .iter()
+            .map(|c| {
+                let name =
+                    c.get("name").and_then(|v| v.as_str()).ok_or("case missing name")?.to_string();
+                let rate = c
+                    .get("tasks_per_sec")
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| format!("{name}: missing tasks_per_sec"))?;
+                Ok((name, rate))
+            })
+            .collect()
+    }
+    let current = rates(current)?;
+    let baseline = rates(baseline)?;
+    let mut report = Vec::new();
+    let mut regressions = Vec::new();
+    for (name, rate) in &current {
+        let Some((_, base)) = baseline.iter().find(|(b, _)| b == name) else {
+            continue;
+        };
+        if *base <= 0.0 {
+            return Err(format!("{name}: baseline tasks_per_sec is not positive"));
+        }
+        let ratio = rate / base;
+        let line = format!("{name}: {rate:.0} vs baseline {base:.0} tasks/s ({ratio:.2}x)");
+        if ratio < 1.0 - tolerance {
+            regressions.push(line.clone());
+        }
+        report.push(line);
+    }
+    if report.is_empty() {
+        return Err("no case names overlap between the run and the baseline".to_string());
+    }
+    if !regressions.is_empty() {
+        return Err(format!(
+            "tasks/sec regressed more than {:.0}% on {} case(s):\n  {}",
+            tolerance * 100.0,
+            regressions.len(),
+            regressions.join("\n  ")
+        ));
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -451,9 +531,42 @@ mod tests {
             "random_200_smoke",
             "dag_cholesky_n4_smoke",
             "cholesky_n4_smoke_journal",
+            // The regression-gate cases must keep the names the committed
+            // full baseline uses, or `--against` has nothing to compare.
+            "\"name\": \"cholesky_n16_fig6\"",
+            "\"name\": \"cholesky_n32_fig6\"",
+            "\"name\": \"dag_cholesky_n16_fig6\"",
         ] {
             assert!(doc.contains(needle), "missing case {needle} in:\n{doc}");
         }
+    }
+
+    #[test]
+    fn compare_flags_regressions_and_tolerates_noise() {
+        let doc = |rate: f64| {
+            format!(
+                "{{ \"cases\": [ {{ \"name\": \"a\", \"tasks_per_sec\": {rate} }}, \
+                 {{ \"name\": \"only_current\", \"tasks_per_sec\": 1.0 }} ] }}"
+            )
+        };
+        let base = "{ \"cases\": [ { \"name\": \"a\", \"tasks_per_sec\": 1000.0 }, \
+                     { \"name\": \"only_baseline\", \"tasks_per_sec\": 9.0 } ] }";
+        let base = &base.to_string();
+        // Within tolerance (10% down on a 20% gate) passes with a report.
+        let report = compare_against_baseline(&doc(900.0), &base, 0.2).expect("within tolerance");
+        assert_eq!(report.len(), 1, "only overlapping names are compared: {report:?}");
+        assert!(report[0].contains("0.90x"), "{report:?}");
+        // Faster than baseline passes.
+        assert!(compare_against_baseline(&doc(2000.0), &base, 0.2).is_ok());
+        // A 30% drop on a 20% gate fails and names the case.
+        let err = compare_against_baseline(&doc(700.0), &base, 0.2).unwrap_err();
+        assert!(err.contains("a: 700"), "{err}");
+        // No overlap at all is an error, not a silent pass.
+        let disjoint = "{ \"cases\": [ { \"name\": \"b\", \"tasks_per_sec\": 5.0 } ] }";
+        assert!(compare_against_baseline(disjoint, &base, 0.2).is_err());
+        // Garbage documents are errors.
+        assert!(compare_against_baseline("nope", &base, 0.2).is_err());
+        assert!(compare_against_baseline(&doc(1.0), "{}", 0.2).is_err());
     }
 
     #[test]

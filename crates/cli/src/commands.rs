@@ -895,6 +895,21 @@ pub fn cmd_perf(smoke: bool) -> Result<String, String> {
     Ok(doc)
 }
 
+/// Throughput regression fraction `perf --against` tolerates before
+/// failing: a gate case may lose up to 20% of its committed tasks/sec
+/// (machine noise) but no more.
+pub const PERF_GATE_TOLERANCE: f64 = 0.2;
+
+/// `perf --against BASELINE`: compare a fresh run's tasks/sec against the
+/// committed baseline document, case name by case name. Returns the
+/// per-case report on success; errors list every regressed case.
+pub fn cmd_perf_gate(doc: &str, baseline: &str) -> Result<String, String> {
+    let report =
+        heteroprio_bench::perf::compare_against_baseline(doc, baseline, PERF_GATE_TOLERANCE)
+            .map_err(|e| format!("perf gate: {e}"))?;
+    Ok(format!("perf gate passed ({} cases):\n  {}\n", report.len(), report.join("\n  ")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,8 +9,8 @@
 //! ```
 
 use heteroprio_cli::{
-    cmd_audit, cmd_bounds, cmd_dag, cmd_gen, cmd_perf, cmd_schedule, Algo, DagAlgoArg, DurableOpts,
-    FaultOpts, OutputOpts,
+    cmd_audit, cmd_bounds, cmd_dag, cmd_gen, cmd_perf, cmd_perf_gate, cmd_schedule, Algo,
+    DagAlgoArg, DurableOpts, FaultOpts, OutputOpts,
 };
 use heteroprio_core::Platform;
 use std::process::ExitCode;
@@ -37,7 +37,7 @@ usage:
                           [--trace FILE.jsonl] INSTANCE
   heteroprio-cli audit    (cholesky|qr|lu) N --cpus M --gpus N [--algo NAME]
                           [--faults SPEC] [--exec-jitter J]
-  heteroprio-cli perf     [--smoke] [--out FILE]
+  heteroprio-cli perf     [--smoke] [--out FILE] [--against BASELINE]
 
 INSTANCE is a text file with one `cpu_time gpu_time [priority]` task per
 line (`#` comments). `gen` writes such a file for the kernel mix of an
@@ -66,7 +66,10 @@ metered; static algorithms (heft, minmin, ...) are rejected.
 perf runs the kernel self-profiling suite (Fig. 6-scale and 1000x-scale
 workloads) and prints the schema-versioned BENCH_kernel.json document;
 --out FILE writes it instead, --smoke runs the tiny deterministic cases
-used as a CI gate. `scripts/bench.sh` wraps the full run.
+used as a CI gate. --against BASELINE compares the run's tasks/sec
+case-by-case against a committed BENCH_kernel.json and fails if any
+overlapping case regressed more than 20% (run in release mode: debug
+timings always regress). `scripts/bench.sh` wraps the full run.
 
 --journal FILE appends the kernel's event stream to a crash-durable
 length+CRC-framed journal as it runs. --crash-at N kills the run right
@@ -106,6 +109,9 @@ struct Args {
     smoke: bool,
     /// `perf --out FILE`: write the JSON document instead of printing it.
     out: Option<String>,
+    /// `perf --against FILE`: fail if tasks/sec regressed more than the
+    /// gate tolerance versus this committed baseline.
+    against: Option<String>,
     faults: FaultOpts,
     durable: DurableOpts,
     /// `resume --no-audit`: skip the post-recovery invariant audit.
@@ -126,6 +132,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         metrics: false,
         smoke: false,
         out: None,
+        against: None,
         faults: FaultOpts::default(),
         durable: DurableOpts::default(),
         no_audit: false,
@@ -165,6 +172,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--smoke" => args.smoke = true,
             "--out" => {
                 args.out = Some(argv.next().ok_or("--out needs a file name")?);
+            }
+            "--against" => {
+                args.against = Some(argv.next().ok_or("--against needs a baseline file")?);
             }
             "--faults" => {
                 args.faults.spec = Some(argv.next().ok_or("--faults needs a spec")?);
@@ -366,7 +376,13 @@ fn run() -> Result<(), String> {
                     std::fs::write(path, &doc).map_err(|e| format!("{path}: {e}"))?;
                     println!("wrote {path}");
                 }
-                None => print!("{doc}"),
+                None if args.against.is_none() => print!("{doc}"),
+                None => {}
+            }
+            if let Some(path) = &args.against {
+                let baseline =
+                    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                print!("{}", cmd_perf_gate(&doc, &baseline)?);
             }
             Ok(())
         }

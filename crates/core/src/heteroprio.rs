@@ -30,7 +30,7 @@ use crate::kernel::{
 };
 use crate::model::{Instance, Platform, ResourceKind, TaskId, WorkerId};
 use crate::schedule::Schedule;
-use crate::time::strictly_less;
+use crate::time::{strictly_less, F64Ord};
 use heteroprio_metrics::{MetricsRegistry, NullRegistry};
 use heteroprio_trace::{NullSink, QueueEnd, TraceSink, TraceSummary};
 use std::collections::VecDeque;
@@ -124,41 +124,75 @@ impl HeteroPrioResult {
 /// Build the ready queue: non-increasing acceleration factor, ties per
 /// `tie`. Exposed for reuse by the DAG-mode policy in
 /// `heteroprio-schedulers`.
+/// The sort keys are computed once per task and cached, not re-derived in
+/// the comparator: on a million-task queue the comparator runs tens of
+/// millions of times, and the two `accel_factor()` divisions per call used
+/// to dominate the build cost. Negating a float is an exact reversal of
+/// `total_cmp`'s order (the sign-bit flip mirrors the total order,
+/// including ±0.0), so sorting ascending by `F64Ord(-ρ)` is bit-identical
+/// to the old descending `ρ.total_cmp` comparator.
 pub fn sorted_queue(instance: &Instance, ids: &[TaskId], tie: QueueTieBreak) -> VecDeque<TaskId> {
-    let mut q: Vec<TaskId> = ids.to_vec();
     match tie {
         QueueTieBreak::InsertionOrder => {
-            q.sort_by(|&a, &b| {
-                let ra = instance.task(a).accel_factor();
-                let rb = instance.task(b).accel_factor();
-                rb.total_cmp(&ra)
-            });
+            // Equal-ρ tasks keep their order in `ids`: the input position
+            // is part of the (total) key, so equal-ρ ties resolve to FIFO
+            // under either sort algorithm — identical to the old stable
+            // ρ-only comparator.
+            let mut keyed: Vec<(F64Ord, usize)> = ids
+                .iter()
+                .enumerate()
+                .map(|(pos, &id)| (F64Ord(-instance.task(id).accel_factor()), pos))
+                .collect();
+            sort_total(&mut keyed);
+            keyed.into_iter().map(|(_, pos)| ids[pos]).collect()
         }
         QueueTieBreak::Priority => {
-            q.sort_by(|&a, &b| {
-                let ta = instance.task(a);
-                let tb = instance.task(b);
-                let ra = ta.accel_factor();
-                let rb = tb.accel_factor();
-                rb.total_cmp(&ra)
-                    .then_with(|| {
-                        // Equal ρ: for ρ >= 1 put high priority first (GPU side),
-                        // for ρ < 1 put low priority first (so the back of the
-                        // queue, served to CPUs, holds the highest priority).
-                        let ord = tb.priority.total_cmp(&ta.priority);
-                        // lint: allow(float-ord): orientation branch, not arithmetic — ρ = 1
-                        // exactly is a documented policy choice (GPU-side tie rule applies).
-                        if ra >= 1.0 {
-                            ord
-                        } else {
-                            ord.reverse()
-                        }
-                    })
-                    .then(a.cmp(&b))
-            });
+            // Equal ρ: for ρ >= 1 put high priority first (GPU side), for
+            // ρ < 1 put low priority first (so the back of the queue,
+            // served to CPUs, holds the highest priority). Encoded in the
+            // key: ascending -priority ≡ descending priority under
+            // total_cmp, with TaskId as the final total tie-break.
+            let mut keyed: Vec<(F64Ord, F64Ord, TaskId)> = ids
+                .iter()
+                .map(|&id| {
+                    let t = instance.task(id);
+                    let rho = t.accel_factor();
+                    // lint: allow(float-ord): orientation branch, not arithmetic — ρ = 1
+                    // exactly is a documented policy choice (GPU-side tie rule applies).
+                    let oriented = if rho >= 1.0 { -t.priority } else { t.priority };
+                    (F64Ord(-rho), F64Ord(oriented), id)
+                })
+                .collect();
+            sort_total(&mut keyed);
+            keyed.into_iter().map(|(_, _, id)| id).collect()
         }
     }
-    q.into()
+}
+
+/// Sort by a total key, picking the algorithm from the input's run
+/// structure. Generated instances arrive as a handful of long already-
+/// sorted runs of identical tasks, which the stable merge sort detects
+/// and merges in near-linear time; disordered million-task queues are
+/// better served by the unstable pattern-defeating sort's smaller
+/// constants and lack of a merge buffer. The key is total, so both
+/// algorithms produce the same order — the dispatch is purely a
+/// performance choice and cannot perturb the schedule.
+fn sort_total<T: Ord>(keyed: &mut [T]) {
+    const MAX_RUNS: usize = 32;
+    let mut runs = 1usize;
+    for w in keyed.windows(2) {
+        if w[1] < w[0] {
+            runs += 1;
+            if runs > MAX_RUNS {
+                break;
+            }
+        }
+    }
+    if runs <= MAX_RUNS {
+        keyed.sort();
+    } else {
+        keyed.sort_unstable();
+    }
 }
 
 /// The paper's spoliation victim scan for idle worker `w`: tasks running on

@@ -333,11 +333,27 @@ pub trait Workload {
         Vec::new()
     }
 
+    /// Allocation-free variant of [`Workload::arrivals_due`]: append the
+    /// due arrivals to `out` (handed over empty). The kernel's steady-state
+    /// loop calls this with a pooled buffer; workloads with arrivals should
+    /// override it to avoid a `Vec` per event, the default delegates.
+    fn arrivals_due_into(&mut self, now: f64, out: &mut Vec<TaskId>) {
+        out.extend(self.arrivals_due(now));
+    }
+
     /// `task` completed; return the tasks this makes ready (dependency
     /// release for DAG workloads, empty otherwise).
     fn on_complete(&mut self, task: TaskId) -> Vec<TaskId> {
         let _ = task;
         Vec::new()
+    }
+
+    /// Allocation-free variant of [`Workload::on_complete`]: append the
+    /// released tasks to `out` (handed over empty). Called once per
+    /// completion on the hot path; workloads that release successors
+    /// should override it, the default delegates.
+    fn on_complete_into(&mut self, task: TaskId, out: &mut Vec<TaskId>) {
+        out.extend(self.on_complete(task));
     }
 
     /// Duration the kernel charges for `task` on class `kind`. `ran_kind`
@@ -601,6 +617,25 @@ where
     Ok(outcome)
 }
 
+/// Pooled scratch buffers for the steady-state loop. The fixpoint's idle
+/// lists, the per-completion release list and the retry/arrival batches
+/// are taken from this arena and returned cleared after use, so once the
+/// pool is warm the event loop stops hitting the allocator entirely
+/// (previously every fixpoint iteration and every completion allocated
+/// fresh `Vec`s).
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Recycled between the fixpoint's consumed `idle` list and the
+    /// `still_idle` list it builds (the two rotate roles each iteration).
+    workers_a: Vec<WorkerId>,
+    /// Holds spoliation victims (`newly_idle`) within one fixpoint pass.
+    workers_b: Vec<WorkerId>,
+    /// Successors released by a completion.
+    released: Vec<TaskId>,
+    /// Retry expiries / workload arrivals due at the current instant.
+    due: Vec<TaskId>,
+}
+
 /// The one discrete-event loop in the workspace. Owns time, the
 /// completion/fault/retry heaps, worker liveness, and trace emission.
 struct Kernel<'a, S: TraceSink, M: MetricsRegistry + ?Sized> {
@@ -654,6 +689,8 @@ struct Kernel<'a, S: TraceSink, M: MetricsRegistry + ?Sized> {
     checkpoint_every: Option<u64>,
     /// Emission count at the last checkpoint.
     last_checkpoint: u64,
+    /// Reusable buffers for the hot loop (see [`Scratch`]).
+    scratch: Scratch,
 }
 
 impl<'a, S: TraceSink, M: MetricsRegistry + ?Sized> Kernel<'a, S, M> {
@@ -700,6 +737,7 @@ impl<'a, S: TraceSink, M: MetricsRegistry + ?Sized> Kernel<'a, S, M> {
             crashed_time: 0.0,
             checkpoint_every: None,
             last_checkpoint: 0,
+            scratch: Scratch::default(),
         }
     }
 
@@ -821,9 +859,13 @@ impl<'a, S: TraceSink, M: MetricsRegistry + ?Sized> Kernel<'a, S, M> {
             let mut idle = std::mem::take(&mut self.idle);
             idle.sort_by_key(|&w| self.worker_sort_key(order, w));
             let mut acted = false;
-            let mut still_idle = Vec::new();
-            let mut newly_idle = Vec::new();
-            for w in idle {
+            // Arena: the consumed idle list and the still-idle list it
+            // builds rotate between two pooled buffers; spoliation victims
+            // borrow a third. No allocation once the pool is warm.
+            let mut still_idle = std::mem::take(&mut self.scratch.workers_a);
+            let mut newly_idle = std::mem::take(&mut self.scratch.workers_b);
+            debug_assert!(still_idle.is_empty() && newly_idle.is_empty());
+            for &w in &idle {
                 // The context's shared borrows conflict with emitting, so
                 // the policy is consulted first and events follow.
                 let (picked, victim) = {
@@ -845,7 +887,15 @@ impl<'a, S: TraceSink, M: MetricsRegistry + ?Sized> Kernel<'a, S, M> {
                         "policy picked {task}, which is not ready"
                     );
                     meter.m.inc(meter.ready_pops);
-                    self.ready_depth = self.ready_depth.saturating_sub(1);
+                    // A pop without a matching push is a kernel invariant
+                    // violation (double pop / missed announce). Saturating
+                    // here would silently pin the gauge at zero and hide
+                    // the accounting bug, so underflow fails loudly like
+                    // the other protocol asserts above.
+                    self.ready_depth = self
+                        .ready_depth
+                        .checked_sub(1)
+                        .expect("kernel invariant violated: ready_depth underflow on pop");
                     meter.m.gauge_set(meter.ready_depth, self.ready_depth);
                     if let Some(end) = pick.queue_end {
                         self.emit(SchedEvent::QueuePop {
@@ -928,7 +978,10 @@ impl<'a, S: TraceSink, M: MetricsRegistry + ?Sized> Kernel<'a, S, M> {
                 still_idle.push(w);
             }
             self.idle = still_idle;
-            self.idle.extend(newly_idle);
+            self.idle.extend(newly_idle.drain(..));
+            idle.clear();
+            self.scratch.workers_a = idle;
+            self.scratch.workers_b = newly_idle;
             if !acted {
                 return;
             }
@@ -950,8 +1003,12 @@ impl<'a, S: TraceSink, M: MetricsRegistry + ?Sized> Kernel<'a, S, M> {
         self.ran_kind[r.task.index()] = Some(self.platform.kind_of(w));
         self.completed += 1;
         self.idle.push(w);
-        let ready = workload.on_complete(r.task);
-        self.announce_ready(policy, &ready, now);
+        let mut released = std::mem::take(&mut self.scratch.released);
+        debug_assert!(released.is_empty());
+        workload.on_complete_into(r.task, &mut released);
+        self.announce_ready(policy, &released, now);
+        released.clear();
+        self.scratch.released = released;
     }
 
     /// A worker's current run ended: either it completed or — if the start
@@ -1064,7 +1121,8 @@ impl<'a, S: TraceSink, M: MetricsRegistry + ?Sized> Kernel<'a, S, M> {
 
     /// Re-announce every task whose retry backoff expired at `now`.
     fn process_retries_at<P: KernelPolicy>(&mut self, policy: &mut P, now: f64) {
-        let mut due = Vec::new();
+        let mut due = std::mem::take(&mut self.scratch.due);
+        debug_assert!(due.is_empty());
         while let Some(&Reverse((F64Ord(t), task))) = self.retries.peek() {
             if t > now {
                 break;
@@ -1073,6 +1131,8 @@ impl<'a, S: TraceSink, M: MetricsRegistry + ?Sized> Kernel<'a, S, M> {
             due.push(TaskId(task));
         }
         self.announce_ready(policy, &due, now);
+        due.clear();
+        self.scratch.due = due;
     }
 
     /// Earliest pending instant across run completions/failures, the fault
@@ -1161,8 +1221,12 @@ impl<'a, S: TraceSink, M: MetricsRegistry + ?Sized> Kernel<'a, S, M> {
             // finish (completions release successors), then workers
             // fail/recover, then retries re-enter the ready set, then idle
             // workers are offered work.
-            let due = workload.arrivals_due(now);
+            let mut due = std::mem::take(&mut self.scratch.due);
+            debug_assert!(due.is_empty());
+            workload.arrivals_due_into(now, &mut due);
             self.announce_ready(policy, &due, now);
+            due.clear();
+            self.scratch.due = due;
             while let Some(&Reverse((F64Ord(t2), w2, g2))) = self.events.peek() {
                 if self.generation[w2 as usize] != g2 {
                     self.events.pop();

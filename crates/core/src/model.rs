@@ -86,6 +86,11 @@ pub enum ModelError {
     BadTaskTime { field: &'static str, value: f64 },
     /// A task priority is NaN or infinite.
     BadPriority { value: f64 },
+    /// The acceleration factor ρ = p/q is not positive and finite: the
+    /// times are individually representable but their ratio overflows,
+    /// underflows to zero, or is NaN. A non-finite ρ would poison every
+    /// ordering comparison in the ready queue.
+    NonFiniteAccel { cpu_time: f64, gpu_time: f64 },
 }
 
 impl fmt::Display for ModelError {
@@ -97,6 +102,16 @@ impl fmt::Display for ModelError {
             }
             ModelError::BadPriority { value } => {
                 write!(f, "priority must be finite, got {value}")
+            }
+            ModelError::NonFiniteAccel { cpu_time, gpu_time } => {
+                write!(
+                    f,
+                    "acceleration factor cpu_time/gpu_time must be positive and finite, \
+                     got {}/{} = {}",
+                    cpu_time,
+                    gpu_time,
+                    cpu_time / gpu_time
+                )
             }
         }
     }
@@ -197,13 +212,21 @@ impl Task {
     }
 
     /// Fallible [`new`](Task::new): rejects NaN, infinite, zero and
-    /// negative processing times with a typed error.
+    /// negative processing times with a typed error, and — even when both
+    /// times are individually valid — a ratio ρ = p/q that overflows to
+    /// infinity or underflows to zero (e.g. `1e308 / 1e-308`). A task that
+    /// passes construction therefore always has a positive finite
+    /// acceleration factor, which the ready-queue ordering relies on.
     pub fn try_new(cpu_time: f64, gpu_time: f64) -> Result<Self, ModelError> {
         if !(cpu_time > 0.0 && cpu_time.is_finite()) {
             return Err(ModelError::BadTaskTime { field: "cpu_time", value: cpu_time });
         }
         if !(gpu_time > 0.0 && gpu_time.is_finite()) {
             return Err(ModelError::BadTaskTime { field: "gpu_time", value: gpu_time });
+        }
+        let rho = cpu_time / gpu_time;
+        if !(rho > 0.0 && rho.is_finite()) {
+            return Err(ModelError::NonFiniteAccel { cpu_time, gpu_time });
         }
         Ok(Task { cpu_time, gpu_time, priority: 0.0 })
     }
@@ -225,9 +248,32 @@ impl Task {
 
     /// Acceleration factor ρ = p/q. May be below 1 when the task runs
     /// faster on CPU than on GPU.
+    ///
+    /// Always positive and finite for tasks built through
+    /// [`try_new`](Task::try_new) / [`new`](Task::new); tasks assembled
+    /// from raw public fields can evade that guarantee, which is why the
+    /// queue goes through [`try_accel_factor`](Task::try_accel_factor).
     #[inline]
     pub fn accel_factor(&self) -> f64 {
         self.cpu_time / self.gpu_time
+    }
+
+    /// Checked [`accel_factor`](Task::accel_factor): returns a typed error
+    /// when ρ is NaN, infinite or non-positive instead of letting the
+    /// poisoned value reach an ordering comparison. This is the accessor
+    /// the ready queue uses, so a task smuggled past [`Task::try_new`]
+    /// (public fields, unvalidated [`Instance::from_tasks`]) is rejected
+    /// at the queue boundary rather than silently corrupting queue order.
+    #[inline]
+    pub fn try_accel_factor(&self) -> Result<f64, ModelError> {
+        let rho = self.cpu_time / self.gpu_time;
+        if !(rho > 0.0 && rho.is_finite()) {
+            return Err(ModelError::NonFiniteAccel {
+                cpu_time: self.cpu_time,
+                gpu_time: self.gpu_time,
+            });
+        }
+        Ok(rho)
     }
 
     /// Processing time on the given resource class.
@@ -417,6 +463,34 @@ mod tests {
             ModelError::BadTaskTime { field: "cpu_time", value: -1.0 }.to_string(),
             "cpu_time must be positive and finite, got -1"
         );
+    }
+
+    #[test]
+    fn ratio_overflow_is_rejected_at_construction() {
+        // Both times pass the per-field checks, but p/q overflows to ∞
+        // (or underflows to 0 the other way round). Construction must fail
+        // with the typed error instead of smuggling a non-finite ρ into
+        // the queue ordering.
+        let err = Task::try_new(1e308, 1e-308).unwrap_err();
+        match err {
+            ModelError::NonFiniteAccel { cpu_time, gpu_time } => {
+                assert_eq!(cpu_time, 1e308);
+                assert_eq!(gpu_time, 1e-308);
+            }
+            other => panic!("expected NonFiniteAccel, got {other:?}"),
+        }
+        assert!(matches!(Task::try_new(1e-308, 1e308), Err(ModelError::NonFiniteAccel { .. })));
+        // The checked accessor catches tasks assembled from raw fields.
+        let smuggled = Task { cpu_time: f64::INFINITY, gpu_time: 1.0, priority: 0.0 };
+        assert!(matches!(smuggled.try_accel_factor(), Err(ModelError::NonFiniteAccel { .. })));
+        let zero_q = Task { cpu_time: 1.0, gpu_time: 0.0, priority: 0.0 };
+        assert!(matches!(zero_q.try_accel_factor(), Err(ModelError::NonFiniteAccel { .. })));
+        let ok = Task::new(3.0, 2.0);
+        assert_eq!(ok.try_accel_factor().unwrap(), 1.5);
+        // The error message names both times and the poisoned ratio.
+        let msg = ModelError::NonFiniteAccel { cpu_time: 1.0, gpu_time: 0.0 }.to_string();
+        assert!(msg.contains("positive and finite"), "{msg}");
+        assert!(msg.contains("inf"), "{msg}");
     }
 
     #[test]

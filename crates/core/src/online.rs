@@ -93,14 +93,18 @@ impl<'a> ReleaseWorkload<'a> {
 
     fn admit_until(&mut self, now: f64) -> Vec<TaskId> {
         let mut due = Vec::new();
+        self.admit_until_into(now, &mut due);
+        due
+    }
+
+    fn admit_until_into(&mut self, now: f64, out: &mut Vec<TaskId>) {
         while let Some(&t) = self.arrivals.get(self.next) {
             if self.releases[t.index()] > now {
                 break;
             }
-            due.push(t);
+            out.push(t);
             self.next += 1;
         }
-        due
     }
 }
 
@@ -119,6 +123,12 @@ impl Workload for ReleaseWorkload<'_> {
 
     fn arrivals_due(&mut self, now: f64) -> Vec<TaskId> {
         self.admit_until(now)
+    }
+
+    fn arrivals_due_into(&mut self, now: f64, out: &mut Vec<TaskId>) {
+        // Hot-path override: admissions append straight into the kernel's
+        // pooled buffer instead of allocating per event.
+        self.admit_until_into(now, out);
     }
 
     fn duration(

@@ -8,31 +8,94 @@
 //!
 //! Used by the independent-task algorithm, the online (release-dates)
 //! variant, and the DAG-mode policy in `heteroprio-schedulers`.
+//!
+//! # Bucketed representation
+//!
+//! The paper only ever consumes the queue from its two ends, so a full
+//! balanced-tree total order is more structure than Algorithm 1 needs.
+//! Keys are instead quantized into **log-spaced acceleration buckets** —
+//! one per octave of ρ, derived from the raw IEEE-754 exponent, which is
+//! monotone in ρ for the positive finite values construction guarantees.
+//! Each bucket is a [`VecDeque`] kept sorted by the *exact* key
+//! `(−ρ, tie, seq, id)`; an occupancy bitmap finds the extreme non-empty
+//! buckets in a few word scans. Pushes are an `O(1)` append whenever keys
+//! arrive in within-bucket order (the common case: ready batches arrive in
+//! ascending id/seq order and real workloads have few distinct ρ per
+//! octave); out-of-order keys take the **exact-ρ spill path**, an ordered
+//! insert that restores the sorted invariant. Pops take from the front of
+//! the first or the back of the last occupied bucket.
+//!
+//! Because every bucket is exactly sorted and bucket index is monotone in
+//! the key, the concatenation of buckets *is* the old `BTreeSet` total
+//! order: pop and iteration order are bit-identical to the tree-based
+//! implementation (pinned by `matches_sorted_queue_on_static_sets` below,
+//! the `queue_parity` proptests, and the `kernel_parity` suite).
 
 use crate::heteroprio::QueueTieBreak;
 use crate::model::{Instance, ResourceKind, TaskId};
 use crate::time::F64Ord;
-use std::collections::BTreeSet;
+use std::collections::VecDeque;
 
 /// Key ordering: ascending = the GPU end of the queue.
 type Key = (F64Ord, F64Ord, u64, TaskId);
 
+/// One bucket per f64 exponent value: sign (always 0 for a valid ρ) plus
+/// the 11 exponent bits.
+const BUCKET_BITS: u32 = 12;
+/// Number of log-spaced buckets (covers every positive finite ρ).
+const BUCKET_COUNT: usize = 1 << BUCKET_BITS;
+/// Words in the occupancy bitmap.
+const OCC_WORDS: usize = BUCKET_COUNT / 64;
+
+/// Bucket index for an acceleration factor, **descending** in ρ so that
+/// ascending bucket order matches ascending key order (the GPU end first).
+///
+/// For positive finite floats the IEEE-754 bit pattern is monotone in the
+/// value, so the top `BUCKET_BITS` bits (sign + exponent) quantize ρ into
+/// log-spaced octaves without touching `log2` (whose libm rounding is not
+/// guaranteed monotone).
+#[inline]
+fn bucket_of(rho: f64) -> usize {
+    let bits = rho.to_bits();
+    let raw = (bits >> (64 - BUCKET_BITS)) as usize;
+    (BUCKET_COUNT - 1) - raw
+}
+
 /// A dynamic ready queue ordered by acceleration factor.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct AffinityQueue {
     tie: QueueTieBreak,
-    set: BTreeSet<Key>,
+    /// `BUCKET_COUNT` sorted runs, allocated on first push (a fresh queue
+    /// costs nothing). Invariant: each deque is sorted ascending by `Key`,
+    /// and all keys in bucket `b` precede all keys in bucket `b + 1`.
+    buckets: Vec<VecDeque<Key>>,
+    /// Bit `b` set iff `buckets[b]` is non-empty.
+    occupancy: [u64; OCC_WORDS],
+    len: usize,
     seq: u64,
+}
+
+impl Default for AffinityQueue {
+    fn default() -> Self {
+        AffinityQueue::new(QueueTieBreak::default())
+    }
 }
 
 impl AffinityQueue {
     pub fn new(tie: QueueTieBreak) -> Self {
-        AffinityQueue { tie, set: BTreeSet::new(), seq: 0 }
+        AffinityQueue { tie, buckets: Vec::new(), occupancy: [0; OCC_WORDS], len: 0, seq: 0 }
     }
 
     fn key(&mut self, instance: &Instance, task: TaskId) -> Key {
         let t = instance.task(task);
-        let rho = t.accel_factor();
+        // Validated construction guarantees a positive finite ρ; a task
+        // smuggled in through raw public fields or an unvalidated
+        // `Instance::from_tasks` is rejected here, before the poisoned
+        // value can reach `F64Ord` and corrupt the queue order.
+        let rho = match t.try_accel_factor() {
+            Ok(rho) => rho,
+            Err(e) => panic!("cannot queue {task}: {e}"),
+        };
         let tie = match self.tie {
             QueueTieBreak::Priority => {
                 // lint: allow(float-ord): orientation branch, not arithmetic — ρ = 1 exactly
@@ -53,25 +116,75 @@ impl AffinityQueue {
     /// Insert a ready task.
     pub fn push(&mut self, instance: &Instance, task: TaskId) {
         let key = self.key(instance, task);
-        self.set.insert(key);
+        if self.buckets.is_empty() {
+            self.buckets.resize_with(BUCKET_COUNT, VecDeque::new);
+        }
+        let b = bucket_of(-(key.0).0);
+        let dq = &mut self.buckets[b];
+        match dq.back() {
+            // Exact-ρ spill path: the new key lands *inside* the bucket's
+            // sorted run (a finer ρ in the same octave, a higher-priority
+            // tie, or a re-announced task) — an ordered insert keeps the
+            // within-bucket order exact, so pop order stays bit-identical
+            // to the tree-based total order.
+            Some(last) if *last > key => {
+                let pos = dq.partition_point(|k| k < &key);
+                dq.insert(pos, key);
+            }
+            // Common case: FIFO arrival within a ρ/tie group appends.
+            _ => dq.push_back(key),
+        }
+        self.occupancy[b / 64] |= 1 << (b % 64);
+        self.len += 1;
+    }
+
+    /// Lowest occupied bucket index (the GPU end), if any.
+    #[inline]
+    fn first_occupied(&self) -> Option<usize> {
+        self.occupancy
+            .iter()
+            .enumerate()
+            .find(|(_, &w)| w != 0)
+            .map(|(i, &w)| i * 64 + w.trailing_zeros() as usize)
+    }
+
+    /// Highest occupied bucket index (the CPU end), if any.
+    #[inline]
+    fn last_occupied(&self) -> Option<usize> {
+        self.occupancy
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &w)| w != 0)
+            .map(|(i, &w)| i * 64 + 63 - w.leading_zeros() as usize)
     }
 
     /// Pop the task best suited to a worker of class `kind`: the most
     /// accelerated task for a GPU, the least accelerated for a CPU.
     pub fn pop(&mut self, kind: ResourceKind) -> Option<TaskId> {
-        let popped = match kind {
-            ResourceKind::Gpu => self.set.pop_first(),
-            ResourceKind::Cpu => self.set.pop_last(),
+        let (b, key) = match kind {
+            ResourceKind::Gpu => {
+                let b = self.first_occupied()?;
+                (b, self.buckets[b].pop_front().expect("occupied bucket is non-empty"))
+            }
+            ResourceKind::Cpu => {
+                let b = self.last_occupied()?;
+                (b, self.buckets[b].pop_back().expect("occupied bucket is non-empty"))
+            }
         };
-        popped.map(|(_, _, _, task)| task)
+        if self.buckets[b].is_empty() {
+            self.occupancy[b / 64] &= !(1 << (b % 64));
+        }
+        self.len -= 1;
+        Some(key.3)
     }
 
     pub fn len(&self) -> usize {
-        self.set.len()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.set.is_empty()
+        self.len == 0
     }
 
     /// Tasks from the GPU end to the CPU end, for snapshot capture.
@@ -79,7 +192,7 @@ impl AffinityQueue {
     /// sequence numbers are assigned ascending in iteration order, which
     /// preserves every FIFO tie.
     pub fn iter(&self) -> impl Iterator<Item = TaskId> + '_ {
-        self.set.iter().map(|&(_, _, _, task)| task)
+        self.buckets.iter().flat_map(|dq| dq.iter().map(|&(_, _, _, task)| task))
     }
 }
 
@@ -152,6 +265,132 @@ mod tests {
                 drained.push(t);
             }
             assert_eq!(drained, Vec::from(reference), "{tie:?}");
+        }
+    }
+
+    #[test]
+    fn rho_exactly_one_uses_gpu_side_priority_rule_on_both_queues() {
+        use crate::heteroprio::sorted_queue;
+        // ρ = 1.0 exactly sits on the orientation boundary of the priority
+        // tie rule. Both the static sort and the dynamic queue must apply
+        // the GPU-side rule (`ρ >= 1`): highest priority closest to the
+        // front. Pin the order on both so the two code paths cannot drift.
+        let mut inst = Instance::new();
+        let lo = inst.push(Task::new(3.0, 3.0).with_priority(1.0));
+        let hi = inst.push(Task::new(3.0, 3.0).with_priority(9.0));
+        let mid = inst.push(Task::new(3.0, 3.0).with_priority(5.0));
+        let ids: Vec<TaskId> = inst.ids().collect();
+
+        // Static queue: descending priority at ρ = 1.
+        let sorted = sorted_queue(&inst, &ids, QueueTieBreak::Priority);
+        assert_eq!(Vec::from(sorted), vec![hi, mid, lo]);
+
+        // Dynamic queue agrees, draining from either end.
+        let mut q = AffinityQueue::new(QueueTieBreak::Priority);
+        for &id in &ids {
+            q.push(&inst, id);
+        }
+        assert_eq!(q.pop(ResourceKind::Gpu), Some(hi), "GPU sees the highest priority first");
+        assert_eq!(q.pop(ResourceKind::Cpu), Some(lo), "CPU end holds the lowest priority");
+        assert_eq!(q.pop(ResourceKind::Gpu), Some(mid));
+
+        // Mixed ρ around the boundary: ρ = 1 tasks still group together
+        // and sit between accelerated and decelerated tasks.
+        let mut inst2 = Instance::new();
+        let fast = inst2.push(Task::new(4.0, 1.0));
+        let one_hi = inst2.push(Task::new(2.0, 2.0).with_priority(7.0));
+        let one_lo = inst2.push(Task::new(2.0, 2.0).with_priority(2.0));
+        let slow = inst2.push(Task::new(1.0, 4.0));
+        let ids2: Vec<TaskId> = inst2.ids().collect();
+        let expect = vec![fast, one_hi, one_lo, slow];
+        assert_eq!(Vec::from(sorted_queue(&inst2, &ids2, QueueTieBreak::Priority)), expect);
+        let mut q2 = AffinityQueue::new(QueueTieBreak::Priority);
+        for &id in &ids2 {
+            q2.push(&inst2, id);
+        }
+        let mut drained = Vec::new();
+        while let Some(t) = q2.pop(ResourceKind::Gpu) {
+            drained.push(t);
+        }
+        assert_eq!(drained, expect);
+    }
+
+    #[test]
+    fn non_finite_accel_factor_is_rejected_at_the_queue_boundary() {
+        // A task smuggled past validation (public fields) must be rejected
+        // with the typed ModelError message, not silently mis-ordered.
+        let inst = Instance::from_tasks(vec![Task {
+            cpu_time: 1e308,
+            gpu_time: 1e-308,
+            priority: 0.0,
+        }]);
+        let mut q = AffinityQueue::new(QueueTieBreak::Priority);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            q.push(&inst, TaskId(0));
+        }))
+        .expect_err("push of a non-finite-rho task must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("positive and finite"), "unexpected panic message: {msg}");
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_exact_order() {
+        // Exercise the spill path: push high-ρ tasks after lower-ρ ones in
+        // the same octave, interleaved with pops from both ends, and check
+        // against a straightforward sorted model.
+        let inst = Instance::from_times(&[
+            (3.0, 2.0), // ρ = 1.5
+            (7.0, 4.0), // ρ = 1.75  (same octave as 1.5)
+            (2.0, 1.0), // ρ = 2
+            (5.0, 4.0), // ρ = 1.25  (same octave again)
+            (9.0, 8.0), // ρ = 1.125
+        ]);
+        let mut q = AffinityQueue::new(QueueTieBreak::InsertionOrder);
+        q.push(&inst, TaskId(0));
+        q.push(&inst, TaskId(1)); // spill: 1.75 sorts before 1.5
+        q.push(&inst, TaskId(2)); // different octave
+        assert_eq!(q.pop(ResourceKind::Gpu), Some(TaskId(2)));
+        q.push(&inst, TaskId(3)); // appends after 1.5
+        q.push(&inst, TaskId(4)); // appends after 1.25
+        let mut front_drain = Vec::new();
+        while let Some(t) = q.pop(ResourceKind::Gpu) {
+            front_drain.push(t);
+        }
+        assert_eq!(front_drain, vec![TaskId(1), TaskId(0), TaskId(3), TaskId(4)]);
+    }
+
+    #[test]
+    fn iter_order_survives_snapshot_style_rebuild() {
+        // The snapshot protocol re-pushes iter() output in order with fresh
+        // sequence numbers; the rebuilt queue must drain identically.
+        let inst = Instance::from_times(&[
+            (2.0, 1.0),
+            (2.0, 1.0),
+            (6.0, 4.0),
+            (1.0, 2.0),
+            (3.0, 3.0),
+            (2.0, 1.0),
+        ]);
+        for tie in [QueueTieBreak::Priority, QueueTieBreak::InsertionOrder] {
+            let mut q = AffinityQueue::new(tie);
+            for id in inst.ids() {
+                q.push(&inst, id);
+            }
+            let _ = q.pop(ResourceKind::Cpu);
+            let saved: Vec<TaskId> = q.iter().collect();
+            let mut rebuilt = AffinityQueue::new(tie);
+            for &t in &saved {
+                rebuilt.push(&inst, t);
+            }
+            assert_eq!(rebuilt.iter().collect::<Vec<_>>(), saved, "{tie:?}");
+            while let Some(expect) = q.pop(ResourceKind::Gpu) {
+                assert_eq!(rebuilt.pop(ResourceKind::Gpu), Some(expect), "{tie:?}");
+            }
+            assert!(rebuilt.is_empty());
         }
     }
 }

@@ -216,6 +216,12 @@ impl Workload for DagWorkload<'_> {
         self.tracker.complete(self.graph, task)
     }
 
+    fn on_complete_into(&mut self, task: TaskId, out: &mut Vec<TaskId>) {
+        // Hot-path override: dependency release appends straight into the
+        // kernel's pooled buffer instead of allocating per completion.
+        self.tracker.complete_into(self.graph, task, out);
+    }
+
     /// Duration the engine charges for `task` on class `kind` (base time
     /// plus the cross-class transfer penalty when an input was produced on
     /// the other class).

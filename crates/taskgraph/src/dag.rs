@@ -215,15 +215,22 @@ impl ReadyTracker {
 
     /// Record completion of `task`; returns the tasks that just became ready.
     pub fn complete(&mut self, graph: &TaskGraph, task: TaskId) -> Vec<TaskId> {
-        self.remaining -= 1;
         let mut ready = Vec::new();
+        self.complete_into(graph, task, &mut ready);
+        ready
+    }
+
+    /// Allocation-free variant of [`ReadyTracker::complete`]: appends the
+    /// newly-ready tasks to `out`. The simulator's kernel workload calls
+    /// this once per completion with a pooled buffer.
+    pub fn complete_into(&mut self, graph: &TaskGraph, task: TaskId, out: &mut Vec<TaskId>) {
+        self.remaining -= 1;
         for &s in graph.successors(task) {
             self.indegree[s.index()] -= 1;
             if self.indegree[s.index()] == 0 {
-                ready.push(s);
+                out.push(s);
             }
         }
-        ready
     }
 
     /// Number of tasks not yet completed.

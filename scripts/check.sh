@@ -24,8 +24,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace
 echo "== kernel-parity bench smoke (--test: parity asserts, no timing)"
 cargo bench -q -p heteroprio-bench --bench kernel_parity -- --test
 
-echo "== perf smoke (schema + non-zero counters, no timing asserts)"
-cargo run -q -p heteroprio-cli -- perf --smoke > /dev/null
+echo "== perf smoke + regression gate (>20% tasks/sec loss vs committed baseline fails)"
+# Release mode: the gate compares wall-clock throughput against the
+# committed BENCH_kernel.json, and debug timings always "regress".
+cargo run -q --release -p heteroprio-cli -- perf --smoke --against BENCH_kernel.json
 
 echo "== audit smoke: record a trace, then re-audit it from disk"
 tmp="$(mktemp -d)"
