@@ -358,7 +358,8 @@ impl<'a> Replay<'a> {
                 let Some(t) = self.task_index(i, time, task, report) else { return };
                 if !self.ready[t] {
                     self.ready[t] = true;
-                    self.ready_count += 1;
+                    self.ready_count =
+                        self.ready_count.checked_add(1).expect("ready tasks fit in usize");
                 }
             }
             SchedEvent::QueuePop { time, task, worker, end } => {
@@ -395,7 +396,8 @@ impl<'a> Replay<'a> {
                     // Streams without pop/pick events reach here; with them
                     // the ready slot was already cleared at the pop.
                     self.ready[t] = false;
-                    self.ready_count -= 1;
+                    self.ready_count =
+                        self.ready_count.checked_sub(1).expect("guarded by self.ready[t]");
                 }
                 if self.running[w].is_some() {
                     report.violations.push(Violation {
@@ -545,7 +547,8 @@ impl<'a> Replay<'a> {
             }
         }
         self.ready[t] = false;
-        self.ready_count -= 1;
+        self.ready_count =
+            self.ready_count.checked_sub(1).expect("guarded by the ready-set check above");
     }
 
     /// §3 spoliation preconditions, checked at the `Spoliation` event.

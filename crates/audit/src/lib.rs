@@ -16,12 +16,13 @@
 //!    [`AuditOptions::dualhp`](auditor::AuditOptions::dualhp).
 //!
 //! 2. **The lint gate** ([`lint`]): repo-specific source checks that clippy
-//!    cannot express — raw f64 comparisons outside `core/src/time.rs`, bare
-//!    `unwrap()` in library code, truncating casts of scheduling math,
-//!    mutation of a `Schedule`'s vectors outside `crates/core` (the kernel
-//!    owns schedule construction), and `#![forbid(unsafe_code)]` on every
-//!    crate root. Run via the `audit-lint` binary from `scripts/check.sh`
-//!    and CI.
+//!    cannot express. The implementation moved to the dedicated
+//!    `heteroprio-lint` crate (a token-aware scanner with determinism and
+//!    panic-path rule families, baseline gating, and JSON/SARIF reports);
+//!    this crate re-exports it under the historical `lint` path so existing
+//!    imports keep working. Run via
+//!    `cargo run -q -p heteroprio-lint --bin audit-lint` from
+//!    `scripts/check.sh` and CI.
 //!
 //! The crate deliberately depends only on `core`, `trace` and `bounds`: the
 //! simulator, runtime and CLI call *into* it, never the other way around.
@@ -30,7 +31,7 @@
 
 pub mod auditor;
 pub(crate) mod dualhp_rules;
-pub mod lint;
+pub use heteroprio_lint as lint;
 pub mod report;
 pub mod stream;
 

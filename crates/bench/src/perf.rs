@@ -499,6 +499,8 @@ pub fn compare_against_baseline(
         }
         let ratio = rate / base;
         let line = format!("{name}: {rate:.0} vs baseline {base:.0} tasks/s ({ratio:.2}x)");
+        // lint: allow(float-ord): perf-gate regression threshold on a
+        // throughput ratio, not a simulated-time comparison.
         if ratio < 1.0 - tolerance {
             regressions.push(line.clone());
         }
@@ -551,7 +553,7 @@ mod tests {
         };
         let base = "{ \"cases\": [ { \"name\": \"a\", \"tasks_per_sec\": 1000.0 }, \
                      { \"name\": \"only_baseline\", \"tasks_per_sec\": 9.0 } ] }";
-        let base = &base.to_string();
+        let base = base.to_string();
         // Within tolerance (10% down on a 20% gate) passes with a report.
         let report = compare_against_baseline(&doc(900.0), &base, 0.2).expect("within tolerance");
         assert_eq!(report.len(), 1, "only overlapping names are compared: {report:?}");

@@ -11,7 +11,6 @@ pub mod format;
 
 pub use commands::{
     cmd_audit, cmd_bounds, cmd_dag, cmd_gen, cmd_perf, cmd_perf_gate, cmd_schedule, Algo,
-    CmdOutput, DagAlgoArg,
-    DurableOpts, FaultOpts, OutputOpts,
+    CmdOutput, DagAlgoArg, DurableOpts, FaultOpts, OutputOpts,
 };
 pub use format::{parse_instance, serialize_instance, ParseError};

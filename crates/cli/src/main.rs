@@ -380,8 +380,7 @@ fn run() -> Result<(), String> {
                 None => {}
             }
             if let Some(path) = &args.against {
-                let baseline =
-                    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                let baseline = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
                 print!("{}", cmd_perf_gate(&doc, &baseline)?);
             }
             Ok(())

@@ -749,7 +749,8 @@ impl<'m, J: Journal, M: MetricsRegistry + ?Sized> MeteredJournal<'m, J, M> {
     fn note_syncs(&mut self) {
         let done = self.inner.syncs();
         if done > self.seen_syncs {
-            self.m.inc_by(self.syncs, done - self.seen_syncs);
+            let fresh = done.checked_sub(self.seen_syncs).expect("guarded by done > seen_syncs");
+            self.m.inc_by(self.syncs, fresh);
             self.seen_syncs = done;
         }
     }

@@ -144,7 +144,10 @@ pub fn sorted_queue(instance: &Instance, ids: &[TaskId], tie: QueueTieBreak) -> 
                 .map(|(pos, &id)| (F64Ord(-instance.task(id).accel_factor()), pos))
                 .collect();
             sort_total(&mut keyed);
-            keyed.into_iter().map(|(_, pos)| ids[pos]).collect()
+            keyed
+                .into_iter()
+                .map(|(_, pos)| *ids.get(pos).expect("pos from enumerate over ids"))
+                .collect()
         }
         QueueTieBreak::Priority => {
             // Equal ρ: for ρ >= 1 put high priority first (GPU side), for
@@ -181,7 +184,8 @@ fn sort_total<T: Ord>(keyed: &mut [T]) {
     const MAX_RUNS: usize = 32;
     let mut runs = 1usize;
     for w in keyed.windows(2) {
-        if w[1] < w[0] {
+        let [a, b] = w else { unreachable!("windows(2) yields pairs") };
+        if b < a {
             runs += 1;
             if runs > MAX_RUNS {
                 break;
@@ -209,7 +213,7 @@ pub(crate) fn scan_victim(
     let mut candidates: Vec<(WorkerId, RunningTask)> = ctx
         .platform
         .workers_of(my_kind.other())
-        .filter_map(|v| ctx.running[v.index()].map(|r| (v, r)))
+        .filter_map(|v| ctx.running.get(v.index()).copied().flatten().map(|r| (v, r)))
         .collect();
     candidates.sort_by(|(_, a), (_, b)| {
         b.end.total_cmp(&a.end).then_with(|| {

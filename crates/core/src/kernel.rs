@@ -751,7 +751,7 @@ impl<'a, S: TraceSink, M: MetricsRegistry + ?Sized> Kernel<'a, S, M> {
         self.meter.m.inc(self.meter.trace_events);
         self.summary.record(&event);
         self.sink.emit(event);
-        self.emitted += 1;
+        self.emitted = self.emitted.checked_add(1).expect("u64 event counter never saturates");
         if self.crash_at == Some(self.emitted) {
             self.crashed = true;
             self.crashed_time = event.time();
@@ -978,7 +978,7 @@ impl<'a, S: TraceSink, M: MetricsRegistry + ?Sized> Kernel<'a, S, M> {
                 still_idle.push(w);
             }
             self.idle = still_idle;
-            self.idle.extend(newly_idle.drain(..));
+            self.idle.append(&mut newly_idle);
             idle.clear();
             self.scratch.workers_a = idle;
             self.scratch.workers_b = newly_idle;

@@ -45,6 +45,7 @@ pub mod kernel;
 pub mod list;
 pub mod model;
 pub mod online;
+pub mod parallel;
 pub mod queue;
 pub mod schedule;
 pub mod theory;

@@ -42,8 +42,9 @@ pub fn list_schedule(durations: &[f64], machines: usize) -> ListSchedule {
         let Reverse((F64Ord(free_at), m)) = heap.pop().expect("non-empty heap");
         assignment.push(m);
         starts.push(free_at);
-        loads[m] = free_at + d;
-        heap.push(Reverse((F64Ord::new(loads[m]), m)));
+        let load = loads.get_mut(m).expect("machine id from the heap");
+        *load = free_at + d;
+        heap.push(Reverse((F64Ord::new(*load), m)));
     }
     ListSchedule { assignment, starts, loads }
 }

@@ -337,7 +337,7 @@ impl Instance {
 
     #[inline]
     pub fn task(&self, id: TaskId) -> &Task {
-        &self.tasks[id.index()]
+        self.tasks.get(id.index()).expect("TaskId minted by this instance")
     }
 
     #[inline]
@@ -348,7 +348,7 @@ impl Instance {
     /// Update the tie-breaking priority of one task.
     #[inline]
     pub fn set_priority(&mut self, id: TaskId, priority: f64) {
-        self.tasks[id.index()].priority = priority;
+        self.tasks.get_mut(id.index()).expect("TaskId minted by this instance").priority = priority;
     }
 
     pub fn ids(&self) -> impl Iterator<Item = TaskId> + '_ {

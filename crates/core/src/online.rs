@@ -83,11 +83,17 @@ struct ReleaseWorkload<'a> {
     next: usize,
 }
 
+/// Checked release-time lookup; `releases` is validated to instance size.
+fn release_of(releases: &[f64], t: TaskId) -> f64 {
+    *releases.get(t.index()).expect("releases sized to the instance")
+}
+
 impl<'a> ReleaseWorkload<'a> {
     fn new(instance: &'a Instance, releases: &'a [f64]) -> Self {
         let mut arrivals: Vec<TaskId> = instance.ids().collect();
-        arrivals
-            .sort_by(|&a, &b| releases[a.index()].total_cmp(&releases[b.index()]).then(a.cmp(&b)));
+        arrivals.sort_by(|&a, &b| {
+            release_of(releases, a).total_cmp(&release_of(releases, b)).then(a.cmp(&b))
+        });
         ReleaseWorkload { instance, releases, arrivals, next: 0 }
     }
 
@@ -99,7 +105,7 @@ impl<'a> ReleaseWorkload<'a> {
 
     fn admit_until_into(&mut self, now: f64, out: &mut Vec<TaskId>) {
         while let Some(&t) = self.arrivals.get(self.next) {
-            if self.releases[t.index()] > now {
+            if release_of(self.releases, t) > now {
                 break;
             }
             out.push(t);
@@ -118,7 +124,7 @@ impl Workload for ReleaseWorkload<'_> {
     }
 
     fn next_arrival(&self) -> Option<f64> {
-        self.arrivals.get(self.next).map(|&t| self.releases[t.index()])
+        self.arrivals.get(self.next).map(|&t| release_of(self.releases, t))
     }
 
     fn arrivals_due(&mut self, now: f64) -> Vec<TaskId> {

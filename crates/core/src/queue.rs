@@ -58,6 +58,9 @@ const OCC_WORDS: usize = BUCKET_COUNT / 64;
 fn bucket_of(rho: f64) -> usize {
     let bits = rho.to_bits();
     let raw = (bits >> (64 - BUCKET_BITS)) as usize;
+    // lint: allow(unchecked-arith): raw is the top BUCKET_BITS bits, so
+    // raw <= BUCKET_COUNT - 1 by construction; const overflow is a
+    // compile error.
     (BUCKET_COUNT - 1) - raw
 }
 
@@ -109,7 +112,7 @@ impl AffinityQueue {
             QueueTieBreak::InsertionOrder => 0.0,
         };
         let seq = self.seq;
-        self.seq += 1;
+        self.seq = self.seq.checked_add(1).expect("u64 push sequence never saturates");
         (F64Ord::new(-rho), F64Ord::new(tie), seq, task)
     }
 
@@ -120,7 +123,7 @@ impl AffinityQueue {
             self.buckets.resize_with(BUCKET_COUNT, VecDeque::new);
         }
         let b = bucket_of(-(key.0).0);
-        let dq = &mut self.buckets[b];
+        let dq = self.buckets.get_mut(b).expect("bucket_of yields b < BUCKET_COUNT");
         match dq.back() {
             // Exact-ρ spill path: the new key lands *inside* the bucket's
             // sorted run (a finer ρ in the same octave, a higher-priority
@@ -134,8 +137,16 @@ impl AffinityQueue {
             // Common case: FIFO arrival within a ρ/tie group appends.
             _ => dq.push_back(key),
         }
-        self.occupancy[b / 64] |= 1 << (b % 64);
+        *self.occupancy.get_mut(b / 64).expect("occupancy sized to BUCKET_COUNT/64") |=
+            1 << (b % 64);
         self.len += 1;
+    }
+
+    /// Checked bucket accessor; `b` always comes from `bucket_of` or the
+    /// occupancy bitmap, both bounded by `BUCKET_COUNT`.
+    #[inline]
+    fn bucket_mut(&mut self, b: usize) -> &mut VecDeque<Key> {
+        self.buckets.get_mut(b).expect("bucket index from occupancy bitmap")
     }
 
     /// Lowest occupied bucket index (the GPU end), if any.
@@ -165,15 +176,16 @@ impl AffinityQueue {
         let (b, key) = match kind {
             ResourceKind::Gpu => {
                 let b = self.first_occupied()?;
-                (b, self.buckets[b].pop_front().expect("occupied bucket is non-empty"))
+                (b, self.bucket_mut(b).pop_front().expect("occupied bucket is non-empty"))
             }
             ResourceKind::Cpu => {
                 let b = self.last_occupied()?;
-                (b, self.buckets[b].pop_back().expect("occupied bucket is non-empty"))
+                (b, self.bucket_mut(b).pop_back().expect("occupied bucket is non-empty"))
             }
         };
-        if self.buckets[b].is_empty() {
-            self.occupancy[b / 64] &= !(1 << (b % 64));
+        if self.bucket_mut(b).is_empty() {
+            *self.occupancy.get_mut(b / 64).expect("occupancy sized to BUCKET_COUNT/64") &=
+                !(1 << (b % 64));
         }
         self.len -= 1;
         Some(key.3)
@@ -319,11 +331,8 @@ mod tests {
     fn non_finite_accel_factor_is_rejected_at_the_queue_boundary() {
         // A task smuggled past validation (public fields) must be rejected
         // with the typed ModelError message, not silently mis-ordered.
-        let inst = Instance::from_tasks(vec![Task {
-            cpu_time: 1e308,
-            gpu_time: 1e-308,
-            priority: 0.0,
-        }]);
+        let inst =
+            Instance::from_tasks(vec![Task { cpu_time: 1e308, gpu_time: 1e-308, priority: 0.0 }]);
         let mut q = AffinityQueue::new(QueueTieBreak::Priority);
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             q.push(&inst, TaskId(0));

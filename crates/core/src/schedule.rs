@@ -308,10 +308,11 @@ impl Schedule {
             if r.task.index() >= instance.len() {
                 return Err(ScheduleError::UnknownTask(r.task));
             }
-            if seen[r.task.index()] {
+            let slot = seen.get_mut(r.task.index()).expect("range-checked above");
+            if *slot {
                 return Err(ScheduleError::DuplicateTask(r.task));
             }
-            seen[r.task.index()] = true;
+            *slot = true;
         }
         for (i, s) in seen.iter().enumerate() {
             if !s {
@@ -361,14 +362,17 @@ impl Schedule {
     pub fn check_overlap(&self, platform: &Platform) -> Result<(), ScheduleError> {
         let mut per_worker: Vec<Vec<&TaskRun>> = vec![Vec::new(); platform.workers()];
         for r in self.runs.iter().chain(&self.aborted) {
-            per_worker[r.worker.index()].push(r);
+            per_worker
+                .get_mut(r.worker.index())
+                .expect("worker ids bounded by platform.workers()")
+                .push(r);
         }
         for (w, runs) in per_worker.iter_mut().enumerate() {
             // Sort by (start, end) so zero-length aborted runs sort before a
             // run starting at the same instant.
             runs.sort_by_key(|r| (F64Ord::new(r.start), F64Ord::new(r.end)));
             for pair in runs.windows(2) {
-                let (a, b) = (pair[0], pair[1]);
+                let [a, b] = *pair else { unreachable!("windows(2) yields pairs") };
                 if !approx_le(a.end, b.start) {
                     return Err(ScheduleError::Overlap {
                         worker: WorkerId(w as u32),
@@ -399,7 +403,7 @@ impl Schedule {
                 // lint: allow(cast-trunc): render quantization to character cells; clamped below.
                 let e = ((r.end * scale).ceil() as usize).clamp(s + 1, width);
                 let mark = if self.runs.iter().any(|c| std::ptr::eq(c, r)) { b'#' } else { b'x' };
-                for c in &mut row[s..e] {
+                for c in row.get_mut(s..e).into_iter().flatten() {
                     *c = mark;
                 }
                 labels.push((s, format!("{}", r.task)));

@@ -228,7 +228,7 @@ proptest! {
         let (distinct, copies) = dims;
         // `distinct` task shapes, each duplicated `copies` times.
         let specs: Vec<(usize, usize, usize)> = (0..distinct)
-            .flat_map(|d| std::iter::repeat((d, 0, d)).take(copies))
+            .flat_map(|d| std::iter::repeat_n((d, 0, d), copies))
             .collect();
         let inst = build_instance(&specs);
         for tie in [QueueTieBreak::Priority, QueueTieBreak::InsertionOrder] {

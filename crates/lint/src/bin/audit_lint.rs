@@ -1,0 +1,154 @@
+//! The lint gate binary: `cargo run -q -p heteroprio-lint --bin audit-lint`.
+//!
+//! Scans the workspace with the token-aware rules in `heteroprio_lint`,
+//! applies the committed `lint-baseline.json`, and exits nonzero when any
+//! new violation or stale baseline entry is found, so `scripts/check.sh`
+//! and CI can gate on it. `--format json|sarif` and `--report-dir` produce
+//! the machine-readable reports CI uploads as artifacts; when the
+//! `GITHUB_STEP_SUMMARY` environment variable is set, a one-line verdict
+//! is appended there for the job summary.
+
+#![forbid(unsafe_code)]
+
+use heteroprio_lint::{baseline, help_text, lint_workspace, LintReport, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: Option<String>,
+    format: Format,
+    out: Option<PathBuf>,
+    report_dir: Option<PathBuf>,
+    baseline_path: Option<PathBuf>,
+    use_baseline: bool,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
+fn workspace_root(arg: Option<String>) -> PathBuf {
+    if let Some(a) = arg {
+        return PathBuf::from(a);
+    }
+    // Walk up from the current directory to the first dir holding a
+    // `crates/` folder (works from the root or from inside a crate).
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn parse_args() -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        root: None,
+        format: Format::Text,
+        out: None,
+        report_dir: None,
+        baseline_path: None,
+        use_baseline: true,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--rules" => {
+                for m in RULES {
+                    println!("{:>22}  [{}] {}", m.name, m.family.as_str(), m.summary);
+                }
+                return Ok(None);
+            }
+            "--help" | "-h" => {
+                print!("{}", help_text());
+                return Ok(None);
+            }
+            "--format" => {
+                opts.format = match value("--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format {other:?}")),
+                };
+            }
+            "--out" => opts.out = Some(PathBuf::from(value("--out")?)),
+            "--report-dir" => opts.report_dir = Some(PathBuf::from(value("--report-dir")?)),
+            "--baseline" => opts.baseline_path = Some(PathBuf::from(value("--baseline")?)),
+            "--no-baseline" => opts.use_baseline = false,
+            other if !other.starts_with('-') && opts.root.is_none() => {
+                opts.root = Some(arg);
+            }
+            other => return Err(format!("unknown argument {other:?} (see --help)")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn run(opts: Options) -> Result<LintReport, String> {
+    let root = workspace_root(opts.root.clone());
+    let violations = lint_workspace(&root)?;
+    let entries = if opts.use_baseline {
+        let path = opts.baseline_path.clone().unwrap_or_else(|| root.join("lint-baseline.json"));
+        baseline::load(&path)?
+    } else {
+        Vec::new()
+    };
+    let report = baseline::apply(violations, &entries);
+    if let Some(dir) = &opts.report_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        let write = |name: &str, body: String| {
+            let path = dir.join(name);
+            std::fs::write(&path, body).map_err(|e| format!("{}: {e}", path.display()))
+        };
+        write("lint-report.json", report.json())?;
+        write("lint-report.sarif", report.sarif())?;
+    }
+    if let Ok(summary_path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        let line = format!("`{}`\n", report.summary_line());
+        let existing = std::fs::read_to_string(&summary_path).unwrap_or_default();
+        std::fs::write(&summary_path, existing + &line)
+            .map_err(|e| format!("{summary_path}: {e}"))?;
+    }
+    let body = match opts.format {
+        Format::Text => report.text(),
+        Format::Json => report.json(),
+        Format::Sarif => report.sarif(),
+    };
+    match &opts.out {
+        Some(path) => std::fs::write(path, body).map_err(|e| format!("{}: {e}", path.display()))?,
+        None if opts.format == Format::Text => {
+            if report.gate_failures() == 0 {
+                println!("{} ({})", report.summary_line(), root.display());
+            } else {
+                eprint!("{body}");
+            }
+        }
+        None => print!("{body}"),
+    }
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(None) => ExitCode::SUCCESS,
+        Ok(Some(opts)) => match run(opts) {
+            Ok(report) if report.gate_failures() == 0 => ExitCode::SUCCESS,
+            Ok(_) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("audit-lint: error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("audit-lint: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! The per-file analysis model built on the tokenizer: the masked
+//! (code-only) line view, the `#[cfg(test)]` scope map, and the
+//! `lint: allow(rule): reason` directive table.
+
+use crate::token::{masked_lines, tokenize, Token, TokenKind};
+use crate::LintViolation;
+
+/// Everything the rules need to know about one source file.
+pub struct SourceFile<'a> {
+    pub path: &'a str,
+    pub tokens: Vec<Token<'a>>,
+    /// One entry per line, with non-code tokens blanked to spaces.
+    pub masked: Vec<String>,
+    /// `is_test[i]` — is 0-based line `i` inside a `#[cfg(test)]` item?
+    pub is_test: Vec<bool>,
+    /// Resolved allow directives: (0-based target line, rule names).
+    allows: Vec<(usize, Vec<String>)>,
+    /// Malformed directives found while parsing (rule `allow-directive`).
+    pub directive_violations: Vec<LintViolation>,
+}
+
+impl<'a> SourceFile<'a> {
+    pub fn parse(path: &'a str, text: &'a str) -> Self {
+        let tokens = tokenize(text);
+        let masked = masked_lines(text, &tokens);
+        let is_test = test_lines(&tokens, masked.len());
+        let mut sf = SourceFile {
+            path,
+            tokens,
+            masked,
+            is_test,
+            allows: Vec::new(),
+            directive_violations: Vec::new(),
+        };
+        sf.collect_directives();
+        sf
+    }
+
+    /// Is `rule` allowed on 0-based line `line0` by a directive?
+    pub fn allowed(&self, line0: usize, rule: &str) -> bool {
+        self.allows.iter().any(|(t, rules)| *t == line0 && rules.iter().any(|r| r == rule))
+    }
+
+    /// Is 0-based line `line0` inside a `#[cfg(test)]` region?
+    pub fn in_test(&self, line0: usize) -> bool {
+        self.is_test.get(line0).copied().unwrap_or(false)
+    }
+
+    /// Tokens that are code (skipping comments), for adjacency scans.
+    pub fn code_tokens(&self) -> impl Iterator<Item = &Token<'a>> {
+        self.tokens.iter().filter(|t| !t.is_comment())
+    }
+
+    /// Walk the plain comments and turn leading `lint: allow(...)` content
+    /// into allow entries. The directive must be the comment's *leading*
+    /// content: a comment that merely mentions the grammar mid-sentence is
+    /// not a directive (the old scanner got this wrong in both directions —
+    /// see the regression tests in `tests/lint.rs`). Doc comments are
+    /// documentation and never directives.
+    fn collect_directives(&mut self) {
+        let mut found: Vec<(usize, Vec<String>)> = Vec::new();
+        for t in &self.tokens {
+            let body = match t.kind {
+                TokenKind::LineComment => t.text.trim_start_matches('/'),
+                TokenKind::BlockComment => t.text.trim_start_matches("/*").trim_end_matches("*/"),
+                _ => continue,
+            };
+            let line0 = t.line - 1;
+            if self.in_test(line0) {
+                continue;
+            }
+            let Some(rest) = body.trim_start().strip_prefix("lint:") else { continue };
+            let Some(args) = rest.trim_start().strip_prefix("allow(") else { continue };
+            match parse_allow_args(args) {
+                Ok(rules) => {
+                    if let Some(target) = self.directive_target(t) {
+                        found.push((target, rules));
+                    }
+                }
+                Err(msg) => self.directive_violations.push(LintViolation {
+                    file: self.path.to_string(),
+                    line: t.line,
+                    rule: "allow-directive",
+                    message: msg,
+                }),
+            }
+        }
+        self.allows = found;
+    }
+
+    /// The 0-based line a directive comment covers: its own line when that
+    /// line has code (before or after the comment), otherwise the next
+    /// line that has code.
+    fn directive_target(&self, t: &Token<'_>) -> Option<usize> {
+        let start = t.line - 1;
+        let end = t.end_line() - 1;
+        for l in start..=end {
+            if self.masked.get(l).is_some_and(|m| !m.trim().is_empty()) {
+                return Some(l);
+            }
+        }
+        (end + 1..self.masked.len()).find(|&l| !self.masked[l].trim().is_empty())
+    }
+}
+
+/// Parse the `rule, rule): reason` tail of an allow directive.
+fn parse_allow_args(args: &str) -> Result<Vec<String>, String> {
+    let Some(close) = args.find(')') else {
+        return Err("unterminated lint: allow(...) directive".into());
+    };
+    let rules: Vec<String> = args[..close].split(',').map(|r| r.trim().to_string()).collect();
+    for r in &rules {
+        if !crate::rules::RULES.iter().any(|m| m.name == r) {
+            return Err(format!("unknown lint rule {r:?} in allow directive"));
+        }
+    }
+    let reason = args[close + 1..].trim_start_matches([':', ' ', '\t']);
+    if reason.trim().is_empty() {
+        return Err("allow directive must state the invariant: lint: allow(rule): reason".into());
+    }
+    Ok(rules)
+}
+
+/// Mark every line belonging to a `#[cfg(test)]`-guarded item. Works on
+/// the token stream: the attribute's idents are inspected (so `cfg(test)`
+/// and `cfg(all(test, ...))` count but `cfg(not(test))` does not), and the
+/// guarded item extends to its matching close brace — or to the first
+/// top-level `;` for brace-less items like `use` declarations, which the
+/// old line-based tracker silently over-extended past.
+fn test_lines(tokens: &[Token<'_>], n_lines: usize) -> Vec<bool> {
+    let mut flags = vec![false; n_lines];
+    let code: Vec<&Token<'_>> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut mark = |t: &Token<'_>| {
+        for f in flags.iter_mut().take(t.end_line().min(n_lines)).skip(t.line - 1) {
+            *f = true;
+        }
+    };
+    let mut j = 0;
+    while j < code.len() {
+        if !(code[j].text == "#" && code.get(j + 1).is_some_and(|t| t.text == "[")) {
+            j += 1;
+            continue;
+        }
+        let (attr_end, is_test) = scan_attribute(&code, j);
+        if !is_test {
+            j = attr_end;
+            continue;
+        }
+        for t in &code[j..attr_end] {
+            mark(t);
+        }
+        // Any further attributes belong to the same item.
+        let mut k = attr_end;
+        while k < code.len()
+            && code[k].text == "#"
+            && code.get(k + 1).is_some_and(|t| t.text == "[")
+        {
+            let (e, _) = scan_attribute(&code, k);
+            for t in &code[k..e] {
+                mark(t);
+            }
+            k = e;
+        }
+        // The item body: through the matching brace of the first `{`, or
+        // a `;` before any brace opens.
+        let mut depth = 0usize;
+        while k < code.len() {
+            mark(code[k]);
+            match code[k].text {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        k += 1;
+                        break;
+                    }
+                }
+                ";" if depth == 0 => {
+                    k += 1;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        j = k;
+    }
+    flags
+}
+
+/// Scan an attribute starting at `#` (index `j` in `code`). Returns the
+/// index just past the closing `]` and whether it is a test-cfg attribute.
+fn scan_attribute(code: &[&Token<'_>], j: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut saw_cfg = false;
+    let mut saw_test = false;
+    let mut saw_not = false;
+    let mut k = j + 1;
+    while k < code.len() {
+        match code[k].text {
+            "[" => depth += 1,
+            "]" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    k += 1;
+                    break;
+                }
+            }
+            "cfg" => saw_cfg = true,
+            "test" => saw_test = true,
+            "not" => saw_not = true,
+            _ => {}
+        }
+        k += 1;
+    }
+    (k, saw_cfg && saw_test && !saw_not)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_scopes_cover_items_and_stop_at_semicolons() {
+        let text = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let sf = SourceFile::parse("x.rs", text);
+        assert_eq!(sf.is_test, vec![false, true, true, true, true, false]);
+        // A brace-less guarded item ends at its semicolon.
+        let text = "#[cfg(test)]\nuse foo::bar;\nfn real() {}\n";
+        let sf = SourceFile::parse("x.rs", text);
+        assert_eq!(sf.is_test, vec![true, true, false]);
+        // cfg(not(test)) guards production code, not tests.
+        let text = "#[cfg(not(test))]\nfn real() {}\n";
+        let sf = SourceFile::parse("x.rs", text);
+        assert_eq!(sf.is_test, vec![false, false]);
+        // cfg(all(test, feature)) is a test scope.
+        let text = "#[cfg(all(test, unix))]\nmod t {\n}\n";
+        let sf = SourceFile::parse("x.rs", text);
+        assert!(sf.is_test[1]);
+        // Braces inside char literals must not derail depth tracking.
+        let text = "#[cfg(test)]\nmod tests {\n    fn t() { out.push('{'); }\n}\nfn after() {}\n";
+        let sf = SourceFile::parse("x.rs", text);
+        assert_eq!(sf.is_test, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn directives_resolve_to_their_own_or_next_code_line() {
+        let text =
+            "// lint: allow(unwrap): reason one.\nfoo();\nbar(); // lint: allow(unwrap): two.\n";
+        let sf = SourceFile::parse("x.rs", text);
+        assert!(sf.allowed(1, "unwrap"));
+        assert!(sf.allowed(2, "unwrap"));
+        assert!(!sf.allowed(0, "unwrap"));
+    }
+
+    #[test]
+    fn mid_comment_mentions_are_not_directives() {
+        let text = "x.unwrap(); // see the docs for lint: allow(unwrap): syntax\n";
+        let sf = SourceFile::parse("x.rs", text);
+        assert!(!sf.allowed(0, "unwrap"));
+        assert!(sf.directive_violations.is_empty());
+    }
+
+    #[test]
+    fn doc_comments_never_carry_directives() {
+        let text = "/// lint: allow(unwrap): documented syntax, not a directive\nfoo().unwrap();\n";
+        let sf = SourceFile::parse("x.rs", text);
+        assert!(!sf.allowed(1, "unwrap"));
+        let text = "//! lint: allow(unwrap): module docs\nfoo().unwrap();\n";
+        let sf = SourceFile::parse("x.rs", text);
+        assert!(!sf.allowed(1, "unwrap"));
+    }
+
+    #[test]
+    fn malformed_directives_are_violations() {
+        let sf = SourceFile::parse("x.rs", "// lint: allow(unwrap)\nfoo();\n");
+        assert_eq!(sf.directive_violations.len(), 1, "missing reason");
+        let sf = SourceFile::parse("x.rs", "// lint: allow(made-up): why\nfoo();\n");
+        assert_eq!(sf.directive_violations.len(), 1, "unknown rule");
+        let sf = SourceFile::parse("x.rs", "// lint: allow(unwrap: no close\nfoo();\n");
+        assert_eq!(sf.directive_violations.len(), 1, "unterminated");
+    }
+}

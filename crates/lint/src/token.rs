@@ -1,0 +1,565 @@
+//! A lightweight, hand-rolled Rust tokenizer.
+//!
+//! This is not a full lexer for the language — it is exactly the subset the
+//! lint rules need to be *sound about scope*: comments (line/block/doc,
+//! nested), string/byte-string/raw-string literals (including multi-line
+//! ones, which the old per-line regex scanner leaked), char and byte
+//! literals vs lifetimes, numeric literals with suffixes, identifiers
+//! (including `r#raw` ones), and multi-character operators. Every byte of
+//! the input belongs to exactly one token or to inter-token whitespace, so
+//! downstream passes can blank out non-code tokens and get a masked view of
+//! the source whose byte offsets still line up with the original.
+//!
+//! The tokenizer never fails: malformed input (an unterminated string, a
+//! lone backslash) degrades to a best-effort token that extends to the end
+//! of the input, which is the right behaviour for a linter that must not
+//! panic on the code it is judging.
+
+/// The classification of one [`Token`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw `r#ident` forms).
+    Ident,
+    /// A lifetime or loop label such as `'a` (not a char literal).
+    Lifetime,
+    /// An integer literal, with any suffix (`0`, `0xff_u32`).
+    Int,
+    /// A float literal, with any suffix (`1.0`, `2e-9`, `3f64`).
+    Float,
+    /// A normal string literal `"..."`, possibly spanning lines.
+    Str,
+    /// A raw string literal `r"..."` / `r#"..."#`.
+    RawStr,
+    /// A byte-string literal `b"..."`.
+    ByteStr,
+    /// A raw byte-string literal `br#"..."#`.
+    RawByteStr,
+    /// A char literal `'x'` (including escapes).
+    Char,
+    /// A byte literal `b'x'`.
+    Byte,
+    /// A plain `//` line comment (directives live here).
+    LineComment,
+    /// A `///` or `//!` doc comment (documentation, never a directive).
+    DocLineComment,
+    /// A plain `/* ... */` block comment, possibly nested and multi-line.
+    BlockComment,
+    /// A `/** ... */` or `/*! ... */` doc block comment.
+    DocBlockComment,
+    /// Any operator or delimiter; multi-character operators (`==`, `..=`,
+    /// `<<=`, `::`, `->`, ...) are a single token.
+    Punct,
+}
+
+/// One token: its kind, raw text, byte offset and 1-based start line.
+#[derive(Clone, Copy, Debug)]
+pub struct Token<'a> {
+    pub kind: TokenKind,
+    pub text: &'a str,
+    /// Byte offset of the first byte in the source.
+    pub start: usize,
+    /// 1-based line number of the first byte.
+    pub line: usize,
+}
+
+impl Token<'_> {
+    /// Byte offset just past the last byte.
+    pub fn end(&self) -> usize {
+        self.start + self.text.len()
+    }
+
+    /// 1-based line number of the last byte (tokens can span lines).
+    pub fn end_line(&self) -> usize {
+        self.line + self.text.matches('\n').count()
+    }
+
+    /// Is this any kind of comment?
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment
+                | TokenKind::DocLineComment
+                | TokenKind::BlockComment
+                | TokenKind::DocBlockComment
+        )
+    }
+
+    /// Does this token survive into the masked (code-only) view? Literal
+    /// *contents*, comments and lifetimes do not: rules that grep the
+    /// masked text can never be fooled by them.
+    pub fn is_code(&self) -> bool {
+        matches!(self.kind, TokenKind::Ident | TokenKind::Int | TokenKind::Float | TokenKind::Punct)
+    }
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "&&", "||", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=",
+    "^=", "&=", "|=", "<<", ">>", "..", "::", "->", "=>",
+];
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenize a whole source file. Infallible; see the module docs.
+pub fn tokenize(src: &str) -> Vec<Token<'_>> {
+    Lexer { src, b: src.as_bytes(), i: 0, line: 1 }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    b: &'a [u8],
+    i: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        let mut out = Vec::new();
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            if c == b'\n' {
+                self.line = self.line.checked_add(1).expect("line count fits in usize");
+                self.i += 1;
+                continue;
+            }
+            if c.is_ascii_whitespace() {
+                self.i += 1;
+                continue;
+            }
+            let start = self.i;
+            let line = self.line;
+            let kind = self.next_kind(c);
+            out.push(Token { kind, text: &self.src[start..self.i], start, line });
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    /// Consume one token starting at `self.i` and return its kind.
+    fn next_kind(&mut self, c: u8) -> TokenKind {
+        match c {
+            b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+            b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+            b'r' => self.r_prefixed(),
+            b'b' => self.b_prefixed(),
+            b'"' => self.string(),
+            b'\'' => self.char_or_lifetime(),
+            _ if c.is_ascii_digit() => self.number(),
+            _ if is_ident_start(c) => self.ident(),
+            _ => self.punct(),
+        }
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.i += 1;
+        }
+        let text = &self.src[start..self.i];
+        // `////...` is a plain comment in rustc's grammar; only exactly
+        // `///` (outer) and `//!` (inner) are documentation.
+        let doc = (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+        if doc {
+            TokenKind::DocLineComment
+        } else {
+            TokenKind::LineComment
+        }
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        let start = self.i;
+        self.i += 2;
+        let mut depth = 1usize;
+        while self.i < self.b.len() && depth > 0 {
+            if self.b[self.i..].starts_with(b"/*") {
+                depth += 1;
+                self.i += 2;
+            } else if self.b[self.i..].starts_with(b"*/") {
+                depth -= 1;
+                self.i += 2;
+            } else {
+                if self.b[self.i] == b'\n' {
+                    self.line += 1;
+                }
+                self.i += 1;
+            }
+        }
+        let text = &self.src[start..self.i];
+        // `/**/` and `/***/` are plain; `/**x` and `/*!x` are doc.
+        let doc = (text.starts_with("/**") && !text.starts_with("/***") && text.len() > 4)
+            || text.starts_with("/*!");
+        if doc {
+            TokenKind::DocBlockComment
+        } else {
+            TokenKind::BlockComment
+        }
+    }
+
+    /// `r"..."`, `r#"..."#`, or a raw identifier `r#ident`, or a plain
+    /// identifier starting with `r`.
+    fn r_prefixed(&mut self) -> TokenKind {
+        let mut j = 1usize;
+        while self.peek(j) == Some(b'#') {
+            j += 1;
+        }
+        if self.peek(j) == Some(b'"') {
+            let hashes = j - 1;
+            self.i += j + 1; // past r##...#"
+            self.raw_string_tail(hashes);
+            return TokenKind::RawStr;
+        }
+        if j == 2 && self.peek(1) == Some(b'#') && self.peek(2).is_some_and(is_ident_start) {
+            self.i += 2; // past r#
+            return self.ident();
+        }
+        self.ident()
+    }
+
+    /// `b"..."`, `b'...'`, `br#"..."#`, or an identifier starting with `b`.
+    fn b_prefixed(&mut self) -> TokenKind {
+        match self.peek(1) {
+            Some(b'"') => {
+                self.i += 1;
+                self.string();
+                TokenKind::ByteStr
+            }
+            Some(b'\'') => {
+                self.i += 1;
+                // A byte literal is always a char-literal shape; `b'` is
+                // never a lifetime.
+                self.char_or_lifetime();
+                TokenKind::Byte
+            }
+            Some(b'r') => {
+                let mut j = 2usize;
+                while self.peek(j) == Some(b'#') {
+                    j += 1;
+                }
+                if self.peek(j) == Some(b'"') {
+                    let hashes = j - 2;
+                    self.i += j + 1;
+                    self.raw_string_tail(hashes);
+                    return TokenKind::RawByteStr;
+                }
+                self.ident()
+            }
+            _ => self.ident(),
+        }
+    }
+
+    /// Consume a raw-string body up to `"` followed by `hashes` `#`s.
+    fn raw_string_tail(&mut self, hashes: usize) {
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'"' {
+                let mut k = 0usize;
+                while k < hashes && self.peek(1 + k) == Some(b'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    self.i += 1 + hashes;
+                    return;
+                }
+            }
+            if self.b[self.i] == b'\n' {
+                self.line += 1;
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Consume a normal (possibly multi-line) string starting at `"`.
+    fn string(&mut self) -> TokenKind {
+        self.i += 1;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => {
+                    // A line-continuation escape (`\` at end of line) hides
+                    // a newline inside the escape pair — count it, or every
+                    // line number after it drifts.
+                    if self.peek(1) == Some(b'\n') {
+                        self.line += 1;
+                    }
+                    self.i = (self.i + 2).min(self.b.len());
+                }
+                b'"' => {
+                    self.i += 1;
+                    return TokenKind::Str;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        TokenKind::Str // unterminated: degrade to end of input
+    }
+
+    /// Disambiguate a char literal from a lifetime/label at a `'`.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        if let Some(end) = char_literal_end(self.b, self.i) {
+            self.i = end;
+            return TokenKind::Char;
+        }
+        self.i += 1;
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+        TokenKind::Lifetime
+    }
+
+    fn number(&mut self) -> TokenKind {
+        if self.b[self.i] == b'0' && matches!(self.peek(1), Some(b'x' | b'o' | b'b')) {
+            // Prefixed integer: consume the prefix and every ident-ish byte
+            // (digits, hex letters, underscores, and the suffix).
+            self.i += 2;
+            while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+                self.i += 1;
+            }
+            return TokenKind::Int;
+        }
+        let mut float = false;
+        self.digits();
+        if self.b.get(self.i) == Some(&b'.') {
+            match self.peek(1) {
+                Some(d) if d.is_ascii_digit() => {
+                    float = true;
+                    self.i += 1;
+                    self.digits();
+                }
+                // `1.` is a float, but `1..n` is a range and `1.max(x)` a
+                // method call on an integer.
+                Some(d) if !is_ident_start(d) && d != b'.' => {
+                    float = true;
+                    self.i += 1;
+                }
+                None => {
+                    float = true;
+                    self.i += 1;
+                }
+                _ => {}
+            }
+        }
+        if matches!(self.b.get(self.i), Some(b'e' | b'E')) {
+            let sign = matches!(self.peek(1), Some(b'+' | b'-'));
+            let digit_at = if sign { 2 } else { 1 };
+            if self.peek(digit_at).is_some_and(|d| d.is_ascii_digit()) {
+                float = true;
+                self.i += digit_at;
+                self.digits();
+            }
+        }
+        // Type suffix (`u32`, `f64`, ...), also consumes `_` separators.
+        let suffix_start = self.i;
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+        let suffix = &self.src[suffix_start..self.i];
+        if suffix.ends_with("f32") || suffix.ends_with("f64") {
+            float = true;
+        }
+        if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        }
+    }
+
+    fn digits(&mut self) {
+        while self.i < self.b.len() && (self.b[self.i].is_ascii_digit() || self.b[self.i] == b'_') {
+            self.i += 1;
+        }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        self.i += 1;
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+        TokenKind::Ident
+    }
+
+    fn punct(&mut self) -> TokenKind {
+        for op in MULTI_PUNCT {
+            if self.b[self.i..].starts_with(op.as_bytes()) {
+                self.i += op.len();
+                return TokenKind::Punct;
+            }
+        }
+        self.i += 1;
+        TokenKind::Punct
+    }
+}
+
+/// If a char/byte literal starts at the quote at `q`, return the byte index
+/// just past its closing quote. `None` means "this is a lifetime".
+fn char_literal_end(b: &[u8], q: usize) -> Option<usize> {
+    let mut i = q + 1;
+    if i >= b.len() {
+        return None;
+    }
+    if b[i] == b'\\' {
+        i += 1;
+        if i >= b.len() {
+            return None;
+        }
+        match b[i] {
+            b'u' => {
+                // \u{...}
+                i += 1;
+                if b.get(i) != Some(&b'{') {
+                    return None;
+                }
+                while i < b.len() && b[i] != b'}' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            b'x' => i += 3, // \xNN
+            _ => i += 1,    // \n, \', \\ ...
+        }
+    } else if b[i] == b'\'' {
+        return None; // '' is not a literal
+    } else {
+        // One UTF-8 character.
+        i += 1;
+        while i < b.len() && (b[i] & 0xC0) == 0x80 {
+            i += 1;
+        }
+    }
+    (b.get(i) == Some(&b'\'')).then(|| i + 1)
+}
+
+/// The masked (code-only) view of the source: one `String` per line, with
+/// every byte of a non-code token (comments, literal contents, lifetimes)
+/// replaced by a space. Byte offsets within each line are preserved, so
+/// expression-shaped heuristics can still walk the text.
+pub fn masked_lines(src: &str, tokens: &[Token<'_>]) -> Vec<String> {
+    let mut bytes = src.as_bytes().to_vec();
+    for t in tokens {
+        if t.is_code() {
+            continue;
+        }
+        for byte in &mut bytes[t.start..t.start + t.text.len()] {
+            if *byte != b'\n' {
+                *byte = b' ';
+            }
+        }
+    }
+    // Code tokens are kept whole and everything else is ASCII spaces, so
+    // the buffer is still valid UTF-8; from_utf8_lossy never actually
+    // replaces anything here but avoids an unwrap.
+    String::from_utf8_lossy(&bytes).lines().map(str::to_string).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        tokenize(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn lexes_comments_strings_chars_and_numbers() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("let x = 1.5; // hi"),
+            vec![
+                (Ident, "let"),
+                (Ident, "x"),
+                (Punct, "="),
+                (Float, "1.5"),
+                (Punct, ";"),
+                (LineComment, "// hi")
+            ]
+        );
+        assert_eq!(kinds("/// doc")[0].0, DocLineComment);
+        assert_eq!(kinds("//! inner")[0].0, DocLineComment);
+        assert_eq!(kinds("//// plain")[0].0, LineComment);
+        assert_eq!(
+            kinds("/* a /* nested */ b */ x"),
+            vec![(BlockComment, "/* a /* nested */ b */"), (Ident, "x")]
+        );
+        assert_eq!(
+            kinds("\"s\" b\"b\" r#\"r\"# 'c' b'0' 'life"),
+            vec![
+                (Str, "\"s\""),
+                (ByteStr, "b\"b\""),
+                (RawStr, "r#\"r\"#"),
+                (Char, "'c'"),
+                (Byte, "b'0'"),
+                (Lifetime, "'life")
+            ]
+        );
+        assert_eq!(
+            kinds("0x1f_u32 1_000 2e-9 1.0f64 x.0 0..n"),
+            vec![
+                (Int, "0x1f_u32"),
+                (Int, "1_000"),
+                (Float, "2e-9"),
+                (Float, "1.0f64"),
+                (Ident, "x"),
+                (Punct, "."),
+                (Int, "0"),
+                (Int, "0"),
+                (Punct, ".."),
+                (Ident, "n")
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_line_strings_and_comments_track_lines() {
+        let src = "let s = \"line one\n.unwrap()\";\nx.unwrap();\n";
+        let toks = tokenize(src);
+        let unwraps: Vec<usize> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident && t.text == "unwrap")
+            .map(|t| t.line)
+            .collect();
+        assert_eq!(unwraps, vec![3], "only the real unwrap, on line 3");
+        let s = toks.iter().find(|t| t.kind == TokenKind::Str).expect("string token");
+        assert_eq!((s.line, s.end_line()), (1, 2));
+        // Escaped newlines (string line continuations) still count.
+        let src = "let s = \"one \\\ntwo\";\nx.unwrap();\n";
+        let toks = tokenize(src);
+        let unwrap = toks.iter().find(|t| t.text == "unwrap").expect("unwrap token");
+        assert_eq!(unwrap.line, 3, "line continuation must not shift later lines");
+    }
+
+    #[test]
+    fn masked_view_blanks_literals_and_comments() {
+        let src = "let s = \"a == 1.0\"; // b == 2.0\nif a == 1.0 {}\n";
+        let masked = masked_lines(src, &tokenize(src));
+        assert_eq!(masked[0], "let s =           ;            ");
+        assert_eq!(masked[1], "if a == 1.0 {}");
+    }
+
+    #[test]
+    fn raw_identifiers_and_prefixed_words_are_idents() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("r#type break rate"),
+            vec![(Ident, "r#type"), (Ident, "break"), (Ident, "rate")]
+        );
+        // `r` / `b` followed by non-quote stays an identifier.
+        assert_eq!(kinds("br(x)")[0], (Ident, "br"));
+    }
+
+    #[test]
+    fn unterminated_tokens_extend_to_eof_without_panicking() {
+        assert_eq!(tokenize("let s = \"open").last().map(|t| t.kind), Some(TokenKind::Str));
+        assert_eq!(tokenize("/* open").last().map(|t| t.kind), Some(TokenKind::BlockComment));
+        assert_eq!(tokenize("r#\"open").last().map(|t| t.kind), Some(TokenKind::RawStr));
+    }
+}

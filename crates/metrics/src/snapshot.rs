@@ -31,12 +31,13 @@ impl HistogramSnapshot {
         if self.count == 0 {
             return 0;
         }
-        // lint: allow(cast-trunc): deliberate quantization of a rank; the
-        // product is ≤ count, which fits u64 exactly.
+        // lint: allow(cast-trunc, unchecked-arith): deliberate quantization
+        // of a rank via float math; the product is ≤ count, which fits u64
+        // exactly, so neither the multiply nor the cast can overflow.
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
+            seen = seen.checked_add(c).expect("bucket tallies sum to total count, fits u64");
             if seen >= rank {
                 return bucket_upper(i).unwrap_or(u64::MAX);
             }

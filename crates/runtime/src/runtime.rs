@@ -211,22 +211,25 @@ impl Runtime {
         let id = self.builder.add_task(task, name);
         for &(h, access) in accesses {
             assert!(h.index() < self.data_labels.len(), "unregistered handle {h:?}");
+            let writer = *self.last_writer.get(h.index()).expect("handle range asserted above");
             if access.writes() {
-                self.builder.add_edge_opt(self.last_writer[h.index()], id);
-                for &r in &self.readers[h.index()] {
+                self.builder.add_edge_opt(writer, id);
+                let readers = self.readers.get_mut(h.index()).expect("handle range asserted above");
+                for &r in readers.iter() {
                     if r != id {
                         self.builder.add_edge(r, id);
                     }
                 }
-                self.readers[h.index()].clear();
-                self.last_writer[h.index()] = Some(id);
+                readers.clear();
+                *self.last_writer.get_mut(h.index()).expect("handle range asserted above") =
+                    Some(id);
                 if access.reads() {
                     // RW: the task is also the first reader of its own write;
                     // nothing to record (it cannot depend on itself).
                 }
             } else {
-                self.builder.add_edge_opt(self.last_writer[h.index()], id);
-                self.readers[h.index()].push(id);
+                self.builder.add_edge_opt(writer, id);
+                self.readers.get_mut(h.index()).expect("handle range asserted above").push(id);
             }
         }
         id

@@ -298,7 +298,7 @@ impl OnlinePolicy for DualHpDagPolicy {
     fn on_ready(&mut self, tasks: &[TaskId], _ctx: &SimContext<'_>) {
         for &t in tasks {
             self.pending.push((t, self.seq));
-            self.seq += 1;
+            self.seq = self.seq.checked_add(1).expect("u64 push sequence never saturates");
         }
         self.dirty = true;
     }

@@ -38,14 +38,18 @@ pub fn heft(
     let mut end_of = vec![0.0_f64; graph.len()];
     let mut runs = Vec::with_capacity(graph.len());
     for task in order {
-        let ready = graph.predecessors(task).iter().map(|p| end_of[p.index()]).fold(0.0, f64::max);
+        let ready = graph
+            .predecessors(task)
+            .iter()
+            .map(|p| *end_of.get(p.index()).expect("end_of sized to graph.len()"))
+            .fold(0.0, f64::max);
         let mut best: Option<(F64Ord, WorkerId, f64)> = None;
         for w in platform.all_workers() {
             let dur = instance.task(task).time_on(platform.kind_of(w));
             let start = match variant {
-                HeftVariant::Insertion => earliest_gap(&busy[w.index()], ready, dur),
+                HeftVariant::Insertion => earliest_gap(busy_of(&busy, w), ready, dur),
                 HeftVariant::NoInsertion => {
-                    ready.max(busy[w.index()].last().map_or(0.0, |&(_, e)| e))
+                    ready.max(busy_of(&busy, w).last().map_or(0.0, |&(_, e)| e))
                 }
             };
             let eft = F64Ord::new(start + dur);
@@ -54,8 +58,11 @@ pub fn heft(
             }
         }
         let (F64Ord(eft), w, start) = best.expect("platform has workers");
-        insert_interval(&mut busy[w.index()], (start, eft));
-        end_of[task.index()] = eft;
+        insert_interval(
+            busy.get_mut(w.index()).expect("busy sized to platform.workers()"),
+            (start, eft),
+        );
+        *end_of.get_mut(task.index()).expect("end_of sized to graph.len()") = eft;
         runs.push(TaskRun { task, worker: w, start, end: eft });
     }
     Schedule { runs, aborted: Vec::new() }
@@ -63,6 +70,11 @@ pub fn heft(
 
 /// Earliest start ≥ `ready` on a worker with the given busy intervals where
 /// a task of length `dur` fits.
+/// Checked per-worker busy-list accessor; `busy` is sized to the platform.
+fn busy_of(busy: &[Vec<(f64, f64)>], w: WorkerId) -> &[(f64, f64)] {
+    busy.get(w.index()).expect("busy sized to platform.workers()")
+}
+
 fn earliest_gap(busy: &[(f64, f64)], ready: f64, dur: f64) -> f64 {
     let mut candidate = ready;
     for &(s, e) in busy {

@@ -54,7 +54,8 @@ fn options(instance: &Instance, platform: &Platform, avail: &[f64], task: TaskId
     let mut best_finish = f64::INFINITY;
     let mut second_finish = f64::INFINITY;
     for w in platform.all_workers() {
-        let finish = avail[w.index()] + instance.task(task).time_on(platform.kind_of(w));
+        let ready_at = *avail.get(w.index()).expect("avail sized to platform.workers()");
+        let finish = ready_at + instance.task(task).time_on(platform.kind_of(w));
         if finish < best_finish {
             second_finish = best_finish;
             best_finish = finish;
@@ -77,9 +78,10 @@ pub fn heuristic_schedule(
     let place = |task: TaskId, avail: &mut [f64], runs: &mut Vec<TaskRun>| {
         let opt = options(instance, platform, avail, task);
         let w = WorkerId(opt.best_worker as u32);
-        let start = avail[opt.best_worker];
+        let slot = avail.get_mut(opt.best_worker).expect("best_worker from platform range");
+        let start = *slot;
+        *slot = opt.best_finish;
         runs.push(TaskRun { task, worker: w, start, end: opt.best_finish });
-        avail[opt.best_worker] = opt.best_finish;
     };
 
     match heuristic {

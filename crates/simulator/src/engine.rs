@@ -49,6 +49,11 @@ impl SimResult {
 /// Expand a plan's worker faults into a sorted down/up timeline, merging
 /// overlapping intervals per worker (a permanent failure swallows
 /// everything after it).
+/// Checked accessor for a fault entry; callers index with loop bounds.
+fn fault_at(faults: &[(f64, Option<f64>)], j: usize) -> (f64, Option<f64>) {
+    *faults.get(j).expect("j < faults.len() loop bound")
+}
+
 fn expand_timeline(plan: &FaultPlan, workers: usize) -> Result<Vec<TimelineEvent>, SimError> {
     let mut per: Vec<Vec<(f64, Option<f64>)>> = vec![Vec::new(); workers];
     for f in &plan.worker_faults {
@@ -57,21 +62,22 @@ fn expand_timeline(plan: &FaultPlan, workers: usize) -> Result<Vec<TimelineEvent
                 reason: format!("worker {} out of range (platform has {workers})", f.worker),
             });
         }
-        per[f.worker as usize].push((f.at, f.down_for));
+        per.get_mut(f.worker as usize).expect("range-checked above").push((f.at, f.down_for));
     }
     let mut out = Vec::new();
     for (w, mut faults) in per.into_iter().enumerate() {
         faults.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut i = 0;
         while i < faults.len() {
-            let (start, dur) = faults[i];
+            let (start, dur) = *faults.get(i).expect("i < faults.len() loop bound");
             let mut up = dur.map(|d| start + d);
             let mut j = i + 1;
             while j < faults.len() {
                 match up {
                     None => j = faults.len(),
-                    Some(u) if faults[j].0 <= u => {
-                        up = faults[j].1.map(|d| u.max(faults[j].0 + d));
+                    Some(u) if fault_at(&faults, j).0 <= u => {
+                        let (at, down_for) = fault_at(&faults, j);
+                        up = down_for.map(|d| u.max(at + d));
                         j += 1;
                     }
                     Some(_) => break,
@@ -227,8 +233,11 @@ impl Workload for DagWorkload<'_> {
     /// the other class).
     fn duration(&self, task: TaskId, kind: ResourceKind, ran_kind: &[Option<ResourceKind>]) -> f64 {
         let base = self.graph.instance().task(task).time_on(kind);
-        let cross =
-            self.graph.predecessors(task).iter().any(|p| ran_kind[p.index()] == Some(kind.other()));
+        let cross = self
+            .graph
+            .predecessors(task)
+            .iter()
+            .any(|p| ran_kind.get(p.index()).copied().flatten() == Some(kind.other()));
         if cross {
             base + self.model.cross_class_penalty
         } else {

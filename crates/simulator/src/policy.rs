@@ -51,7 +51,7 @@ impl SimContext<'_> {
     /// Whether `w` is currently up. Workers are alive unless a fault plan
     /// took them down.
     pub fn is_alive(&self, w: WorkerId) -> bool {
-        self.alive[w.index()]
+        self.alive.get(w.index()).copied().unwrap_or(false)
     }
 
     /// Alive workers of one resource class.
@@ -59,7 +59,7 @@ impl SimContext<'_> {
         &self,
         kind: heteroprio_core::ResourceKind,
     ) -> impl Iterator<Item = WorkerId> + '_ {
-        self.platform.workers_of(kind).filter(|&w| self.alive[w.index()])
+        self.platform.workers_of(kind).filter(|&w| self.is_alive(w))
     }
 
     /// Running tasks on workers of one resource class.
@@ -67,7 +67,9 @@ impl SimContext<'_> {
         &self,
         kind: heteroprio_core::ResourceKind,
     ) -> impl Iterator<Item = (WorkerId, RunningTask)> + '_ {
-        self.platform.workers_of(kind).filter_map(|w| self.running[w.index()].map(|r| (w, r)))
+        self.platform
+            .workers_of(kind)
+            .filter_map(|w| self.running.get(w.index()).copied().flatten().map(|r| (w, r)))
     }
 
     /// Effective execution time of `task` on class `kind`, including the
@@ -79,7 +81,7 @@ impl SimContext<'_> {
             .graph
             .predecessors(task)
             .iter()
-            .any(|p| self.ran_kind[p.index()] == Some(kind.other()));
+            .any(|p| self.ran_kind.get(p.index()).copied().flatten() == Some(kind.other()));
         if cross {
             base + self.model.cross_class_penalty
         } else {

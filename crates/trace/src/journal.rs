@@ -461,7 +461,7 @@ impl Journal for FileJournal {
         if self.since_sync > 0 {
             self.file.sync_data().map_err(io_err("sync"))?;
             self.since_sync = 0;
-            self.sync_count += 1;
+            self.sync_count = self.sync_count.checked_add(1).expect("u64 sync tally");
         }
         Ok(())
     }
@@ -523,7 +523,7 @@ impl<'j, J: Journal> JournalSink<'j, J> {
 
 impl<J: Journal> TraceSink for JournalSink<'_, J> {
     fn emit(&mut self, event: SchedEvent) {
-        self.seen += 1;
+        self.seen = self.seen.checked_add(1).expect("event tally fits in usize");
         if self.seen <= self.skip || self.error.is_some() {
             return;
         }

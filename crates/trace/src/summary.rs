@@ -183,7 +183,8 @@ impl TraceSummary {
                     w.aborted += wasted_work;
                 }
                 w.spoliated += 1;
-                self.spoliation_count += 1;
+                self.spoliation_count =
+                    self.spoliation_count.checked_add(1).expect("spoliation tally");
                 self.wasted_work += wasted_work;
             }
             SchedEvent::WorkerIdleBegin { time, worker } => {
@@ -222,7 +223,7 @@ impl TraceSummary {
                 self.lost_work += lost_work;
             }
             SchedEvent::TaskRetry { .. } => {
-                self.retries += 1;
+                self.retries = self.retries.checked_add(1).expect("retry tally");
             }
             SchedEvent::WorkerDown { time, worker, lost_task, .. } => {
                 let w = self.worker(worker);

@@ -12,8 +12,8 @@ cargo fmt --check
 echo "== cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== audit-lint (float-comparison / unwrap / cast / unsafe gate)"
-cargo run -q -p heteroprio-audit --bin audit-lint
+echo "== static-analysis (token-aware determinism & panic-freedom gate)"
+cargo run -q -p heteroprio-lint --bin audit-lint
 
 echo "== cargo test -q --workspace"
 cargo test -q --workspace

@@ -21,6 +21,8 @@
 //! * [`cli`] — the `heteroprio-cli` tool's instance format and commands;
 //! * [`trace`] — the typed scheduler event stream, metrics aggregation and
 //!   Chrome-trace/JSONL exporters (see the README's Observability section);
+//! * [`lint`] — the token-aware static-analysis pass (`audit-lint`) that
+//!   gates determinism and panic-freedom rules over the workspace source;
 //! * [`metrics`] — the kernel's self-profiling layer: counters, gauges,
 //!   log-bucketed histograms and scoped timers behind a zero-cost
 //!   `MetricsRegistry` trait (the third observability plane next to the
@@ -48,6 +50,7 @@ pub use heteroprio_bounds as bounds;
 pub use heteroprio_cli as cli;
 pub use heteroprio_core as core;
 pub use heteroprio_experiments as experiments;
+pub use heteroprio_lint as lint;
 pub use heteroprio_metrics as metrics;
 pub use heteroprio_runtime as runtime;
 pub use heteroprio_schedulers as schedulers;
