@@ -175,6 +175,13 @@ pub(crate) fn check_area_bound(instance: &Instance, platform: &Platform, report:
         report.skipped.push((Rule::AreaBoundCertificate, "empty instance".into()));
         return;
     }
+    if platform.k() != 2 {
+        report.skipped.push((
+            Rule::AreaBoundCertificate,
+            "Lemma 1/2 threshold structure is a two-class certificate".into(),
+        ));
+        return;
+    }
     report.checks += 1;
     let ab = area_bound(instance, platform);
     if let Err(msg) = check_structure(instance, platform, &ab) {
@@ -208,9 +215,10 @@ pub(crate) fn check_approx_ratio(
     }
     let makespan = schedule.makespan();
     let proven_bound = proven_upper_bound(platform);
-    // The theorems cover fault-free HeteroPrio on independent tasks; in any
-    // other setting the certificate is a witness, not a gate.
-    let enforced = opts.heteroprio && !opts.dag && !opts.faulty;
+    // The theorems cover fault-free HeteroPrio on independent tasks on a
+    // CPU/GPU platform; in any other setting (including k ≥ 3 resource
+    // classes) the certificate is a witness, not a gate.
+    let enforced = opts.heteroprio && !opts.dag && !opts.faulty && platform.k() == 2;
     report.checks += 1;
     if enforced && strictly_less(proven_bound * lower_bound, makespan) {
         report.violations.push(Violation {
@@ -493,8 +501,12 @@ impl<'a> Replay<'a> {
         if self.worker_index(i, time, worker, report).is_none() {
             return;
         }
-        let kind = self.platform.kind_of(WorkerId(worker));
-        report.checks += 3;
+        // The end- and ρ-extremality checks below certify the two-class
+        // double-ended queue of Algorithm 1; k ≥ 3 traces use per-pair
+        // affinity queues whose pops carry no `QueueEnd` claim, so only the
+        // class-agnostic ready-set membership is enforceable there.
+        let two_class = self.platform.k() == 2;
+        report.checks += if two_class { 3 } else { 1 };
         if !self.ready[t] {
             report.violations.push(Violation {
                 rule: Rule::PopOrderConsistency,
@@ -505,45 +517,48 @@ impl<'a> Replay<'a> {
             });
             return;
         }
-        if let Some(end) = end {
-            let expected = match kind {
-                ResourceKind::Gpu => QueueEnd::Front,
-                ResourceKind::Cpu => QueueEnd::Back,
-            };
-            if end != expected {
-                report.violations.push(Violation {
-                    rule: Rule::PopOrderConsistency,
-                    event_index: Some(i),
-                    time: Some(time),
-                    worker: Some(worker),
-                    message: format!(
-                        "{kind} worker popped the {end:?} end (expected {expected:?})"
-                    ),
-                });
+        if two_class {
+            let kind = self.platform.kind_of(WorkerId(worker));
+            if let Some(end) = end {
+                let expected = match kind {
+                    ResourceKind::Gpu => QueueEnd::Front,
+                    ResourceKind::Cpu => QueueEnd::Back,
+                };
+                if end != expected {
+                    report.violations.push(Violation {
+                        rule: Rule::PopOrderConsistency,
+                        event_index: Some(i),
+                        time: Some(time),
+                        worker: Some(worker),
+                        message: format!(
+                            "{kind} worker popped the {end:?} end (expected {expected:?})"
+                        ),
+                    });
+                }
             }
-        }
-        let rho = self.instance.task(TaskId(task)).accel_factor();
-        for (u, &ready) in self.ready.iter().enumerate() {
-            if !ready || u == t {
-                continue;
-            }
-            let rho_u = self.instance.task(TaskId(u as u32)).accel_factor();
-            let better = match kind {
-                ResourceKind::Gpu => strictly_less(rho, rho_u),
-                ResourceKind::Cpu => strictly_less(rho_u, rho),
-            };
-            if better {
-                report.violations.push(Violation {
-                    rule: Rule::PopOrderConsistency,
-                    event_index: Some(i),
-                    time: Some(time),
-                    worker: Some(worker),
-                    message: format!(
-                        "{kind} worker popped task {task} (rho {rho}) while task {u} \
-                         (rho {rho_u}) was ready"
-                    ),
-                });
-                break;
+            let rho = self.instance.task(TaskId(task)).accel_factor();
+            for (u, &ready) in self.ready.iter().enumerate() {
+                if !ready || u == t {
+                    continue;
+                }
+                let rho_u = self.instance.task(TaskId(u as u32)).accel_factor();
+                let better = match kind {
+                    ResourceKind::Gpu => strictly_less(rho, rho_u),
+                    ResourceKind::Cpu => strictly_less(rho_u, rho),
+                };
+                if better {
+                    report.violations.push(Violation {
+                        rule: Rule::PopOrderConsistency,
+                        event_index: Some(i),
+                        time: Some(time),
+                        worker: Some(worker),
+                        message: format!(
+                            "{kind} worker popped task {task} (rho {rho}) while task {u} \
+                             (rho {rho_u}) was ready"
+                        ),
+                    });
+                    break;
+                }
             }
         }
         self.ready[t] = false;
@@ -587,10 +602,10 @@ impl<'a> Replay<'a> {
         else {
             return;
         };
-        let victim_kind = self.platform.kind_of(WorkerId(victim));
-        let thief_kind = self.platform.kind_of(WorkerId(thief));
-        if victim_kind == thief_kind {
-            fail(format!("spoliation within one resource class ({victim_kind})"), thief, report);
+        let victim_class = self.platform.class_of(WorkerId(victim));
+        let thief_class = self.platform.class_of(WorkerId(thief));
+        if victim_class == thief_class {
+            fail(format!("spoliation within one resource class ({victim_class})"), thief, report);
         }
         if self.running[th].is_some() {
             fail("thief is already running a task".into(), thief, report);
@@ -613,19 +628,19 @@ impl<'a> Replay<'a> {
                     report,
                 );
             }
-            // Victim scan order: candidates on the victim's class finishing
-            // *later* than the chosen victim are scanned first, so skipping
-            // one is only legal if stealing it would not strictly improve.
-            // `max_overhead` makes the recomputed steal time pessimistic
-            // (the trace does not say what transfer penalty applied), so
-            // this never false-positives.
+            // Victim scan order: candidates on any class other than the
+            // thief's finishing *later* than the chosen victim are scanned
+            // first, so skipping one is only legal if stealing it would not
+            // strictly improve. `max_overhead` makes the recomputed steal
+            // time pessimistic (the trace does not say what transfer
+            // penalty applied), so this never false-positives.
             for (u, slot) in self.running.iter().enumerate() {
                 let Some(u_run) = slot else { continue };
-                if u == v || self.platform.kind_of(WorkerId(u as u32)) != victim_kind {
+                if u == v || self.platform.class_of(WorkerId(u as u32)) == thief_class {
                     continue;
                 }
                 let steal = time
-                    + self.instance.task(TaskId(u_run.task as u32)).time_on(thief_kind)
+                    + self.instance.task(TaskId(u_run.task as u32)).time_on(thief_class)
                     + self.max_overhead;
                 if strictly_less(run.expected_end, u_run.expected_end)
                     && strictly_less(steal, u_run.expected_end)

@@ -97,6 +97,13 @@ fn check_partition(
         report.skipped.push((Rule::DualHpPartitionConsistency, "empty instance".into()));
         return;
     }
+    if platform.k() != 2 {
+        report.skipped.push((
+            Rule::DualHpPartitionConsistency,
+            "partition replay certifies the two-class λ packing only".into(),
+        ));
+        return;
+    }
     if platform.count(ResourceKind::Cpu) == 0 || platform.count(ResourceKind::Gpu) == 0 {
         report.skipped.push((
             Rule::DualHpPartitionConsistency,
@@ -179,29 +186,29 @@ fn feasible(instance: &Instance, platform: &Platform, by_rho_desc: &[u32], lambd
     let mut spilling = false;
     for &t in by_rho_desc {
         let task = instance.task(heteroprio_core::TaskId(t));
-        let cpu_over = task.cpu_time > lambda;
-        let gpu_over = task.gpu_time > lambda;
+        let cpu_over = task.cpu_time() > lambda;
+        let gpu_over = task.gpu_time() > lambda;
         match (cpu_over, gpu_over) {
             (true, true) => return false,
-            (false, true) => cpu_tasks.push(task.cpu_time),
+            (false, true) => cpu_tasks.push(task.cpu_time()),
             (true, false) => {
                 let m = min_index(&gpu_loads);
-                if gpu_loads[m] + task.gpu_time > limit {
+                if gpu_loads[m] + task.gpu_time() > limit {
                     return false;
                 }
-                gpu_loads[m] += task.gpu_time;
+                gpu_loads[m] += task.gpu_time();
             }
             (false, false) => {
                 if spilling {
-                    cpu_tasks.push(task.cpu_time);
+                    cpu_tasks.push(task.cpu_time());
                     continue;
                 }
                 let m = min_index(&gpu_loads);
-                if gpu_loads[m] + task.gpu_time <= limit {
-                    gpu_loads[m] += task.gpu_time;
+                if gpu_loads[m] + task.gpu_time() <= limit {
+                    gpu_loads[m] += task.gpu_time();
                 } else {
                     spilling = true;
-                    cpu_tasks.push(task.cpu_time);
+                    cpu_tasks.push(task.cpu_time());
                 }
             }
         }

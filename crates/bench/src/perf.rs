@@ -16,6 +16,7 @@
 
 use heteroprio_core::durability::metric as dmetric;
 use heteroprio_core::kernel::metric;
+use heteroprio_core::Platform;
 use heteroprio_core::{heteroprio_metered, HeteroPrioConfig, Instance, MeteredJournal};
 use heteroprio_metrics::{InMemoryRegistry, MetricsSnapshot, Stopwatch};
 use heteroprio_schedulers::HeteroPrioDagPolicy;
@@ -25,7 +26,8 @@ use heteroprio_trace::{
     event_line, json, FileJournal, Journal, JournalSink, NullSink, SchedEvent, TraceSink,
 };
 use heteroprio_workloads::{
-    independent_instance, paper_platform, random_instance, ChameleonTiming, RandomInstanceParams,
+    independent_instance, multi_class_instance, paper_platform, random_instance, ChameleonTiming,
+    MultiClassParams, RandomInstanceParams,
 };
 
 /// Version of the `BENCH_kernel.json` schema this harness emits.
@@ -102,11 +104,21 @@ impl CaseResult {
 /// fresh registry and a [`NullSink`] (so trace buffering does not distort
 /// the measurement; the emission funnel still counts events).
 fn run_independent(name: &'static str, scale: &'static str, instance: &Instance) -> CaseResult {
-    let platform = paper_platform();
+    run_independent_on(name, scale, &paper_platform(), instance)
+}
+
+/// [`run_independent`] on an explicit platform — the k-class cases and the
+/// `perf --platform` custom case go through here.
+fn run_independent_on(
+    name: &'static str,
+    scale: &'static str,
+    platform: &Platform,
+    instance: &Instance,
+) -> CaseResult {
     let registry = InMemoryRegistry::new();
     let sw = Stopwatch::start();
     let res =
-        heteroprio_metered(instance, &platform, &HeteroPrioConfig::new(), &mut NullSink, &registry);
+        heteroprio_metered(instance, platform, &HeteroPrioConfig::new(), &mut NullSink, &registry);
     let wall_s = sw.elapsed_secs_f64();
     CaseResult {
         name,
@@ -119,6 +131,16 @@ fn run_independent(name: &'static str, scale: &'static str, instance: &Instance)
         journaled: false,
         snapshot: registry.snapshot(),
     }
+}
+
+/// The k=3 throughput case: the `cpu=16,gpu=4,fpga=2` demonstration
+/// platform exercises the pair-queue engine path (one affinity order per
+/// class pair, argmax pops) instead of the two-class deque. Same case name
+/// in the smoke and full suites so the `--against` gate compares it.
+fn run_multi_class_k3() -> CaseResult {
+    let (_, platform) = heteroprio_workloads::three_class_platform();
+    let instance = multi_class_instance(&MultiClassParams::three_class(5_000), 0xC1A55);
+    run_independent_on("multi_class_k3", "k3", &platform, &instance)
 }
 
 /// The journal-on twin of [`run_independent`]: every event streamed through
@@ -274,7 +296,14 @@ fn best_of(reps: usize, run: impl Fn() -> CaseResult) -> CaseResult {
 /// tiny instances only (for the deterministic CI gate); the full suite runs
 /// the Fig. 6-scale and 1000×-scale cases the baseline commits.
 pub fn run_suite(smoke: bool) -> String {
-    let cases: Vec<CaseResult> = if smoke {
+    run_suite_on(smoke, None)
+}
+
+/// [`run_suite`] with an optional extra case on a caller-supplied platform
+/// (the CLI's `perf --platform`): a seeded k-class random instance sized
+/// like the fig6 cases, named `custom_platform`.
+pub fn run_suite_on(smoke: bool, custom: Option<&Platform>) -> String {
+    let mut cases: Vec<CaseResult> = if smoke {
         vec![
             run_independent("cholesky_n4_smoke", "smoke", &fig6_instance(4)),
             run_independent(
@@ -295,6 +324,7 @@ pub fn run_suite(smoke: bool) -> String {
             best_of(7, || run_independent("cholesky_n16_fig6", "fig6", &fig6_instance(16))),
             best_of(5, || run_independent("cholesky_n32_fig6", "fig6", &fig6_instance(32))),
             best_of(7, || run_dag("dag_cholesky_n16_fig6", "fig6", 16)),
+            best_of(5, run_multi_class_k3),
         ]
     } else {
         vec![
@@ -314,8 +344,18 @@ pub fn run_suite(smoke: bool) -> String {
                     0xBEEF,
                 ),
             ),
+            run_multi_class_k3(),
         ]
     };
+    if let Some(platform) = custom {
+        let params = MultiClassParams {
+            tasks: 5_000,
+            base_range: (1.0, 10.0),
+            accel_ranges: vec![(0.5, 30.0); platform.k() - 1],
+        };
+        let instance = multi_class_instance(&params, 0xC1A55);
+        cases.push(run_independent_on("custom_platform", "custom", platform, &instance));
+    }
     let platform = paper_platform();
     let body: Vec<String> = cases.iter().map(CaseResult::to_json).collect();
     // The durability tax, per journaled case: wall time versus the twin
@@ -342,8 +382,8 @@ pub fn run_suite(smoke: bool) -> String {
          \"smoke\": {smoke},\n  \"platform\": {{ \"cpus\": {}, \"gpus\": {} }},\n  \
          \"journal_overhead\": [\n{}\n  ],\n  \
          \"cases\": [\n{}\n  ]\n}}\n",
-        platform.cpus,
-        platform.gpus,
+        platform.cpus(),
+        platform.gpus(),
         overhead.join(",\n"),
         body.join(",\n"),
     )

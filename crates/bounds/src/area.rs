@@ -9,7 +9,7 @@
 //! threshold tasks split. This module computes that optimum exactly by
 //! sorting on ρ and locating the crossing point — no LP solver needed.
 
-use heteroprio_core::model::{Instance, Platform, ResourceKind, TaskId};
+use heteroprio_core::model::{ClassId, Instance, Platform, ResourceKind, TaskId};
 use heteroprio_core::time::{approx_le, strictly_less};
 
 /// The exact solution of the area-bound linear program.
@@ -32,18 +32,18 @@ impl AreaBound {
     pub fn cpu_finish(&self, instance: &Instance, platform: &Platform) -> f64 {
         let load: f64 = instance
             .ids()
-            .map(|id| self.cpu_fraction[id.index()] * instance.task(id).cpu_time)
+            .map(|id| self.cpu_fraction[id.index()] * instance.task(id).cpu_time())
             .sum();
-        load / platform.cpus as f64
+        load / platform.cpus() as f64
     }
 
     /// GPU-class finish time of the fractional assignment.
     pub fn gpu_finish(&self, instance: &Instance, platform: &Platform) -> f64 {
         let load: f64 = instance
             .ids()
-            .map(|id| (1.0 - self.cpu_fraction[id.index()]) * instance.task(id).gpu_time)
+            .map(|id| (1.0 - self.cpu_fraction[id.index()]) * instance.task(id).gpu_time())
             .sum();
-        load / platform.gpus as f64
+        load / platform.gpus() as f64
     }
 }
 
@@ -55,8 +55,8 @@ pub fn area_bound(instance: &Instance, platform: &Platform) -> AreaBound {
     if n == 0 {
         return AreaBound { value: 0.0, cpu_fraction: Vec::new(), threshold: 1.0 };
     }
-    let m = platform.cpus as f64;
-    let g = platform.gpus as f64;
+    let m = platform.cpus() as f64;
+    let g = platform.gpus() as f64;
 
     // Tasks by non-increasing acceleration factor: GPU-friendliest first.
     let mut order: Vec<TaskId> = instance.ids().collect();
@@ -68,11 +68,11 @@ pub fn area_bound(instance: &Instance, platform: &Platform) -> AreaBound {
     // gpu_prefix[j] = Σ_{i<j} q_(order[i]); cpu_suffix[j] = Σ_{i>=j} p_(order[i]).
     let mut gpu_prefix = vec![0.0; n + 1];
     for j in 0..n {
-        gpu_prefix[j + 1] = gpu_prefix[j] + instance.task(order[j]).gpu_time;
+        gpu_prefix[j + 1] = gpu_prefix[j] + instance.task(order[j]).gpu_time();
     }
     let mut cpu_suffix = vec![0.0; n + 1];
     for j in (0..n).rev() {
-        cpu_suffix[j] = cpu_suffix[j + 1] + instance.task(order[j]).cpu_time;
+        cpu_suffix[j] = cpu_suffix[j + 1] + instance.task(order[j]).cpu_time();
     }
 
     // Find the smallest j such that the GPU class, holding the first j tasks,
@@ -104,8 +104,8 @@ pub fn area_bound(instance: &Instance, platform: &Platform) -> AreaBound {
 
     // Split the crossing task (position j_star - 1): fraction x on CPUs.
     let split = order[j_star - 1];
-    let p = instance.task(split).cpu_time;
-    let q = instance.task(split).gpu_time;
+    let p = instance.task(split).cpu_time();
+    let q = instance.task(split).gpu_time();
     let base_cpu = cpu_finish(j_star); // CPU finish without the split task
     let base_gpu = gpu_prefix[j_star - 1] / g; // GPU finish without it
                                                // Solve base_cpu + x p / m = base_gpu + (1 - x) q / g.
@@ -126,21 +126,104 @@ pub fn fractional_objective(instance: &Instance, platform: &Platform, x: &[f64])
     for id in instance.ids() {
         let f = x[id.index()];
         assert!((-1e-12..=1.0 + 1e-12).contains(&f), "fraction out of range");
-        cpu += f * instance.task(id).cpu_time;
-        gpu += (1.0 - f) * instance.task(id).gpu_time;
+        cpu += f * instance.task(id).cpu_time();
+        gpu += (1.0 - f) * instance.task(id).gpu_time();
     }
-    (cpu / platform.cpus as f64).max(gpu / platform.gpus as f64)
+    (cpu / platform.cpus() as f64).max(gpu / platform.gpus() as f64)
 }
 
-/// `max_i min(p_i, q_i)`: the other immediate lower bound of §4.2.
+/// A valid lower bound on the k-class area LP, by supergradient ascent on
+/// its Lagrangian dual.
+///
+/// The LP generalizes §4.2 to k classes: minimize `T` subject to
+/// `Σ_c x_ic = 1` and `Σ_i x_ic t_ic ≤ T · m_c`. For any class weights
+/// `y ≥ 0` normalized to `Σ_c y_c m_c = 1`,
+///
+/// ```text
+/// T* ≥ Σ_i min_c (y_c · t_ic)
+/// ```
+///
+/// because every unit of task `i` must pay at least its cheapest weighted
+/// time somewhere. The right-hand side is concave in `y`, so a projected
+/// supergradient ascent (deterministic: fixed start, fixed diminishing
+/// steps) tightens it; every iterate is itself a certificate, and the best
+/// one is returned. At `k = 2` the exact threshold solution of
+/// [`area_bound`] is the LP optimum; this routine approaches it from below
+/// (tested), and [`combined_lower_bound`] uses the exact form there.
+pub fn area_bound_dual(instance: &Instance, platform: &Platform) -> f64 {
+    let n = instance.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let k = platform.k();
+    let caps: Vec<f64> = (0..k).map(|c| platform.count(ClassId(c as u16)) as f64).collect();
+
+    // Dual objective and its supergradient at y: each task contributes its
+    // cheapest weighted time; the gradient component of the winning class
+    // is that task's raw time there.
+    let eval = |y: &[f64], grad: &mut [f64]| -> f64 {
+        grad.iter_mut().for_each(|g| *g = 0.0);
+        let mut total = 0.0;
+        for id in instance.ids() {
+            let task = instance.task(id);
+            let mut best_c = 0;
+            let mut best = f64::INFINITY;
+            for (c, &yc) in y.iter().enumerate() {
+                let v = yc * task.time_on(ClassId(c as u16));
+                if v < best {
+                    best = v;
+                    best_c = c;
+                }
+            }
+            total += best;
+            grad[best_c] += task.time_on(ClassId(best_c as u16));
+        }
+        total
+    };
+
+    // Project onto the normalization Σ_c y_c m_c = 1 (scale invariance of
+    // the bound makes this a rescale, not a true projection).
+    let normalize = |y: &mut [f64]| {
+        let s: f64 = y.iter().zip(&caps).map(|(yc, mc)| yc * mc).sum();
+        if s > 0.0 {
+            y.iter_mut().for_each(|yc| *yc /= s);
+        }
+    };
+
+    let mut y: Vec<f64> = caps.iter().map(|&mc| 1.0 / (k as f64 * mc)).collect();
+    let mut grad = vec![0.0; k];
+    let mut best = eval(&y, &mut grad);
+    for step in 1..=200usize {
+        let gnorm: f64 = grad.iter().zip(&caps).map(|(g, mc)| g / mc).fold(0.0, |a, b| a.max(b));
+        if gnorm <= 0.0 {
+            break;
+        }
+        let eta = 1.0 / (gnorm * (step as f64).sqrt() * k as f64);
+        for (yc, g) in y.iter_mut().zip(&grad) {
+            *yc = (*yc + eta * g).max(0.0);
+        }
+        normalize(&mut y);
+        best = best.max(eval(&y, &mut grad));
+    }
+    best
+}
+
+/// `max_i min_c t_ic`: the other immediate lower bound of §4.2.
 pub fn min_time_bound(instance: &Instance) -> f64 {
     instance.max_min_time()
 }
 
 /// The combined lower bound on the optimal makespan used throughout the
-/// experiments: `max(AreaBound, max_i min(p_i, q_i))`.
+/// experiments: `max(AreaBound, max_i min_c t_ic)`. Two-class platforms use
+/// the exact threshold solution; `k ≥ 3` the dual certificate of
+/// [`area_bound_dual`].
 pub fn combined_lower_bound(instance: &Instance, platform: &Platform) -> f64 {
-    area_bound(instance, platform).value.max(min_time_bound(instance))
+    let area = if platform.k() == 2 {
+        area_bound(instance, platform).value
+    } else {
+        area_bound_dual(instance, platform)
+    };
+    area.max(min_time_bound(instance))
 }
 
 /// Structural invariants of Lemmas 1 and 2, checked on a computed bound.
@@ -188,12 +271,13 @@ pub fn check_structure(
 pub fn class_usage(instance: &Instance, platform: &Platform, kind: ResourceKind) -> f64 {
     let ab = area_bound(instance, platform);
     match kind {
-        ResourceKind::Cpu => {
-            instance.ids().map(|id| ab.cpu_fraction[id.index()] * instance.task(id).cpu_time).sum()
-        }
+        ResourceKind::Cpu => instance
+            .ids()
+            .map(|id| ab.cpu_fraction[id.index()] * instance.task(id).cpu_time())
+            .sum(),
         ResourceKind::Gpu => instance
             .ids()
-            .map(|id| (1.0 - ab.cpu_fraction[id.index()]) * instance.task(id).gpu_time)
+            .map(|id| (1.0 - ab.cpu_fraction[id.index()]) * instance.task(id).gpu_time())
             .sum(),
     }
 }
@@ -264,9 +348,9 @@ mod tests {
             let mut gpu = 0.0;
             for i in 0..4 {
                 if mask & (1 << i) != 0 {
-                    cpu += inst.task(TaskId(i)).cpu_time;
+                    cpu += inst.task(TaskId(i)).cpu_time();
                 } else {
-                    gpu += inst.task(TaskId(i)).gpu_time;
+                    gpu += inst.task(TaskId(i)).gpu_time();
                 }
             }
             let obj = (cpu / 2.0).max(gpu / 2.0);
@@ -295,6 +379,65 @@ mod tests {
         // value 2.0 with 2 CPUs → CPU usage 4.0; 1 GPU → GPU usage 2.0.
         assert!(approx_eq(cpu, 4.0), "{cpu}");
         assert!(approx_eq(gpu, 2.0), "{gpu}");
+    }
+
+    #[test]
+    fn dual_bound_stays_below_exact_two_class_optimum() {
+        // On two classes the dual ascent must certify from below the exact
+        // threshold solution, and get usefully close.
+        let cases: Vec<Vec<(f64, f64)>> = vec![
+            vec![(10.0, 1.0), (4.0, 4.0), (1.0, 10.0)],
+            vec![(2.0, 1.0); 10],
+            vec![(3.0, 1.0), (2.0, 2.0), (1.0, 3.0), (5.0, 1.0)],
+        ];
+        for times in cases {
+            let inst = Instance::from_times(&times);
+            for plat in [Platform::new(1, 1), Platform::new(2, 1), Platform::new(2, 2)] {
+                let exact = area_bound(&inst, &plat).value;
+                let dual = area_bound_dual(&inst, &plat);
+                assert!(dual <= exact + 1e-9, "dual {dual} above exact {exact}");
+                assert!(dual >= 0.8 * exact, "dual {dual} too loose vs exact {exact}");
+            }
+        }
+    }
+
+    #[test]
+    fn three_class_dual_bound_below_integral_assignments() {
+        let inst = Instance::from_class_times(&[
+            &[9.0, 3.0, 1.0],
+            &[1.0, 5.0, 9.0],
+            &[4.0, 1.0, 4.0],
+            &[6.0, 6.0, 2.0],
+            &[2.0, 2.0, 2.0],
+        ]);
+        let plat = Platform::from_counts(&[2, 1, 1]);
+        let lb = area_bound_dual(&inst, &plat);
+        assert!(lb > 0.0);
+        // Every integral class assignment is LP-feasible, so the dual
+        // certificate must lie below each one's load objective.
+        let n = inst.len();
+        for mask in 0..3usize.pow(n as u32) {
+            let mut load = [0.0f64; 3];
+            let mut m = mask;
+            for i in 0..n {
+                let c = m % 3;
+                m /= 3;
+                load[c] += inst.task(TaskId(i as u32)).time_on(ClassId(c as u16));
+            }
+            let obj = (load[0] / 2.0).max(load[1]).max(load[2]);
+            assert!(lb <= obj + 1e-9, "mask {mask}: {lb} > {obj}");
+        }
+    }
+
+    #[test]
+    fn three_identical_classes_balance_by_capacity() {
+        // 6 tasks costing 3.0 on every class, one worker per class: the LP
+        // spreads them evenly, finishing at 6·3/3 = 6; the uniform dual
+        // start already certifies that exactly.
+        let inst = Instance::from_class_times(&[&[3.0, 3.0, 3.0] as &[f64]; 6]);
+        let plat = Platform::from_counts(&[1, 1, 1]);
+        let lb = area_bound_dual(&inst, &plat);
+        assert!(approx_eq(lb, 6.0), "{lb}");
     }
 
     #[test]

@@ -118,15 +118,15 @@ pub fn optimal_makespan(instance: &Instance, platform: &Platform) -> ExactSoluti
     let mut greedy_assign = vec![ResourceKind::Cpu; instance.len()];
     for id in instance.ids() {
         let t = instance.task(id);
-        if t.gpu_time <= t.cpu_time {
-            gpu0.push(t.gpu_time);
+        if t.gpu_time() <= t.cpu_time() {
+            gpu0.push(t.gpu_time());
             greedy_assign[id.index()] = ResourceKind::Gpu;
         } else {
-            cpu0.push(t.cpu_time);
+            cpu0.push(t.cpu_time());
         }
     }
-    let mut best = optimal_homogeneous_makespan(&cpu0, platform.cpus)
-        .max(optimal_homogeneous_makespan(&gpu0, platform.gpus));
+    let mut best = optimal_homogeneous_makespan(&cpu0, platform.cpus())
+        .max(optimal_homogeneous_makespan(&gpu0, platform.gpus()));
     let mut best_assign = greedy_assign;
 
     let mut state = ClassSearch {
@@ -167,15 +167,15 @@ impl ClassSearch<'_> {
         }
         // Load-based pruning: even perfectly balanced, each class needs at
         // least its current total over its machine count.
-        let cpu_lb = cpu_load / self.platform.cpus as f64;
-        let gpu_lb = gpu_load / self.platform.gpus as f64;
+        let cpu_lb = cpu_load / self.platform.cpus() as f64;
+        let gpu_lb = gpu_load / self.platform.gpus() as f64;
         // lint: allow(float-ord): deliberate branch-and-bound pruning slack, not a time comparison.
         if cpu_lb >= *best - 1e-12 || gpu_lb >= *best - 1e-12 {
             return;
         }
         if idx == self.order.len() {
-            let ms = optimal_homogeneous_makespan(&self.cpu_tasks, self.platform.cpus)
-                .max(optimal_homogeneous_makespan(&self.gpu_tasks, self.platform.gpus));
+            let ms = optimal_homogeneous_makespan(&self.cpu_tasks, self.platform.cpus())
+                .max(optimal_homogeneous_makespan(&self.gpu_tasks, self.platform.gpus()));
             if ms < *best {
                 *best = ms;
                 best_assign.clone_from(&self.assign);
@@ -185,21 +185,21 @@ impl ClassSearch<'_> {
         let id = self.order[idx];
         let t = *self.instance.task(id);
         // Branch on the class whose single-task time is smaller first.
-        let first_gpu = t.gpu_time <= t.cpu_time;
+        let first_gpu = t.gpu_time() <= t.cpu_time();
         for gpu_side in [first_gpu, !first_gpu] {
             if gpu_side {
                 // lint: allow(float-ord): deliberate branch-and-bound pruning slack, not a time comparison.
-                if t.gpu_time < *best - 1e-12 {
-                    self.gpu_tasks.push(t.gpu_time);
+                if t.gpu_time() < *best - 1e-12 {
+                    self.gpu_tasks.push(t.gpu_time());
                     self.assign[id.index()] = ResourceKind::Gpu;
-                    self.dfs(idx + 1, cpu_load, gpu_load + t.gpu_time, best, best_assign);
+                    self.dfs(idx + 1, cpu_load, gpu_load + t.gpu_time(), best, best_assign);
                     self.gpu_tasks.pop();
                 }
             // lint: allow(float-ord): deliberate branch-and-bound pruning slack, not a time comparison.
-            } else if t.cpu_time < *best - 1e-12 {
-                self.cpu_tasks.push(t.cpu_time);
+            } else if t.cpu_time() < *best - 1e-12 {
+                self.cpu_tasks.push(t.cpu_time());
                 self.assign[id.index()] = ResourceKind::Cpu;
-                self.dfs(idx + 1, cpu_load + t.cpu_time, gpu_load, best, best_assign);
+                self.dfs(idx + 1, cpu_load + t.cpu_time(), gpu_load, best, best_assign);
                 self.cpu_tasks.pop();
             }
         }
@@ -257,15 +257,15 @@ mod tests {
         let cpu: Vec<f64> = inst
             .ids()
             .filter(|id| sol.assignment[id.index()] == ResourceKind::Cpu)
-            .map(|id| inst.task(id).cpu_time)
+            .map(|id| inst.task(id).cpu_time())
             .collect();
         let gpu: Vec<f64> = inst
             .ids()
             .filter(|id| sol.assignment[id.index()] == ResourceKind::Gpu)
-            .map(|id| inst.task(id).gpu_time)
+            .map(|id| inst.task(id).gpu_time())
             .collect();
-        let ms = optimal_homogeneous_makespan(&cpu, plat.cpus)
-            .max(optimal_homogeneous_makespan(&gpu, plat.gpus));
+        let ms = optimal_homogeneous_makespan(&cpu, plat.cpus())
+            .max(optimal_homogeneous_makespan(&gpu, plat.gpus()));
         assert!(approx_eq(ms, sol.makespan));
     }
 
@@ -301,8 +301,8 @@ mod tests {
                     gpu.push(q);
                 }
             }
-            let ms = optimal_homogeneous_makespan(&cpu, plat.cpus)
-                .max(optimal_homogeneous_makespan(&gpu, plat.gpus));
+            let ms = optimal_homogeneous_makespan(&cpu, plat.cpus())
+                .max(optimal_homogeneous_makespan(&gpu, plat.gpus()));
             brute = brute.min(ms);
         }
         assert!(approx_eq(sol.makespan, brute), "{} vs {brute}", sol.makespan);

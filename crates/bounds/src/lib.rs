@@ -18,8 +18,8 @@ pub mod dag;
 pub mod exact;
 
 pub use area::{
-    area_bound, check_structure, class_usage, combined_lower_bound, fractional_objective,
-    min_time_bound, AreaBound,
+    area_bound, area_bound_dual, check_structure, class_usage, combined_lower_bound,
+    fractional_objective, min_time_bound, AreaBound,
 };
 pub use dag::dag_lower_bound;
 pub use exact::{optimal_homogeneous_makespan, optimal_makespan, ExactSolution, MAX_EXACT_TASKS};

@@ -1,7 +1,7 @@
 //! The CLI's subcommand implementations, kept binary-free so they can be
 //! unit-tested. Each command returns the text it would print.
 
-use crate::format::{parse_instance, serialize_instance};
+use crate::format::{parse_instance_k, serialize_instance};
 use heteroprio_audit::{audit, schedule_from_events, AuditOptions, AuditReport, StreamAuditor};
 use heteroprio_bounds::{combined_lower_bound, optimal_makespan, MAX_EXACT_TASKS};
 use heteroprio_core::gantt::to_svg;
@@ -9,8 +9,8 @@ use heteroprio_core::kernel::metric;
 use heteroprio_core::kernel::EngineError;
 use heteroprio_core::{
     heteroprio, heteroprio_durable, heteroprio_metered, heteroprio_resume, CheckpointStore,
-    CrashPlan, DurabilityOptions, FileCheckpointStore, HeteroPrioConfig, Instance, MeteredJournal,
-    Platform, ResourceKind, Schedule,
+    ClassTable, CrashPlan, DurabilityOptions, FileCheckpointStore, HeteroPrioConfig, Instance,
+    MeteredJournal, Platform, Schedule,
 };
 use heteroprio_metrics::{InMemoryRegistry, MetricsRegistry, NullRegistry};
 use heteroprio_runtime::DurableOutcome;
@@ -107,13 +107,13 @@ impl FaultOpts {
     /// baseline makespan if one was computed.
     fn plan(
         &self,
-        platform: &Platform,
+        table: &ClassTable,
         baseline: impl FnOnce() -> Result<f64, String>,
     ) -> Result<(FaultPlan, Option<f64>), String> {
-        let spec =
-            FaultSpec::parse(self.spec.as_deref().unwrap_or("")).map_err(|e| e.to_string())?;
+        let spec = FaultSpec::parse_with(self.spec.as_deref().unwrap_or(""), Some(table))
+            .map_err(|e| e.to_string())?;
         let base = if spec.needs_baseline() { Some(baseline()?) } else { None };
-        let worker_faults = spec.resolve(platform, base).map_err(|e| e.to_string())?;
+        let worker_faults = spec.resolve(&table.platform(), base).map_err(|e| e.to_string())?;
         let mut retry = RetryPolicy::DEFAULT;
         if let Some(k) = self.retry_max {
             retry.max_attempts = k;
@@ -138,14 +138,46 @@ pub struct CmdOutput {
     pub trace: Option<(String, String)>,
 }
 
-fn worker_names(platform: &Platform) -> Vec<String> {
-    platform
-        .all_workers()
-        .map(|w| match platform.kind_of(w) {
-            ResourceKind::Cpu => format!("CPU {}", w.index()),
-            ResourceKind::Gpu => format!("GPU {}", w.index() - platform.cpus),
-        })
-        .collect()
+/// Resolve the worker platform the user asked for: either a `--platform`
+/// spec (`name=count[,name=count...]`) or the classic `--cpus`/`--gpus`
+/// pair, which stays a first-class alias for `cpu=M,gpu=N`.
+pub fn parse_platform_args(
+    spec: Option<&str>,
+    cpus: Option<usize>,
+    gpus: Option<usize>,
+) -> Result<ClassTable, String> {
+    match (spec, cpus, gpus) {
+        (Some(_), Some(_), _) | (Some(_), _, Some(_)) => {
+            Err("--platform replaces --cpus/--gpus; give one or the other".to_string())
+        }
+        (Some(spec), None, None) => ClassTable::parse(spec).map_err(|e| e.to_string()),
+        (None, Some(m), Some(n)) if m > 0 && n > 0 => {
+            ClassTable::cpu_gpu(m, n).map_err(|e| e.to_string())
+        }
+        _ => Err("either --platform name=count,... or both --cpus and --gpus \
+                  (positive) are required"
+            .to_string()),
+    }
+}
+
+/// `"2 CPUs + 1 GPUs"`-style rendering of the platform for report headers.
+fn describe(table: &ClassTable) -> String {
+    table
+        .classes()
+        .map(|c| format!("{} {}s", table.count(c), table.name(c).to_uppercase()))
+        .collect::<Vec<_>>()
+        .join(" + ")
+}
+
+fn worker_names(table: &ClassTable) -> Vec<String> {
+    let platform = table.platform();
+    let mut names = Vec::with_capacity(platform.workers());
+    for c in table.classes() {
+        for i in 0..table.count(c) {
+            names.push(format!("{} {i}", table.name(c).to_uppercase()));
+        }
+    }
+    names
 }
 
 fn render_trace(events: &[SchedEvent], path: &str, opts: &ChromeTraceOptions) -> String {
@@ -158,7 +190,7 @@ fn render_trace(events: &[SchedEvent], path: &str, opts: &ChromeTraceOptions) ->
 
 /// Human-readable digest of a [`TraceSummary`], appended to reports under
 /// `--summary`.
-fn format_summary(summary: &TraceSummary, platform: &Platform) -> String {
+fn format_summary(summary: &TraceSummary, table: &ClassTable) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "-- trace summary ({} events) --", summary.events_recorded());
     let _ = writeln!(
@@ -166,7 +198,8 @@ fn format_summary(summary: &TraceSummary, platform: &Platform) -> String {
         "{:<8} {:>10} {:>10} {:>10} {:>6} {:>6}",
         "worker", "busy", "idle", "aborted", "done", "spol"
     );
-    let names = worker_names(platform);
+    let platform = table.platform();
+    let names = worker_names(table);
     for w in platform.all_workers() {
         let s = &summary.workers[w.index()];
         let _ = writeln!(
@@ -492,11 +525,12 @@ fn durable_schedule_run(
 /// `schedule`: run one scheduler on an instance file's contents.
 pub fn cmd_schedule(
     text: &str,
-    platform: &Platform,
+    table: &ClassTable,
     algo: Algo,
     opts: &OutputOpts,
 ) -> Result<CmdOutput, String> {
-    let instance = parse_instance(text).map_err(|e| e.to_string())?;
+    let platform = &table.platform();
+    let instance = parse_instance_k(text, table.k()).map_err(|e| e.to_string())?;
     if instance.is_empty() {
         return Err("instance is empty".to_string());
     }
@@ -556,14 +590,7 @@ pub fn cmd_schedule(
         .map_err(|e| format!("internal error: invalid schedule: {e}"))?;
     let lb = combined_lower_bound(&instance, platform);
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{} tasks on {} CPUs + {} GPUs, algorithm {:?}",
-        instance.len(),
-        platform.cpus,
-        platform.gpus,
-        algo
-    );
+    let _ = writeln!(out, "{} tasks on {}, algorithm {:?}", instance.len(), describe(table), algo);
     for note in &notes {
         let _ = writeln!(out, "{note}");
     }
@@ -571,18 +598,19 @@ pub fn cmd_schedule(
     let _ = writeln!(out, "lower bound : {lb:.4}");
     let _ = writeln!(out, "ratio       : {:.4}", schedule.makespan() / lb);
     let _ = writeln!(out, "spoliations : {}", schedule.spoliation_count());
-    for kind in ResourceKind::BOTH {
+    for class in table.classes() {
         let _ = writeln!(
             out,
-            "{kind} busy {:.4}, idle {:.4}",
-            schedule.busy_time(platform, kind),
-            schedule.idle_time(platform, kind, schedule.makespan()),
+            "{} busy {:.4}, idle {:.4}",
+            table.name(class).to_uppercase(),
+            schedule.busy_time(platform, class),
+            schedule.idle_time(platform, class, schedule.makespan()),
         );
     }
     out.push_str(&schedule.render_ascii(platform, 72));
     if opts.summary {
         let summary = TraceSummary::from_events(platform.workers(), &events);
-        out.push_str(&format_summary(&summary, platform));
+        out.push_str(&format_summary(&summary, table));
     }
     if opts.metrics {
         let summary = TraceSummary::from_events(platform.workers(), &events);
@@ -593,7 +621,7 @@ pub fn cmd_schedule(
     }
     let trace = opts.trace.as_ref().map(|path| {
         let chrome_opts =
-            ChromeTraceOptions { worker_names: worker_names(platform), task_names: Vec::new() };
+            ChromeTraceOptions { worker_names: worker_names(table), task_names: Vec::new() };
         (path.clone(), render_trace(&events, path, &chrome_opts))
     });
     let svg = opts.svg.then(|| to_svg(&schedule, &instance, platform));
@@ -633,11 +661,12 @@ fn audit_opts(algo: Algo) -> AuditOptions {
 /// live with tracing.
 pub fn cmd_audit(
     text: &str,
-    platform: &Platform,
+    table: &ClassTable,
     algo: Algo,
     trace_text: Option<&str>,
 ) -> Result<String, String> {
-    let instance = parse_instance(text).map_err(|e| e.to_string())?;
+    let platform = &table.platform();
+    let instance = parse_instance_k(text, table.k()).map_err(|e| e.to_string())?;
     if instance.is_empty() {
         return Err("instance is empty".to_string());
     }
@@ -654,14 +683,24 @@ pub fn cmd_audit(
 
 /// `bounds`: print every lower bound we can compute (plus the exact optimum
 /// for small instances).
-pub fn cmd_bounds(text: &str, platform: &Platform) -> Result<String, String> {
-    let instance = parse_instance(text).map_err(|e| e.to_string())?;
-    let ab = heteroprio_bounds::area_bound(&instance, platform);
+pub fn cmd_bounds(text: &str, table: &ClassTable) -> Result<String, String> {
+    let platform = &table.platform();
+    let instance = parse_instance_k(text, table.k()).map_err(|e| e.to_string())?;
     let mut out = String::new();
     let _ = writeln!(out, "tasks          : {}", instance.len());
-    let _ = writeln!(out, "area bound     : {:.6}", ab.value);
+    if table.k() == 2 {
+        let ab = heteroprio_bounds::area_bound(&instance, platform);
+        let _ = writeln!(out, "area bound     : {:.6}", ab.value);
+    } else {
+        let dual = heteroprio_bounds::area_bound_dual(&instance, platform);
+        let _ = writeln!(out, "area bound     : {dual:.6} (k-class dual certificate)");
+    }
     let _ = writeln!(out, "max min-time   : {:.6}", instance.max_min_time());
     let _ = writeln!(out, "combined bound : {:.6}", combined_lower_bound(&instance, platform));
+    if table.k() != 2 {
+        let _ = writeln!(out, "exact optimum  : (two-class only)");
+        return Ok(out);
+    }
     if instance.len() <= MAX_EXACT_TASKS && !instance.is_empty() {
         let opt = optimal_makespan(&instance, platform);
         let _ = writeln!(out, "exact optimum  : {:.6}", opt.makespan);
@@ -718,7 +757,7 @@ impl DagAlgoArg {
 pub fn cmd_dag(
     kind: &str,
     n: usize,
-    platform: &Platform,
+    table: &ClassTable,
     algo: DagAlgoArg,
     opts: &OutputOpts,
     faults: &FaultOpts,
@@ -727,6 +766,16 @@ pub fn cmd_dag(
     if n == 0 {
         return Err("need at least one tile".to_string());
     }
+    if table.k() != 2 {
+        return Err(format!(
+            "the factorization kernels carry Table 1's two-class (cpu/gpu) timings; \
+             --platform {} names {} classes. Use `schedule`, which accepts k-class \
+             instance files.",
+            table.spec(),
+            table.k()
+        ));
+    }
+    let platform = &table.platform();
     let kind_lc = kind.to_ascii_lowercase();
     if !matches!(kind_lc.as_str(), "cholesky" | "qr" | "lu") {
         return Err(format!("unknown workload `{kind_lc}` (cholesky, qr, lu)"));
@@ -746,7 +795,7 @@ pub fn cmd_dag(
         rt
     };
     let (plan, baseline) = if faults.active() {
-        faults.plan(platform, || build().run(algo.scheduler()).map(|r| r.makespan))?
+        faults.plan(table, || build().run(algo.scheduler()).map(|r| r.makespan))?
     } else {
         (FaultPlan::NONE, None)
     };
@@ -811,11 +860,10 @@ pub fn cmd_dag(
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{kind} N={n}: {} tasks, {} edges on {} CPUs + {} GPUs ({algo:?})",
+        "{kind} N={n}: {} tasks, {} edges on {} ({algo:?})",
         report.graph.len(),
         report.graph.edge_count(),
-        platform.cpus,
-        platform.gpus
+        describe(table)
     );
     for note in &notes {
         let _ = writeln!(out, "{note}");
@@ -842,7 +890,7 @@ pub fn cmd_dag(
         let _ = writeln!(out, "  {label:<8} x{count}");
     }
     if opts.summary {
-        out.push_str(&format_summary(&report.summary, platform));
+        out.push_str(&format_summary(&report.summary, table));
     }
     if opts.metrics {
         out.push_str(&metrics_report(&registry, &report.summary)?);
@@ -861,7 +909,7 @@ pub fn cmd_dag(
         let task_names = (0..report.graph.len())
             .map(|i| format!("{}[{i}]", report.graph.label(heteroprio_core::TaskId(i as u32))))
             .collect();
-        let chrome_opts = ChromeTraceOptions { worker_names: worker_names(platform), task_names };
+        let chrome_opts = ChromeTraceOptions { worker_names: worker_names(table), task_names };
         (path.clone(), render_trace(&report.events, path, &chrome_opts))
     });
     let svg = opts.svg.then(|| to_svg(&report.schedule, report.graph.instance(), platform));
@@ -888,8 +936,9 @@ pub fn cmd_gen(kind: &str, n: usize) -> Result<String, String> {
 /// document. `smoke` runs the tiny deterministic cases (the
 /// `scripts/check.sh` gate); the full suite is what `scripts/bench.sh`
 /// commits as the repo-root baseline.
-pub fn cmd_perf(smoke: bool) -> Result<String, String> {
-    let doc = heteroprio_bench::perf::run_suite(smoke);
+pub fn cmd_perf(smoke: bool, custom: Option<&ClassTable>) -> Result<String, String> {
+    let doc =
+        heteroprio_bench::perf::run_suite_on(smoke, custom.map(ClassTable::platform).as_ref());
     heteroprio_bench::perf::validate_baseline(&doc)
         .map_err(|e| format!("perf baseline failed its own schema check: {e}"))?;
     Ok(doc)
@@ -913,6 +962,7 @@ pub fn cmd_perf_gate(doc: &str, baseline: &str) -> Result<String, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::format::parse_instance;
 
     const SAMPLE: &str = "28.8 1.0\n8.72 1.0\n1.72 1.0\n1.0 3.0\n2.0 6.0\n";
 
@@ -922,7 +972,7 @@ mod tests {
 
     #[test]
     fn schedule_reports_every_field() {
-        let plat = Platform::new(2, 1);
+        let plat = ClassTable::cpu_gpu(2, 1).unwrap();
         let out = cmd_schedule(SAMPLE, &plat, Algo::HeteroPrio, &svg_only()).unwrap();
         assert!(out.report.contains("makespan"));
         assert!(out.report.contains("ratio"));
@@ -933,7 +983,7 @@ mod tests {
 
     #[test]
     fn all_algorithms_run_from_the_cli_layer() {
-        let plat = Platform::new(2, 1);
+        let plat = ClassTable::cpu_gpu(2, 1).unwrap();
         for algo in [
             Algo::HeteroPrio,
             Algo::HeteroPrioNoSpoliation,
@@ -952,7 +1002,7 @@ mod tests {
     #[test]
     fn every_algorithm_traces_and_summarizes() {
         use heteroprio_trace::json;
-        let plat = Platform::new(2, 1);
+        let plat = ClassTable::cpu_gpu(2, 1).unwrap();
         let opts = OutputOpts {
             svg: false,
             trace: Some("out.json".to_string()),
@@ -982,7 +1032,7 @@ mod tests {
     #[test]
     fn jsonl_extension_selects_jsonl() {
         use heteroprio_trace::json;
-        let plat = Platform::new(1, 1);
+        let plat = ClassTable::cpu_gpu(1, 1).unwrap();
         let opts = OutputOpts {
             svg: false,
             trace: Some("out.jsonl".to_string()),
@@ -999,7 +1049,7 @@ mod tests {
 
     #[test]
     fn audit_flag_streams_clean_for_live_and_static_algorithms() {
-        let plat = Platform::new(2, 1);
+        let plat = ClassTable::cpu_gpu(2, 1).unwrap();
         let opts = OutputOpts { audit: true, ..OutputOpts::default() };
         // HeteroPrio goes through the streaming auditor, HEFT and DualHP
         // through the batch path (DualHP with its partition rules enabled);
@@ -1012,7 +1062,7 @@ mod tests {
 
     #[test]
     fn metrics_flag_reports_and_cross_checks() {
-        let plat = Platform::new(2, 1);
+        let plat = ClassTable::cpu_gpu(2, 1).unwrap();
         let opts = OutputOpts { metrics: true, summary: true, ..OutputOpts::default() };
         for algo in [Algo::HeteroPrio, Algo::HeteroPrioNoSpoliation] {
             let out = cmd_schedule(SAMPLE, &plat, algo, &opts).unwrap();
@@ -1028,7 +1078,7 @@ mod tests {
 
     #[test]
     fn metrics_flag_composes_with_audit_on_the_live_path() {
-        let plat = Platform::new(2, 1);
+        let plat = ClassTable::cpu_gpu(2, 1).unwrap();
         let opts = OutputOpts { metrics: true, audit: true, ..OutputOpts::default() };
         let out = cmd_schedule(SAMPLE, &plat, Algo::HeteroPrio, &opts).unwrap();
         assert!(out.report.contains("metrics:"), "{}", out.report);
@@ -1037,7 +1087,7 @@ mod tests {
 
     #[test]
     fn dag_metrics_flag_reports_and_rejects_static_heft() {
-        let plat = Platform::new(2, 1);
+        let plat = ClassTable::cpu_gpu(2, 1).unwrap();
         let opts = OutputOpts { metrics: true, ..OutputOpts::default() };
         let out =
             cmd_dag("cholesky", 4, &plat, DagAlgoArg::HeteroPrio, &opts, &FaultOpts::default())
@@ -1051,7 +1101,7 @@ mod tests {
 
     #[test]
     fn perf_smoke_emits_a_valid_document() {
-        let doc = cmd_perf(true).unwrap();
+        let doc = cmd_perf(true, None).unwrap();
         assert!(doc.contains("\"schema\": \"heteroprio-bench-kernel\""), "{doc}");
         assert!(doc.contains("\"smoke\": true"), "{doc}");
     }
@@ -1066,7 +1116,7 @@ mod tests {
 
     #[test]
     fn bounds_includes_exact_for_small_instances() {
-        let plat = Platform::new(1, 1);
+        let plat = ClassTable::cpu_gpu(1, 1).unwrap();
         let out = cmd_bounds("2 1\n1 2\n", &plat).unwrap();
         assert!(out.contains("exact optimum  : 1"), "{out}");
         assert!(out.contains("1.6180"), "{out}"); // φ for (1,1)
@@ -1082,7 +1132,7 @@ mod tests {
 
     #[test]
     fn dag_command_runs_every_scheduler() {
-        let plat = Platform::new(3, 2);
+        let plat = ClassTable::cpu_gpu(3, 2).unwrap();
         for algo in [
             DagAlgoArg::HeteroPrio,
             DagAlgoArg::DualHpFifo,
@@ -1111,7 +1161,7 @@ mod tests {
     #[test]
     fn dag_trace_labels_slices_with_kernel_names() {
         use heteroprio_trace::json;
-        let plat = Platform::new(2, 1);
+        let plat = ClassTable::cpu_gpu(2, 1).unwrap();
         let opts = OutputOpts {
             svg: false,
             trace: Some("chol.json".to_string()),
@@ -1136,7 +1186,7 @@ mod tests {
 
     #[test]
     fn dag_runs_under_a_fault_spec() {
-        let plat = Platform::new(4, 2);
+        let plat = ClassTable::cpu_gpu(4, 2).unwrap();
         let opts = OutputOpts { svg: false, trace: None, summary: true, ..OutputOpts::default() };
         // All GPUs die at 25% of the fault-free makespan; % time forces a
         // baseline run, and the report shows the fault accounting.
@@ -1154,7 +1204,7 @@ mod tests {
 
     #[test]
     fn dag_fault_spec_errors_are_reported() {
-        let plat = Platform::new(1, 1);
+        let plat = ClassTable::cpu_gpu(1, 1).unwrap();
         let opts = OutputOpts::default();
         let faults = FaultOpts { spec: Some("gpu@nonsense".to_string()), ..FaultOpts::default() };
         let err = cmd_dag("cholesky", 4, &plat, DagAlgoArg::HeteroPrio, &opts, &faults);
@@ -1167,7 +1217,7 @@ mod tests {
 
     #[test]
     fn dag_jitter_alone_activates_the_fault_path() {
-        let plat = Platform::new(2, 1);
+        let plat = ClassTable::cpu_gpu(2, 1).unwrap();
         let opts = OutputOpts::default();
         let faults = FaultOpts { exec_jitter: 0.2, seed: Some(42), ..FaultOpts::default() };
         let out = cmd_dag("cholesky", 5, &plat, DagAlgoArg::HeteroPrio, &opts, &faults).unwrap();
@@ -1194,7 +1244,7 @@ mod tests {
 
     #[test]
     fn schedule_crash_then_resume_reproduces_the_run() {
-        let plat = Platform::new(2, 1);
+        let plat = ClassTable::cpu_gpu(2, 1).unwrap();
         let (journal, snapshot) = temp_paths("sched");
         let trace_opts = OutputOpts { trace: Some("ref.jsonl".into()), ..OutputOpts::default() };
         let reference = cmd_schedule(SAMPLE, &plat, Algo::HeteroPrio, &trace_opts).unwrap();
@@ -1238,7 +1288,7 @@ mod tests {
 
     #[test]
     fn dag_crash_then_resume_reproduces_the_run() {
-        let plat = Platform::new(2, 1);
+        let plat = ClassTable::cpu_gpu(2, 1).unwrap();
         let (journal, snapshot) = temp_paths("dag");
         let trace_opts = OutputOpts { trace: Some("ref.jsonl".into()), ..OutputOpts::default() };
         let reference = cmd_dag(
@@ -1298,7 +1348,7 @@ mod tests {
 
     #[test]
     fn durable_flags_reject_static_algorithms() {
-        let plat = Platform::new(1, 1);
+        let plat = ClassTable::cpu_gpu(1, 1).unwrap();
         let opts = OutputOpts {
             durable: DurableOpts {
                 journal: Some("unused.journal".into()),
@@ -1317,8 +1367,81 @@ mod tests {
     }
 
     #[test]
+    fn platform_flag_roundtrips_and_aliases_cpus_gpus() {
+        // `--platform cpu=2,gpu=1` and `--cpus 2 --gpus 1` are the same table.
+        let spec = parse_platform_args(Some("cpu=2,gpu=1"), None, None).unwrap();
+        let alias = parse_platform_args(None, Some(2), Some(1)).unwrap();
+        assert_eq!(spec.spec(), alias.spec());
+        // parse -> spec -> parse is the identity on a k=3 spec.
+        let k3 = parse_platform_args(Some("cpu=16,gpu=4,fpga=2"), None, None).unwrap();
+        assert_eq!(k3.spec(), "cpu=16,gpu=4,fpga=2");
+        let again = parse_platform_args(Some(&k3.spec()), None, None).unwrap();
+        assert_eq!(again.spec(), k3.spec());
+        assert_eq!(again.k(), 3);
+        // Mixing the flag with its alias, or giving neither, is an error.
+        assert!(parse_platform_args(Some("cpu=1,gpu=1"), Some(1), None).is_err());
+        assert!(parse_platform_args(None, Some(2), None).is_err());
+        assert!(parse_platform_args(None, None, None).is_err());
+        assert!(parse_platform_args(Some("cpu=0,gpu=1"), None, None).is_err());
+    }
+
+    const SAMPLE_K3: &str = "# cpu gpu fpga\n28.8 1.0 4.0\n8.72 1.0 2.0 3\n\
+                             1.72 1.0 9.0\n1.0 3.0 0.5\n2.0 6.0 2.0\n9.0 2.5 1.1\n";
+
+    #[test]
+    fn schedule_runs_a_three_class_platform_end_to_end() {
+        // The acceptance path: a k=3 cpu/gpu/fpga instance schedules through
+        // the generalized kernel with the audit clean and the --metrics
+        // cross-check passing.
+        let plat = parse_platform_args(Some("cpu=2,gpu=1,fpga=1"), None, None).unwrap();
+        let opts =
+            OutputOpts { audit: true, metrics: true, summary: true, ..OutputOpts::default() };
+        let out = cmd_schedule(SAMPLE_K3, &plat, Algo::HeteroPrio, &opts).unwrap();
+        assert!(out.report.contains("2 CPUs + 1 GPUs + 1 FPGAs"), "{}", out.report);
+        assert!(out.report.contains("audit clean"), "{}", out.report);
+        assert!(out.report.contains("kernel_trace_events_total"), "{}", out.report);
+        assert!(out.report.contains("FPGA busy"), "{}", out.report);
+        assert!(out.report.contains("FPGA 0"), "{}", out.report);
+    }
+
+    #[test]
+    fn bounds_reports_the_dual_certificate_on_three_classes() {
+        let plat = parse_platform_args(Some("cpu=2,gpu=1,fpga=1"), None, None).unwrap();
+        let out = cmd_bounds(SAMPLE_K3, &plat).unwrap();
+        assert!(out.contains("k-class dual certificate"), "{out}");
+        assert!(out.contains("exact optimum  : (two-class only)"), "{out}");
+    }
+
+    #[test]
+    fn dag_rejects_platforms_beyond_two_classes() {
+        let plat = parse_platform_args(Some("cpu=2,gpu=1,fpga=1"), None, None).unwrap();
+        let err = cmd_dag(
+            "cholesky",
+            4,
+            &plat,
+            DagAlgoArg::HeteroPrio,
+            &svg_only(),
+            &FaultOpts::default(),
+        )
+        .unwrap_err();
+        assert!(err.contains("two-class"), "{err}");
+        // Renamed two-class platforms are fine: only the count matters.
+        let plat = parse_platform_args(Some("big=2,little=1"), None, None).unwrap();
+        let out = cmd_dag(
+            "cholesky",
+            4,
+            &plat,
+            DagAlgoArg::HeteroPrio,
+            &OutputOpts::default(),
+            &FaultOpts::default(),
+        )
+        .unwrap();
+        assert!(out.report.contains("2 BIGs + 1 LITTLEs"), "{}", out.report);
+    }
+
+    #[test]
     fn bad_input_is_reported() {
-        let plat = Platform::new(1, 1);
+        let plat = ClassTable::cpu_gpu(1, 1).unwrap();
         let opts = OutputOpts::default();
         let err = cmd_schedule("garbage here too many fields\n", &plat, Algo::HeteroPrio, &opts)
             .unwrap_err();

@@ -1,7 +1,10 @@
 //! The plain-text instance format of the CLI.
 //!
-//! One task per non-empty line: `<cpu_time> <gpu_time> [priority]`,
-//! whitespace-separated; `#` starts a comment. Times must be positive.
+//! One task per non-empty line: one execution time per resource class
+//! followed by an optional priority, whitespace-separated; `#` starts a
+//! comment. Times must be positive. The classic two-class form is
+//! `<cpu_time> <gpu_time> [priority]`; under `--platform` with `k`
+//! classes a line carries `k` times in class order.
 //!
 //! ```text
 //! # four tasks
@@ -29,8 +32,24 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// Parse an instance from the text format.
+/// The column label used in error messages for class `c` of `k`.
+fn time_label(c: usize, k: usize) -> String {
+    if k == 2 {
+        [String::from("cpu time"), String::from("gpu time")][c].clone()
+    } else {
+        format!("class {c} time")
+    }
+}
+
+/// Parse an instance in the classic two-class format.
 pub fn parse_instance(text: &str) -> Result<Instance, ParseError> {
+    parse_instance_k(text, 2)
+}
+
+/// Parse an instance whose lines carry `k` per-class times (plus an
+/// optional trailing priority) — the `--platform` form of the format.
+pub fn parse_instance_k(text: &str, k: usize) -> Result<Instance, ParseError> {
+    assert!(k >= 2, "instances need at least two resource classes");
     let mut instance = Instance::new();
     for (idx, raw) in text.lines().enumerate() {
         let line = idx + 1;
@@ -39,26 +58,34 @@ pub fn parse_instance(text: &str) -> Result<Instance, ParseError> {
             continue;
         }
         let fields: Vec<&str> = content.split_whitespace().collect();
-        if fields.len() < 2 || fields.len() > 3 {
+        if fields.len() < k || fields.len() > k + 1 {
+            let shape = if k == 2 {
+                "cpu gpu [priority]".to_string()
+            } else {
+                format!("{k} times [priority]")
+            };
             return Err(ParseError {
                 line,
-                message: format!("expected `cpu gpu [priority]`, found {} field(s)", fields.len()),
+                message: format!("expected `{shape}`, found {} field(s)", fields.len()),
             });
         }
         let parse = |s: &str, what: &str| -> Result<f64, ParseError> {
             s.parse::<f64>()
                 .map_err(|e| ParseError { line, message: format!("bad {what} `{s}`: {e}") })
         };
-        let cpu = parse(fields[0], "cpu time")?;
-        let gpu = parse(fields[1], "gpu time")?;
-        if !(cpu > 0.0 && cpu.is_finite() && gpu > 0.0 && gpu.is_finite()) {
-            return Err(ParseError {
-                line,
-                message: "times must be positive and finite".to_string(),
-            });
+        let mut times = Vec::with_capacity(k);
+        for (c, field) in fields.iter().take(k).enumerate() {
+            let t = parse(field, &time_label(c, k))?;
+            if !(t > 0.0 && t.is_finite()) {
+                return Err(ParseError {
+                    line,
+                    message: "times must be positive and finite".to_string(),
+                });
+            }
+            times.push(t);
         }
-        let mut task = Task::new(cpu, gpu);
-        if let Some(p) = fields.get(2) {
+        let mut task = Task::from_times(&times);
+        if let Some(p) = fields.get(k) {
             task = task.with_priority(parse(p, "priority")?);
         }
         instance.push(task);
@@ -66,17 +93,26 @@ pub fn parse_instance(text: &str) -> Result<Instance, ParseError> {
     Ok(instance)
 }
 
-/// Serialize an instance back to the text format.
+/// Serialize an instance back to the text format (`k` times per line).
 pub fn serialize_instance(instance: &Instance) -> String {
-    let mut out = String::from("# cpu_time gpu_time [priority]\n");
+    let mut out = if instance.k() == 2 {
+        String::from("# cpu_time gpu_time [priority]\n")
+    } else {
+        format!("# {} per-class times [priority]\n", instance.k())
+    };
     for t in instance.tasks() {
+        for (c, time) in t.times().iter().enumerate() {
+            if c > 0 {
+                out.push(' ');
+            }
+            let _ = write!(out, "{time}");
+        }
         // lint: allow(float-eq): exact sentinel — 0.0 is the "no explicit priority" default,
         // set literally and round-tripped exactly through the text format.
         if t.priority != 0.0 {
-            let _ = writeln!(out, "{} {} {}", t.cpu_time, t.gpu_time, t.priority);
-        } else {
-            let _ = writeln!(out, "{} {}", t.cpu_time, t.gpu_time);
+            let _ = write!(out, " {}", t.priority);
         }
+        out.push('\n');
     }
     out
 }
@@ -125,6 +161,25 @@ mod tests {
         let back = serialize_instance(&inst);
         let again = parse_instance(&back).unwrap();
         assert_eq!(inst, again);
+    }
+
+    #[test]
+    fn three_class_lines_parse_and_roundtrip() {
+        let inst = parse_instance_k("9 3 1\n4 4 4 2.5\n", 3).unwrap();
+        assert_eq!(inst.len(), 2);
+        assert_eq!(inst.k(), 3);
+        assert_eq!(inst.task(TaskId(0)).times(), &[9.0, 3.0, 1.0]);
+        assert_eq!(inst.task(TaskId(1)).priority, 2.5);
+        let back = serialize_instance(&inst);
+        assert_eq!(parse_instance_k(&back, 3).unwrap(), inst);
+    }
+
+    #[test]
+    fn three_class_errors_name_the_class_column() {
+        let err = parse_instance_k("1 2 oops\n", 3).unwrap_err();
+        assert!(err.message.contains("class 2 time"), "{}", err.message);
+        let err = parse_instance_k("1 2\n", 3).unwrap_err();
+        assert!(err.message.contains("3 times"), "{}", err.message);
     }
 
     #[test]

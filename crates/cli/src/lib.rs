@@ -10,7 +10,7 @@ pub mod commands;
 pub mod format;
 
 pub use commands::{
-    cmd_audit, cmd_bounds, cmd_dag, cmd_gen, cmd_perf, cmd_perf_gate, cmd_schedule, Algo,
-    CmdOutput, DagAlgoArg, DurableOpts, FaultOpts, OutputOpts,
+    cmd_audit, cmd_bounds, cmd_dag, cmd_gen, cmd_perf, cmd_perf_gate, cmd_schedule,
+    parse_platform_args, Algo, CmdOutput, DagAlgoArg, DurableOpts, FaultOpts, OutputOpts,
 };
-pub use format::{parse_instance, serialize_instance, ParseError};
+pub use format::{parse_instance, parse_instance_k, serialize_instance, ParseError};

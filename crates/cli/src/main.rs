@@ -9,15 +9,18 @@
 //! ```
 
 use heteroprio_cli::{
-    cmd_audit, cmd_bounds, cmd_dag, cmd_gen, cmd_perf, cmd_perf_gate, cmd_schedule, Algo,
-    DagAlgoArg, DurableOpts, FaultOpts, OutputOpts,
+    cmd_audit, cmd_bounds, cmd_dag, cmd_gen, cmd_perf, cmd_perf_gate, cmd_schedule,
+    parse_platform_args, Algo, DagAlgoArg, DurableOpts, FaultOpts, OutputOpts,
 };
-use heteroprio_core::Platform;
+use heteroprio_core::ClassTable;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage:
   heteroprio-cli schedule --cpus M --gpus N [--algo NAME] [--svg FILE]
+                          (--cpus M --gpus N may be replaced everywhere by
+                          --platform name=count[,name=count...], e.g.
+                          --platform cpu=16,gpu=4,fpga=2)
                           [--trace FILE] [--summary] [--audit] [--metrics]
                           [--journal FILE [--crash-at N] [--snapshot FILE]
                           [--checkpoint-every K]] INSTANCE
@@ -38,10 +41,19 @@ usage:
   heteroprio-cli audit    (cholesky|qr|lu) N --cpus M --gpus N [--algo NAME]
                           [--faults SPEC] [--exec-jitter J]
   heteroprio-cli perf     [--smoke] [--out FILE] [--against BASELINE]
+                          [--platform name=count[,...]]
 
 INSTANCE is a text file with one `cpu_time gpu_time [priority]` task per
-line (`#` comments). `gen` writes such a file for the kernel mix of an
+line (`#` comments); under a k-class --platform each line carries k
+per-class times. `gen` writes such a file for the kernel mix of an
 N-tile factorization. Algorithms: see --algo (default hp).
+
+--platform declares the worker classes by name and count (class 0 pops
+the affinity queue from the CPU end, the last class from the GPU end).
+`--cpus M --gpus N` is the two-class alias `cpu=M,gpu=N`. `dag` and
+`resume` accept any two-class --platform; k>2 needs `schedule` (the
+factorization timing model is two-class). `perf --platform` appends a
+custom-platform case to the suite.
 
 --trace FILE exports the scheduler's event stream: Chrome trace_event
 JSON (open in https://ui.perfetto.dev) by default, or JSONL when FILE
@@ -95,6 +107,9 @@ failure probability), `seed=N`. Example: `--faults gpu@25%,fail=0.05`.
 
 struct Args {
     positional: Vec<String>,
+    /// `--platform name=count[,name=count...]`: a k-class worker spec.
+    /// `--cpus M --gpus N` stays as the `cpu=M,gpu=N` alias.
+    platform: Option<String>,
     cpus: Option<usize>,
     gpus: Option<usize>,
     algo: Algo,
@@ -121,6 +136,7 @@ struct Args {
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         positional: Vec::new(),
+        platform: None,
         cpus: None,
         gpus: None,
         algo: Algo::HeteroPrio,
@@ -139,6 +155,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
+            "--platform" => {
+                args.platform = Some(argv.next().ok_or("--platform needs name=count[,...]")?);
+            }
             "--cpus" => {
                 let v = argv.next().ok_or("--cpus needs a value")?;
                 args.cpus = Some(v.parse().map_err(|_| format!("bad --cpus `{v}`"))?);
@@ -223,11 +242,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     Ok(args)
 }
 
-fn platform_of(args: &Args) -> Result<Platform, String> {
-    match (args.cpus, args.gpus) {
-        (Some(m), Some(n)) if m > 0 && n > 0 => Ok(Platform::new(m, n)),
-        _ => Err("both --cpus and --gpus (positive) are required".to_string()),
-    }
+fn platform_of(args: &Args) -> Result<ClassTable, String> {
+    parse_platform_args(args.platform.as_deref(), args.cpus, args.gpus)
 }
 
 fn output_opts(args: &Args) -> OutputOpts {
@@ -370,7 +386,11 @@ fn run() -> Result<(), String> {
             }
         }
         "perf" => {
-            let doc = cmd_perf(args.smoke)?;
+            let custom = match &args.platform {
+                Some(spec) => Some(ClassTable::parse(spec).map_err(|e| e.to_string())?),
+                None => None,
+            };
+            let doc = cmd_perf(args.smoke, custom.as_ref())?;
             match &args.out {
                 Some(path) => {
                     std::fs::write(path, &doc).map_err(|e| format!("{path}: {e}"))?;

@@ -21,7 +21,7 @@
 //! remains the source of truth.
 
 use crate::kernel::{EngineError, RunningTask, TaskState};
-use crate::model::{ResourceKind, TaskId, WorkerId};
+use crate::model::{ClassId, TaskId, WorkerId};
 use crate::schedule::{Schedule, TaskRun};
 use heteroprio_metrics::{CounterId, HistogramId, MetricsRegistry, Stopwatch};
 use heteroprio_trace::journal::{crc32, Journal, JournalError};
@@ -236,7 +236,7 @@ pub struct KernelSnapshot {
     pub workers: usize,
     pub tasks: usize,
     pub state: Vec<TaskState>,
-    pub ran_kind: Vec<Option<ResourceKind>>,
+    pub ran_kind: Vec<Option<ClassId>>,
     pub running: Vec<Option<RunningTask>>,
     pub generation: Vec<u64>,
     /// Live completion/failure heap entries `(time, worker, generation)`,
@@ -340,12 +340,12 @@ impl KernelSnapshot {
             .ran_kind
             .iter()
             .map(|k| {
-                (match k {
-                    None => "0",
-                    Some(ResourceKind::Cpu) => "1",
-                    Some(ResourceKind::Gpu) => "2",
-                })
-                .to_string()
+                match k {
+                    // Tag = class index + 1; 0 is "not finished". The
+                    // two-class encoding (1 = CPU, 2 = GPU) is unchanged.
+                    None => "0".to_string(),
+                    Some(c) => (c.0 + 1).to_string(),
+                }
             })
             .collect();
         s.push_str(&format!(",\"ran_kind\":[{}]", ran.join(",")));
@@ -414,8 +414,7 @@ impl KernelSnapshot {
             .iter()
             .map(|x| match num_u64(x, "ran_kind")? {
                 0 => Ok(None),
-                1 => Ok(Some(ResourceKind::Cpu)),
-                2 => Ok(Some(ResourceKind::Gpu)),
+                n if n <= crate::model::MAX_CLASSES as u64 => Ok(Some(ClassId(n as u16 - 1))),
                 n => Err(format!("bad ran_kind tag {n}")),
             })
             .collect::<Result<Vec<_>, _>>()?;
@@ -804,7 +803,7 @@ mod tests {
             workers: 3,
             tasks: 4,
             state: vec![TaskState::Done, TaskState::Running, TaskState::Ready, TaskState::Waiting],
-            ran_kind: vec![Some(ResourceKind::Gpu), None, None, Some(ResourceKind::Cpu)],
+            ran_kind: vec![Some(ClassId(1)), None, None, Some(ClassId(0))],
             running: vec![Some(RunningTask { task: TaskId(1), start: 2.5, end: 4.1 }), None, None],
             generation: vec![2, 0, 1],
             heap: vec![(4.05, 0, 2)],

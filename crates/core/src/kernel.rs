@@ -41,7 +41,7 @@
 
 use crate::durability::{schedule_from_events, DurabilityOptions, KernelSnapshot, ResumeError};
 use crate::heteroprio::WorkerOrder;
-use crate::model::{Platform, ResourceKind, TaskId, WorkerId};
+use crate::model::{ClassId, Platform, TaskId, WorkerId};
 use crate::schedule::{Schedule, TaskRun};
 use crate::time::{strictly_less, F64Ord};
 use heteroprio_metrics::{
@@ -356,10 +356,10 @@ pub trait Workload {
         out.extend(self.on_complete(task));
     }
 
-    /// Duration the kernel charges for `task` on class `kind`. `ran_kind`
+    /// Duration the kernel charges for `task` on class `class`. `ran_kind`
     /// records the class each completed task ran on, so DAG workloads can
     /// charge cross-class transfer penalties.
-    fn duration(&self, task: TaskId, kind: ResourceKind, ran_kind: &[Option<ResourceKind>]) -> f64;
+    fn duration(&self, task: TaskId, class: ClassId, ran_kind: &[Option<ClassId>]) -> f64;
 }
 
 /// Read-only view of the kernel state handed to policy callbacks.
@@ -369,7 +369,7 @@ pub struct KernelContext<'a> {
     /// Indexed by worker; `None` when the worker is idle.
     pub running: &'a [Option<RunningTask>],
     /// Resource class each completed task ran on (`None` if not finished).
-    pub ran_kind: &'a [Option<ResourceKind>],
+    pub ran_kind: &'a [Option<ClassId>],
     /// Liveness per worker: `false` while a worker is down.
     pub alive: &'a [bool],
 }
@@ -640,7 +640,7 @@ struct Scratch {
 /// completion/fault/retry heaps, worker liveness, and trace emission.
 struct Kernel<'a, S: TraceSink, M: MetricsRegistry + ?Sized> {
     platform: &'a Platform,
-    ran_kind: Vec<Option<ResourceKind>>,
+    ran_kind: Vec<Option<ClassId>>,
     state: Vec<TaskState>,
     running: Vec<Option<RunningTask>>,
     /// Event invalidation counters (bumped when a run is aborted).
@@ -797,7 +797,7 @@ impl<'a, S: TraceSink, M: MetricsRegistry + ?Sized> Kernel<'a, S, M> {
     }
 
     fn start<W: Workload>(&mut self, workload: &W, w: WorkerId, task: TaskId, now: f64) {
-        let estimate = workload.duration(task, self.platform.kind_of(w), &self.ran_kind);
+        let estimate = workload.duration(task, self.platform.class_of(w), &self.ran_kind);
         let end = now + estimate;
         if self.idle_announced[w.index()] {
             self.idle_announced[w.index()] = false;
@@ -836,14 +836,17 @@ impl<'a, S: TraceSink, M: MetricsRegistry + ?Sized> Kernel<'a, S, M> {
         self.meter.m.gauge_set(self.meter.heap_depth, self.events.len() as u64);
     }
 
-    fn worker_sort_key(&self, order: WorkerOrder, w: WorkerId) -> (u8, u32) {
-        let kind = self.platform.kind_of(w);
-        let class = match order {
-            WorkerOrder::GpusFirst => (kind == ResourceKind::Cpu) as u8,
-            WorkerOrder::CpusFirst => (kind == ResourceKind::Gpu) as u8,
+    fn worker_sort_key(&self, order: WorkerOrder, w: WorkerId) -> (u16, u32) {
+        let class = self.platform.class_of(w);
+        // Class rank generalizes the two-class keys exactly: GpusFirst is
+        // descending class index (accelerators first — on k = 2 the GPU
+        // pool), CpusFirst ascending.
+        let rank = match order {
+            WorkerOrder::GpusFirst => (self.platform.k() - 1 - class.index()) as u16,
+            WorkerOrder::CpusFirst => class.index() as u16,
             WorkerOrder::ById => 0,
         };
-        (class, w.0)
+        (rank, w.0)
     }
 
     fn assign_fixpoint<W: Workload, P: KernelPolicy>(
@@ -925,16 +928,16 @@ impl<'a, S: TraceSink, M: MetricsRegistry + ?Sized> Kernel<'a, S, M> {
                     self.emit(SchedEvent::WorkerIdleBegin { time: now, worker: w.0 });
                 }
                 if let Some(victim) = victim {
-                    let my_kind = self.platform.kind_of(w);
-                    assert_eq!(
-                        self.platform.kind_of(victim),
-                        my_kind.other(),
+                    let my_class = self.platform.class_of(w);
+                    assert_ne!(
+                        self.platform.class_of(victim),
+                        my_class,
                         "spoliation must cross resource classes"
                     );
                     let r = self.running[victim.index()]
                         .take()
                         .expect("policy spoliated an idle worker");
-                    let new_end = now + workload.duration(r.task, my_kind, &self.ran_kind);
+                    let new_end = now + workload.duration(r.task, my_class, &self.ran_kind);
                     assert!(
                         strictly_less(new_end, r.end),
                         "spoliation of {} must strictly improve completion ({new_end} vs {})",
@@ -1000,7 +1003,7 @@ impl<'a, S: TraceSink, M: MetricsRegistry + ?Sized> Kernel<'a, S, M> {
         self.emit(SchedEvent::TaskComplete { time: now, task: r.task.0, worker: w.0 });
         self.schedule.runs.push(TaskRun { task: r.task, worker: w, start: r.start, end: now });
         self.state[r.task.index()] = TaskState::Done;
-        self.ran_kind[r.task.index()] = Some(self.platform.kind_of(w));
+        self.ran_kind[r.task.index()] = Some(self.platform.class_of(w));
         self.completed += 1;
         self.idle.push(w);
         let mut released = std::mem::take(&mut self.scratch.released);

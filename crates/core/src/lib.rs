@@ -60,9 +60,12 @@ pub use heteroprio::{
     sorted_queue, HeteroPrioConfig, HeteroPrioResult, QueueTieBreak, SpoliationTieBreak,
     WorkerOrder,
 };
-pub use model::{Instance, ModelError, Platform, ResourceKind, Task, TaskId, WorkerId};
+pub use model::{
+    ClassId, ClassTable, Instance, ModelError, Platform, ResourceKind, Task, TaskId, WorkerId,
+    MAX_CLASSES,
+};
 pub use online::{heteroprio_online, heteroprio_online_traced};
-pub use queue::AffinityQueue;
+pub use queue::{AffinityQueue, ClassQueue};
 pub use schedule::{Schedule, ScheduleError, TaskRun};
 pub use theory::{is_tight, known_lower_bound, proven_upper_bound};
 pub use time::PHI;

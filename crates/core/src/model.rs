@@ -1,7 +1,34 @@
-//! The scheduling model of the paper: independent tasks with unrelated
-//! processing times on two resource classes (CPUs and GPUs).
+//! The scheduling model of the paper, generalized to `k` resource classes.
+//!
+//! The paper analyzes exactly two unrelated resource classes (CPUs and
+//! GPUs). This module keeps that case canonical — [`Platform::new`] and
+//! [`Task::new`] still build the two-class instantiation, and
+//! [`compat::ResourceKind`] survives as the `k = 2` vocabulary — but the
+//! underlying model is a runtime-sized list of classes: a [`ClassTable`]
+//! names them, a [`Platform`] counts workers per class, and every [`Task`]
+//! carries a per-class time vector. The acceleration factor ρ = p/q
+//! generalizes to per-class-pair affinity ratios
+//! ([`Task::affinity`]).
 
 use std::fmt;
+
+pub mod compat;
+
+pub use compat::ResourceKind;
+
+/// Compile-time cap on the number of resource classes.
+///
+/// Keeping the cap small lets [`Task`] and [`Platform`] stay `Copy` with
+/// inline arrays instead of heap-allocated vectors — the kernel copies and
+/// compares these structs in its hot loop. Four covers every platform the
+/// roadmap names (CPU+GPU, CPU+GPU+FPGA, big.LITTLE, an accelerator pool).
+pub const MAX_CLASSES: usize = 4;
+
+/// Stable field names for per-class task times in error messages.
+///
+/// Classes 0 and 1 keep the paper's `p`/`q` vocabulary so the two-class
+/// error strings are unchanged.
+const TIME_FIELD: [&str; MAX_CLASSES] = ["cpu_time", "gpu_time", "time[2]", "time[3]"];
 
 /// Identifier of a task; an index into the owning [`Instance`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -26,38 +53,54 @@ impl fmt::Display for TaskId {
     }
 }
 
-/// One of the two unrelated resource classes.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub enum ResourceKind {
-    Cpu,
-    Gpu,
-}
-
-impl ResourceKind {
-    /// The other resource class (spoliation always crosses classes).
-    #[inline]
-    pub fn other(self) -> ResourceKind {
-        match self {
-            ResourceKind::Cpu => ResourceKind::Gpu,
-            ResourceKind::Gpu => ResourceKind::Cpu,
-        }
-    }
-
-    pub const BOTH: [ResourceKind; 2] = [ResourceKind::Cpu, ResourceKind::Gpu];
-}
-
-impl fmt::Display for ResourceKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ResourceKind::Cpu => write!(f, "CPU"),
-            ResourceKind::Gpu => write!(f, "GPU"),
-        }
-    }
-}
-
-/// Identifier of a worker (a single CPU core or a single GPU).
+/// Identifier of a resource class; an index into the platform's class list.
 ///
-/// Workers `0..platform.cpus` are CPUs; the rest are GPUs.
+/// Class `0` is canonically the CPU pool and class `1` the GPU pool (the
+/// paper's two classes); further classes are whatever the [`ClassTable`]
+/// says they are. Compare directly against
+/// [`ResourceKind`] — `class == ResourceKind::Cpu`
+/// works through the [`compat`] bridge.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub u16);
+
+impl ClassId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for ClassId {
+    #[inline]
+    fn from(i: usize) -> Self {
+        ClassId(u16::try_from(i).expect("class index fits in u16"))
+    }
+}
+
+impl fmt::Debug for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for ClassId {
+    /// Default class labels: the canonical two keep the paper's names,
+    /// further classes are positional. A [`ClassTable`] gives real names.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            0 => write!(f, "CPU"),
+            1 => write!(f, "GPU"),
+            n => write!(f, "C{n}"),
+        }
+    }
+}
+
+/// Identifier of a worker (a single CPU core, GPU, or other device).
+///
+/// Workers are numbered by class blocks: ids `0..counts[0]` belong to
+/// class 0, the next `counts[1]` to class 1, and so on. On a two-class
+/// platform this is the original layout: `0..platform.cpus()` are CPUs,
+/// the rest are GPUs.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct WorkerId(pub u32);
 
@@ -74,14 +117,14 @@ impl fmt::Debug for WorkerId {
     }
 }
 
-/// Why a [`Platform`] or [`Task`] could not be constructed.
+/// Why a [`Platform`], [`Task`] or [`ClassTable`] could not be constructed.
 ///
 /// The `Display` output is stable: the panicking constructors delegate to
 /// the fallible ones and reuse these messages.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ModelError {
     /// The platform has no worker of the named class.
-    EmptyClass(ResourceKind),
+    EmptyClass(ClassId),
     /// A task time is NaN, infinite, zero or negative.
     BadTaskTime { field: &'static str, value: f64 },
     /// A task priority is NaN or infinite.
@@ -89,14 +132,19 @@ pub enum ModelError {
     /// The acceleration factor ρ = p/q is not positive and finite: the
     /// times are individually representable but their ratio overflows,
     /// underflows to zero, or is NaN. A non-finite ρ would poison every
-    /// ordering comparison in the ready queue.
+    /// ordering comparison in the ready queue. For `k > 2` the offending
+    /// pair of times is reported in the two fields.
     NonFiniteAccel { cpu_time: f64, gpu_time: f64 },
+    /// More classes than [`MAX_CLASSES`] (or fewer than two).
+    BadClassCount { requested: usize },
+    /// A `name=count` platform spec that does not parse.
+    BadClassSpec { reason: String },
 }
 
 impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ModelError::EmptyClass(kind) => write!(f, "platform needs at least one {kind}"),
+            ModelError::EmptyClass(class) => write!(f, "platform needs at least one {class}"),
             ModelError::BadTaskTime { field, value } => {
                 write!(f, "{field} must be positive and finite, got {value}")
             }
@@ -113,21 +161,134 @@ impl fmt::Display for ModelError {
                     cpu_time / gpu_time
                 )
             }
+            ModelError::BadClassCount { requested } => {
+                write!(f, "platform needs 2..={MAX_CLASSES} resource classes, got {requested}")
+            }
+            ModelError::BadClassSpec { reason } => write!(f, "invalid platform spec: {reason}"),
         }
     }
 }
 
 impl std::error::Error for ModelError {}
 
-/// A heterogeneous node: `m` CPUs and `n` GPUs.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+/// Runtime description of the resource classes: their names and worker
+/// counts. This is the data that replaces the hard-wired CPU/GPU
+/// dichotomy — a [`Platform`] is its anonymous (counts-only) projection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassTable {
+    names: Vec<String>,
+    counts: Vec<usize>,
+}
+
+impl ClassTable {
+    /// Build a table from `(name, worker count)` pairs.
+    pub fn new<S: AsRef<str>>(classes: &[(S, usize)]) -> Result<Self, ModelError> {
+        if classes.len() < 2 || classes.len() > MAX_CLASSES {
+            return Err(ModelError::BadClassCount { requested: classes.len() });
+        }
+        let mut names = Vec::with_capacity(classes.len());
+        let mut counts = Vec::with_capacity(classes.len());
+        for (i, (name, count)) in classes.iter().enumerate() {
+            let name = name.as_ref();
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(ModelError::BadClassSpec {
+                    reason: format!("class name {name:?} must be non-empty [A-Za-z0-9_]"),
+                });
+            }
+            if names.iter().any(|n: &String| n.eq_ignore_ascii_case(name)) {
+                return Err(ModelError::BadClassSpec {
+                    reason: format!("duplicate class name {name:?}"),
+                });
+            }
+            // lint: allow(unchecked-arith): prefix deref of a class count, not arithmetic.
+            if *count == 0 {
+                return Err(ModelError::EmptyClass(ClassId::from(i)));
+            }
+            names.push(name.to_string());
+            // lint: allow(unchecked-arith): prefix deref of a class count, not arithmetic.
+            counts.push(*count);
+        }
+        Ok(ClassTable { names, counts })
+    }
+
+    /// The canonical two-class table of the paper: `cpu=m,gpu=n`.
+    pub fn cpu_gpu(cpus: usize, gpus: usize) -> Result<Self, ModelError> {
+        ClassTable::new(&[("cpu", cpus), ("gpu", gpus)])
+    }
+
+    /// Parse a `name=count[,name=count...]` spec, e.g. `cpu=16,gpu=4,fpga=2`.
+    ///
+    /// [`spec`](ClassTable::spec) is the inverse: `parse(t.spec()) == t`.
+    pub fn parse(spec: &str) -> Result<Self, ModelError> {
+        let mut classes = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            let (name, count) = part.split_once('=').ok_or_else(|| ModelError::BadClassSpec {
+                reason: format!("expected name=count, got {part:?}"),
+            })?;
+            let count: usize = count.trim().parse().map_err(|_| ModelError::BadClassSpec {
+                reason: format!("bad worker count {:?} for class {:?}", count.trim(), name),
+            })?;
+            classes.push((name.trim().to_string(), count));
+        }
+        ClassTable::new(&classes)
+    }
+
+    /// Render back to the `name=count[,name=count...]` grammar.
+    pub fn spec(&self) -> String {
+        self.names
+            .iter()
+            .zip(&self.counts)
+            .map(|(n, c)| format!("{n}={c}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.names.len()
+    }
+
+    #[inline]
+    pub fn name(&self, class: ClassId) -> &str {
+        self.names.get(class.index()).expect("ClassId minted by this table")
+    }
+
+    #[inline]
+    pub fn count(&self, class: ClassId) -> usize {
+        // lint: allow(unchecked-arith): prefix deref of a class count, not arithmetic.
+        *self.counts.get(class.index()).expect("ClassId minted by this table")
+    }
+
+    /// Look a class up by (case-insensitive) name.
+    pub fn id_of(&self, name: &str) -> Option<ClassId> {
+        self.names.iter().position(|n| n.eq_ignore_ascii_case(name)).map(ClassId::from)
+    }
+
+    pub fn classes(&self) -> impl Iterator<Item = ClassId> + '_ {
+        (0..self.k()).map(ClassId::from)
+    }
+
+    /// The anonymous worker-count projection used by the kernel.
+    pub fn platform(&self) -> Platform {
+        Platform::from_counts(&self.counts)
+    }
+}
+
+/// A heterogeneous node: a worker count per resource class.
+///
+/// The canonical instantiation is the paper's `m` CPUs + `n` GPUs
+/// ([`Platform::new`]); [`Platform::from_counts`] builds the general
+/// `k`-class shape. Stays `Copy` via an inline count array (see
+/// [`MAX_CLASSES`]).
+#[derive(Clone, Copy, PartialEq, Eq)]
 pub struct Platform {
-    pub cpus: usize,
-    pub gpus: usize,
+    counts: [usize; MAX_CLASSES],
+    k: u8,
 }
 
 impl Platform {
-    /// A platform with `cpus` CPU workers and `gpus` GPU workers.
+    /// A two-class platform with `cpus` CPU workers and `gpus` GPU workers.
     ///
     /// Panics if either class is empty: the model (and every bound in the
     /// paper) assumes both classes are present. Use
@@ -143,23 +304,79 @@ impl Platform {
     /// typed error instead of panicking (or, downstream, starving the
     /// simulator of an entire resource class).
     pub fn try_new(cpus: usize, gpus: usize) -> Result<Self, ModelError> {
-        if cpus == 0 {
-            return Err(ModelError::EmptyClass(ResourceKind::Cpu));
+        Platform::try_from_counts(&[cpus, gpus])
+    }
+
+    /// A `k`-class platform from per-class worker counts. Panics on an
+    /// empty class or an unsupported class count.
+    pub fn from_counts(counts: &[usize]) -> Self {
+        match Platform::try_from_counts(counts) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
         }
-        if gpus == 0 {
-            return Err(ModelError::EmptyClass(ResourceKind::Gpu));
+    }
+
+    /// Fallible [`from_counts`](Platform::from_counts): every class must
+    /// have at least one worker and `2 <= k <= MAX_CLASSES`.
+    pub fn try_from_counts(counts: &[usize]) -> Result<Self, ModelError> {
+        if counts.len() < 2 || counts.len() > MAX_CLASSES {
+            return Err(ModelError::BadClassCount { requested: counts.len() });
         }
-        Ok(Platform { cpus, gpus })
+        let mut inline = [0usize; MAX_CLASSES];
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                return Err(ModelError::EmptyClass(ClassId::from(i)));
+            }
+            inline[i] = c;
+        }
+        Ok(Platform { counts: inline, k: counts.len() as u8 })
+    }
+
+    /// Number of resource classes.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k as usize
+    }
+
+    /// Worker count of class 0 (the paper's `m` CPUs).
+    #[inline]
+    pub fn cpus(&self) -> usize {
+        self.counts[0]
+    }
+
+    /// Worker count of class 1 (the paper's `n` GPUs).
+    #[inline]
+    pub fn gpus(&self) -> usize {
+        self.counts[1]
     }
 
     #[inline]
     pub fn workers(&self) -> usize {
-        self.cpus + self.gpus
+        self.counts[..self.k()].iter().sum()
     }
 
+    /// The resource class of a worker. Workers are numbered in class
+    /// blocks: class 0 first, then class 1, and so on.
+    #[inline]
+    pub fn class_of(&self, w: WorkerId) -> ClassId {
+        let mut rest = w.index();
+        for c in 0..self.k() {
+            if rest < self.counts[c] {
+                return ClassId::from(c);
+            }
+            // lint: allow(unchecked-arith): worker-id geometry over fixed class sizes.
+            rest -= self.counts[c];
+        }
+        panic!("worker {} out of range (platform has {})", w.0, self.workers())
+    }
+
+    /// Two-class compatibility accessor: [`class_of`](Platform::class_of)
+    /// mapped onto [`ResourceKind`]. Panics on a `k > 2` platform — code
+    /// that may see more classes must use `class_of`.
     #[inline]
     pub fn kind_of(&self, w: WorkerId) -> ResourceKind {
-        if w.index() < self.cpus {
+        debug_assert!(self.k() == 2, "kind_of on a {}-class platform; use class_of", self.k());
+        if w.index() < self.counts[0] {
             ResourceKind::Cpu
         } else {
             ResourceKind::Gpu
@@ -167,35 +384,53 @@ impl Platform {
     }
 
     #[inline]
-    pub fn count(&self, kind: ResourceKind) -> usize {
-        match kind {
-            ResourceKind::Cpu => self.cpus,
-            ResourceKind::Gpu => self.gpus,
-        }
+    pub fn count(&self, class: impl Into<ClassId>) -> usize {
+        let class = class.into();
+        assert!(class.index() < self.k(), "class {class} out of range (k = {})", self.k());
+        self.counts[class.index()]
+    }
+
+    /// Worker-id range `[lo, hi)` of one class.
+    #[inline]
+    fn class_range(&self, class: ClassId) -> (usize, usize) {
+        assert!(class.index() < self.k(), "class {class} out of range (k = {})", self.k());
+        let lo: usize = self.counts[..class.index()].iter().sum();
+        // lint: allow(unchecked-arith): worker-id geometry over fixed class sizes.
+        (lo, lo + self.counts[class.index()])
     }
 
     /// All worker ids of one class, in increasing id order.
-    pub fn workers_of(&self, kind: ResourceKind) -> impl Iterator<Item = WorkerId> + '_ {
-        let (lo, hi) = match kind {
-            ResourceKind::Cpu => (0, self.cpus),
-            ResourceKind::Gpu => (self.cpus, self.workers()),
-        };
+    pub fn workers_of(&self, class: impl Into<ClassId>) -> impl Iterator<Item = WorkerId> + '_ {
+        let (lo, hi) = self.class_range(class.into());
         (lo..hi).map(|i| WorkerId(i as u32))
     }
 
-    /// All worker ids, CPUs first.
+    /// All worker ids, class 0 first.
     pub fn all_workers(&self) -> impl Iterator<Item = WorkerId> + '_ {
         (0..self.workers()).map(|i| WorkerId(i as u32))
     }
+
+    /// All class ids, in index order.
+    pub fn classes(&self) -> impl Iterator<Item = ClassId> + '_ {
+        (0..self.k()).map(ClassId::from)
+    }
 }
 
-/// A task with unrelated processing times on the two classes.
-#[derive(Clone, Copy, Debug, PartialEq)]
+impl fmt::Debug for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Platform").field("counts", &&self.counts[..self.k()]).finish()
+    }
+}
+
+/// A task with unrelated processing times on each resource class.
+///
+/// The canonical two-class constructor [`Task::new`] takes the paper's
+/// `(p_i, q_i)`; [`Task::from_times`] builds the general per-class time
+/// vector. Stays `Copy` via an inline array (see [`MAX_CLASSES`]).
+#[derive(Clone, Copy, PartialEq)]
 pub struct Task {
-    /// Processing time on a single CPU core (`p_i` in the paper).
-    pub cpu_time: f64,
-    /// Processing time on a single GPU (`q_i` in the paper).
-    pub gpu_time: f64,
+    times: [f64; MAX_CLASSES],
+    k: u8,
     /// Offline priority (e.g. a bottom-level rank); used only for
     /// tie-breaking. Larger means more urgent. Defaults to 0.
     pub priority: f64,
@@ -215,20 +450,57 @@ impl Task {
     /// negative processing times with a typed error, and — even when both
     /// times are individually valid — a ratio ρ = p/q that overflows to
     /// infinity or underflows to zero (e.g. `1e308 / 1e-308`). A task that
-    /// passes construction therefore always has a positive finite
-    /// acceleration factor, which the ready-queue ordering relies on.
+    /// passes construction therefore always has positive finite affinity
+    /// ratios, which the ready-queue ordering relies on.
     pub fn try_new(cpu_time: f64, gpu_time: f64) -> Result<Self, ModelError> {
-        if !(cpu_time > 0.0 && cpu_time.is_finite()) {
-            return Err(ModelError::BadTaskTime { field: "cpu_time", value: cpu_time });
+        Task::try_from_times(&[cpu_time, gpu_time])
+    }
+
+    /// A `k`-class task from a per-class time vector. Panics on invalid
+    /// times; see [`try_from_times`](Task::try_from_times).
+    pub fn from_times(times: &[f64]) -> Self {
+        match Task::try_from_times(times) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
         }
-        if !(gpu_time > 0.0 && gpu_time.is_finite()) {
-            return Err(ModelError::BadTaskTime { field: "gpu_time", value: gpu_time });
+    }
+
+    /// Fallible [`from_times`](Task::from_times): every per-class time
+    /// must be positive and finite, and every pairwise ratio must stay
+    /// positive and finite (checked via the extreme pair: if
+    /// `max/min` is finite, every other ratio is too).
+    pub fn try_from_times(times: &[f64]) -> Result<Self, ModelError> {
+        if times.len() < 2 || times.len() > MAX_CLASSES {
+            return Err(ModelError::BadClassCount { requested: times.len() });
         }
-        let rho = cpu_time / gpu_time;
+        let mut inline = [0.0f64; MAX_CLASSES];
+        for (i, &t) in times.iter().enumerate() {
+            if !(t > 0.0 && t.is_finite()) {
+                return Err(ModelError::BadTaskTime { field: TIME_FIELD[i], value: t });
+            }
+            inline[i] = t;
+        }
+        let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+        for &t in times {
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+        let rho = hi / lo;
         if !(rho > 0.0 && rho.is_finite()) {
-            return Err(ModelError::NonFiniteAccel { cpu_time, gpu_time });
+            return Err(ModelError::NonFiniteAccel { cpu_time: hi, gpu_time: lo });
         }
-        Ok(Task { cpu_time, gpu_time, priority: 0.0 })
+        Ok(Task { times: inline, k: times.len() as u8, priority: 0.0 })
+    }
+
+    /// Assemble a task from raw, **unvalidated** times. This is the
+    /// escape hatch the validation-boundary tests use to smuggle
+    /// non-finite values past [`try_new`](Task::try_new); production code
+    /// must use the checked constructors.
+    pub fn from_raw_times(times: &[f64], priority: f64) -> Self {
+        assert!((2..=MAX_CLASSES).contains(&times.len()), "raw task needs 2..={MAX_CLASSES} times");
+        let mut inline = [0.0f64; MAX_CLASSES];
+        inline[..times.len()].copy_from_slice(times);
+        Task { times: inline, k: times.len() as u8, priority }
     }
 
     pub fn with_priority(mut self, priority: f64) -> Self {
@@ -246,55 +518,109 @@ impl Task {
         Ok(self)
     }
 
-    /// Acceleration factor ρ = p/q. May be below 1 when the task runs
-    /// faster on CPU than on GPU.
+    /// Number of resource classes this task has times for.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k as usize
+    }
+
+    /// Processing time on class 0 (`p_i` in the paper).
+    #[inline]
+    pub fn cpu_time(&self) -> f64 {
+        self.times[0]
+    }
+
+    /// Processing time on class 1 (`q_i` in the paper).
+    #[inline]
+    pub fn gpu_time(&self) -> f64 {
+        self.times[1]
+    }
+
+    /// The per-class time vector.
+    #[inline]
+    pub fn times(&self) -> &[f64] {
+        &self.times[..self.k()]
+    }
+
+    /// Acceleration factor ρ = p/q of the canonical class pair. May be
+    /// below 1 when the task runs faster on CPU than on GPU.
     ///
     /// Always positive and finite for tasks built through
     /// [`try_new`](Task::try_new) / [`new`](Task::new); tasks assembled
-    /// from raw public fields can evade that guarantee, which is why the
+    /// from raw times can evade that guarantee, which is why the
     /// queue goes through [`try_accel_factor`](Task::try_accel_factor).
     #[inline]
     pub fn accel_factor(&self) -> f64 {
-        self.cpu_time / self.gpu_time
+        self.times[0] / self.times[1]
     }
 
     /// Checked [`accel_factor`](Task::accel_factor): returns a typed error
     /// when ρ is NaN, infinite or non-positive instead of letting the
     /// poisoned value reach an ordering comparison. This is the accessor
     /// the ready queue uses, so a task smuggled past [`Task::try_new`]
-    /// (public fields, unvalidated [`Instance::from_tasks`]) is rejected
+    /// (raw times, unvalidated [`Instance::from_tasks`]) is rejected
     /// at the queue boundary rather than silently corrupting queue order.
     #[inline]
     pub fn try_accel_factor(&self) -> Result<f64, ModelError> {
-        let rho = self.cpu_time / self.gpu_time;
+        self.try_affinity(ClassId(0), ClassId(1))
+    }
+
+    /// Per-class-pair affinity ratio: `time_on(a) / time_on(b)` — how much
+    /// faster the task runs on class `b` than on class `a`. The paper's
+    /// ρ is `affinity(CPU, GPU)`.
+    #[inline]
+    pub fn affinity(&self, a: impl Into<ClassId>, b: impl Into<ClassId>) -> f64 {
+        self.time_on(a) / self.time_on(b)
+    }
+
+    /// Checked [`affinity`](Task::affinity); see
+    /// [`try_accel_factor`](Task::try_accel_factor).
+    #[inline]
+    pub fn try_affinity(&self, a: ClassId, b: ClassId) -> Result<f64, ModelError> {
+        let (p, q) = (self.times[a.index()], self.times[b.index()]);
+        let rho = p / q;
         if !(rho > 0.0 && rho.is_finite()) {
-            return Err(ModelError::NonFiniteAccel {
-                cpu_time: self.cpu_time,
-                gpu_time: self.gpu_time,
-            });
+            return Err(ModelError::NonFiniteAccel { cpu_time: p, gpu_time: q });
         }
         Ok(rho)
     }
 
     /// Processing time on the given resource class.
     #[inline]
-    pub fn time_on(&self, kind: ResourceKind) -> f64 {
-        match kind {
-            ResourceKind::Cpu => self.cpu_time,
-            ResourceKind::Gpu => self.gpu_time,
-        }
+    pub fn time_on(&self, class: impl Into<ClassId>) -> f64 {
+        let class = class.into();
+        debug_assert!(class.index() < self.k(), "class {class} out of range (k = {})", self.k());
+        self.times[class.index()]
     }
 
-    /// `min(p, q)` — a trivial lower bound on the task's completion time.
+    /// `min` over per-class times — a trivial lower bound on the task's
+    /// completion time.
     #[inline]
     pub fn min_time(&self) -> f64 {
-        self.cpu_time.min(self.gpu_time)
+        let mut lo = self.times[0];
+        for &t in &self.times[1..self.k()] {
+            lo = lo.min(t);
+        }
+        lo
     }
 
-    /// `max(p, q)`.
+    /// `max` over per-class times.
     #[inline]
     pub fn max_time(&self) -> f64 {
-        self.cpu_time.max(self.gpu_time)
+        let mut hi = self.times[0];
+        for &t in &self.times[1..self.k()] {
+            hi = hi.max(t);
+        }
+        hi
+    }
+}
+
+impl fmt::Debug for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Task")
+            .field("times", &self.times())
+            .field("priority", &self.priority)
+            .finish()
     }
 }
 
@@ -318,6 +644,12 @@ impl Instance {
         Instance { tasks: times.iter().map(|&(p, q)| Task::new(p, q)).collect() }
     }
 
+    /// Convenience constructor from per-class time rows (the `k`-class
+    /// analogue of [`from_times`](Instance::from_times)).
+    pub fn from_class_times(rows: &[&[f64]]) -> Self {
+        Instance { tasks: rows.iter().map(|r| Task::from_times(r)).collect() }
+    }
+
     /// Append a task, returning its id.
     pub fn push(&mut self, task: Task) -> TaskId {
         let id = TaskId(u32::try_from(self.tasks.len()).expect("too many tasks"));
@@ -333,6 +665,13 @@ impl Instance {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.tasks.is_empty()
+    }
+
+    /// Number of resource classes the tasks carry times for (2 when
+    /// empty: the canonical instantiation).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.tasks.first().map_or(2, Task::k)
     }
 
     #[inline]
@@ -355,17 +694,23 @@ impl Instance {
         (0..self.tasks.len()).map(|i| TaskId(i as u32))
     }
 
+    /// Total work if every task ran on the given class.
+    pub fn total_work_on(&self, class: impl Into<ClassId>) -> f64 {
+        let class = class.into();
+        self.tasks.iter().map(|t| t.time_on(class)).sum()
+    }
+
     /// Total work if every task ran on its CPU time.
     pub fn total_cpu_work(&self) -> f64 {
-        self.tasks.iter().map(|t| t.cpu_time).sum()
+        self.tasks.iter().map(Task::cpu_time).sum()
     }
 
     /// Total work if every task ran on its GPU time.
     pub fn total_gpu_work(&self) -> f64 {
-        self.tasks.iter().map(|t| t.gpu_time).sum()
+        self.tasks.iter().map(Task::gpu_time).sum()
     }
 
-    /// `max_i min(p_i, q_i)` — a trivial lower bound on the optimal makespan
+    /// `max_i min_c t_i,c` — a trivial lower bound on the optimal makespan
     /// (each task must run somewhere, at best on its favourite resource).
     pub fn max_min_time(&self) -> f64 {
         self.tasks.iter().map(Task::min_time).fold(0.0, f64::max)
@@ -400,6 +745,27 @@ mod tests {
     }
 
     #[test]
+    fn three_class_platform_blocks_workers() {
+        let p = Platform::from_counts(&[3, 2, 1]);
+        assert_eq!(p.k(), 3);
+        assert_eq!(p.workers(), 6);
+        assert_eq!(p.class_of(WorkerId(0)), ClassId(0));
+        assert_eq!(p.class_of(WorkerId(2)), ClassId(0));
+        assert_eq!(p.class_of(WorkerId(3)), ClassId(1));
+        assert_eq!(p.class_of(WorkerId(4)), ClassId(1));
+        assert_eq!(p.class_of(WorkerId(5)), ClassId(2));
+        let third: Vec<_> = p.workers_of(ClassId(2)).collect();
+        assert_eq!(third, vec![WorkerId(5)]);
+        assert_eq!(p.count(ClassId(2)), 1);
+        assert_eq!(p.classes().collect::<Vec<_>>(), vec![ClassId(0), ClassId(1), ClassId(2)]);
+        // class_of agrees with kind_of on the two-class platform.
+        let two = Platform::new(3, 2);
+        for w in two.all_workers() {
+            assert_eq!(ClassId::from(two.class_of(w).index()), ClassId::from(two.kind_of(w)));
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "at least one CPU")]
     fn platform_rejects_zero_cpus() {
         let _ = Platform::new(0, 1);
@@ -409,6 +775,23 @@ mod tests {
     #[should_panic(expected = "at least one GPU")]
     fn platform_rejects_zero_gpus() {
         let _ = Platform::new(1, 0);
+    }
+
+    #[test]
+    fn platform_rejects_bad_class_counts() {
+        assert_eq!(
+            Platform::try_from_counts(&[1]),
+            Err(ModelError::BadClassCount { requested: 1 })
+        );
+        assert_eq!(
+            Platform::try_from_counts(&[1; MAX_CLASSES + 1]),
+            Err(ModelError::BadClassCount { requested: MAX_CLASSES + 1 })
+        );
+        assert_eq!(Platform::try_from_counts(&[2, 0, 1]), Err(ModelError::EmptyClass(ClassId(1))));
+        assert_eq!(
+            ModelError::EmptyClass(ClassId(2)).to_string(),
+            "platform needs at least one C2"
+        );
     }
 
     #[test]
@@ -422,9 +805,38 @@ mod tests {
     }
 
     #[test]
+    fn k_class_task_accessors() {
+        let t = Task::from_times(&[6.0, 3.0, 2.0]);
+        assert_eq!(t.k(), 3);
+        assert_eq!(t.cpu_time(), 6.0);
+        assert_eq!(t.gpu_time(), 3.0);
+        assert_eq!(t.time_on(ClassId(2)), 2.0);
+        assert_eq!(t.times(), &[6.0, 3.0, 2.0]);
+        assert_eq!(t.affinity(ClassId(0), ClassId(2)), 3.0);
+        assert_eq!(t.affinity(ClassId(2), ClassId(0)), 1.0 / 3.0);
+        assert_eq!(t.accel_factor(), 2.0);
+        assert_eq!(t.min_time(), 2.0);
+        assert_eq!(t.max_time(), 6.0);
+        // Two-class construction through both constructors agrees.
+        assert_eq!(Task::from_times(&[2.0, 5.0]), Task::new(2.0, 5.0));
+    }
+
+    #[test]
     fn resource_kind_other_flips() {
         assert_eq!(ResourceKind::Cpu.other(), ResourceKind::Gpu);
         assert_eq!(ResourceKind::Gpu.other(), ResourceKind::Cpu);
+    }
+
+    #[test]
+    fn class_id_bridges_to_resource_kind() {
+        assert_eq!(ClassId::from(ResourceKind::Cpu), ClassId(0));
+        assert_eq!(ClassId::from(ResourceKind::Gpu), ClassId(1));
+        assert!(ClassId(0) == ResourceKind::Cpu);
+        assert!(ResourceKind::Gpu == ClassId(1));
+        assert!(ClassId(2) != ResourceKind::Cpu);
+        assert_eq!(ClassId(0).to_string(), "CPU");
+        assert_eq!(ClassId(1).to_string(), "GPU");
+        assert_eq!(ClassId(3).to_string(), "C3");
     }
 
     #[test]
@@ -435,8 +847,8 @@ mod tests {
 
     #[test]
     fn try_constructors_return_typed_errors() {
-        assert_eq!(Platform::try_new(0, 1), Err(ModelError::EmptyClass(ResourceKind::Cpu)));
-        assert_eq!(Platform::try_new(1, 0), Err(ModelError::EmptyClass(ResourceKind::Gpu)));
+        assert_eq!(Platform::try_new(0, 1), Err(ModelError::EmptyClass(ResourceKind::Cpu.into())));
+        assert_eq!(Platform::try_new(1, 0), Err(ModelError::EmptyClass(ResourceKind::Gpu.into())));
         assert!(Platform::try_new(2, 3).is_ok());
         for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
             assert!(matches!(
@@ -447,6 +859,10 @@ mod tests {
                 Task::try_new(1.0, bad),
                 Err(ModelError::BadTaskTime { field: "gpu_time", .. })
             ));
+            assert!(matches!(
+                Task::try_from_times(&[1.0, 1.0, bad]),
+                Err(ModelError::BadTaskTime { field: "time[2]", .. })
+            ));
         }
         assert!(Task::try_new(1.0, 2.0).is_ok());
         assert!(matches!(
@@ -456,7 +872,7 @@ mod tests {
         assert_eq!(Task::new(1.0, 1.0).try_with_priority(3.0).unwrap().priority, 3.0);
         // Display messages stay aligned with the panicking constructors.
         assert_eq!(
-            ModelError::EmptyClass(ResourceKind::Cpu).to_string(),
+            ModelError::EmptyClass(ResourceKind::Cpu.into()).to_string(),
             "platform needs at least one CPU"
         );
         assert_eq!(
@@ -480,10 +896,15 @@ mod tests {
             other => panic!("expected NonFiniteAccel, got {other:?}"),
         }
         assert!(matches!(Task::try_new(1e-308, 1e308), Err(ModelError::NonFiniteAccel { .. })));
-        // The checked accessor catches tasks assembled from raw fields.
-        let smuggled = Task { cpu_time: f64::INFINITY, gpu_time: 1.0, priority: 0.0 };
+        // A hidden extreme pair in a k-class vector is caught too.
+        assert!(matches!(
+            Task::try_from_times(&[1.0, 1e308, 1e-308]),
+            Err(ModelError::NonFiniteAccel { .. })
+        ));
+        // The checked accessor catches tasks assembled from raw times.
+        let smuggled = Task::from_raw_times(&[f64::INFINITY, 1.0], 0.0);
         assert!(matches!(smuggled.try_accel_factor(), Err(ModelError::NonFiniteAccel { .. })));
-        let zero_q = Task { cpu_time: 1.0, gpu_time: 0.0, priority: 0.0 };
+        let zero_q = Task::from_raw_times(&[1.0, 0.0], 0.0);
         assert!(matches!(zero_q.try_accel_factor(), Err(ModelError::NonFiniteAccel { .. })));
         let ok = Task::new(3.0, 2.0);
         assert_eq!(ok.try_accel_factor().unwrap(), 1.5);
@@ -499,8 +920,14 @@ mod tests {
         assert_eq!(inst.len(), 2);
         assert_eq!(inst.total_cpu_work(), 5.0);
         assert_eq!(inst.total_gpu_work(), 7.0);
+        assert_eq!(inst.total_work_on(ResourceKind::Cpu), 5.0);
+        assert_eq!(inst.k(), 2);
         // min times are 1.0 and 3.0
         assert_eq!(inst.max_min_time(), 3.0);
+        let three = Instance::from_class_times(&[&[2.0, 1.0, 4.0], &[3.0, 6.0, 1.0]]);
+        assert_eq!(three.k(), 3);
+        assert_eq!(three.total_work_on(ClassId(2)), 5.0);
+        assert_eq!(three.max_min_time(), 1.0);
     }
 
     #[test]
@@ -508,8 +935,34 @@ mod tests {
         let inst = Instance::from_times(&[(1.0, 2.0), (3.0, 4.0), (5.0, 6.0)]);
         let (sub, map) = inst.subset(&[TaskId(2), TaskId(0)]);
         assert_eq!(sub.len(), 2);
-        assert_eq!(sub.task(TaskId(0)).cpu_time, 5.0);
-        assert_eq!(sub.task(TaskId(1)).cpu_time, 1.0);
+        assert_eq!(sub.task(TaskId(0)).cpu_time(), 5.0);
+        assert_eq!(sub.task(TaskId(1)).cpu_time(), 1.0);
         assert_eq!(map, vec![TaskId(2), TaskId(0)]);
+    }
+
+    #[test]
+    fn class_table_round_trips_the_spec_grammar() {
+        let t = ClassTable::parse("cpu=16,gpu=4,fpga=2").unwrap();
+        assert_eq!(t.k(), 3);
+        assert_eq!(t.name(ClassId(2)), "fpga");
+        assert_eq!(t.count(ClassId(0)), 16);
+        assert_eq!(t.id_of("FPGA"), Some(ClassId(2)));
+        assert_eq!(t.id_of("tpu"), None);
+        assert_eq!(t.spec(), "cpu=16,gpu=4,fpga=2");
+        assert_eq!(ClassTable::parse(&t.spec()).unwrap(), t);
+        let p = t.platform();
+        assert_eq!(p.k(), 3);
+        assert_eq!((p.cpus(), p.gpus(), p.count(ClassId(2))), (16, 4, 2));
+        assert_eq!(ClassTable::cpu_gpu(2, 1).unwrap().spec(), "cpu=2,gpu=1");
+    }
+
+    #[test]
+    fn class_table_rejects_malformed_specs() {
+        for bad in ["", "cpu", "cpu=1", "cpu=x,gpu=1", "cpu=1,cpu=2", "=3,gpu=1", "cpu=1,gpu=0"] {
+            assert!(ClassTable::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+        let err = ClassTable::parse("cpu=1,gpu=0").unwrap_err();
+        assert_eq!(err, ModelError::EmptyClass(ClassId(1)));
+        assert!(ClassTable::parse("a=1,b=1,c=1,d=1,e=1").is_err(), "over MAX_CLASSES");
     }
 }

@@ -1,0 +1,72 @@
+//! Two-class compatibility layer: the paper's CPU/GPU vocabulary as the
+//! canonical `k = 2` instantiation of the class model.
+//!
+//! [`ResourceKind`] is the only place the `Cpu`/`Gpu` dichotomy is allowed
+//! to appear as code (the `hardcoded-class` lint rule enforces this
+//! outside tests): everything else converts through [`ClassId`] and works
+//! for any `k`. The bridge is bidirectional for comparisons —
+//! `class == ResourceKind::Cpu` and `ResourceKind::Gpu == class` both
+//! work — and one-way (`From<ResourceKind> for ClassId`) for conversion,
+//! because a `ClassId` above 1 has no `ResourceKind` spelling.
+
+use super::ClassId;
+use std::fmt;
+
+/// One of the two canonical resource classes (`k = 2`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ResourceKind {
+    Cpu,
+    Gpu,
+}
+
+impl ResourceKind {
+    /// The other resource class (spoliation always crosses classes).
+    #[inline]
+    pub fn other(self) -> ResourceKind {
+        match self {
+            ResourceKind::Cpu => ResourceKind::Gpu,
+            ResourceKind::Gpu => ResourceKind::Cpu,
+        }
+    }
+
+    /// The class index this kind maps to: CPU is class 0, GPU class 1.
+    #[inline]
+    pub fn class(self) -> ClassId {
+        match self {
+            ResourceKind::Cpu => ClassId(0),
+            ResourceKind::Gpu => ClassId(1),
+        }
+    }
+
+    pub const BOTH: [ResourceKind; 2] = [ResourceKind::Cpu, ResourceKind::Gpu];
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceKind::Cpu => write!(f, "CPU"),
+            ResourceKind::Gpu => write!(f, "GPU"),
+        }
+    }
+}
+
+impl From<ResourceKind> for ClassId {
+    #[inline]
+    fn from(kind: ResourceKind) -> ClassId {
+        kind.class()
+    }
+}
+
+impl PartialEq<ResourceKind> for ClassId {
+    #[inline]
+    fn eq(&self, other: &ResourceKind) -> bool {
+        *self == other.class()
+    }
+}
+
+impl PartialEq<ClassId> for ResourceKind {
+    #[inline]
+    fn eq(&self, other: &ClassId) -> bool {
+        self.class() == *other
+    }
+}

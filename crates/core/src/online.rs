@@ -14,12 +14,12 @@
 //!
 //! Arrivals are a [`Workload`] over the shared event kernel
 //! ([`crate::kernel`]); the queue discipline is the same Algorithm 1 policy
-//! as the offline engine, backed by the incremental [`AffinityQueue`].
+//! as the offline engine, backed by the incremental [`AffinityQueue`](crate::queue::AffinityQueue).
 
 use crate::heteroprio::{scan_victim, HeteroPrioConfig, HeteroPrioResult};
 use crate::kernel::{self, FaultModel, KernelContext, KernelOptions, KernelPolicy, Pick, Workload};
-use crate::model::{Instance, Platform, ResourceKind, TaskId, WorkerId};
-use crate::queue::AffinityQueue;
+use crate::model::{ClassId, Instance, Platform, TaskId, WorkerId};
+use crate::queue::{ClassQueue, PopSide};
 use crate::WorkerOrder;
 use heteroprio_trace::{NullSink, QueueEnd, TraceSink};
 
@@ -53,7 +53,7 @@ pub fn heteroprio_online_traced<S: TraceSink>(
     let mut policy = OnlineQueuePolicy {
         instance,
         config: *config,
-        queue: AffinityQueue::new(config.queue_tie),
+        queue: ClassQueue::new(platform.k(), config.queue_tie),
     };
     let outcome = kernel::run(
         platform,
@@ -137,22 +137,19 @@ impl Workload for ReleaseWorkload<'_> {
         self.admit_until_into(now, out);
     }
 
-    fn duration(
-        &self,
-        task: TaskId,
-        kind: ResourceKind,
-        _ran_kind: &[Option<ResourceKind>],
-    ) -> f64 {
-        self.instance.task(task).time_on(kind)
+    fn duration(&self, task: TaskId, class: ClassId, _ran_kind: &[Option<ClassId>]) -> f64 {
+        self.instance.task(task).time_on(class)
     }
 }
 
 /// Algorithm 1's queue discipline over an incrementally-maintained
-/// [`AffinityQueue`] (arrivals insert in O(log n) instead of re-sorting).
+/// [`ClassQueue`] (arrivals insert in O(log n) instead of re-sorting; the
+/// canonical two-class platform delegates to the bucketed
+/// [`AffinityQueue`](crate::queue::AffinityQueue) unchanged).
 struct OnlineQueuePolicy<'a> {
     instance: &'a Instance,
     config: HeteroPrioConfig,
-    queue: AffinityQueue,
+    queue: ClassQueue,
 }
 
 impl KernelPolicy for OnlineQueuePolicy<'_> {
@@ -163,12 +160,17 @@ impl KernelPolicy for OnlineQueuePolicy<'_> {
     }
 
     fn pick(&mut self, worker: WorkerId, ctx: &KernelContext<'_>) -> Option<Pick> {
-        let kind = ctx.platform.kind_of(worker);
-        let end = match kind {
-            ResourceKind::Gpu => QueueEnd::Front,
-            ResourceKind::Cpu => QueueEnd::Back,
-        };
-        self.queue.pop(kind).map(|task| Pick { task, queue_end: Some(end) })
+        let two_class = ctx.platform.k() == 2;
+        self.queue.pop(ctx.platform.class_of(worker)).map(|(task, side)| {
+            // The `QueueEnd` annotation is the two-class pop-order
+            // certificate; k ≥ 3 traces leave it off (see the offline
+            // policy for rationale).
+            let end = two_class.then_some(match side {
+                PopSide::Front => QueueEnd::Front,
+                PopSide::Back => QueueEnd::Back,
+            });
+            Pick { task, queue_end: end }
+        })
     }
 
     fn spoliation_victim(&mut self, worker: WorkerId, ctx: &KernelContext<'_>) -> Option<WorkerId> {

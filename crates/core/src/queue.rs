@@ -32,9 +32,9 @@
 //! the `queue_parity` proptests, and the `kernel_parity` suite).
 
 use crate::heteroprio::QueueTieBreak;
-use crate::model::{Instance, ResourceKind, TaskId};
+use crate::model::{ClassId, Instance, ResourceKind, TaskId};
 use crate::time::F64Ord;
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 /// Key ordering: ascending = the GPU end of the queue.
 type Key = (F64Ord, F64Ord, u64, TaskId);
@@ -208,6 +208,212 @@ impl AffinityQueue {
     }
 }
 
+/// Which end of an affinity-ordered pair queue a pop came from.
+///
+/// `Front` is the accelerated end (the paper's GPU side of the pair),
+/// `Back` the decelerated end. Reported so callers can emit the queue-end
+/// trace annotation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PopSide {
+    Front,
+    Back,
+}
+
+/// The ready queue generalized to `k` resource classes: one
+/// affinity-ordered queue per unordered class pair `{a, b}`, keyed by the
+/// pair ratio `ρ_ab = t_a / t_b`. A worker of class `c` pops the candidate
+/// with the largest relative speedup on `c` across the `k − 1` pairs that
+/// involve `c` — the argmax generalization of "GPUs pop the front, CPUs
+/// the back".
+///
+/// On the canonical two-class platform there is exactly one pair, and the
+/// structure *is* the bucketed [`AffinityQueue`] (same keys, same pops:
+/// bit-identical order, pinned by `two_class_matches_affinity_queue`
+/// below). For `k ≥ 3` every task sits in `k−1` relevant pairs, so each
+/// pair holds an exact sorted set and a pop eagerly removes the task's
+/// entries from the other pairs (`O(k² log n)`, still cheap for the class
+/// counts [`MAX_CLASSES`](crate::model::MAX_CLASSES) allows).
+#[derive(Clone, Debug)]
+pub struct ClassQueue {
+    tie: QueueTieBreak,
+    k: usize,
+    /// `k == 2` fast path: the single pair, bucketed.
+    two: Option<AffinityQueue>,
+    /// `k ≥ 3`: one sorted set per pair `(a, b)`, `a < b`, indexed by
+    /// [`ClassQueue::pair_index`]. Ascending key order = class-`b` end.
+    pairs: Vec<BTreeSet<Key>>,
+    /// Per-task keys currently sitting in `pairs` (by task index), so a
+    /// pop can remove the task from every other pair exactly.
+    keys: Vec<Option<Vec<Key>>>,
+    live: usize,
+    seq: u64,
+}
+
+impl ClassQueue {
+    /// A queue for platforms with `k` resource classes.
+    pub fn new(k: usize, tie: QueueTieBreak) -> Self {
+        assert!(k >= 2, "class queue needs at least two classes");
+        let (two, pairs) = if k == 2 {
+            (Some(AffinityQueue::new(tie)), Vec::new())
+        } else {
+            (None, vec![BTreeSet::new(); k * (k - 1) / 2])
+        };
+        ClassQueue { tie, k, two, pairs, keys: Vec::new(), live: 0, seq: 0 }
+    }
+
+    /// Number of classes this queue was sized for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Index of the pair `{a, b}` (`a < b`) in row-major upper-triangular
+    /// order.
+    #[inline]
+    fn pair_index(&self, a: usize, b: usize) -> usize {
+        debug_assert!(a < b && b < self.k);
+        a * (2 * self.k - a - 1) / 2 + (b - a - 1)
+    }
+
+    /// Insert a ready task.
+    pub fn push(&mut self, instance: &Instance, task: TaskId) {
+        if let Some(two) = &mut self.two {
+            two.push(instance, task);
+            return;
+        }
+        let t = instance.task(task);
+        let seq = self.seq;
+        self.seq = self.seq.checked_add(1).expect("u64 push sequence never saturates");
+        let mut keys = Vec::with_capacity(self.k - 1);
+        for a in 0..self.k {
+            for b in (a + 1)..self.k {
+                let rho = match t.try_affinity(ClassId::from(a), ClassId::from(b)) {
+                    Ok(rho) => rho,
+                    Err(e) => panic!("cannot queue {task}: {e}"),
+                };
+                let tie = match self.tie {
+                    QueueTieBreak::Priority => {
+                        // lint: allow(float-ord): orientation branch, not arithmetic — the
+                        // pair ratio exactly 1 takes the accelerated-side tie rule, same
+                        // boundary choice as the two-class queue.
+                        if rho >= 1.0 {
+                            -t.priority
+                        } else {
+                            t.priority
+                        }
+                    }
+                    QueueTieBreak::InsertionOrder => 0.0,
+                };
+                let key = (F64Ord::new(-rho), F64Ord::new(tie), seq, task);
+                let idx = self.pair_index(a, b);
+                self.pairs.get_mut(idx).expect("pair_index < pair count").insert(key);
+                keys.push(key);
+            }
+        }
+        if self.keys.len() <= task.index() {
+            self.keys.resize(task.index() + 1, None);
+        }
+        *self.keys.get_mut(task.index()).expect("resized above") = Some(keys);
+        self.live += 1;
+    }
+
+    /// Pop the task best suited to a worker of class `class`: the argmax
+    /// of the relative speedup `t_other / t_class` over every pair that
+    /// involves `class` (strictly-greater comparison, lowest other-class
+    /// index winning ties). Returns the chosen task and which end of its
+    /// winning pair queue it came from.
+    pub fn pop(&mut self, class: impl Into<ClassId>) -> Option<(TaskId, PopSide)> {
+        let class = class.into();
+        if let Some(two) = &mut self.two {
+            return match class.index() {
+                0 => two.pop(ResourceKind::Cpu).map(|t| (t, PopSide::Back)),
+                1 => two.pop(ResourceKind::Gpu).map(|t| (t, PopSide::Front)),
+                c => panic!("class C{c} out of range on a two-class queue"),
+            };
+        }
+        let c = class.index();
+        assert!(c < self.k, "class {class} out of range (k = {})", self.k);
+        let mut best: Option<(f64, usize, PopSide, Key)> = None;
+        for d in 0..self.k {
+            if d == c {
+                continue;
+            }
+            let (a, b) = (c.min(d), c.max(d));
+            let idx = self.pair_index(a, b);
+            let set = self.pairs.get(idx).expect("pair_index < pair count");
+            // Ascending key order is descending ρ_ab = t_a / t_b: the
+            // first element favours class b most, the last class a most.
+            let (key, side) =
+                if c == b { (set.first(), PopSide::Front) } else { (set.last(), PopSide::Back) };
+            let Some(&key) = key else { continue };
+            let rho = -(key.0).0;
+            let advantage = match side {
+                PopSide::Front => rho,
+                PopSide::Back => 1.0 / rho,
+            };
+            // lint: allow(float-ord): argmax selection over positive finite
+            // ratios; construction rejects NaN before keys are built.
+            let better = match &best {
+                None => true,
+                Some((adv, ..)) => advantage > *adv,
+            };
+            if better {
+                best = Some((advantage, idx, side, key));
+            }
+        }
+        let (_, winner_idx, side, key) = best?;
+        let task = key.3;
+        self.pairs.get_mut(winner_idx).expect("pair_index < pair count").remove(&key);
+        let keys = self
+            .keys
+            .get_mut(task.index())
+            .and_then(Option::take)
+            .expect("popped task has recorded keys");
+        for (idx, k) in Self::pair_indices(self.k).zip(&keys) {
+            if idx != winner_idx {
+                self.pairs.get_mut(idx).expect("pair_index < pair count").remove(k);
+            }
+        }
+        self.live -= 1;
+        Some((task, side))
+    }
+
+    /// Pair indices in the push order (`(0,1), (0,2), …`), matching the
+    /// layout of the per-task key vectors.
+    fn pair_indices(k: usize) -> impl Iterator<Item = usize> {
+        (0..k).flat_map(move |a| ((a + 1)..k).map(move |b| a * (2 * k - a - 1) / 2 + (b - a - 1)))
+    }
+
+    pub fn len(&self) -> usize {
+        match &self.two {
+            Some(two) => two.len(),
+            None => self.live,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tasks in snapshot order. On a two-class queue this is the exact
+    /// accelerated-to-decelerated order of the underlying
+    /// [`AffinityQueue`]; for `k ≥ 3` it is the `(0, 1)` pair's order —
+    /// re-pushing reproduces every pair's ρ order exactly and the `(0, 1)`
+    /// pair's FIFO ties, which is the strongest order a single linear
+    /// snapshot can preserve across `k−1` interleaved tie spaces.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = TaskId> + '_> {
+        match &self.two {
+            Some(two) => Box::new(two.iter()),
+            None => Box::new(
+                self.pairs
+                    .first()
+                    .expect("k >= 3 queue has pairs")
+                    .iter()
+                    .map(|&(_, _, _, task)| task),
+            ),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,8 +537,7 @@ mod tests {
     fn non_finite_accel_factor_is_rejected_at_the_queue_boundary() {
         // A task smuggled past validation (public fields) must be rejected
         // with the typed ModelError message, not silently mis-ordered.
-        let inst =
-            Instance::from_tasks(vec![Task { cpu_time: 1e308, gpu_time: 1e-308, priority: 0.0 }]);
+        let inst = Instance::from_tasks(vec![Task::from_raw_times(&[1e308, 1e-308], 0.0)]);
         let mut q = AffinityQueue::new(QueueTieBreak::Priority);
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             q.push(&inst, TaskId(0));
@@ -370,6 +575,86 @@ mod tests {
             front_drain.push(t);
         }
         assert_eq!(front_drain, vec![TaskId(1), TaskId(0), TaskId(3), TaskId(4)]);
+    }
+
+    #[test]
+    fn two_class_matches_affinity_queue() {
+        // The generalized queue at k = 2 *is* the bucketed AffinityQueue:
+        // identical pops from both ends, interleaved with pushes.
+        let inst = Instance::from_times(&[
+            (3.0, 1.0),
+            (1.0, 3.0),
+            (4.0, 4.0),
+            (9.0, 1.0),
+            (2.0, 5.0),
+            (3.0, 1.0),
+            (7.0, 4.0),
+        ]);
+        for tie in [QueueTieBreak::Priority, QueueTieBreak::InsertionOrder] {
+            let mut reference = AffinityQueue::new(tie);
+            let mut general = ClassQueue::new(2, tie);
+            for id in inst.ids() {
+                reference.push(&inst, id);
+                general.push(&inst, id);
+            }
+            assert_eq!(general.len(), reference.len());
+            let mut side = ResourceKind::Gpu;
+            while let Some(expect) = reference.pop(side) {
+                let class = ClassId::from(side);
+                let got = general.pop(class);
+                let want_side =
+                    if side == ResourceKind::Gpu { PopSide::Front } else { PopSide::Back };
+                assert_eq!(got, Some((expect, want_side)), "{tie:?}");
+                side = side.other();
+            }
+            assert!(general.is_empty());
+        }
+    }
+
+    #[test]
+    fn three_class_pop_takes_argmax_relative_speedup() {
+        // Times per class (cpu, gpu, fpga).
+        let inst = Instance::from_class_times(&[
+            &[8.0, 1.0, 4.0], // T0: best on gpu (8× vs cpu)
+            &[2.0, 4.0, 1.0], // T1: best on fpga (4× vs gpu)
+            &[1.0, 6.0, 6.0], // T2: best on cpu
+        ]);
+        let mut q = ClassQueue::new(3, QueueTieBreak::Priority);
+        for id in inst.ids() {
+            q.push(&inst, id);
+        }
+        assert_eq!(q.len(), 3);
+        // The GPU's best relative speedup is T0 (ρ_cpu,gpu = 8).
+        let (t, _) = q.pop(ClassId(1)).unwrap();
+        assert_eq!(t, TaskId(0));
+        // The FPGA's best remaining is T1 (ρ_gpu,fpga = 4).
+        let (t, _) = q.pop(ClassId(2)).unwrap();
+        assert_eq!(t, TaskId(1));
+        // The CPU takes what favours it most.
+        let (t, _) = q.pop(ClassId(0)).unwrap();
+        assert_eq!(t, TaskId(2));
+        assert!(q.is_empty());
+        assert_eq!(q.pop(ClassId(0)), None);
+    }
+
+    #[test]
+    fn three_class_pop_removes_task_from_every_pair() {
+        // After a pop, the task must be gone from all pair queues: popping
+        // for the other classes never yields it again, and a re-push (the
+        // spoliation path) resurrects it cleanly.
+        let inst = Instance::from_class_times(&[&[4.0, 1.0, 2.0], &[4.0, 2.0, 1.0]]);
+        let mut q = ClassQueue::new(3, QueueTieBreak::Priority);
+        q.push(&inst, TaskId(0));
+        q.push(&inst, TaskId(1));
+        let (first, _) = q.pop(ClassId(1)).unwrap();
+        assert_eq!(first, TaskId(0), "GPU favours T0 (4x over CPU)");
+        assert_eq!(q.len(), 1);
+        let (second, _) = q.pop(ClassId(2)).unwrap();
+        assert_eq!(second, TaskId(1), "T0 must not reappear from another pair");
+        assert!(q.is_empty());
+        // Spoliation re-push: the task returns and is poppable again.
+        q.push(&inst, TaskId(0));
+        assert_eq!(q.pop(ClassId(0)).unwrap().0, TaskId(0));
     }
 
     #[test]

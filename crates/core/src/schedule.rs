@@ -1,6 +1,6 @@
 //! Schedule representation, validation and per-resource metrics.
 
-use crate::model::{Instance, Platform, ResourceKind, TaskId, WorkerId};
+use crate::model::{ClassId, Instance, Platform, TaskId, WorkerId};
 use crate::time::{approx_eq, approx_le, tol, F64Ord};
 use heteroprio_trace::{sort_causal, SchedEvent};
 use std::fmt;
@@ -86,15 +86,21 @@ impl Schedule {
     }
 
     /// Total productive (completed-run) time on one resource class.
-    pub fn busy_time(&self, platform: &Platform, kind: ResourceKind) -> f64 {
-        self.runs.iter().filter(|r| platform.kind_of(r.worker) == kind).map(TaskRun::duration).sum()
+    pub fn busy_time(&self, platform: &Platform, class: impl Into<ClassId>) -> f64 {
+        let class = class.into();
+        self.runs
+            .iter()
+            .filter(|r| platform.class_of(r.worker) == class)
+            .map(TaskRun::duration)
+            .sum()
     }
 
     /// Total time spent on runs that were later aborted, per class.
-    pub fn aborted_time(&self, platform: &Platform, kind: ResourceKind) -> f64 {
+    pub fn aborted_time(&self, platform: &Platform, class: impl Into<ClassId>) -> f64 {
+        let class = class.into();
         self.aborted
             .iter()
-            .filter(|r| platform.kind_of(r.worker) == kind)
+            .filter(|r| platform.class_of(r.worker) == class)
             .map(TaskRun::duration)
             .sum()
     }
@@ -103,31 +109,41 @@ impl Schedule {
     ///
     /// Following the paper's footnote, work performed on aborted runs counts
     /// as idle time, so all schedulers are charged for the same total work.
-    pub fn idle_time(&self, platform: &Platform, kind: ResourceKind, horizon: f64) -> f64 {
-        let capacity = horizon * platform.count(kind) as f64;
-        (capacity - self.busy_time(platform, kind)).max(0.0)
+    pub fn idle_time(&self, platform: &Platform, class: impl Into<ClassId>, horizon: f64) -> f64 {
+        let class = class.into();
+        let capacity = horizon * platform.count(class) as f64;
+        (capacity - self.busy_time(platform, class)).max(0.0)
     }
 
     /// Tasks assigned (completed) per resource class.
-    pub fn tasks_on(&self, platform: &Platform, kind: ResourceKind) -> Vec<TaskId> {
-        self.runs.iter().filter(|r| platform.kind_of(r.worker) == kind).map(|r| r.task).collect()
+    pub fn tasks_on(&self, platform: &Platform, class: impl Into<ClassId>) -> Vec<TaskId> {
+        let class = class.into();
+        self.runs.iter().filter(|r| platform.class_of(r.worker) == class).map(|r| r.task).collect()
     }
 
     /// The paper's §6.2 "equivalent acceleration factor" of the set of tasks
-    /// assigned to one resource class: `Σ p_i / Σ q_i` over completed runs.
-    /// `None` when the class received no task.
+    /// assigned to one resource class: `Σ p_i / Σ q_i` over completed runs,
+    /// where `q_i` generalizes to each task's best time on a non-spill class
+    /// (identical to the GPU time when `k = 2`). `None` when the class
+    /// received no task.
     pub fn equivalent_accel_factor(
         &self,
         instance: &Instance,
         platform: &Platform,
-        kind: ResourceKind,
+        class: impl Into<ClassId>,
     ) -> Option<f64> {
-        let tasks = self.tasks_on(platform, kind);
+        let tasks = self.tasks_on(platform, class);
         if tasks.is_empty() {
             return None;
         }
-        let p: f64 = tasks.iter().map(|&t| instance.task(t).cpu_time).sum();
-        let q: f64 = tasks.iter().map(|&t| instance.task(t).gpu_time).sum();
+        let p: f64 = tasks.iter().map(|&t| instance.task(t).time_on(ClassId(0))).sum();
+        let q: f64 = tasks
+            .iter()
+            .map(|&t| {
+                let task = instance.task(t);
+                (1..task.k()).map(|c| task.time_on(ClassId(c as u16))).fold(f64::INFINITY, f64::min)
+            })
+            .sum();
         Some(p / q)
     }
 
@@ -334,7 +350,7 @@ impl Schedule {
         max_overhead: f64,
     ) -> Result<(), ScheduleError> {
         for r in &self.runs {
-            let expected = instance.task(r.task).time_on(platform.kind_of(r.worker));
+            let expected = instance.task(r.task).time_on(platform.class_of(r.worker));
             let within_band = approx_eq(r.duration(), expected)
                 || (r.duration() >= expected && approx_le(r.duration(), expected + max_overhead));
             if !within_band {
@@ -346,7 +362,7 @@ impl Schedule {
             }
         }
         for r in &self.aborted {
-            let full = instance.task(r.task).time_on(platform.kind_of(r.worker)) + max_overhead;
+            let full = instance.task(r.task).time_on(platform.class_of(r.worker)) + max_overhead;
             if r.duration() >= full + tol(r.duration(), full) {
                 return Err(ScheduleError::AbortedTooLong {
                     task: r.task,
@@ -394,7 +410,7 @@ impl Schedule {
         let scale = width as f64 / horizon;
         let mut out = String::new();
         for w in platform.all_workers() {
-            let kind = platform.kind_of(w);
+            let kind = platform.class_of(w);
             let mut row = vec![b'.'; width];
             let mut labels: Vec<(usize, String)> = Vec::new();
             for r in self.runs.iter().chain(&self.aborted).filter(|r| r.worker == w) {
@@ -424,7 +440,7 @@ impl Schedule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::Task;
+    use crate::model::{ResourceKind, Task};
 
     fn simple_setup() -> (Instance, Platform) {
         let inst = Instance::from_times(&[(2.0, 1.0), (4.0, 2.0)]);

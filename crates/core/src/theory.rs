@@ -14,7 +14,7 @@ use crate::time::{approx_eq, PHI};
 /// single worker on each side the φ bound applies, with a single worker on
 /// exactly one side the 1+φ bound applies.
 pub fn proven_upper_bound(platform: &Platform) -> f64 {
-    match (platform.cpus, platform.gpus) {
+    match (platform.cpus(), platform.gpus()) {
         (1, 1) => PHI,
         (_, 1) | (1, _) => 1.0 + PHI,
         _ => 2.0 + std::f64::consts::SQRT_2,
@@ -24,7 +24,7 @@ pub fn proven_upper_bound(platform: &Platform) -> f64 {
 /// Best known lower bound on HeteroPrio's worst-case ratio for a platform
 /// shape (Theorems 8, 11 and 14).
 pub fn known_lower_bound(platform: &Platform) -> f64 {
-    match (platform.cpus, platform.gpus) {
+    match (platform.cpus(), platform.gpus()) {
         (1, 1) => PHI,
         (_, 1) | (1, _) => 1.0 + PHI,
         _ => 2.0 + 2.0 / 3.0_f64.sqrt(),

@@ -85,10 +85,10 @@ fn ranked_cholesky(n: usize) -> TaskGraph {
 /// factor in the instance. The full-platform DAG bound stays valid too.
 fn degraded_lower_bound(graph: &TaskGraph, platform: &Platform, t_kill: f64) -> f64 {
     let tasks = graph.instance().tasks();
-    let w_cpu: f64 = tasks.iter().map(|t| t.cpu_time).sum();
-    let rho_max = tasks.iter().map(|t| t.cpu_time / t.gpu_time).fold(0.0, f64::max);
-    let offload = platform.gpus as f64 * t_kill * rho_max;
-    let area = (w_cpu - offload).max(0.0) / platform.cpus as f64;
+    let w_cpu: f64 = tasks.iter().map(|t| t.cpu_time()).sum();
+    let rho_max = tasks.iter().map(|t| t.cpu_time() / t.gpu_time()).fold(0.0, f64::max);
+    let offload = platform.gpus() as f64 * t_kill * rho_max;
+    let area = (w_cpu - offload).max(0.0) / platform.cpus() as f64;
     dag_lower_bound(graph, platform).max(area)
 }
 

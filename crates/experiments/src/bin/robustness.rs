@@ -51,7 +51,7 @@ fn penalty_sweep() {
     apply_bottom_level_priorities(&mut graph, WeightScheme::Min);
     // Reference scale: the mean GPU kernel time of the instance.
     let mean_gpu: f64 =
-        graph.instance().tasks().iter().map(|t| t.gpu_time).sum::<f64>() / graph.len() as f64;
+        graph.instance().tasks().iter().map(|t| t.gpu_time()).sum::<f64>() / graph.len() as f64;
     let lb = dag_lower_bound(&graph, &platform);
     let mut t = TextTable::new(vec![
         "penalty (% mean gpu task)",

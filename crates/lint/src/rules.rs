@@ -56,6 +56,12 @@
 //!   receives one and must treat it as sealed. Reconstruction paths (e.g.
 //!   rebuilding a schedule from a recorded trace) allow-list each site with
 //!   the reason.
+//! * `hardcoded-class` — a `Cpu` / `Gpu` identifier outside
+//!   `core/src/model/compat.rs`. The class model is runtime-sized
+//!   (`ClassId` / `ClassTable`); `compat::ResourceKind` is the one module
+//!   allowed to spell the two-class dichotomy. Frozen k=2 reference paths
+//!   (the seed engine, the Lemma 1/2 certificates) carry baseline entries
+//!   or allow each site with the reason.
 //! * `forbid-unsafe` — every crate root must carry `#![forbid(unsafe_code)]`
 //!   (checked by [`lint_workspace`], not per-line).
 //! * `allow-directive` — a malformed `lint: allow` directive: an unknown
@@ -206,6 +212,12 @@ pub const RULES: &[RuleMeta] = &[
         protects: "kernel-owned Schedule construction (audit replays trust it)",
     },
     RuleMeta {
+        name: "hardcoded-class",
+        summary: "Cpu/Gpu identifier outside core::model::compat (k=2 dichotomy leak)",
+        family: Family::Encapsulation,
+        protects: "runtime-sized class model; compat::ResourceKind is the one k=2 site",
+    },
+    RuleMeta {
         name: "forbid-unsafe",
         summary: "crate root missing #![forbid(unsafe_code)]",
         family: Family::Structure,
@@ -310,6 +322,7 @@ fn check_tokens(sf: &SourceFile<'_>, violations: &mut Vec<LintViolation>) {
     let kernel = in_kernel_crates(path);
     let concurrency_exempt =
         path.ends_with("metrics/src/registry.rs") || path.ends_with("core/src/parallel.rs");
+    let compat_exempt = path.ends_with("core/src/model/compat.rs");
     let code: Vec<&Token<'_>> = sf.code_tokens().collect();
     let mut push = |line: usize, rule: &'static str, message: String| {
         let line0 = line - 1;
@@ -322,6 +335,18 @@ fn check_tokens(sf: &SourceFile<'_>, violations: &mut Vec<LintViolation>) {
         let next = code.get(i + 1).copied();
         match t.kind {
             TokenKind::Ident => {
+                if !compat_exempt && matches!(t.text, "Cpu" | "Gpu") {
+                    push(
+                        t.line,
+                        "hardcoded-class",
+                        format!(
+                            "hard-coded resource class `{}` outside core::model::compat; \
+                             the class model is runtime-sized — take a ClassId/ClassTable \
+                             from the caller, or allow-list a frozen k=2 reference path",
+                            t.text
+                        ),
+                    );
+                }
                 if kernel && matches!(t.text, "HashMap" | "HashSet") {
                     push(
                         t.line,
@@ -926,7 +951,7 @@ mod tests {
         assert!(rules_of("x.rs", "let w = (a + 1) as u32;").is_empty());
         assert!(rules_of("x.rs", "let k = idx as u64;").is_empty());
         assert!(rules_of("x.rs", "let f = n as f64;").is_empty());
-        assert!(rules_of("x.rs", "let b = (kind == Kind::Cpu) as u8;").is_empty());
+        assert!(rules_of("x.rs", "let b = (kind == Kind::Fast) as u8;").is_empty());
     }
 
     #[test]
@@ -1154,6 +1179,32 @@ mod tests {
         );
         // Ordinary arithmetic is untouched.
         assert!(rules_of("crates/core/src/kernel.rs", "let t = start + dur;\n").is_empty());
+    }
+
+    #[test]
+    fn hardcoded_class_fences_the_dichotomy_into_compat() {
+        assert_eq!(
+            rules_of("crates/cli/src/commands.rs", "let k = ResourceKind::Cpu;\n"),
+            vec!["hardcoded-class"]
+        );
+        assert_eq!(
+            rules_of("crates/core/src/kernel.rs", "if kind == ResourceKind::Gpu { return; }\n"),
+            vec!["hardcoded-class"]
+        );
+        // compat.rs is the one module allowed to spell the dichotomy.
+        assert!(rules_of(
+            "crates/core/src/model/compat.rs",
+            "pub enum ResourceKind { Cpu, Gpu }\n"
+        )
+        .is_empty());
+        // Lower-case identifiers (variables, class *names*) are not variants.
+        assert!(rules_of("crates/cli/src/commands.rs", "let cpu = table.count(c);\n").is_empty());
+        // Mentions in comments and strings do not count.
+        assert!(rules_of("crates/cli/src/main.rs", "// ResourceKind::Cpu is banned\n").is_empty());
+        assert!(rules_of("crates/cli/src/main.rs", "let s = \"Cpu\";\n").is_empty());
+        // The escape hatch works with a reason.
+        let allowed = "// lint: allow(hardcoded-class): frozen k=2 seed reference, pinned by kernel_parity.\nlet k = ResourceKind::Gpu;\n";
+        assert!(rules_of("crates/bench/src/seed_reference.rs", allowed).is_empty());
     }
 
     #[test]

@@ -19,8 +19,7 @@ use heteroprio_core::kernel::{
     TimelineEvent, Workload,
 };
 use heteroprio_core::{
-    DurabilityOptions, KernelSnapshot, Platform, ResourceKind, Schedule, TaskId, WorkerId,
-    WorkerOrder,
+    ClassId, DurabilityOptions, KernelSnapshot, Platform, Schedule, TaskId, WorkerId, WorkerOrder,
 };
 use heteroprio_metrics::{MetricsRegistry, NullRegistry};
 use heteroprio_taskgraph::{ReadyTracker, TaskGraph};
@@ -228,16 +227,15 @@ impl Workload for DagWorkload<'_> {
         self.tracker.complete_into(self.graph, task, out);
     }
 
-    /// Duration the engine charges for `task` on class `kind` (base time
+    /// Duration the engine charges for `task` on class `class` (base time
     /// plus the cross-class transfer penalty when an input was produced on
-    /// the other class).
-    fn duration(&self, task: TaskId, kind: ResourceKind, ran_kind: &[Option<ResourceKind>]) -> f64 {
-        let base = self.graph.instance().task(task).time_on(kind);
-        let cross = self
-            .graph
-            .predecessors(task)
-            .iter()
-            .any(|p| ran_kind.get(p.index()).copied().flatten() == Some(kind.other()));
+    /// a different class).
+    fn duration(&self, task: TaskId, class: ClassId, ran_kind: &[Option<ClassId>]) -> f64 {
+        let base = self.graph.instance().task(task).time_on(class);
+        let cross =
+            self.graph.predecessors(task).iter().any(
+                |p| matches!(ran_kind.get(p.index()).copied().flatten(), Some(c) if c != class),
+            );
         if cross {
             base + self.model.cross_class_penalty
         } else {
@@ -410,6 +408,7 @@ mod tests {
     use super::*;
     use heteroprio_core::time::approx_eq;
     use heteroprio_core::Instance;
+    use heteroprio_core::ResourceKind;
     use heteroprio_taskgraph::{chain, check_precedence, fork_join, DagBuilder, TaskGraph};
     use std::collections::VecDeque;
 

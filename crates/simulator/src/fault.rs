@@ -216,8 +216,9 @@ impl TimeSpec {
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum FaultTarget {
     Worker(u32),
-    Cpus,
-    Gpus,
+    /// Every worker of one resource class (`cpu` = class 0, `gpu` = class 1,
+    /// `cN` or a [`ClassTable`](heteroprio_core::ClassTable) name for the rest).
+    Class(u16),
     All,
 }
 
@@ -239,13 +240,18 @@ pub struct FaultClause {
 /// clause := target '@' time ['+' dur]   -- worker fault (dur absent ⇒ permanent)
 ///         | 'fail=' p                   -- per-attempt task failure probability
 ///         | 'seed=' n                   -- RNG seed for failure/jitter draws
-/// target := 'w' id | 'cpu' | 'gpu' | 'all'
+/// target := 'w' id | 'c' idx | class-name | 'all'
 /// time   := float | float '%'          -- percent of the fault-free makespan
 /// ```
 ///
+/// Class targets: `cpu` and `gpu` always name classes 0 and 1, `cN` hits
+/// class `N` on any platform, and [`parse_with`](FaultSpec::parse_with)
+/// additionally resolves the class names of a [`ClassTable`](heteroprio_core::ClassTable)
+/// (e.g. `fpga@10` on a `cpu=16,gpu=4,fpga=2` platform).
+///
 /// Examples: `gpu@25%` (all GPUs die for good at 25% of the fault-free
 /// makespan), `w3@10+5` (worker 3 down from t=10 to t=15),
-/// `cpu@50,fail=0.05,seed=7`.
+/// `cpu@50,fail=0.05,seed=7`, `c2@40%`.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct FaultSpec {
     pub clauses: Vec<FaultClause>,
@@ -256,6 +262,16 @@ pub struct FaultSpec {
 impl FaultSpec {
     /// Parse a spec string. Whitespace around clauses is ignored.
     pub fn parse(s: &str) -> Result<FaultSpec, SimError> {
+        FaultSpec::parse_with(s, None)
+    }
+
+    /// [`parse`](FaultSpec::parse) with a [`ClassTable`](heteroprio_core::ClassTable): clause targets may
+    /// then use the table's class names (case-insensitively) in addition to
+    /// the builtin `cpu`/`gpu`/`cN` forms.
+    pub fn parse_with(
+        s: &str,
+        table: Option<&heteroprio_core::ClassTable>,
+    ) -> Result<FaultSpec, SimError> {
         let bad = |reason: String| SimError::InvalidPlan { reason };
         let mut spec = FaultSpec::default();
         for raw in s.split(',') {
@@ -278,15 +294,22 @@ impl FaultSpec {
                 .split_once('@')
                 .ok_or_else(|| bad(format!("expected target@time in {clause:?}")))?;
             let target = match target.trim() {
-                "cpu" => FaultTarget::Cpus,
-                "gpu" => FaultTarget::Gpus,
+                "cpu" => FaultTarget::Class(0),
+                "gpu" => FaultTarget::Class(1),
                 "all" => FaultTarget::All,
                 w => {
-                    let id = w
-                        .strip_prefix('w')
-                        .and_then(|id| id.parse::<u32>().ok())
-                        .ok_or_else(|| bad(format!("bad target {w:?} (want wN|cpu|gpu|all)")))?;
-                    FaultTarget::Worker(id)
+                    if let Some(id) = w.strip_prefix('w').and_then(|id| id.parse::<u32>().ok()) {
+                        FaultTarget::Worker(id)
+                    } else if let Some(c) = w.strip_prefix('c').and_then(|c| c.parse::<u16>().ok())
+                    {
+                        FaultTarget::Class(c)
+                    } else if let Some(c) = table.and_then(|t| t.id_of(w)) {
+                        FaultTarget::Class(c.0)
+                    } else {
+                        return Err(bad(format!(
+                            "bad target {w:?} (want wN|cN|cpu|gpu|all or a platform class name)"
+                        )));
+                    }
                 }
             };
             let (time, dur) = match rest.split_once('+') {
@@ -339,11 +362,16 @@ impl FaultSpec {
                     }
                     vec![w]
                 }
-                FaultTarget::Cpus => {
-                    platform.workers_of(heteroprio_core::ResourceKind::Cpu).map(|w| w.0).collect()
-                }
-                FaultTarget::Gpus => {
-                    platform.workers_of(heteroprio_core::ResourceKind::Gpu).map(|w| w.0).collect()
+                FaultTarget::Class(c) => {
+                    if usize::from(c) >= platform.k() {
+                        return Err(SimError::InvalidPlan {
+                            reason: format!(
+                                "class c{c} out of range (platform has {} classes)",
+                                platform.k()
+                            ),
+                        });
+                    }
+                    platform.workers_of(heteroprio_core::ClassId(c)).map(|w| w.0).collect()
                 }
                 FaultTarget::All => platform.all_workers().map(|w| w.0).collect(),
             };
@@ -379,7 +407,11 @@ mod tests {
         assert_eq!(s.clauses.len(), 2);
         assert_eq!(
             s.clauses[0],
-            FaultClause { target: FaultTarget::Gpus, at: TimeSpec::Percent(25.0), down_for: None }
+            FaultClause {
+                target: FaultTarget::Class(1),
+                at: TimeSpec::Percent(25.0),
+                down_for: None
+            }
         );
         assert_eq!(
             s.clauses[1],
@@ -398,6 +430,30 @@ mod tests {
         for bad in ["gpu", "x@5", "w@5", "gpu@x", "gpu@5+", "fail=x", "seed=-1"] {
             assert!(FaultSpec::parse(bad).is_err(), "{bad:?} should not parse");
         }
+    }
+
+    #[test]
+    fn class_targets_parse_by_index_and_table_name() {
+        // `cN` needs no table; names beyond cpu/gpu resolve through one.
+        let s = FaultSpec::parse("c2@10").unwrap();
+        assert_eq!(s.clauses[0].target, FaultTarget::Class(2));
+        assert!(FaultSpec::parse("fpga@10").is_err(), "unknown name without a table");
+        let table =
+            heteroprio_core::ClassTable::new(&[("cpu", 2), ("gpu", 1), ("fpga", 1)]).unwrap();
+        let s = FaultSpec::parse_with("FPGA@10+5, cpu@3", Some(&table)).unwrap();
+        assert_eq!(s.clauses[0].target, FaultTarget::Class(2));
+        assert_eq!(s.clauses[1].target, FaultTarget::Class(0));
+        // Resolution expands to exactly the class-block workers.
+        let plat = table.platform();
+        let faults = s.resolve(&plat, None).unwrap();
+        assert_eq!(
+            faults.iter().map(|f| f.worker).collect::<Vec<_>>(),
+            vec![3, 0, 1],
+            "fpga is worker 3; cpus are workers 0-1"
+        );
+        // A class index past the platform's k is rejected at resolve time.
+        let err = FaultSpec::parse("c3@1").unwrap().resolve(&plat, None);
+        assert!(err.is_err());
     }
 
     #[test]

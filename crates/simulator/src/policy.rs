@@ -4,7 +4,7 @@
 //! the ready queue(s) and all placement decisions, mirroring how StarPU
 //! separates its core from its pluggable schedulers.
 
-use heteroprio_core::{Platform, TaskId, WorkerId};
+use heteroprio_core::{ClassId, Platform, TaskId, WorkerId};
 use heteroprio_taskgraph::TaskGraph;
 
 /// A task currently executing on some worker (re-exported from the shared
@@ -12,10 +12,10 @@ use heteroprio_taskgraph::TaskGraph;
 pub use heteroprio_core::kernel::RunningTask;
 
 /// Optional execution-cost model: a fixed penalty added to a task's
-/// duration when at least one predecessor completed on the *other* resource
-/// class, approximating the data-transfer cost StarPU would pay to move the
-/// input tiles across the PCI bus. The paper's model sets this to zero; the
-/// robustness experiments sweep it.
+/// duration when at least one predecessor completed on a *different*
+/// resource class, approximating the data-transfer cost StarPU would pay to
+/// move the input tiles across the PCI bus. The paper's model sets this to
+/// zero; the robustness experiments sweep it.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct TransferModel {
     pub cross_class_penalty: f64,
@@ -38,7 +38,7 @@ pub struct SimContext<'a> {
     /// Indexed by worker; `None` when the worker is idle.
     pub running: &'a [Option<RunningTask>],
     /// Resource class each completed task ran on (`None` if not finished).
-    pub ran_kind: &'a [Option<heteroprio_core::ResourceKind>],
+    pub ran_kind: &'a [Option<ClassId>],
     /// The active transfer-cost model.
     pub model: &'a TransferModel,
     /// Liveness per worker: `false` while a worker is down after an
@@ -55,33 +55,29 @@ impl SimContext<'_> {
     }
 
     /// Alive workers of one resource class.
-    pub fn alive_of(
-        &self,
-        kind: heteroprio_core::ResourceKind,
-    ) -> impl Iterator<Item = WorkerId> + '_ {
-        self.platform.workers_of(kind).filter(|&w| self.is_alive(w))
+    pub fn alive_of(&self, class: impl Into<ClassId>) -> impl Iterator<Item = WorkerId> + '_ {
+        self.platform.workers_of(class).filter(|&w| self.is_alive(w))
     }
 
     /// Running tasks on workers of one resource class.
     pub fn running_on(
         &self,
-        kind: heteroprio_core::ResourceKind,
+        class: impl Into<ClassId>,
     ) -> impl Iterator<Item = (WorkerId, RunningTask)> + '_ {
         self.platform
-            .workers_of(kind)
+            .workers_of(class)
             .filter_map(|w| self.running.get(w.index()).copied().flatten().map(|r| (w, r)))
     }
 
-    /// Effective execution time of `task` on class `kind`, including the
+    /// Effective execution time of `task` on class `class`, including the
     /// transfer penalty. This is what the engine will charge; policies must
     /// use it for spoliation-improvement checks.
-    pub fn effective_time(&self, task: TaskId, kind: heteroprio_core::ResourceKind) -> f64 {
-        let base = self.graph.instance().task(task).time_on(kind);
-        let cross = self
-            .graph
-            .predecessors(task)
-            .iter()
-            .any(|p| self.ran_kind.get(p.index()).copied().flatten() == Some(kind.other()));
+    pub fn effective_time(&self, task: TaskId, class: impl Into<ClassId>) -> f64 {
+        let class = class.into();
+        let base = self.graph.instance().task(task).time_on(class);
+        let cross = self.graph.predecessors(task).iter().any(
+            |p| matches!(self.ran_kind.get(p.index()).copied().flatten(), Some(c) if c != class),
+        );
         if cross {
             base + self.model.cross_class_penalty
         } else {

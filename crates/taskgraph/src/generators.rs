@@ -370,8 +370,8 @@ mod tests {
         let params = RandomDagParams::default();
         let g1 = random_layered(&params, 1);
         let g2 = random_layered(&params, 2);
-        let t1: Vec<f64> = g1.instance().tasks().iter().map(|t| t.cpu_time).collect();
-        let t2: Vec<f64> = g2.instance().tasks().iter().map(|t| t.cpu_time).collect();
+        let t1: Vec<f64> = g1.instance().tasks().iter().map(|t| t.cpu_time()).collect();
+        let t2: Vec<f64> = g2.instance().tasks().iter().map(|t| t.cpu_time()).collect();
         assert_ne!(t1, t2);
     }
 

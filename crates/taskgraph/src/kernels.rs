@@ -98,8 +98,8 @@ mod tests {
     fn const_timing_builds_tasks() {
         let t = ConstTiming { cpu: 2.0, gpu: 0.5 };
         let task = t.task(Kernel::Gemm);
-        assert_eq!(task.cpu_time, 2.0);
-        assert_eq!(task.gpu_time, 0.5);
+        assert_eq!(task.cpu_time(), 2.0);
+        assert_eq!(task.gpu_time(), 0.5);
     }
 
     #[test]

@@ -25,10 +25,10 @@ pub enum WeightScheme {
 impl WeightScheme {
     pub fn weight(self, task: &heteroprio_core::Task) -> f64 {
         match self {
-            WeightScheme::Avg => 0.5 * (task.cpu_time + task.gpu_time),
+            WeightScheme::Avg => 0.5 * (task.cpu_time() + task.gpu_time()),
             WeightScheme::Min => task.min_time(),
-            WeightScheme::CpuOnly => task.cpu_time,
-            WeightScheme::GpuOnly => task.gpu_time,
+            WeightScheme::CpuOnly => task.cpu_time(),
+            WeightScheme::GpuOnly => task.gpu_time(),
         }
     }
 

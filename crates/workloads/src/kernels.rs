@@ -214,8 +214,8 @@ mod tests {
     #[test]
     fn paper_platform_is_20_plus_4() {
         let p = paper_platform();
-        assert_eq!(p.cpus, 20);
-        assert_eq!(p.gpus, 4);
+        assert_eq!(p.cpus(), 20);
+        assert_eq!(p.gpus(), 4);
     }
 
     #[test]

@@ -11,10 +11,13 @@
 //!   ([`independent_instance`]);
 //! * the **worst-case families** of Theorems 8, 11 and 14, including the
 //!   Figure 4 `T2` packing/list-order constructions ([`worst_case`]);
-//! * seeded **random instance generators** for property tests.
+//! * seeded **random instance generators** for property tests;
+//! * **k-class workloads**: the `cpu=16,gpu=4,fpga=2` demonstration
+//!   platform and per-class affinity generators ([`multi_class`]).
 
 pub mod instances;
 pub mod kernels;
+pub mod multi_class;
 pub mod random;
 pub mod worst_case;
 
@@ -23,6 +26,7 @@ pub use kernels::{
     paper_platform, profile, ChameleonTiming, JitteredTiming, KernelProfile, TileScaledTiming,
     PROFILES,
 };
+pub use multi_class::{multi_class_instance, three_class_platform, MultiClassParams};
 pub use random::{bimodal_instance, random_instance, RandomInstanceParams};
 pub use worst_case::{
     no_spoliation_gap, t2_best_packing, t2_durations, t2_worst_order, theorem11, theorem14,

@@ -1,0 +1,100 @@
+//! Workloads for platforms with more than two resource classes.
+//!
+//! The paper's evaluation is CPU+GPU, but the class model generalizes to
+//! any `k`; this module provides the canonical three-class demonstration
+//! platform (16 CPUs, 4 GPUs, 2 FPGAs) and a seeded generator drawing
+//! per-class acceleration factors, so the k-class paths (pair queues,
+//! k-dimensional DualHP partition, dual area bound) can be exercised with
+//! realistic affinity spreads.
+
+use heteroprio_core::{ClassTable, Instance, Platform, Task};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The canonical three-class demonstration platform: `cpu=16,gpu=4,fpga=2`.
+pub fn three_class_platform() -> (ClassTable, Platform) {
+    let table = ClassTable::new(&[("cpu", 16), ("gpu", 4), ("fpga", 2)])
+        .expect("static spec is well-formed");
+    let platform = table.platform();
+    (table, platform)
+}
+
+/// Parameters for k-class random instances.
+///
+/// Class 0 times are drawn uniformly from `base_range`; each further class
+/// `c` gets `time_c = base / ρ_c` with `ρ_c` log-uniform in
+/// `accel_ranges[c - 1]` (ranges may span 1, so a class can be slower than
+/// class 0 for some tasks).
+#[derive(Clone, Debug)]
+pub struct MultiClassParams {
+    pub tasks: usize,
+    pub base_range: (f64, f64),
+    pub accel_ranges: Vec<(f64, f64)>,
+}
+
+impl MultiClassParams {
+    /// Defaults matched to [`three_class_platform`]: GPUs strongly
+    /// accelerated (GEMM-like spread), FPGAs modestly and less uniformly so.
+    pub fn three_class(tasks: usize) -> Self {
+        MultiClassParams {
+            tasks,
+            base_range: (1.0, 10.0),
+            accel_ranges: vec![(0.5, 30.0), (0.2, 8.0)],
+        }
+    }
+}
+
+/// Seeded uniform random k-class instance (`k = 1 + accel_ranges.len()`).
+pub fn multi_class_instance(params: &MultiClassParams, seed: u64) -> Instance {
+    assert!(params.tasks >= 1);
+    assert!(!params.accel_ranges.is_empty(), "need at least one non-base class");
+    assert!(params.base_range.0 > 0.0 && params.base_range.1 >= params.base_range.0);
+    for r in &params.accel_ranges {
+        assert!(r.0 > 0.0 && r.1 >= r.0, "acceleration ranges must be positive");
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inst = Instance::new();
+    let mut times = Vec::with_capacity(1 + params.accel_ranges.len());
+    for _ in 0..params.tasks {
+        times.clear();
+        let base = rng.random_range(params.base_range.0..=params.base_range.1);
+        times.push(base);
+        for r in &params.accel_ranges {
+            let rho = rng.random_range(r.0.ln()..=r.1.ln()).exp();
+            times.push(base / rho);
+        }
+        inst.push(Task::from_times(&times));
+    }
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_is_the_documented_shape() {
+        let (table, platform) = three_class_platform();
+        assert_eq!(table.spec(), "cpu=16,gpu=4,fpga=2");
+        assert_eq!(platform.k(), 3);
+        assert_eq!(platform.workers(), 22);
+    }
+
+    #[test]
+    fn generator_is_reproducible_and_in_range() {
+        let p = MultiClassParams::three_class(50);
+        let a = multi_class_instance(&p, 7);
+        let b = multi_class_instance(&p, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, multi_class_instance(&p, 8));
+        for t in a.tasks() {
+            assert_eq!(t.k(), 3);
+            let base = t.times()[0];
+            assert!((1.0..=10.0).contains(&base));
+            let rho_gpu = base / t.times()[1];
+            let rho_fpga = base / t.times()[2];
+            assert!((0.5 - 1e-9..=30.0 + 1e-9).contains(&rho_gpu), "{rho_gpu}");
+            assert!((0.2 - 1e-9..=8.0 + 1e-9).contains(&rho_fpga), "{rho_fpga}");
+        }
+    }
+}

@@ -78,7 +78,7 @@ mod tests {
         let p = RandomInstanceParams { tasks: 200, cpu_range: (2.0, 4.0), accel_range: (0.5, 8.0) };
         let inst = random_instance(&p, 3);
         for t in inst.tasks() {
-            assert!((2.0..=4.0).contains(&t.cpu_time));
+            assert!((2.0..=4.0).contains(&t.cpu_time()));
             let rho = t.accel_factor();
             assert!((0.5 - 1e-9..=8.0 + 1e-9).contains(&rho), "{rho}");
         }

@@ -259,7 +259,7 @@ pub fn theorem14(k: usize) -> WorstCase {
     let mut t2_pool: Vec<(TaskId, f64)> = (t2_first..t2_last)
         .map(|i| {
             let id = TaskId(i as u32);
-            (id, instance.task(id).gpu_time)
+            (id, instance.task(id).gpu_time())
         })
         .collect();
     for (g, proc_tasks) in t2_best_packing(k).into_iter().enumerate() {

@@ -21,8 +21,8 @@ fn main() {
         "Cholesky N={n}: {} tasks, {} edges, on {} CPUs + {} GPUs",
         graph.len(),
         graph.edge_count(),
-        platform.cpus,
-        platform.gpus
+        platform.cpus(),
+        platform.gpus()
     );
     println!("kernel mix: {:?}", graph.label_histogram());
     println!("lower bound (area + critical path): {lb:.1} ms\n");

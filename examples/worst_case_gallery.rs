@@ -17,8 +17,8 @@ fn show(case: &WorstCase) {
     println!(
         "  tasks: {}, platform: {} CPUs + {} GPUs",
         case.instance.len(),
-        case.platform.cpus,
-        case.platform.gpus
+        case.platform.cpus(),
+        case.platform.gpus()
     );
     println!(
         "  HeteroPrio: {:.4} (expected {:.4}), witness optimum <= {:.4}",

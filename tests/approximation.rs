@@ -203,7 +203,10 @@ fn lemma3_work_conservation_while_queue_is_nonempty() {
                         (run.end - t) / (run.end - run.start)
                     };
                     if remaining > 1e-12 {
-                        rest.push(Task::new(task.cpu_time * remaining, task.gpu_time * remaining));
+                        rest.push(Task::new(
+                            task.cpu_time() * remaining,
+                            task.gpu_time() * remaining,
+                        ));
                     }
                 }
                 rest
@@ -265,7 +268,7 @@ fn lemma3_literal_equality_counterexample() {
             (run.end - t) / (run.end - run.start)
         };
         if remaining > 1e-12 {
-            rest.push(Task::new(task.cpu_time * remaining, task.gpu_time * remaining));
+            rest.push(Task::new(task.cpu_time() * remaining, task.gpu_time() * remaining));
         }
     }
     let rest_bound = area_bound(&rest, &platform).value;

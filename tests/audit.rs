@@ -48,6 +48,33 @@ proptest! {
         let cert = report.certificate.expect("certificate always computed");
         prop_assert!(cert.enforced);
     }
+
+    // The k = 3 companion sweep: fault-free runs on a three-class platform
+    // stay clean on every structural rule, while the two-class-only
+    // certificates (Lemma 1/2, pop-order ends) are skipped with a reason —
+    // never silently passed.
+    #[test]
+    fn fault_free_three_class_runs_audit_clean_with_skips(
+        times in prop::collection::vec((0.1f64..50.0, 0.1f64..50.0, 0.1f64..50.0), 1..=20),
+        cpus in 1usize..=3,
+        gpus in 1usize..=2,
+        fpgas in 1usize..=2,
+    ) {
+        use heteroprio::core::ClassTable;
+        let tasks: Vec<Task> =
+            times.iter().map(|&(a, b, c)| Task::from_times(&[a, b, c])).collect();
+        let instance = Instance::from_tasks(tasks);
+        let platform = ClassTable::new(&[("cpu", cpus), ("gpu", gpus), ("fpga", fpgas)])
+            .expect("valid three-class table")
+            .platform();
+        let (schedule, events) = hp_traced(&instance, &platform);
+        let report = audit(&instance, &platform, &schedule, &events, &AuditOptions::independent());
+        prop_assert!(report.is_clean(), "violations: {:?}", report.violations);
+        prop_assert!(
+            !report.skipped.is_empty(),
+            "two-class certificates must be skipped with reasons at k = 3"
+        );
+    }
 }
 
 #[test]

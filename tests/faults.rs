@@ -78,7 +78,7 @@ fn certain_failure_is_a_structured_error() {
 fn all_gpus_die_and_cholesky_still_completes() {
     let graph = ranked_cholesky(16);
     let platform = paper_platform();
-    assert_eq!((platform.cpus, platform.gpus), (20, 4));
+    assert_eq!((platform.cpus(), platform.gpus()), (20, 4));
     let model = TransferModel::NONE;
 
     let mut policy = HeteroPrioDagPolicy::new(HeteroPrioConfig::new());

@@ -100,6 +100,30 @@ fn unchecked_arith_fires_once_on_counter_vocabulary() {
     assert!(lint_source(KERNEL, ok).is_empty());
 }
 
+// ----------------------------------------------- encapsulation rule family
+
+#[test]
+fn hardcoded_class_mutation_is_caught_outside_compat() {
+    // The mutation scenario: re-introducing the two-class dichotomy into
+    // scheduler code (the exact regression the k-class refactor fences off)
+    // must fail the gate.
+    let seeded = "fn pick(kind: ResourceKind) -> bool {\n    kind == ResourceKind::Gpu\n}\n";
+    let v = lint_source("crates/schedulers/src/example.rs", seeded);
+    assert_eq!(count(&v, "hardcoded-class"), 1, "got: {v:?}");
+    assert_eq!(v.first().map(|v| v.line), Some(2));
+
+    // compat.rs is the one module allowed to spell Cpu/Gpu.
+    assert!(lint_source("crates/core/src/model/compat.rs", seeded).is_empty());
+
+    // Frozen k=2 reference paths allow-list each site with the reason.
+    let ok = "fn pick(kind: ResourceKind) -> bool {\n    kind == ResourceKind::Gpu \
+              // lint: allow(hardcoded-class): frozen k=2 seed reference, pinned by kernel_parity\n}\n";
+    assert!(lint_source("crates/bench/src/example.rs", ok).is_empty());
+
+    // Lower-case class *names* (ClassTable vocabulary) are not variants.
+    assert!(lint_source(KERNEL, "let gpu = table.id_of(\"gpu\");\n").is_empty());
+}
+
 #[test]
 fn empty_reason_directive_is_itself_a_violation_and_suppresses_nothing() {
     let src = "fn f(v: &[u64], i: usize) -> u64 {\n    v[i] // lint: allow(slice-index):\n}\n";

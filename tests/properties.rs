@@ -111,10 +111,10 @@ proptest! {
             let mut cpu = Vec::new();
             let mut gpu = Vec::new();
             for (i, t) in instance.tasks().iter().enumerate() {
-                if mask & (1 << i) != 0 { cpu.push(t.cpu_time) } else { gpu.push(t.gpu_time) }
+                if mask & (1 << i) != 0 { cpu.push(t.cpu_time()) } else { gpu.push(t.gpu_time()) }
             }
-            let ms = optimal_homogeneous_makespan(&cpu, platform.cpus)
-                .max(optimal_homogeneous_makespan(&gpu, platform.gpus));
+            let ms = optimal_homogeneous_makespan(&cpu, platform.cpus())
+                .max(optimal_homogeneous_makespan(&gpu, platform.gpus()));
             best = best.min(ms);
         }
         prop_assert!((sol - best).abs() <= 1e-9, "{sol} vs {best}");
@@ -270,6 +270,64 @@ proptest! {
         prop_assert!(svg.starts_with("<svg"));
         prop_assert!(svg.ends_with("</svg>"));
         prop_assert_eq!(svg.matches("rho=").count(), instance.len());
+    }
+
+    #[test]
+    fn k2_generalized_route_is_bit_identical_to_the_frozen_seed(
+        instance in instance_strategy(20),
+        m in 1usize..=4,
+        n in 1usize..=3,
+        pop_bits in prop::collection::vec(0u8..2, 20),
+    ) {
+        use heteroprio::bounds::area_bound_dual;
+        use heteroprio::core::{AffinityQueue, ClassQueue, ClassTable, ResourceKind};
+        use heteroprio_bench::seed_reference::seed_heteroprio;
+
+        // The same platform reached through the runtime-sized route: the
+        // refactor's contract is that nothing downstream can tell.
+        let compat = Platform::new(m, n);
+        let general = ClassTable::parse(&format!("cpu={m},gpu={n}"))
+            .expect("canonical k=2 spec parses")
+            .platform();
+        let cfg = HeteroPrioConfig::new();
+
+        // Kernel: the generalized engine on the parsed platform reproduces
+        // the frozen pre-refactor seed engine bit for bit.
+        let seed = seed_heteroprio(&instance, &compat, &cfg);
+        let kernel = hp(&instance, &general, &cfg);
+        prop_assert_eq!(&seed.schedule.runs, &kernel.schedule.runs);
+        prop_assert_eq!(&seed.schedule.aborted, &kernel.schedule.aborted);
+        prop_assert_eq!(seed.spoliations, kernel.spoliations);
+
+        // Queue: the per-class-pair ClassQueue at k = 2 drains exactly like
+        // the two-ended affinity deque, under an arbitrary pop interleaving.
+        let mut deque = AffinityQueue::new(cfg.queue_tie);
+        let mut class_queue = ClassQueue::new(2, cfg.queue_tie);
+        for id in instance.ids() {
+            deque.push(&instance, id);
+            class_queue.push(&instance, id);
+        }
+        for gpu_turn in pop_bits {
+            let kind = if gpu_turn == 1 { ResourceKind::Gpu } else { ResourceKind::Cpu };
+            prop_assert_eq!(deque.pop(kind), class_queue.pop(kind).map(|(t, _)| t));
+        }
+
+        // DualHP: the k-dimensional partition on both construction routes
+        // yields the same schedule, run for run.
+        let d_compat = dualhp_independent(&instance, &compat);
+        let d_general = dualhp_independent(&instance, &general);
+        prop_assert_eq!(&d_compat.runs, &d_general.runs);
+        prop_assert_eq!(&d_compat.aborted, &d_general.aborted);
+
+        // Area bounds: bitwise-equal across routes, and the k-class dual
+        // certificate never exceeds the exact two-class LP value.
+        let ab_compat = area_bound(&instance, &compat);
+        let ab_general = area_bound(&instance, &general);
+        prop_assert_eq!(ab_compat.value.to_bits(), ab_general.value.to_bits());
+        let dual = area_bound_dual(&instance, &general);
+        prop_assert_eq!(dual.to_bits(), area_bound_dual(&instance, &compat).to_bits());
+        prop_assert!(dual <= ab_general.value + 1e-9,
+            "dual {dual} beats the primal area bound {}", ab_general.value);
     }
 
     #[test]
